@@ -1,0 +1,20 @@
+//===- bench/fig3_ci_pairs.cpp - Figure 3 reproduction ---------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// Regenerates Figure 3: total points-to relationships computed by the
+// context-insensitive analysis, grouped by the kind of output they
+// appear on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tables.h"
+
+#include <cstdio>
+
+using namespace vdga;
+
+int main() {
+  std::vector<BenchmarkReport> Reports = analyzeCorpus(/*RunCS=*/false);
+  std::fputs(renderFig3(Reports).c_str(), stdout);
+  return 0;
+}

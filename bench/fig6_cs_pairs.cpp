@@ -1,0 +1,35 @@
+//===- bench/fig6_cs_pairs.cpp - Figure 6 reproduction ---------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// Regenerates Figure 6: points-to relationships found by the maximally
+// context-sensitive analysis, the context-insensitive totals, and the
+// percentage of CI pairs proven spurious — plus the headline check that
+// the two analyses agree at every indirect memory operation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tables.h"
+
+#include <cstdio>
+
+using namespace vdga;
+
+int main() {
+  std::vector<BenchmarkReport> Reports = analyzeCorpus(/*RunCS=*/true);
+  std::fputs(renderFig6(Reports).c_str(), stdout);
+
+  unsigned TotalWins = 0;
+  uint64_t Violations = 0;
+  for (const BenchmarkReport &R : Reports) {
+    TotalWins += R.IndirectOpsWhereCSWins;
+    Violations += R.ContainmentViolations;
+  }
+  std::printf("\nindirect memory operations where context-sensitivity "
+              "improved the location set: %u (the paper reports 0)\n",
+              TotalWins);
+  if (Violations)
+    std::printf("WARNING: %llu containment violations (CS produced a pair "
+                "CI did not)\n",
+                static_cast<unsigned long long>(Violations));
+  return 0;
+}

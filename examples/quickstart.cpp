@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - Library tour ------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Quickstart: parse a MiniC program, run the context-insensitive and
+// context-sensitive points-to analyses, and print what each indirect
+// memory operation may touch.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "pointsto/Statistics.h"
+
+#include <cstdio>
+
+using namespace vdga;
+
+static const char *Source = R"minic(
+struct node {
+  int value;
+  struct node *next;
+};
+
+struct node *head;
+
+void push(struct node **list, int value) {
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->value = value;
+  n->next = *list;
+  *list = n;
+}
+
+int sum(struct node *list) {
+  int total = 0;
+  while (list != 0) {
+    total = total + list->value;
+    list = list->next;
+  }
+  return total;
+}
+
+int main() {
+  int i;
+  head = 0;
+  for (i = 1; i <= 10; i++)
+    push(&head, i);
+  printf("sum = %d\n", sum(head));
+  return 0;
+}
+)minic";
+
+int main() {
+  // 1. Front the program: lex, parse, check, build the VDG.
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "frontend failed:\n%s", Error.c_str());
+    return 1;
+  }
+  std::printf("program: %u source lines, %zu VDG nodes, %u alias-related "
+              "outputs\n",
+              AP->program().SourceLines, AP->G.numNodes(),
+              AP->G.countAliasRelatedOutputs());
+
+  // 2. Context-insensitive analysis (the paper's Figure 1).
+  PointsToResult CI = AP->runContextInsensitive();
+  std::printf("context-insensitive: %llu pair instances, %llu transfer "
+              "functions\n",
+              static_cast<unsigned long long>(CI.totalPairInstances()),
+              static_cast<unsigned long long>(CI.Stats.TransferFns));
+
+  // 3. What may each indirect memory operation touch?
+  for (bool Writes : {false, true}) {
+    auto Sites = indirectOpLocations(AP->G, CI, AP->PT, Writes);
+    for (const auto &[Node, Locs] : Sites) {
+      const auto &N = AP->G.node(Node);
+      std::printf("  line %u: indirect %s of {", N.Loc.Line,
+                  Writes ? "write" : "read");
+      bool First = true;
+      for (PathId Loc : Locs) {
+        std::printf("%s%s", First ? "" : ", ",
+                    AP->Paths.str(Loc, AP->program().Names).c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+
+  // 4. Context-sensitive analysis (Figure 5) and the headline comparison.
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  PointsToResult Stripped = CS.stripAssumptions();
+  unsigned Wins = countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT);
+  std::printf("context-sensitive: %llu stripped pair instances; CS beats "
+              "CI at %u indirect operations\n",
+              static_cast<unsigned long long>(
+                  Stripped.totalPairInstances()),
+              Wins);
+
+  // 5. Run the program for real in the interpreter.
+  RunResult R = AP->interpret();
+  std::printf("interpreter: %s, output: %s", R.Ok ? "ok" : R.Error.c_str(),
+              R.Output.c_str());
+  return 0;
+}

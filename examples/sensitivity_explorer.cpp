@@ -1,0 +1,89 @@
+//===- examples/sensitivity_explorer.cpp - CI vs CS demo -------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Section 5 of the paper notes it is "easy to construct programs where
+// context-sensitivity provides an arbitrarily large benefit" even though
+// the benchmarks show none. This example builds exactly such a program —
+// a helper called from two callers with different pointer arguments whose
+// *store effects* cross-pollute under context-insensitive analysis — and
+// shows where the two analyses agree and where they differ.
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/Spurious.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace vdga;
+
+static const char *Source = R"minic(
+int a;
+int b;
+int *pa;
+int *pb;
+
+/* The classic context-sensitivity example: `select` returns whichever
+ * pointer it was handed. Context-insensitive analysis merges both call
+ * sites, so each caller appears to receive both pointers. */
+int *select_ptr(int *p) {
+  return p;
+}
+
+int main() {
+  int x;
+  int y;
+  pa = select_ptr(&a);
+  pb = select_ptr(&b);
+  x = *pa;
+  y = *pb;
+  return x + y;
+}
+)minic";
+
+int main() {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "frontend failed:\n%s", Error.c_str());
+    return 1;
+  }
+
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  PointsToResult Stripped = CS.stripAssumptions();
+
+  auto Show = [&](const char *Label, const PointsToResult &R) {
+    std::printf("%s:\n", Label);
+    for (bool Writes : {false, true}) {
+      for (const auto &[Node, Locs] :
+           indirectOpLocations(AP->G, R, AP->PT, Writes)) {
+        std::printf("  line %u %s: {", AP->G.node(Node).Loc.Line,
+                    Writes ? "write" : "read");
+        bool First = true;
+        for (PathId Loc : Locs) {
+          std::printf("%s%s", First ? "" : ", ",
+                      AP->Paths.str(Loc, AP->program().Names).c_str());
+          First = false;
+        }
+        std::printf("}\n");
+      }
+    }
+  };
+  Show("context-insensitive locations", CI);
+  Show("context-sensitive locations", Stripped);
+
+  SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
+                                         AP->Paths, AP->locations());
+  std::printf("pairs: CI=%llu CS=%llu spurious=%llu (%.1f%%)\n",
+              static_cast<unsigned long long>(S.CITotals.total()),
+              static_cast<unsigned long long>(S.CSTotals.total()),
+              static_cast<unsigned long long>(S.SpuriousTotal),
+              S.SpuriousPercent);
+  std::printf("indirect ops where CS is strictly more precise: %u\n",
+              countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT));
+  std::printf("(CS wins at *pa / *pb here; on the paper's benchmark "
+              "corpus it wins nowhere)\n");
+  return 0;
+}

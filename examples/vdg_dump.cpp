@@ -1,0 +1,49 @@
+//===- examples/vdg_dump.cpp - IR inspection -------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Dumps the VDG of a corpus program (text to stdout; pass `--dot` for
+// Graphviz). Usage: vdg_dump [program-name] [--dot]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "vdg/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vdga;
+
+int main(int argc, char **argv) {
+  const char *Name = "span";
+  bool Dot = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--dot") == 0)
+      Dot = true;
+    else
+      Name = argv[I];
+  }
+
+  const CorpusProgram *Prog = findCorpusProgram(Name);
+  if (!Prog) {
+    std::fprintf(stderr, "unknown corpus program '%s'; known programs:\n",
+                 Name);
+    for (const CorpusProgram &P : corpus())
+      std::fprintf(stderr, "  %s - %s\n", P.Name, P.Description);
+    return 1;
+  }
+
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Prog->Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "frontend failed:\n%s", Error.c_str());
+    return 1;
+  }
+
+  std::string Out = Dot ? printGraphDot(AP->G, AP->program(), AP->Paths)
+                        : printGraph(AP->G, AP->program(), AP->Paths);
+  std::fputs(Out.c_str(), stdout);
+  return 0;
+}

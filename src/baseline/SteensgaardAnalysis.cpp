@@ -1,0 +1,164 @@
+//===- baseline/SteensgaardAnalysis.cpp -----------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/SteensgaardAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace vdga;
+
+namespace {
+constexpr unsigned NoPointee = UINT32_MAX;
+} // namespace
+
+unsigned SteensgaardSolver::find(unsigned X) {
+  while (Parent[X] != X) {
+    Parent[X] = Parent[Parent[X]];
+    X = Parent[X];
+  }
+  return X;
+}
+
+void SteensgaardSolver::unite(unsigned A, unsigned B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  if (Members[A].size() < Members[B].size())
+    std::swap(A, B);
+  Parent[B] = A;
+  Members[A].insert(Members[A].end(), Members[B].begin(), Members[B].end());
+  Members[B].clear();
+
+  unsigned PA = Pointee[A];
+  unsigned PB = Pointee[B];
+  Pointee[B] = NoPointee;
+  if (PA == NoPointee) {
+    Pointee[A] = PB;
+    return;
+  }
+  if (PB != NoPointee)
+    unite(PA, PB); // Steensgaard's recursive join.
+}
+
+unsigned SteensgaardSolver::pointeeOf(unsigned Class) {
+  Class = find(Class);
+  if (Pointee[Class] == NoPointee) {
+    unsigned Fresh = static_cast<unsigned>(Parent.size());
+    Parent.push_back(Fresh);
+    Pointee.push_back(NoPointee);
+    Members.emplace_back();
+    Pointee[Class] = Fresh;
+  }
+  return find(Pointee[Class]);
+}
+
+void SteensgaardSolver::joinPointees(unsigned A, unsigned B) {
+  unite(pointeeOf(A), pointeeOf(B));
+}
+
+SteensgaardResult SteensgaardSolver::solve() {
+  size_t NumOutputs = G.numOutputs();
+  size_t NumBases = Paths.numBases();
+  Members.assign(NumOutputs + NumBases, {});
+
+  Parent.assign(NumOutputs + NumBases, 0);
+  Pointee.assign(NumOutputs + NumBases, NoPointee);
+  for (unsigned I = 0; I < Parent.size(); ++I)
+    Parent[I] = I;
+  for (size_t B = 0; B < NumBases; ++B)
+    Members[NumOutputs + B].push_back(static_cast<BaseLocId>(B));
+
+  // Intraprocedural constraints.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    switch (Node.Kind) {
+    case NodeKind::ConstPath: {
+      BaseLocId B = Paths.baseOf(Node.Path);
+      unite(pointeeOf(outputNode(G.outputOf(N))), baseNode(B));
+      break;
+    }
+    case NodeKind::Lookup: {
+      unsigned Loc = outputNode(G.producerOf(N, 0));
+      unsigned Obj = pointeeOf(Loc);
+      joinPointees(outputNode(G.outputOf(N)), Obj);
+      break;
+    }
+    case NodeKind::Update: {
+      unsigned Loc = outputNode(G.producerOf(N, 0));
+      unsigned Obj = pointeeOf(Loc);
+      joinPointees(Obj, outputNode(G.producerOf(N, 2)));
+      break;
+    }
+    case NodeKind::Offset:
+    case NodeKind::PtrArith:
+      joinPointees(outputNode(G.outputOf(N)),
+                   outputNode(G.producerOf(N, 0)));
+      break;
+    case NodeKind::Merge:
+      for (size_t I = 0; I < Node.Inputs.size(); ++I)
+        joinPointees(outputNode(G.outputOf(N)),
+                     outputNode(G.producerOf(N, static_cast<unsigned>(I))));
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Interprocedural constraints, iterated because unification may reveal
+  // new indirect callees.
+  std::map<NodeId, std::set<const FuncDecl *>> Done;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      const Node &CallNode = G.node(N);
+      if (CallNode.Kind != NodeKind::Call)
+        continue;
+      unsigned FnClass =
+          pointeeOf(outputNode(G.producerOf(N, 0)));
+      // Copy: unite below may grow/merge member lists.
+      std::vector<BaseLocId> Fns = Members[find(FnClass)];
+      for (BaseLocId B : Fns) {
+        const BaseLocation &Base = Paths.base(B);
+        if (Base.Kind != BaseLocKind::Function)
+          continue;
+        const FunctionInfo *Info = G.functionInfo(Base.Fn);
+        if (!Info || !Done[N].insert(Base.Fn).second)
+          continue;
+        Changed = true;
+        unsigned NumActuals =
+            static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+        for (unsigned I = 0; I < std::min(NumActuals, Info->NumParams); ++I)
+          joinPointees(outputNode(G.outputOf(Info->EntryNode, I)),
+                       outputNode(G.producerOf(N, I + 1)));
+        const Node &RetNode = G.node(Info->ReturnNode);
+        if (RetNode.HasValue && CallNode.HasResult)
+          joinPointees(outputNode(G.outputOf(N, 0)),
+                       outputNode(G.producerOf(Info->ReturnNode, 0)));
+      }
+    }
+  }
+
+  // Extract per-output pointee sets.
+  SteensgaardResult R;
+  R.Pointees.resize(NumOutputs);
+  std::set<unsigned> Classes;
+  for (OutputId O = 0; O < NumOutputs; ++O) {
+    unsigned C = find(outputNode(O));
+    Classes.insert(C);
+    if (Pointee[C] == NoPointee)
+      continue;
+    std::vector<BaseLocId> Ptees = Members[find(Pointee[C])];
+    std::sort(Ptees.begin(), Ptees.end(),
+              [](BaseLocId A, BaseLocId B) { return index(A) < index(B); });
+    R.Pointees[O] = std::move(Ptees);
+  }
+  R.NumClasses = Classes.size();
+  return R;
+}

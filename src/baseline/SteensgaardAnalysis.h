@@ -1,0 +1,75 @@
+//===- baseline/SteensgaardAnalysis.h - Unification baseline ---*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Steensgaard-style unification points-to analysis: near-linear,
+/// flow- and field-insensitive, with equality constraints instead of
+/// subset constraints. Included as the fast-and-coarse end of the
+/// precision spectrum the paper's benchmarks sit on; the baseline bench
+/// contrasts its per-operation location counts against Weihl, CI and CS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_BASELINE_STEENSGAARDANALYSIS_H
+#define VDGA_BASELINE_STEENSGAARDANALYSIS_H
+
+#include "pointsto/Solver.h"
+
+namespace vdga {
+
+/// Result of the unification analysis: for every VDG output, the set of
+/// base locations its class may point to.
+class SteensgaardResult {
+public:
+  /// Base locations the value on \p Out may reference (collapsed to whole
+  /// objects: the analysis is field-insensitive).
+  const std::vector<BaseLocId> &pointees(OutputId Out) const {
+    static const std::vector<BaseLocId> Empty;
+    return Out < Pointees.size() ? Pointees[Out] : Empty;
+  }
+
+  /// Number of distinct equivalence classes built (a size metric).
+  size_t NumClasses = 0;
+
+private:
+  friend class SteensgaardSolver;
+  std::vector<std::vector<BaseLocId>> Pointees;
+};
+
+/// Runs the unification analysis over a built VDG.
+class SteensgaardSolver {
+public:
+  SteensgaardSolver(const Graph &G, const PathTable &Paths)
+      : G(G), Paths(Paths) {}
+
+  SteensgaardResult solve();
+
+private:
+  // Union-find over abstract nodes: one per VDG output, one per base
+  // location, plus lazily created pointee placeholders.
+  unsigned find(unsigned X);
+  void unite(unsigned A, unsigned B);
+  /// The class a class points to, creating a placeholder when absent.
+  unsigned pointeeOf(unsigned Class);
+  /// join of Steensgaard: unify the pointees of two classes.
+  void joinPointees(unsigned A, unsigned B);
+
+  unsigned outputNode(OutputId O) const { return O; }
+  unsigned baseNode(BaseLocId B) const {
+    return static_cast<unsigned>(G.numOutputs()) + index(B);
+  }
+
+  const Graph &G;
+  const PathTable &Paths;
+  std::vector<unsigned> Parent;
+  std::vector<unsigned> Pointee; ///< Per class representative, or ~0u.
+  /// Base-location members per class, merged small-into-large on union.
+  std::vector<std::vector<BaseLocId>> Members;
+};
+
+} // namespace vdga
+
+#endif // VDGA_BASELINE_STEENSGAARDANALYSIS_H

@@ -1,0 +1,195 @@
+//===- baseline/WeihlAnalysis.cpp -----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/WeihlAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+WeihlResult WeihlSolver::solve() {
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (G.node(N).Kind == NodeKind::Lookup)
+      Lookups.push_back(N);
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::ConstPath)
+      continue;
+    flowValue(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path));
+  }
+
+  while (!Worklist.empty() || !StoreWorklist.empty()) {
+    if (!StoreWorklist.empty()) {
+      PairId Pair = StoreWorklist.front();
+      StoreWorklist.pop_front();
+      ++Result.Stats.TransferFns;
+      // A new store fact is visible at every lookup in the program.
+      for (NodeId L : Lookups) {
+        const PointsToPair &S = PT.pair(Pair);
+        for (PairId LId : Result.Values.pairs(G.producerOf(L, 0))) {
+          const PointsToPair &LP = PT.pair(LId);
+          if (LP.Path != PathTable::emptyPath())
+            continue;
+          if (Paths.dom(LP.Referent, S.Path))
+            flowValue(G.outputOf(L),
+                      PT.intern(Paths.subtractPrefix(S.Path, LP.Referent),
+                                S.Referent));
+        }
+      }
+      continue;
+    }
+
+    auto [In, Pair] = Worklist.front();
+    Worklist.pop_front();
+    ++Result.Stats.TransferFns;
+    flowIn(In, Pair);
+  }
+  return std::move(Result);
+}
+
+void WeihlSolver::flowValue(OutputId Out, PairId Pair) {
+  ++Result.Stats.MeetOps;
+  if (!Result.Values.insert(Out, Pair))
+    return;
+  ++Result.Stats.PairsInserted;
+  for (InputId Consumer : G.output(Out).Consumers)
+    Worklist.emplace_back(Consumer, Pair);
+}
+
+void WeihlSolver::flowStore(PairId Pair) {
+  ++Result.Stats.MeetOps;
+  if (!StoreSet.insert(Pair).second)
+    return;
+  ++Result.Stats.PairsInserted;
+  Result.StoreList.push_back(Pair);
+  StoreWorklist.push_back(Pair);
+}
+
+void WeihlSolver::registerCallee(NodeId Call, const FunctionInfo *Info) {
+  auto &List = CalleesOf[Call];
+  if (std::find(List.begin(), List.end(), Info) != List.end())
+    return;
+  List.push_back(Info);
+  CallersOf[Info->Fn].push_back(Call);
+
+  const Node &CallNode = G.node(Call);
+  unsigned NumActuals = static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+  for (unsigned I = 0; I < std::min(NumActuals, Info->NumParams); ++I)
+    for (PairId Pair : Result.Values.pairs(G.producerOf(Call, I + 1)))
+      flowValue(G.outputOf(Info->EntryNode, I), Pair);
+
+  const Node &RetNode = G.node(Info->ReturnNode);
+  if (RetNode.HasValue && CallNode.HasResult)
+    for (PairId Pair : Result.Values.pairs(G.producerOf(Info->ReturnNode, 0)))
+      flowValue(G.outputOf(Call, 0), Pair);
+}
+
+void WeihlSolver::flowIn(InputId In, PairId Pair) {
+  const InputInfo &Info = G.input(In);
+  NodeId N = Info.Node;
+  unsigned Idx = Info.Index;
+  const Node &Node = G.node(N);
+  const PointsToPair &P = PT.pair(Pair);
+
+  switch (Node.Kind) {
+  case NodeKind::Lookup: {
+    if (Idx != 0 || P.Path != PathTable::emptyPath())
+      return; // Store edges are ignored; the global store is program-wide.
+    for (PairId SId : Result.StoreList) {
+      const PointsToPair &S = PT.pair(SId);
+      if (Paths.dom(P.Referent, S.Path))
+        flowValue(G.outputOf(N),
+                  PT.intern(Paths.subtractPrefix(S.Path, P.Referent),
+                            S.Referent));
+    }
+    return;
+  }
+  case NodeKind::Update: {
+    // loc (0) x value (2) pairs generate global store facts; store input
+    // (1) is ignored (there is no kill and no threading).
+    if (Idx == 0) {
+      if (P.Path != PathTable::emptyPath())
+        return;
+      for (PairId VId : Result.Values.pairs(G.producerOf(N, 2))) {
+        const PointsToPair &V = PT.pair(VId);
+        flowStore(PT.intern(Paths.appendPath(P.Referent, V.Path),
+                            V.Referent));
+      }
+      return;
+    }
+    if (Idx == 2) {
+      for (PairId LId : Result.Values.pairs(G.producerOf(N, 0))) {
+        const PointsToPair &L = PT.pair(LId);
+        if (L.Path != PathTable::emptyPath())
+          continue;
+        flowStore(PT.intern(Paths.appendPath(L.Referent, P.Path),
+                            P.Referent));
+      }
+      return;
+    }
+    return;
+  }
+  case NodeKind::Offset: {
+    if (P.Path != PathTable::emptyPath())
+      return;
+    if (Node.OpIsNoop) {
+      flowValue(G.outputOf(N), Pair);
+      return;
+    }
+    flowValue(G.outputOf(N),
+              PT.intern(PathTable::emptyPath(),
+                        Paths.append(P.Referent, Node.Op)));
+    return;
+  }
+  case NodeKind::Merge:
+    flowValue(G.outputOf(N), Pair);
+    return;
+  case NodeKind::PtrArith:
+    if (Idx == 0)
+      flowValue(G.outputOf(N), Pair);
+    return;
+  case NodeKind::ScalarOp:
+    return;
+  case NodeKind::Call: {
+    unsigned LastIdx = static_cast<unsigned>(Node.Inputs.size()) - 1;
+    if (Idx == 0) {
+      if (P.Path != PathTable::emptyPath() || !Paths.isLocation(P.Referent))
+        return;
+      const BaseLocation &Base = Paths.base(Paths.baseOf(P.Referent));
+      if (Base.Kind != BaseLocKind::Function)
+        return;
+      if (const FunctionInfo *FInfo = G.functionInfo(Base.Fn))
+        registerCallee(N, FInfo);
+      return;
+    }
+    if (Idx == LastIdx)
+      return; // Store edges carry nothing here.
+    unsigned ActualIdx = Idx - 1;
+    for (const FunctionInfo *FInfo : CalleesOf[N])
+      if (ActualIdx < FInfo->NumParams)
+        flowValue(G.outputOf(FInfo->EntryNode, ActualIdx), Pair);
+    return;
+  }
+  case NodeKind::Return: {
+    if (!Node.HasValue || Idx != 0)
+      return;
+    auto It = CallersOf.find(Node.Owner);
+    if (It == CallersOf.end())
+      return;
+    for (NodeId Call : It->second)
+      if (G.node(Call).HasResult)
+        flowValue(G.outputOf(Call, 0), Pair);
+    return;
+  }
+  case NodeKind::ConstScalar:
+  case NodeKind::ConstPath:
+  case NodeKind::Entry:
+  case NodeKind::InitStore:
+    return;
+  }
+}

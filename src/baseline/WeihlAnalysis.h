@@ -1,0 +1,79 @@
+//===- baseline/WeihlAnalysis.h - Flow-insensitive baseline ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Weihl-style program-wide, flow-insensitive points-to analysis
+/// [Wei80]: the baseline the paper's introduction contrasts against. One
+/// global store set serves every memory operation (no kill, no strong
+/// updates, no program-point distinction for memory facts); value outputs
+/// keep their expression structure. Strictly coarser than the Figure 1
+/// analysis, and cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_BASELINE_WEIHLANALYSIS_H
+#define VDGA_BASELINE_WEIHLANALYSIS_H
+
+#include "pointsto/Solver.h"
+
+namespace vdga {
+
+/// Result of the flow-insensitive analysis: per-output value pair sets plus
+/// the single program-wide store set.
+class WeihlResult {
+public:
+  explicit WeihlResult(size_t NumOutputs) : Values(NumOutputs) {}
+
+  const std::vector<PairId> &valuePairs(OutputId Out) const {
+    return Values.pairs(Out);
+  }
+  const std::vector<PairId> &globalStore() const { return StoreList; }
+
+  /// Distinct referent locations a lookup/update at \p LocOut may touch.
+  std::vector<PathId> pointerReferents(OutputId LocOut,
+                                       const PairTable &PT) const {
+    return Values.pointerReferents(LocOut, PT);
+  }
+
+  SolveStats Stats;
+
+private:
+  friend class WeihlSolver;
+  PointsToResult Values;
+  std::vector<PairId> StoreList;
+};
+
+/// Runs the flow-insensitive analysis over a built VDG.
+class WeihlSolver {
+public:
+  WeihlSolver(const Graph &G, PathTable &Paths, PairTable &PT)
+      : G(G), Paths(Paths), PT(PT), Result(G.numOutputs()) {}
+
+  WeihlResult solve();
+
+private:
+  void flowValue(OutputId Out, PairId Pair);
+  void flowStore(PairId Pair);
+  void flowIn(InputId In, PairId Pair);
+  void registerCallee(NodeId Call, const FunctionInfo *Info);
+
+  const Graph &G;
+  PathTable &Paths;
+  PairTable &PT;
+  WeihlResult Result;
+
+  std::unordered_set<PairId> StoreSet;
+  std::deque<std::pair<InputId, PairId>> Worklist;
+  /// Store-pair events replayed against every lookup in the program.
+  std::deque<PairId> StoreWorklist;
+  std::vector<NodeId> Lookups;
+  std::map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
+  std::map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+};
+
+} // namespace vdga
+
+#endif // VDGA_BASELINE_WEIHLANALYSIS_H

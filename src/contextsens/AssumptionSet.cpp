@@ -1,0 +1,63 @@
+//===- contextsens/AssumptionSet.cpp --------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/AssumptionSet.h"
+
+#include <algorithm>
+
+using namespace vdga;
+
+AssumptionSetTable::AssumptionSetTable() {
+  Sets.emplace_back(); // Id 0: the empty set.
+  Index.emplace(std::vector<Assumption>(), EmptyAssumSet);
+}
+
+AssumSetId AssumptionSetTable::intern(std::vector<Assumption> Elems) {
+  std::sort(Elems.begin(), Elems.end());
+  Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+  auto It = Index.find(Elems);
+  if (It != Index.end())
+    return It->second;
+  auto Id = static_cast<AssumSetId>(Sets.size());
+  Index.emplace(Elems, Id);
+  Sets.push_back(std::move(Elems));
+  return Id;
+}
+
+AssumSetId AssumptionSetTable::singleton(OutputId Formal, PairId Pair) {
+  return intern({Assumption{Formal, Pair}});
+}
+
+AssumSetId AssumptionSetTable::unionSets(AssumSetId A, AssumSetId B) {
+  if (A == B || B == EmptyAssumSet)
+    return A;
+  if (A == EmptyAssumSet)
+    return B;
+  if (A > B)
+    std::swap(A, B);
+  auto Key = std::make_pair(A, B);
+  auto It = UnionCache.find(Key);
+  if (It != UnionCache.end())
+    return It->second;
+
+  std::vector<Assumption> Merged;
+  Merged.reserve(Sets[A].size() + Sets[B].size());
+  std::set_union(Sets[A].begin(), Sets[A].end(), Sets[B].begin(),
+                 Sets[B].end(), std::back_inserter(Merged));
+  AssumSetId Id = intern(std::move(Merged));
+  UnionCache.emplace(Key, Id);
+  return Id;
+}
+
+bool AssumptionSetTable::isSubset(AssumSetId A, AssumSetId B) const {
+  if (A == B || A == EmptyAssumSet)
+    return true;
+  const auto &SA = Sets[A];
+  const auto &SB = Sets[B];
+  if (SA.size() > SB.size())
+    return false;
+  return std::includes(SB.begin(), SB.end(), SA.begin(), SA.end());
+}

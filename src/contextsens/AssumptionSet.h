@@ -1,0 +1,83 @@
+//===- contextsens/AssumptionSet.h - Qualified-pair assumptions -*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The context-sensitive analysis (Section 4) propagates *qualified*
+/// points-to pairs: an ordinary pair plus a set of assumptions, each of
+/// which binds a points-to pair to a formal-parameter output of the
+/// enclosing procedure ("this pair holds here if, on entry, pair q held on
+/// formal f"). Assumption sets are interned as sorted id vectors; set id 0
+/// is the empty set, so unqualified facts are cheap.
+///
+/// The subsumption rule of Section 4.2 — a qualified pair (p, B) is
+/// redundant wherever (p, A) with A subset-of B already holds — is
+/// implemented by the per-output stores in the solver; this file provides
+/// the set algebra (union, subset, singleton).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CONTEXTSENS_ASSUMPTIONSET_H
+#define VDGA_CONTEXTSENS_ASSUMPTIONSET_H
+
+#include "pointsto/PointsToPair.h"
+#include "vdg/Graph.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vdga {
+
+/// One assumption: points-to pair \c Pair holds on formal output \c Formal
+/// at procedure entry.
+struct Assumption {
+  OutputId Formal = InvalidId;
+  PairId Pair = 0;
+
+  friend bool operator<(const Assumption &A, const Assumption &B) {
+    return A.Formal != B.Formal ? A.Formal < B.Formal : A.Pair < B.Pair;
+  }
+  friend bool operator==(const Assumption &A, const Assumption &B) {
+    return A.Formal == B.Formal && A.Pair == B.Pair;
+  }
+};
+
+/// Dense id of an interned assumption set; 0 is the empty set.
+using AssumSetId = uint32_t;
+inline constexpr AssumSetId EmptyAssumSet = 0;
+
+/// Interns assumption sets as sorted, deduplicated vectors.
+class AssumptionSetTable {
+public:
+  AssumptionSetTable();
+
+  /// Interns the set containing exactly \p Elems (need not be sorted).
+  AssumSetId intern(std::vector<Assumption> Elems);
+
+  /// The singleton {(Formal, Pair)}.
+  AssumSetId singleton(OutputId Formal, PairId Pair);
+
+  /// Set union, interned and memoized.
+  AssumSetId unionSets(AssumSetId A, AssumSetId B);
+
+  /// True if A is a subset of B.
+  bool isSubset(AssumSetId A, AssumSetId B) const;
+
+  const std::vector<Assumption> &elements(AssumSetId Id) const {
+    return Sets[Id];
+  }
+  size_t sizeOf(AssumSetId Id) const { return Sets[Id].size(); }
+  size_t numSets() const { return Sets.size(); }
+
+private:
+  std::vector<std::vector<Assumption>> Sets;
+  std::map<std::vector<Assumption>, AssumSetId> Index;
+  std::map<std::pair<AssumSetId, AssumSetId>, AssumSetId> UnionCache;
+};
+
+} // namespace vdga
+
+#endif // VDGA_CONTEXTSENS_ASSUMPTIONSET_H

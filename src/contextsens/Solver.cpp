@@ -1,0 +1,506 @@
+//===- contextsens/Solver.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+std::string ContextSensResult::renderQualified(
+    OutputId Out, const PairTable &PT, const PathTable &Paths,
+    const StringInterner &Names, const AssumptionSetTable &AT) const {
+  std::string S;
+  for (const auto &[Pair, Sets] : QP[Out]) {
+    for (AssumSetId A : Sets) {
+      S += PT.str(Pair, Paths, Names);
+      const auto &Elems = AT.elements(A);
+      if (!Elems.empty()) {
+        S += " if {";
+        for (size_t I = 0; I < Elems.size(); ++I) {
+          if (I)
+            S += ", ";
+          S += "o" + std::to_string(Elems[I].Formal) + ": " +
+               PT.str(Elems[I].Pair, Paths, Names);
+        }
+        S += "}";
+      }
+      S += "\n";
+    }
+  }
+  return S;
+}
+
+PointsToResult ContextSensResult::stripAssumptions() const {
+  PointsToResult R(QP.size());
+  for (OutputId O = 0; O < QP.size(); ++O)
+    for (const auto &[Pair, Sets] : QP[O])
+      R.insert(O, Pair);
+  return R;
+}
+
+ContextSensSolver::ContextSensSolver(const Graph &G, PathTable &Paths,
+                                     PairTable &PT, AssumptionSetTable &AT,
+                                     const PointsToResult &CI,
+                                     ContextSensOptions Options)
+    : G(G), Paths(Paths), PT(PT), AT(AT), CI(CI), Options(Options),
+      Result(G.numOutputs()) {
+  // Precompute the CI location sets of every memory operation for the
+  // Section 4.2 prunings.
+  if (Options.PruneSingleLocation || Options.PruneStrongUpdates) {
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      NodeKind K = G.node(N).Kind;
+      if (K != NodeKind::Lookup && K != NodeKind::Update)
+        continue;
+      CILocSets.emplace(N, CI.pointerReferents(G.producerOf(N, 0), PT));
+    }
+  }
+}
+
+bool ContextSensSolver::dropLocAssumptions(NodeId N) const {
+  if (!Options.PruneSingleLocation)
+    return false;
+  auto It = CILocSets.find(N);
+  return It != CILocSets.end() && It->second.size() <= 1;
+}
+
+bool ContextSensSolver::ciNeverStronglyOverwrites(NodeId N, PathId P) const {
+  if (!Options.PruneStrongUpdates)
+    return false;
+  auto It = CILocSets.find(N);
+  if (It == CILocSets.end())
+    return false;
+  for (PathId Loc : It->second)
+    if (Paths.strongDom(Loc, P))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+ContextSensResult ContextSensSolver::solve() {
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::ConstPath)
+      continue;
+    flowOut(G.outputOf(N),
+            PT.intern(PathTable::emptyPath(), Node.Path), EmptyAssumSet);
+  }
+
+  while (!Worklist.empty()) {
+    Event E = Worklist.front();
+    Worklist.pop_front();
+    ++Result.Stats.TransferFns;
+    if (Options.MaxTransferFns &&
+        Result.Stats.TransferFns > Options.MaxTransferFns) {
+      Result.Completed = false;
+      break;
+    }
+    flowIn(E);
+  }
+  return std::move(Result);
+}
+
+bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum) {
+  auto &Sets = Result.QP[Out][Pair];
+  if (Options.UseSubsumption) {
+    for (AssumSetId Existing : Sets)
+      if (AT.isSubset(Existing, Assum))
+        return false;
+    // Remove supersets of the incoming set.
+    Sets.erase(std::remove_if(Sets.begin(), Sets.end(),
+                              [&](AssumSetId Existing) {
+                                return AT.isSubset(Assum, Existing);
+                              }),
+               Sets.end());
+  } else if (std::find(Sets.begin(), Sets.end(), Assum) != Sets.end()) {
+    return false;
+  }
+  Sets.push_back(Assum);
+  return true;
+}
+
+void ContextSensSolver::flowOut(OutputId Out, PairId Pair, AssumSetId Assum) {
+  ++Result.Stats.MeetOps;
+  if (!insert(Out, Pair, Assum))
+    return;
+  ++Result.Stats.PairsInserted;
+  for (InputId Consumer : G.output(Out).Consumers)
+    Worklist.push_back({Consumer, Pair, Assum});
+}
+
+void ContextSensSolver::flowIn(const Event &E) {
+  const InputInfo &Info = G.input(E.In);
+  NodeId N = Info.Node;
+  unsigned Idx = Info.Index;
+
+  switch (G.node(N).Kind) {
+  case NodeKind::Lookup:
+    flowLookup(N, Idx, E.Pair, E.Assum);
+    return;
+  case NodeKind::Update:
+    flowUpdate(N, Idx, E.Pair, E.Assum);
+    return;
+  case NodeKind::Offset:
+    flowOffset(N, E.Pair, E.Assum);
+    return;
+  case NodeKind::Merge:
+    flowOut(G.outputOf(N), E.Pair, E.Assum);
+    return;
+  case NodeKind::PtrArith:
+    if (Idx == 0)
+      flowOut(G.outputOf(N), E.Pair, E.Assum);
+    return;
+  case NodeKind::ScalarOp:
+    return;
+  case NodeKind::Call:
+    flowCall(N, Idx, E.Pair, E.Assum);
+    return;
+  case NodeKind::Return:
+    flowReturn(N, Idx, E.Pair, E.Assum);
+    return;
+  case NodeKind::ConstScalar:
+  case NodeKind::ConstPath:
+  case NodeKind::Entry:
+  case NodeKind::InitStore:
+    assert(false && "node kind takes no inputs");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Memory operations (Figure 5)
+//===----------------------------------------------------------------------===//
+
+void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
+                                   AssumSetId A) {
+  OutputId Out = G.outputOf(N);
+  const PointsToPair &P = PT.pair(Pair);
+  bool DropLoc = dropLocAssumptions(N);
+
+  if (InIdx == 0) {
+    if (P.Path != PathTable::emptyPath())
+      return;
+    PathId Loc = P.Referent;
+    AssumSetId AL = DropLoc ? EmptyAssumSet : A;
+    for (const auto &[SPairId, SSets] : qualifiedAtInput(N, 1)) {
+      const PointsToPair &S = PT.pair(SPairId);
+      if (!Paths.dom(Loc, S.Path))
+        continue;
+      PairId OutPair =
+          PT.intern(Paths.subtractPrefix(S.Path, Loc), S.Referent);
+      for (AssumSetId AS : SSets)
+        flowOut(Out, OutPair, AT.unionSets(AL, AS));
+    }
+    return;
+  }
+
+  assert(InIdx == 1 && "lookup has two inputs");
+  for (const auto &[LPairId, LSets] : qualifiedAtInput(N, 0)) {
+    const PointsToPair &L = PT.pair(LPairId);
+    if (L.Path != PathTable::emptyPath())
+      continue;
+    if (!Paths.dom(L.Referent, P.Path))
+      continue;
+    PairId OutPair =
+        PT.intern(Paths.subtractPrefix(P.Path, L.Referent), P.Referent);
+    if (DropLoc) {
+      flowOut(Out, OutPair, A);
+      continue;
+    }
+    for (AssumSetId AL : LSets)
+      flowOut(Out, OutPair, AT.unionSets(AL, A));
+  }
+}
+
+void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
+                                   AssumSetId A) {
+  OutputId Out = G.outputOf(N);
+  const PointsToPair &P = PT.pair(Pair);
+  bool DropLoc = dropLocAssumptions(N);
+
+  switch (InIdx) {
+  case 0: {
+    if (P.Path != PathTable::emptyPath())
+      return;
+    PathId Loc = P.Referent;
+    AssumSetId AL = DropLoc ? EmptyAssumSet : A;
+    // (a) Write every known value at this location.
+    for (const auto &[VPairId, VSets] : qualifiedAtInput(N, 2)) {
+      const PointsToPair &V = PT.pair(VPairId);
+      PairId OutPair =
+          PT.intern(Paths.appendPath(Loc, V.Path), V.Referent);
+      for (AssumSetId AV : VSets)
+        flowOut(Out, OutPair, AT.unionSets(AL, AV));
+    }
+    // (b) Pass through store pairs this location does not strongly
+    // overwrite. Pairs the CI analysis proves never strongly overwritten
+    // here were already propagated assumption-free by the store rule.
+    for (const auto &[SPairId, SSets] : qualifiedAtInput(N, 1)) {
+      const PointsToPair &S = PT.pair(SPairId);
+      if (ciNeverStronglyOverwrites(N, S.Path))
+        continue; // Handled without location assumptions.
+      if (Paths.strongDom(Loc, S.Path))
+        continue;
+      for (AssumSetId AS : SSets)
+        flowOut(Out, SPairId, AT.unionSets(AL, AS));
+    }
+    return;
+  }
+  case 1: {
+    // New store pair.
+    if (ciNeverStronglyOverwrites(N, P.Path)) {
+      // Optimization (b): provably unmodified; no location assumptions.
+      flowOut(Out, Pair, A);
+      return;
+    }
+    AssumSetId AS = A;
+    for (const auto &[LPairId, LSets] : qualifiedAtInput(N, 0)) {
+      const PointsToPair &L = PT.pair(LPairId);
+      if (L.Path != PathTable::emptyPath())
+        continue;
+      if (Paths.strongDom(L.Referent, P.Path))
+        continue;
+      if (DropLoc) {
+        flowOut(Out, Pair, AS);
+        continue;
+      }
+      for (AssumSetId AL : LSets)
+        flowOut(Out, Pair, AT.unionSets(AL, AS));
+    }
+    return;
+  }
+  case 2: {
+    // New value pair.
+    AssumSetId AV = A;
+    for (const auto &[LPairId, LSets] : qualifiedAtInput(N, 0)) {
+      const PointsToPair &L = PT.pair(LPairId);
+      if (L.Path != PathTable::emptyPath())
+        continue;
+      PairId OutPair =
+          PT.intern(Paths.appendPath(L.Referent, P.Path), P.Referent);
+      if (DropLoc) {
+        flowOut(Out, OutPair, AV);
+        continue;
+      }
+      for (AssumSetId AL : LSets)
+        flowOut(Out, OutPair, AT.unionSets(AL, AV));
+    }
+    return;
+  }
+  default:
+    assert(false && "update has three inputs");
+  }
+}
+
+void ContextSensSolver::flowOffset(NodeId N, PairId Pair, AssumSetId A) {
+  const Node &Node = G.node(N);
+  const PointsToPair &P = PT.pair(Pair);
+  if (P.Path != PathTable::emptyPath())
+    return;
+  if (Node.OpIsNoop) {
+    flowOut(G.outputOf(N), Pair, A);
+    return;
+  }
+  PathId NewRef = Paths.append(P.Referent, Node.Op);
+  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef), A);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls and returns (Figure 5)
+//===----------------------------------------------------------------------===//
+
+OutputId ContextSensSolver::actualForFormal(NodeId Call,
+                                            OutputId Formal) const {
+  const OutputInfo &Info = G.output(Formal);
+  const Node &EntryNode = G.node(Info.Node);
+  assert(EntryNode.Kind == NodeKind::Entry &&
+         "assumption formal is not an entry output");
+  const Node &CallNode = G.node(Call);
+  unsigned NumFormals =
+      static_cast<unsigned>(EntryNode.Outputs.size()) - 1;
+  unsigned NumActuals = static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+  if (Info.Index == NumFormals) // Store formal <- call's store input.
+    return G.producerOf(Call,
+                        static_cast<unsigned>(CallNode.Inputs.size()) - 1);
+  if (Info.Index >= NumActuals)
+    return InvalidId;
+  return G.producerOf(Call, Info.Index + 1);
+}
+
+void ContextSensSolver::propagateReturn(NodeId Call, OutputId Target,
+                                        PairId Pair, AssumSetId Assum) {
+  const std::vector<Assumption> &Elems = AT.elements(Assum);
+  if (Elems.empty()) {
+    flowOut(Target, Pair, EmptyAssumSet);
+    return;
+  }
+
+  // For each assumption, the candidate caller-side assumption sets that
+  // satisfy it at this call site.
+  std::vector<const std::vector<AssumSetId> *> Choices;
+  Choices.reserve(Elems.size());
+  for (const Assumption &Asm : Elems) {
+    OutputId Actual = actualForFormal(Call, Asm.Formal);
+    if (Actual == InvalidId)
+      return; // Arity mismatch: cannot be satisfied here.
+    const auto &QPActual = Result.QP[Actual];
+    auto It = QPActual.find(Asm.Pair);
+    if (It == QPActual.end())
+      return; // Assumption not satisfied at this call site (yet).
+    Choices.push_back(&It->second);
+  }
+
+  // Cartesian product of the choices; union each combination.
+  std::vector<AssumSetId> Produced;
+  std::vector<size_t> Cursor(Choices.size(), 0);
+  for (;;) {
+    AssumSetId Combined = EmptyAssumSet;
+    for (size_t I = 0; I < Choices.size(); ++I)
+      Combined = AT.unionSets(Combined, (*Choices[I])[Cursor[I]]);
+    if (std::find(Produced.begin(), Produced.end(), Combined) ==
+        Produced.end()) {
+      Produced.push_back(Combined);
+      flowOut(Target, Pair, Combined);
+    }
+    // Advance the mixed-radix cursor.
+    size_t I = 0;
+    for (; I < Cursor.size(); ++I) {
+      if (++Cursor[I] < Choices[I]->size())
+        break;
+      Cursor[I] = 0;
+    }
+    if (I == Cursor.size())
+      return;
+  }
+}
+
+void ContextSensSolver::replayCalleeReturns(NodeId Call,
+                                            const FunctionInfo *Info) {
+  const Node &CallNode = G.node(Call);
+  const Node &RetNode = G.node(Info->ReturnNode);
+
+  if (RetNode.HasValue && CallNode.HasResult) {
+    OutputId Target = G.outputOf(Call, 0);
+    for (const auto &[Pair, Sets] :
+         qualifiedAtInput(Info->ReturnNode, 0))
+      for (AssumSetId A : Sets)
+        propagateReturn(Call, Target, Pair, A);
+  }
+  unsigned RetStoreIdx = RetNode.HasValue ? 1 : 0;
+  OutputId StoreTarget = G.outputOf(Call, CallNode.HasResult ? 1 : 0);
+  for (const auto &[Pair, Sets] :
+       qualifiedAtInput(Info->ReturnNode, RetStoreIdx))
+    for (AssumSetId A : Sets)
+      propagateReturn(Call, StoreTarget, Pair, A);
+}
+
+void ContextSensSolver::propagateActualsToCallee(NodeId Call,
+                                                 const FunctionInfo *Info) {
+  const Node &CallNode = G.node(Call);
+  unsigned NumActuals = static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+  NodeId Entry = Info->EntryNode;
+  unsigned NumFormals = Info->NumParams;
+
+  for (unsigned I = 0; I < std::min(NumActuals, NumFormals); ++I) {
+    OutputId Formal = G.outputOf(Entry, I);
+    for (const auto &[Pair, Sets] : qualifiedAtInput(Call, I + 1)) {
+      (void)Sets;
+      flowOut(Formal, Pair, AT.singleton(Formal, Pair));
+    }
+  }
+  OutputId StoreFormal = G.outputOf(Entry, NumFormals);
+  unsigned StoreIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
+  for (const auto &[Pair, Sets] : qualifiedAtInput(Call, StoreIdx)) {
+    (void)Sets;
+    flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair));
+  }
+}
+
+void ContextSensSolver::registerCallee(NodeId Call,
+                                       const FunctionInfo *Info) {
+  auto &List = CalleesOf[Call];
+  if (std::find(List.begin(), List.end(), Info) != List.end())
+    return;
+  List.push_back(Info);
+  CallersOf[Info->Fn].push_back(Call);
+  propagateActualsToCallee(Call, Info);
+  replayCalleeReturns(Call, Info);
+}
+
+void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
+                                 AssumSetId A) {
+  const Node &CallNode = G.node(N);
+  unsigned LastIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
+  const PointsToPair &P = PT.pair(Pair);
+
+  if (InIdx == 0) {
+    // Function values are handled context-insensitively, as in the paper:
+    // any function pair names a callee regardless of its assumptions.
+    if (P.Path != PathTable::emptyPath() || !Paths.isLocation(P.Referent))
+      return;
+    const BaseLocation &Base = Paths.base(Paths.baseOf(P.Referent));
+    if (Base.Kind != BaseLocKind::Function)
+      return;
+    const FunctionInfo *Info = G.functionInfo(Base.Fn);
+    if (!Info) {
+      if (IdentityCalls.insert(N).second) {
+        OutputId StoreOut = G.outputOf(N, CallNode.HasResult ? 1 : 0);
+        for (const auto &[SPair, SSets] : qualifiedAtInput(N, LastIdx))
+          for (AssumSetId SA : SSets)
+            flowOut(StoreOut, SPair, SA);
+      }
+      return;
+    }
+    registerCallee(N, Info);
+    return;
+  }
+
+  if (InIdx == LastIdx) {
+    for (const FunctionInfo *Info : CalleesOf[N]) {
+      OutputId StoreFormal =
+          G.outputOf(Info->EntryNode, Info->NumParams);
+      flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair));
+      // A new actual pair may satisfy return assumptions that previously
+      // failed; replay the callee's returned pairs.
+      replayCalleeReturns(N, Info);
+    }
+    if (IdentityCalls.count(N))
+      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair, A);
+    return;
+  }
+
+  unsigned ActualIdx = InIdx - 1;
+  for (const FunctionInfo *Info : CalleesOf[N]) {
+    if (ActualIdx < Info->NumParams) {
+      OutputId Formal = G.outputOf(Info->EntryNode, ActualIdx);
+      flowOut(Formal, Pair, AT.singleton(Formal, Pair));
+    }
+    replayCalleeReturns(N, Info);
+  }
+}
+
+void ContextSensSolver::flowReturn(NodeId N, unsigned InIdx, PairId Pair,
+                                   AssumSetId A) {
+  const Node &RetNode = G.node(N);
+  auto It = CallersOf.find(RetNode.Owner);
+  if (It == CallersOf.end())
+    return;
+  bool IsValue = RetNode.HasValue && InIdx == 0;
+  for (NodeId Call : It->second) {
+    const Node &CallNode = G.node(Call);
+    if (IsValue) {
+      if (CallNode.HasResult)
+        propagateReturn(Call, G.outputOf(Call, 0), Pair, A);
+    } else {
+      propagateReturn(Call, G.outputOf(Call, CallNode.HasResult ? 1 : 0),
+                      Pair, A);
+    }
+  }
+}

@@ -1,0 +1,158 @@
+//===- contextsens/Solver.h - Context-sensitive analysis -------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The maximally context-sensitive version of the points-to analysis
+/// (Section 4, Figure 5). It propagates qualified points-to pairs whose
+/// assumption sets bind pairs to formal-parameter outputs; assumptions are
+/// introduced at calls, chained (unioned) at lookups/updates, and
+/// discharged at returns via a Cartesian product over the assumption sets
+/// of satisfying actual pairs.
+///
+/// Three efficiency techniques from Section 4.2 are implemented and
+/// individually toggleable for the ablation bench:
+///   * subsumption  — (p, B) is discarded where (p, A), A subset-of B holds;
+///   * single-location pruning — no location assumptions at memory
+///     operations the CI analysis proved single-target;
+///   * strong-update pruning — store pairs the CI analysis proves
+///     unmodified by an update pass through without new assumptions.
+///
+/// Function-pointer handling stays context-insensitive, as in the paper
+/// (Section 4.1's last paragraph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CONTEXTSENS_SOLVER_H
+#define VDGA_CONTEXTSENS_SOLVER_H
+
+#include "contextsens/AssumptionSet.h"
+#include "pointsto/Solver.h"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+namespace vdga {
+
+/// Toggles for the Section 4.2 efficiency techniques.
+struct ContextSensOptions {
+  bool UseSubsumption = true;
+  bool PruneSingleLocation = true;
+  bool PruneStrongUpdates = true;
+  /// Safety valve for the ablation bench: abort (Completed = false) after
+  /// this many transfer-function applications. 0 means unlimited.
+  uint64_t MaxTransferFns = 0;
+};
+
+/// The context-sensitive solution.
+class ContextSensResult {
+public:
+  explicit ContextSensResult(size_t NumOutputs) : QP(NumOutputs) {}
+
+  /// Qualified pairs on an output: pair -> minimal assumption sets.
+  const std::map<PairId, std::vector<AssumSetId>> &
+  qualified(OutputId Out) const {
+    return QP[Out];
+  }
+
+  bool containsPair(OutputId Out, PairId Pair) const {
+    return QP[Out].count(Pair) != 0;
+  }
+
+  /// Strips assumption sets, yielding an ordinary per-output points-to
+  /// solution comparable against the context-insensitive one (Section 4.1's
+  /// final paragraph).
+  PointsToResult stripAssumptions() const;
+
+  /// Renders the qualified pairs on \p Out, one per line:
+  /// "(p -> a) if {f0: (q -> b)}". Section 4.1 notes that some clients
+  /// [PLR92, LRZ93] prefer to consume the qualified information directly;
+  /// this is that access path (the structured data is `qualified()`).
+  std::string renderQualified(OutputId Out, const PairTable &PT,
+                              const PathTable &Paths,
+                              const StringInterner &Names,
+                              const AssumptionSetTable &AT) const;
+
+  SolveStats Stats;
+  bool Completed = true;
+
+private:
+  friend class ContextSensSolver;
+  std::vector<std::map<PairId, std::vector<AssumSetId>>> QP;
+};
+
+/// Runs the Figure 5 analysis. Requires the context-insensitive solution
+/// (for the pruning optimizations; pass the same result with the prunings
+/// disabled for the unoptimized ablation).
+class ContextSensSolver {
+public:
+  ContextSensSolver(const Graph &G, PathTable &Paths, PairTable &PT,
+                    AssumptionSetTable &AT, const PointsToResult &CI,
+                    ContextSensOptions Options = {});
+
+  ContextSensResult solve();
+
+private:
+  struct Event {
+    InputId In;
+    PairId Pair;
+    AssumSetId Assum;
+  };
+
+  bool insert(OutputId Out, PairId Pair, AssumSetId Assum);
+  void flowOut(OutputId Out, PairId Pair, AssumSetId Assum);
+  void flowIn(const Event &E);
+
+  void flowLookup(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
+  void flowUpdate(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
+  void flowOffset(NodeId N, PairId Pair, AssumSetId A);
+  void flowCall(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
+  void flowReturn(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
+
+  void registerCallee(NodeId Call, const FunctionInfo *Info);
+  void propagateActualsToCallee(NodeId Call, const FunctionInfo *Info);
+  void replayCalleeReturns(NodeId Call, const FunctionInfo *Info);
+
+  /// Figure 5's propagate-return: discharges \p Assum against the pairs on
+  /// the call's actuals and emits requalified facts at \p Target.
+  void propagateReturn(NodeId Call, OutputId Target, PairId Pair,
+                       AssumSetId Assum);
+
+  /// Maps a callee formal output to the caller-side producing output at
+  /// this call site, or InvalidId when out of range.
+  OutputId actualForFormal(NodeId Call, OutputId Formal) const;
+
+  /// True if optimization (a) applies at memory node \p N: the CI
+  /// analysis proved its location input single-target.
+  bool dropLocAssumptions(NodeId N) const;
+  /// True if optimization (b) proves store-pair path \p P untouched by the
+  /// strong updates of node \p N.
+  bool ciNeverStronglyOverwrites(NodeId N, PathId P) const;
+
+  const std::map<PairId, std::vector<AssumSetId>> &
+  qualifiedAtInput(NodeId N, unsigned Index) const {
+    return Result.QP[G.producerOf(N, Index)];
+  }
+
+  const Graph &G;
+  PathTable &Paths;
+  PairTable &PT;
+  AssumptionSetTable &AT;
+  const PointsToResult &CI;
+  ContextSensOptions Options;
+  ContextSensResult Result;
+
+  std::deque<Event> Worklist;
+  std::map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
+  std::map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+  std::unordered_set<NodeId> IdentityCalls;
+  /// Per memory node: CI referent set of the location input.
+  std::map<NodeId, std::vector<PathId>> CILocSets;
+};
+
+} // namespace vdga
+
+#endif // VDGA_CONTEXTSENS_SOLVER_H

@@ -1,0 +1,80 @@
+//===- contextsens/Spurious.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/Spurious.h"
+
+using namespace vdga;
+
+SpuriousStats vdga::computeSpuriousStats(const Graph &G,
+                                         const PointsToResult &CI,
+                                         const PointsToResult &CSStripped,
+                                         const PairTable &PT,
+                                         const PathTable &Paths,
+                                         const LocationTable &Locs) {
+  SpuriousStats S;
+  S.CITotals = computePairTotals(G, CI);
+  S.CSTotals = computePairTotals(G, CSStripped);
+  S.AllBreakdown = computePairBreakdown(G, CI, PT, Paths, Locs);
+
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    for (PairId Pair : CI.pairs(O)) {
+      if (CSStripped.contains(O, Pair))
+        continue;
+      ++S.SpuriousTotal;
+      const PointsToPair &P = PT.pair(Pair);
+      auto PC = [&] {
+        switch (Locs.classify(P.Path, Paths)) {
+        case StorageClass::Offset:
+          return PairBreakdown::POffset;
+        case StorageClass::Local:
+          return PairBreakdown::PLocal;
+        case StorageClass::Heap:
+          return PairBreakdown::PHeap;
+        default:
+          return PairBreakdown::PGlobal;
+        }
+      }();
+      auto RC = [&] {
+        switch (Locs.classify(P.Referent, Paths)) {
+        case StorageClass::Function:
+          return PairBreakdown::RFunction;
+        case StorageClass::Local:
+          return PairBreakdown::RLocal;
+        case StorageClass::Heap:
+          return PairBreakdown::RHeap;
+        default:
+          return PairBreakdown::RGlobal;
+        }
+      }();
+      ++S.SpuriousBreakdown.Counts[PC][RC];
+    }
+    for (PairId Pair : CSStripped.pairs(O))
+      if (!CI.contains(O, Pair))
+        ++S.ContainmentViolations;
+  }
+
+  uint64_t CITotal = S.CITotals.total();
+  S.SpuriousPercent =
+      CITotal ? 100.0 * static_cast<double>(S.SpuriousTotal) / CITotal : 0.0;
+  return S;
+}
+
+unsigned vdga::countIndirectOpsWhereCSWins(const Graph &G,
+                                           const PointsToResult &CI,
+                                           const PointsToResult &CSStripped,
+                                           const PairTable &PT) {
+  unsigned Wins = 0;
+  for (bool Writes : {false, true}) {
+    auto CISites = indirectOpLocations(G, CI, PT, Writes);
+    auto CSSites = indirectOpLocations(G, CSStripped, PT, Writes);
+    assert(CISites.size() == CSSites.size() &&
+           "site enumeration must be deterministic");
+    for (size_t I = 0; I < CISites.size(); ++I)
+      if (CSSites[I].second.size() < CISites[I].second.size())
+        ++Wins;
+  }
+  return Wins;
+}

@@ -1,0 +1,53 @@
+//===- contextsens/Spurious.h - CI vs CS comparison ------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparison of the context-insensitive and (stripped) context-sensitive
+/// solutions: the pairs found only by the CI analysis are *spurious*
+/// (Section 4.3, Figures 6 and 7). Also checks the containment invariant
+/// CS subset-of CI that makes "spurious" well-defined, and compares the two
+/// solutions at the location inputs of indirect memory operations — the
+/// paper's headline measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CONTEXTSENS_SPURIOUS_H
+#define VDGA_CONTEXTSENS_SPURIOUS_H
+
+#include "contextsens/Solver.h"
+#include "pointsto/Statistics.h"
+
+namespace vdga {
+
+/// Figure 6 row plus the Figure 7 spurious matrix for one program.
+struct SpuriousStats {
+  PairTotals CITotals;
+  PairTotals CSTotals;
+  uint64_t SpuriousTotal = 0;
+  double SpuriousPercent = 0.0;
+  /// Pair instances found by CS but not CI: must be zero (containment).
+  uint64_t ContainmentViolations = 0;
+  PairBreakdown AllBreakdown;      ///< Figure 7, top half (all CI pairs).
+  PairBreakdown SpuriousBreakdown; ///< Figure 7, bottom half.
+};
+
+SpuriousStats computeSpuriousStats(const Graph &G, const PointsToResult &CI,
+                                   const PointsToResult &CSStripped,
+                                   const PairTable &PT,
+                                   const PathTable &Paths,
+                                   const LocationTable &Locs);
+
+/// The paper's headline check: do CI and CS agree on the location sets of
+/// every indirect memory operation? Returns the number of indirect ops
+/// where CS is strictly more precise (0 reproduces the paper's result).
+unsigned countIndirectOpsWhereCSWins(const Graph &G,
+                                     const PointsToResult &CI,
+                                     const PointsToResult &CSStripped,
+                                     const PairTable &PT);
+
+} // namespace vdga
+
+#endif // VDGA_CONTEXTSENS_SPURIOUS_H

@@ -1,0 +1,186 @@
+//===- corpus/Allroots.cpp - polynomial root finder benchmark --------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `allroots` benchmark domain (Landi suite):
+// find all real roots of polynomials by bisection plus deflation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusAllroots() {
+  return R"minic(
+/* allroots: evaluate polynomials through coefficient pointers, locate
+ * sign changes by scanning, refine each root by bisection, then deflate
+ * the polynomial and repeat. */
+
+struct poly {
+  int degree;
+  double coef[16];
+};
+
+struct poly work;
+struct poly deflated;
+double roots[16];
+int nroots;
+
+double eval_poly(struct poly *p, double x) {
+  double acc = 0.0;
+  int i;
+  for (i = p->degree; i >= 0; i--)
+    acc = acc * x + p->coef[i];
+  return acc;
+}
+
+double bisect(struct poly *p, double lo, double hi) {
+  double flo = eval_poly(p, lo);
+  int iter;
+  for (iter = 0; iter < 60; iter++) {
+    double mid = (lo + hi) / 2.0;
+    double fmid = eval_poly(p, mid);
+    if ((flo < 0.0 && fmid < 0.0) || (flo >= 0.0 && fmid >= 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+/* Divide p by (x - r), writing the quotient into q. */
+void deflate(struct poly *p, double r, struct poly *q) {
+  int i;
+  double carry = p->coef[p->degree];
+  q->degree = p->degree - 1;
+  for (i = p->degree - 1; i >= 0; i--) {
+    q->coef[i] = carry;
+    carry = p->coef[i] + r * carry;
+  }
+}
+
+void copy_poly(struct poly *dst, struct poly *src) {
+  int i;
+  dst->degree = src->degree;
+  for (i = 0; i <= src->degree; i++)
+    dst->coef[i] = src->coef[i];
+}
+
+int find_bracket(struct poly *p, double *lo_out, double *hi_out) {
+  double x = -16.0;
+  double fx = eval_poly(p, x);
+  while (x < 16.0) {
+    double nx = x + 0.25;
+    double fnx = eval_poly(p, nx);
+    if ((fx < 0.0 && fnx >= 0.0) || (fx >= 0.0 && fnx < 0.0)) {
+      *lo_out = x;
+      *hi_out = nx;
+      return 1;
+    }
+    x = nx;
+    fx = fnx;
+  }
+  return 0;
+}
+
+void all_roots(struct poly *p) {
+  double lo;
+  double hi;
+  nroots = 0;
+  copy_poly(&work, p);
+  while (work.degree > 0 && find_bracket(&work, &lo, &hi)) {
+    double r = bisect(&work, lo, hi);
+    roots[nroots] = r;
+    nroots = nroots + 1;
+    deflate(&work, r, &deflated);
+    copy_poly(&work, &deflated);
+  }
+}
+
+/* Formal derivative p' of p, written into d. */
+void derive(struct poly *p, struct poly *d) {
+  int i;
+  d->degree = p->degree > 0 ? p->degree - 1 : 0;
+  for (i = 1; i <= p->degree; i++)
+    d->coef[i - 1] = p->coef[i] * i;
+  if (p->degree == 0)
+    d->coef[0] = 0.0;
+}
+
+/* Newton refinement from a bisection estimate; falls back to the
+ * original estimate when the derivative is too flat. */
+double newton_polish(struct poly *p, double x0) {
+  struct poly d;
+  double x = x0;
+  int iter;
+  derive(p, &d);
+  for (iter = 0; iter < 12; iter++) {
+    double fx = eval_poly(p, x);
+    double dfx = eval_poly(&d, x);
+    if (fabs(dfx) < 0.000001)
+      return x0;
+    x = x - fx / dfx;
+  }
+  return x;
+}
+
+/* Residual check: max |p(root)| over all found roots, in millionths. */
+int max_residual(struct poly *p) {
+  int i;
+  double worst = 0.0;
+  for (i = 0; i < nroots; i++) {
+    double r = fabs(eval_poly(p, roots[i]));
+    if (r > worst)
+      worst = r;
+  }
+  return (int) (worst * 1000000.0);
+}
+
+void set_poly_cubic(struct poly *p, double a, double b, double c, double d) {
+  p->degree = 3;
+  p->coef[0] = d;
+  p->coef[1] = c;
+  p->coef[2] = b;
+  p->coef[3] = a;
+}
+
+void set_poly_quartic(struct poly *p, double a, double b, double c,
+                      double d, double e) {
+  p->degree = 4;
+  p->coef[0] = e;
+  p->coef[1] = d;
+  p->coef[2] = c;
+  p->coef[3] = b;
+  p->coef[4] = a;
+}
+
+void report(char *name, struct poly *p) {
+  int i;
+  all_roots(p);
+  for (i = 0; i < nroots; i++)
+    roots[i] = newton_polish(p, roots[i]);
+  printf("allroots: %s has %d real roots:", name, nroots);
+  for (i = 0; i < nroots; i++)
+    printf(" %g", roots[i]);
+  printf(" (residual %d/1e6)\n", max_residual(p));
+}
+
+int main() {
+  struct poly cubic;
+  struct poly quartic;
+  struct poly line;
+  /* (x - 1)(x - 2)(x + 3) = x^3 - 7x + 6 */
+  set_poly_cubic(&cubic, 1.0, 0.0, -7.0, 6.0);
+  report("cubic", &cubic);
+  /* (x-1)(x+1)(x-2)(x+2) = x^4 - 5x^2 + 4 */
+  set_poly_quartic(&quartic, 1.0, 0.0, -5.0, 0.0, 4.0);
+  report("quartic", &quartic);
+  /* 2x - 5 */
+  line.degree = 1;
+  line.coef[0] = -5.0;
+  line.coef[1] = 2.0;
+  report("line", &line);
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,214 @@
+//===- corpus/Anagram.cpp - anagram finder benchmark -----------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `anagram` benchmark domain (Austin suite):
+// group the words of an embedded dictionary by their letter signatures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusAnagram() {
+  return R"minic(
+/* anagram: hash each word by its sorted-letter signature and collect
+ * anagram classes on heap-allocated chains. */
+
+struct word {
+  char text[16];
+  char sig[16];
+  struct word *next;   /* next word in the same bucket */
+  struct word *peer;   /* next member of the same anagram class */
+};
+
+struct word *buckets[64];
+int nwords;
+int nclasses;
+int biggest;
+
+void make_signature(char *text, char *sig) {
+  int i;
+  int j;
+  int n = strlen(text);
+  for (i = 0; i < n; i++)
+    sig[i] = text[i];
+  sig[n] = '\0';
+  /* insertion sort of the letters */
+  for (i = 1; i < n; i++) {
+    char c = sig[i];
+    j = i - 1;
+    while (j >= 0 && sig[j] > c) {
+      sig[j + 1] = sig[j];
+      j = j - 1;
+    }
+    sig[j + 1] = c;
+  }
+}
+
+int hash_signature(char *sig) {
+  int h = 0;
+  int i = 0;
+  while (sig[i] != '\0') {
+    h = h * 31 + sig[i];
+    i = i + 1;
+  }
+  if (h < 0)
+    h = -h;
+  return h % 64;
+}
+
+void add_word(char *text) {
+  struct word *w;
+  struct word *scan;
+  int h;
+  w = (struct word *) malloc(sizeof(struct word));
+  strcpy(w->text, text);
+  make_signature(w->text, w->sig);
+  w->peer = 0;
+  h = hash_signature(w->sig);
+  /* look for an existing class with the same signature */
+  scan = buckets[h];
+  while (scan != 0) {
+    if (strcmp(scan->sig, w->sig) == 0) {
+      w->peer = scan->peer;
+      scan->peer = w;
+      nwords = nwords + 1;
+      return;
+    }
+    scan = scan->next;
+  }
+  w->next = buckets[h];
+  buckets[h] = w;
+  nwords = nwords + 1;
+  nclasses = nclasses + 1;
+}
+
+int class_size(struct word *w) {
+  int n = 0;
+  while (w != 0) {
+    n = n + 1;
+    w = w->peer;
+  }
+  return n;
+}
+
+void scan_classes() {
+  int i;
+  biggest = 0;
+  for (i = 0; i < 64; i++) {
+    struct word *w = buckets[i];
+    while (w != 0) {
+      int n = class_size(w);
+      if (n > biggest)
+        biggest = n;
+      w = w->next;
+    }
+  }
+}
+
+/* Longest chain in the hash table (load diagnostics). */
+int longest_chain() {
+  int i;
+  int best = 0;
+  for (i = 0; i < 64; i++) {
+    int n = 0;
+    struct word *w = buckets[i];
+    while (w != 0) {
+      n = n + 1;
+      w = w->next;
+    }
+    if (n > best)
+      best = n;
+  }
+  return best;
+}
+
+/* Count classes with at least `k` members. */
+int classes_of_size(int k) {
+  int i;
+  int n = 0;
+  for (i = 0; i < 64; i++) {
+    struct word *w = buckets[i];
+    while (w != 0) {
+      if (class_size(w) >= k)
+        n = n + 1;
+      w = w->next;
+    }
+  }
+  return n;
+}
+
+/* Find a word and return the size of its anagram class. */
+int lookup_class(char *text) {
+  char sig[16];
+  int h;
+  struct word *w;
+  make_signature(text, sig);
+  h = hash_signature(sig);
+  w = buckets[h];
+  while (w != 0) {
+    if (strcmp(w->sig, sig) == 0)
+      return class_size(w);
+    w = w->next;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++)
+    buckets[i] = 0;
+  nwords = 0;
+  nclasses = 0;
+
+  add_word("listen");
+  add_word("silent");
+  add_word("enlist");
+  add_word("google");
+  add_word("gogole");
+  add_word("banana");
+  add_word("cat");
+  add_word("act");
+  add_word("tac");
+  add_word("dog");
+  add_word("god");
+  add_word("sting");
+  add_word("tings");
+  add_word("night");
+  add_word("thing");
+  add_word("below");
+  add_word("elbow");
+  add_word("study");
+  add_word("dusty");
+  add_word("care");
+  add_word("race");
+  add_word("acre");
+  add_word("stop");
+  add_word("tops");
+  add_word("pots");
+  add_word("opts");
+  add_word("spot");
+  add_word("post");
+  add_word("east");
+  add_word("eats");
+  add_word("seat");
+  add_word("teas");
+  add_word("stale");
+  add_word("least");
+  add_word("steal");
+  add_word("tales");
+  add_word("peach");
+  add_word("cheap");
+  add_word("lemon");
+  add_word("melon");
+  add_word("brag");
+  add_word("grab");
+
+  scan_classes();
+  printf("anagram: %d words, %d classes, largest class %d\n", nwords,
+         nclasses, biggest);
+  printf("anagram: longest chain %d, classes>=3 %d, stop-class %d\n",
+         longest_chain(), classes_of_size(3), lookup_class("spot"));
+  return 0;
+}
+)minic";
+}

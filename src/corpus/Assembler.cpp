@@ -1,0 +1,381 @@
+//===- corpus/Assembler.cpp - two-pass assembler benchmark -----------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `assembler` benchmark domain (Landi
+// suite): assemble a small accumulator machine's source text in two
+// passes with a chained-hash label table, disassemble the result, and
+// execute it on a reference machine to validate the encoding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusAssembler() {
+  return R"minic(
+/* assembler: pass 1 collects labels, pass 2 emits words; mnemonics are
+ * matched by table scan; forward references resolved via the label
+ * table; a disassembler and a tiny accumulator VM check the output. */
+
+struct label {
+  char name[12];
+  int address;
+  int defined;
+  int uses;
+  struct label *next;
+};
+
+struct mnemonic {
+  char name[8];
+  int opcode;
+  int has_operand;
+};
+
+struct fixup {
+  int site;                /* word index whose operand needs patching */
+  struct label *target;
+  struct fixup *next;
+};
+
+struct label *labels[32];
+struct mnemonic mnemonics[16];
+int nmnemonics;
+int words[128];
+int nwords;
+int errors;
+int forward_refs;
+char *source;
+int spos;
+char token[16];
+struct fixup *fixups;
+
+/* ---------- label table ---------- */
+
+int label_hash(char *name) {
+  int h = 0;
+  int i = 0;
+  while (name[i] != '\0') {
+    h = h * 17 + name[i];
+    i = i + 1;
+  }
+  if (h < 0)
+    h = -h;
+  return h % 32;
+}
+
+struct label *label_get(char *name) {
+  int h = label_hash(name);
+  struct label *l = labels[h];
+  while (l != 0) {
+    if (strcmp(l->name, name) == 0)
+      return l;
+    l = l->next;
+  }
+  l = (struct label *) malloc(sizeof(struct label));
+  strcpy(l->name, name);
+  l->address = 0;
+  l->defined = 0;
+  l->uses = 0;
+  l->next = labels[h];
+  labels[h] = l;
+  return l;
+}
+
+int count_labels() {
+  int i;
+  int n = 0;
+  for (i = 0; i < 32; i++) {
+    struct label *l = labels[i];
+    while (l != 0) {
+      n = n + 1;
+      l = l->next;
+    }
+  }
+  return n;
+}
+
+/* ---------- mnemonic table ---------- */
+
+void add_mnemonic(char *name, int opcode, int has_operand) {
+  struct mnemonic *m = &mnemonics[nmnemonics];
+  strcpy(m->name, name);
+  m->opcode = opcode;
+  m->has_operand = has_operand;
+  nmnemonics = nmnemonics + 1;
+}
+
+struct mnemonic *find_mnemonic(char *name) {
+  int i;
+  for (i = 0; i < nmnemonics; i++)
+    if (strcmp(mnemonics[i].name, name) == 0)
+      return &mnemonics[i];
+  return 0;
+}
+
+struct mnemonic *mnemonic_for_opcode(int opcode) {
+  int i;
+  for (i = 0; i < nmnemonics; i++)
+    if (mnemonics[i].opcode == opcode)
+      return &mnemonics[i];
+  return 0;
+}
+
+/* ---------- tokenizer ---------- */
+
+int next_token() {
+  int n = 0;
+  while (source[spos] == ' ')
+    spos = spos + 1;
+  if (source[spos] == '\0' || source[spos] == '\n')
+    return 0;
+  while (source[spos] != ' ' && source[spos] != '\n' &&
+         source[spos] != '\0' && n < 15) {
+    token[n] = source[spos];
+    n = n + 1;
+    spos = spos + 1;
+  }
+  token[n] = '\0';
+  return 1;
+}
+
+void skip_line() {
+  while (source[spos] != '\0' && source[spos] != '\n')
+    spos = spos + 1;
+  if (source[spos] == '\n')
+    spos = spos + 1;
+}
+
+int token_is_label() {
+  int n = strlen(token);
+  return n > 0 && token[n - 1] == ':';
+}
+
+int token_number(char *t) {
+  int acc = 0;
+  int i = 0;
+  int neg = 0;
+  if (t[0] == '-') {
+    neg = 1;
+    i = 1;
+  }
+  while (t[i] >= '0' && t[i] <= '9') {
+    acc = acc * 10 + (t[i] - '0');
+    i = i + 1;
+  }
+  return neg ? -acc : acc;
+}
+
+/* ---------- the two passes ---------- */
+
+void record_fixup(int site, struct label *target) {
+  struct fixup *f = (struct fixup *) malloc(sizeof(struct fixup));
+  f->site = site;
+  f->target = target;
+  f->next = fixups;
+  fixups = f;
+  forward_refs = forward_refs + 1;
+}
+
+int onepass; /* 1 = define labels while emitting, using fixups */
+
+void assemble_pass(char *text, int pass) {
+  int pc = 0;
+  source = text;
+  spos = 0;
+  while (source[spos] != '\0') {
+    while (next_token()) {
+      if (token_is_label()) {
+        if (pass == 1 || onepass) {
+          struct label *l;
+          token[strlen(token) - 1] = '\0';
+          l = label_get(token);
+          if (l->defined && pass == 1)
+            errors = errors + 1; /* duplicate definition */
+          l->address = pc;
+          l->defined = 1;
+        }
+      } else {
+        struct mnemonic *m = find_mnemonic(token);
+        if (m == 0) {
+          if (pass == 2)
+            errors = errors + 1;
+          continue;
+        }
+        if (m->has_operand) {
+          if (!next_token()) {
+            if (pass == 2)
+              errors = errors + 1;
+            continue;
+          }
+          if (pass == 2) {
+            int operand;
+            if ((token[0] >= '0' && token[0] <= '9') || token[0] == '-') {
+              operand = token_number(token);
+            } else {
+              struct label *l = label_get(token);
+              l->uses = l->uses + 1;
+              if (!l->defined)
+                record_fixup(pc, l);
+              operand = l->address;
+            }
+            words[pc] = m->opcode * 256 + (operand & 255);
+          }
+          pc = pc + 1;
+        } else {
+          if (pass == 2)
+            words[pc] = m->opcode * 256;
+          pc = pc + 1;
+        }
+      }
+    }
+    skip_line();
+  }
+  if (pass == 2)
+    nwords = pc;
+}
+
+/* Resolve fixups recorded for labels that were defined after use. */
+void apply_fixups() {
+  struct fixup *f = fixups;
+  while (f != 0) {
+    if (f->target->defined)
+      words[f->site] =
+          (words[f->site] / 256) * 256 + (f->target->address & 255);
+    else
+      errors = errors + 1;
+    f = f->next;
+  }
+}
+
+/* ---------- disassembler (round-trip sanity) ---------- */
+
+int disassemble_checksum() {
+  int pc;
+  int sum = 0;
+  for (pc = 0; pc < nwords; pc++) {
+    struct mnemonic *m = mnemonic_for_opcode(words[pc] / 256);
+    if (m == 0) {
+      sum = sum * 31 + 999;
+      continue;
+    }
+    sum = sum * 31 + strlen(m->name);
+    if (m->has_operand)
+      sum = sum + (words[pc] % 256);
+  }
+  return sum;
+}
+
+/* ---------- reference machine ---------- */
+
+struct machine {
+  int acc;
+  int pc;
+  int halted;
+  int data[256];
+};
+
+struct machine vm;
+
+void vm_step() {
+  int word = words[vm.pc];
+  int opcode = word / 256;
+  int operand = word % 256;
+  vm.pc = vm.pc + 1;
+  if (opcode == 1)
+    vm.acc = vm.data[operand];
+  else if (opcode == 2)
+    vm.data[operand] = vm.acc;
+  else if (opcode == 3)
+    vm.acc = vm.acc + vm.data[operand];
+  else if (opcode == 4)
+    vm.acc = vm.acc - vm.data[operand];
+  else if (opcode == 5)
+    vm.pc = operand;
+  else if (opcode == 6) {
+    if (vm.acc == 0)
+      vm.pc = operand;
+  } else if (opcode == 9)
+    vm.acc = operand;
+  else
+    vm.halted = 1;
+}
+
+int run_program(int fuel) {
+  vm.acc = 0;
+  vm.pc = 0;
+  vm.halted = 0;
+  while (!vm.halted && fuel > 0) {
+    vm_step();
+    fuel = fuel - 1;
+  }
+  return vm.acc;
+}
+
+/* ---------- driver ---------- */
+
+void init_mnemonics() {
+  nmnemonics = 0;
+  add_mnemonic("load", 1, 1);
+  add_mnemonic("store", 2, 1);
+  add_mnemonic("add", 3, 1);
+  add_mnemonic("sub", 4, 1);
+  add_mnemonic("jmp", 5, 1);
+  add_mnemonic("jz", 6, 1);
+  add_mnemonic("halt", 7, 0);
+  add_mnemonic("nop", 8, 0);
+  add_mnemonic("loadi", 9, 1);
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < nwords; i++)
+    sum = sum * 7 + words[i];
+  return sum;
+}
+
+void reset_tables() {
+  int i;
+  for (i = 0; i < 32; i++)
+    labels[i] = 0;
+  fixups = 0;
+  forward_refs = 0;
+  nwords = 0;
+}
+
+int main() {
+  /* sum 1..10 into data[101]: the 'done' label is a forward reference,
+   * exercising the fixup chain in one-pass mode. */
+  char *program = "start: loadi 10\n store 100\n loadi 0\n store 101\nloop: load 100\n jz done\n load 101\n add 100\n store 101\n load 100\n sub 102\n store 100\n jmp loop\ndone: load 101\n halt\n";
+  int result;
+  int sum_twopass;
+  int sum_onepass;
+  errors = 0;
+  init_mnemonics();
+
+  /* Strategy 1: classic two passes; no fixups ever needed. */
+  reset_tables();
+  onepass = 0;
+  assemble_pass(program, 1);
+  assemble_pass(program, 2);
+  apply_fixups();
+  sum_twopass = checksum();
+  vm.data[102] = 1; /* the constant one */
+  result = run_program(10000);
+
+  /* Strategy 2: single pass with forward-reference fixups. */
+  reset_tables();
+  onepass = 1;
+  assemble_pass(program, 2);
+  apply_fixups();
+  sum_onepass = checksum();
+  if (sum_onepass != sum_twopass)
+    errors = errors + 1;
+
+  printf("assembler: %d words, %d labels, %d forward refs, %d errors\n",
+         nwords, count_labels(), forward_refs, errors);
+  printf("assembler: vm result %d, checksums %d/%d, dis %d\n", result,
+         sum_twopass, sum_onepass, disassemble_checksum());
+  return errors;
+}
+)minic";
+}

@@ -1,0 +1,177 @@
+//===- corpus/Backprop.cpp - neural network benchmark ----------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `backprop` benchmark domain (Austin
+// suite): a small feed-forward network trained by backpropagation on XOR.
+// The paper reports this program has no indirect operation referencing
+// more than one location.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusBackprop() {
+  return R"minic(
+/* backprop: 2-4-1 network on the XOR task, weights in heap-allocated
+ * layer objects reached through single-level pointers. */
+
+struct layer {
+  int nin;
+  int nout;
+  double weight[40];   /* nout x (nin + 1), bias folded in */
+  double out[8];
+  double delta[8];
+};
+
+struct layer *hidden;
+struct layer *output;
+int seed;
+
+double frand() {
+  seed = seed * 1103515245 + 12345;
+  if (seed < 0)
+    seed = -seed;
+  return (seed % 2000) / 1000.0 - 1.0;
+}
+
+double sigmoid(double x) {
+  return 1.0 / (1.0 + exp(-x));
+}
+
+struct layer *make_layer(int nin, int nout) {
+  struct layer *l;
+  int i;
+  l = (struct layer *) malloc(sizeof(struct layer));
+  l->nin = nin;
+  l->nout = nout;
+  for (i = 0; i < nout * (nin + 1); i++)
+    l->weight[i] = frand() * 0.5;
+  return l;
+}
+
+void forward(struct layer *l, double *in) {
+  int o;
+  int i;
+  for (o = 0; o < l->nout; o++) {
+    double sum = l->weight[o * (l->nin + 1) + l->nin];
+    for (i = 0; i < l->nin; i++)
+      sum = sum + l->weight[o * (l->nin + 1) + i] * in[i];
+    l->out[o] = sigmoid(sum);
+  }
+}
+
+void backward_output(struct layer *l, double target) {
+  double y = l->out[0];
+  l->delta[0] = y * (1.0 - y) * (target - y);
+}
+
+void backward_hidden(struct layer *l, struct layer *up) {
+  int i;
+  int o;
+  for (i = 0; i < l->nout; i++) {
+    double err = 0.0;
+    for (o = 0; o < up->nout; o++)
+      err = err + up->delta[o] * up->weight[o * (up->nin + 1) + i];
+    l->delta[i] = l->out[i] * (1.0 - l->out[i]) * err;
+  }
+}
+
+void adjust(struct layer *l, double *in, double rate) {
+  int o;
+  int i;
+  for (o = 0; o < l->nout; o++) {
+    for (i = 0; i < l->nin; i++)
+      l->weight[o * (l->nin + 1) + i] =
+          l->weight[o * (l->nin + 1) + i] + rate * l->delta[o] * in[i];
+    l->weight[o * (l->nin + 1) + l->nin] =
+        l->weight[o * (l->nin + 1) + l->nin] + rate * l->delta[o];
+  }
+}
+
+double train_one(double a, double b, double target, double rate) {
+  double in[2];
+  in[0] = a;
+  in[1] = b;
+  forward(hidden, in);
+  forward(output, hidden->out);
+  backward_output(output, target);
+  backward_hidden(hidden, output);
+  adjust(output, hidden->out, rate);
+  adjust(hidden, in, rate);
+  return target - output->out[0];
+}
+
+double predict(double a, double b) {
+  double in[2];
+  in[0] = a;
+  in[1] = b;
+  forward(hidden, in);
+  forward(output, hidden->out);
+  return output->out[0];
+}
+
+/* Fraction (in percent) of the four corners classified correctly with a
+ * 0.5 threshold against the given truth table. */
+int accuracy(double t00, double t01, double t10, double t11) {
+  int right = 0;
+  if ((predict(0.0, 0.0) >= 0.5) == (t00 >= 0.5))
+    right = right + 1;
+  if ((predict(0.0, 1.0) >= 0.5) == (t01 >= 0.5))
+    right = right + 1;
+  if ((predict(1.0, 0.0) >= 0.5) == (t10 >= 0.5))
+    right = right + 1;
+  if ((predict(1.0, 1.0) >= 0.5) == (t11 >= 0.5))
+    right = right + 1;
+  return right * 25;
+}
+
+/* Weight checksum in thousandths, for reproducibility tracking. */
+int weight_checksum(struct layer *l) {
+  int i;
+  double sum = 0.0;
+  for (i = 0; i < l->nout * (l->nin + 1); i++)
+    sum = sum + l->weight[i];
+  return (int) (sum * 1000.0);
+}
+
+double train_task(double t00, double t01, double t10, double t11,
+                  int epochs) {
+  int epoch;
+  double err = 0.0;
+  for (epoch = 0; epoch < epochs; epoch++) {
+    err = 0.0;
+    err = err + fabs(train_one(0.0, 0.0, t00, 2.0));
+    err = err + fabs(train_one(0.0, 1.0, t01, 2.0));
+    err = err + fabs(train_one(1.0, 0.0, t10, 2.0));
+    err = err + fabs(train_one(1.0, 1.0, t11, 2.0));
+  }
+  return err;
+}
+
+int main() {
+  double xor_err;
+  double and_err;
+  int xor_acc;
+  int and_acc;
+
+  /* Task 1: XOR (the classic non-linearly-separable case). */
+  seed = 7;
+  hidden = make_layer(2, 4);
+  output = make_layer(4, 1);
+  xor_err = train_task(0.0, 1.0, 1.0, 0.0, 1200);
+  xor_acc = accuracy(0.0, 1.0, 1.0, 0.0);
+  printf("backprop: xor error %g, accuracy %d%%, checksum %d\n", xor_err,
+         xor_acc, weight_checksum(hidden));
+
+  /* Task 2: AND, retraining fresh layers. */
+  seed = 11;
+  hidden = make_layer(2, 4);
+  output = make_layer(4, 1);
+  and_err = train_task(0.0, 0.0, 0.0, 1.0, 120);
+  and_acc = accuracy(0.0, 0.0, 0.0, 1.0);
+  printf("backprop: and error %g, accuracy %d%%, checksum %d\n", and_err,
+         and_acc, weight_checksum(hidden));
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,430 @@
+//===- corpus/Bc.cpp - calculator benchmark --------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `bc` benchmark domain (FSF): a calculator
+// with named variables, user-defined one-argument functions, and two
+// independent evaluation engines (direct precedence climbing and an RPN
+// compiler + stack machine) that cross-check each other. In the paper's
+// suite bc is the largest and the least single-location program; this
+// reimplementation keeps that character: it is the corpus' heaviest user
+// of multi-target pointers (`char **` cursors, shared symbol chains).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusBc() {
+  return R"minic(
+/* bc: statements over named variables and one-parameter functions.
+ *
+ *   stmt  := name '=' expr | 'def' name body | expr
+ *   expr  := term (('+'|'-') term)*
+ *   term  := unary (('*'|'/'|'%') unary)*
+ *   unary := '-' unary | primary
+ *   primary := number | name | name '(' expr ')' | '(' expr ')'
+ *
+ * Engine 1 evaluates the text directly; engine 2 compiles to RPN and runs
+ * a stack machine. Both share the symbol table. */
+
+struct symbol {
+  char name[12];
+  int value;
+  char *body;          /* function body text, or 0 for plain variables */
+  int calls;           /* how often the function was invoked */
+  struct symbol *next;
+};
+
+struct rpn_op {
+  int kind;            /* 0 push-const, 1 load-var, 2 call, 3..7 + - * / %, 8 neg */
+  int operand;
+  struct symbol *sym;  /* for loads and calls */
+};
+
+struct symbol *symtab;
+int depth;
+int engine_mismatches;
+struct rpn_op rpn_code[128];
+int rpn_len;
+int rpn_stack[64];
+int rpn_sp;
+
+/* ---------- symbol table ---------- */
+
+struct symbol *sym_lookup(char *name) {
+  struct symbol *s = symtab;
+  while (s != 0) {
+    if (strcmp(s->name, name) == 0)
+      return s;
+    s = s->next;
+  }
+  return 0;
+}
+
+struct symbol *sym_define(char *name) {
+  struct symbol *s = sym_lookup(name);
+  if (s != 0)
+    return s;
+  s = (struct symbol *) malloc(sizeof(struct symbol));
+  strcpy(s->name, name);
+  s->value = 0;
+  s->body = 0;
+  s->calls = 0;
+  s->next = symtab;
+  symtab = s;
+  return s;
+}
+
+int count_symbols() {
+  int n = 0;
+  struct symbol *s = symtab;
+  while (s != 0) {
+    n = n + 1;
+    s = s->next;
+  }
+  return n;
+}
+
+/* ---------- shared lexical helpers (cursor passed by reference) ---------- */
+
+void skip_spaces(char **cur) {
+  while (**cur == ' ')
+    *cur = *cur + 1;
+}
+
+int read_name(char **cur, char *out) {
+  int n = 0;
+  skip_spaces(cur);
+  while (**cur >= 'a' && **cur <= 'z' && n < 11) {
+    out[n] = **cur;
+    n = n + 1;
+    *cur = *cur + 1;
+  }
+  out[n] = '\0';
+  return n;
+}
+
+int read_number(char **cur) {
+  int acc = 0;
+  skip_spaces(cur);
+  while (**cur >= '0' && **cur <= '9') {
+    acc = acc * 10 + (**cur - '0');
+    *cur = *cur + 1;
+  }
+  return acc;
+}
+
+/* ---------- engine 1: direct evaluation ---------- */
+
+int eval_expr(char **cur);
+
+int eval_call(struct symbol *fn, int arg) {
+  struct symbol *param;
+  int saved;
+  int result;
+  char *body;
+  if (fn == 0 || fn->body == 0 || depth > 16)
+    return 0;
+  fn->calls = fn->calls + 1;
+  param = sym_define("x");
+  saved = param->value;
+  param->value = arg;
+  body = fn->body;
+  depth = depth + 1;
+  result = eval_expr(&body);
+  depth = depth - 1;
+  param->value = saved;
+  return result;
+}
+
+int eval_primary(char **cur) {
+  skip_spaces(cur);
+  if (**cur == '(') {
+    int v;
+    *cur = *cur + 1;
+    v = eval_expr(cur);
+    skip_spaces(cur);
+    if (**cur == ')')
+      *cur = *cur + 1;
+    return v;
+  }
+  if (**cur == '-') {
+    *cur = *cur + 1;
+    return -eval_primary(cur);
+  }
+  if (**cur >= 'a' && **cur <= 'z') {
+    char name[12];
+    struct symbol *s;
+    read_name(cur, name);
+    skip_spaces(cur);
+    s = sym_lookup(name);
+    if (**cur == '(') {
+      int arg;
+      *cur = *cur + 1;
+      arg = eval_expr(cur);
+      skip_spaces(cur);
+      if (**cur == ')')
+        *cur = *cur + 1;
+      return eval_call(s, arg);
+    }
+    if (s == 0)
+      return 0;
+    return s->value;
+  }
+  return read_number(cur);
+}
+
+int eval_term(char **cur) {
+  int v = eval_primary(cur);
+  for (;;) {
+    skip_spaces(cur);
+    if (**cur == '*') {
+      *cur = *cur + 1;
+      v = v * eval_primary(cur);
+    } else if (**cur == '/') {
+      int d;
+      *cur = *cur + 1;
+      d = eval_primary(cur);
+      v = d != 0 ? v / d : 0;
+    } else if (**cur == '%') {
+      int d;
+      *cur = *cur + 1;
+      d = eval_primary(cur);
+      v = d != 0 ? v % d : 0;
+    } else {
+      return v;
+    }
+  }
+}
+
+int eval_expr(char **cur) {
+  int v = eval_term(cur);
+  for (;;) {
+    skip_spaces(cur);
+    if (**cur == '+') {
+      *cur = *cur + 1;
+      v = v + eval_term(cur);
+    } else if (**cur == '-') {
+      *cur = *cur + 1;
+      v = v - eval_term(cur);
+    } else {
+      return v;
+    }
+  }
+}
+
+/* ---------- engine 2: RPN compiler + stack machine ---------- */
+
+void rpn_emit(int kind, int operand, struct symbol *sym) {
+  rpn_code[rpn_len].kind = kind;
+  rpn_code[rpn_len].operand = operand;
+  rpn_code[rpn_len].sym = sym;
+  rpn_len = rpn_len + 1;
+}
+
+void compile_expr(char **cur);
+
+void compile_primary(char **cur) {
+  skip_spaces(cur);
+  if (**cur == '(') {
+    *cur = *cur + 1;
+    compile_expr(cur);
+    skip_spaces(cur);
+    if (**cur == ')')
+      *cur = *cur + 1;
+    return;
+  }
+  if (**cur == '-') {
+    *cur = *cur + 1;
+    compile_primary(cur);
+    rpn_emit(8, 0, 0);
+    return;
+  }
+  if (**cur >= 'a' && **cur <= 'z') {
+    char name[12];
+    struct symbol *s;
+    read_name(cur, name);
+    skip_spaces(cur);
+    s = sym_define(name);
+    if (**cur == '(') {
+      *cur = *cur + 1;
+      compile_expr(cur);
+      skip_spaces(cur);
+      if (**cur == ')')
+        *cur = *cur + 1;
+      rpn_emit(2, 0, s);
+      return;
+    }
+    rpn_emit(1, 0, s);
+    return;
+  }
+  rpn_emit(0, read_number(cur), 0);
+}
+
+void compile_term(char **cur) {
+  compile_primary(cur);
+  for (;;) {
+    skip_spaces(cur);
+    if (**cur == '*') {
+      *cur = *cur + 1;
+      compile_primary(cur);
+      rpn_emit(5, 0, 0);
+    } else if (**cur == '/') {
+      *cur = *cur + 1;
+      compile_primary(cur);
+      rpn_emit(6, 0, 0);
+    } else if (**cur == '%') {
+      *cur = *cur + 1;
+      compile_primary(cur);
+      rpn_emit(7, 0, 0);
+    } else {
+      return;
+    }
+  }
+}
+
+void compile_expr(char **cur) {
+  compile_term(cur);
+  for (;;) {
+    skip_spaces(cur);
+    if (**cur == '+') {
+      *cur = *cur + 1;
+      compile_term(cur);
+      rpn_emit(3, 0, 0);
+    } else if (**cur == '-') {
+      *cur = *cur + 1;
+      compile_term(cur);
+      rpn_emit(4, 0, 0);
+    } else {
+      return;
+    }
+  }
+}
+
+void rpn_push(int v) {
+  rpn_stack[rpn_sp] = v;
+  rpn_sp = rpn_sp + 1;
+}
+
+int rpn_pop() {
+  rpn_sp = rpn_sp - 1;
+  return rpn_stack[rpn_sp];
+}
+
+int run_rpn() {
+  int pc;
+  rpn_sp = 0;
+  for (pc = 0; pc < rpn_len; pc++) {
+    struct rpn_op *op = &rpn_code[pc];
+    if (op->kind == 0) {
+      rpn_push(op->operand);
+    } else if (op->kind == 1) {
+      rpn_push(op->sym->value);
+    } else if (op->kind == 2) {
+      rpn_push(eval_call(op->sym, rpn_pop()));
+    } else if (op->kind == 8) {
+      rpn_push(-rpn_pop());
+    } else {
+      int b = rpn_pop();
+      int a = rpn_pop();
+      if (op->kind == 3)
+        rpn_push(a + b);
+      else if (op->kind == 4)
+        rpn_push(a - b);
+      else if (op->kind == 5)
+        rpn_push(a * b);
+      else if (op->kind == 6)
+        rpn_push(b != 0 ? a / b : 0);
+      else
+        rpn_push(b != 0 ? a % b : 0);
+    }
+  }
+  return rpn_sp > 0 ? rpn_stack[rpn_sp - 1] : 0;
+}
+
+/* Evaluate with both engines and cross-check. */
+int eval_checked(char *text) {
+  char *cur1 = text;
+  char *cur2 = text;
+  int direct = eval_expr(&cur1);
+  int compiled;
+  rpn_len = 0;
+  compile_expr(&cur2);
+  compiled = run_rpn();
+  if (direct != compiled) {
+    engine_mismatches = engine_mismatches + 1;
+    printf("bc: ENGINE MISMATCH %d vs %d on %s\n", direct, compiled, text);
+  }
+  return direct;
+}
+
+/* Copy statement text into owned heap storage, like bc's line reader;
+ * cursors and function bodies then point into the pool rather than at
+ * the caller's storage. */
+char *intern_text(char *s) {
+  char *p = (char *) malloc(strlen(s) + 1);
+  strcpy(p, s);
+  return p;
+}
+
+/* statement := name '=' expr | 'def' name body | expr */
+int exec_statement(char *stmt) {
+  char name[12];
+  char *text = intern_text(stmt);
+  char *cur = text;
+  char *probe;
+  read_name(&cur, name);
+  skip_spaces(&cur);
+  if (name[0] != '\0' && strcmp(name, "def") == 0) {
+    char fname[12];
+    struct symbol *s;
+    read_name(&cur, fname);
+    s = sym_define(fname);
+    skip_spaces(&cur);
+    s->body = cur;
+    return 0;
+  }
+  probe = cur;
+  if (name[0] != '\0' && *probe == '=') {
+    struct symbol *s = sym_define(name);
+    cur = probe + 1;
+    s->value = eval_checked(cur);
+    return s->value;
+  }
+  return eval_checked(text);
+}
+
+int call_count(char *fname) {
+  struct symbol *s = sym_lookup(fname);
+  return s != 0 ? s->calls : 0;
+}
+
+int main() {
+  int r1;
+  int r2;
+  int r3;
+  symtab = 0;
+  depth = 0;
+  engine_mismatches = 0;
+
+  exec_statement("a = 6");
+  exec_statement("b = 7");
+  exec_statement("c = a * b");
+  exec_statement("scale = 100");
+  exec_statement("def square x * x");
+  exec_statement("def cube x * square(x)");
+  exec_statement("def twice x + x");
+  exec_statement("def poly square(x) + twice(x) + 1");
+
+  r1 = exec_statement("square(a) + cube(b) + c");
+  r2 = exec_statement("(a + b) % 5 - square(2)");
+  r3 = exec_statement("poly(a) - poly(b) + scale / (a - 2)");
+  exec_statement("total = square(a+b) + cube(a-b)");
+
+  printf("bc: r1=%d r2=%d r3=%d total=%d\n", r1, r2, r3,
+         exec_statement("total"));
+  printf("bc: %d symbols, square called %d times, mismatches=%d\n",
+         count_symbols(), call_count("square"), engine_mismatches);
+  return engine_mismatches;
+}
+)minic";
+}

@@ -1,0 +1,315 @@
+//===- corpus/Compiler.cpp - toy compiler benchmark ------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `compiler` benchmark domain (Landi suite):
+// parse arithmetic expressions into heap AST nodes, constant-fold the
+// tree, emit stack-machine code, run a peephole pass, then execute both
+// the optimized and unoptimized programs and compare against direct
+// evaluation. The paper reports no multi-location indirect operations
+// for this program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusCompiler() {
+  return R"minic(
+/* compiler: recursive-descent parser -> AST -> constant folder -> code
+ * generator -> peephole optimizer -> VM, all cross-checked. */
+
+struct node {
+  int kind;            /* 0 literal, 1 var, 2 binop */
+  int value;           /* literal value or variable index */
+  int op;              /* '+', '-', '*', '/' */
+  struct node *lhs;
+  struct node *rhs;
+};
+
+struct instr {
+  int opcode;          /* 0 push, 1 load, 2 add, 3 sub, 4 mul, 5 div */
+  int operand;
+};
+
+char src[128];
+int pos;
+struct instr code[256];
+int ncode;
+int vars[8];
+int nodes_allocated;
+int folds_performed;
+int peepholes_applied;
+
+struct node *parse_expr();
+
+/* ---------- parser ---------- */
+
+struct node *new_node(int kind) {
+  struct node *n;
+  n = (struct node *) malloc(sizeof(struct node));
+  n->kind = kind;
+  n->value = 0;
+  n->op = 0;
+  n->lhs = 0;
+  n->rhs = 0;
+  nodes_allocated = nodes_allocated + 1;
+  return n;
+}
+
+int peek_char() {
+  return src[pos];
+}
+
+int next_char() {
+  int c = src[pos];
+  pos = pos + 1;
+  return c;
+}
+
+struct node *parse_primary() {
+  int c = peek_char();
+  if (c == '(') {
+    struct node *inner;
+    next_char();
+    inner = parse_expr();
+    next_char(); /* ')' */
+    return inner;
+  }
+  if (c >= 'a' && c <= 'h') {
+    struct node *v = new_node(1);
+    v->value = next_char() - 'a';
+    return v;
+  }
+  {
+    struct node *lit = new_node(0);
+    int acc = 0;
+    while (peek_char() >= '0' && peek_char() <= '9')
+      acc = acc * 10 + (next_char() - '0');
+    lit->value = acc;
+    return lit;
+  }
+}
+
+struct node *parse_term() {
+  struct node *left = parse_primary();
+  while (peek_char() == '*' || peek_char() == '/') {
+    struct node *bin = new_node(2);
+    bin->op = next_char();
+    bin->lhs = left;
+    bin->rhs = parse_primary();
+    left = bin;
+  }
+  return left;
+}
+
+struct node *parse_expr() {
+  struct node *left = parse_term();
+  while (peek_char() == '+' || peek_char() == '-') {
+    struct node *bin = new_node(2);
+    bin->op = next_char();
+    bin->lhs = left;
+    bin->rhs = parse_term();
+    left = bin;
+  }
+  return left;
+}
+
+/* ---------- constant folding (rewrites the tree in place) ---------- */
+
+int apply_op(int op, int a, int b) {
+  if (op == '+')
+    return a + b;
+  if (op == '-')
+    return a - b;
+  if (op == '*')
+    return a * b;
+  return b != 0 ? a / b : 0;
+}
+
+struct node *fold_tree(struct node *n) {
+  if (n->kind != 2)
+    return n;
+  n->lhs = fold_tree(n->lhs);
+  n->rhs = fold_tree(n->rhs);
+  if (n->lhs->kind == 0 && n->rhs->kind == 0) {
+    n->kind = 0;
+    n->value = apply_op(n->op, n->lhs->value, n->rhs->value);
+    n->lhs = 0;
+    n->rhs = 0;
+    folds_performed = folds_performed + 1;
+    return n;
+  }
+  /* x * 1, x + 0, x - 0 simplify to x */
+  if (n->rhs->kind == 0 &&
+      ((n->op == '*' && n->rhs->value == 1) ||
+       (n->op == '+' && n->rhs->value == 0) ||
+       (n->op == '-' && n->rhs->value == 0))) {
+    folds_performed = folds_performed + 1;
+    return n->lhs;
+  }
+  if (n->lhs->kind == 0 &&
+      ((n->op == '*' && n->lhs->value == 1) ||
+       (n->op == '+' && n->lhs->value == 0))) {
+    folds_performed = folds_performed + 1;
+    return n->rhs;
+  }
+  return n;
+}
+
+/* ---------- code generation ---------- */
+
+void emit(int opcode, int operand) {
+  code[ncode].opcode = opcode;
+  code[ncode].operand = operand;
+  ncode = ncode + 1;
+}
+
+void gen(struct node *n) {
+  if (n->kind == 0) {
+    emit(0, n->value);
+    return;
+  }
+  if (n->kind == 1) {
+    emit(1, n->value);
+    return;
+  }
+  gen(n->lhs);
+  gen(n->rhs);
+  if (n->op == '+')
+    emit(2, 0);
+  else if (n->op == '-')
+    emit(3, 0);
+  else if (n->op == '*')
+    emit(4, 0);
+  else
+    emit(5, 0);
+}
+
+/* ---------- peephole: fold push;push;op triples ---------- */
+
+int peephole() {
+  int changed = 0;
+  int i = 0;
+  while (i + 2 < ncode) {
+    struct instr *a = &code[i];
+    struct instr *b = &code[i + 1];
+    struct instr *c = &code[i + 2];
+    if (a->opcode == 0 && b->opcode == 0 && c->opcode >= 2 &&
+        c->opcode <= 5) {
+      int op = c->opcode == 2 ? '+'
+             : c->opcode == 3 ? '-'
+             : c->opcode == 4 ? '*' : '/';
+      int folded = apply_op(op, a->operand, b->operand);
+      int j;
+      a->operand = folded;
+      for (j = i + 1; j + 2 < ncode; j++)
+        code[j] = code[j + 2];
+      ncode = ncode - 2;
+      changed = 1;
+      peepholes_applied = peepholes_applied + 1;
+    } else {
+      i = i + 1;
+    }
+  }
+  return changed;
+}
+
+/* ---------- VM ---------- */
+
+int run_vm() {
+  int stack[64];
+  int sp = 0;
+  int pc;
+  for (pc = 0; pc < ncode; pc++) {
+    struct instr *ins = &code[pc];
+    if (ins->opcode == 0) {
+      stack[sp] = ins->operand;
+      sp = sp + 1;
+    } else if (ins->opcode == 1) {
+      stack[sp] = vars[ins->operand];
+      sp = sp + 1;
+    } else {
+      int b = stack[sp - 1];
+      int a = stack[sp - 2];
+      int op = ins->opcode == 2 ? '+'
+             : ins->opcode == 3 ? '-'
+             : ins->opcode == 4 ? '*' : '/';
+      sp = sp - 1;
+      stack[sp - 1] = apply_op(op, a, b);
+    }
+  }
+  return stack[0];
+}
+
+/* ---------- reference: direct tree evaluation ---------- */
+
+int eval_tree(struct node *n) {
+  if (n->kind == 0)
+    return n->value;
+  if (n->kind == 1)
+    return vars[n->value];
+  return apply_op(n->op, eval_tree(n->lhs), eval_tree(n->rhs));
+}
+
+/* ---------- driver ---------- */
+
+int mismatches;
+
+int compile_and_run(char *text) {
+  struct node *ast;
+  struct node *folded;
+  int direct;
+  int unopt;
+  int peeped;
+  int opt;
+  strcpy(src, text);
+  pos = 0;
+  ncode = 0;
+  ast = parse_expr();
+  direct = eval_tree(ast);
+
+  gen(ast);
+  unopt = run_vm();
+
+  /* Peephole over the unoptimized code: push;push;op triples fold. */
+  while (peephole()) {
+  }
+  peeped = run_vm();
+
+  folded = fold_tree(ast);
+  ncode = 0;
+  gen(folded);
+  opt = run_vm();
+
+  if (direct != unopt || direct != opt || direct != peeped) {
+    mismatches = mismatches + 1;
+    printf("compiler: MISMATCH %d/%d/%d/%d on %s\n", direct, unopt,
+           peeped, opt, text);
+  }
+  return opt;
+}
+
+int main() {
+  int total = 0;
+  mismatches = 0;
+  nodes_allocated = 0;
+  folds_performed = 0;
+  peepholes_applied = 0;
+  vars[0] = 10;
+  vars[1] = 3;
+  vars[2] = 7;
+  total = total + compile_and_run("1+2*3");
+  total = total + compile_and_run("(1+2)*3");
+  total = total + compile_and_run("a*b+c");
+  total = total + compile_and_run("(a+b)*(c-2)");
+  total = total + compile_and_run("100/(b+2)-4");
+  total = total + compile_and_run("a*1+0*b+c-0");
+  total = total + compile_and_run("2*3*4+a");
+  total = total + compile_and_run("((((1+1))))*((a))");
+  printf("compiler: total %d, %d nodes, %d folds, %d peepholes, "
+         "%d mismatches\n",
+         total, nodes_allocated, folds_performed, peepholes_applied,
+         mismatches);
+  return mismatches;
+}
+)minic";
+}

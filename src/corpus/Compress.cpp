@@ -1,0 +1,287 @@
+//===- corpus/Compress.cpp - LZW compressor benchmark ----------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `compress` benchmark domain (SPEC92):
+// LZW-style compression and decompression of an in-memory buffer with a
+// round-trip check, plus a run-length codec and a frequency model for
+// ratio comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusCompress() {
+  return R"minic(
+/* compress: dictionary-based compression with chained hash buckets and a
+ * decoder that rebuilds strings through parent pointers; an RLE codec
+ * and an order-0 frequency model serve as comparison points. */
+
+struct entry {
+  int prefix;      /* code of the prefix string, -1 for roots */
+  int ch;          /* appended character */
+  int code;        /* this entry's code */
+  struct entry *next;
+};
+
+char input[512];
+int input_len;
+int codes[600];
+int ncodes;
+char expanded[1024];
+int expanded_len;
+
+struct entry *table[128];
+struct entry *by_code[600];
+int next_code;
+
+/* ---------- LZW dictionary ---------- */
+
+void dict_reset() {
+  int i;
+  for (i = 0; i < 128; i++)
+    table[i] = 0;
+  for (i = 0; i < 600; i++)
+    by_code[i] = 0;
+  next_code = 0;
+}
+
+int dict_hash(int prefix, int ch) {
+  int h = prefix * 31 + ch;
+  if (h < 0)
+    h = -h;
+  return h % 128;
+}
+
+int dict_find(int prefix, int ch) {
+  struct entry *e = table[dict_hash(prefix, ch)];
+  while (e != 0) {
+    if (e->prefix == prefix && e->ch == ch)
+      return e->code;
+    e = e->next;
+  }
+  return -1;
+}
+
+int dict_add(int prefix, int ch) {
+  struct entry *e;
+  int h = dict_hash(prefix, ch);
+  if (next_code >= 600)
+    return -1;
+  e = (struct entry *) malloc(sizeof(struct entry));
+  e->prefix = prefix;
+  e->ch = ch;
+  e->code = next_code;
+  e->next = table[h];
+  table[h] = e;
+  by_code[next_code] = e;
+  next_code = next_code + 1;
+  return e->code;
+}
+
+int dict_depth(int code) {
+  int d = 0;
+  struct entry *e = by_code[code];
+  while (e != 0 && e->prefix >= 0) {
+    d = d + 1;
+    e = by_code[e->prefix];
+  }
+  return d;
+}
+
+/* ---------- LZW encode/decode ---------- */
+
+void emit_code(int code) {
+  codes[ncodes] = code;
+  ncodes = ncodes + 1;
+}
+
+void compress_buffer() {
+  int i;
+  int cur;
+  ncodes = 0;
+  dict_reset();
+  for (i = 0; i < 128; i++)
+    dict_add(-1, i);
+  cur = dict_find(-1, input[0]);
+  for (i = 1; i < input_len; i++) {
+    int ch = input[i];
+    int found = dict_find(cur, ch);
+    if (found >= 0) {
+      cur = found;
+    } else {
+      emit_code(cur);
+      dict_add(cur, ch);
+      cur = dict_find(-1, ch);
+    }
+  }
+  emit_code(cur);
+}
+
+/* Expand one code by walking prefix links; returns the first char. */
+int expand_code(int code) {
+  char buf[64];
+  int n = 0;
+  int first;
+  struct entry *e = by_code[code];
+  while (e != 0) {
+    buf[n] = e->ch;
+    n = n + 1;
+    if (e->prefix < 0)
+      e = 0;
+    else
+      e = by_code[e->prefix];
+  }
+  first = buf[n - 1];
+  while (n > 0) {
+    n = n - 1;
+    expanded[expanded_len] = buf[n];
+    expanded_len = expanded_len + 1;
+  }
+  return first;
+}
+
+void decompress_buffer() {
+  int i;
+  int prev;
+  expanded_len = 0;
+  dict_reset();
+  for (i = 0; i < 128; i++)
+    dict_add(-1, i);
+  prev = codes[0];
+  expand_code(prev);
+  for (i = 1; i < ncodes; i++) {
+    int code = codes[i];
+    int first;
+    if (by_code[code] != 0) {
+      first = expand_code(code);
+      dict_add(prev, first);
+    } else {
+      /* the tricky KwKwK case */
+      struct entry *pe = by_code[prev];
+      int pfirst;
+      while (pe->prefix >= 0)
+        pe = by_code[pe->prefix];
+      pfirst = pe->ch;
+      dict_add(prev, pfirst);
+      first = expand_code(code);
+    }
+    prev = code;
+  }
+}
+
+/* ---------- RLE codec (comparison point) ---------- */
+
+int rle_out[1024];
+int rle_len;
+char rle_expanded[1024];
+int rle_expanded_len;
+
+void rle_compress() {
+  int i = 0;
+  rle_len = 0;
+  while (i < input_len) {
+    int run = 1;
+    while (i + run < input_len && input[i + run] == input[i] && run < 255)
+      run = run + 1;
+    rle_out[rle_len] = run;
+    rle_out[rle_len + 1] = input[i];
+    rle_len = rle_len + 2;
+    i = i + run;
+  }
+}
+
+void rle_decompress() {
+  int i;
+  rle_expanded_len = 0;
+  for (i = 0; i < rle_len; i = i + 2) {
+    int run = rle_out[i];
+    int ch = rle_out[i + 1];
+    int j;
+    for (j = 0; j < run; j++) {
+      rle_expanded[rle_expanded_len] = ch;
+      rle_expanded_len = rle_expanded_len + 1;
+    }
+  }
+}
+
+/* ---------- order-0 model: ideal entropy-ish cost in tenths of bits ---- */
+
+int freq[128];
+
+int model_cost() {
+  int i;
+  int distinct = 0;
+  int cost = 0;
+  for (i = 0; i < 128; i++)
+    freq[i] = 0;
+  for (i = 0; i < input_len; i++)
+    freq[input[i]] = freq[input[i]] + 1;
+  for (i = 0; i < 128; i++)
+    if (freq[i] > 0)
+      distinct = distinct + 1;
+  /* crude: log2(distinct) bits per symbol, scaled by 10 */
+  {
+    int bits10 = 0;
+    int d = distinct;
+    while (d > 1) {
+      bits10 = bits10 + 10;
+      d = d / 2;
+    }
+    cost = input_len * bits10;
+  }
+  return cost;
+}
+
+/* ---------- driver ---------- */
+
+void fill_input() {
+  char *pattern = "the quick brown fox jumps over the lazy dog ";
+  int plen = strlen(pattern);
+  int i;
+  input_len = 440;
+  for (i = 0; i < input_len; i++)
+    input[i] = pattern[i % plen];
+  input[input_len] = '\0';
+}
+
+int verify(char *got, int gotlen) {
+  int i;
+  if (gotlen != input_len)
+    return 0;
+  for (i = 0; i < input_len; i++)
+    if (got[i] != input[i])
+      return 0;
+  return 1;
+}
+
+int main() {
+  int lzw_ok;
+  int rle_ok;
+  int deepest;
+  int i;
+  fill_input();
+
+  compress_buffer();
+  decompress_buffer();
+  lzw_ok = verify(expanded, expanded_len);
+
+  rle_compress();
+  rle_decompress();
+  rle_ok = verify(rle_expanded, rle_expanded_len);
+
+  deepest = 0;
+  for (i = 0; i < ncodes; i++) {
+    int d = dict_depth(codes[i]);
+    if (d > deepest)
+      deepest = d;
+  }
+
+  printf("compress: %d bytes -> lzw %d codes (deepest %d), rle %d pairs\n",
+         input_len, ncodes, deepest, rle_len / 2);
+  printf("compress: lzw %s, rle %s, model cost %d tenth-bits\n",
+         lzw_ok ? "ok" : "FAILED", rle_ok ? "ok" : "FAILED",
+         model_cost());
+  return (lzw_ok && rle_ok) ? 0 : 1;
+}
+)minic";
+}

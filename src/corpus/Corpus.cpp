@@ -1,0 +1,48 @@
+//===- corpus/Corpus.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace vdga;
+
+const std::vector<CorpusProgram> &vdga::corpus() {
+  static const std::vector<CorpusProgram> Programs = {
+      {"allroots", "polynomial root finder (Laguerre iteration, deflation)",
+       corpusAllroots(), true},
+      {"anagram", "anagram finder over an embedded word list",
+       corpusAnagram(), true},
+      {"assembler", "two-pass assembler with symbol table and fixups",
+       corpusAssembler(), true},
+      {"backprop", "feed-forward neural network trained by backpropagation",
+       corpusBackprop(), true},
+      {"bc", "arbitrary-expression calculator with variables and functions",
+       corpusBc(), true},
+      {"compiler", "expression compiler to a stack machine, with evaluator",
+       corpusCompiler(), true},
+      {"compress", "LZW-style compressor/decompressor round trip",
+       corpusCompress(), true},
+      {"lex315", "lexer generator: NFA construction from regex fragments",
+       corpusLex315(), true},
+      {"loader", "object-file loader with relocation and symbol binding",
+       corpusLoader(), true},
+      {"part", "particle partitioner: two lists exchanging elements",
+       corpusPart(), true},
+      {"simulator", "word-addressed CPU simulator with decoded dispatch",
+       corpusSimulator(), true},
+      {"span", "spanning tree construction over an adjacency graph",
+       corpusSpan(), true},
+      {"yacr2", "channel router: track assignment with constraint graphs",
+       corpusYacr2(), true},
+  };
+  return Programs;
+}
+
+const CorpusProgram *vdga::findCorpusProgram(std::string_view Name) {
+  for (const CorpusProgram &P : corpus())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,62 @@
+//===- corpus/Corpus.h - Benchmark programs --------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite. The paper (Figure 2) analyzes thirteen
+/// pointer-intensive C programs from Landi's, Austin's, FSF and SPEC92
+/// suites; those sources are not redistributable, so this corpus contains
+/// freshly written MiniC programs with the same names, domains and the
+/// structural traits Section 5 credits for the results: mostly single-level
+/// pointers, abstract data types with a single client, sparse call graphs,
+/// and (in `part`) two linked lists that exchange elements through shared
+/// routines. Every program is closed (no inputs) and runnable under the
+/// concrete interpreter, which the soundness property tests exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CORPUS_CORPUS_H
+#define VDGA_CORPUS_CORPUS_H
+
+#include <string_view>
+#include <vector>
+
+namespace vdga {
+
+/// One benchmark program.
+struct CorpusProgram {
+  const char *Name;        ///< Figure 2 benchmark name.
+  const char *Description; ///< What the program computes.
+  const char *Source;      ///< MiniC source text.
+  /// True when the program is cheap enough for the maximally
+  /// context-sensitive analysis in test runs (all are; the flag lets the
+  /// slow ablation select a subset).
+  bool SmallEnoughForUnoptimizedCS;
+};
+
+/// All thirteen benchmarks, in Figure 2 order.
+const std::vector<CorpusProgram> &corpus();
+
+/// Finds a benchmark by name; null when absent.
+const CorpusProgram *findCorpusProgram(std::string_view Name);
+
+// Per-program source accessors (one translation unit each).
+const char *corpusAllroots();
+const char *corpusAnagram();
+const char *corpusAssembler();
+const char *corpusBackprop();
+const char *corpusBc();
+const char *corpusCompiler();
+const char *corpusCompress();
+const char *corpusLex315();
+const char *corpusLoader();
+const char *corpusPart();
+const char *corpusSimulator();
+const char *corpusSpan();
+const char *corpusYacr2();
+
+} // namespace vdga
+
+#endif // VDGA_CORPUS_CORPUS_H

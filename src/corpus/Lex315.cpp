@@ -1,0 +1,342 @@
+//===- corpus/Lex315.cpp - lexer generator benchmark -----------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `lex315` benchmark domain (Landi suite,
+// CS315 course lexer): build NFAs for simple regular expressions with
+// concatenation, alternation and star, then simulate them over inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusLex315() {
+  return R"minic(
+/* lex315: Thompson-style NFA construction over heap states, plus a
+ * set-based simulation loop. */
+
+struct nstate {
+  int id;
+  int ch;                 /* transition character, 0 = epsilon */
+  struct nstate *out1;
+  struct nstate *out2;
+  int accepting;
+};
+
+struct frag {
+  struct nstate *start;
+  struct nstate *accept;
+};
+
+struct nstate *all_states[128];
+int nstates;
+char *regex;
+int rpos;
+
+struct nstate *new_state(int ch) {
+  struct nstate *s;
+  s = (struct nstate *) malloc(sizeof(struct nstate));
+  s->id = nstates;
+  s->ch = ch;
+  s->out1 = 0;
+  s->out2 = 0;
+  s->accepting = 0;
+  all_states[nstates] = s;
+  nstates = nstates + 1;
+  return s;
+}
+
+struct frag parse_alt();
+
+/* literal or parenthesized group, with optional star */
+struct frag parse_atom() {
+  struct frag f;
+  if (regex[rpos] == '(') {
+    rpos = rpos + 1;
+    f = parse_alt();
+    rpos = rpos + 1; /* ')' */
+  } else {
+    struct nstate *s = new_state(regex[rpos]);
+    struct nstate *a = new_state(0);
+    rpos = rpos + 1;
+    s->out1 = a;
+    f.start = s;
+    f.accept = a;
+  }
+  if (regex[rpos] == '*') {
+    struct nstate *enter = new_state(0);
+    struct nstate *leave = new_state(0);
+    rpos = rpos + 1;
+    enter->out1 = f.start;
+    enter->out2 = leave;
+    f.accept->out1 = f.start;
+    f.accept->out2 = leave;
+    f.start = enter;
+    f.accept = leave;
+  }
+  return f;
+}
+
+struct frag parse_cat() {
+  struct frag left = parse_atom();
+  while (regex[rpos] != '\0' && regex[rpos] != ')' && regex[rpos] != '|') {
+    struct frag right = parse_atom();
+    left.accept->out1 = right.start;
+    left.accept = right.accept;
+  }
+  return left;
+}
+
+struct frag parse_alt() {
+  struct frag left = parse_cat();
+  while (regex[rpos] == '|') {
+    struct frag right;
+    struct nstate *fork;
+    struct nstate *join;
+    rpos = rpos + 1;
+    right = parse_cat();
+    fork = new_state(0);
+    join = new_state(0);
+    fork->out1 = left.start;
+    fork->out2 = right.start;
+    left.accept->out1 = join;
+    right.accept->out1 = join;
+    left.start = fork;
+    left.accept = join;
+  }
+  return left;
+}
+
+struct nstate *compile_regex(char *r) {
+  struct frag f;
+  regex = r;
+  rpos = 0;
+  f = parse_alt();
+  f.accept->accepting = 1;
+  return f.start;
+}
+
+int in_set[128];
+int cur_mark;
+
+void add_state(struct nstate *s) {
+  if (s == 0 || in_set[s->id] == cur_mark)
+    return;
+  in_set[s->id] = cur_mark;
+  if (s->ch == 0 && !s->accepting) {
+    add_state(s->out1);
+    add_state(s->out2);
+  }
+}
+
+int simulate(struct nstate *start, char *text) {
+  int set_a[128];
+  int na;
+  int i;
+  int t;
+  cur_mark = cur_mark + 1;
+  add_state(start);
+  na = 0;
+  for (i = 0; i < nstates; i++)
+    if (in_set[i] == cur_mark) {
+      set_a[na] = i;
+      na = na + 1;
+    }
+  for (t = 0; text[t] != '\0'; t++) {
+    int nb = 0;
+    int next_list[128];
+    for (i = 0; i < na; i++) {
+      struct nstate *s = all_states[set_a[i]];
+      if (s->ch == text[t] && s->out1 != 0) {
+        next_list[nb] = s->out1->id;
+        nb = nb + 1;
+      }
+    }
+    cur_mark = cur_mark + 1;
+    for (i = 0; i < nb; i++)
+      add_state(all_states[next_list[i]]);
+    na = 0;
+    for (i = 0; i < nstates; i++)
+      if (in_set[i] == cur_mark) {
+        set_a[na] = i;
+        na = na + 1;
+      }
+  }
+  for (i = 0; i < na; i++)
+    if (all_states[set_a[i]]->accepting)
+      return 1;
+  return 0;
+}
+
+/* ---------- DFA via subset construction over a small alphabet ---------- */
+
+struct dstate {
+  int nfa_ids[32];       /* sorted member NFA states */
+  int nmembers;
+  int accepting;
+  int trans[4];          /* transitions on 'a'..'d', -1 = none */
+};
+
+struct dstate dfa[64];
+int ndfa;
+
+/* Epsilon-closure of a working set held in closure_buf. */
+int closure_buf[128];
+int closure_n;
+
+void closure_add(struct nstate *s) {
+  int i;
+  if (s == 0)
+    return;
+  for (i = 0; i < closure_n; i++)
+    if (closure_buf[i] == s->id)
+      return;
+  closure_buf[closure_n] = s->id;
+  closure_n = closure_n + 1;
+  if (s->ch == 0 && !s->accepting) {
+    closure_add(s->out1);
+    closure_add(s->out2);
+  }
+}
+
+void sort_closure() {
+  int i;
+  for (i = 1; i < closure_n; i++) {
+    int key = closure_buf[i];
+    int j = i - 1;
+    while (j >= 0 && closure_buf[j] > key) {
+      closure_buf[j + 1] = closure_buf[j];
+      j = j - 1;
+    }
+    closure_buf[j + 1] = key;
+  }
+}
+
+/* Finds or creates the DFA state for the current closure set. */
+int dfa_intern() {
+  int d;
+  int i;
+  sort_closure();
+  for (d = 0; d < ndfa; d++) {
+    if (dfa[d].nmembers != closure_n)
+      continue;
+    {
+      int same = 1;
+      for (i = 0; i < closure_n; i++)
+        if (dfa[d].nfa_ids[i] != closure_buf[i])
+          same = 0;
+      if (same)
+        return d;
+    }
+  }
+  d = ndfa;
+  ndfa = ndfa + 1;
+  dfa[d].nmembers = closure_n;
+  dfa[d].accepting = 0;
+  for (i = 0; i < closure_n; i++) {
+    dfa[d].nfa_ids[i] = closure_buf[i];
+    if (all_states[closure_buf[i]]->accepting)
+      dfa[d].accepting = 1;
+  }
+  for (i = 0; i < 4; i++)
+    dfa[d].trans[i] = -1;
+  return d;
+}
+
+int subset_construct(struct nstate *start) {
+  int d;
+  int c;
+  ndfa = 0;
+  closure_n = 0;
+  closure_add(start);
+  dfa_intern();
+  /* Process DFA states in creation order; new targets append. */
+  for (d = 0; d < ndfa; d++) {
+    for (c = 0; c < 4; c++) {
+      int i;
+      closure_n = 0;
+      for (i = 0; i < dfa[d].nmembers; i++) {
+        struct nstate *s = all_states[dfa[d].nfa_ids[i]];
+        if (s->ch == 'a' + c)
+          closure_add(s->out1);
+      }
+      if (closure_n > 0)
+        dfa[d].trans[c] = dfa_intern();
+    }
+  }
+  return 0; /* start state index */
+}
+
+int dfa_match(char *text) {
+  int d = 0;
+  int t;
+  for (t = 0; text[t] != '\0'; t++) {
+    int c = text[t] - 'a';
+    if (c < 0 || c >= 4)
+      return 0;
+    d = dfa[d].trans[c];
+    if (d < 0)
+      return 0;
+  }
+  return dfa[d].accepting;
+}
+
+/* ---------- driver: both engines must agree on every probe ---------- */
+
+int engine_mismatches;
+
+void check(struct nstate *nfa, char *text, int expect) {
+  int got = simulate(nfa, text);
+  int got_dfa = dfa_match(text);
+  if (got != expect)
+    printf("lex315: NFA MISMATCH on %s\n", text);
+  if (got_dfa != got) {
+    engine_mismatches = engine_mismatches + 1;
+    printf("lex315: DFA/NFA disagree on %s (%d vs %d)\n", text, got_dfa,
+           got);
+  }
+}
+
+int main() {
+  struct nstate *ab_star;
+  struct nstate *alts;
+  struct nstate *nested;
+  int i;
+  int total_dfa = 0;
+  nstates = 0;
+  cur_mark = 0;
+  engine_mismatches = 0;
+  for (i = 0; i < 128; i++)
+    in_set[i] = 0;
+
+  ab_star = compile_regex("a(ab)*b");
+  subset_construct(ab_star);
+  total_dfa = total_dfa + ndfa;
+  check(ab_star, "ab", 1);
+  check(ab_star, "aabb", 1);
+  check(ab_star, "aababb", 1);
+  check(ab_star, "aa", 0);
+  check(ab_star, "b", 0);
+
+  alts = compile_regex("(a|b)*c");
+  subset_construct(alts);
+  total_dfa = total_dfa + ndfa;
+  check(alts, "c", 1);
+  check(alts, "abbac", 1);
+  check(alts, "abab", 0);
+  check(alts, "bbbbbc", 1);
+
+  nested = compile_regex("a(b|c(a|b)*)d");
+  subset_construct(nested);
+  total_dfa = total_dfa + ndfa;
+  check(nested, "abd", 1);
+  check(nested, "acd", 1);
+  check(nested, "acababd", 1);
+  check(nested, "ad", 0);
+  check(nested, "abbd", 0);
+
+  printf("lex315: %d NFA states, %d DFA states, %d engine mismatches\n",
+         nstates, total_dfa, engine_mismatches);
+  return engine_mismatches;
+}
+)minic";
+}

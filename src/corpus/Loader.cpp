@@ -1,0 +1,294 @@
+//===- corpus/Loader.cpp - object loader benchmark -------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `loader` benchmark domain (Landi suite):
+// link several synthetic object modules: merge sections, bind symbols,
+// apply relocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusLoader() {
+  return R"minic(
+/* loader: modules carry code words, exported symbols and relocation
+ * records; linking lays modules out, resolves symbols through a global
+ * table and patches code words. */
+
+struct sym {
+  char name[12];
+  int offset;          /* within the module */
+  int bound;           /* absolute address after layout */
+  struct sym *next;
+};
+
+struct reloc {
+  int site;            /* code index to patch */
+  char target[12];     /* symbol name */
+  struct reloc *next;
+};
+
+struct module {
+  char name[12];
+  int code[32];
+  int codelen;
+  int base;            /* layout address */
+  struct sym *exports;
+  struct reloc *relocs;
+  struct module *next;
+};
+
+struct module *modules;
+struct sym *global_syms;
+int image[256];
+int image_len;
+int errors;
+
+struct module *new_module(char *name) {
+  struct module *m;
+  m = (struct module *) malloc(sizeof(struct module));
+  strcpy(m->name, name);
+  m->codelen = 0;
+  m->base = 0;
+  m->exports = 0;
+  m->relocs = 0;
+  m->next = modules;
+  modules = m;
+  return m;
+}
+
+void add_code(struct module *m, int word) {
+  m->code[m->codelen] = word;
+  m->codelen = m->codelen + 1;
+}
+
+void add_export(struct module *m, char *name, int offset) {
+  struct sym *s;
+  s = (struct sym *) malloc(sizeof(struct sym));
+  strcpy(s->name, name);
+  s->offset = offset;
+  s->bound = -1;
+  s->next = m->exports;
+  m->exports = s;
+}
+
+void add_reloc(struct module *m, int site, char *target) {
+  struct reloc *r;
+  r = (struct reloc *) malloc(sizeof(struct reloc));
+  r->site = site;
+  strcpy(r->target, target);
+  r->next = m->relocs;
+  m->relocs = r;
+}
+
+/* Pass 1: lay out modules and bind exported symbols to addresses. */
+void layout() {
+  struct module *m = modules;
+  int addr = 0;
+  while (m != 0) {
+    struct sym *s;
+    m->base = addr;
+    addr = addr + m->codelen;
+    s = m->exports;
+    while (s != 0) {
+      s->bound = m->base + s->offset;
+      s = s->next;
+    }
+    m = m->next;
+  }
+  image_len = addr;
+}
+
+/* Duplicate-definition detection across modules. */
+int count_duplicates() {
+  int dups = 0;
+  struct module *m = modules;
+  while (m != 0) {
+    struct sym *s = m->exports;
+    while (s != 0) {
+      struct module *m2 = m->next;
+      while (m2 != 0) {
+        struct sym *s2 = m2->exports;
+        while (s2 != 0) {
+          if (strcmp(s->name, s2->name) == 0)
+            dups = dups + 1;
+          s2 = s2->next;
+        }
+        m2 = m2->next;
+      }
+      s = s->next;
+    }
+    m = m->next;
+  }
+  return dups;
+}
+
+void publish_symbols() {
+  struct module *m = modules;
+  while (m != 0) {
+    struct sym *s = m->exports;
+    while (s != 0) {
+      struct sym *g;
+      g = (struct sym *) malloc(sizeof(struct sym));
+      strcpy(g->name, s->name);
+      g->offset = s->offset;
+      g->bound = s->bound;
+      g->next = global_syms;
+      global_syms = g;
+      s = s->next;
+    }
+    m = m->next;
+  }
+}
+
+struct sym *find_symbol(char *name) {
+  struct sym *g = global_syms;
+  while (g != 0) {
+    if (strcmp(g->name, name) == 0)
+      return g;
+    g = g->next;
+  }
+  return 0;
+}
+
+/* Pass 2: copy code and apply relocations. */
+void relocate() {
+  struct module *m = modules;
+  while (m != 0) {
+    int i;
+    struct reloc *r;
+    for (i = 0; i < m->codelen; i++)
+      image[m->base + i] = m->code[i];
+    r = m->relocs;
+    while (r != 0) {
+      struct sym *target = find_symbol(r->target);
+      if (target == 0) {
+        errors = errors + 1;
+      } else {
+        image[m->base + r->site] = image[m->base + r->site] + target->bound;
+      }
+      r = r->next;
+    }
+    m = m->next;
+  }
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < image_len; i++)
+    sum = sum * 3 + image[i];
+  return sum;
+}
+
+/* ---------- map "file": per-module extents and symbol bindings ---------- */
+
+char mapbuf[512];
+int maplen;
+
+void map_emit_str(char *s) {
+  int i = 0;
+  while (s[i] != '\0' && maplen < 510) {
+    mapbuf[maplen] = s[i];
+    maplen = maplen + 1;
+    i = i + 1;
+  }
+}
+
+void map_emit_int(int v) {
+  char digits[12];
+  int n = 0;
+  if (v < 0) {
+    map_emit_str("-");
+    v = -v;
+  }
+  if (v == 0) {
+    map_emit_str("0");
+    return;
+  }
+  while (v > 0) {
+    digits[n] = '0' + v % 10;
+    n = n + 1;
+    v = v / 10;
+  }
+  while (n > 0) {
+    n = n - 1;
+    if (maplen < 510) {
+      mapbuf[maplen] = digits[n];
+      maplen = maplen + 1;
+    }
+  }
+}
+
+void build_map() {
+  struct module *m = modules;
+  maplen = 0;
+  while (m != 0) {
+    struct sym *s;
+    map_emit_str(m->name);
+    map_emit_str("@");
+    map_emit_int(m->base);
+    map_emit_str("+");
+    map_emit_int(m->codelen);
+    s = m->exports;
+    while (s != 0) {
+      map_emit_str(" ");
+      map_emit_str(s->name);
+      map_emit_str("=");
+      map_emit_int(s->bound);
+      s = s->next;
+    }
+    map_emit_str(";");
+    m = m->next;
+  }
+  mapbuf[maplen] = '\0';
+}
+
+/* Weak binding: look a symbol up, falling back to a default address. */
+int bind_or_default(char *name, int fallback) {
+  struct sym *g = find_symbol(name);
+  return g != 0 ? g->bound : fallback;
+}
+
+int main() {
+  struct module *a;
+  struct module *b;
+  struct module *c;
+  int i;
+  modules = 0;
+  global_syms = 0;
+  errors = 0;
+
+  a = new_module("alpha");
+  for (i = 0; i < 8; i++)
+    add_code(a, 100 + i);
+  add_export(a, "alpha_fn", 2);
+  add_reloc(a, 5, "beta_fn");
+
+  b = new_module("beta");
+  for (i = 0; i < 12; i++)
+    add_code(b, 200 + i);
+  add_export(b, "beta_fn", 0);
+  add_export(b, "beta_tab", 6);
+  add_reloc(b, 3, "alpha_fn");
+  add_reloc(b, 9, "gamma_fn");
+
+  c = new_module("gamma");
+  for (i = 0; i < 6; i++)
+    add_code(c, 300 + i);
+  add_export(c, "gamma_fn", 1);
+  add_reloc(c, 2, "beta_tab");
+
+  layout();
+  publish_symbols();
+  relocate();
+  build_map();
+  printf("loader: image %d words, %d unresolved, %d duplicate syms, "
+         "checksum %d\n",
+         image_len, errors, count_duplicates(), checksum());
+  printf("loader: entry=%d map=%s\n",
+         bind_or_default("alpha_fn", -1), mapbuf);
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,215 @@
+//===- corpus/Part.cpp - particle partitioner benchmark --------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `part` benchmark domain (Austin suite).
+// The paper singles this program out: it builds two linked lists that are
+// manipulated by the same routines and exchanges elements between them
+// early on, so any points-to pair aiming at the "wrong" list still
+// references values the list really holds (Section 5.2's serendipity
+// case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusPart() {
+  return R"minic(
+/* part: partition particles into two boxes by coordinate, using one set
+ * of list routines for both boxes, and migrate particles between boxes
+ * as they drift. */
+
+struct particle {
+  double x;
+  double y;
+  double vx;
+  double vy;
+  int id;
+  struct particle *next;
+};
+
+struct box {
+  struct particle *head;
+  int count;
+};
+
+struct box left_box;
+struct box right_box;
+int seed;
+int migrations;
+
+double frand() {
+  seed = seed * 1103515245 + 12345;
+  if (seed < 0)
+    seed = -seed;
+  return (seed % 1000) / 1000.0;
+}
+
+/* Shared list routines: both boxes flow through here, which is what
+ * cross-pollutes the two lists under context-insensitive analysis. */
+void box_push(struct box *b, struct particle *p) {
+  p->next = b->head;
+  b->head = p;
+  b->count = b->count + 1;
+}
+
+struct particle *box_pop(struct box *b) {
+  struct particle *p = b->head;
+  if (p != 0) {
+    b->head = p->next;
+    b->count = b->count - 1;
+  }
+  return p;
+}
+
+struct particle *make_particle(int id) {
+  struct particle *p;
+  p = (struct particle *) malloc(sizeof(struct particle));
+  p->id = id;
+  p->x = frand();
+  p->y = frand();
+  p->vx = frand() - 0.5;
+  p->vy = frand() - 0.5;
+  p->next = 0;
+  return p;
+}
+
+void seed_particles(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    struct particle *p = make_particle(i);
+    if (p->x < 0.5)
+      box_push(&left_box, p);
+    else
+      box_push(&right_box, p);
+  }
+}
+
+/* Advance every particle in a box; return a list of escapers. */
+struct particle *advance_box(struct box *b, int leftside) {
+  struct particle *escaped = 0;
+  struct particle *kept = 0;
+  struct particle *p;
+  while ((p = box_pop(b)) != 0) {
+    p->x = p->x + p->vx * 0.1;
+    p->y = p->y + p->vy * 0.1;
+    if (p->x < 0.0) {
+      p->x = -p->x;
+      p->vx = -p->vx;
+    }
+    if (p->x > 1.0) {
+      p->x = 2.0 - p->x;
+      p->vx = -p->vx;
+    }
+    if ((leftside && p->x >= 0.5) || (!leftside && p->x < 0.5)) {
+      p->next = escaped;
+      escaped = p;
+    } else {
+      p->next = kept;
+      kept = p;
+    }
+  }
+  while (kept != 0) {
+    struct particle *q = kept;
+    kept = kept->next;
+    box_push(b, q);
+  }
+  return escaped;
+}
+
+void migrate(struct particle *movers, struct box *dst) {
+  while (movers != 0) {
+    struct particle *q = movers;
+    movers = movers->next;
+    box_push(dst, q);
+    migrations = migrations + 1;
+  }
+}
+
+/* ---------- diagnostics over the shared lists ---------- */
+
+/* Spatial 4x4 occupancy grid computed from both boxes. */
+int grid[16];
+
+void bin_box(struct box *b) {
+  struct particle *p = b->head;
+  while (p != 0) {
+    int gx = (int) (p->x * 4.0);
+    int gy = (int) (p->y * 4.0);
+    if (gx < 0)
+      gx = 0;
+    if (gx > 3)
+      gx = 3;
+    if (gy < 0)
+      gy = 0;
+    if (gy > 3)
+      gy = 3;
+    grid[gy * 4 + gx] = grid[gy * 4 + gx] + 1;
+    p = p->next;
+  }
+}
+
+int busiest_cell() {
+  int i;
+  int best = 0;
+  for (i = 0; i < 16; i++)
+    grid[i] = 0;
+  bin_box(&left_box);
+  bin_box(&right_box);
+  for (i = 1; i < 16; i++)
+    if (grid[i] > grid[best])
+      best = i;
+  return best;
+}
+
+/* Total kinetic energy, in thousandths. */
+int total_energy() {
+  double e = 0.0;
+  struct box *boxes[2];
+  int bi;
+  boxes[0] = &left_box;
+  boxes[1] = &right_box;
+  for (bi = 0; bi < 2; bi++) {
+    struct particle *p = boxes[bi]->head;
+    while (p != 0) {
+      e = e + (p->vx * p->vx + p->vy * p->vy) / 2.0;
+      p = p->next;
+    }
+  }
+  return (int) (e * 1000.0);
+}
+
+/* The paper's element-exchange behaviour, made explicit: swap the first
+ * particles of the two boxes through the shared routines. */
+void exchange_heads() {
+  struct particle *l = box_pop(&left_box);
+  struct particle *r = box_pop(&right_box);
+  if (l != 0)
+    box_push(&right_box, l);
+  if (r != 0)
+    box_push(&left_box, r);
+}
+
+int main() {
+  int step;
+  seed = 99;
+  migrations = 0;
+  left_box.head = 0;
+  left_box.count = 0;
+  right_box.head = 0;
+  right_box.count = 0;
+  seed_particles(60);
+  exchange_heads(); /* early cross-pollution, as the paper describes */
+  for (step = 0; step < 20; step++) {
+    struct particle *ltr = advance_box(&left_box, 1);
+    struct particle *rtl = advance_box(&right_box, 0);
+    migrate(ltr, &right_box);
+    migrate(rtl, &left_box);
+  }
+  printf("part: left=%d right=%d migrations=%d\n", left_box.count,
+         right_box.count, migrations);
+  printf("part: busiest cell %d, energy %d/1000\n", busiest_cell(),
+         total_energy());
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,265 @@
+//===- corpus/Simulator.cpp - CPU simulator benchmark ----------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `simulator` benchmark domain (Landi
+// suite): a word-addressed accumulator CPU with decoded instruction
+// records, a function-pointer dispatch table (the suite's light use of
+// indirect calls, Section 4.1), a direct-mapped data cache model and
+// per-opcode execution statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusSimulator() {
+  return R"minic(
+/* simulator: fetch/decode/execute over a word memory, with per-opcode
+ * handler functions reached through a dispatch table, plus a cache model
+ * observing every data access. */
+
+struct cpu {
+  int acc;
+  int pc;
+  int flags;
+  int halted;
+  int cycles;
+};
+
+struct decoded {
+  int opcode;
+  int operand;
+};
+
+struct cacheline {
+  int valid;
+  int tag;
+  int accesses;
+};
+
+struct cache {
+  struct cacheline lines[16];
+  int hits;
+  int misses;
+};
+
+int memory[128];
+struct cpu machine;
+struct cache dcache;
+int op_counts[10];
+void (*dispatch[10])(struct cpu *, struct decoded *);
+
+/* ---------- cache model ---------- */
+
+void cache_reset(struct cache *c) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    c->lines[i].valid = 0;
+    c->lines[i].tag = 0;
+    c->lines[i].accesses = 0;
+  }
+  c->hits = 0;
+  c->misses = 0;
+}
+
+void cache_access(struct cache *c, int addr) {
+  struct cacheline *line = &c->lines[addr % 16];
+  int tag = addr / 16;
+  line->accesses = line->accesses + 1;
+  if (line->valid && line->tag == tag) {
+    c->hits = c->hits + 1;
+  } else {
+    c->misses = c->misses + 1;
+    line->valid = 1;
+    line->tag = tag;
+  }
+}
+
+int cache_busiest_line(struct cache *c) {
+  int i;
+  int best = 0;
+  for (i = 1; i < 16; i++)
+    if (c->lines[i].accesses > c->lines[best].accesses)
+      best = i;
+  return best;
+}
+
+/* ---------- data access through the cache ---------- */
+
+int read_mem(int addr) {
+  cache_access(&dcache, addr);
+  return memory[addr];
+}
+
+void write_mem(int addr, int value) {
+  cache_access(&dcache, addr);
+  memory[addr] = value;
+}
+
+/* ---------- opcode handlers ---------- */
+
+void op_load(struct cpu *c, struct decoded *d) {
+  c->acc = read_mem(d->operand);
+}
+
+void op_store(struct cpu *c, struct decoded *d) {
+  write_mem(d->operand, c->acc);
+}
+
+void op_add(struct cpu *c, struct decoded *d) {
+  c->acc = c->acc + read_mem(d->operand);
+  c->flags = c->acc == 0 ? 1 : 0;
+}
+
+void op_sub(struct cpu *c, struct decoded *d) {
+  c->acc = c->acc - read_mem(d->operand);
+  c->flags = c->acc == 0 ? 1 : 0;
+}
+
+void op_jmp(struct cpu *c, struct decoded *d) {
+  c->pc = d->operand;
+}
+
+void op_jz(struct cpu *c, struct decoded *d) {
+  if (c->flags)
+    c->pc = d->operand;
+}
+
+void op_loadi(struct cpu *c, struct decoded *d) {
+  c->acc = d->operand;
+}
+
+void op_halt(struct cpu *c, struct decoded *d) {
+  c->halted = 1;
+}
+
+/* ---------- fetch/decode/execute ---------- */
+
+void decode(int word, struct decoded *d) {
+  d->opcode = word / 256;
+  d->operand = word % 256;
+}
+
+void step_cpu(struct cpu *c) {
+  struct decoded d;
+  int word = memory[c->pc];
+  c->pc = c->pc + 1;
+  decode(word, &d);
+  if (d.opcode >= 1 && d.opcode <= 8) {
+    op_counts[d.opcode] = op_counts[d.opcode] + 1;
+    dispatch[d.opcode](c, &d);
+  } else {
+    c->halted = 1;
+  }
+  c->cycles = c->cycles + 1;
+}
+
+void run_cpu(struct cpu *c, int fuel) {
+  while (!c->halted && fuel > 0) {
+    step_cpu(c);
+    fuel = fuel - 1;
+  }
+}
+
+void reset_cpu(struct cpu *c) {
+  c->acc = 0;
+  c->pc = 0;
+  c->flags = 0;
+  c->halted = 0;
+  c->cycles = 0;
+}
+
+void install_handlers() {
+  dispatch[1] = op_load;
+  dispatch[2] = op_store;
+  dispatch[3] = op_add;
+  dispatch[4] = op_sub;
+  dispatch[5] = op_jmp;
+  dispatch[6] = op_jz;
+  dispatch[7] = op_loadi;
+  dispatch[8] = op_halt;
+}
+
+/* ---------- workloads ---------- */
+
+int asmw(int opcode, int operand) {
+  return opcode * 256 + operand;
+}
+
+/* sum the integers 1..n with a countdown loop */
+void load_sum_program(int n) {
+  int pc = 0;
+  memory[100] = n;   /* counter */
+  memory[101] = 0;   /* total */
+  memory[102] = 1;   /* the constant one */
+  memory[pc] = asmw(1, 100); pc = pc + 1;   /* load counter */
+  memory[pc] = asmw(6, 9);   pc = pc + 1;   /* jz end */
+  memory[pc] = asmw(1, 101); pc = pc + 1;   /* load total */
+  memory[pc] = asmw(3, 100); pc = pc + 1;   /* add counter */
+  memory[pc] = asmw(2, 101); pc = pc + 1;   /* store total */
+  memory[pc] = asmw(1, 100); pc = pc + 1;   /* load counter */
+  memory[pc] = asmw(4, 102); pc = pc + 1;   /* sub one */
+  memory[pc] = asmw(2, 100); pc = pc + 1;   /* store counter */
+  memory[pc] = asmw(5, 0);   pc = pc + 1;   /* jmp top */
+  memory[pc] = asmw(8, 0);   pc = pc + 1;   /* halt */
+}
+
+/* fibonacci: iterate f(n) with three memory cells */
+void load_fib_program(int n) {
+  int pc = 0;
+  memory[100] = n;   /* counter */
+  memory[101] = 0;   /* f(i-1) */
+  memory[102] = 1;   /* f(i) */
+  memory[103] = 0;   /* scratch */
+  memory[104] = 1;   /* the constant one */
+  memory[pc] = asmw(1, 100); pc = pc + 1;   /* load counter */
+  memory[pc] = asmw(6, 13);  pc = pc + 1;   /* jz end */
+  memory[pc] = asmw(1, 101); pc = pc + 1;   /* load f(i-1) */
+  memory[pc] = asmw(3, 102); pc = pc + 1;   /* add f(i) */
+  memory[pc] = asmw(2, 103); pc = pc + 1;   /* scratch = f(i+1) */
+  memory[pc] = asmw(1, 102); pc = pc + 1;   /* shift down */
+  memory[pc] = asmw(2, 101); pc = pc + 1;
+  memory[pc] = asmw(1, 103); pc = pc + 1;
+  memory[pc] = asmw(2, 102); pc = pc + 1;
+  memory[pc] = asmw(1, 100); pc = pc + 1;   /* counter-- */
+  memory[pc] = asmw(4, 104); pc = pc + 1;
+  memory[pc] = asmw(2, 100); pc = pc + 1;
+  memory[pc] = asmw(5, 0);   pc = pc + 1;   /* loop */
+  memory[pc] = asmw(8, 0);   pc = pc + 1;   /* halt (pc 13) */
+}
+
+int run_workload(int which, int n) {
+  int i;
+  for (i = 0; i < 10; i++)
+    op_counts[i] = 0;
+  cache_reset(&dcache);
+  if (which == 0)
+    load_sum_program(n);
+  else
+    load_fib_program(n);
+  reset_cpu(&machine);
+  run_cpu(&machine, 100000);
+  if (which == 0)
+    return memory[101];
+  return memory[102];
+}
+
+int main() {
+  int sum25;
+  int fib10;
+  install_handlers();
+
+  sum25 = run_workload(0, 25);
+  printf("simulator: sum(1..25)=%d in %d cycles, cache %d/%d\n", sum25,
+         machine.cycles, dcache.hits, dcache.hits + dcache.misses);
+
+  fib10 = run_workload(1, 10);
+  printf("simulator: fib(11)=%d in %d cycles, cache %d/%d, busy line %d\n",
+         fib10, machine.cycles, dcache.hits,
+         dcache.hits + dcache.misses, cache_busiest_line(&dcache));
+
+  printf("simulator: loads=%d stores=%d adds=%d\n", op_counts[1],
+         op_counts[2], op_counts[3]);
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,227 @@
+//===- corpus/Span.cpp - spanning tree benchmark ---------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `span` benchmark domain (Austin suite):
+// spanning-tree construction over an adjacency-list graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusSpan() {
+  return R"minic(
+/* span: build a random-ish graph as adjacency lists, then compute a
+ * spanning tree with an explicit worklist.  Pointer profile matches the
+ * paper's description of the suite: single-level pointers into heap
+ * nodes, one abstract data type (the adjacency list) with one client. */
+
+struct edge {
+  int to;
+  struct edge *next;
+};
+
+struct vertex {
+  int id;
+  int mark;
+  int parent;
+  struct edge *adj;
+};
+
+int nvertices;
+struct vertex verts[64];
+int stack[64];
+int sp;
+int tree_edges;
+int seed;
+
+int next_random() {
+  seed = seed * 1103515245 + 12345;
+  if (seed < 0)
+    seed = -seed;
+  return seed % 1024;
+}
+
+void add_edge(int from, int to) {
+  struct edge *e;
+  e = (struct edge *) malloc(sizeof(struct edge));
+  e->to = to;
+  e->next = verts[from].adj;
+  verts[from].adj = e;
+}
+
+void init_graph(int n) {
+  int i;
+  nvertices = n;
+  for (i = 0; i < n; i++) {
+    verts[i].id = i;
+    verts[i].mark = 0;
+    verts[i].parent = -1;
+    verts[i].adj = 0;
+  }
+  for (i = 1; i < n; i++) {
+    add_edge(i, next_random() % i);
+    add_edge(next_random() % i, i);
+  }
+  for (i = 0; i < n; i++) {
+    int a = next_random() % n;
+    int b = next_random() % n;
+    if (a != b) {
+      add_edge(a, b);
+      add_edge(b, a);
+    }
+  }
+}
+
+void push_vertex(int v) {
+  stack[sp] = v;
+  sp = sp + 1;
+}
+
+int pop_vertex() {
+  sp = sp - 1;
+  return stack[sp];
+}
+
+void span_from(int root) {
+  struct vertex *v;
+  struct edge *e;
+  verts[root].mark = 1;
+  push_vertex(root);
+  while (sp > 0) {
+    int cur = pop_vertex();
+    v = &verts[cur];
+    e = v->adj;
+    while (e != 0) {
+      struct vertex *w = &verts[e->to];
+      if (w->mark == 0) {
+        w->mark = 1;
+        w->parent = cur;
+        tree_edges = tree_edges + 1;
+        push_vertex(e->to);
+      }
+      e = e->next;
+    }
+  }
+}
+
+int check_tree() {
+  int i;
+  int roots = 0;
+  for (i = 0; i < nvertices; i++) {
+    if (verts[i].parent < 0)
+      roots = roots + 1;
+    if (verts[i].mark == 0)
+      return 0;
+  }
+  return roots;
+}
+
+/* ---------- second algorithm: Kruskal over an edge array ---------- */
+
+struct wedge {
+  int from;
+  int to;
+  int weight;
+};
+
+struct wedge all_edges[512];
+int nedges;
+int uf_parent[64];
+
+void collect_edges() {
+  int v;
+  nedges = 0;
+  for (v = 0; v < nvertices; v++) {
+    struct edge *e = verts[v].adj;
+    while (e != 0) {
+      if (v < e->to) { /* record each undirected edge once */
+        all_edges[nedges].from = v;
+        all_edges[nedges].to = e->to;
+        all_edges[nedges].weight = (v * 7 + e->to * 13) % 100;
+        nedges = nedges + 1;
+      }
+      e = e->next;
+    }
+  }
+}
+
+void sort_edges() {
+  /* insertion sort by weight: small n, stable, deterministic */
+  int i;
+  for (i = 1; i < nedges; i++) {
+    struct wedge key = all_edges[i];
+    int j = i - 1;
+    while (j >= 0 && all_edges[j].weight > key.weight) {
+      all_edges[j + 1] = all_edges[j];
+      j = j - 1;
+    }
+    all_edges[j + 1] = key;
+  }
+}
+
+int uf_find(int x) {
+  while (uf_parent[x] != x) {
+    uf_parent[x] = uf_parent[uf_parent[x]];
+    x = uf_parent[x];
+  }
+  return x;
+}
+
+int kruskal() {
+  int i;
+  int taken = 0;
+  int weight = 0;
+  for (i = 0; i < nvertices; i++)
+    uf_parent[i] = i;
+  for (i = 0; i < nedges && taken < nvertices - 1; i++) {
+    int a = uf_find(all_edges[i].from);
+    int b = uf_find(all_edges[i].to);
+    if (a != b) {
+      uf_parent[a] = b;
+      taken = taken + 1;
+      weight = weight + all_edges[i].weight;
+    }
+  }
+  return taken == nvertices - 1 ? weight : -1;
+}
+
+/* degree histogram of the adjacency lists */
+int degree_of(int v) {
+  int d = 0;
+  struct edge *e = verts[v].adj;
+  while (e != 0) {
+    d = d + 1;
+    e = e->next;
+  }
+  return d;
+}
+
+int max_degree() {
+  int v;
+  int best = 0;
+  for (v = 0; v < nvertices; v++) {
+    int d = degree_of(v);
+    if (d > best)
+      best = d;
+  }
+  return best;
+}
+
+int main() {
+  int mst_weight;
+  seed = 17;
+  sp = 0;
+  tree_edges = 0;
+  init_graph(48);
+  span_from(0);
+  collect_edges();
+  sort_edges();
+  mst_weight = kruskal();
+  printf("span: %d vertices, %d tree edges, %d roots\n", nvertices,
+         tree_edges, check_tree());
+  printf("span: %d undirected edges, mst weight %d, max degree %d\n",
+         nedges, mst_weight, max_degree());
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,291 @@
+//===- corpus/Yacr2.cpp - channel router benchmark --------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// MiniC reimplementation of the `yacr2` benchmark domain (Austin suite):
+// VLSI channel routing — assign nets to horizontal tracks subject to
+// vertical and horizontal constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusYacr2() {
+  return R"minic(
+/* yacr2: nets connect a top pin column to a bottom pin column; two nets
+ * sharing a column impose a vertical order, overlapping spans cannot
+ * share a track. Assign greedy track numbers honoring both constraint
+ * graphs. */
+
+struct net {
+  int id;
+  int left;            /* leftmost column */
+  int right;           /* rightmost column */
+  int track;           /* assigned track, 0 = unassigned */
+  struct net *next;    /* chain of nets ordered by left edge */
+};
+
+struct vedge {
+  int above;           /* net id that must be above */
+  int below;           /* net id that must be below */
+  struct vedge *next;
+};
+
+struct net *nets[24];
+struct net *by_left;
+struct vedge *vconstraints;
+int nnets;
+int top_pins[32];
+int bottom_pins[32];
+int ncols;
+int ntracks;
+int failures;
+
+struct net *make_net(int id) {
+  struct net *n;
+  n = (struct net *) malloc(sizeof(struct net));
+  n->id = id;
+  n->left = 1000;
+  n->right = -1;
+  n->track = 0;
+  n->next = 0;
+  nets[id] = n;
+  return n;
+}
+
+void touch_column(struct net *n, int col) {
+  if (col < n->left)
+    n->left = col;
+  if (col > n->right)
+    n->right = col;
+}
+
+void scan_pins() {
+  int col;
+  for (col = 0; col < ncols; col++) {
+    int t = top_pins[col];
+    int b = bottom_pins[col];
+    if (t > 0) {
+      if (nets[t] == 0)
+        make_net(t);
+      touch_column(nets[t], col);
+    }
+    if (b > 0) {
+      if (nets[b] == 0)
+        make_net(b);
+      touch_column(nets[b], col);
+    }
+    if (t > 0 && b > 0 && t != b) {
+      /* net at the top pin must route above the bottom one */
+      struct vedge *e;
+      e = (struct vedge *) malloc(sizeof(struct vedge));
+      e->above = t;
+      e->below = b;
+      e->next = vconstraints;
+      vconstraints = e;
+    }
+  }
+}
+
+void order_by_left() {
+  int id;
+  by_left = 0;
+  for (id = 23; id >= 1; id--) {
+    struct net *n = nets[id];
+    struct net **slot;
+    if (n == 0)
+      continue;
+    slot = &by_left;
+    while (*slot != 0 && (*slot)->left < n->left)
+      slot = &(*slot)->next;
+    n->next = *slot;
+    *slot = n;
+  }
+}
+
+int spans_overlap(struct net *a, struct net *b) {
+  return a->left <= b->right && b->left <= a->right;
+}
+
+int violates_vertical(struct net *n, int track) {
+  struct vedge *e = vconstraints;
+  while (e != 0) {
+    struct net *other;
+    if (e->above == n->id) {
+      other = nets[e->below];
+      if (other != 0 && other->track != 0 && other->track <= track &&
+          spans_overlap(n, other) == 0) {
+        /* non-overlapping spans never conflict */
+      } else if (other != 0 && other->track != 0 && other->track <= track &&
+                 spans_overlap(n, other)) {
+        return 1;
+      }
+    }
+    if (e->below == n->id) {
+      other = nets[e->above];
+      if (other != 0 && other->track != 0 && other->track >= track &&
+          spans_overlap(n, other))
+        return 1;
+    }
+    e = e->next;
+  }
+  return 0;
+}
+
+int track_free(struct net *n, int track) {
+  int id;
+  for (id = 1; id < 24; id++) {
+    struct net *o = nets[id];
+    if (o == 0 || o == n || o->track != track)
+      continue;
+    if (spans_overlap(n, o))
+      return 0;
+  }
+  return 1;
+}
+
+void assign_tracks() {
+  struct net *n = by_left;
+  ntracks = 0;
+  while (n != 0) {
+    int t = 1;
+    int placed = 0;
+    while (t <= 24 && !placed) {
+      if (track_free(n, t) && !violates_vertical(n, t)) {
+        n->track = t;
+        placed = 1;
+        if (t > ntracks)
+          ntracks = t;
+      }
+      t = t + 1;
+    }
+    if (!placed)
+      failures = failures + 1;
+    n = n->next;
+  }
+}
+
+void set_pin(int col, int top, int bottom) {
+  top_pins[col] = top;
+  bottom_pins[col] = bottom;
+  if (col >= ncols)
+    ncols = col + 1;
+}
+
+/* ---------- constraint diagnostics ---------- */
+
+/* Depth-first search for a cycle in the vertical-constraint graph; a
+ * cycle means the channel is unroutable without doglegs. */
+int visit_state[24];
+
+int vc_dfs(int id) {
+  struct vedge *e;
+  if (visit_state[id] == 1)
+    return 1; /* back edge: cycle */
+  if (visit_state[id] == 2)
+    return 0;
+  visit_state[id] = 1;
+  e = vconstraints;
+  while (e != 0) {
+    if (e->above == id && vc_dfs(e->below))
+      return 1;
+    e = e->next;
+  }
+  visit_state[id] = 2;
+  return 0;
+}
+
+int has_constraint_cycle() {
+  int id;
+  for (id = 0; id < 24; id++)
+    visit_state[id] = 0;
+  for (id = 1; id < 24; id++)
+    if (nets[id] != 0 && visit_state[id] == 0 && vc_dfs(id))
+      return 1;
+  return 0;
+}
+
+int count_constraints() {
+  int n = 0;
+  struct vedge *e = vconstraints;
+  while (e != 0) {
+    n = n + 1;
+    e = e->next;
+  }
+  return n;
+}
+
+/* Channel utilization: per track, how many columns are covered. */
+int track_utilization(int track) {
+  int id;
+  int used = 0;
+  for (id = 1; id < 24; id++) {
+    struct net *n = nets[id];
+    if (n != 0 && n->track == track)
+      used = used + (n->right - n->left + 1);
+  }
+  return used;
+}
+
+/* Lower bound on tracks: maximum column density. */
+int density_bound() {
+  int col;
+  int best = 0;
+  for (col = 0; col < ncols; col++) {
+    int id;
+    int here = 0;
+    for (id = 1; id < 24; id++) {
+      struct net *n = nets[id];
+      if (n != 0 && n->left <= col && col <= n->right)
+        here = here + 1;
+    }
+    if (here > best)
+      best = here;
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 24; i++)
+    nets[i] = 0;
+  for (i = 0; i < 32; i++) {
+    top_pins[i] = 0;
+    bottom_pins[i] = 0;
+  }
+  ncols = 0;
+  nnets = 0;
+  failures = 0;
+  vconstraints = 0;
+
+  set_pin(0, 1, 2);
+  set_pin(1, 3, 1);
+  set_pin(2, 2, 4);
+  set_pin(3, 4, 3);
+  set_pin(4, 5, 1);
+  set_pin(5, 3, 5);
+  set_pin(6, 6, 2);
+  set_pin(7, 5, 6);
+  set_pin(8, 7, 4);
+  set_pin(9, 6, 7);
+
+  scan_pins();
+  order_by_left();
+  assign_tracks();
+
+  printf("yacr2: %d columns, %d tracks used, %d failures\n", ncols,
+         ntracks, failures);
+  printf("yacr2: %d vertical constraints, cycle=%d, density bound %d\n",
+         count_constraints(), has_constraint_cycle(), density_bound());
+  {
+    int t;
+    int busiest = 1;
+    for (t = 2; t <= ntracks; t++)
+      if (track_utilization(t) > track_utilization(busiest))
+        busiest = t;
+    printf("yacr2: busiest track %d covers %d columns\n", busiest,
+           track_utilization(busiest));
+  }
+  return 0;
+}
+)minic";
+}

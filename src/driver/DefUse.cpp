@@ -1,0 +1,137 @@
+//===- driver/DefUse.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/DefUse.h"
+
+#include <set>
+
+using namespace vdga;
+
+const std::vector<NodeId> DefUseInfo::Empty;
+
+namespace {
+
+/// Fixed-point propagation of "which update nodes flowed into this store
+/// output", along intraprocedural store edges plus the discovered call
+/// graph (call store -> entry formal; return store -> call store output).
+class StoreReach {
+public:
+  StoreReach(const Graph &G, const PointsToResult &R) : G(G), R(R) {
+    Reach.resize(G.numOutputs());
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (NodeId N = 0; N < G.numNodes(); ++N)
+        Changed |= transfer(N);
+    }
+  }
+
+  const std::set<NodeId> &at(OutputId O) const { return Reach[O]; }
+
+private:
+  bool mergeInto(OutputId Dst, const std::set<NodeId> &Src) {
+    size_t Before = Reach[Dst].size();
+    Reach[Dst].insert(Src.begin(), Src.end());
+    return Reach[Dst].size() != Before;
+  }
+
+  bool transfer(NodeId N) {
+    const Node &Node = G.node(N);
+    switch (Node.Kind) {
+    case NodeKind::Update: {
+      OutputId Out = G.outputOf(N);
+      bool Changed = mergeInto(Out, Reach[G.producerOf(N, 1)]);
+      if (Reach[Out].insert(N).second)
+        Changed = true;
+      return Changed;
+    }
+    case NodeKind::Merge: {
+      OutputId Out = G.outputOf(N);
+      if (G.output(Out).Kind != ValueKind::Store)
+        return false;
+      bool Changed = false;
+      for (size_t I = 0; I < Node.Inputs.size(); ++I) {
+        OutputId In = G.producerOf(N, static_cast<unsigned>(I));
+        if (In != InvalidId)
+          Changed |= mergeInto(Out, Reach[In]);
+      }
+      return Changed;
+    }
+    case NodeKind::Call: {
+      unsigned StoreIn = static_cast<unsigned>(Node.Inputs.size()) - 1;
+      OutputId StoreOut = G.outputOf(N, Node.HasResult ? 1 : 0);
+      const auto &Callees = R.callees(N);
+      bool Changed = false;
+      if (Callees.empty()) {
+        // Unknown or undefined callee: the store passes through.
+        Changed |= mergeInto(StoreOut, Reach[G.producerOf(N, StoreIn)]);
+        return Changed;
+      }
+      for (const FunctionInfo *Info : Callees) {
+        // Caller store flows into the callee's store formal...
+        OutputId Formal = G.outputOf(Info->EntryNode, Info->NumParams);
+        Changed |= mergeInto(Formal, Reach[G.producerOf(N, StoreIn)]);
+        // ...and the callee's return store flows back to this call.
+        const auto &Ret = G.node(Info->ReturnNode);
+        unsigned RetStoreIdx = Ret.HasValue ? 1 : 0;
+        if (RetStoreIdx < Ret.Inputs.size())
+          Changed |= mergeInto(
+              StoreOut,
+              Reach[G.producerOf(Info->ReturnNode, RetStoreIdx)]);
+      }
+      return Changed;
+    }
+    default:
+      return false;
+    }
+  }
+
+  const Graph &G;
+  const PointsToResult &R;
+  std::vector<std::set<NodeId>> Reach;
+};
+
+} // namespace
+
+DefUseInfo vdga::computeDefUse(const Graph &G, const PointsToResult &R,
+                               const PairTable &PT, const PathTable &Paths) {
+  StoreReach Reach(G, R);
+  DefUseInfo Info;
+
+  // Cache each update's write set.
+  std::map<NodeId, std::vector<PathId>> WriteLocs;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (G.node(N).Kind == NodeKind::Update)
+      WriteLocs.emplace(N, R.pointerReferents(G.producerOf(N, 0), PT));
+
+  for (NodeId L = 0; L < G.numNodes(); ++L) {
+    if (G.node(L).Kind != NodeKind::Lookup)
+      continue;
+    std::vector<PathId> ReadLocs =
+        R.pointerReferents(G.producerOf(L, 0), PT);
+    if (ReadLocs.empty())
+      continue;
+    for (NodeId U : Reach.at(G.producerOf(L, 1))) {
+      const auto &Writes = WriteLocs[U];
+      bool Overlap = false;
+      for (PathId RL : ReadLocs) {
+        for (PathId WL : Writes)
+          if (Paths.dom(RL, WL) || Paths.dom(WL, RL)) {
+            Overlap = true;
+            break;
+          }
+        if (Overlap)
+          break;
+      }
+      if (!Overlap)
+        continue;
+      Info.Defs[L].push_back(U);
+      Info.Uses[U].push_back(L);
+      ++Info.Edges;
+    }
+  }
+  return Info;
+}

@@ -1,0 +1,67 @@
+//===- driver/DefUse.h - Store def/use client ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's other canonical client (Section 3.2): def/use chains
+/// through memory. For every lookup (memory read), which updates (memory
+/// writes) may have produced the value it observes?
+///
+/// Two ingredients combine:
+///   * *reachability* — the update's store output flows into the lookup's
+///     store input along VDG store edges (through merges, calls and
+///     returns, using the call graph the solver discovered), and
+///   * *aliasing* — some location the update may write overlaps (`dom` in
+///     either direction) some location the lookup may read.
+///
+/// The result is a may def/use relation: exactly what a dependence-based
+/// optimizer consumes, and precisely the client whose quality Figure 4's
+/// per-operation location counts determine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_DRIVER_DEFUSE_H
+#define VDGA_DRIVER_DEFUSE_H
+
+#include "pointsto/Solver.h"
+
+#include <map>
+#include <vector>
+
+namespace vdga {
+
+/// May def/use chains over one points-to solution.
+class DefUseInfo {
+public:
+  /// Update nodes that may define a value observed by lookup \p Read.
+  const std::vector<NodeId> &defsFor(NodeId Read) const {
+    auto It = Defs.find(Read);
+    return It == Defs.end() ? Empty : It->second;
+  }
+
+  /// Lookup nodes that may observe the value written by \p Write.
+  const std::vector<NodeId> &usesFor(NodeId Write) const {
+    auto It = Uses.find(Write);
+    return It == Uses.end() ? Empty : It->second;
+  }
+
+  uint64_t totalEdges() const { return Edges; }
+
+private:
+  friend DefUseInfo computeDefUse(const Graph &, const PointsToResult &,
+                                  const PairTable &, const PathTable &);
+  std::map<NodeId, std::vector<NodeId>> Defs;
+  std::map<NodeId, std::vector<NodeId>> Uses;
+  uint64_t Edges = 0;
+  static const std::vector<NodeId> Empty;
+};
+
+/// Computes the may def/use relation for every lookup in the graph.
+DefUseInfo computeDefUse(const Graph &G, const PointsToResult &R,
+                         const PairTable &PT, const PathTable &Paths);
+
+} // namespace vdga
+
+#endif // VDGA_DRIVER_DEFUSE_H

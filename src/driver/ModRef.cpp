@@ -1,0 +1,71 @@
+//===- driver/ModRef.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ModRef.h"
+
+using namespace vdga;
+
+bool ModRefInfo::mayMod(const FuncDecl *Fn, PathId Loc,
+                        const PathTable &Paths) const {
+  auto It = Mod.find(Fn);
+  if (It == Mod.end())
+    return false;
+  for (PathId W : It->second)
+    if (Paths.dom(W, Loc) || Paths.dom(Loc, W))
+      return true;
+  return false;
+}
+
+bool ModRefInfo::mayRef(const FuncDecl *Fn, PathId Loc,
+                        const PathTable &Paths) const {
+  auto It = Ref.find(Fn);
+  if (It == Ref.end())
+    return false;
+  for (PathId R : It->second)
+    if (Paths.dom(R, Loc) || Paths.dom(Loc, R))
+      return true;
+  return false;
+}
+
+ModRefInfo vdga::computeModRef(const Graph &G, const PointsToResult &R,
+                               const PairTable &PT, const PathTable &Paths) {
+  (void)Paths; // Kept for signature symmetry with the query methods.
+  ModRefInfo Info;
+
+  // Direct effects: locations referenced by each function's own memory
+  // operations.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::Lookup && Node.Kind != NodeKind::Update)
+      continue;
+    if (!Node.Owner)
+      continue; // Bootstrap effects are not attributed to a function.
+    auto Locs = R.pointerReferents(G.producerOf(N, 0), PT);
+    auto &Set = Node.Kind == NodeKind::Update ? Info.Mod[Node.Owner]
+                                              : Info.Ref[Node.Owner];
+    Set.insert(Locs.begin(), Locs.end());
+  }
+
+  // Transitive closure over the discovered call graph.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      const Node &Node = G.node(N);
+      if (Node.Kind != NodeKind::Call || !Node.Owner)
+        continue;
+      for (const FunctionInfo *Callee : R.callees(N)) {
+        for (PathId Loc : Info.Mod[Callee->Fn])
+          if (Info.Mod[Node.Owner].insert(Loc).second)
+            Changed = true;
+        for (PathId Loc : Info.Ref[Callee->Fn])
+          if (Info.Ref[Node.Owner].insert(Loc).second)
+            Changed = true;
+      }
+    }
+  }
+  return Info;
+}

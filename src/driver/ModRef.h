@@ -1,0 +1,45 @@
+//===- driver/ModRef.h - Mod/ref client analysis ---------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kind of client the paper evaluates its analyses through (Section
+/// 3.2): interprocedural mod/ref — for every function, the set of abstract
+/// locations it (or anything it calls) may read or write through memory
+/// operations. Built on top of a points-to solution and the call graph the
+/// solver discovered; the precision of the location sets at lookup/update
+/// nodes feeds straight through, which is why Figure 4's statistics are
+/// the paper's headline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_DRIVER_MODREF_H
+#define VDGA_DRIVER_MODREF_H
+
+#include "pointsto/Solver.h"
+
+#include <map>
+#include <set>
+
+namespace vdga {
+
+/// Per-function transitive mod/ref location sets.
+struct ModRefInfo {
+  std::map<const FuncDecl *, std::set<PathId>> Mod;
+  std::map<const FuncDecl *, std::set<PathId>> Ref;
+
+  bool mayMod(const FuncDecl *Fn, PathId Loc, const PathTable &Paths) const;
+  bool mayRef(const FuncDecl *Fn, PathId Loc, const PathTable &Paths) const;
+};
+
+/// Computes transitive mod/ref sets from a points-to solution, iterating
+/// over the solver-discovered call graph to a fixed point (handles
+/// recursion).
+ModRefInfo computeModRef(const Graph &G, const PointsToResult &R,
+                         const PairTable &PT, const PathTable &Paths);
+
+} // namespace vdga
+
+#endif // VDGA_DRIVER_MODREF_H

@@ -1,0 +1,55 @@
+//===- driver/Pipeline.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "vdg/Builder.h"
+#include "vdg/Verifier.h"
+
+using namespace vdga;
+
+std::unique_ptr<AnalyzedProgram>
+AnalyzedProgram::create(std::string_view Source, std::string *Error) {
+  auto AP = std::unique_ptr<AnalyzedProgram>(new AnalyzedProgram());
+  AP->Prog = std::make_unique<Program>();
+  Program &P = *AP->Prog;
+  P.SourceLines = Lexer::countCodeLines(Source);
+
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  Parser Parse(std::move(Tokens), P, Diags);
+  bool ParsedOk = Parse.parseProgram();
+  if (!ParsedOk || Diags.hasErrors()) {
+    if (Error)
+      *Error = Diags.render();
+    return nullptr;
+  }
+
+  Sema S(P, Diags);
+  if (!S.run()) {
+    if (Error)
+      *Error = Diags.render();
+    return nullptr;
+  }
+
+  AP->CG = std::make_unique<CallGraphAST>(P);
+  AP->CG->annotate(P);
+  AP->Locs = std::make_unique<LocationTable>(P, AP->Paths);
+
+  Builder B(P, AP->Paths, *AP->Locs, AP->G);
+  B.build();
+
+  if (!verifyGraph(AP->G, P, Diags)) {
+    if (Error)
+      *Error = Diags.render();
+    return nullptr;
+  }
+  return AP;
+}

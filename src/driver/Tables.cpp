@@ -1,0 +1,377 @@
+//===- driver/Tables.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tables.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace vdga;
+
+static double millisSince(
+    std::chrono::steady_clock::time_point Start) {
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
+                                       ContextSensOptions CSOptions) {
+  BenchmarkReport R;
+  R.Name = Prog.Name;
+
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+  if (!AP) {
+    R.Name += " (frontend error: " + Error + ")";
+    return R;
+  }
+
+  R.SourceLines = AP->program().SourceLines;
+  R.VdgNodes = static_cast<unsigned>(AP->G.numNodes());
+  R.AliasOutputs = AP->G.countAliasRelatedOutputs();
+
+  auto T0 = std::chrono::steady_clock::now();
+  PointsToResult CI = AP->runContextInsensitive();
+  R.CIMillis = millisSince(T0);
+  R.CIStats = CI.Stats;
+  R.CI = computePairTotals(AP->G, CI);
+  R.ReadsCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/false);
+  R.WritesCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/true);
+  R.AllBreakdown =
+      computePairBreakdown(AP->G, CI, AP->PT, AP->Paths, AP->locations());
+
+  if (!RunCS)
+    return R;
+
+  R.RanCS = true;
+  auto T1 = std::chrono::steady_clock::now();
+  ContextSensResult CS = AP->runContextSensitive(CI, CSOptions);
+  R.CSMillis = millisSince(T1);
+  R.CSStats = CS.Stats;
+  R.CSCompleted = CS.Completed;
+  if (!CS.Completed)
+    return R;
+
+  PointsToResult Stripped = CS.stripAssumptions();
+  SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
+                                         AP->Paths, AP->locations());
+  R.CS = S.CSTotals;
+  R.SpuriousTotal = S.SpuriousTotal;
+  R.SpuriousPercent = S.SpuriousPercent;
+  R.ContainmentViolations = S.ContainmentViolations;
+  R.SpuriousBreakdown = S.SpuriousBreakdown;
+  R.IndirectOpsWhereCSWins =
+      countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT);
+  return R;
+}
+
+std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
+                                                 ContextSensOptions Opts) {
+  std::vector<BenchmarkReport> Reports;
+  for (const CorpusProgram &P : corpus())
+    Reports.push_back(analyzeBenchmark(P, RunCS, Opts));
+  return Reports;
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Minimal fixed-width row formatter.
+class Table {
+public:
+  explicit Table(std::vector<int> Widths) : Widths(std::move(Widths)) {}
+
+  Table &cell(const std::string &Text) {
+    Row.push_back(Text);
+    return *this;
+  }
+  Table &cell(uint64_t V) { return cell(std::to_string(V)); }
+  Table &cell(unsigned V) { return cell(std::to_string(V)); }
+  Table &cell(double V, int Precision = 2) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+    return cell(std::string(Buf));
+  }
+  void endRow() {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      int W = I < Widths.size() ? Widths[I] : 10;
+      std::string Text = Row[I];
+      if (static_cast<int>(Text.size()) < W) {
+        // First column left-aligned, the rest right-aligned.
+        if (I == 0)
+          Text += std::string(W - Text.size(), ' ');
+        else
+          Text = std::string(W - Text.size(), ' ') + Text;
+      }
+      OS << Text << (I + 1 == Row.size() ? "" : "  ");
+    }
+    OS << '\n';
+    Row.clear();
+  }
+  void rule() {
+    int Total = 0;
+    for (int W : Widths)
+      Total += W + 2;
+    OS << std::string(static_cast<size_t>(Total), '-') << '\n';
+  }
+  std::string str() const { return OS.str(); }
+
+private:
+  std::vector<int> Widths;
+  std::vector<std::string> Row;
+  std::ostringstream OS;
+};
+} // namespace
+
+std::string vdga::renderFig2(const std::vector<BenchmarkReport> &Reports) {
+  Table T({12, 8, 8, 14});
+  T.cell("name").cell("source").cell("VDG").cell("alias-related");
+  T.endRow();
+  T.cell("").cell("lines").cell("nodes").cell("outputs");
+  T.endRow();
+  T.rule();
+  for (const BenchmarkReport &R : Reports)
+    T.cell(R.Name)
+        .cell(R.SourceLines)
+        .cell(R.VdgNodes)
+        .cell(R.AliasOutputs)
+        .endRow();
+  return "Figure 2: benchmark programs and their sizes\n" + T.str();
+}
+
+std::string vdga::renderFig3(const std::vector<BenchmarkReport> &Reports) {
+  Table T({12, 9, 9, 10, 10, 10});
+  T.cell("name")
+      .cell("pointer")
+      .cell("function")
+      .cell("aggregate")
+      .cell("store")
+      .cell("total")
+      .endRow();
+  T.rule();
+  PairTotals Sum;
+  for (const BenchmarkReport &R : Reports) {
+    T.cell(R.Name)
+        .cell(R.CI.Pointer)
+        .cell(R.CI.Function)
+        .cell(R.CI.Aggregate)
+        .cell(R.CI.Store)
+        .cell(R.CI.total())
+        .endRow();
+    Sum.Pointer += R.CI.Pointer;
+    Sum.Function += R.CI.Function;
+    Sum.Aggregate += R.CI.Aggregate;
+    Sum.Store += R.CI.Store;
+  }
+  T.rule();
+  T.cell("TOTAL")
+      .cell(Sum.Pointer)
+      .cell(Sum.Function)
+      .cell(Sum.Aggregate)
+      .cell(Sum.Store)
+      .cell(Sum.total())
+      .endRow();
+  return "Figure 3: total points-to relationships "
+         "(context-insensitive)\n" +
+         T.str();
+}
+
+static void fig4Row(Table &T, const std::string &Name, const char *Kind,
+                    const IndirectOpStats &S) {
+  T.cell(Name)
+      .cell(Kind)
+      .cell(S.Total)
+      .cell(S.Count1)
+      .cell(S.Count2)
+      .cell(S.Count3)
+      .cell(S.Count4Plus)
+      .cell(S.Max)
+      .cell(S.Avg)
+      .endRow();
+}
+
+std::string vdga::renderFig4(const std::vector<BenchmarkReport> &Reports) {
+  Table T({12, 6, 6, 5, 5, 5, 5, 5, 6});
+  T.cell("name")
+      .cell("type")
+      .cell("total")
+      .cell("1")
+      .cell("2")
+      .cell("3")
+      .cell(">=4")
+      .cell("max")
+      .cell("avg")
+      .endRow();
+  T.rule();
+  IndirectOpStats SumR, SumW;
+  uint64_t SumRRefs = 0, SumWRefs = 0;
+  for (const BenchmarkReport &R : Reports) {
+    fig4Row(T, R.Name, "read", R.ReadsCI);
+    fig4Row(T, R.Name, "write", R.WritesCI);
+    auto Fold = [](IndirectOpStats &Acc, const IndirectOpStats &S,
+                   uint64_t &Refs) {
+      Acc.Total += S.Total;
+      Acc.ZeroRef += S.ZeroRef;
+      Acc.Count1 += S.Count1;
+      Acc.Count2 += S.Count2;
+      Acc.Count3 += S.Count3;
+      Acc.Count4Plus += S.Count4Plus;
+      Acc.Max = std::max(Acc.Max, S.Max);
+      Refs += static_cast<uint64_t>(S.Avg * S.Total + 0.5);
+    };
+    Fold(SumR, R.ReadsCI, SumRRefs);
+    Fold(SumW, R.WritesCI, SumWRefs);
+  }
+  SumR.Avg = SumR.Total ? static_cast<double>(SumRRefs) / SumR.Total : 0.0;
+  SumW.Avg = SumW.Total ? static_cast<double>(SumWRefs) / SumW.Total : 0.0;
+  T.rule();
+  fig4Row(T, "TOTAL", "read", SumR);
+  fig4Row(T, "TOTAL", "write", SumW);
+  std::ostringstream Extra;
+  if (SumR.ZeroRef || SumW.ZeroRef)
+    Extra << "(" << SumR.ZeroRef << " reads / " << SumW.ZeroRef
+          << " writes reference only the null pointer value and are "
+             "excluded, as in the paper)\n";
+  return "Figure 4: points-to statistics for indirect memory reads and "
+         "writes (context-insensitive)\n" +
+         T.str() + Extra.str();
+}
+
+std::string vdga::renderFig6(const std::vector<BenchmarkReport> &Reports) {
+  Table T({12, 9, 9, 10, 10, 10, 12, 9});
+  T.cell("name")
+      .cell("pointer")
+      .cell("function")
+      .cell("aggregate")
+      .cell("store")
+      .cell("total")
+      .cell("total(insens)")
+      .cell("%spur")
+      .endRow();
+  T.rule();
+  PairTotals SumCS;
+  uint64_t SumCI = 0, SumSpur = 0;
+  for (const BenchmarkReport &R : Reports) {
+    if (!R.RanCS || !R.CSCompleted) {
+      T.cell(R.Name).cell("(context-sensitive run skipped)").endRow();
+      continue;
+    }
+    T.cell(R.Name)
+        .cell(R.CS.Pointer)
+        .cell(R.CS.Function)
+        .cell(R.CS.Aggregate)
+        .cell(R.CS.Store)
+        .cell(R.CS.total())
+        .cell(R.CI.total())
+        .cell(R.SpuriousPercent, 1)
+        .endRow();
+    SumCS.Pointer += R.CS.Pointer;
+    SumCS.Function += R.CS.Function;
+    SumCS.Aggregate += R.CS.Aggregate;
+    SumCS.Store += R.CS.Store;
+    SumCI += R.CI.total();
+    SumSpur += R.SpuriousTotal;
+  }
+  T.rule();
+  T.cell("TOTAL")
+      .cell(SumCS.Pointer)
+      .cell(SumCS.Function)
+      .cell(SumCS.Aggregate)
+      .cell(SumCS.Store)
+      .cell(SumCS.total())
+      .cell(SumCI)
+      .cell(SumCI ? 100.0 * SumSpur / SumCI : 0.0, 1)
+      .endRow();
+  return "Figure 6: points-to relationships (context-sensitive), with the "
+         "context-insensitive total and the percentage proven spurious\n" +
+         T.str();
+}
+
+static std::string renderBreakdown(const PairBreakdown &B,
+                                   const char *Title) {
+  static const char *PathNames[] = {"offset", "local", "global", "heap"};
+  static const char *RefNames[] = {"function", "local", "global", "heap"};
+  uint64_t Total = B.total();
+  Table T({10, 10, 10, 10, 10});
+  T.cell("path\\ref")
+      .cell(RefNames[0])
+      .cell(RefNames[1])
+      .cell(RefNames[2])
+      .cell(RefNames[3])
+      .endRow();
+  T.rule();
+  for (int P = 0; P < PairBreakdown::NumPathClasses; ++P) {
+    T.cell(PathNames[P]);
+    for (int R = 0; R < PairBreakdown::NumRefClasses; ++R) {
+      double Pct = Total ? 100.0 * B.Counts[P][R] / Total : 0.0;
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.1f%%", Pct);
+      T.cell(std::string(Buf));
+    }
+    T.endRow();
+  }
+  return std::string(Title) + "\n" + T.str();
+}
+
+std::string vdga::renderFig7(const std::vector<BenchmarkReport> &Reports) {
+  PairBreakdown All, Spur;
+  for (const BenchmarkReport &R : Reports) {
+    for (int P = 0; P < PairBreakdown::NumPathClasses; ++P)
+      for (int C = 0; C < PairBreakdown::NumRefClasses; ++C) {
+        All.Counts[P][C] += R.AllBreakdown.Counts[P][C];
+        Spur.Counts[P][C] += R.SpuriousBreakdown.Counts[P][C];
+      }
+  }
+  return "Figure 7: pairs broken down by path and referent storage "
+         "class\n" +
+         renderBreakdown(All, "All points-to pairs (context-insensitive)") +
+         renderBreakdown(Spur, "Spurious points-to pairs only");
+}
+
+std::string
+vdga::renderPerfComparison(const std::vector<BenchmarkReport> &Reports) {
+  Table T({12, 12, 12, 8, 12, 12, 8, 10});
+  T.cell("name")
+      .cell("CI xfer")
+      .cell("CS xfer")
+      .cell("ratio")
+      .cell("CI meets")
+      .cell("CS meets")
+      .cell("ratio")
+      .cell("CS/CI time")
+      .endRow();
+  T.rule();
+  for (const BenchmarkReport &R : Reports) {
+    if (!R.RanCS)
+      continue;
+    double XferRatio =
+        R.CIStats.TransferFns
+            ? static_cast<double>(R.CSStats.TransferFns) /
+                  R.CIStats.TransferFns
+            : 0.0;
+    double MeetRatio = R.CIStats.MeetOps
+                           ? static_cast<double>(R.CSStats.MeetOps) /
+                                 R.CIStats.MeetOps
+                           : 0.0;
+    double TimeRatio =
+        R.CIMillis > 0 ? R.CSMillis / R.CIMillis : 0.0;
+    T.cell(R.Name)
+        .cell(R.CIStats.TransferFns)
+        .cell(R.CSStats.TransferFns)
+        .cell(XferRatio, 2)
+        .cell(R.CIStats.MeetOps)
+        .cell(R.CSStats.MeetOps)
+        .cell(MeetRatio, 1)
+        .cell(TimeRatio, 1)
+        .endRow();
+  }
+  return "Section 4.2/4.3: work comparison between the context-insensitive "
+         "and context-sensitive analyses\n" +
+         T.str();
+}

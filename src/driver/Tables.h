@@ -1,0 +1,76 @@
+//===- driver/Tables.h - Paper table rendering -----------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the full pipeline over corpus programs and renders the paper's
+/// figures in their original row/column layout. The bench binaries are
+/// thin wrappers around these functions, so the same reports are testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_DRIVER_TABLES_H
+#define VDGA_DRIVER_TABLES_H
+
+#include "contextsens/Spurious.h"
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "pointsto/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Everything the figures need for one benchmark.
+struct BenchmarkReport {
+  std::string Name;
+
+  // Figure 2.
+  unsigned SourceLines = 0;
+  unsigned VdgNodes = 0;
+  unsigned AliasOutputs = 0;
+
+  // Figures 3/4 (context-insensitive).
+  PairTotals CI;
+  IndirectOpStats ReadsCI;
+  IndirectOpStats WritesCI;
+  SolveStats CIStats;
+  double CIMillis = 0.0;
+
+  // Figures 6/7 and the headline comparison (context-sensitive).
+  bool RanCS = false;
+  bool CSCompleted = false;
+  PairTotals CS;
+  uint64_t SpuriousTotal = 0;
+  double SpuriousPercent = 0.0;
+  unsigned IndirectOpsWhereCSWins = 0;
+  uint64_t ContainmentViolations = 0;
+  PairBreakdown AllBreakdown;
+  PairBreakdown SpuriousBreakdown;
+  SolveStats CSStats;
+  double CSMillis = 0.0;
+};
+
+/// Runs CI (and optionally CS) over one corpus program.
+BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
+                                 ContextSensOptions CSOptions = {});
+
+/// Runs over the whole corpus.
+std::vector<BenchmarkReport> analyzeCorpus(bool RunCS,
+                                           ContextSensOptions CSOptions = {});
+
+// Renderers, one per figure.
+std::string renderFig2(const std::vector<BenchmarkReport> &Reports);
+std::string renderFig3(const std::vector<BenchmarkReport> &Reports);
+std::string renderFig4(const std::vector<BenchmarkReport> &Reports);
+std::string renderFig6(const std::vector<BenchmarkReport> &Reports);
+std::string renderFig7(const std::vector<BenchmarkReport> &Reports);
+/// The Section 4.2/4.3 work comparison (transfer functions, meets, time).
+std::string renderPerfComparison(const std::vector<BenchmarkReport> &Reports);
+
+} // namespace vdga
+
+#endif // VDGA_DRIVER_TABLES_H

@@ -1,0 +1,30 @@
+//===- frontend/AST.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AST.h"
+
+using namespace vdga;
+
+FuncDecl *CallExpr::directCallee() const {
+  const auto *Ref = dyn_cast<DeclRefExpr>(Callee);
+  if (!Ref || !Ref->decl())
+    return nullptr;
+  return dyn_cast<FuncDecl>(Ref->decl());
+}
+
+FuncDecl *Program::findFunction(std::string_view Name) const {
+  for (FuncDecl *F : Functions)
+    if (Names.text(F->name()) == Name)
+      return F;
+  return nullptr;
+}
+
+VarDecl *Program::findGlobal(std::string_view Name) const {
+  for (VarDecl *G : Globals)
+    if (Names.text(G->name()) == Name)
+      return G;
+  return nullptr;
+}

@@ -1,0 +1,742 @@
+//===- frontend/AST.h - MiniC abstract syntax ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for MiniC. Nodes are created by the parser, annotated by
+/// Sema (types, decl bindings, address-taken flags, builtin recognition) and
+/// then consumed by the VDG builder and the concrete interpreter.
+///
+/// All nodes are owned by an ASTContext and referenced by raw pointer; the
+/// hierarchy uses LLVM-style `classof` dispatch (support/Casting.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_AST_H
+#define VDGA_FRONTEND_AST_H
+
+#include "frontend/Type.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+class Decl;
+class Expr;
+class FuncDecl;
+class Stmt;
+class VarDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  DeclRef,
+  Unary,
+  Binary,
+  Assign,
+  Call,
+  Index,
+  Member,
+  Cast,
+  Conditional,
+  SizeOf,
+};
+
+enum class UnaryOp : uint8_t {
+  Neg,      ///< -x
+  Not,      ///< !x
+  BitNot,   ///< ~x
+  AddrOf,   ///< &x
+  Deref,    ///< *x
+  PreInc,   ///< ++x
+  PreDec,   ///< --x
+  PostInc,  ///< x++
+  PostDec,  ///< x--
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  LogAnd,
+  LogOr,
+};
+
+enum class AssignOp : uint8_t { Assign, Add, Sub, Mul, Div, Rem };
+
+/// Builtin library routines recognized by Sema. Following the paper, most
+/// are modeled as the identity on stores; malloc/calloc introduce one heap
+/// base-location per static call site.
+enum class BuiltinKind : uint8_t {
+  None,
+  Malloc,
+  Calloc,
+  Free,
+  Printf,
+  Putchar,
+  Getchar,
+  Strlen,
+  Strcmp,
+  Strcpy,
+  Strcat,
+  Memset,
+  Atoi,
+  Abs,
+  Fabs,
+  Sqrt,
+  Exp,
+  Rand,
+  Srand,
+  Exit,
+};
+
+/// Base of all expressions. `type()` and `isLValue()` are set by Sema.
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  bool isLValue() const { return LValue; }
+  void setLValue(bool V) { LValue = V; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+  const Type *Ty = nullptr;
+  bool LValue = false;
+};
+
+/// Integer or character literal (characters are just small ints).
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLiteral, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntLiteral;
+  }
+
+private:
+  int64_t Value;
+};
+
+/// Floating literal.
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(SourceLoc Loc, double Value)
+      : Expr(ExprKind::FloatLiteral, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLiteral;
+  }
+
+private:
+  double Value;
+};
+
+/// String literal. Each literal denotes anonymous global char-array
+/// storage; Sema assigns a dense id used to name its base-location.
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(SourceLoc Loc, std::string Value)
+      : Expr(ExprKind::StringLiteral, Loc), Value(std::move(Value)) {}
+
+  const std::string &value() const { return Value; }
+
+  unsigned literalId() const { return LiteralId; }
+  void setLiteralId(unsigned Id) { LiteralId = Id; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::StringLiteral;
+  }
+
+private:
+  std::string Value;
+  unsigned LiteralId = 0;
+};
+
+/// A use of a declared name. Sema binds it to a VarDecl or FuncDecl.
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(SourceLoc Loc, Symbol Name)
+      : Expr(ExprKind::DeclRef, Loc), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  Decl *decl() const { return D; }
+  void setDecl(Decl *NewD) { D = NewD; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::DeclRef; }
+
+private:
+  Symbol Name;
+  Decl *D = nullptr;
+};
+
+/// Unary operators, including &, *, and the four inc/dec forms.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, Expr *Operand)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+/// Binary operators (no assignment; see AssignExpr).
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// Assignment, simple or compound.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, AssignOp Op, Expr *Target, Expr *Value)
+      : Expr(ExprKind::Assign, Loc), Op(Op), Target(Target), Value(Value) {}
+
+  AssignOp op() const { return Op; }
+  Expr *target() const { return Target; }
+  Expr *value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Assign; }
+
+private:
+  AssignOp Op;
+  Expr *Target;
+  Expr *Value;
+};
+
+/// A call, direct (`f(x)`), indirect (`(*fp)(x)` / `fp(x)`) or builtin.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(ExprKind::Call, Loc), Callee(Callee), Args(std::move(Args)) {}
+
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  BuiltinKind builtin() const { return Builtin; }
+  void setBuiltin(BuiltinKind K) { Builtin = K; }
+
+  /// Dense id assigned by Sema to heap-allocating calls; names the
+  /// per-call-site heap base-location.
+  unsigned allocSiteId() const { return AllocSiteId; }
+  void setAllocSiteId(unsigned Id) { AllocSiteId = Id; }
+
+  /// The called FuncDecl when the callee is a direct function reference,
+  /// null otherwise (indirect call through a pointer).
+  FuncDecl *directCallee() const;
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+  BuiltinKind Builtin = BuiltinKind::None;
+  unsigned AllocSiteId = 0;
+};
+
+/// Array subscript `base[index]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, Expr *Base, Expr *Index)
+      : Expr(ExprKind::Index, Loc), Base(Base), Index(Index) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Index; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// Member access `base.field` or `base->field`.
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLoc Loc, Expr *Base, Symbol Field, bool Arrow)
+      : Expr(ExprKind::Member, Loc), Base(Base), Field(Field), Arrow(Arrow) {}
+
+  Expr *base() const { return Base; }
+  Symbol field() const { return Field; }
+  bool isArrow() const { return Arrow; }
+
+  /// Resolved by Sema: the record the field lives in, and its index.
+  const RecordType *record() const { return Record; }
+  unsigned fieldIndex() const { return FieldIdx; }
+  void resolve(const RecordType *R, unsigned Idx) {
+    Record = R;
+    FieldIdx = Idx;
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Member; }
+
+private:
+  Expr *Base;
+  Symbol Field;
+  bool Arrow;
+  const RecordType *Record = nullptr;
+  unsigned FieldIdx = 0;
+};
+
+/// Explicit cast `(T)expr`. Sema rejects pointer<->non-pointer casts, per
+/// the paper's stated restrictions (void* <-> T* is allowed).
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, const Type *Target, Expr *Operand)
+      : Expr(ExprKind::Cast, Loc), Target(Target), Operand(Operand) {}
+
+  const Type *target() const { return Target; }
+  Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Cast; }
+
+private:
+  const Type *Target;
+  Expr *Operand;
+};
+
+/// Conditional `cond ? then : else`.
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLoc Loc, Expr *Cond, Expr *Then, Expr *Else)
+      : Expr(ExprKind::Conditional, Loc), Cond(Cond), Then(Then), Else(Else) {
+  }
+
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+};
+
+/// `sizeof(type)` — resolved to a constant by Sema.
+class SizeOfExpr : public Expr {
+public:
+  SizeOfExpr(SourceLoc Loc, const Type *Queried)
+      : Expr(ExprKind::SizeOf, Loc), Queried(Queried) {}
+
+  const Type *queried() const { return Queried; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::SizeOf; }
+
+private:
+  const Type *Queried;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Compound,
+  Expr,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+};
+
+/// Base of all statements.
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+/// `{ ... }`
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLoc Loc, std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Compound, Loc), Body(std::move(Body)) {}
+
+  const std::vector<Stmt *> &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Compound; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// An expression evaluated for effect.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, Expr *E) : Stmt(StmtKind::Expr, Loc), E(E) {}
+
+  Expr *expr() const { return E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Expr; }
+
+private:
+  Expr *E;
+};
+
+/// A local variable declaration (one VarDecl per DeclStmt).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, VarDecl *Var) : Stmt(StmtKind::Decl, Loc), Var(Var) {}
+
+  VarDecl *var() const { return Var; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+private:
+  VarDecl *Var;
+};
+
+/// `if (cond) then else?`
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; ///< May be null.
+};
+
+/// `while (cond) body`
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While, Loc), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// `do body while (cond);`
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(SourceLoc Loc, Stmt *Body, Expr *Cond)
+      : Stmt(StmtKind::DoWhile, Loc), Body(Body), Cond(Cond) {}
+
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DoWhile; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+/// `for (init; cond; step) body` — any of the three headers may be null.
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, Stmt *Init, Expr *Cond, Expr *Step, Stmt *Body)
+      : Stmt(StmtKind::For, Loc), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Expr *step() const { return Step; }
+  Stmt *body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  Stmt *Init; ///< ExprStmt or DeclStmt; may be null.
+  Expr *Cond; ///< May be null (infinite loop).
+  Expr *Step; ///< May be null.
+  Stmt *Body;
+};
+
+/// `return expr?;`
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, Expr *Value)
+      : Stmt(StmtKind::Return, Loc), Value(Value) {}
+
+  Expr *value() const { return Value; } ///< May be null.
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+/// `break;`
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+/// `continue;`
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+enum class DeclKind : uint8_t { Var, Func };
+
+/// Base of named declarations.
+class Decl {
+public:
+  virtual ~Decl() = default;
+
+  DeclKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  Symbol name() const { return Name; }
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  /// Creation ordinal within the ASTContext. Gives pointer-keyed
+  /// containers a deterministic order (the analyses and the VDG builder
+  /// must not depend on heap addresses).
+  unsigned uid() const { return Uid; }
+  void setUid(unsigned U) { Uid = U; }
+
+protected:
+  Decl(DeclKind Kind, SourceLoc Loc, Symbol Name, const Type *Ty)
+      : Kind(Kind), Loc(Loc), Name(Name), Ty(Ty) {}
+
+private:
+  DeclKind Kind;
+  SourceLoc Loc;
+  Symbol Name;
+  const Type *Ty;
+  unsigned Uid = 0;
+};
+
+/// Orders declarations by creation ordinal; use for any map keyed by
+/// Decl pointers whose iteration order feeds deterministic output.
+struct DeclOrder {
+  template <typename T> bool operator()(const T *A, const T *B) const {
+    return A->uid() < B->uid();
+  }
+};
+
+/// Storage class of a variable.
+enum class StorageKind : uint8_t { Global, Local, Param };
+
+/// A variable: global, local, or parameter.
+class VarDecl : public Decl {
+public:
+  VarDecl(SourceLoc Loc, Symbol Name, const Type *Ty, StorageKind Storage)
+      : Decl(DeclKind::Var, Loc, Name, Ty), Storage(Storage) {}
+
+  StorageKind storage() const { return Storage; }
+  bool isGlobal() const { return Storage == StorageKind::Global; }
+  bool isParam() const { return Storage == StorageKind::Param; }
+
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  /// Brace-list initializer elements for global arrays ({1, 2, 3}); empty
+  /// when Init is used instead.
+  const std::vector<Expr *> &initList() const { return InitList; }
+  void setInitList(std::vector<Expr *> Elems) { InitList = std::move(Elems); }
+
+  /// True if `&var` appears anywhere (set by Sema). Only address-taken
+  /// variables live in the store; others bind directly to value edges,
+  /// mirroring the paper's SSA-like store scalarization.
+  bool isAddressTaken() const { return AddressTaken; }
+  void setAddressTaken() { AddressTaken = true; }
+
+  /// The function this local/param belongs to (null for globals).
+  FuncDecl *owner() const { return Owner; }
+  void setOwner(FuncDecl *F) { Owner = F; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Var; }
+
+private:
+  StorageKind Storage;
+  Expr *Init = nullptr;
+  std::vector<Expr *> InitList;
+  bool AddressTaken = false;
+  FuncDecl *Owner = nullptr;
+};
+
+/// A function declaration or definition.
+class FuncDecl : public Decl {
+public:
+  FuncDecl(SourceLoc Loc, Symbol Name, const FunctionType *Ty,
+           std::vector<VarDecl *> Params)
+      : Decl(DeclKind::Func, Loc, Name, Ty), Params(std::move(Params)) {}
+
+  const FunctionType *functionType() const {
+    return cast<FunctionType>(type());
+  }
+  const std::vector<VarDecl *> &params() const { return Params; }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+  bool isDefined() const { return Body != nullptr; }
+
+  /// True if the function's address is taken (possible indirect callee).
+  bool isAddressTaken() const { return AddressTaken; }
+  void setAddressTaken() { AddressTaken = true; }
+
+  /// Locals declared anywhere in the body, in declaration order (set by
+  /// Sema); used by the VDG builder and the interpreter.
+  const std::vector<VarDecl *> &locals() const { return Locals; }
+  void addLocal(VarDecl *V) { Locals.push_back(V); }
+
+  /// True if this function participates in a call-graph cycle under the
+  /// conservative call graph (set by the CallGraph pass).
+  bool isRecursive() const { return Recursive; }
+  void setRecursive() { Recursive = true; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Func; }
+
+private:
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body = nullptr;
+  bool AddressTaken = false;
+  bool Recursive = false;
+  std::vector<VarDecl *> Locals;
+};
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node of one translation unit.
+class ASTContext {
+public:
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Node.get();
+    if constexpr (std::is_base_of_v<Expr, T>) {
+      Exprs.push_back(std::move(Node));
+    } else if constexpr (std::is_base_of_v<Stmt, T>) {
+      Stmts.push_back(std::move(Node));
+    } else {
+      Raw->setUid(static_cast<unsigned>(Decls.size()));
+      Decls.push_back(std::move(Node));
+    }
+    return Raw;
+  }
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<std::unique_ptr<Decl>> Decls;
+};
+
+/// A parsed-and-checked MiniC translation unit plus its identifier and type
+/// tables. Non-copyable; produced by Parser + Sema, consumed by everything
+/// else.
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  StringInterner Names;
+  TypeContext Types;
+  ASTContext Ctx;
+
+  std::vector<VarDecl *> Globals;
+  std::vector<FuncDecl *> Functions;
+  std::vector<StringLiteralExpr *> StringLiterals;
+  unsigned NumAllocSites = 0;
+  unsigned SourceLines = 0;
+
+  /// Finds a function by name; null if absent.
+  FuncDecl *findFunction(std::string_view Name) const;
+  /// Finds a global by name; null if absent.
+  VarDecl *findGlobal(std::string_view Name) const;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_AST_H

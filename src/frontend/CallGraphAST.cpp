@@ -1,0 +1,209 @@
+//===- frontend/CallGraphAST.cpp ------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CallGraphAST.h"
+
+#include <cassert>
+
+using namespace vdga;
+
+CallGraphAST::CallGraphAST(const Program &P) {
+  for (const FuncDecl *Fn : P.Functions)
+    if (Fn->isAddressTaken() && Fn->isDefined())
+      AddressTaken.push_back(Fn);
+  for (const FuncDecl *Fn : P.Functions) {
+    Callees[Fn]; // Ensure every function has an entry.
+    if (Fn->isDefined())
+      collectCalls(Fn, Fn->body());
+  }
+  for (const auto &[Caller, Fns] : Callees)
+    for (const FuncDecl *Callee : Fns)
+      Callers[Callee].insert(Caller);
+  computeRecursion();
+}
+
+void CallGraphAST::collectCallsExpr(const FuncDecl *Caller, const Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+  case ExprKind::FloatLiteral:
+  case ExprKind::StringLiteral:
+  case ExprKind::DeclRef:
+  case ExprKind::SizeOf:
+    return;
+  case ExprKind::Unary:
+    collectCallsExpr(Caller, cast<UnaryExpr>(E)->operand());
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collectCallsExpr(Caller, B->lhs());
+    collectCallsExpr(Caller, B->rhs());
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    collectCallsExpr(Caller, A->target());
+    collectCallsExpr(Caller, A->value());
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    for (const Expr *Arg : C->args())
+      collectCallsExpr(Caller, Arg);
+    if (C->builtin() != BuiltinKind::None)
+      return;
+    if (const FuncDecl *Direct = C->directCallee()) {
+      Callees[Caller].insert(Direct);
+      return;
+    }
+    collectCallsExpr(Caller, C->callee());
+    // Indirect call: any address-taken defined function may be invoked.
+    for (const FuncDecl *Candidate : AddressTaken)
+      Callees[Caller].insert(Candidate);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    collectCallsExpr(Caller, I->base());
+    collectCallsExpr(Caller, I->index());
+    return;
+  }
+  case ExprKind::Member:
+    collectCallsExpr(Caller, cast<MemberExpr>(E)->base());
+    return;
+  case ExprKind::Cast:
+    collectCallsExpr(Caller, cast<CastExpr>(E)->operand());
+    return;
+  case ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    collectCallsExpr(Caller, C->cond());
+    collectCallsExpr(Caller, C->thenExpr());
+    collectCallsExpr(Caller, C->elseExpr());
+    return;
+  }
+  }
+}
+
+void CallGraphAST::collectCalls(const FuncDecl *Caller, const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      collectCalls(Caller, Child);
+    return;
+  case StmtKind::Expr:
+    collectCallsExpr(Caller, cast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::Decl: {
+    const VarDecl *Var = cast<DeclStmt>(S)->var();
+    collectCallsExpr(Caller, Var->init());
+    return;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectCallsExpr(Caller, If->cond());
+    collectCalls(Caller, If->thenStmt());
+    collectCalls(Caller, If->elseStmt());
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    collectCallsExpr(Caller, W->cond());
+    collectCalls(Caller, W->body());
+    return;
+  }
+  case StmtKind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(S);
+    collectCalls(Caller, D->body());
+    collectCallsExpr(Caller, D->cond());
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    collectCalls(Caller, F->init());
+    collectCallsExpr(Caller, F->cond());
+    collectCallsExpr(Caller, F->step());
+    collectCalls(Caller, F->body());
+    return;
+  }
+  case StmtKind::Return:
+    collectCallsExpr(Caller, cast<ReturnStmt>(S)->value());
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+void CallGraphAST::computeRecursion() {
+  // A function is recursive iff it can reach itself. The graphs are small,
+  // so a per-function DFS is plenty.
+  for (const auto &[Fn, _] : Callees) {
+    std::vector<const FuncDecl *> Stack(Callees[Fn].begin(),
+                                        Callees[Fn].end());
+    std::set<const FuncDecl *> Seen;
+    bool Found = false;
+    while (!Stack.empty() && !Found) {
+      const FuncDecl *Cur = Stack.back();
+      Stack.pop_back();
+      if (Cur == Fn) {
+        Found = true;
+        break;
+      }
+      if (!Seen.insert(Cur).second)
+        continue;
+      auto It = Callees.find(Cur);
+      if (It == Callees.end())
+        continue;
+      for (const FuncDecl *Next : It->second)
+        Stack.push_back(Next);
+    }
+    if (Found)
+      Recursive.insert(Fn);
+  }
+}
+
+const std::set<const FuncDecl *> &
+CallGraphAST::callees(const FuncDecl *Caller) const {
+  auto It = Callees.find(Caller);
+  return It == Callees.end() ? EmptySet : It->second;
+}
+
+void CallGraphAST::annotate(Program &P) const {
+  for (FuncDecl *Fn : P.Functions)
+    if (isRecursive(Fn))
+      Fn->setRecursive();
+}
+
+double CallGraphAST::averageCallers() const {
+  unsigned Defined = 0;
+  unsigned TotalCallers = 0;
+  for (const auto &[Fn, _] : Callees) {
+    if (!Fn->isDefined())
+      continue;
+    ++Defined;
+    auto It = Callers.find(Fn);
+    if (It != Callers.end())
+      TotalCallers += It->second.size();
+  }
+  return Defined ? static_cast<double>(TotalCallers) / Defined : 0.0;
+}
+
+double CallGraphAST::singleCallerFraction() const {
+  unsigned Defined = 0;
+  unsigned Single = 0;
+  for (const auto &[Fn, _] : Callees) {
+    if (!Fn->isDefined())
+      continue;
+    ++Defined;
+    auto It = Callers.find(Fn);
+    if (It != Callers.end() && It->second.size() == 1)
+      ++Single;
+  }
+  return Defined ? static_cast<double>(Single) / Defined : 0.0;
+}

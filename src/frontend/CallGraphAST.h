@@ -1,0 +1,63 @@
+//===- frontend/CallGraphAST.h - Conservative AST call graph ---*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative call graph computed directly from the AST: direct calls
+/// plus, for every indirect call site, all address-taken functions. Its only
+/// analysis role is detecting (possible) recursion, which decides whether
+/// address-taken locals get strongly-updateable base locations (the paper's
+/// footnote 4). The points-to solvers discover their own, more precise call
+/// graphs on the fly, as in Figure 1's `call` rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_CALLGRAPHAST_H
+#define VDGA_FRONTEND_CALLGRAPHAST_H
+
+#include "frontend/AST.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace vdga {
+
+/// Conservative may-call relation over a checked Program.
+class CallGraphAST {
+public:
+  explicit CallGraphAST(const Program &P);
+
+  /// Functions possibly called (directly or indirectly) by \p Caller.
+  const std::set<const FuncDecl *> &callees(const FuncDecl *Caller) const;
+
+  /// True if \p Fn sits on a call-graph cycle (including self-recursion).
+  bool isRecursive(const FuncDecl *Fn) const {
+    return Recursive.count(Fn) != 0;
+  }
+
+  /// Stamps FuncDecl::setRecursive on every recursive function.
+  void annotate(Program &P) const;
+
+  /// Average number of callers per defined function and the fraction of
+  /// functions with exactly one caller — the Section 5 structure metrics.
+  double averageCallers() const;
+  double singleCallerFraction() const;
+
+private:
+  void collectCalls(const FuncDecl *Caller, const Stmt *S);
+  void collectCallsExpr(const FuncDecl *Caller, const Expr *E);
+  void computeRecursion();
+
+  std::map<const FuncDecl *, std::set<const FuncDecl *>> Callees;
+  std::map<const FuncDecl *, std::set<const FuncDecl *>> Callers;
+  std::vector<const FuncDecl *> AddressTaken;
+  std::set<const FuncDecl *> Recursive;
+  std::set<const FuncDecl *> EmptySet;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_CALLGRAPHAST_H

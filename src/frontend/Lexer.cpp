@@ -1,0 +1,504 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace vdga;
+
+const char *vdga::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwUnion:
+    return "'union'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Ellipsis:
+    return "'...'";
+  }
+  return "<unknown token>";
+}
+
+static TokenKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"char", TokenKind::KwChar},
+      {"double", TokenKind::KwDouble},   {"void", TokenKind::KwVoid},
+      {"struct", TokenKind::KwStruct},   {"union", TokenKind::KwUnion},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"do", TokenKind::KwDo},           {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},   {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},       {"default", TokenKind::KwDefault},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advancing past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (peek() != '\0') {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Start, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = Source.substr(Start, Pos - Start);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Start, Loc);
+  T.Kind = keywordKind(T.Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  bool IsFloat = false;
+  // Hexadecimal literals.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    return makeToken(TokenKind::IntLiteral, Start, Loc);
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      // Not an exponent after all (e.g. "3eof" cannot happen, but be safe).
+      Pos = Save;
+    }
+  }
+  return makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   Start, Loc);
+}
+
+Token Lexer::lexCharLiteral() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  advance(); // opening quote
+  while (peek() != '\'' && peek() != '\0' && peek() != '\n') {
+    if (peek() == '\\' && peek(1) != '\0')
+      advance();
+    advance();
+  }
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  return makeToken(TokenKind::CharLiteral, Start, Loc);
+}
+
+Token Lexer::lexStringLiteral() {
+  size_t Start = Pos;
+  SourceLoc Loc = loc();
+  advance(); // opening quote
+  while (peek() != '"' && peek() != '\0' && peek() != '\n') {
+    if (peek() == '\\' && peek(1) != '\0')
+      advance();
+    advance();
+  }
+  if (!match('"'))
+    Diags.error(Loc, "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, Start, Loc);
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  SourceLoc Loc = loc();
+  size_t Start = Pos;
+  char C = peek();
+
+  if (C == '\0')
+    return makeToken(TokenKind::EndOfFile, Start, Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"')
+    return lexStringLiteral();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Start, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Start, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Start, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Start, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Start, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Start, Loc);
+  case '^':
+    return makeToken(TokenKind::Caret, Start, Loc);
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return makeToken(TokenKind::Ellipsis, Start, Loc);
+    }
+    return makeToken(TokenKind::Dot, Start, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Start, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Start, Loc);
+    return makeToken(TokenKind::Plus, Start, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Start, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Start, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Start, Loc);
+    return makeToken(TokenKind::Minus, Start, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Start, Loc);
+    return makeToken(TokenKind::Star, Start, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Start, Loc);
+    return makeToken(TokenKind::Slash, Start, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Start, Loc);
+    return makeToken(TokenKind::Percent, Start, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Start, Loc);
+    return makeToken(TokenKind::Amp, Start, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Start, Loc);
+    return makeToken(TokenKind::Pipe, Start, Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Start, Loc);
+    if (match('<'))
+      return makeToken(TokenKind::LessLess, Start, Loc);
+    return makeToken(TokenKind::Less, Start, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Start, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::GreaterGreater, Start, Loc);
+    return makeToken(TokenKind::Greater, Start, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Start, Loc);
+    return makeToken(TokenKind::Equal, Start, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual, Start, Loc);
+    return makeToken(TokenKind::Bang, Start, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lexToken();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexToken();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}
+
+std::string Lexer::decodeLiteral(std::string_view Text) {
+  // Strip the surrounding quotes if present.
+  if (Text.size() >= 2 && (Text.front() == '"' || Text.front() == '\''))
+    Text = Text.substr(1, Text.size() - 2);
+  std::string Result;
+  Result.reserve(Text.size());
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C != '\\' || I + 1 >= Text.size()) {
+      Result.push_back(C);
+      continue;
+    }
+    ++I;
+    switch (Text[I]) {
+    case 'n':
+      Result.push_back('\n');
+      break;
+    case 't':
+      Result.push_back('\t');
+      break;
+    case 'r':
+      Result.push_back('\r');
+      break;
+    case '0':
+      Result.push_back('\0');
+      break;
+    case '\\':
+      Result.push_back('\\');
+      break;
+    case '\'':
+      Result.push_back('\'');
+      break;
+    case '"':
+      Result.push_back('"');
+      break;
+    default:
+      Result.push_back('\\');
+      Result.push_back(Text[I]);
+      break;
+    }
+  }
+  return Result;
+}
+
+unsigned Lexer::countCodeLines(std::string_view Source) {
+  unsigned Count = 0;
+  bool InBlockComment = false;
+  bool LineHasCode = false;
+  for (size_t I = 0; I < Source.size(); ++I) {
+    char C = Source[I];
+    if (C == '\n') {
+      if (LineHasCode)
+        ++Count;
+      LineHasCode = false;
+      continue;
+    }
+    if (InBlockComment) {
+      if (C == '*' && I + 1 < Source.size() && Source[I + 1] == '/') {
+        InBlockComment = false;
+        ++I;
+      }
+      continue;
+    }
+    if (C == '/' && I + 1 < Source.size() && Source[I + 1] == '*') {
+      InBlockComment = true;
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < Source.size() && Source[I + 1] == '/') {
+      // Skip to end of line.
+      while (I + 1 < Source.size() && Source[I + 1] != '\n')
+        ++I;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      LineHasCode = true;
+  }
+  if (LineHasCode)
+    ++Count;
+  return Count;
+}

@@ -1,0 +1,71 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Produces the whole token stream up front;
+/// programs are small enough (the paper's largest is ~6.8k lines) that this
+/// is simpler and faster than lazy lexing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_LEXER_H
+#define VDGA_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Lexes a MiniC source buffer into tokens.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the entire buffer. The returned vector always ends with an
+  /// EndOfFile token. Lexical errors are reported to the diagnostic engine
+  /// and the offending characters skipped.
+  std::vector<Token> lexAll();
+
+  /// Decodes the escapes in a string or char literal token's text (which
+  /// includes the surrounding quotes). Invalid escapes are passed through
+  /// verbatim.
+  static std::string decodeLiteral(std::string_view Text);
+
+  /// Counts the newline-separated lines of \p Source that contain at least
+  /// one non-whitespace, non-comment character. Used for the Figure 2
+  /// "source lines" statistic.
+  static unsigned countCodeLines(std::string_view Source);
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  SourceLoc loc() const { return SourceLoc(Line, Column); }
+
+  void skipTrivia();
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  Token makeToken(TokenKind Kind, size_t Start, SourceLoc Loc) const;
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_LEXER_H

@@ -1,0 +1,898 @@
+//===- frontend/Parser.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cstdlib>
+
+using namespace vdga;
+
+bool Parser::tryConsume(TokenKind Kind) {
+  if (cur().isNot(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (tryConsume(Kind))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + tokenKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokenKindName(cur().Kind));
+  return false;
+}
+
+void Parser::skipToRecoveryPoint() {
+  unsigned Depth = 0;
+  while (cur().isNot(TokenKind::EndOfFile)) {
+    if (cur().is(TokenKind::LBrace))
+      ++Depth;
+    if (cur().is(TokenKind::RBrace)) {
+      if (Depth == 0) {
+        consume();
+        return;
+      }
+      --Depth;
+    }
+    if (cur().is(TokenKind::Semi) && Depth == 0) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+bool Parser::atTypeStart() const {
+  switch (cur().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwChar:
+  case TokenKind::KwDouble:
+  case TokenKind::KwVoid:
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseProgram() {
+  while (cur().isNot(TokenKind::EndOfFile))
+    parseTopLevel();
+  return !Diags.hasErrors();
+}
+
+void Parser::parseTopLevel() {
+  if (cur().is(TokenKind::KwStruct) || cur().is(TokenKind::KwUnion)) {
+    // `struct X { ... };` defines a record; `struct X name ...` declares a
+    // variable or function of record type.
+    bool IsUnion = cur().is(TokenKind::KwUnion);
+    if (peek().is(TokenKind::Identifier) && peek(2).is(TokenKind::LBrace)) {
+      parseRecordDef(IsUnion);
+      return;
+    }
+  }
+
+  if (!atTypeStart()) {
+    Diags.error(cur().Loc, std::string("expected a declaration, found ") +
+                               tokenKindName(cur().Kind));
+    skipToRecoveryPoint();
+    return;
+  }
+
+  const Type *Base = parseDeclSpec();
+  if (!Base) {
+    skipToRecoveryPoint();
+    return;
+  }
+
+  // `struct X;` style forward declarations degenerate to nothing.
+  if (tryConsume(TokenKind::Semi))
+    return;
+
+  Declarator D = parseDeclarator(Base);
+  if (!D.Ty) {
+    skipToRecoveryPoint();
+    return;
+  }
+
+  if (D.IsFunctionDeclarator &&
+      (cur().is(TokenKind::LBrace) || cur().is(TokenKind::Semi))) {
+    parseFunctionRest(std::move(D));
+    return;
+  }
+  parseGlobalVarRest(Base, std::move(D));
+}
+
+void Parser::parseRecordDef(bool IsUnion) {
+  consume(); // struct/union
+  Token Tag = consume();
+  Symbol TagSym = P.Names.intern(Tag.Text);
+  expect(TokenKind::LBrace, "to open record body");
+
+  RecordType *Rec;
+  auto It = RecordsByTag.find(TagSym);
+  if (It != RecordsByTag.end()) {
+    Rec = It->second;
+    if (Rec->isComplete()) {
+      Diags.error(Tag.Loc, "redefinition of record '" +
+                               std::string(Tag.Text) + "'");
+      skipToRecoveryPoint();
+      return;
+    }
+    if (Rec->isUnion() != IsUnion)
+      Diags.error(Tag.Loc, "record '" + std::string(Tag.Text) +
+                               "' redeclared with a different kind");
+  } else {
+    Rec = P.Types.createRecord(TagSym, IsUnion);
+    RecordsByTag[TagSym] = Rec;
+  }
+
+  std::vector<RecordField> Fields;
+  while (cur().isNot(TokenKind::RBrace) &&
+         cur().isNot(TokenKind::EndOfFile)) {
+    const Type *FieldBase = parseDeclSpec();
+    if (!FieldBase) {
+      skipToRecoveryPoint();
+      return;
+    }
+    for (;;) {
+      Declarator D = parseDeclarator(FieldBase);
+      if (!D.Ty)
+        break;
+      if (D.IsFunctionDeclarator) {
+        Diags.error(D.Loc, "record fields cannot be functions; use a "
+                           "function pointer");
+        break;
+      }
+      RecordField F;
+      F.Name = D.Name;
+      F.Ty = D.Ty;
+      Fields.push_back(F);
+      if (!tryConsume(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::Semi, "after record field");
+  }
+  expect(TokenKind::RBrace, "to close record body");
+  expect(TokenKind::Semi, "after record definition");
+  Rec->complete(std::move(Fields));
+}
+
+const Type *Parser::parseDeclSpec() {
+  switch (cur().Kind) {
+  case TokenKind::KwInt:
+    consume();
+    return P.Types.intType();
+  case TokenKind::KwChar:
+    consume();
+    return P.Types.charType();
+  case TokenKind::KwDouble:
+    consume();
+    return P.Types.doubleType();
+  case TokenKind::KwVoid:
+    consume();
+    return P.Types.voidType();
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion: {
+    bool IsUnion = cur().is(TokenKind::KwUnion);
+    consume();
+    if (cur().isNot(TokenKind::Identifier)) {
+      Diags.error(cur().Loc, "expected record tag");
+      return nullptr;
+    }
+    Token Tag = consume();
+    Symbol TagSym = P.Names.intern(Tag.Text);
+    auto It = RecordsByTag.find(TagSym);
+    if (It != RecordsByTag.end())
+      return It->second;
+    // Forward reference: create an incomplete record (usable behind a
+    // pointer, e.g. `struct node *next`).
+    RecordType *Rec = P.Types.createRecord(TagSym, IsUnion);
+    RecordsByTag[TagSym] = Rec;
+    return Rec;
+  }
+  default:
+    Diags.error(cur().Loc, std::string("expected a type, found ") +
+                               tokenKindName(cur().Kind));
+    return nullptr;
+  }
+}
+
+Parser::Declarator Parser::parseDeclarator(const Type *Base,
+                                           bool AllowAbstract) {
+  Declarator D;
+  const Type *Ty = Base;
+  while (tryConsume(TokenKind::Star))
+    Ty = P.Types.pointerTo(Ty);
+
+  // Function-pointer declarator: `(*name)(params)` or, with an array
+  // suffix, `(*name[N])(params)` (an array of function pointers).
+  if (cur().is(TokenKind::LParen) && peek().is(TokenKind::Star)) {
+    consume(); // (
+    consume(); // *
+    unsigned ExtraStars = 0;
+    while (tryConsume(TokenKind::Star))
+      ++ExtraStars;
+    Token Name;
+    bool HasName = cur().is(TokenKind::Identifier);
+    if (HasName) {
+      Name = consume();
+    } else if (!AllowAbstract) {
+      Diags.error(cur().Loc, "expected identifier in function pointer "
+                             "declarator");
+      return D;
+    } else {
+      Name.Loc = cur().Loc;
+    }
+    std::vector<uint64_t> FnDims;
+    while (tryConsume(TokenKind::LBracket)) {
+      if (cur().is(TokenKind::IntLiteral)) {
+        Token N = consume();
+        FnDims.push_back(
+            std::strtoull(std::string(N.Text).c_str(), nullptr, 0));
+      } else {
+        Diags.error(cur().Loc, "expected constant array length");
+        FnDims.push_back(1);
+      }
+      expect(TokenKind::RBracket, "to close array length");
+    }
+    expect(TokenKind::RParen, "after function pointer name");
+    expect(TokenKind::LParen, "to open function pointer parameter list");
+    bool Variadic = false;
+    std::vector<VarDecl *> Params = parseParamList(Variadic);
+    std::vector<const Type *> ParamTys;
+    ParamTys.reserve(Params.size());
+    for (VarDecl *V : Params)
+      ParamTys.push_back(V->type());
+    const Type *FnTy = P.Types.function(Ty, std::move(ParamTys), Variadic);
+    const Type *PtrTy = P.Types.pointerTo(FnTy);
+    for (unsigned I = 0; I < ExtraStars; ++I)
+      PtrTy = P.Types.pointerTo(PtrTy);
+    for (size_t I = FnDims.size(); I > 0; --I)
+      PtrTy = P.Types.arrayOf(PtrTy, FnDims[I - 1]);
+    if (HasName)
+      D.Name = P.Names.intern(Name.Text);
+    D.Loc = Name.Loc;
+    D.Ty = PtrTy;
+    return D;
+  }
+
+  Token Name;
+  bool HasName = cur().is(TokenKind::Identifier);
+  if (HasName) {
+    Name = consume();
+    D.Name = P.Names.intern(Name.Text);
+    D.Loc = Name.Loc;
+  } else if (!AllowAbstract) {
+    Diags.error(cur().Loc, std::string("expected identifier in declarator, "
+                                       "found ") +
+                               tokenKindName(cur().Kind));
+    return D;
+  } else {
+    D.Loc = cur().Loc;
+  }
+
+  // Function declarator `name(params)`.
+  if (cur().is(TokenKind::LParen)) {
+    consume();
+    D.IsFunctionDeclarator = true;
+    D.Params = parseParamList(D.Variadic);
+    std::vector<const Type *> ParamTys;
+    ParamTys.reserve(D.Params.size());
+    for (VarDecl *V : D.Params)
+      ParamTys.push_back(V->type());
+    D.Ty = P.Types.function(Ty, std::move(ParamTys), D.Variadic);
+    return D;
+  }
+
+  // Array suffixes `[N]...`, innermost last.
+  std::vector<uint64_t> Dims;
+  while (tryConsume(TokenKind::LBracket)) {
+    if (cur().is(TokenKind::IntLiteral)) {
+      Token N = consume();
+      Dims.push_back(std::strtoull(std::string(N.Text).c_str(), nullptr, 0));
+    } else {
+      Diags.error(cur().Loc, "expected constant array length");
+      Dims.push_back(1);
+    }
+    expect(TokenKind::RBracket, "to close array length");
+  }
+  for (size_t I = Dims.size(); I > 0; --I)
+    Ty = P.Types.arrayOf(Ty, Dims[I - 1]);
+
+  D.Ty = Ty;
+  return D;
+}
+
+std::vector<VarDecl *> Parser::parseParamList(bool &Variadic) {
+  std::vector<VarDecl *> Params;
+  Variadic = false;
+  if (tryConsume(TokenKind::RParen))
+    return Params;
+  // `(void)` means no parameters.
+  if (cur().is(TokenKind::KwVoid) && peek().is(TokenKind::RParen)) {
+    consume();
+    consume();
+    return Params;
+  }
+  for (;;) {
+    if (tryConsume(TokenKind::Ellipsis)) {
+      Variadic = true;
+      break;
+    }
+    const Type *Base = parseDeclSpec();
+    if (!Base)
+      break;
+    Declarator D = parseDeclarator(Base, /*AllowAbstract=*/true);
+    if (!D.Ty)
+      break;
+    if (D.IsFunctionDeclarator) {
+      Diags.error(D.Loc, "function parameters of function type are not "
+                         "supported; use a function pointer");
+      break;
+    }
+    // Array parameters decay to pointers, as in C.
+    if (const auto *Arr = dyn_cast<ArrayType>(D.Ty))
+      D.Ty = P.Types.pointerTo(Arr->element());
+    Params.push_back(makeVarDecl(D, StorageKind::Param));
+    if (!tryConsume(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  return Params;
+}
+
+VarDecl *Parser::makeVarDecl(const Declarator &D, StorageKind Storage) {
+  return P.Ctx.create<VarDecl>(D.Loc, D.Name, D.Ty, Storage);
+}
+
+void Parser::parseFunctionRest(Declarator D) {
+  const auto *FnTy = cast<FunctionType>(D.Ty);
+  auto *Fn =
+      P.Ctx.create<FuncDecl>(D.Loc, D.Name, FnTy, std::move(D.Params));
+  P.Functions.push_back(Fn);
+  if (tryConsume(TokenKind::Semi))
+    return; // Prototype only.
+  Fn->setBody(parseCompound());
+}
+
+void Parser::parseGlobalVarRest(const Type *Base, Declarator First) {
+  Declarator D = std::move(First);
+  for (;;) {
+    if (D.IsFunctionDeclarator) {
+      Diags.error(D.Loc, "unexpected function declarator in variable "
+                         "declaration");
+      skipToRecoveryPoint();
+      return;
+    }
+    VarDecl *Var = makeVarDecl(D, StorageKind::Global);
+    parseInitializer(Var);
+    P.Globals.push_back(Var);
+    if (!tryConsume(TokenKind::Comma))
+      break;
+    D = parseDeclarator(Base);
+    if (!D.Ty) {
+      skipToRecoveryPoint();
+      return;
+    }
+  }
+  expect(TokenKind::Semi, "after variable declaration");
+}
+
+void Parser::parseInitializer(VarDecl *Var) {
+  if (!tryConsume(TokenKind::Equal))
+    return;
+  if (tryConsume(TokenKind::LBrace)) {
+    std::vector<Expr *> Elems;
+    if (cur().isNot(TokenKind::RBrace)) {
+      for (;;) {
+        Elems.push_back(parseAssignment());
+        if (!tryConsume(TokenKind::Comma))
+          break;
+        if (cur().is(TokenKind::RBrace))
+          break; // Trailing comma.
+      }
+    }
+    expect(TokenKind::RBrace, "to close initializer list");
+    Var->setInitList(std::move(Elems));
+    return;
+  }
+  Var->setInit(parseAssignment());
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<Stmt *> Body;
+  while (cur().isNot(TokenKind::RBrace) &&
+         cur().isNot(TokenKind::EndOfFile)) {
+    if (atTypeStart()) {
+      parseDeclStmtList(Body);
+      continue;
+    }
+    if (Stmt *S = parseStmt())
+      Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return P.Ctx.create<CompoundStmt>(Loc, std::move(Body));
+}
+
+Stmt *Parser::parseDeclStmtList(std::vector<Stmt *> &Out) {
+  SourceLoc Loc = cur().Loc;
+  const Type *Base = parseDeclSpec();
+  if (!Base) {
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+  for (;;) {
+    Declarator D = parseDeclarator(Base);
+    if (!D.Ty) {
+      skipToRecoveryPoint();
+      return nullptr;
+    }
+    if (D.IsFunctionDeclarator) {
+      Diags.error(D.Loc, "local function declarations are not supported");
+      skipToRecoveryPoint();
+      return nullptr;
+    }
+    VarDecl *Var = makeVarDecl(D, StorageKind::Local);
+    parseInitializer(Var);
+    Out.push_back(P.Ctx.create<DeclStmt>(Loc, Var));
+    if (!tryConsume(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Semi, "after declaration");
+  return nullptr;
+}
+
+Stmt *Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = consume().Loc;
+    expect(TokenKind::Semi, "after 'break'");
+    return P.Ctx.create<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = consume().Loc;
+    expect(TokenKind::Semi, "after 'continue'");
+    return P.Ctx.create<ContinueStmt>(Loc);
+  }
+  case TokenKind::KwSwitch:
+    Diags.error(cur().Loc,
+                "'switch' is not part of MiniC; use an if/else chain");
+    skipToRecoveryPoint();
+    return nullptr;
+  case TokenKind::Semi:
+    consume(); // Empty statement.
+    return nullptr;
+  default: {
+    SourceLoc Loc = cur().Loc;
+    Expr *E = parseExpr();
+    expect(TokenKind::Semi, "after expression statement");
+    return E ? P.Ctx.create<ExprStmt>(Loc, E) : nullptr;
+  }
+  }
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "to close 'if' condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (tryConsume(TokenKind::KwElse))
+    Else = parseStmt();
+  return P.Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "to close 'while' condition");
+  Stmt *Body = parseStmt();
+  return P.Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseDoWhile() {
+  SourceLoc Loc = consume().Loc;
+  Stmt *Body = parseStmt();
+  expect(TokenKind::KwWhile, "after 'do' body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "to close 'do-while' condition");
+  expect(TokenKind::Semi, "after 'do-while'");
+  return P.Ctx.create<DoWhileStmt>(Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = consume().Loc;
+  expect(TokenKind::LParen, "after 'for'");
+
+  Stmt *Init = nullptr;
+  if (atTypeStart()) {
+    std::vector<Stmt *> Decls;
+    parseDeclStmtList(Decls);
+    if (Decls.size() == 1) {
+      Init = Decls[0];
+    } else if (!Decls.empty()) {
+      Init = P.Ctx.create<CompoundStmt>(Loc, std::move(Decls));
+    }
+  } else if (cur().isNot(TokenKind::Semi)) {
+    Expr *E = parseExpr();
+    Init = P.Ctx.create<ExprStmt>(Loc, E);
+    expect(TokenKind::Semi, "after 'for' initializer");
+  } else {
+    consume();
+  }
+
+  Expr *Cond = nullptr;
+  if (cur().isNot(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after 'for' condition");
+
+  Expr *Step = nullptr;
+  if (cur().isNot(TokenKind::RParen))
+    Step = parseExpr();
+  expect(TokenKind::RParen, "to close 'for' header");
+
+  Stmt *Body = parseStmt();
+  return P.Ctx.create<ForStmt>(Loc, Init, Cond, Step, Body);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc;
+  Expr *Value = nullptr;
+  if (cur().isNot(TokenKind::Semi))
+    Value = parseExpr();
+  expect(TokenKind::Semi, "after 'return'");
+  return P.Ctx.create<ReturnStmt>(Loc, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssignment(); }
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+  AssignOp Op;
+  switch (cur().Kind) {
+  case TokenKind::Equal:
+    Op = AssignOp::Assign;
+    break;
+  case TokenKind::PlusEqual:
+    Op = AssignOp::Add;
+    break;
+  case TokenKind::MinusEqual:
+    Op = AssignOp::Sub;
+    break;
+  case TokenKind::StarEqual:
+    Op = AssignOp::Mul;
+    break;
+  case TokenKind::SlashEqual:
+    Op = AssignOp::Div;
+    break;
+  case TokenKind::PercentEqual:
+    Op = AssignOp::Rem;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = consume().Loc;
+  Expr *RHS = parseAssignment();
+  return P.Ctx.create<AssignExpr>(Loc, Op, LHS, RHS);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinaryRHS(/*MinPrec=*/0, parseUnary());
+  if (!Cond || cur().isNot(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = consume().Loc;
+  Expr *Then = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *Else = parseConditional();
+  return P.Ctx.create<ConditionalExpr>(Loc, Cond, Then, Else);
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static bool binaryOpInfo(TokenKind Kind, BinOpInfo &Info) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    Info = {BinaryOp::LogOr, 1};
+    return true;
+  case TokenKind::AmpAmp:
+    Info = {BinaryOp::LogAnd, 2};
+    return true;
+  case TokenKind::Pipe:
+    Info = {BinaryOp::BitOr, 3};
+    return true;
+  case TokenKind::Caret:
+    Info = {BinaryOp::BitXor, 4};
+    return true;
+  case TokenKind::Amp:
+    Info = {BinaryOp::BitAnd, 5};
+    return true;
+  case TokenKind::EqualEqual:
+    Info = {BinaryOp::Eq, 6};
+    return true;
+  case TokenKind::BangEqual:
+    Info = {BinaryOp::Ne, 6};
+    return true;
+  case TokenKind::Less:
+    Info = {BinaryOp::Lt, 7};
+    return true;
+  case TokenKind::Greater:
+    Info = {BinaryOp::Gt, 7};
+    return true;
+  case TokenKind::LessEqual:
+    Info = {BinaryOp::Le, 7};
+    return true;
+  case TokenKind::GreaterEqual:
+    Info = {BinaryOp::Ge, 7};
+    return true;
+  case TokenKind::LessLess:
+    Info = {BinaryOp::Shl, 8};
+    return true;
+  case TokenKind::GreaterGreater:
+    Info = {BinaryOp::Shr, 8};
+    return true;
+  case TokenKind::Plus:
+    Info = {BinaryOp::Add, 9};
+    return true;
+  case TokenKind::Minus:
+    Info = {BinaryOp::Sub, 9};
+    return true;
+  case TokenKind::Star:
+    Info = {BinaryOp::Mul, 10};
+    return true;
+  case TokenKind::Slash:
+    Info = {BinaryOp::Div, 10};
+    return true;
+  case TokenKind::Percent:
+    Info = {BinaryOp::Rem, 10};
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    BinOpInfo Info;
+    if (!binaryOpInfo(cur().Kind, Info) || Info.Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = consume().Loc;
+    Expr *RHS = parseUnary();
+    BinOpInfo Next;
+    while (RHS && binaryOpInfo(cur().Kind, Next) && Next.Prec > Info.Prec)
+      RHS = parseBinaryRHS(Next.Prec, RHS);
+    LHS = P.Ctx.create<BinaryExpr>(Loc, Info.Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::Plus:
+    consume();
+    return parseUnary(); // Unary plus is the identity.
+  case TokenKind::Minus:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  case TokenKind::Bang:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::Not, parseUnary());
+  case TokenKind::Tilde:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  case TokenKind::Star:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::Deref, parseUnary());
+  case TokenKind::Amp:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::AddrOf, parseUnary());
+  case TokenKind::PlusPlus:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::PreInc, parseUnary());
+  case TokenKind::MinusMinus:
+    consume();
+    return P.Ctx.create<UnaryExpr>(Loc, UnaryOp::PreDec, parseUnary());
+  case TokenKind::KwSizeof: {
+    consume();
+    expect(TokenKind::LParen, "after 'sizeof'");
+    if (atTypeStart()) {
+      const Type *Base = parseDeclSpec();
+      const Type *Ty = Base;
+      while (Ty && tryConsume(TokenKind::Star))
+        Ty = P.Types.pointerTo(Ty);
+      expect(TokenKind::RParen, "to close 'sizeof'");
+      return P.Ctx.create<SizeOfExpr>(Loc, Ty);
+    }
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "to close 'sizeof'");
+    // sizeof(expr): Sema resolves via the operand's type.
+    auto *S = P.Ctx.create<SizeOfExpr>(Loc, nullptr);
+    (void)E; // The operand's value is never needed.
+    // Represent sizeof(expr) as a cast-like wrapper: keep it simple by
+    // reusing SizeOfExpr with a null type and attaching the operand via a
+    // conditional — instead, just disallow it.
+    Diags.error(Loc, "sizeof(expression) is not supported; use sizeof(type)");
+    return S;
+  }
+  case TokenKind::LParen:
+    // Cast if a type name follows.
+    if (peek().Kind == TokenKind::KwInt || peek().Kind == TokenKind::KwChar ||
+        peek().Kind == TokenKind::KwDouble ||
+        peek().Kind == TokenKind::KwVoid ||
+        peek().Kind == TokenKind::KwStruct ||
+        peek().Kind == TokenKind::KwUnion) {
+      consume(); // (
+      const Type *Base = parseDeclSpec();
+      const Type *Ty = Base;
+      while (Ty && tryConsume(TokenKind::Star))
+        Ty = P.Types.pointerTo(Ty);
+      expect(TokenKind::RParen, "to close cast");
+      Expr *Operand = parseUnary();
+      if (!Ty || !Operand)
+        return nullptr;
+      return P.Ctx.create<CastExpr>(Loc, Ty, Operand);
+    }
+    return parsePostfix();
+  default:
+    return parsePostfix();
+  }
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    if (!E)
+      return nullptr;
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::LBracket: {
+      consume();
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "to close subscript");
+      E = P.Ctx.create<IndexExpr>(Loc, E, Index);
+      break;
+    }
+    case TokenKind::LParen: {
+      consume();
+      std::vector<Expr *> Args = parseCallArgs();
+      E = P.Ctx.create<CallExpr>(Loc, E, std::move(Args));
+      break;
+    }
+    case TokenKind::Dot: {
+      consume();
+      if (cur().isNot(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected field name after '.'");
+        return E;
+      }
+      Token Field = consume();
+      E = P.Ctx.create<MemberExpr>(Loc, E, P.Names.intern(Field.Text),
+                                   /*Arrow=*/false);
+      break;
+    }
+    case TokenKind::Arrow: {
+      consume();
+      if (cur().isNot(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected field name after '->'");
+        return E;
+      }
+      Token Field = consume();
+      E = P.Ctx.create<MemberExpr>(Loc, E, P.Names.intern(Field.Text),
+                                   /*Arrow=*/true);
+      break;
+    }
+    case TokenKind::PlusPlus:
+      consume();
+      E = P.Ctx.create<UnaryExpr>(Loc, UnaryOp::PostInc, E);
+      break;
+    case TokenKind::MinusMinus:
+      consume();
+      E = P.Ctx.create<UnaryExpr>(Loc, UnaryOp::PostDec, E);
+      break;
+    default:
+      return E;
+    }
+  }
+}
+
+std::vector<Expr *> Parser::parseCallArgs() {
+  std::vector<Expr *> Args;
+  if (tryConsume(TokenKind::RParen))
+    return Args;
+  for (;;) {
+    Args.push_back(parseAssignment());
+    if (!tryConsume(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RParen, "to close call arguments");
+  return Args;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    int64_t Value = std::strtoll(std::string(T.Text).c_str(), nullptr, 0);
+    return P.Ctx.create<IntLiteralExpr>(Loc, Value);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    double Value = std::strtod(std::string(T.Text).c_str(), nullptr);
+    return P.Ctx.create<FloatLiteralExpr>(Loc, Value);
+  }
+  case TokenKind::CharLiteral: {
+    Token T = consume();
+    std::string Decoded = Lexer::decodeLiteral(T.Text);
+    int64_t Value = Decoded.empty() ? 0 : static_cast<unsigned char>(
+                                              Decoded[0]);
+    return P.Ctx.create<IntLiteralExpr>(Loc, Value);
+  }
+  case TokenKind::StringLiteral: {
+    // Adjacent string literals concatenate, as in C.
+    std::string Value;
+    while (cur().is(TokenKind::StringLiteral))
+      Value += Lexer::decodeLiteral(consume().Text);
+    return P.Ctx.create<StringLiteralExpr>(Loc, std::move(Value));
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    return P.Ctx.create<DeclRefExpr>(Loc, P.Names.intern(T.Text));
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(cur().Kind));
+    consume();
+    return nullptr;
+  }
+}

@@ -1,0 +1,100 @@
+//===- frontend/Parser.h - MiniC parser ------------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC. Produces an unchecked AST; Sema
+/// performs name binding and type checking afterwards. Parse errors are
+/// reported to the DiagnosticEngine and recovery skips to the next ';' or
+/// '}' so that multiple errors surface in one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_PARSER_H
+#define VDGA_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+
+#include <map>
+#include <vector>
+
+namespace vdga {
+
+/// Parses a token stream into a Program's AST.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Program &P, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), P(P), Diags(Diags) {}
+
+  /// Parses the whole translation unit. Returns false if any syntax error
+  /// was reported.
+  bool parseProgram();
+
+private:
+  // Token cursor.
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token consume() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool tryConsume(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToRecoveryPoint();
+
+  bool atTypeStart() const;
+
+  // Declarations.
+  void parseTopLevel();
+  void parseRecordDef(bool IsUnion);
+  const Type *parseDeclSpec();
+  struct Declarator {
+    Symbol Name;
+    SourceLoc Loc;
+    const Type *Ty = nullptr;
+    bool IsFunctionDeclarator = false;
+    std::vector<VarDecl *> Params;
+    bool Variadic = false;
+  };
+  /// Parses a declarator. When \p AllowAbstract is true (parameter
+  /// lists), the identifier may be omitted.
+  Declarator parseDeclarator(const Type *Base, bool AllowAbstract = false);
+  std::vector<VarDecl *> parseParamList(bool &Variadic);
+  void parseFunctionRest(Declarator D);
+  void parseGlobalVarRest(const Type *Base, Declarator First);
+  VarDecl *makeVarDecl(const Declarator &D, StorageKind Storage);
+  void parseInitializer(VarDecl *Var);
+
+  // Statements.
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseFor();
+  Stmt *parseReturn();
+  Stmt *parseDeclStmtList(std::vector<Stmt *> &Out);
+
+  // Expressions.
+  Expr *parseExpr();
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinaryRHS(int MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseCallArgs();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::map<Symbol, RecordType *> RecordsByTag;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_PARSER_H

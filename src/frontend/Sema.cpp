@@ -1,0 +1,777 @@
+//===- frontend/Sema.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() {
+  assert(!Scopes.empty() && "popping an empty scope stack");
+  Scopes.pop_back();
+}
+
+VarDecl *Sema::lookupVar(Symbol Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::declareVar(VarDecl *Var) {
+  assert(!Scopes.empty() && "declaring outside any scope");
+  auto &Scope = Scopes.back();
+  auto [It, Inserted] = Scope.emplace(Var->name(), Var);
+  if (!Inserted)
+    Diags.error(Var->loc(), "redeclaration of '" +
+                                P.Names.text(Var->name()) + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+BuiltinKind Sema::builtinKindForName(std::string_view Name) {
+  if (Name == "malloc")
+    return BuiltinKind::Malloc;
+  if (Name == "calloc")
+    return BuiltinKind::Calloc;
+  if (Name == "free")
+    return BuiltinKind::Free;
+  if (Name == "printf")
+    return BuiltinKind::Printf;
+  if (Name == "putchar")
+    return BuiltinKind::Putchar;
+  if (Name == "getchar")
+    return BuiltinKind::Getchar;
+  if (Name == "strlen")
+    return BuiltinKind::Strlen;
+  if (Name == "strcmp")
+    return BuiltinKind::Strcmp;
+  if (Name == "strcpy")
+    return BuiltinKind::Strcpy;
+  if (Name == "strcat")
+    return BuiltinKind::Strcat;
+  if (Name == "memset")
+    return BuiltinKind::Memset;
+  if (Name == "atoi")
+    return BuiltinKind::Atoi;
+  if (Name == "abs")
+    return BuiltinKind::Abs;
+  if (Name == "fabs")
+    return BuiltinKind::Fabs;
+  if (Name == "sqrt")
+    return BuiltinKind::Sqrt;
+  if (Name == "exp")
+    return BuiltinKind::Exp;
+  if (Name == "rand")
+    return BuiltinKind::Rand;
+  if (Name == "srand")
+    return BuiltinKind::Srand;
+  if (Name == "exit")
+    return BuiltinKind::Exit;
+  return BuiltinKind::None;
+}
+
+const FunctionType *Sema::builtinType(BuiltinKind K) {
+  const Type *IntTy = P.Types.intType();
+  const Type *VoidTy = P.Types.voidType();
+  const Type *DoubleTy = P.Types.doubleType();
+  const Type *VoidPtr = P.Types.pointerTo(VoidTy);
+  const Type *CharPtr = P.Types.pointerTo(P.Types.charType());
+
+  switch (K) {
+  case BuiltinKind::None:
+    return nullptr;
+  case BuiltinKind::Malloc:
+    return P.Types.function(VoidPtr, {IntTy}, false);
+  case BuiltinKind::Calloc:
+    return P.Types.function(VoidPtr, {IntTy, IntTy}, false);
+  case BuiltinKind::Free:
+    return P.Types.function(VoidTy, {VoidPtr}, false);
+  case BuiltinKind::Printf:
+    return P.Types.function(IntTy, {CharPtr}, true);
+  case BuiltinKind::Putchar:
+    return P.Types.function(IntTy, {IntTy}, false);
+  case BuiltinKind::Getchar:
+    return P.Types.function(IntTy, {}, false);
+  case BuiltinKind::Strlen:
+    return P.Types.function(IntTy, {CharPtr}, false);
+  case BuiltinKind::Strcmp:
+    return P.Types.function(IntTy, {CharPtr, CharPtr}, false);
+  case BuiltinKind::Strcpy:
+  case BuiltinKind::Strcat:
+    return P.Types.function(CharPtr, {CharPtr, CharPtr}, false);
+  case BuiltinKind::Memset:
+    return P.Types.function(VoidPtr, {VoidPtr, IntTy, IntTy}, false);
+  case BuiltinKind::Atoi:
+    return P.Types.function(IntTy, {CharPtr}, false);
+  case BuiltinKind::Abs:
+    return P.Types.function(IntTy, {IntTy}, false);
+  case BuiltinKind::Fabs:
+  case BuiltinKind::Sqrt:
+  case BuiltinKind::Exp:
+    return P.Types.function(DoubleTy, {DoubleTy}, false);
+  case BuiltinKind::Rand:
+    return P.Types.function(IntTy, {}, false);
+  case BuiltinKind::Srand:
+    return P.Types.function(VoidTy, {IntTy}, false);
+  case BuiltinKind::Exit:
+    return P.Types.function(VoidTy, {IntTy}, false);
+  }
+  return nullptr;
+}
+
+void Sema::noteAllocSite(CallExpr *E) {
+  E->setAllocSiteId(P.NumAllocSites++);
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+bool Sema::run() {
+  ErrorTy = P.Types.intType();
+  mergeFunctionDecls();
+
+  pushScope(); // Global scope.
+  for (VarDecl *G : P.Globals)
+    declareVar(G);
+  for (VarDecl *G : P.Globals)
+    checkGlobal(G);
+  for (FuncDecl *Fn : P.Functions)
+    if (Fn->isDefined())
+      checkFunction(Fn);
+  popScope();
+  return !Diags.hasErrors();
+}
+
+void Sema::mergeFunctionDecls() {
+  std::vector<FuncDecl *> Canonical;
+  for (FuncDecl *Fn : P.Functions) {
+    auto It = FunctionsByName.find(Fn->name());
+    if (It == FunctionsByName.end()) {
+      FunctionsByName.emplace(Fn->name(), Fn);
+      Canonical.push_back(Fn);
+      continue;
+    }
+    FuncDecl *Prev = It->second;
+    if (Prev->type() != Fn->type())
+      Diags.error(Fn->loc(), "conflicting declarations of '" +
+                                 P.Names.text(Fn->name()) + "'");
+    if (Fn->isDefined()) {
+      if (Prev->isDefined()) {
+        Diags.error(Fn->loc(), "redefinition of '" +
+                                   P.Names.text(Fn->name()) + "'");
+        continue;
+      }
+      // Replace the prototype with the definition in place, preserving
+      // declaration order.
+      for (FuncDecl *&Slot : Canonical)
+        if (Slot == Prev)
+          Slot = Fn;
+      It->second = Fn;
+    }
+  }
+  P.Functions = std::move(Canonical);
+}
+
+void Sema::checkGlobal(VarDecl *Var) {
+  if (Var->type()->isVoid() || Var->type()->isFunction()) {
+    Diags.error(Var->loc(), "variable '" + P.Names.text(Var->name()) +
+                                "' has invalid type");
+    Var->setType(ErrorTy);
+  }
+  if (Expr *Init = Var->init()) {
+    const Type *InitTy = checkExpr(Init);
+    checkAssignable(Var->type(), InitTy, Init, Var->loc(),
+                    "in global initializer");
+  }
+  for (Expr *Elem : Var->initList()) {
+    const Type *ElemTy = checkExpr(Elem);
+    const auto *Arr = dyn_cast<ArrayType>(Var->type());
+    if (!Arr) {
+      Diags.error(Var->loc(), "initializer list requires an array type");
+      break;
+    }
+    checkAssignable(Arr->element(), ElemTy, Elem, Elem->loc(),
+                    "in array initializer");
+  }
+  if (const auto *Arr = dyn_cast<ArrayType>(Var->type()))
+    if (Var->initList().size() > Arr->length())
+      Diags.error(Var->loc(), "too many initializers for array");
+}
+
+void Sema::checkFunction(FuncDecl *Fn) {
+  CurrentFn = Fn;
+  pushScope();
+  for (VarDecl *Param : Fn->params()) {
+    Param->setOwner(Fn);
+    if (Param->name().empty())
+      Diags.error(Param->loc(), "parameters of a function definition must "
+                                "be named");
+    else
+      declareVar(Param);
+  }
+  checkStmt(Fn->body());
+  popScope();
+  CurrentFn = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    pushScope();
+    for (Stmt *Child : cast<CompoundStmt>(S)->body())
+      checkStmt(Child);
+    popScope();
+    return;
+  }
+  case StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::Decl: {
+    VarDecl *Var = cast<DeclStmt>(S)->var();
+    if (Var->type()->isVoid() || Var->type()->isFunction()) {
+      Diags.error(Var->loc(), "variable '" + P.Names.text(Var->name()) +
+                                  "' has invalid type");
+      Var->setType(ErrorTy);
+    }
+    Var->setOwner(CurrentFn);
+    if (CurrentFn)
+      CurrentFn->addLocal(Var);
+    if (!Var->initList().empty())
+      Diags.error(Var->loc(),
+                  "initializer lists are only supported on globals");
+    declareVar(Var);
+    if (Expr *Init = Var->init()) {
+      const Type *InitTy = checkExpr(Init);
+      checkAssignable(Var->type(), InitTy, Init, Var->loc(),
+                      "in initializer");
+    }
+    return;
+  }
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    checkExpr(If->cond());
+    checkStmt(If->thenStmt());
+    checkStmt(If->elseStmt());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    checkExpr(W->cond());
+    checkStmt(W->body());
+    return;
+  }
+  case StmtKind::DoWhile: {
+    auto *D = cast<DoWhileStmt>(S);
+    checkStmt(D->body());
+    checkExpr(D->cond());
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    checkStmt(F->init());
+    if (F->cond())
+      checkExpr(F->cond());
+    if (F->step())
+      checkExpr(F->step());
+    checkStmt(F->body());
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    assert(CurrentFn && "return outside of a function");
+    const Type *RetTy = CurrentFn->functionType()->returnType();
+    if (Expr *V = R->value()) {
+      const Type *ValTy = checkExpr(V);
+      if (RetTy->isVoid())
+        Diags.error(S->loc(), "void function returns a value");
+      else
+        checkAssignable(RetTy, ValTy, V, S->loc(), "in return");
+    } else if (!RetTy->isVoid()) {
+      Diags.error(S->loc(), "non-void function returns without a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::decayed(const Type *T) {
+  if (const auto *Arr = dyn_cast<ArrayType>(T))
+    return P.Types.pointerTo(Arr->element());
+  if (T->isFunction())
+    return P.Types.pointerTo(T);
+  return T;
+}
+
+void Sema::markAddressTaken(Expr *E) {
+  // Walk down lvalue structure to the storage root. Only roots that are
+  // variables need marking: everything else (derefs, heap objects) is
+  // already store-resident.
+  while (true) {
+    if (auto *M = dyn_cast<MemberExpr>(E)) {
+      if (M->isArrow())
+        return; // Base is a pointer; the storage is behind it.
+      E = M->base();
+      continue;
+    }
+    if (auto *I = dyn_cast<IndexExpr>(E)) {
+      if (I->base()->type() && I->base()->type()->isPointer())
+        return;
+      E = I->base();
+      continue;
+    }
+    break;
+  }
+  if (auto *Ref = dyn_cast<DeclRefExpr>(E)) {
+    if (auto *Var = dyn_cast<VarDecl>(Ref->decl()))
+      Var->setAddressTaken();
+    else if (auto *Fn = dyn_cast<FuncDecl>(Ref->decl()))
+      Fn->setAddressTaken();
+  }
+}
+
+const Type *Sema::checkExpr(Expr *E) {
+  if (!E)
+    return ErrorTy;
+  const Type *Ty = nullptr;
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    Ty = P.Types.intType();
+    break;
+  case ExprKind::FloatLiteral:
+    Ty = P.Types.doubleType();
+    break;
+  case ExprKind::StringLiteral: {
+    auto *S = cast<StringLiteralExpr>(E);
+    S->setLiteralId(static_cast<unsigned>(P.StringLiterals.size()));
+    P.StringLiterals.push_back(S);
+    Ty = P.Types.pointerTo(P.Types.charType());
+    break;
+  }
+  case ExprKind::DeclRef:
+    Ty = checkDeclRef(cast<DeclRefExpr>(E));
+    break;
+  case ExprKind::Unary:
+    Ty = checkUnary(cast<UnaryExpr>(E));
+    break;
+  case ExprKind::Binary:
+    Ty = checkBinary(cast<BinaryExpr>(E));
+    break;
+  case ExprKind::Assign:
+    Ty = checkAssign(cast<AssignExpr>(E));
+    break;
+  case ExprKind::Call:
+    Ty = checkCall(cast<CallExpr>(E));
+    break;
+  case ExprKind::Index:
+    Ty = checkIndex(cast<IndexExpr>(E));
+    break;
+  case ExprKind::Member:
+    Ty = checkMember(cast<MemberExpr>(E));
+    break;
+  case ExprKind::Cast:
+    Ty = checkCast(cast<CastExpr>(E));
+    break;
+  case ExprKind::Conditional:
+    Ty = checkConditional(cast<ConditionalExpr>(E));
+    break;
+  case ExprKind::SizeOf: {
+    auto *S = cast<SizeOfExpr>(E);
+    Ty = P.Types.intType();
+    if (!S->queried())
+      Ty = ErrorTy;
+    break;
+  }
+  }
+  if (!Ty)
+    Ty = ErrorTy;
+  E->setType(Ty);
+  return Ty;
+}
+
+const Type *Sema::checkDeclRef(DeclRefExpr *E) {
+  if (VarDecl *Var = lookupVar(E->name())) {
+    E->setDecl(Var);
+    E->setLValue(true);
+    return Var->type();
+  }
+  auto It = FunctionsByName.find(E->name());
+  if (It != FunctionsByName.end()) {
+    E->setDecl(It->second);
+    // A function name used anywhere but as the callee of a direct call is a
+    // function value: the function becomes an indirect-call candidate.
+    if (!InCalleePosition)
+      It->second->setAddressTaken();
+    return It->second->type();
+  }
+  Diags.error(E->loc(),
+              "use of undeclared identifier '" + P.Names.text(E->name()) +
+                  "'");
+  return ErrorTy;
+}
+
+const Type *Sema::checkUnary(UnaryExpr *E) {
+  const Type *OpTy = checkExpr(E->operand());
+  switch (E->op()) {
+  case UnaryOp::Neg:
+    if (!OpTy->isArithmetic())
+      Diags.error(E->loc(), "operand of unary '-' must be arithmetic");
+    return OpTy->isDouble() ? OpTy : P.Types.intType();
+  case UnaryOp::Not:
+    if (!decayed(OpTy)->isScalar())
+      Diags.error(E->loc(), "operand of '!' must be scalar");
+    return P.Types.intType();
+  case UnaryOp::BitNot:
+    if (!OpTy->isIntegral())
+      Diags.error(E->loc(), "operand of '~' must be integral");
+    return P.Types.intType();
+  case UnaryOp::AddrOf: {
+    if (!E->operand()->isLValue() && !OpTy->isFunction()) {
+      Diags.error(E->loc(), "cannot take the address of an rvalue");
+      return P.Types.pointerTo(OpTy);
+    }
+    markAddressTaken(E->operand());
+    if (OpTy->isFunction())
+      return P.Types.pointerTo(OpTy);
+    return P.Types.pointerTo(OpTy);
+  }
+  case UnaryOp::Deref: {
+    const Type *DecTy = decayed(OpTy);
+    if (const auto *Ptr = dyn_cast<PointerType>(DecTy)) {
+      if (Ptr->pointee()->isVoid()) {
+        Diags.error(E->loc(), "cannot dereference 'void *'");
+        return ErrorTy;
+      }
+      if (!Ptr->pointee()->isFunction())
+        E->setLValue(true);
+      return Ptr->pointee();
+    }
+    Diags.error(E->loc(), "cannot dereference a non-pointer");
+    return ErrorTy;
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    if (!E->operand()->isLValue())
+      Diags.error(E->loc(), "operand of increment/decrement must be an "
+                            "lvalue");
+    const Type *DecTy = decayed(OpTy);
+    if (!DecTy->isArithmetic() && !DecTy->isPointer())
+      Diags.error(E->loc(), "operand of increment/decrement must be scalar");
+    return OpTy;
+  }
+  }
+  return ErrorTy;
+}
+
+const Type *Sema::checkBinary(BinaryExpr *E) {
+  const Type *L = decayed(checkExpr(E->lhs()));
+  const Type *R = decayed(checkExpr(E->rhs()));
+  switch (E->op()) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub: {
+    // Pointer arithmetic: ptr +- int, and ptr - ptr.
+    if (L->isPointer() && R->isIntegral())
+      return L;
+    if (E->op() == BinaryOp::Add && L->isIntegral() && R->isPointer())
+      return R;
+    if (E->op() == BinaryOp::Sub && L->isPointer() && R->isPointer())
+      return P.Types.intType();
+    if (L->isArithmetic() && R->isArithmetic())
+      return L->isDouble() || R->isDouble() ? P.Types.doubleType()
+                                            : P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to '+'/'-'");
+    return ErrorTy;
+  }
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+    if (L->isArithmetic() && R->isArithmetic())
+      return L->isDouble() || R->isDouble() ? P.Types.doubleType()
+                                            : P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to multiplicative operator");
+    return ErrorTy;
+  case BinaryOp::Rem:
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor:
+    if (L->isIntegral() && R->isIntegral())
+      return P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to integer operator");
+    return ErrorTy;
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+    if ((L->isArithmetic() && R->isArithmetic()) ||
+        (L->isPointer() && R->isPointer()))
+      return P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to comparison");
+    return ErrorTy;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    bool LNull = isa<IntLiteralExpr>(E->lhs()) &&
+                 cast<IntLiteralExpr>(E->lhs())->value() == 0;
+    bool RNull = isa<IntLiteralExpr>(E->rhs()) &&
+                 cast<IntLiteralExpr>(E->rhs())->value() == 0;
+    if ((L->isArithmetic() && R->isArithmetic()) ||
+        (L->isPointer() && (R->isPointer() || RNull)) ||
+        (R->isPointer() && (L->isPointer() || LNull)))
+      return P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to equality comparison");
+    return ErrorTy;
+  }
+  case BinaryOp::LogAnd:
+  case BinaryOp::LogOr:
+    if (L->isScalar() && R->isScalar())
+      return P.Types.intType();
+    Diags.error(E->loc(), "invalid operands to logical operator");
+    return ErrorTy;
+  }
+  return ErrorTy;
+}
+
+bool Sema::checkAssignable(const Type *Dst, const Type *Src,
+                           const Expr *SrcExpr, SourceLoc Loc,
+                           const char *Context) {
+  const Type *SrcDec = decayed(Src);
+  if (Dst->isArithmetic() && SrcDec->isArithmetic())
+    return true;
+  if (Dst->isPointer()) {
+    if (const auto *SrcPtr = dyn_cast<PointerType>(SrcDec)) {
+      const Type *DP = cast<PointerType>(Dst)->pointee();
+      const Type *SP = SrcPtr->pointee();
+      if (DP == SP || DP->isVoid() || SP->isVoid())
+        return true;
+      Diags.error(Loc, std::string("incompatible pointer types ") + Context);
+      return false;
+    }
+    // Null pointer constant.
+    if (SrcExpr && isa<IntLiteralExpr>(SrcExpr) &&
+        cast<IntLiteralExpr>(SrcExpr)->value() == 0)
+      return true;
+    Diags.error(Loc,
+                std::string("cannot assign a non-pointer to a pointer ") +
+                    Context);
+    return false;
+  }
+  if (Dst->isRecord()) {
+    if (Dst == SrcDec)
+      return true;
+    Diags.error(Loc, std::string("incompatible record types ") + Context);
+    return false;
+  }
+  Diags.error(Loc, std::string("invalid assignment ") + Context);
+  return false;
+}
+
+const Type *Sema::checkAssign(AssignExpr *E) {
+  const Type *TargetTy = checkExpr(E->target());
+  const Type *ValueTy = checkExpr(E->value());
+  if (!E->target()->isLValue())
+    Diags.error(E->loc(), "assignment target is not an lvalue");
+  if (TargetTy->isArray())
+    Diags.error(E->loc(), "cannot assign to an array");
+  if (E->op() == AssignOp::Assign) {
+    checkAssignable(TargetTy, ValueTy, E->value(), E->loc(),
+                    "in assignment");
+  } else {
+    // Compound assignment: target must be arithmetic, or pointer +=/-= int.
+    const Type *DecVal = decayed(ValueTy);
+    bool PtrAdjust = TargetTy->isPointer() && DecVal->isIntegral() &&
+                     (E->op() == AssignOp::Add || E->op() == AssignOp::Sub);
+    if (!PtrAdjust && !(TargetTy->isArithmetic() && DecVal->isArithmetic()))
+      Diags.error(E->loc(), "invalid compound assignment operands");
+  }
+  return TargetTy;
+}
+
+const Type *Sema::checkCall(CallExpr *E) {
+  // Builtin recognition: a direct call to an otherwise-undeclared name.
+  if (auto *Ref = dyn_cast<DeclRefExpr>(E->callee())) {
+    bool Declared = lookupVar(Ref->name()) ||
+                    FunctionsByName.count(Ref->name());
+    if (!Declared) {
+      BuiltinKind BK = builtinKindForName(P.Names.text(Ref->name()));
+      if (BK != BuiltinKind::None) {
+        E->setBuiltin(BK);
+        const FunctionType *FnTy = builtinType(BK);
+        Ref->setType(FnTy);
+        if (BK == BuiltinKind::Malloc || BK == BuiltinKind::Calloc)
+          noteAllocSite(E);
+        size_t NumFixed = FnTy->params().size();
+        if (E->args().size() < NumFixed ||
+            (!FnTy->isVariadic() && E->args().size() > NumFixed))
+          Diags.error(E->loc(), "wrong number of arguments to builtin");
+        for (size_t I = 0; I < E->args().size(); ++I) {
+          const Type *ArgTy = checkExpr(E->args()[I]);
+          if (I < NumFixed)
+            checkAssignable(FnTy->params()[I], ArgTy, E->args()[I],
+                            E->args()[I]->loc(), "in builtin argument");
+        }
+        return FnTy->returnType();
+      }
+    }
+  }
+
+  bool DirectName = isa<DeclRefExpr>(E->callee());
+  InCalleePosition = DirectName;
+  const Type *CalleeTy = checkExpr(E->callee());
+  InCalleePosition = false;
+  const FunctionType *FnTy = nullptr;
+  if (const auto *F = dyn_cast<FunctionType>(CalleeTy))
+    FnTy = F;
+  else if (const auto *Ptr = dyn_cast<PointerType>(CalleeTy))
+    FnTy = dyn_cast<FunctionType>(Ptr->pointee());
+  if (!FnTy) {
+    Diags.error(E->loc(), "called object is not a function or function "
+                          "pointer");
+    for (Expr *Arg : E->args())
+      checkExpr(Arg);
+    return ErrorTy;
+  }
+
+  if (E->args().size() != FnTy->params().size() && !FnTy->isVariadic())
+    Diags.error(E->loc(), "wrong number of arguments in call");
+  for (size_t I = 0; I < E->args().size(); ++I) {
+    const Type *ArgTy = checkExpr(E->args()[I]);
+    if (I < FnTy->params().size())
+      checkAssignable(FnTy->params()[I], ArgTy, E->args()[I],
+                      E->args()[I]->loc(), "in call argument");
+  }
+  return FnTy->returnType();
+}
+
+const Type *Sema::checkIndex(IndexExpr *E) {
+  const Type *BaseTy = checkExpr(E->base());
+  const Type *IndexTy = checkExpr(E->index());
+  if (!decayed(IndexTy)->isIntegral())
+    Diags.error(E->loc(), "array subscript must be integral");
+  if (const auto *Arr = dyn_cast<ArrayType>(BaseTy)) {
+    E->setLValue(true);
+    return Arr->element();
+  }
+  if (const auto *Ptr = dyn_cast<PointerType>(decayed(BaseTy))) {
+    if (Ptr->pointee()->isVoid() || Ptr->pointee()->isFunction()) {
+      Diags.error(E->loc(), "cannot index this pointer type");
+      return ErrorTy;
+    }
+    E->setLValue(true);
+    return Ptr->pointee();
+  }
+  Diags.error(E->loc(), "subscripted value is not an array or pointer");
+  return ErrorTy;
+}
+
+const Type *Sema::checkMember(MemberExpr *E) {
+  const Type *BaseTy = checkExpr(E->base());
+  const RecordType *Rec = nullptr;
+  if (E->isArrow()) {
+    if (const auto *Ptr = dyn_cast<PointerType>(decayed(BaseTy)))
+      Rec = dyn_cast<RecordType>(Ptr->pointee());
+    if (!Rec) {
+      Diags.error(E->loc(), "'->' requires a pointer to a record");
+      return ErrorTy;
+    }
+  } else {
+    Rec = dyn_cast<RecordType>(BaseTy);
+    if (!Rec) {
+      Diags.error(E->loc(), "'.' requires a record");
+      return ErrorTy;
+    }
+    if (!E->base()->isLValue())
+      Diags.error(E->loc(), "member access on an rvalue record is not "
+                            "supported");
+  }
+  if (!Rec->isComplete()) {
+    Diags.error(E->loc(), "use of incomplete record 'struct " +
+                              P.Names.text(Rec->tag()) + "'");
+    return ErrorTy;
+  }
+  int Idx = Rec->fieldIndex(E->field());
+  if (Idx < 0) {
+    Diags.error(E->loc(), "no field named '" + P.Names.text(E->field()) +
+                              "' in record");
+    return ErrorTy;
+  }
+  E->resolve(Rec, static_cast<unsigned>(Idx));
+  E->setLValue(true);
+  return Rec->fields()[Idx].Ty;
+}
+
+const Type *Sema::checkCast(CastExpr *E) {
+  const Type *SrcTy = decayed(checkExpr(E->operand()));
+  const Type *DstTy = E->target();
+  if (DstTy->isArithmetic() && SrcTy->isArithmetic())
+    return DstTy;
+  if (DstTy->isPointer() && SrcTy->isPointer())
+    return DstTy;
+  if (DstTy->isVoid())
+    return DstTy;
+  // Null pointer constants may be cast to pointers.
+  if (DstTy->isPointer() && isa<IntLiteralExpr>(E->operand()) &&
+      cast<IntLiteralExpr>(E->operand())->value() == 0)
+    return DstTy;
+  // The paper's analysis does not model pointer<->integer casts; MiniC
+  // rejects them outright.
+  Diags.error(E->loc(), "casts between pointer and non-pointer types are "
+                        "not allowed in MiniC");
+  return DstTy;
+}
+
+const Type *Sema::checkConditional(ConditionalExpr *E) {
+  const Type *CondTy = decayed(checkExpr(E->cond()));
+  if (!CondTy->isScalar())
+    Diags.error(E->loc(), "conditional predicate must be scalar");
+  const Type *T = decayed(checkExpr(E->thenExpr()));
+  const Type *F = decayed(checkExpr(E->elseExpr()));
+  if (T == F)
+    return T;
+  if (T->isArithmetic() && F->isArithmetic())
+    return T->isDouble() || F->isDouble() ? P.Types.doubleType()
+                                          : P.Types.intType();
+  if (T->isPointer() && F->isPointer())
+    return T; // void* mixing collapses arbitrarily to the then-type.
+  bool TNull = isa<IntLiteralExpr>(E->thenExpr()) &&
+               cast<IntLiteralExpr>(E->thenExpr())->value() == 0;
+  bool FNull = isa<IntLiteralExpr>(E->elseExpr()) &&
+               cast<IntLiteralExpr>(E->elseExpr())->value() == 0;
+  if (T->isPointer() && FNull)
+    return T;
+  if (F->isPointer() && TNull)
+    return F;
+  Diags.error(E->loc(), "incompatible branches in conditional expression");
+  return ErrorTy;
+}

@@ -1,0 +1,101 @@
+//===- frontend/Sema.h - MiniC semantic analysis ---------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name binding and type checking for MiniC, plus the annotations the later
+/// phases need: address-taken flags (which decide store residency, mirroring
+/// the paper's SSA-like store scalarization), builtin recognition with
+/// per-call-site heap allocation ids, string literal numbering, and local
+/// variable registration.
+///
+/// MiniC enforces the paper's stated restrictions: casts may not convert
+/// between pointer and non-pointer types, and there are no signals or
+/// longjmp. Pointer arithmetic is permitted (the analysis assumes it stays
+/// within the array, as the paper does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_SEMA_H
+#define VDGA_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <vector>
+
+namespace vdga {
+
+/// Binds names and checks types over a parsed Program.
+class Sema {
+public:
+  Sema(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  /// Runs all checks. Returns false if any error was reported.
+  bool run();
+
+  /// Returns the builtin kind for \p Name, or BuiltinKind::None.
+  static BuiltinKind builtinKindForName(std::string_view Name);
+
+private:
+  // Scope management.
+  void pushScope();
+  void popScope();
+  VarDecl *lookupVar(Symbol Name) const;
+  void declareVar(VarDecl *Var);
+
+  // Declaration checking.
+  void mergeFunctionDecls();
+  void checkGlobal(VarDecl *Var);
+  void checkFunction(FuncDecl *Fn);
+
+  // Statement checking.
+  void checkStmt(Stmt *S);
+
+  // Expression checking. Returns the (possibly error-recovered) type and
+  // annotates the node.
+  const Type *checkExpr(Expr *E);
+  const Type *checkDeclRef(DeclRefExpr *E);
+  const Type *checkUnary(UnaryExpr *E);
+  const Type *checkBinary(BinaryExpr *E);
+  const Type *checkAssign(AssignExpr *E);
+  const Type *checkCall(CallExpr *E);
+  const Type *checkIndex(IndexExpr *E);
+  const Type *checkMember(MemberExpr *E);
+  const Type *checkCast(CastExpr *E);
+  const Type *checkConditional(ConditionalExpr *E);
+
+  /// Checks that a value of type \p Src (from \p SrcExpr) may initialize or
+  /// assign an object of type \p Dst; reports an error at \p Loc otherwise.
+  bool checkAssignable(const Type *Dst, const Type *Src, const Expr *SrcExpr,
+                       SourceLoc Loc, const char *Context);
+
+  /// The type \p E contributes as a value: arrays decay to element
+  /// pointers, functions to function pointers.
+  const Type *decayed(const Type *T);
+
+  /// Marks storage reached by taking \p E's address (explicitly via '&' or
+  /// implicitly via array decay) as address-taken.
+  void markAddressTaken(Expr *E);
+
+  /// Gives calls to heap allocators their per-site ids.
+  void noteAllocSite(CallExpr *E);
+
+  /// Signature for a recognized builtin.
+  const FunctionType *builtinType(BuiltinKind K);
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::vector<std::map<Symbol, VarDecl *>> Scopes;
+  std::map<Symbol, FuncDecl *> FunctionsByName;
+  FuncDecl *CurrentFn = nullptr;
+  bool InCalleePosition = false;
+  const Type *ErrorTy = nullptr; ///< Stand-in after an error (int).
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_SEMA_H

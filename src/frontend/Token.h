@@ -1,0 +1,112 @@
+//===- frontend/Token.h - MiniC tokens -------------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the MiniC language: the C subset Ruf's analysis handles
+/// (no preprocessor, no pointer/non-pointer casts, no setjmp/signals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_TOKEN_H
+#define VDGA_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string_view>
+
+namespace vdga {
+
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwDouble,
+  KwVoid,
+  KwStruct,
+  KwUnion,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Dot,
+  Arrow,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  PlusPlus,
+  MinusMinus,
+  Ellipsis,
+};
+
+/// Returns a human-readable spelling for diagnostics ("'+='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text views into the source buffer and stays valid
+/// for the buffer's lifetime.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string_view Text;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_TOKEN_H

@@ -1,0 +1,162 @@
+//===- frontend/Type.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include <algorithm>
+
+using namespace vdga;
+
+bool Type::isAliasRelated() const {
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Double:
+    return false;
+  case TypeKind::Pointer:
+  case TypeKind::Function:
+    return true;
+  case TypeKind::Array:
+    return cast<ArrayType>(this)->element()->isAliasRelated();
+  case TypeKind::Record: {
+    const auto *Rec = cast<RecordType>(this);
+    if (!Rec->isComplete())
+      return false;
+    for (const RecordField &F : Rec->fields())
+      if (F.Ty->isAliasRelated())
+        return true;
+    return false;
+  }
+  }
+  return false;
+}
+
+uint64_t Type::size() const {
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Function:
+    return 0;
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::Int:
+    return 4;
+  case TypeKind::Double:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *Arr = cast<ArrayType>(this);
+    return Arr->element()->size() * Arr->length();
+  }
+  case TypeKind::Record:
+    return cast<RecordType>(this)->byteSize();
+  }
+  return 0;
+}
+
+std::string Type::str(const StringInterner &Names) const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->pointee()->str(Names) + " *";
+  case TypeKind::Array: {
+    const auto *Arr = cast<ArrayType>(this);
+    return Arr->element()->str(Names) + " [" +
+           std::to_string(Arr->length()) + "]";
+  }
+  case TypeKind::Record: {
+    const auto *Rec = cast<RecordType>(this);
+    return std::string(Rec->isUnion() ? "union " : "struct ") +
+           Names.text(Rec->tag());
+  }
+  case TypeKind::Function: {
+    const auto *Fn = cast<FunctionType>(this);
+    std::string S = Fn->returnType()->str(Names) + " (";
+    for (size_t I = 0; I < Fn->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Fn->params()[I]->str(Names);
+    }
+    if (Fn->isVariadic())
+      S += Fn->params().empty() ? "..." : ", ...";
+    S += ")";
+    return S;
+  }
+  }
+  return "<invalid type>";
+}
+
+int RecordType::fieldIndex(Symbol Name) const {
+  assert(Complete && "looking up a field in an incomplete record");
+  for (size_t I = 0; I < Fields.size(); ++I)
+    if (Fields[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void RecordType::complete(std::vector<RecordField> NewFields) {
+  assert(!Complete && "record completed twice");
+  Fields = std::move(NewFields);
+  uint64_t Offset = 0;
+  uint64_t MaxSize = 0;
+  for (RecordField &F : Fields) {
+    if (Union) {
+      F.Offset = 0;
+      MaxSize = std::max(MaxSize, F.Ty->size());
+    } else {
+      F.Offset = Offset;
+      Offset += F.Ty->size();
+    }
+  }
+  Size = Union ? MaxSize : Offset;
+  Complete = true;
+}
+
+TypeContext::TypeContext() {
+  VoidTy.reset(new BuiltinType(TypeKind::Void));
+  IntTy.reset(new BuiltinType(TypeKind::Int));
+  CharTy.reset(new BuiltinType(TypeKind::Char));
+  DoubleTy.reset(new BuiltinType(TypeKind::Double));
+}
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  assert(Pointee && "pointer to null type");
+  auto &Slot = Pointers[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element, uint64_t Length) {
+  assert(Element && "array of null type");
+  auto &Slot = Arrays[{Element, Length}];
+  if (!Slot)
+    Slot.reset(new ArrayType(Element, Length));
+  return Slot.get();
+}
+
+const FunctionType *TypeContext::function(const Type *Return,
+                                          std::vector<const Type *> Params,
+                                          bool Variadic) {
+  auto Key = std::make_tuple(Return, Params, Variadic);
+  auto &Slot = Functions[Key];
+  if (!Slot)
+    Slot.reset(new FunctionType(Return, std::move(Params), Variadic));
+  return Slot.get();
+}
+
+RecordType *TypeContext::createRecord(Symbol Tag, bool Union) {
+  Records.emplace_back(new RecordType(Tag, Union));
+  RecordList.push_back(Records.back().get());
+  return Records.back().get();
+}

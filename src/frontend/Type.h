@@ -1,0 +1,242 @@
+//===- frontend/Type.h - MiniC type system ---------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC type system: scalars (int, char, double), void, pointers,
+/// fixed-size arrays, struct/union records and function types. Types are
+/// interned by a TypeContext, so pointer equality is type equality.
+///
+/// Types drive three things downstream: (1) which VDG outputs are
+/// "alias-related" (Figure 2), (2) the aggregate access-operator structure of
+/// access paths (Section 2), and (3) must-alias modeling of unions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FRONTEND_TYPE_H
+#define VDGA_FRONTEND_TYPE_H
+
+#include "support/Casting.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+class Type;
+class RecordType;
+
+/// Discriminator for the Type hierarchy.
+enum class TypeKind : uint8_t {
+  Void,
+  Int,
+  Char,
+  Double,
+  Pointer,
+  Array,
+  Record,
+  Function,
+};
+
+/// Base class of all MiniC types. Instances are owned and uniqued by a
+/// TypeContext; clients hold `const Type *` and compare with `==`.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isChar() const { return Kind == TypeKind::Char; }
+  bool isDouble() const { return Kind == TypeKind::Double; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isRecord() const { return Kind == TypeKind::Record; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+
+  /// Integer-like types usable in arithmetic and conditions.
+  bool isIntegral() const { return isInt() || isChar(); }
+  /// Any arithmetic scalar.
+  bool isArithmetic() const { return isIntegral() || isDouble(); }
+  /// Scalar = arithmetic or pointer (assignable by value copy).
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+  /// Aggregate = array or record.
+  bool isAggregate() const { return isArray() || isRecord(); }
+
+  /// True if a value of this type can carry pointer or function values,
+  /// directly or inside an aggregate. This is the paper's "alias-related"
+  /// predicate from Figure 2 (store values are handled separately).
+  bool isAliasRelated() const;
+
+  /// Byte size under the MiniC ABI (char 1, int 4, double 8, pointer 8).
+  /// Functions and void have size 0.
+  uint64_t size() const;
+
+  /// Renders a C-like spelling, e.g. "struct node *".
+  std::string str(const StringInterner &Names) const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  ~Type() = default;
+
+private:
+  friend class TypeContext;
+  TypeKind Kind;
+};
+
+/// One of the four non-composite types (void, int, char, double).
+class BuiltinType : public Type {
+public:
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Void || T->kind() == TypeKind::Int ||
+           T->kind() == TypeKind::Char || T->kind() == TypeKind::Double;
+  }
+
+private:
+  friend class TypeContext;
+  explicit BuiltinType(TypeKind Kind) : Type(Kind) {}
+};
+
+/// A pointer type `T *`.
+class PointerType : public Type {
+public:
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Pointer;
+  }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(const Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+  const Type *Pointee;
+};
+
+/// A fixed-size array type `T [N]`.
+class ArrayType : public Type {
+public:
+  const Type *element() const { return Element; }
+  uint64_t length() const { return Length; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(const Type *Element, uint64_t Length)
+      : Type(TypeKind::Array), Element(Element), Length(Length) {}
+  const Type *Element;
+  uint64_t Length;
+};
+
+/// One member of a struct or union.
+struct RecordField {
+  Symbol Name;
+  const Type *Ty = nullptr;
+  uint64_t Offset = 0; ///< Byte offset (0 for every union member).
+};
+
+/// A struct or union type. Records are nominal: each declaration creates a
+/// distinct RecordType, completed once its body is parsed.
+class RecordType : public Type {
+public:
+  Symbol tag() const { return Tag; }
+  bool isUnion() const { return Union; }
+  bool isComplete() const { return Complete; }
+  const std::vector<RecordField> &fields() const {
+    assert(Complete && "querying fields of an incomplete record");
+    return Fields;
+  }
+
+  /// Finds a field by name; returns its index or -1.
+  int fieldIndex(Symbol Name) const;
+
+  /// Completes the record with its member list; computes offsets and size.
+  void complete(std::vector<RecordField> Fields);
+
+  uint64_t byteSize() const { return Size; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Record; }
+
+private:
+  friend class TypeContext;
+  RecordType(Symbol Tag, bool Union)
+      : Type(TypeKind::Record), Tag(Tag), Union(Union) {}
+
+  Symbol Tag;
+  bool Union;
+  bool Complete = false;
+  std::vector<RecordField> Fields;
+  uint64_t Size = 0;
+};
+
+/// A function type `Ret (P0, P1, ...)`. Variadic functions (printf) carry
+/// the IsVariadic flag.
+class FunctionType : public Type {
+public:
+  const Type *returnType() const { return Return; }
+  const std::vector<const Type *> &params() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Function;
+  }
+
+private:
+  friend class TypeContext;
+  FunctionType(const Type *Return, std::vector<const Type *> Params,
+               bool Variadic)
+      : Type(TypeKind::Function), Return(Return), Params(std::move(Params)),
+        Variadic(Variadic) {}
+
+  const Type *Return;
+  std::vector<const Type *> Params;
+  bool Variadic;
+};
+
+/// Owns and uniques all types of one program.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *voidType() const { return VoidTy.get(); }
+  const Type *intType() const { return IntTy.get(); }
+  const Type *charType() const { return CharTy.get(); }
+  const Type *doubleType() const { return DoubleTy.get(); }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Element, uint64_t Length);
+  const FunctionType *function(const Type *Return,
+                               std::vector<const Type *> Params,
+                               bool Variadic);
+
+  /// Creates a fresh, incomplete record type. Nominal typing: every call
+  /// makes a new type even for a repeated tag; Sema enforces unique tags.
+  RecordType *createRecord(Symbol Tag, bool Union);
+
+  /// All record types in creation order.
+  const std::vector<RecordType *> &records() const { return RecordList; }
+
+private:
+  std::unique_ptr<BuiltinType> VoidTy, IntTy, CharTy, DoubleTy;
+  std::map<const Type *, std::unique_ptr<PointerType>> Pointers;
+  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<ArrayType>>
+      Arrays;
+  std::map<std::tuple<const Type *, std::vector<const Type *>, bool>,
+           std::unique_ptr<FunctionType>>
+      Functions;
+  std::vector<std::unique_ptr<RecordType>> Records;
+  std::vector<RecordType *> RecordList;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FRONTEND_TYPE_H

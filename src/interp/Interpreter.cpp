@@ -1,0 +1,1310 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// Infrastructure
+//===----------------------------------------------------------------------===//
+
+void Interpreter::fail(SourceLoc Loc, const std::string &Message) {
+  if (Aborted)
+    return;
+  Aborted = true;
+  std::string Where;
+  if (Loc.isValid())
+    Where = std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column) +
+            ": ";
+  Result.Error = Where + Message;
+}
+
+bool Interpreter::step() {
+  if (Aborted)
+    return false;
+  if (++Result.StepsExecuted > MaxSteps) {
+    fail(SourceLoc(), "interpreter step limit exceeded");
+    return false;
+  }
+  return true;
+}
+
+uint32_t Interpreter::allocObject(BaseLocId Base, uint64_t Size,
+                                  std::string Name) {
+  MemoryObject O;
+  O.Base = Base;
+  O.Size = Size;
+  O.Name = std::move(Name);
+  Objects.push_back(std::move(O));
+  return static_cast<uint32_t>(Objects.size() - 1);
+}
+
+static Value zeroOf(const Type *Ty) {
+  if (!Ty)
+    return Value::makeInt(0);
+  if (Ty->isDouble())
+    return Value::makeDouble(0.0);
+  if (Ty->isPointer())
+    return Value::makeNull();
+  return Value::makeInt(0);
+}
+
+Value Interpreter::load(const LV &L, const Expr *Site) {
+  if (L.Addr.isNull()) {
+    fail(Site ? Site->loc() : SourceLoc(), "load through a null pointer");
+    return Value::undef();
+  }
+  if (L.Addr.Object >= Objects.size()) {
+    fail(Site ? Site->loc() : SourceLoc(), "load from an invalid address");
+    return Value::undef();
+  }
+  MemoryObject &O = Objects[L.Addr.Object];
+  if (O.Freed) {
+    fail(Site ? Site->loc() : SourceLoc(),
+         "load from freed heap object " + O.Name);
+    return Value::undef();
+  }
+  if (Site)
+    Result.Trace.Reads[Site].insert(L.Abs);
+  auto It = O.Cells.find(L.Addr.Offset);
+  if (It != O.Cells.end())
+    return It->second;
+  return O.ZeroInit ? zeroOf(L.Ty) : Value::undef();
+}
+
+void Interpreter::store(const LV &L, Value V, const Expr *Site) {
+  if (L.Addr.isNull()) {
+    fail(Site ? Site->loc() : SourceLoc(), "store through a null pointer");
+    return;
+  }
+  if (L.Addr.Object >= Objects.size()) {
+    fail(Site ? Site->loc() : SourceLoc(), "store to an invalid address");
+    return;
+  }
+  MemoryObject &O = Objects[L.Addr.Object];
+  if (O.Freed) {
+    fail(Site ? Site->loc() : SourceLoc(),
+         "store to freed heap object " + O.Name);
+    return;
+  }
+  if (O.Size && L.Addr.Offset >= O.Size) {
+    fail(Site ? Site->loc() : SourceLoc(),
+         "out-of-bounds store to " + O.Name);
+    return;
+  }
+  if (Site)
+    Result.Trace.Writes[Site].insert(L.Abs);
+  O.Cells[L.Addr.Offset] = V;
+}
+
+void Interpreter::copyCells(Address Dst, Address Src, uint64_t Size) {
+  if (Dst.isNull() || Src.isNull() || Dst.Object >= Objects.size() ||
+      Src.Object >= Objects.size()) {
+    fail(SourceLoc(), "aggregate copy through an invalid address");
+    return;
+  }
+  // Snapshot the source cells first: source and destination may be the
+  // same object with overlapping ranges (array element shuffles), where
+  // erasing the destination would invalidate live source iterators.
+  const MemoryObject &SrcO = Objects[Src.Object];
+  std::vector<std::pair<uint32_t, Value>> Snapshot;
+  {
+    auto SLo = SrcO.Cells.lower_bound(Src.Offset);
+    auto SHi =
+        SrcO.Cells.lower_bound(Src.Offset + static_cast<uint32_t>(Size));
+    Snapshot.assign(SLo, SHi);
+  }
+  MemoryObject &DstO = Objects[Dst.Object];
+  auto Lo = DstO.Cells.lower_bound(Dst.Offset);
+  auto Hi = DstO.Cells.lower_bound(Dst.Offset + static_cast<uint32_t>(Size));
+  DstO.Cells.erase(Lo, Hi);
+  for (const auto &[Offset, V] : Snapshot)
+    DstO.Cells[Dst.Offset + (Offset - Src.Offset)] = V;
+}
+
+uint32_t Interpreter::objectFor(const VarDecl *Var) {
+  if (!Frames.empty()) {
+    auto It = Frames.back().Objects.find(Var);
+    if (It != Frames.back().Objects.end())
+      return It->second;
+  }
+  auto It = GlobalObjects.find(Var);
+  if (It != GlobalObjects.end())
+    return It->second;
+  fail(Var->loc(), "use of unallocated variable '" +
+                       P.Names.text(Var->name()) + "'");
+  return UINT32_MAX;
+}
+
+uint32_t Interpreter::stringObject(const StringLiteralExpr *S) {
+  auto It = StringObjects.find(S->literalId());
+  if (It != StringObjects.end())
+    return It->second;
+  BaseLocId Base = Locs.stringBase(S->literalId());
+  uint32_t Obj = allocObject(Base, S->value().size() + 1,
+                             "str#" + std::to_string(S->literalId()));
+  for (size_t I = 0; I < S->value().size(); ++I)
+    Objects[Obj].Cells[static_cast<uint32_t>(I)] =
+        Value::makeInt(static_cast<unsigned char>(S->value()[I]));
+  Objects[Obj].Cells[static_cast<uint32_t>(S->value().size())] =
+      Value::makeInt(0);
+  StringObjects.emplace(S->literalId(), Obj);
+  return Obj;
+}
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+Interpreter::LV Interpreter::evalLValue(const Expr *E, Flow &F) {
+  LV L;
+  L.Ty = E->type();
+  if (!step()) {
+    F = Flow::Abort;
+    return L;
+  }
+  switch (E->kind()) {
+  case ExprKind::DeclRef: {
+    const auto *Var = cast<VarDecl>(cast<DeclRefExpr>(E)->decl());
+    uint32_t Obj = objectFor(Var);
+    if (Obj == UINT32_MAX) {
+      F = Flow::Abort;
+      return L;
+    }
+    L.Addr = {Obj, 0};
+    L.Abs = LocationTable::isStoreResident(Var)
+                ? Paths.basePath(Locs.varBase(Var))
+                : PathTable::emptyPath();
+    return L;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Deref && "not an lvalue unary");
+    Value V = evalExpr(U->operand(), F);
+    if (F != Flow::Normal)
+      return L;
+    if (V.K != Value::Kind::Ptr || V.isNullPtr()) {
+      fail(E->loc(), "dereference of a non-pointer or null value");
+      F = Flow::Abort;
+      return L;
+    }
+    L.Addr = V.A;
+    L.Abs = V.AbsPath;
+    return L;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    const Type *BaseTy = I->base()->type();
+    uint64_t Stride = E->type()->size();
+    if (BaseTy->isArray()) {
+      LV Base = evalLValue(I->base(), F);
+      if (F != Flow::Normal)
+        return L;
+      Value Idx = evalExpr(I->index(), F);
+      if (F != Flow::Normal)
+        return L;
+      int64_t IV = Idx.asInt();
+      uint64_t Len = cast<ArrayType>(BaseTy)->length();
+      if (IV < 0 || static_cast<uint64_t>(IV) >= Len) {
+        fail(E->loc(), "array index out of bounds");
+        F = Flow::Abort;
+        return L;
+      }
+      L.Addr = {Base.Addr.Object,
+                Base.Addr.Offset + static_cast<uint32_t>(IV * Stride)};
+      L.Abs = Paths.appendArray(Base.Abs);
+      return L;
+    }
+    Value Ptr = evalExpr(I->base(), F);
+    if (F != Flow::Normal)
+      return L;
+    Value Idx = evalExpr(I->index(), F);
+    if (F != Flow::Normal)
+      return L;
+    if (Ptr.K != Value::Kind::Ptr || Ptr.isNullPtr()) {
+      fail(E->loc(), "subscript of a non-pointer or null value");
+      F = Flow::Abort;
+      return L;
+    }
+    int64_t NewOff = static_cast<int64_t>(Ptr.A.Offset) +
+                     Idx.asInt() * static_cast<int64_t>(Stride);
+    if (NewOff < 0) {
+      fail(E->loc(), "pointer subscript before object start");
+      F = Flow::Abort;
+      return L;
+    }
+    L.Addr = {Ptr.A.Object, static_cast<uint32_t>(NewOff)};
+    L.Abs = Ptr.AbsPath;
+    return L;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    const RecordField &Field = M->record()->fields()[M->fieldIndex()];
+    if (M->isArrow()) {
+      Value Ptr = evalExpr(M->base(), F);
+      if (F != Flow::Normal)
+        return L;
+      if (Ptr.K != Value::Kind::Ptr || Ptr.isNullPtr()) {
+        fail(E->loc(), "member access through a non-pointer or null value");
+        F = Flow::Abort;
+        return L;
+      }
+      L.Addr = {Ptr.A.Object,
+                Ptr.A.Offset + static_cast<uint32_t>(Field.Offset)};
+      L.Abs = Paths.appendField(Ptr.AbsPath, M->record(), M->fieldIndex());
+      return L;
+    }
+    LV Base = evalLValue(M->base(), F);
+    if (F != Flow::Normal)
+      return L;
+    L.Addr = {Base.Addr.Object,
+              Base.Addr.Offset + static_cast<uint32_t>(Field.Offset)};
+    L.Abs = Paths.appendField(Base.Abs, M->record(), M->fieldIndex());
+    return L;
+  }
+  default:
+    fail(E->loc(), "expression is not an lvalue at runtime");
+    F = Flow::Abort;
+    return L;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::evalExpr(const Expr *E, Flow &F) {
+  if (!step()) {
+    F = Flow::Abort;
+    return Value::undef();
+  }
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return Value::makeInt(cast<IntLiteralExpr>(E)->value());
+  case ExprKind::FloatLiteral:
+    return Value::makeDouble(cast<FloatLiteralExpr>(E)->value());
+  case ExprKind::SizeOf:
+    return Value::makeInt(
+        static_cast<int64_t>(cast<SizeOfExpr>(E)->queried()->size()));
+  case ExprKind::StringLiteral: {
+    const auto *S = cast<StringLiteralExpr>(E);
+    uint32_t Obj = stringObject(S);
+    return Value::makePtr({Obj, 0},
+                          Paths.basePath(Locs.stringBase(S->literalId())));
+  }
+  case ExprKind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    if (const auto *Fn = dyn_cast<FuncDecl>(Ref->decl()))
+      return Value::makeFn(Fn, Paths.basePath(Locs.functionBase(Fn)));
+    const auto *Var = cast<VarDecl>(Ref->decl());
+    if (Var->type()->isArray()) {
+      uint32_t Obj = objectFor(Var);
+      if (Obj == UINT32_MAX) {
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      return Value::makePtr(
+          {Obj, 0},
+          Paths.appendArray(Paths.basePath(Locs.varBase(Var))));
+    }
+    LV L = evalLValue(E, F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (Var->type()->isRecord()) {
+      // Aggregate rvalue: a reference to the storage, with the read
+      // recorded (the builder emits a lookup here).
+      Result.Trace.Reads[E].insert(L.Abs);
+      return Value::makePtr(L.Addr, L.Abs);
+    }
+    return load(L, E);
+  }
+  case ExprKind::Unary:
+    return evalUnary(cast<UnaryExpr>(E), F);
+  case ExprKind::Binary:
+    return evalBinary(cast<BinaryExpr>(E), F);
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    if (A->op() == AssignOp::Assign) {
+      if (A->target()->type()->isRecord()) {
+        Value Src = evalExpr(A->value(), F);
+        if (F != Flow::Normal)
+          return Value::undef();
+        LV Dst = evalLValue(A->target(), F);
+        if (F != Flow::Normal)
+          return Value::undef();
+        Result.Trace.Writes[E].insert(Dst.Abs);
+        copyCells(Dst.Addr, Src.A, A->target()->type()->size());
+        return Src;
+      }
+      Value V = evalExpr(A->value(), F);
+      if (F != Flow::Normal)
+        return Value::undef();
+      LV Dst = evalLValue(A->target(), F);
+      if (F != Flow::Normal)
+        return Value::undef();
+      store(Dst, V, E);
+      return V;
+    }
+    // Compound assignment.
+    Value V = evalExpr(A->value(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    LV Dst = evalLValue(A->target(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    Value Old = load(Dst, A->target());
+    Value New;
+    const Type *Ty = A->target()->type();
+    if (Ty->isPointer()) {
+      uint64_t Stride = cast<PointerType>(Ty)->pointee()->size();
+      int64_t Delta = V.asInt() * static_cast<int64_t>(Stride);
+      if (A->op() == AssignOp::Sub)
+        Delta = -Delta;
+      if (Old.K != Value::Kind::Ptr || Old.isNullPtr()) {
+        fail(E->loc(), "pointer arithmetic on a non-pointer value");
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      New = Value::makePtr(
+          {Old.A.Object,
+           static_cast<uint32_t>(static_cast<int64_t>(Old.A.Offset) +
+                                 Delta)},
+          Old.AbsPath);
+    } else if (Ty->isDouble() || Old.K == Value::Kind::Double ||
+               V.K == Value::Kind::Double) {
+      double L = Old.asDouble(), R = V.asDouble(), Res = 0;
+      switch (A->op()) {
+      case AssignOp::Add:
+        Res = L + R;
+        break;
+      case AssignOp::Sub:
+        Res = L - R;
+        break;
+      case AssignOp::Mul:
+        Res = L * R;
+        break;
+      case AssignOp::Div:
+        Res = R != 0 ? L / R : 0;
+        break;
+      default:
+        Res = 0;
+        break;
+      }
+      New = Ty->isDouble() ? Value::makeDouble(Res)
+                           : Value::makeInt(static_cast<int64_t>(Res));
+    } else {
+      int64_t L = Old.asInt(), R = V.asInt(), Res = 0;
+      switch (A->op()) {
+      case AssignOp::Add:
+        Res = L + R;
+        break;
+      case AssignOp::Sub:
+        Res = L - R;
+        break;
+      case AssignOp::Mul:
+        Res = L * R;
+        break;
+      case AssignOp::Div:
+        if (R == 0) {
+          fail(E->loc(), "division by zero");
+          F = Flow::Abort;
+          return Value::undef();
+        }
+        Res = L / R;
+        break;
+      case AssignOp::Rem:
+        if (R == 0) {
+          fail(E->loc(), "remainder by zero");
+          F = Flow::Abort;
+          return Value::undef();
+        }
+        Res = L % R;
+        break;
+      default:
+        break;
+      }
+      New = Value::makeInt(Res);
+    }
+    store(Dst, New, E);
+    return New;
+  }
+  case ExprKind::Call:
+    return evalCall(cast<CallExpr>(E), F);
+  case ExprKind::Index:
+  case ExprKind::Member: {
+    LV L = evalLValue(E, F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (E->type()->isArray())
+      return Value::makePtr(L.Addr, Paths.appendArray(L.Abs));
+    if (E->type()->isRecord()) {
+      Result.Trace.Reads[E].insert(L.Abs);
+      return Value::makePtr(L.Addr, L.Abs);
+    }
+    return load(L, E);
+  }
+  case ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Value V = evalExpr(C->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    const Type *T = C->target();
+    if (T->isIntegral() && V.K == Value::Kind::Double)
+      return Value::makeInt(static_cast<int64_t>(V.D));
+    if (T->isDouble() && V.K == Value::Kind::Int)
+      return Value::makeDouble(static_cast<double>(V.I));
+    if (T->isChar() && V.K == Value::Kind::Int)
+      return Value::makeInt(static_cast<int64_t>(
+          static_cast<unsigned char>(V.I)));
+    return V;
+  }
+  case ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    Value Cond = evalExpr(C->cond(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (Cond.K == Value::Kind::Undef) {
+      fail(E->loc(), "branch on an undefined value");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return evalExpr(Cond.truthy() ? C->thenExpr() : C->elseExpr(), F);
+  }
+  }
+  fail(E->loc(), "unhandled expression kind at runtime");
+  F = Flow::Abort;
+  return Value::undef();
+}
+
+Value Interpreter::evalUnary(const UnaryExpr *E, Flow &F) {
+  switch (E->op()) {
+  case UnaryOp::Neg: {
+    Value V = evalExpr(E->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (V.K == Value::Kind::Double)
+      return Value::makeDouble(-V.D);
+    return Value::makeInt(-V.asInt());
+  }
+  case UnaryOp::Not: {
+    Value V = evalExpr(E->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    return Value::makeInt(V.truthy() ? 0 : 1);
+  }
+  case UnaryOp::BitNot: {
+    Value V = evalExpr(E->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    return Value::makeInt(~V.asInt());
+  }
+  case UnaryOp::AddrOf: {
+    if (const auto *Ref = dyn_cast<DeclRefExpr>(E->operand()))
+      if (const auto *Fn = dyn_cast<FuncDecl>(Ref->decl()))
+        return Value::makeFn(Fn, Paths.basePath(Locs.functionBase(Fn)));
+    LV L = evalLValue(E->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    return Value::makePtr(L.Addr, L.Abs);
+  }
+  case UnaryOp::Deref: {
+    const Type *OpTy = E->operand()->type();
+    if (const auto *Ptr = dyn_cast<PointerType>(OpTy))
+      if (Ptr->pointee()->isFunction())
+        return evalExpr(E->operand(), F);
+    LV L = evalLValue(E, F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (E->type()->isArray())
+      return Value::makePtr(L.Addr, Paths.appendArray(L.Abs));
+    if (E->type()->isRecord()) {
+      Result.Trace.Reads[E].insert(L.Abs);
+      return Value::makePtr(L.Addr, L.Abs);
+    }
+    return load(L, E);
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    LV L = evalLValue(E->operand(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    Value Old = load(L, E->operand());
+    bool Inc = E->op() == UnaryOp::PreInc || E->op() == UnaryOp::PostInc;
+    Value New;
+    const Type *Ty = E->operand()->type();
+    if (Ty->isPointer()) {
+      if (Old.K != Value::Kind::Ptr || Old.isNullPtr()) {
+        fail(E->loc(), "increment of a non-pointer value");
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      int64_t Stride =
+          static_cast<int64_t>(cast<PointerType>(Ty)->pointee()->size());
+      int64_t NewOff = static_cast<int64_t>(Old.A.Offset) +
+                       (Inc ? Stride : -Stride);
+      New = Value::makePtr({Old.A.Object, static_cast<uint32_t>(NewOff)},
+                           Old.AbsPath);
+    } else if (Old.K == Value::Kind::Double) {
+      New = Value::makeDouble(Old.D + (Inc ? 1.0 : -1.0));
+    } else {
+      New = Value::makeInt(Old.asInt() + (Inc ? 1 : -1));
+    }
+    store(L, New, E);
+    bool IsPre = E->op() == UnaryOp::PreInc || E->op() == UnaryOp::PreDec;
+    return IsPre ? New : Old;
+  }
+  }
+  return Value::undef();
+}
+
+Value Interpreter::evalBinary(const BinaryExpr *E, Flow &F) {
+  if (E->op() == BinaryOp::LogAnd || E->op() == BinaryOp::LogOr) {
+    Value L = evalExpr(E->lhs(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (E->op() == BinaryOp::LogAnd && !L.truthy())
+      return Value::makeInt(0);
+    if (E->op() == BinaryOp::LogOr && L.truthy())
+      return Value::makeInt(1);
+    Value R = evalExpr(E->rhs(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    return Value::makeInt(R.truthy() ? 1 : 0);
+  }
+
+  Value L = evalExpr(E->lhs(), F);
+  if (F != Flow::Normal)
+    return Value::undef();
+  Value R = evalExpr(E->rhs(), F);
+  if (F != Flow::Normal)
+    return Value::undef();
+
+  // Pointer arithmetic and comparisons.
+  bool LP = L.K == Value::Kind::Ptr;
+  bool RP = R.K == Value::Kind::Ptr;
+  if (LP || RP) {
+    switch (E->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      if (LP && RP && E->op() == BinaryOp::Sub) {
+        const auto *PT = dyn_cast<PointerType>(E->lhs()->type());
+        uint64_t Stride = PT ? PT->pointee()->size() : 1;
+        if (L.A.Object != R.A.Object) {
+          fail(E->loc(), "subtraction of pointers into different objects");
+          F = Flow::Abort;
+          return Value::undef();
+        }
+        return Value::makeInt(
+            (static_cast<int64_t>(L.A.Offset) -
+             static_cast<int64_t>(R.A.Offset)) /
+            static_cast<int64_t>(Stride ? Stride : 1));
+      }
+      Value Ptr = LP ? L : R;
+      Value Int = LP ? R : L;
+      const auto *PT = dyn_cast<PointerType>(E->type());
+      uint64_t Stride = PT ? PT->pointee()->size() : 1;
+      if (Ptr.isNullPtr()) {
+        fail(E->loc(), "arithmetic on a null pointer");
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      int64_t Delta = Int.asInt() * static_cast<int64_t>(Stride);
+      if (E->op() == BinaryOp::Sub)
+        Delta = -Delta;
+      int64_t NewOff = static_cast<int64_t>(Ptr.A.Offset) + Delta;
+      if (NewOff < 0) {
+        fail(E->loc(), "pointer arithmetic before object start");
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      return Value::makePtr({Ptr.A.Object, static_cast<uint32_t>(NewOff)},
+                            Ptr.AbsPath);
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool Equal = false;
+      if (LP && RP)
+        Equal = L.A == R.A;
+      else if (LP)
+        Equal = L.isNullPtr() && R.asInt() == 0;
+      else
+        Equal = R.isNullPtr() && L.asInt() == 0;
+      return Value::makeInt((E->op() == BinaryOp::Eq) == Equal ? 1 : 0);
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge: {
+      uint64_t LK = LP ? (static_cast<uint64_t>(L.A.Object) << 32) +
+                             L.A.Offset
+                       : 0;
+      uint64_t RK = RP ? (static_cast<uint64_t>(R.A.Object) << 32) +
+                             R.A.Offset
+                       : 0;
+      bool Res = false;
+      switch (E->op()) {
+      case BinaryOp::Lt:
+        Res = LK < RK;
+        break;
+      case BinaryOp::Gt:
+        Res = LK > RK;
+        break;
+      case BinaryOp::Le:
+        Res = LK <= RK;
+        break;
+      default:
+        Res = LK >= RK;
+        break;
+      }
+      return Value::makeInt(Res ? 1 : 0);
+    }
+    default:
+      fail(E->loc(), "invalid pointer operation at runtime");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+  }
+
+  if (L.K == Value::Kind::Undef || R.K == Value::Kind::Undef) {
+    fail(E->loc(), "arithmetic on an undefined value");
+    F = Flow::Abort;
+    return Value::undef();
+  }
+
+  bool UseDouble = L.K == Value::Kind::Double || R.K == Value::Kind::Double;
+  if (UseDouble) {
+    double A = L.asDouble(), B = R.asDouble();
+    switch (E->op()) {
+    case BinaryOp::Add:
+      return Value::makeDouble(A + B);
+    case BinaryOp::Sub:
+      return Value::makeDouble(A - B);
+    case BinaryOp::Mul:
+      return Value::makeDouble(A * B);
+    case BinaryOp::Div:
+      return Value::makeDouble(B != 0 ? A / B : 0);
+    case BinaryOp::Lt:
+      return Value::makeInt(A < B);
+    case BinaryOp::Gt:
+      return Value::makeInt(A > B);
+    case BinaryOp::Le:
+      return Value::makeInt(A <= B);
+    case BinaryOp::Ge:
+      return Value::makeInt(A >= B);
+    case BinaryOp::Eq:
+      return Value::makeInt(A == B);
+    case BinaryOp::Ne:
+      return Value::makeInt(A != B);
+    default:
+      fail(E->loc(), "invalid double operation");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+  }
+
+  int64_t A = L.asInt(), B = R.asInt();
+  switch (E->op()) {
+  case BinaryOp::Add:
+    return Value::makeInt(A + B);
+  case BinaryOp::Sub:
+    return Value::makeInt(A - B);
+  case BinaryOp::Mul:
+    return Value::makeInt(A * B);
+  case BinaryOp::Div:
+    if (B == 0) {
+      fail(E->loc(), "division by zero");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return Value::makeInt(A / B);
+  case BinaryOp::Rem:
+    if (B == 0) {
+      fail(E->loc(), "remainder by zero");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return Value::makeInt(A % B);
+  case BinaryOp::Shl:
+    return Value::makeInt(A << (B & 63));
+  case BinaryOp::Shr:
+    return Value::makeInt(A >> (B & 63));
+  case BinaryOp::BitAnd:
+    return Value::makeInt(A & B);
+  case BinaryOp::BitOr:
+    return Value::makeInt(A | B);
+  case BinaryOp::BitXor:
+    return Value::makeInt(A ^ B);
+  case BinaryOp::Lt:
+    return Value::makeInt(A < B);
+  case BinaryOp::Gt:
+    return Value::makeInt(A > B);
+  case BinaryOp::Le:
+    return Value::makeInt(A <= B);
+  case BinaryOp::Ge:
+    return Value::makeInt(A >= B);
+  case BinaryOp::Eq:
+    return Value::makeInt(A == B);
+  case BinaryOp::Ne:
+    return Value::makeInt(A != B);
+  default:
+    return Value::undef();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::readString(const Value &Ptr, std::string &Out) {
+  if (Ptr.K != Value::Kind::Ptr || Ptr.isNullPtr() ||
+      Ptr.A.Object >= Objects.size()) {
+    fail(SourceLoc(), "string routine applied to an invalid pointer");
+    return Value::undef();
+  }
+  const MemoryObject &O = Objects[Ptr.A.Object];
+  uint32_t Off = Ptr.A.Offset;
+  for (;;) {
+    auto It = O.Cells.find(Off);
+    int64_t C = It != O.Cells.end() ? It->second.asInt()
+                                    : (O.ZeroInit ? 0 : -1);
+    if (C < 0) {
+      fail(SourceLoc(), "unterminated string in " + O.Name);
+      return Value::undef();
+    }
+    if (C == 0)
+      break;
+    Out.push_back(static_cast<char>(C));
+    ++Off;
+    if (Off - Ptr.A.Offset > 1'000'000) {
+      fail(SourceLoc(), "runaway string in " + O.Name);
+      return Value::undef();
+    }
+  }
+  return Value::makeInt(0);
+}
+
+Value Interpreter::evalBuiltin(const CallExpr *E, std::vector<Value> Args,
+                               Flow &F) {
+  switch (E->builtin()) {
+  case BuiltinKind::Malloc:
+  case BuiltinKind::Calloc: {
+    uint64_t Size = static_cast<uint64_t>(Args[0].asInt());
+    if (E->builtin() == BuiltinKind::Calloc)
+      Size *= static_cast<uint64_t>(Args[1].asInt());
+    BaseLocId Base = Locs.heapBase(E->allocSiteId());
+    uint32_t Obj = allocObject(Base, Size,
+                               "heap@" + std::to_string(E->allocSiteId()));
+    if (E->builtin() == BuiltinKind::Calloc)
+      Objects[Obj].ZeroInit = true;
+    return Value::makePtr({Obj, 0}, Paths.basePath(Base));
+  }
+  case BuiltinKind::Free: {
+    if (Args[0].K == Value::Kind::Ptr && !Args[0].isNullPtr() &&
+        Args[0].A.Object < Objects.size())
+      Objects[Args[0].A.Object].Freed = true;
+    return Value::makeInt(0);
+  }
+  case BuiltinKind::Printf: {
+    std::string Fmt;
+    if (readString(Args[0], Fmt).K == Value::Kind::Undef) {
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    size_t ArgIdx = 1;
+    std::string Out;
+    for (size_t I = 0; I < Fmt.size(); ++I) {
+      if (Fmt[I] != '%') {
+        Out.push_back(Fmt[I]);
+        continue;
+      }
+      ++I;
+      if (I >= Fmt.size())
+        break;
+      // Skip width/flags.
+      while (I < Fmt.size() &&
+             (std::isdigit(static_cast<unsigned char>(Fmt[I])) ||
+              Fmt[I] == '-' || Fmt[I] == '.' || Fmt[I] == 'l'))
+        ++I;
+      if (I >= Fmt.size())
+        break;
+      char Conv = Fmt[I];
+      char Buf[64];
+      switch (Conv) {
+      case '%':
+        Out.push_back('%');
+        break;
+      case 'd':
+      case 'u':
+        if (ArgIdx < Args.size()) {
+          std::snprintf(Buf, sizeof(Buf), "%lld",
+                        static_cast<long long>(Args[ArgIdx++].asInt()));
+          Out += Buf;
+        }
+        break;
+      case 'x':
+        if (ArgIdx < Args.size()) {
+          std::snprintf(Buf, sizeof(Buf), "%llx",
+                        static_cast<long long>(Args[ArgIdx++].asInt()));
+          Out += Buf;
+        }
+        break;
+      case 'c':
+        if (ArgIdx < Args.size())
+          Out.push_back(static_cast<char>(Args[ArgIdx++].asInt()));
+        break;
+      case 'f':
+      case 'g':
+      case 'e':
+        if (ArgIdx < Args.size()) {
+          std::snprintf(Buf, sizeof(Buf), Conv == 'f' ? "%f" : "%g",
+                        Args[ArgIdx++].asDouble());
+          Out += Buf;
+        }
+        break;
+      case 's':
+        if (ArgIdx < Args.size()) {
+          std::string S;
+          if (readString(Args[ArgIdx++], S).K == Value::Kind::Undef) {
+            F = Flow::Abort;
+            return Value::undef();
+          }
+          Out += S;
+        }
+        break;
+      default:
+        Out.push_back(Conv);
+        break;
+      }
+    }
+    Result.Output += Out;
+    return Value::makeInt(static_cast<int64_t>(Out.size()));
+  }
+  case BuiltinKind::Putchar:
+    Result.Output.push_back(static_cast<char>(Args[0].asInt()));
+    return Args[0];
+  case BuiltinKind::Getchar: {
+    if (InputPos >= Input.size())
+      return Value::makeInt(-1);
+    return Value::makeInt(
+        static_cast<unsigned char>(Input[InputPos++]));
+  }
+  case BuiltinKind::Strlen: {
+    std::string S;
+    if (readString(Args[0], S).K == Value::Kind::Undef) {
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return Value::makeInt(static_cast<int64_t>(S.size()));
+  }
+  case BuiltinKind::Strcmp: {
+    std::string A, B;
+    if (readString(Args[0], A).K == Value::Kind::Undef ||
+        readString(Args[1], B).K == Value::Kind::Undef) {
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return Value::makeInt(A < B ? -1 : (A == B ? 0 : 1));
+  }
+  case BuiltinKind::Strcpy:
+  case BuiltinKind::Strcat: {
+    std::string Src;
+    if (readString(Args[1], Src).K == Value::Kind::Undef) {
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    Value Dst = Args[0];
+    if (Dst.K != Value::Kind::Ptr || Dst.isNullPtr() ||
+        Dst.A.Object >= Objects.size()) {
+      fail(E->loc(), "string copy to an invalid pointer");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    uint32_t Off = Dst.A.Offset;
+    if (E->builtin() == BuiltinKind::Strcat) {
+      std::string Existing;
+      if (readString(Dst, Existing).K == Value::Kind::Undef) {
+        F = Flow::Abort;
+        return Value::undef();
+      }
+      Off += static_cast<uint32_t>(Existing.size());
+    }
+    MemoryObject &O = Objects[Dst.A.Object];
+    if (O.Size && Off + Src.size() + 1 > O.Size) {
+      fail(E->loc(), "string copy overflows " + O.Name);
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    for (size_t I = 0; I < Src.size(); ++I)
+      O.Cells[Off + static_cast<uint32_t>(I)] =
+          Value::makeInt(static_cast<unsigned char>(Src[I]));
+    O.Cells[Off + static_cast<uint32_t>(Src.size())] = Value::makeInt(0);
+    return Args[0];
+  }
+  case BuiltinKind::Memset: {
+    Value Dst = Args[0];
+    int64_t Byte = Args[1].asInt();
+    uint64_t N = static_cast<uint64_t>(Args[2].asInt());
+    if (Dst.K != Value::Kind::Ptr || Dst.isNullPtr() ||
+        Dst.A.Object >= Objects.size()) {
+      fail(E->loc(), "memset to an invalid pointer");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    MemoryObject &O = Objects[Dst.A.Object];
+    auto Lo = O.Cells.lower_bound(Dst.A.Offset);
+    auto Hi = O.Cells.lower_bound(Dst.A.Offset + static_cast<uint32_t>(N));
+    O.Cells.erase(Lo, Hi);
+    if (Byte == 0 && Dst.A.Offset == 0 && N >= O.Size)
+      O.ZeroInit = true;
+    return Args[0];
+  }
+  case BuiltinKind::Atoi: {
+    std::string S;
+    if (readString(Args[0], S).K == Value::Kind::Undef) {
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    return Value::makeInt(std::strtoll(S.c_str(), nullptr, 10));
+  }
+  case BuiltinKind::Abs:
+    return Value::makeInt(std::llabs(Args[0].asInt()));
+  case BuiltinKind::Fabs:
+    return Value::makeDouble(std::fabs(Args[0].asDouble()));
+  case BuiltinKind::Sqrt:
+    return Value::makeDouble(std::sqrt(Args[0].asDouble()));
+  case BuiltinKind::Exp:
+    return Value::makeDouble(std::exp(Args[0].asDouble()));
+  case BuiltinKind::Rand:
+    RandState = RandState * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Value::makeInt(static_cast<int64_t>((RandState >> 33) &
+                                               0x7FFFFFFF));
+  case BuiltinKind::Srand:
+    RandState = static_cast<uint64_t>(Args[0].asInt()) * 2654435761ULL + 1;
+    return Value::makeInt(0);
+  case BuiltinKind::Exit:
+    Result.ExitCode = Args.empty() ? 0 : Args[0].asInt();
+    F = Flow::Abort; // Unwind everything; run() treats clean exits as Ok.
+    CleanExit = true;
+    return Value::makeInt(0);
+  case BuiltinKind::None:
+    break;
+  }
+  fail(E->loc(), "unknown builtin at runtime");
+  F = Flow::Abort;
+  return Value::undef();
+}
+
+Value Interpreter::evalCall(const CallExpr *E, Flow &F) {
+  std::vector<Value> Args;
+  Args.reserve(E->args().size());
+  for (const Expr *Arg : E->args()) {
+    Args.push_back(evalExpr(Arg, F));
+    if (F != Flow::Normal)
+      return Value::undef();
+  }
+
+  if (E->builtin() != BuiltinKind::None)
+    return evalBuiltin(E, std::move(Args), F);
+
+  const FuncDecl *Callee = E->directCallee();
+  if (!Callee) {
+    Value FnVal = evalExpr(E->callee(), F);
+    if (F != Flow::Normal)
+      return Value::undef();
+    if (FnVal.K != Value::Kind::Fn || !FnVal.Fn) {
+      fail(E->loc(), "indirect call through a non-function value");
+      F = Flow::Abort;
+      return Value::undef();
+    }
+    Callee = FnVal.Fn;
+  }
+  if (!Callee->isDefined()) {
+    fail(E->loc(), "call to undefined function '" +
+                       P.Names.text(Callee->name()) + "'");
+    F = Flow::Abort;
+    return Value::undef();
+  }
+  return callFunction(Callee, std::move(Args), F);
+}
+
+Value Interpreter::callFunction(const FuncDecl *Fn, std::vector<Value> Args,
+                                Flow &F) {
+  if (Frames.size() > 4096) {
+    fail(Fn->loc(), "call stack depth limit exceeded");
+    F = Flow::Abort;
+    return Value::undef();
+  }
+
+  Frame NewFrame;
+  NewFrame.Fn = Fn;
+  for (size_t I = 0; I < Fn->params().size(); ++I) {
+    const VarDecl *Param = Fn->params()[I];
+    BaseLocId Base = LocationTable::isStoreResident(Param)
+                         ? Locs.varBase(Param)
+                         : BaseLocId{0};
+    uint32_t Obj = allocObject(Base, Param->type()->size(),
+                               P.Names.text(Fn->name()) + "." +
+                                   P.Names.text(Param->name()));
+    if (I < Args.size()) {
+      if (Param->type()->isRecord()) {
+        if (Args[I].K == Value::Kind::Ptr)
+          copyCells({Obj, 0}, Args[I].A, Param->type()->size());
+      } else {
+        Objects[Obj].Cells[0] = Args[I];
+      }
+    }
+    NewFrame.Objects.emplace(Param, Obj);
+  }
+  Frames.push_back(std::move(NewFrame));
+
+  Flow BodyFlow = execStmt(Fn->body());
+  Value Ret = Frames.back().ReturnValue;
+  Frames.pop_back();
+
+  if (BodyFlow == Flow::Abort) {
+    F = Flow::Abort;
+    return Value::undef();
+  }
+  return Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Interpreter::Flow Interpreter::execStmt(const Stmt *S) {
+  if (!S)
+    return Flow::Normal;
+  if (!step())
+    return Flow::Abort;
+
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body()) {
+      Flow F = execStmt(Child);
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::Expr: {
+    Flow F = Flow::Normal;
+    evalExpr(cast<ExprStmt>(S)->expr(), F);
+    return F;
+  }
+  case StmtKind::Decl: {
+    const VarDecl *Var = cast<DeclStmt>(S)->var();
+    BaseLocId Base = LocationTable::isStoreResident(Var)
+                         ? Locs.varBase(Var)
+                         : BaseLocId{0};
+    uint32_t Obj =
+        allocObject(Base, Var->type()->size(), P.Names.text(Var->name()));
+    Frames.back().Objects[Var] = Obj;
+    if (const Expr *Init = Var->init()) {
+      Flow F = Flow::Normal;
+      Value V = evalExpr(Init, F);
+      if (F != Flow::Normal)
+        return F;
+      if (Var->type()->isRecord()) {
+        if (V.K == Value::Kind::Ptr)
+          copyCells({Obj, 0}, V.A, Var->type()->size());
+      } else {
+        LV L;
+        L.Addr = {Obj, 0};
+        L.Ty = Var->type();
+        L.Abs = LocationTable::isStoreResident(Var)
+                    ? Paths.basePath(Locs.varBase(Var))
+                    : PathTable::emptyPath();
+        store(L, V,
+              LocationTable::isStoreResident(Var) ? Init : nullptr);
+      }
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    Flow F = Flow::Normal;
+    Value Cond = evalExpr(If->cond(), F);
+    if (F != Flow::Normal)
+      return F;
+    if (Cond.K == Value::Kind::Undef) {
+      fail(S->loc(), "branch on an undefined value");
+      return Flow::Abort;
+    }
+    return execStmt(Cond.truthy() ? If->thenStmt() : If->elseStmt());
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    for (;;) {
+      Flow F = Flow::Normal;
+      Value Cond = evalExpr(W->cond(), F);
+      if (F != Flow::Normal)
+        return F;
+      if (Cond.K == Value::Kind::Undef) {
+        fail(S->loc(), "branch on an undefined value");
+        return Flow::Abort;
+      }
+      if (!Cond.truthy())
+        return Flow::Normal;
+      Flow Body = execStmt(W->body());
+      if (Body == Flow::Break)
+        return Flow::Normal;
+      if (Body == Flow::Return || Body == Flow::Abort)
+        return Body;
+    }
+  }
+  case StmtKind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(S);
+    for (;;) {
+      Flow Body = execStmt(D->body());
+      if (Body == Flow::Break)
+        return Flow::Normal;
+      if (Body == Flow::Return || Body == Flow::Abort)
+        return Body;
+      Flow F = Flow::Normal;
+      Value Cond = evalExpr(D->cond(), F);
+      if (F != Flow::Normal)
+        return F;
+      if (!Cond.truthy())
+        return Flow::Normal;
+    }
+  }
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    if (For->init()) {
+      Flow F = execStmt(For->init());
+      if (F != Flow::Normal)
+        return F;
+    }
+    for (;;) {
+      if (For->cond()) {
+        Flow F = Flow::Normal;
+        Value Cond = evalExpr(For->cond(), F);
+        if (F != Flow::Normal)
+          return F;
+        if (Cond.K == Value::Kind::Undef) {
+          fail(S->loc(), "branch on an undefined value");
+          return Flow::Abort;
+        }
+        if (!Cond.truthy())
+          return Flow::Normal;
+      }
+      Flow Body = execStmt(For->body());
+      if (Body == Flow::Break)
+        return Flow::Normal;
+      if (Body == Flow::Return || Body == Flow::Abort)
+        return Body;
+      if (For->step()) {
+        Flow F = Flow::Normal;
+        evalExpr(For->step(), F);
+        if (F != Flow::Normal)
+          return F;
+      }
+    }
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (R->value()) {
+      Flow F = Flow::Normal;
+      Value V = evalExpr(R->value(), F);
+      if (F != Flow::Normal)
+        return F;
+      Frames.back().ReturnValue = V;
+    }
+    return Flow::Return;
+  }
+  case StmtKind::Break:
+    return Flow::Break;
+  case StmtKind::Continue:
+    return Flow::Continue;
+  }
+  return Flow::Normal;
+}
+
+//===----------------------------------------------------------------------===//
+// Program entry
+//===----------------------------------------------------------------------===//
+
+void Interpreter::initGlobals() {
+  for (const VarDecl *G : P.Globals) {
+    uint32_t Obj = allocObject(Locs.varBase(G), G->type()->size(),
+                               P.Names.text(G->name()));
+    Objects[Obj].ZeroInit = true; // C zero-initializes globals.
+    GlobalObjects.emplace(G, Obj);
+  }
+  // Initializers run after all globals exist (forward references to
+  // function addresses etc. are fine; MiniC initializers are simple).
+  for (const VarDecl *G : P.Globals) {
+    uint32_t Obj = GlobalObjects[G];
+    Flow F = Flow::Normal;
+    if (const Expr *Init = G->init()) {
+      Value V = evalExpr(Init, F);
+      if (F != Flow::Normal)
+        return;
+      LV L;
+      L.Addr = {Obj, 0};
+      L.Ty = G->type();
+      L.Abs = Paths.basePath(Locs.varBase(G));
+      store(L, V, Init);
+    }
+    uint32_t Offset = 0;
+    for (const Expr *Elem : G->initList()) {
+      Value V = evalExpr(Elem, F);
+      if (F != Flow::Normal)
+        return;
+      const auto *Arr = dyn_cast<ArrayType>(G->type());
+      uint64_t Stride = Arr ? Arr->element()->size() : 1;
+      LV L;
+      L.Addr = {Obj, Offset};
+      L.Ty = Arr ? Arr->element() : G->type();
+      L.Abs = Paths.appendArray(Paths.basePath(Locs.varBase(G)));
+      store(L, V, Elem);
+      Offset += static_cast<uint32_t>(Stride);
+    }
+  }
+}
+
+RunResult Interpreter::run() {
+  Result = RunResult();
+  Aborted = false;
+  CleanExit = false;
+  Objects.clear();
+  GlobalObjects.clear();
+  StringObjects.clear();
+  Frames.clear();
+  InputPos = 0;
+
+  const FuncDecl *Main = P.findFunction("main");
+  if (!Main || !Main->isDefined()) {
+    Result.Error = "program has no main function";
+    return Result;
+  }
+
+  initGlobals();
+  if (Aborted)
+    return Result;
+
+  Flow F = Flow::Normal;
+  std::vector<Value> Args(Main->params().size(), Value::makeInt(0));
+  Value Ret = callFunction(Main, std::move(Args), F);
+
+  if (Aborted && !CleanExit)
+    return Result;
+  Result.Ok = true;
+  Result.Error.clear();
+  if (!CleanExit && Ret.K == Value::Kind::Int)
+    Result.ExitCode = Ret.I;
+  return Result;
+}

@@ -1,0 +1,130 @@
+//===- interp/Interpreter.h - MiniC concrete interpreter -------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete AST interpreter for MiniC. Its role in this project is
+/// twofold: it makes the corpus programs runnable (examples), and it is the
+/// soundness oracle for the analyses — it records, for every memory read
+/// and write expression, the abstract access path actually touched, which
+/// property tests then check against the analysis' referent sets.
+///
+/// Execution is deterministic: rand() is a fixed LCG, getchar() reads from
+/// a caller-supplied input string, and printf writes to a captured buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_INTERP_INTERPRETER_H
+#define VDGA_INTERP_INTERPRETER_H
+
+#include "frontend/AST.h"
+#include "interp/Value.h"
+#include "memory/LocationTable.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// What the interpreter observed at memory-access expressions.
+struct AccessTrace {
+  /// Abstract paths read/written, keyed by the expression performing the
+  /// access. The keys align with vdg::Node::Origin.
+  std::map<const Expr *, std::set<PathId>> Reads;
+  std::map<const Expr *, std::set<PathId>> Writes;
+};
+
+/// Result of one program run.
+struct RunResult {
+  bool Ok = false;
+  int64_t ExitCode = 0;
+  std::string Output;      ///< Captured printf/putchar text.
+  std::string Error;       ///< First runtime error, if any.
+  uint64_t StepsExecuted = 0;
+  AccessTrace Trace;
+};
+
+/// Interprets a checked Program. Requires the same PathTable/LocationTable
+/// the analyses use, so that recorded paths are comparable.
+class Interpreter {
+public:
+  Interpreter(const Program &P, PathTable &Paths, const LocationTable &Locs)
+      : P(P), Paths(Paths), Locs(Locs) {}
+
+  /// Caps interpretation work; exceeding it fails the run.
+  void setMaxSteps(uint64_t N) { MaxSteps = N; }
+  /// Provides stdin content for getchar().
+  void setInput(std::string In) { Input = std::move(In); }
+
+  /// Runs main() (after global initialization). Fails when main is
+  /// missing.
+  RunResult run();
+
+private:
+  /// An evaluated lvalue: concrete address + the abstract path the
+  /// analysis would use + the accessed type.
+  struct LV {
+    Address Addr;
+    PathId Abs = PathId::EmptyOffset;
+    const Type *Ty = nullptr;
+  };
+
+  enum class Flow : uint8_t { Normal, Break, Continue, Return, Abort };
+
+  // Memory.
+  uint32_t allocObject(BaseLocId Base, uint64_t Size, std::string Name);
+  Value load(const LV &L, const Expr *Site);
+  void store(const LV &L, Value V, const Expr *Site);
+  /// Copies Size bytes of cells (aggregate assignment).
+  void copyCells(Address Dst, Address Src, uint64_t Size);
+
+  // Frames.
+  struct Frame {
+    std::map<const VarDecl *, uint32_t> Objects;
+    Value ReturnValue;
+    const FuncDecl *Fn = nullptr;
+  };
+  uint32_t objectFor(const VarDecl *Var);
+
+  // Execution.
+  void initGlobals();
+  Value callFunction(const FuncDecl *Fn, std::vector<Value> Args,
+                     Flow &F);
+  Flow execStmt(const Stmt *S);
+  Value evalExpr(const Expr *E, Flow &F);
+  LV evalLValue(const Expr *E, Flow &F);
+  Value evalCall(const CallExpr *E, Flow &F);
+  Value evalBuiltin(const CallExpr *E, std::vector<Value> Args, Flow &F);
+  Value evalBinary(const BinaryExpr *E, Flow &F);
+  Value evalUnary(const UnaryExpr *E, Flow &F);
+  Value readString(const Value &Ptr, std::string &Out);
+  uint32_t stringObject(const StringLiteralExpr *S);
+
+  void fail(SourceLoc Loc, const std::string &Message);
+  bool step();
+
+  const Program &P;
+  PathTable &Paths;
+  const LocationTable &Locs;
+
+  std::vector<MemoryObject> Objects;
+  std::map<const VarDecl *, uint32_t> GlobalObjects;
+  std::map<unsigned, uint32_t> StringObjects; ///< literal id -> object.
+  std::vector<Frame> Frames;
+  RunResult Result;
+  uint64_t MaxSteps = 50'000'000;
+  std::string Input;
+  size_t InputPos = 0;
+  uint64_t RandState = 0x2545F4914F6CDD1DULL;
+  bool Aborted = false;
+  /// Set when exit() unwinds the program; the run still counts as Ok.
+  bool CleanExit = false;
+};
+
+} // namespace vdga
+
+#endif // VDGA_INTERP_INTERPRETER_H

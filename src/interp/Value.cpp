@@ -1,0 +1,47 @@
+//===- interp/Value.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+using namespace vdga;
+
+bool Value::truthy() const {
+  switch (K) {
+  case Kind::Undef:
+    return false;
+  case Kind::Int:
+    return I != 0;
+  case Kind::Double:
+    return D != 0.0;
+  case Kind::Ptr:
+    return !A.isNull();
+  case Kind::Fn:
+    return Fn != nullptr;
+  }
+  return false;
+}
+
+int64_t Value::asInt() const {
+  switch (K) {
+  case Kind::Int:
+    return I;
+  case Kind::Double:
+    return static_cast<int64_t>(D);
+  default:
+    return 0;
+  }
+}
+
+double Value::asDouble() const {
+  switch (K) {
+  case Kind::Int:
+    return static_cast<double>(I);
+  case Kind::Double:
+    return D;
+  default:
+    return 0.0;
+  }
+}

@@ -1,0 +1,112 @@
+//===- interp/Value.h - Concrete runtime values ----------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the MiniC concrete interpreter. Memory is a set of
+/// byte-addressed objects holding tagged scalar cells. Every pointer value
+/// carries, alongside its concrete address, the *abstract access path* the
+/// analysis would use for the storage it designates — computed by the same
+/// path algebra (base, append field, append array summary). This is what
+/// makes the interpreter a soundness oracle: at every memory access the
+/// dynamic abstract path must be contained in the analysis' referent set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_INTERP_VALUE_H
+#define VDGA_INTERP_VALUE_H
+
+#include "memory/AccessPath.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+class FuncDecl;
+
+/// A concrete address: object id plus byte offset.
+struct Address {
+  uint32_t Object = UINT32_MAX;
+  uint32_t Offset = 0;
+
+  bool isNull() const { return Object == UINT32_MAX; }
+  friend bool operator==(const Address &A, const Address &B) {
+    return A.Object == B.Object && A.Offset == B.Offset;
+  }
+};
+
+/// One scalar runtime value.
+struct Value {
+  enum class Kind : uint8_t { Undef, Int, Double, Ptr, Fn } K = Kind::Undef;
+  int64_t I = 0;
+  double D = 0.0;
+  Address A;
+  const FuncDecl *Fn = nullptr;
+  /// Abstract path of the storage a Ptr designates (meaningless
+  /// otherwise). Null pointers use the empty offset path.
+  PathId AbsPath = PathId::EmptyOffset;
+
+  static Value undef() { return Value(); }
+  static Value makeInt(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value makeDouble(double V) {
+    Value R;
+    R.K = Kind::Double;
+    R.D = V;
+    return R;
+  }
+  static Value makePtr(Address A, PathId Abs) {
+    Value R;
+    R.K = Kind::Ptr;
+    R.A = A;
+    R.AbsPath = Abs;
+    return R;
+  }
+  static Value makeNull() {
+    Value R;
+    R.K = Kind::Ptr;
+    return R;
+  }
+  static Value makeFn(const FuncDecl *Fn, PathId Abs) {
+    Value R;
+    R.K = Kind::Fn;
+    R.Fn = Fn;
+    R.AbsPath = Abs;
+    return R;
+  }
+
+  bool isNullPtr() const { return K == Kind::Ptr && A.isNull(); }
+  /// Truthiness for conditions; Undef is an interpreter error (checked by
+  /// the caller).
+  bool truthy() const;
+  /// Numeric views with integer/double coercion.
+  int64_t asInt() const;
+  double asDouble() const;
+};
+
+/// One runtime object: a byte-addressed bag of scalar cells.
+struct MemoryObject {
+  /// Cells keyed by byte offset. A scalar occupies the cell at its offset;
+  /// reads of never-written offsets yield Undef.
+  std::map<uint32_t, Value> Cells;
+  uint64_t Size = 0;          ///< Extent in bytes (0 = unknown/heap-exact).
+  BaseLocId Base{0};          ///< The abstract base location it instantiates.
+  bool Freed = false;
+  /// Reads of never-written cells yield a typed zero instead of Undef
+  /// (globals, calloc, full memset-to-zero).
+  bool ZeroInit = false;
+  std::string Name;           ///< For diagnostics.
+};
+
+} // namespace vdga
+
+#endif // VDGA_INTERP_VALUE_H

@@ -1,0 +1,183 @@
+//===- memory/AccessPath.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessPath.h"
+
+#include <algorithm>
+
+using namespace vdga;
+
+PathTable::PathTable() {
+  // Path 0 is the empty offset path.
+  PathNode Root;
+  Root.Base = -1;
+  Root.Parent = 0;
+  Root.StronglyUpdateable = false;
+  Nodes.push_back(Root);
+}
+
+BaseLocId PathTable::addBaseLocation(BaseLocation Base) {
+  auto Id = static_cast<BaseLocId>(Bases.size());
+  bool Single = Base.SingleInstance;
+  Bases.push_back(std::move(Base));
+  BaseRoots.push_back(makeRoot(static_cast<int32_t>(index(Id)), Single));
+  return Id;
+}
+
+PathId PathTable::makeRoot(int32_t Base, bool SingleInstance) {
+  PathNode Root;
+  Root.Base = Base;
+  Root.Parent = static_cast<uint32_t>(Nodes.size());
+  Root.StronglyUpdateable = SingleInstance;
+  Nodes.push_back(Root);
+  return static_cast<PathId>(Nodes.size() - 1);
+}
+
+AccessOpId PathTable::fieldOp(const RecordType *Record, uint32_t FieldIndex) {
+  assert(Record && !Record->isUnion() &&
+         "union members do not get their own access operators");
+  auto Key = std::make_pair(Record, FieldIndex);
+  auto It = FieldOps.find(Key);
+  if (It != FieldOps.end())
+    return It->second;
+  AccessOp Op;
+  Op.K = AccessOp::Kind::Field;
+  Op.Record = Record;
+  Op.FieldIndex = FieldIndex;
+  auto Id = static_cast<AccessOpId>(Ops.size());
+  Ops.push_back(Op);
+  FieldOps.emplace(Key, Id);
+  return Id;
+}
+
+AccessOpId PathTable::arrayOp() {
+  if (ArrayOpCreated)
+    return ArrayOpId;
+  AccessOp Op;
+  Op.K = AccessOp::Kind::ArrayElem;
+  ArrayOpId = static_cast<AccessOpId>(Ops.size());
+  Ops.push_back(Op);
+  ArrayOpCreated = true;
+  return ArrayOpId;
+}
+
+PathId PathTable::append(PathId Parent, AccessOpId Op) {
+  auto Key = std::make_pair(index(Parent), index(Op));
+  auto It = Children.find(Key);
+  if (It != Children.end())
+    return It->second;
+
+  const PathNode &ParentNode = Nodes[index(Parent)];
+  PathNode Node;
+  Node.Base = ParentNode.Base;
+  Node.Parent = index(Parent);
+  Node.Op = index(Op);
+  Node.Depth = static_cast<uint16_t>(ParentNode.Depth + 1);
+  Node.HasArrayOp =
+      ParentNode.HasArrayOp || op(Op).K == AccessOp::Kind::ArrayElem;
+  Node.StronglyUpdateable = ParentNode.StronglyUpdateable &&
+                            op(Op).K == AccessOp::Kind::Field;
+  auto Id = static_cast<PathId>(Nodes.size());
+  Nodes.push_back(Node);
+  Children.emplace(Key, Id);
+  return Id;
+}
+
+PathId PathTable::appendField(PathId Parent, const RecordType *Record,
+                              uint32_t FieldIndex) {
+  // Union members share the union's own path so that any two members
+  // must-alias through the prefix rule.
+  if (Record->isUnion())
+    return Parent;
+  return append(Parent, fieldOp(Record, FieldIndex));
+}
+
+PathId PathTable::appendArray(PathId Parent) {
+  return append(Parent, arrayOp());
+}
+
+PathId PathTable::appendPath(PathId Base, PathId Offset) {
+  assert(!isLocation(Offset) && "appendPath requires an offset suffix");
+  if (Offset == emptyPath())
+    return Base;
+  // Gather Offset's operators top-down, then replay them onto Base.
+  uint32_t OpsChain[64];
+  unsigned Count = 0;
+  uint32_t Cur = index(Offset);
+  while (Nodes[Cur].Op != UINT32_MAX) {
+    assert(Count < 64 && "access path too deep");
+    OpsChain[Count++] = Nodes[Cur].Op;
+    Cur = Nodes[Cur].Parent;
+  }
+  PathId Result = Base;
+  for (unsigned I = Count; I > 0; --I)
+    Result = append(Result, static_cast<AccessOpId>(OpsChain[I - 1]));
+  return Result;
+}
+
+PathId PathTable::subtractPrefix(PathId Whole, PathId Prefix) const {
+  assert(dom(Prefix, Whole) && "subtractPrefix requires Prefix dom Whole");
+  // Collect the operators of Whole below Prefix, then const_cast-free
+  // rebuild is impossible without mutation; callers hold a mutable table,
+  // so this method is logically const but uses the mutable appendPath via
+  // a small local copy of the operator chain.
+  uint32_t OpsChain[64];
+  unsigned Count = 0;
+  uint32_t Cur = index(Whole);
+  unsigned Steps = depth(Whole) - depth(Prefix);
+  for (unsigned I = 0; I < Steps; ++I) {
+    OpsChain[Count++] = Nodes[Cur].Op;
+    Cur = Nodes[Cur].Parent;
+  }
+  // Rebuild bottom-up from the empty offset. The children map is mutated,
+  // so we need non-const access; PathTable exposes subtractPrefix as const
+  // for callers, with internal mutation confined to interning.
+  auto *Self = const_cast<PathTable *>(this);
+  PathId Result = emptyPath();
+  for (unsigned I = Count; I > 0; --I)
+    Result = Self->append(Result, static_cast<AccessOpId>(OpsChain[I - 1]));
+  return Result;
+}
+
+bool PathTable::dom(PathId A, PathId B) const {
+  const PathNode &NA = Nodes[index(A)];
+  const PathNode &NB = Nodes[index(B)];
+  if (NA.Base != NB.Base || NA.Depth > NB.Depth)
+    return false;
+  uint32_t Cur = index(B);
+  for (unsigned I = NB.Depth; I > NA.Depth; --I)
+    Cur = Nodes[Cur].Parent;
+  return Cur == index(A);
+}
+
+bool PathTable::strongDom(PathId A, PathId B) const {
+  return Nodes[index(A)].StronglyUpdateable && dom(A, B);
+}
+
+std::string PathTable::str(PathId P, const StringInterner &Names) const {
+  // Collect operators bottom-up.
+  std::vector<uint32_t> Chain;
+  uint32_t Cur = index(P);
+  while (Nodes[Cur].Op != UINT32_MAX) {
+    Chain.push_back(Nodes[Cur].Op);
+    Cur = Nodes[Cur].Parent;
+  }
+  std::string S;
+  if (Nodes[Cur].Base >= 0)
+    S = Bases[Nodes[Cur].Base].Name;
+  else
+    S = "<offset>";
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    const AccessOp &O = Ops[*It];
+    if (O.K == AccessOp::Kind::ArrayElem) {
+      S += "[*]";
+    } else {
+      S += ".";
+      S += Names.text(O.Record->fields()[O.FieldIndex].Name);
+    }
+  }
+  return S;
+}

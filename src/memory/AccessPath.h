@@ -1,0 +1,195 @@
+//===- memory/AccessPath.h - Interned access paths -------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's access-path machinery (Section 2): a finite set of
+/// base-locations names allocation sites (one per variable, one per static
+/// heap allocation site, plus functions and string literals); an access path
+/// is an optional base-location followed by a sequence of interned access
+/// operators (struct member or array element). Paths with a base-location
+/// are *locations*; paths with none are *offsets* into aggregate values.
+///
+/// Paths are interned as a tree keyed by (parent, operator): pointer-free
+/// 32-bit ids, O(depth) prefix tests, O(1) single-operator append. The
+/// `dom` relation is "is a prefix of"; `strong-dom` additionally requires
+/// the prefix to be strongly updateable (single-instance base, no array
+/// operators). Union members deliberately share their parent path, so a
+/// union access aliases every other member through the prefix rule — the
+/// paper's "careful interning" for C unions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_MEMORY_ACCESSPATH_H
+#define VDGA_MEMORY_ACCESSPATH_H
+
+#include "frontend/Type.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Dense id of a base location.
+enum class BaseLocId : uint32_t {};
+/// Dense id of an access operator.
+enum class AccessOpId : uint32_t {};
+/// Dense id of an interned access path. Id 0 is the empty offset path.
+enum class PathId : uint32_t { EmptyOffset = 0 };
+
+inline uint32_t index(BaseLocId Id) { return static_cast<uint32_t>(Id); }
+inline uint32_t index(AccessOpId Id) { return static_cast<uint32_t>(Id); }
+inline uint32_t index(PathId Id) { return static_cast<uint32_t>(Id); }
+
+/// What a base location names; drives the Figure 7 path/referent
+/// classification (string literals count as global storage, as in the
+/// paper).
+enum class BaseLocKind : uint8_t {
+  Global,
+  Local, ///< Locals and parameters.
+  Heap,
+  Function,
+  StringLit,
+};
+
+class VarDecl;
+class FuncDecl;
+
+/// One named allocation site.
+struct BaseLocation {
+  BaseLocKind Kind = BaseLocKind::Global;
+  /// Display name ("x", "f.buf", "heap@3", "fn:main", "str#0").
+  std::string Name;
+  /// The object type when known (null for functions).
+  const Type *Ty = nullptr;
+  /// True if this base names at most one runtime location, making strong
+  /// updates legal (Section 2). Heap bases and address-taken locals of
+  /// recursive procedures are multi-instance.
+  bool SingleInstance = true;
+  /// Back-pointers for clients (null when not applicable).
+  const VarDecl *Var = nullptr;
+  const FuncDecl *Fn = nullptr;
+  /// Allocation-site or string-literal ordinal when applicable.
+  unsigned SiteId = 0;
+};
+
+/// An access operator: one struct/union member step or one array-element
+/// summary step.
+struct AccessOp {
+  enum class Kind : uint8_t { Field, ArrayElem } K = Kind::ArrayElem;
+  const RecordType *Record = nullptr; ///< Field ops only.
+  uint32_t FieldIndex = 0;            ///< Field ops only.
+};
+
+/// Interns base locations, access operators and access paths for one
+/// program. All ids are dense and handed out in creation order.
+class PathTable {
+public:
+  PathTable();
+
+  //===--------------------------------------------------------------------===
+  // Base locations and operators
+  //===--------------------------------------------------------------------===
+
+  BaseLocId addBaseLocation(BaseLocation Base);
+  const BaseLocation &base(BaseLocId Id) const {
+    return Bases[index(Id)];
+  }
+  size_t numBases() const { return Bases.size(); }
+
+  AccessOpId fieldOp(const RecordType *Record, uint32_t FieldIndex);
+  AccessOpId arrayOp();
+  const AccessOp &op(AccessOpId Id) const { return Ops[index(Id)]; }
+
+  //===--------------------------------------------------------------------===
+  // Paths
+  //===--------------------------------------------------------------------===
+
+  /// The empty offset path (no base, no operators).
+  static PathId emptyPath() { return PathId::EmptyOffset; }
+
+  /// The root location path of a base.
+  PathId basePath(BaseLocId Base) const {
+    return BaseRoots[index(Base)];
+  }
+
+  /// Appends one access operator. For union members this is the identity
+  /// (see file comment).
+  PathId append(PathId Parent, AccessOpId Op);
+
+  /// Appends a member access, collapsing union members onto their parent.
+  PathId appendField(PathId Parent, const RecordType *Record,
+                     uint32_t FieldIndex);
+
+  /// Appends an array-element summary step.
+  PathId appendArray(PathId Parent);
+
+  /// The paper's `+`: appends offset path \p Offset to \p Base.
+  PathId appendPath(PathId Base, PathId Offset);
+
+  /// The paper's `-`: given `Prefix dom Whole`, returns the offset path
+  /// such that Prefix + offset == Whole.
+  PathId subtractPrefix(PathId Whole, PathId Prefix) const;
+
+  /// The paper's `dom`: true if \p A is a prefix of \p B (a read/write of A
+  /// may observe/modify a value written to B).
+  bool dom(PathId A, PathId B) const;
+
+  /// The paper's `strong-dom`: \p A dom \p B and A is strongly updateable.
+  bool strongDom(PathId A, PathId B) const;
+
+  /// True if a write to this path definitely overwrites exactly one
+  /// runtime location: single-instance base and no array operators.
+  bool stronglyUpdateable(PathId P) const {
+    return Nodes[index(P)].StronglyUpdateable;
+  }
+
+  /// True if the path has a base location (is a *location*, not an offset).
+  bool isLocation(PathId P) const { return Nodes[index(P)].Base >= 0; }
+
+  /// The base location of a location path.
+  BaseLocId baseOf(PathId P) const {
+    assert(isLocation(P) && "offset paths have no base");
+    return static_cast<BaseLocId>(Nodes[index(P)].Base);
+  }
+
+  /// Number of access operators in the path.
+  unsigned depth(PathId P) const { return Nodes[index(P)].Depth; }
+
+  size_t numPaths() const { return Nodes.size(); }
+
+  /// Renders "base.field[*].field" or "<offset>.field" for diagnostics.
+  std::string str(PathId P, const StringInterner &Names) const;
+
+private:
+  struct PathNode {
+    int32_t Base = -1;           ///< Base location id, or -1 for offsets.
+    uint32_t Parent = 0;         ///< Parent path (self for roots).
+    uint32_t Op = UINT32_MAX;    ///< Operator from parent (none for roots).
+    uint16_t Depth = 0;          ///< Number of operators.
+    bool StronglyUpdateable = false;
+    bool HasArrayOp = false;
+  };
+
+  PathId makeRoot(int32_t Base, bool SingleInstance);
+
+  std::vector<BaseLocation> Bases;
+  std::vector<AccessOp> Ops;
+  std::map<std::pair<const RecordType *, uint32_t>, AccessOpId> FieldOps;
+  AccessOpId ArrayOpId{0};
+  bool ArrayOpCreated = false;
+
+  std::vector<PathNode> Nodes;
+  std::vector<PathId> BaseRoots;
+  std::map<std::pair<uint32_t, uint32_t>, PathId> Children;
+};
+
+} // namespace vdga
+
+#endif // VDGA_MEMORY_ACCESSPATH_H

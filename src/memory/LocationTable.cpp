@@ -1,0 +1,132 @@
+//===- memory/LocationTable.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/LocationTable.h"
+
+using namespace vdga;
+
+const char *vdga::storageClassName(StorageClass C) {
+  switch (C) {
+  case StorageClass::Offset:
+    return "offset";
+  case StorageClass::Function:
+    return "function";
+  case StorageClass::Local:
+    return "local";
+  case StorageClass::Global:
+    return "global";
+  case StorageClass::Heap:
+    return "heap";
+  }
+  return "?";
+}
+
+LocationTable::LocationTable(const Program &P, PathTable &Paths) {
+  // Globals first, in declaration order.
+  for (const VarDecl *G : P.Globals) {
+    BaseLocation B;
+    B.Kind = BaseLocKind::Global;
+    B.Name = P.Names.text(G->name());
+    B.Ty = G->type();
+    B.SingleInstance = true;
+    B.Var = G;
+    VarBases.emplace(G, Paths.addBaseLocation(std::move(B)));
+  }
+
+  // String literals (global storage, per the paper's Figure 7 note).
+  for (const StringLiteralExpr *S : P.StringLiterals) {
+    BaseLocation B;
+    B.Kind = BaseLocKind::StringLit;
+    B.Name = "str#" + std::to_string(S->literalId());
+    B.Ty = nullptr;
+    B.SingleInstance = true;
+    B.SiteId = S->literalId();
+    StringBases.push_back(Paths.addBaseLocation(std::move(B)));
+  }
+
+  // Heap allocation sites.
+  for (unsigned Site = 0; Site < P.NumAllocSites; ++Site) {
+    BaseLocation B;
+    B.Kind = BaseLocKind::Heap;
+    B.Name = "heap@" + std::to_string(Site);
+    B.SingleInstance = false; // Heap summaries are never strongly updated.
+    B.SiteId = Site;
+    HeapBases.push_back(Paths.addBaseLocation(std::move(B)));
+  }
+
+  // Functions (referents of function values).
+  for (const FuncDecl *Fn : P.Functions) {
+    BaseLocation B;
+    B.Kind = BaseLocKind::Function;
+    B.Name = "fn:" + P.Names.text(Fn->name());
+    B.Ty = Fn->type();
+    B.SingleInstance = true;
+    B.Fn = Fn;
+    FunctionBases.emplace(Fn, Paths.addBaseLocation(std::move(B)));
+  }
+
+  // Store-resident locals and parameters, per function in declaration
+  // order. Locals of recursive procedures may have several simultaneously
+  // live instances, so they are weakly updateable (footnote 4, scheme 2).
+  for (const FuncDecl *Fn : P.Functions) {
+    if (!Fn->isDefined())
+      continue;
+    auto AddVar = [&](const VarDecl *V) {
+      if (!isStoreResident(V))
+        return;
+      BaseLocation B;
+      B.Kind = BaseLocKind::Local;
+      B.Name = P.Names.text(Fn->name()) + "." + P.Names.text(V->name());
+      B.Ty = V->type();
+      B.SingleInstance = !Fn->isRecursive();
+      B.Var = V;
+      VarBases.emplace(V, Paths.addBaseLocation(std::move(B)));
+    };
+    for (const VarDecl *Param : Fn->params())
+      AddVar(Param);
+    for (const VarDecl *Local : Fn->locals())
+      AddVar(Local);
+  }
+}
+
+BaseLocId LocationTable::varBase(const VarDecl *Var) const {
+  auto It = VarBases.find(Var);
+  assert(It != VarBases.end() && "variable is not store-resident");
+  return It->second;
+}
+
+BaseLocId LocationTable::heapBase(unsigned SiteId) const {
+  assert(SiteId < HeapBases.size() && "unknown allocation site");
+  return HeapBases[SiteId];
+}
+
+BaseLocId LocationTable::functionBase(const FuncDecl *Fn) const {
+  auto It = FunctionBases.find(Fn);
+  assert(It != FunctionBases.end() && "unknown function");
+  return It->second;
+}
+
+BaseLocId LocationTable::stringBase(unsigned LiteralId) const {
+  assert(LiteralId < StringBases.size() && "unknown string literal");
+  return StringBases[LiteralId];
+}
+
+StorageClass LocationTable::classify(PathId P, const PathTable &Paths) const {
+  if (!Paths.isLocation(P))
+    return StorageClass::Offset;
+  switch (Paths.base(Paths.baseOf(P)).Kind) {
+  case BaseLocKind::Global:
+  case BaseLocKind::StringLit:
+    return StorageClass::Global;
+  case BaseLocKind::Local:
+    return StorageClass::Local;
+  case BaseLocKind::Heap:
+    return StorageClass::Heap;
+  case BaseLocKind::Function:
+    return StorageClass::Function;
+  }
+  return StorageClass::Global;
+}

@@ -1,0 +1,71 @@
+//===- memory/LocationTable.h - Program base locations ---------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the base locations of one program: one per store-resident
+/// variable, one per static heap-allocation site (Section 2's treatment of
+/// malloc), one per function (the referents of function pointers) and one
+/// per string literal.
+///
+/// Store residency mirrors the paper's program representation: an SSA-like
+/// transformation keeps non-addressed scalars out of the store, so only
+/// globals, address-taken locals/params and aggregates get base locations.
+/// Address-taken locals of (conservatively) recursive procedures get
+/// weakly-updateable bases — the paper's second scheme from footnote 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_MEMORY_LOCATIONTABLE_H
+#define VDGA_MEMORY_LOCATIONTABLE_H
+
+#include "frontend/AST.h"
+#include "memory/AccessPath.h"
+
+#include <map>
+
+namespace vdga {
+
+/// Storage classification used by the Figure 7 breakdown.
+enum class StorageClass : uint8_t { Offset, Function, Local, Global, Heap };
+
+/// Returns the table-header name of a storage class.
+const char *storageClassName(StorageClass C);
+
+/// Creates and indexes the base locations of a Program.
+class LocationTable {
+public:
+  /// Populates \p Paths with every base location of \p P. Requires
+  /// recursion flags to be annotated (CallGraphAST::annotate) first.
+  LocationTable(const Program &P, PathTable &Paths);
+
+  /// True if \p Var's storage lives in the store (has a base location)
+  /// rather than flowing along value edges.
+  static bool isStoreResident(const VarDecl *Var) {
+    return Var->isGlobal() || Var->isAddressTaken() ||
+           Var->type()->isAggregate();
+  }
+
+  bool hasVarBase(const VarDecl *Var) const {
+    return VarBases.count(Var) != 0;
+  }
+  BaseLocId varBase(const VarDecl *Var) const;
+  BaseLocId heapBase(unsigned SiteId) const;
+  BaseLocId functionBase(const FuncDecl *Fn) const;
+  BaseLocId stringBase(unsigned LiteralId) const;
+
+  /// Figure 7 classification of a path by its base location.
+  StorageClass classify(PathId P, const PathTable &Paths) const;
+
+private:
+  std::map<const VarDecl *, BaseLocId> VarBases;
+  std::vector<BaseLocId> HeapBases;
+  std::map<const FuncDecl *, BaseLocId> FunctionBases;
+  std::vector<BaseLocId> StringBases;
+};
+
+} // namespace vdga
+
+#endif // VDGA_MEMORY_LOCATIONTABLE_H

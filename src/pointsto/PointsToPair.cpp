@@ -1,0 +1,27 @@
+//===- pointsto/PointsToPair.cpp ------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/PointsToPair.h"
+
+using namespace vdga;
+
+PairId PairTable::intern(PathId Path, PathId Referent) {
+  auto Key = std::make_pair(index(Path), index(Referent));
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return It->second;
+  auto Id = static_cast<PairId>(Pairs.size());
+  Pairs.push_back({Path, Referent});
+  Index.emplace(Key, Id);
+  return Id;
+}
+
+std::string PairTable::str(PairId Id, const PathTable &Paths,
+                           const StringInterner &Names) const {
+  const PointsToPair &P = Pairs[Id];
+  return "(" + Paths.str(P.Path, Names) + " -> " +
+         Paths.str(P.Referent, Names) + ")";
+}

@@ -1,0 +1,61 @@
+//===- pointsto/PointsToPair.h - Interned points-to pairs ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A points-to pair (Section 2) is `(path, referent)`: "in the value
+/// produced by this output, indirecting through any location (or offset)
+/// denoted by `path` may return any location denoted by `referent`".
+/// Pointer values carry pairs with the empty offset path; aggregate values
+/// carry pairs whose path is the offset of the pointer field inside the
+/// value; store values carry pairs whose path is a full location.
+///
+/// Pairs are interned program-wide to dense 32-bit ids so per-output sets
+/// are flat id vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_POINTSTO_POINTSTOPAIR_H
+#define VDGA_POINTSTO_POINTSTOPAIR_H
+
+#include "memory/AccessPath.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vdga {
+
+using PairId = uint32_t;
+
+/// One (path, referent) pair.
+struct PointsToPair {
+  PathId Path = PathId::EmptyOffset;
+  PathId Referent = PathId::EmptyOffset;
+
+  friend bool operator==(const PointsToPair &A, const PointsToPair &B) {
+    return A.Path == B.Path && A.Referent == B.Referent;
+  }
+};
+
+/// Program-wide pair interner.
+class PairTable {
+public:
+  PairId intern(PathId Path, PathId Referent);
+  const PointsToPair &pair(PairId Id) const { return Pairs[Id]; }
+  size_t size() const { return Pairs.size(); }
+
+  /// Renders "(path -> referent)" for diagnostics.
+  std::string str(PairId Id, const PathTable &Paths,
+                  const StringInterner &Names) const;
+
+private:
+  std::vector<PointsToPair> Pairs;
+  std::map<std::pair<uint32_t, uint32_t>, PairId> Index;
+};
+
+} // namespace vdga
+
+#endif // VDGA_POINTSTO_POINTSTOPAIR_H

@@ -1,0 +1,342 @@
+//===- pointsto/Solver.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+const std::vector<const FunctionInfo *> PointsToResult::NoCallees;
+
+std::vector<PathId> PointsToResult::pointerReferents(OutputId Out,
+                                                     const PairTable &PT)
+    const {
+  std::vector<PathId> Refs;
+  for (PairId Id : PairsByOutput[Out]) {
+    const PointsToPair &P = PT.pair(Id);
+    if (P.Path == PathTable::emptyPath())
+      Refs.push_back(P.Referent);
+  }
+  std::sort(Refs.begin(), Refs.end(),
+            [](PathId A, PathId B) { return index(A) < index(B); });
+  Refs.erase(std::unique(Refs.begin(), Refs.end()), Refs.end());
+  return Refs;
+}
+
+uint64_t PointsToResult::totalPairInstances() const {
+  uint64_t Total = 0;
+  for (const auto &Pairs : PairsByOutput)
+    Total += Pairs.size();
+  return Total;
+}
+
+const std::vector<const FunctionInfo *> &
+PointsToResult::callees(NodeId Call) const {
+  auto It = CalleesOf.find(Call);
+  return It == CalleesOf.end() ? NoCallees : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+PointsToResult ContextInsensitiveSolver::solve() {
+  // Initialization (Figure 1): every location-valued constant seeds the
+  // pair (empty, path) on its output.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::ConstPath)
+      continue;
+    flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path));
+  }
+
+  while (!Worklist.empty()) {
+    InputId In;
+    PairId Pair;
+    if (Order == WorklistOrder::FIFO) {
+      std::tie(In, Pair) = Worklist.front();
+      Worklist.pop_front();
+    } else {
+      std::tie(In, Pair) = Worklist.back();
+      Worklist.pop_back();
+    }
+    ++Result.Stats.TransferFns;
+    flowIn(In, Pair);
+  }
+  return std::move(Result);
+}
+
+void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair) {
+  ++Result.Stats.MeetOps;
+  if (!Result.insert(Out, Pair))
+    return;
+  ++Result.Stats.PairsInserted;
+  for (InputId Consumer : G.output(Out).Consumers)
+    Worklist.emplace_back(Consumer, Pair);
+}
+
+void ContextInsensitiveSolver::flowIn(InputId In, PairId Pair) {
+  const InputInfo &Info = G.input(In);
+  NodeId N = Info.Node;
+  unsigned Idx = Info.Index;
+  const Node &Node = G.node(N);
+
+  switch (Node.Kind) {
+  case NodeKind::Lookup:
+    flowLookup(N, Idx, Pair);
+    return;
+  case NodeKind::Update:
+    flowUpdate(N, Idx, Pair);
+    return;
+  case NodeKind::Offset:
+    flowOffset(N, Pair);
+    return;
+  case NodeKind::Merge:
+    flowOut(G.outputOf(N), Pair);
+    return;
+  case NodeKind::PtrArith:
+    // Identity on the first operand's pairs; scalar operands are inert.
+    if (Idx == 0)
+      flowOut(G.outputOf(N), Pair);
+    return;
+  case NodeKind::ScalarOp:
+    return; // Scalar results carry no pairs.
+  case NodeKind::Call:
+    flowCall(N, Idx, Pair);
+    return;
+  case NodeKind::Return:
+    flowReturn(N, Idx, Pair);
+    return;
+  case NodeKind::ConstScalar:
+  case NodeKind::ConstPath:
+  case NodeKind::Entry:
+  case NodeKind::InitStore:
+    assert(false && "node kind takes no inputs");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Memory operations (Figure 1's lookup/update rules)
+//===----------------------------------------------------------------------===//
+
+void ContextInsensitiveSolver::flowLookup(NodeId N, unsigned InIdx,
+                                          PairId Pair) {
+  OutputId Out = G.outputOf(N);
+  const PointsToPair &P = PT.pair(Pair);
+
+  if (InIdx == 0) {
+    // New location pair (must be a pointer value: empty path).
+    if (P.Path != PathTable::emptyPath())
+      return;
+    PathId Loc = P.Referent;
+    for (PairId SId : pairsAtInput(N, 1)) {
+      const PointsToPair &S = PT.pair(SId);
+      if (Paths.dom(Loc, S.Path))
+        flowOut(Out, PT.intern(Paths.subtractPrefix(S.Path, Loc),
+                               S.Referent));
+    }
+    return;
+  }
+
+  // New store pair: dereference against every known location.
+  assert(InIdx == 1 && "lookup has two inputs");
+  for (PairId LId : pairsAtInput(N, 0)) {
+    const PointsToPair &L = PT.pair(LId);
+    if (L.Path != PathTable::emptyPath())
+      continue;
+    if (Paths.dom(L.Referent, P.Path))
+      flowOut(Out, PT.intern(Paths.subtractPrefix(P.Path, L.Referent),
+                             P.Referent));
+  }
+}
+
+void ContextInsensitiveSolver::flowUpdate(NodeId N, unsigned InIdx,
+                                          PairId Pair) {
+  OutputId Out = G.outputOf(N);
+  const PointsToPair &P = PT.pair(Pair);
+
+  switch (InIdx) {
+  case 0: {
+    // New location pair.
+    if (P.Path != PathTable::emptyPath())
+      return;
+    PathId Loc = P.Referent;
+    // (a) It writes every known value there.
+    for (PairId VId : pairsAtInput(N, 2)) {
+      const PointsToPair &V = PT.pair(VId);
+      flowOut(Out, PT.intern(Paths.appendPath(Loc, V.Path), V.Referent));
+    }
+    // (b) Store pairs this location does not strongly overwrite pass
+    // through (CWZ90 strong updates: a pair blocked by one location is
+    // re-examined when other locations arrive).
+    for (PairId SId : pairsAtInput(N, 1)) {
+      const PointsToPair &S = PT.pair(SId);
+      if (!Paths.strongDom(Loc, S.Path))
+        flowOut(Out, SId);
+    }
+    return;
+  }
+  case 1: {
+    // New store pair: passes through if at least one location fails to
+    // strongly overwrite it. With no locations yet, it stays blocked; the
+    // location rule above replays it later.
+    for (PairId LId : pairsAtInput(N, 0)) {
+      const PointsToPair &L = PT.pair(LId);
+      if (L.Path != PathTable::emptyPath())
+        continue;
+      if (!Paths.strongDom(L.Referent, P.Path)) {
+        flowOut(Out, Pair);
+        return;
+      }
+    }
+    return;
+  }
+  case 2: {
+    // New value pair: written at every known location.
+    for (PairId LId : pairsAtInput(N, 0)) {
+      const PointsToPair &L = PT.pair(LId);
+      if (L.Path != PathTable::emptyPath())
+        continue;
+      flowOut(Out, PT.intern(Paths.appendPath(L.Referent, P.Path),
+                             P.Referent));
+    }
+    return;
+  }
+  default:
+    assert(false && "update has three inputs");
+  }
+}
+
+void ContextInsensitiveSolver::flowOffset(NodeId N, PairId Pair) {
+  const Node &Node = G.node(N);
+  const PointsToPair &P = PT.pair(Pair);
+  if (P.Path != PathTable::emptyPath())
+    return; // Only pointer values are meaningful here.
+  if (Node.OpIsNoop) {
+    flowOut(G.outputOf(N), Pair);
+    return;
+  }
+  PathId NewRef = Paths.append(P.Referent, Node.Op);
+  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef));
+}
+
+//===----------------------------------------------------------------------===//
+// Calls and returns (treated as jumps, with a discovered call graph)
+//===----------------------------------------------------------------------===//
+
+void ContextInsensitiveSolver::registerCallee(NodeId Call,
+                                              const FunctionInfo *Info) {
+  auto &List = Result.CalleesOf[Call];
+  if (std::find(List.begin(), List.end(), Info) != List.end())
+    return;
+  List.push_back(Info);
+  CallersOf[Info->Fn].push_back(Call);
+  // Repropagation: everything already sitting on the call's inputs flows
+  // into the new callee, and everything at the callee's return flows back.
+  propagateActualsToCallee(Call, Info);
+  propagateReturnToCaller(Call, Info);
+}
+
+void ContextInsensitiveSolver::propagateActualsToCallee(
+    NodeId Call, const FunctionInfo *Info) {
+  const Node &CallNode = G.node(Call);
+  unsigned NumActuals = static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+  NodeId Entry = Info->EntryNode;
+  unsigned NumFormals = Info->NumParams;
+
+  for (unsigned I = 0; I < std::min(NumActuals, NumFormals); ++I)
+    for (PairId Pair : pairsAtInput(Call, I + 1))
+      flowOut(G.outputOf(Entry, I), Pair);
+
+  // Store: the call's last input feeds the entry's store formal.
+  unsigned StoreIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
+  for (PairId Pair : pairsAtInput(Call, StoreIdx))
+    flowOut(G.outputOf(Entry, NumFormals), Pair);
+}
+
+void ContextInsensitiveSolver::propagateReturnToCaller(
+    NodeId Call, const FunctionInfo *Info) {
+  const Node &CallNode = G.node(Call);
+  const Node &RetNode = G.node(Info->ReturnNode);
+
+  if (RetNode.HasValue && CallNode.HasResult)
+    for (PairId Pair : pairsAtInput(Info->ReturnNode, 0))
+      flowOut(G.outputOf(Call, 0), Pair);
+
+  unsigned RetStoreIdx = RetNode.HasValue ? 1 : 0;
+  OutputId CallStoreOut = G.outputOf(Call, CallNode.HasResult ? 1 : 0);
+  for (PairId Pair : pairsAtInput(Info->ReturnNode, RetStoreIdx))
+    flowOut(CallStoreOut, Pair);
+}
+
+void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
+                                        PairId Pair) {
+  const Node &CallNode = G.node(N);
+  unsigned LastIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
+  const PointsToPair &P = PT.pair(Pair);
+
+  if (InIdx == 0) {
+    // New function value: extend the call graph.
+    if (P.Path != PathTable::emptyPath())
+      return;
+    if (!Paths.isLocation(P.Referent))
+      return;
+    const BaseLocation &Base = Paths.base(Paths.baseOf(P.Referent));
+    if (Base.Kind != BaseLocKind::Function)
+      return; // Calling a non-function value: ignored (runtime error).
+    const FunctionInfo *Info = G.functionInfo(Base.Fn);
+    if (!Info) {
+      // Undefined callee: the call is the identity on the store.
+      if (IdentityCalls.insert(N).second) {
+        OutputId StoreOut =
+            G.outputOf(N, CallNode.HasResult ? 1 : 0);
+        for (PairId SPair : pairsAtInput(N, LastIdx))
+          flowOut(StoreOut, SPair);
+      }
+      return;
+    }
+    registerCallee(N, Info);
+    return;
+  }
+
+  if (InIdx == LastIdx) {
+    // New store pair: flows into every callee's store formal.
+    for (const FunctionInfo *Info : Result.callees(N))
+      flowOut(G.outputOf(Info->EntryNode, Info->NumParams), Pair);
+    if (IdentityCalls.count(N))
+      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair);
+    return;
+  }
+
+  // New actual pair: flows into the corresponding formal of every callee.
+  unsigned ActualIdx = InIdx - 1;
+  for (const FunctionInfo *Info : Result.callees(N))
+    if (ActualIdx < Info->NumParams)
+      flowOut(G.outputOf(Info->EntryNode, ActualIdx), Pair);
+}
+
+void ContextInsensitiveSolver::flowReturn(NodeId N, unsigned InIdx,
+                                          PairId Pair) {
+  const Node &RetNode = G.node(N);
+  const FuncDecl *Fn = RetNode.Owner;
+  auto It = CallersOf.find(Fn);
+  if (It == CallersOf.end())
+    return;
+
+  bool IsValue = RetNode.HasValue && InIdx == 0;
+  for (NodeId Call : It->second) {
+    const Node &CallNode = G.node(Call);
+    if (IsValue) {
+      if (CallNode.HasResult)
+        flowOut(G.outputOf(Call, 0), Pair);
+    } else {
+      flowOut(G.outputOf(Call, CallNode.HasResult ? 1 : 0), Pair);
+    }
+  }
+}

@@ -1,0 +1,158 @@
+//===- pointsto/Statistics.cpp --------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Statistics.h"
+
+using namespace vdga;
+
+PairTotals vdga::computePairTotals(const Graph &G, const PointsToResult &R) {
+  PairTotals T;
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    uint64_t N = R.pairs(O).size();
+    switch (G.output(O).Kind) {
+    case ValueKind::Pointer:
+      T.Pointer += N;
+      break;
+    case ValueKind::Function:
+      T.Function += N;
+      break;
+    case ValueKind::Aggregate:
+      T.Aggregate += N;
+      break;
+    case ValueKind::Store:
+      T.Store += N;
+      break;
+    case ValueKind::Scalar:
+      break; // Scalar outputs never carry pairs.
+    }
+  }
+  return T;
+}
+
+std::vector<std::pair<NodeId, std::vector<PathId>>>
+vdga::indirectOpLocations(const Graph &G, const PointsToResult &R,
+                          const PairTable &PT, bool Writes) {
+  std::vector<std::pair<NodeId, std::vector<PathId>>> Sites;
+  NodeKind Wanted = Writes ? NodeKind::Update : NodeKind::Lookup;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != Wanted || !Node.IndirectAccess)
+      continue;
+    OutputId LocOut = G.producerOf(N, 0);
+    Sites.emplace_back(N, R.pointerReferents(LocOut, PT));
+  }
+  return Sites;
+}
+
+IndirectOpStats vdga::computeIndirectOpStats(const Graph &G,
+                                             const PointsToResult &R,
+                                             const PairTable &PT,
+                                             bool Writes) {
+  IndirectOpStats S;
+  uint64_t Sum = 0;
+  for (const auto &[Node, Locs] : indirectOpLocations(G, R, PT, Writes)) {
+    unsigned N = static_cast<unsigned>(Locs.size());
+    if (N == 0) {
+      ++S.ZeroRef;
+      continue;
+    }
+    ++S.Total;
+    Sum += N;
+    S.Max = std::max(S.Max, N);
+    if (N == 1)
+      ++S.Count1;
+    else if (N == 2)
+      ++S.Count2;
+    else if (N == 3)
+      ++S.Count3;
+    else
+      ++S.Count4Plus;
+  }
+  S.Avg = S.Total ? static_cast<double>(Sum) / S.Total : 0.0;
+  return S;
+}
+
+uint64_t PairBreakdown::total() const {
+  uint64_t T = 0;
+  for (const auto &Row : Counts)
+    for (uint64_t C : Row)
+      T += C;
+  return T;
+}
+
+static PairBreakdown::PathClass pathClassOf(StorageClass C) {
+  switch (C) {
+  case StorageClass::Offset:
+    return PairBreakdown::POffset;
+  case StorageClass::Local:
+    return PairBreakdown::PLocal;
+  case StorageClass::Heap:
+    return PairBreakdown::PHeap;
+  case StorageClass::Global:
+  case StorageClass::Function:
+    return PairBreakdown::PGlobal;
+  }
+  return PairBreakdown::PGlobal;
+}
+
+static PairBreakdown::RefClass refClassOf(StorageClass C) {
+  switch (C) {
+  case StorageClass::Function:
+    return PairBreakdown::RFunction;
+  case StorageClass::Local:
+    return PairBreakdown::RLocal;
+  case StorageClass::Heap:
+    return PairBreakdown::RHeap;
+  case StorageClass::Global:
+  case StorageClass::Offset:
+    return PairBreakdown::RGlobal;
+  }
+  return PairBreakdown::RGlobal;
+}
+
+PointerDepthStats vdga::computePointerDepthStats(const Program &P) {
+  PointerDepthStats S;
+  auto Consider = [&S](const Type *Ty) {
+    const auto *Ptr = dyn_cast<PointerType>(Ty);
+    if (!Ptr)
+      return;
+    ++S.PointerDecls;
+    if (Ptr->pointee()->isAliasRelated())
+      ++S.MultiLevel;
+  };
+  for (const VarDecl *G : P.Globals)
+    Consider(G->type());
+  for (const FuncDecl *Fn : P.Functions) {
+    for (const VarDecl *Param : Fn->params())
+      Consider(Param->type());
+    for (const VarDecl *Local : Fn->locals())
+      Consider(Local->type());
+  }
+  for (const RecordType *Rec : P.Types.records()) {
+    if (!Rec->isComplete())
+      continue;
+    for (const RecordField &F : Rec->fields())
+      Consider(F.Ty);
+  }
+  return S;
+}
+
+PairBreakdown vdga::computePairBreakdown(const Graph &G,
+                                         const PointsToResult &R,
+                                         const PairTable &PT,
+                                         const PathTable &Paths,
+                                         const LocationTable &Locs) {
+  PairBreakdown B;
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    for (PairId Id : R.pairs(O)) {
+      const PointsToPair &P = PT.pair(Id);
+      auto PC = pathClassOf(Locs.classify(P.Path, Paths));
+      auto RC = refClassOf(Locs.classify(P.Referent, Paths));
+      ++B.Counts[PC][RC];
+    }
+  }
+  return B;
+}

@@ -1,0 +1,106 @@
+//===- pointsto/Statistics.h - Paper statistics ----------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collectors for the measurements the paper reports:
+///   Figure 2 — program sizes (source lines, VDG nodes, alias-related
+///              outputs);
+///   Figure 3/6 — points-to pair instances grouped by the kind of the
+///              output they appear on;
+///   Figure 4 — per indirect read/write, the number of distinct locations
+///              the operation may reference/modify;
+///   Figure 7 — pair instances broken down by path class x referent class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_POINTSTO_STATISTICS_H
+#define VDGA_POINTSTO_STATISTICS_H
+
+#include "memory/LocationTable.h"
+#include "pointsto/Solver.h"
+
+#include <array>
+#include <cstdint>
+
+namespace vdga {
+
+/// Figure 3 / Figure 6 row: pair instances by output kind.
+struct PairTotals {
+  uint64_t Pointer = 0;
+  uint64_t Function = 0;
+  uint64_t Aggregate = 0;
+  uint64_t Store = 0;
+
+  uint64_t total() const { return Pointer + Function + Aggregate + Store; }
+};
+
+/// Counts pair instances on alias-related outputs, grouped by output kind.
+PairTotals computePairTotals(const Graph &G, const PointsToResult &R);
+
+/// Figure 4 row: histogram of locations referenced per indirect memory
+/// operation. Operations whose location input carries no referents at all
+/// (dead or null-only code) are tallied separately, matching the paper's
+/// footnote about backprop/bc.
+struct IndirectOpStats {
+  unsigned Total = 0;      ///< Indirect ops with >= 1 referent.
+  unsigned ZeroRef = 0;    ///< Indirect ops with no referents.
+  unsigned Count1 = 0;
+  unsigned Count2 = 0;
+  unsigned Count3 = 0;
+  unsigned Count4Plus = 0;
+  unsigned Max = 0;
+  double Avg = 0.0;
+};
+
+/// Computes Figure 4 statistics over all indirect lookups (reads) or
+/// updates (writes).
+IndirectOpStats computeIndirectOpStats(const Graph &G,
+                                       const PointsToResult &R,
+                                       const PairTable &PT, bool Writes);
+
+/// The per-site location sets behind Figure 4: for every indirect
+/// lookup/update node, the distinct referent paths on its location input.
+std::vector<std::pair<NodeId, std::vector<PathId>>>
+indirectOpLocations(const Graph &G, const PointsToResult &R,
+                    const PairTable &PT, bool Writes);
+
+/// Figure 7 matrix: pair instances classified by path class (rows:
+/// offset, local, global, heap) x referent class (columns: function,
+/// local, global, heap).
+struct PairBreakdown {
+  // Indexed [pathClass][referentClass] with the enums below.
+  enum PathClass { POffset = 0, PLocal, PGlobal, PHeap, NumPathClasses };
+  enum RefClass { RFunction = 0, RLocal, RGlobal, RHeap, NumRefClasses };
+  std::array<std::array<uint64_t, NumRefClasses>, NumPathClasses> Counts{};
+
+  uint64_t total() const;
+};
+
+PairBreakdown computePairBreakdown(const Graph &G, const PointsToResult &R,
+                                   const PairTable &PT,
+                                   const PathTable &Paths,
+                                   const LocationTable &Locs);
+
+/// Section 5.1.2's structural claim: "the vast majority of pointers are
+/// single-level (they reference scalar datatypes)". Counts pointer-typed
+/// declarations (globals, locals, parameters, record fields) and how many
+/// are multi-level — their pointee type itself contains pointers.
+struct PointerDepthStats {
+  unsigned PointerDecls = 0;
+  unsigned MultiLevel = 0;
+
+  double singleLevelFraction() const {
+    return PointerDecls
+               ? 1.0 - static_cast<double>(MultiLevel) / PointerDecls
+               : 1.0;
+  }
+};
+
+PointerDepthStats computePointerDepthStats(const Program &P);
+
+} // namespace vdga
+
+#endif // VDGA_POINTSTO_STATISTICS_H

@@ -1,0 +1,64 @@
+//===- support/Diagnostics.h - Error reporting -----------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the frontend and the IR verifier.
+/// Library code never aborts or throws on malformed input; it records
+/// diagnostics here and the caller decides what to do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_DIAGNOSTICS_H
+#define VDGA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported problem, tied to a source location when known.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one program.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc. Messages follow the LLVM style: start
+  /// lowercase, no trailing period.
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Records a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Records a note at \p Loc.
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: level: message" lines.
+  std::string render() const;
+
+  /// Drops all recorded diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,45 @@
+//===- support/SourceLoc.h - Source positions ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project: a reproduction of Erik Ruf,
+// "Context-Insensitive Alias Analysis Reconsidered", PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column positions used by the MiniC frontend for
+/// diagnostics and for mapping analysis facts back to source text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_SOURCELOC_H
+#define VDGA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace vdga {
+
+/// A position in a MiniC source buffer. Lines and columns are 1-based;
+/// a default-constructed location (0, 0) means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_SOURCELOC_H

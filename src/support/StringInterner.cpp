@@ -1,0 +1,25 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace vdga;
+
+StringInterner::StringInterner() {
+  Storage.emplace_back(); // Symbol 0 is the empty string.
+  Index.emplace(std::string_view(Storage.back()), 0u);
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return Symbol(It->second);
+
+  uint32_t Id = static_cast<uint32_t>(Storage.size());
+  Storage.emplace_back(Text);
+  Index.emplace(std::string_view(Storage.back()), Id);
+  return Symbol(Id);
+}

@@ -1,0 +1,71 @@
+//===- support/StringInterner.h - Symbol interning -------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit symbol ids. Ids are handed out in
+/// first-intern order, which keeps every downstream iteration deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_STRINGINTERNER_H
+#define VDGA_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace vdga {
+
+/// A dense id for an interned string. Symbol 0 is reserved for the empty
+/// string, so a default-constructed Symbol is valid and prints as "".
+class Symbol {
+public:
+  Symbol() = default;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  uint32_t id() const { return Id; }
+  bool empty() const { return Id == 0; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id = 0;
+};
+
+/// Owns interned string storage and the symbol <-> text mapping.
+///
+/// Storage is a deque so element references stay stable as the table grows;
+/// the lookup index keys string_views into that stable storage.
+class StringInterner {
+public:
+  StringInterner();
+
+  /// Interns \p Text, returning its (possibly pre-existing) symbol.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text of \p Sym. The reference stays valid for the
+  /// interner's lifetime.
+  const std::string &text(Symbol Sym) const {
+    assert(Sym.id() < Storage.size() && "symbol from another interner");
+    return Storage[Sym.id()];
+  }
+
+  /// Number of distinct symbols (including the reserved empty symbol).
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_STRINGINTERNER_H

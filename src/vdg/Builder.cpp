@@ -1,0 +1,828 @@
+//===- vdg/Builder.cpp ----------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vdg/Builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// Node helpers
+//===----------------------------------------------------------------------===//
+
+OutputId Builder::constScalar(ValueKind K, SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::ConstScalar, CurFn, Loc, {K});
+  return G.outputOf(N);
+}
+
+OutputId Builder::undefValue(ValueKind K, SourceLoc Loc) {
+  return constScalar(K, Loc);
+}
+
+OutputId Builder::constPath(PathId Path, ValueKind K, SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::ConstPath, CurFn, Loc, {K});
+  G.node(N).Path = Path;
+  return G.outputOf(N);
+}
+
+OutputId Builder::offset(OutputId Base, const RecordType *Rec,
+                         unsigned FieldIdx, SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::Offset, CurFn, Loc, {ValueKind::Pointer});
+  if (Rec->isUnion()) {
+    // Union members share the union's path: the node is the identity.
+    G.node(N).OpIsNoop = true;
+  } else {
+    G.node(N).Op = Paths.fieldOp(Rec, FieldIdx);
+  }
+  G.addInput(N, Base);
+  return G.outputOf(N);
+}
+
+OutputId Builder::offsetArray(OutputId Base, SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::Offset, CurFn, Loc, {ValueKind::Pointer});
+  G.node(N).Op = Paths.arrayOp();
+  G.addInput(N, Base);
+  return G.outputOf(N);
+}
+
+OutputId Builder::scalarOp(std::vector<OutputId> Operands, ValueKind K,
+                           SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::ScalarOp, CurFn, Loc, {K});
+  for (OutputId Op : Operands)
+    G.addInput(N, Op);
+  return G.outputOf(N);
+}
+
+OutputId Builder::ptrArith(OutputId PtrVal, std::vector<OutputId> Scalars,
+                           SourceLoc Loc) {
+  NodeId N = G.addNode(NodeKind::PtrArith, CurFn, Loc, {ValueKind::Pointer});
+  G.addInput(N, PtrVal);
+  for (OutputId Op : Scalars)
+    G.addInput(N, Op);
+  return G.outputOf(N);
+}
+
+OutputId Builder::mergeValues(const std::vector<OutputId> &Vals,
+                              SourceLoc Loc, ValueKind Kind) {
+  assert(!Vals.empty() && "merging no values");
+  bool AllSame = std::all_of(Vals.begin(), Vals.end(),
+                             [&](OutputId V) { return V == Vals[0]; });
+  if (AllSame)
+    return Vals[0];
+  ValueKind K = Kind;
+  if (K == ValueKind::Scalar)
+    for (OutputId V : Vals)
+      if (G.output(V).Kind != ValueKind::Scalar) {
+        K = G.output(V).Kind;
+        break;
+      }
+  NodeId N = G.addNode(NodeKind::Merge, CurFn, Loc, {K});
+  for (OutputId V : Vals)
+    G.addInput(N, V);
+  return G.outputOf(N);
+}
+
+Builder::Env Builder::mergeEnvs(std::vector<Env> Envs, SourceLoc Loc) {
+  assert(!Envs.empty() && "merging no environments");
+  if (Envs.size() == 1)
+    return Envs[0];
+  Env Result;
+  // Store.
+  std::vector<OutputId> Stores;
+  for (const Env &E : Envs)
+    Stores.push_back(E.Store);
+  Result.Store = mergeValues(Stores, Loc);
+  // Variables present in every branch (a variable missing from some branch
+  // went out of scope and is dead afterwards).
+  for (const auto &[Var, Val] : Envs[0].Vars) {
+    std::vector<OutputId> Vals{Val};
+    bool Everywhere = true;
+    for (size_t I = 1; I < Envs.size(); ++I) {
+      auto It = Envs[I].Vars.find(Var);
+      if (It == Envs[I].Vars.end()) {
+        Everywhere = false;
+        break;
+      }
+      Vals.push_back(It->second);
+    }
+    if (Everywhere)
+      Result.Vars.emplace(Var,
+                          mergeValues(Vals, Loc, valueKindFor(Var->type())));
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+Builder::LValue Builder::buildLValue(const Expr *E) {
+  LValue LV;
+  switch (E->kind()) {
+  case ExprKind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    const auto *Var = cast<VarDecl>(Ref->decl());
+    if (!LocationTable::isStoreResident(Var)) {
+      LV.Var = Var;
+      return LV;
+    }
+    LV.InMemory = true;
+    LV.StaticLoc = true;
+    LV.Loc = constPath(Paths.basePath(Locs.varBase(Var)),
+                       ValueKind::Pointer, E->loc());
+    return LV;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Deref && "not an lvalue unary expression");
+    LV.InMemory = true;
+    LV.StaticLoc = false;
+    LV.Loc = buildExpr(U->operand());
+    return LV;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    const Type *BaseTy = I->base()->type();
+    if (BaseTy->isArray()) {
+      LValue Base = buildLValue(I->base());
+      assert(Base.InMemory && "arrays are always store-resident");
+      buildExpr(I->index()); // Effects only.
+      LV.InMemory = true;
+      LV.StaticLoc = Base.StaticLoc;
+      LV.Loc = offsetArray(Base.Loc, E->loc());
+      return LV;
+    }
+    // Pointer subscripts: p[i] is *(p + i); the element summary is the
+    // pointer's own referent.
+    OutputId Ptr = buildExpr(I->base());
+    buildExpr(I->index());
+    LV.InMemory = true;
+    LV.StaticLoc = false;
+    LV.Loc = Ptr;
+    return LV;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    OutputId Base;
+    bool Static = false;
+    if (M->isArrow()) {
+      Base = buildExpr(M->base());
+    } else {
+      LValue BaseLV = buildLValue(M->base());
+      assert(BaseLV.InMemory && "records are always store-resident");
+      Base = BaseLV.Loc;
+      Static = BaseLV.StaticLoc;
+    }
+    LV.InMemory = true;
+    LV.StaticLoc = Static;
+    LV.Loc = offset(Base, M->record(), M->fieldIndex(), E->loc());
+    return LV;
+  }
+  default:
+    assert(false && "expression is not an lvalue");
+    LV.Var = nullptr;
+    return LV;
+  }
+}
+
+OutputId Builder::loadLValue(const LValue &LV, const Type *Ty,
+                             const Expr *Origin) {
+  if (!LV.InMemory) {
+    auto It = Cur.Vars.find(LV.Var);
+    if (It != Cur.Vars.end())
+      return It->second;
+    // Use before initialization: bind an undefined value.
+    OutputId Undef = undefValue(valueKindFor(LV.Var->type()), LV.Var->loc());
+    Cur.Vars.emplace(LV.Var, Undef);
+    return Undef;
+  }
+  NodeId N = G.addNode(NodeKind::Lookup, CurFn,
+                       Origin ? Origin->loc() : SourceLoc(),
+                       {valueKindFor(Ty)});
+  G.node(N).IndirectAccess = !LV.StaticLoc;
+  G.node(N).Origin = Origin;
+  G.addInput(N, LV.Loc);
+  G.addInput(N, Cur.Store);
+  return G.outputOf(N);
+}
+
+void Builder::storeLValue(const LValue &LV, OutputId Value,
+                          const Expr *Origin) {
+  if (!LV.InMemory) {
+    Cur.Vars[LV.Var] = Value;
+    return;
+  }
+  NodeId N = G.addNode(NodeKind::Update, CurFn,
+                       Origin ? Origin->loc() : SourceLoc(),
+                       {ValueKind::Store});
+  G.node(N).IndirectAccess = !LV.StaticLoc;
+  G.node(N).Origin = Origin;
+  G.addInput(N, LV.Loc);
+  G.addInput(N, Cur.Store);
+  G.addInput(N, Value);
+  Cur.Store = G.outputOf(N);
+}
+
+OutputId Builder::addressOf(const LValue &LV) {
+  assert(LV.InMemory && "taking the address of a scalarized variable");
+  return LV.Loc;
+}
+
+OutputId Builder::decayArray(const LValue &LV, SourceLoc Loc) {
+  assert(LV.InMemory && "arrays are always store-resident");
+  return offsetArray(LV.Loc, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+OutputId Builder::buildExpr(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+  case ExprKind::FloatLiteral:
+  case ExprKind::SizeOf:
+    return constScalar(valueKindFor(E->type()), E->loc());
+  case ExprKind::StringLiteral: {
+    const auto *S = cast<StringLiteralExpr>(E);
+    PathId Path = Paths.basePath(Locs.stringBase(S->literalId()));
+    return constPath(Path, ValueKind::Pointer, E->loc());
+  }
+  case ExprKind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    if (const auto *Fn = dyn_cast<FuncDecl>(Ref->decl()))
+      return constPath(Paths.basePath(Locs.functionBase(Fn)),
+                       ValueKind::Function, E->loc());
+    const auto *Var = cast<VarDecl>(Ref->decl());
+    if (Var->type()->isArray()) {
+      // Array-to-pointer decay: constant element-summary path.
+      PathId Elem = Paths.appendArray(Paths.basePath(Locs.varBase(Var)));
+      return constPath(Elem, ValueKind::Pointer, E->loc());
+    }
+    LValue LV = buildLValue(E);
+    return loadLValue(LV, Var->type(), E);
+  }
+  case ExprKind::Unary:
+    return buildUnary(cast<UnaryExpr>(E));
+  case ExprKind::Binary:
+    return buildBinary(cast<BinaryExpr>(E));
+  case ExprKind::Assign:
+    return buildAssign(cast<AssignExpr>(E));
+  case ExprKind::Call:
+    return buildCall(cast<CallExpr>(E));
+  case ExprKind::Index:
+  case ExprKind::Member: {
+    LValue LV = buildLValue(E);
+    if (E->type()->isArray())
+      return decayArray(LV, E->loc());
+    return loadLValue(LV, E->type(), E);
+  }
+  case ExprKind::Cast: {
+    // Pointer-to-pointer and arithmetic casts are transparent to the
+    // analysis; reuse the operand's value.
+    const auto *C = cast<CastExpr>(E);
+    return buildExpr(C->operand());
+  }
+  case ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    buildExpr(C->cond());
+    Env Base = Cur;
+    OutputId ThenV = buildExpr(C->thenExpr());
+    Env ThenEnv = Cur;
+    Cur = Base;
+    OutputId ElseV = buildExpr(C->elseExpr());
+    Env ElseEnv = Cur;
+    Cur = mergeEnvs({ThenEnv, ElseEnv}, E->loc());
+    return mergeValues({ThenV, ElseV}, E->loc(), valueKindFor(E->type()));
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return InvalidId;
+}
+
+OutputId Builder::buildUnary(const UnaryExpr *E) {
+  switch (E->op()) {
+  case UnaryOp::Neg:
+  case UnaryOp::Not:
+  case UnaryOp::BitNot:
+    return scalarOp({buildExpr(E->operand())}, valueKindFor(E->type()),
+                    E->loc());
+  case UnaryOp::AddrOf: {
+    const Expr *Operand = E->operand();
+    // &function is the function value itself.
+    if (const auto *Ref = dyn_cast<DeclRefExpr>(Operand))
+      if (const auto *Fn = dyn_cast<FuncDecl>(Ref->decl()))
+        return constPath(Paths.basePath(Locs.functionBase(Fn)),
+                         ValueKind::Function, E->loc());
+    LValue LV = buildLValue(Operand);
+    return addressOf(LV);
+  }
+  case UnaryOp::Deref: {
+    // Dereferencing a function pointer yields the function value itself.
+    const Type *OpTy = E->operand()->type();
+    if (const auto *Ptr = dyn_cast<PointerType>(OpTy))
+      if (Ptr->pointee()->isFunction())
+        return buildExpr(E->operand());
+    LValue LV = buildLValue(E);
+    if (E->type()->isArray())
+      return decayArray(LV, E->loc());
+    return loadLValue(LV, E->type(), E);
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    LValue LV = buildLValue(E->operand());
+    OutputId Old = loadLValue(LV, E->operand()->type(), E->operand());
+    OutputId One = constScalar(ValueKind::Scalar, E->loc());
+    OutputId New;
+    if (E->operand()->type()->isPointer())
+      New = ptrArith(Old, {One}, E->loc());
+    else
+      New = scalarOp({Old, One}, valueKindFor(E->type()), E->loc());
+    storeLValue(LV, New, E);
+    bool IsPre = E->op() == UnaryOp::PreInc || E->op() == UnaryOp::PreDec;
+    return IsPre ? New : Old;
+  }
+  }
+  assert(false && "unhandled unary operator");
+  return InvalidId;
+}
+
+OutputId Builder::buildBinary(const BinaryExpr *E) {
+  if (E->op() == BinaryOp::LogAnd || E->op() == BinaryOp::LogOr) {
+    // Short-circuit evaluation: the RHS's effects are conditional.
+    OutputId L = buildExpr(E->lhs());
+    Env Base = Cur;
+    OutputId R = buildExpr(E->rhs());
+    Env RhsEnv = Cur;
+    Cur = mergeEnvs({Base, RhsEnv}, E->loc());
+    return scalarOp({L, R}, ValueKind::Scalar, E->loc());
+  }
+
+  const Type *LT = E->lhs()->type();
+  const Type *RT = E->rhs()->type();
+  bool LPtr = LT->isPointer() || LT->isArray();
+  bool RPtr = RT->isPointer() || RT->isArray();
+
+  if (E->op() == BinaryOp::Add || E->op() == BinaryOp::Sub) {
+    if (LPtr && !RPtr) {
+      OutputId L = buildExpr(E->lhs());
+      OutputId R = buildExpr(E->rhs());
+      return ptrArith(L, {R}, E->loc());
+    }
+    if (!LPtr && RPtr && E->op() == BinaryOp::Add) {
+      OutputId L = buildExpr(E->lhs());
+      OutputId R = buildExpr(E->rhs());
+      return ptrArith(R, {L}, E->loc());
+    }
+  }
+  OutputId L = buildExpr(E->lhs());
+  OutputId R = buildExpr(E->rhs());
+  return scalarOp({L, R}, valueKindFor(E->type()), E->loc());
+}
+
+OutputId Builder::buildAssign(const AssignExpr *E) {
+  if (E->op() == AssignOp::Assign) {
+    OutputId V = buildExpr(E->value());
+    LValue LV = buildLValue(E->target());
+    storeLValue(LV, V, E);
+    return V;
+  }
+  // Compound assignment: read-modify-write.
+  OutputId V = buildExpr(E->value());
+  LValue LV = buildLValue(E->target());
+  OutputId Old = loadLValue(LV, E->target()->type(), E->target());
+  OutputId New;
+  if (E->target()->type()->isPointer())
+    New = ptrArith(Old, {V}, E->loc());
+  else
+    New = scalarOp({Old, V}, valueKindFor(E->type()), E->loc());
+  storeLValue(LV, New, E);
+  return New;
+}
+
+OutputId Builder::buildBuiltinCall(const CallExpr *E) {
+  std::vector<OutputId> Args;
+  Args.reserve(E->args().size());
+  for (const Expr *Arg : E->args())
+    Args.push_back(buildExpr(Arg));
+
+  switch (E->builtin()) {
+  case BuiltinKind::Malloc:
+  case BuiltinKind::Calloc: {
+    PathId Heap = Paths.basePath(Locs.heapBase(E->allocSiteId()));
+    return constPath(Heap, ValueKind::Pointer, E->loc());
+  }
+  case BuiltinKind::Strcpy:
+  case BuiltinKind::Strcat:
+  case BuiltinKind::Memset:
+    // Returns its first argument; writes only character data, so it is the
+    // identity on points-to facts (the paper's library model).
+    return ptrArith(Args[0], {}, E->loc());
+  default:
+    // All other builtins produce a fresh scalar and do not affect the
+    // store's points-to contents.
+    return scalarOp(std::move(Args), valueKindFor(E->type()), E->loc());
+  }
+}
+
+OutputId Builder::buildCall(const CallExpr *E) {
+  if (E->builtin() != BuiltinKind::None)
+    return buildBuiltinCall(E);
+
+  // Callee value: a constant function path for direct calls, a computed
+  // function value otherwise.
+  OutputId FnVal;
+  if (const FuncDecl *Direct = E->directCallee())
+    FnVal = constPath(Paths.basePath(Locs.functionBase(Direct)),
+                      ValueKind::Function, E->loc());
+  else
+    FnVal = buildExpr(E->callee());
+
+  std::vector<OutputId> Args;
+  Args.reserve(E->args().size());
+  for (const Expr *Arg : E->args())
+    Args.push_back(buildExpr(Arg));
+
+  bool HasResult = !E->type()->isVoid();
+  std::vector<ValueKind> Outs;
+  if (HasResult)
+    Outs.push_back(valueKindFor(E->type()));
+  Outs.push_back(ValueKind::Store);
+
+  NodeId N = G.addNode(NodeKind::Call, CurFn, E->loc(), std::move(Outs));
+  G.node(N).HasResult = HasResult;
+  G.addInput(N, FnVal);
+  for (OutputId A : Args)
+    G.addInput(N, A);
+  G.addInput(N, Cur.Store);
+
+  Cur.Store = G.outputOf(N, HasResult ? 1 : 0);
+  return HasResult ? G.outputOf(N, 0)
+                   : constScalar(ValueKind::Scalar, E->loc());
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Builder::buildLocalDecl(const VarDecl *Var) {
+  if (!LocationTable::isStoreResident(Var)) {
+    OutputId V = Var->init() ? buildExpr(Var->init())
+                             : undefValue(valueKindFor(Var->type()),
+                                          Var->loc());
+    Cur.Vars[Var] = V;
+    return;
+  }
+  if (const Expr *Init = Var->init()) {
+    OutputId V = buildExpr(Init);
+    LValue LV;
+    LV.InMemory = true;
+    LV.StaticLoc = true;
+    LV.Loc = constPath(Paths.basePath(Locs.varBase(Var)),
+                       ValueKind::Pointer, Var->loc());
+    storeLValue(LV, V, Init);
+  }
+}
+
+bool Builder::buildStmt(const Stmt *S) {
+  if (!S)
+    return true;
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      if (!buildStmt(Child))
+        return false;
+    return true;
+  }
+  case StmtKind::Expr:
+    buildExpr(cast<ExprStmt>(S)->expr());
+    return true;
+  case StmtKind::Decl:
+    buildLocalDecl(cast<DeclStmt>(S)->var());
+    return true;
+  case StmtKind::If:
+    return buildIf(cast<IfStmt>(S));
+  case StmtKind::While:
+    return buildWhile(cast<WhileStmt>(S));
+  case StmtKind::DoWhile:
+    return buildDoWhile(cast<DoWhileStmt>(S));
+  case StmtKind::For:
+    return buildFor(cast<ForStmt>(S));
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    OutputId V = InvalidId;
+    if (R->value())
+      V = buildExpr(R->value());
+    Returns.emplace_back(V, Cur.Store);
+    return false;
+  }
+  case StmtKind::Break: {
+    assert(!Loops.empty() && "break outside of a loop");
+    Loops.back().BreakEnvs.push_back(Cur);
+    return false;
+  }
+  case StmtKind::Continue: {
+    assert(!Loops.empty() && "continue outside of a loop");
+    Loops.back().ContinueEnvs.push_back(Cur);
+    return false;
+  }
+  }
+  return true;
+}
+
+bool Builder::buildIf(const IfStmt *S) {
+  buildExpr(S->cond());
+  Env Base = Cur;
+
+  bool ThenFalls = buildStmt(S->thenStmt());
+  Env ThenEnv = Cur;
+
+  Cur = Base;
+  bool ElseFalls = true;
+  Env ElseEnv = Base;
+  if (S->elseStmt()) {
+    ElseFalls = buildStmt(S->elseStmt());
+    ElseEnv = Cur;
+  }
+
+  std::vector<Env> Falls;
+  if (ThenFalls)
+    Falls.push_back(ThenEnv);
+  if (ElseFalls)
+    Falls.push_back(ElseEnv);
+  if (Falls.empty())
+    return false;
+  Cur = mergeEnvs(std::move(Falls), S->loc());
+  return true;
+}
+
+Builder::LoopMerges Builder::openLoopHeader(SourceLoc Loc) {
+  LoopMerges Merges;
+  // One merge per live scalarized variable plus the store; the incoming
+  // value is the first input, back edges are wired when the loop closes.
+  {
+    NodeId N = G.addNode(NodeKind::Merge, CurFn, Loc, {ValueKind::Store});
+    G.addInput(N, Cur.Store);
+    Merges.StoreMerge = N;
+    Cur.Store = G.outputOf(N);
+  }
+  for (auto &[Var, Val] : Cur.Vars) {
+    NodeId N = G.addNode(NodeKind::Merge, CurFn, Loc,
+                         {valueKindFor(Var->type())});
+    G.addInput(N, Val);
+    Merges.VarMerges.emplace(Var, N);
+    Val = G.outputOf(N);
+  }
+  return Merges;
+}
+
+void Builder::closeLoopBackedge(const LoopMerges &Merges, const Env &BackEnv) {
+  G.addInput(Merges.StoreMerge, BackEnv.Store);
+  for (const auto &[Var, MergeNode] : Merges.VarMerges) {
+    auto It = BackEnv.Vars.find(Var);
+    if (It != BackEnv.Vars.end())
+      G.addInput(MergeNode, It->second);
+  }
+}
+
+bool Builder::buildWhile(const WhileStmt *S) {
+  LoopMerges Merges = openLoopHeader(S->loc());
+  buildExpr(S->cond());
+  Env ExitEnv = Cur; // Loop may exit right after testing the condition.
+
+  Loops.emplace_back();
+  bool BodyFalls = buildStmt(S->body());
+  LoopCtx Ctx = std::move(Loops.back());
+  Loops.pop_back();
+
+  // Back edge: normal body end plus continues.
+  std::vector<Env> BackEnvs = std::move(Ctx.ContinueEnvs);
+  if (BodyFalls)
+    BackEnvs.push_back(Cur);
+  if (!BackEnvs.empty())
+    closeLoopBackedge(Merges, mergeEnvs(std::move(BackEnvs), S->loc()));
+
+  // Exit: the condition-false path plus breaks.
+  std::vector<Env> Exits = std::move(Ctx.BreakEnvs);
+  Exits.push_back(ExitEnv);
+  Cur = mergeEnvs(std::move(Exits), S->loc());
+  return true;
+}
+
+bool Builder::buildDoWhile(const DoWhileStmt *S) {
+  LoopMerges Merges = openLoopHeader(S->loc());
+
+  Loops.emplace_back();
+  bool BodyFalls = buildStmt(S->body());
+  LoopCtx Ctx = std::move(Loops.back());
+  Loops.pop_back();
+
+  // The condition runs after the body (and after continues).
+  std::vector<Env> CondEnvs = std::move(Ctx.ContinueEnvs);
+  if (BodyFalls)
+    CondEnvs.push_back(Cur);
+
+  bool CondReachable = !CondEnvs.empty();
+  Env AfterCond;
+  if (CondReachable) {
+    Cur = mergeEnvs(std::move(CondEnvs), S->loc());
+    buildExpr(S->cond());
+    AfterCond = Cur;
+    closeLoopBackedge(Merges, AfterCond);
+  }
+
+  std::vector<Env> Exits = std::move(Ctx.BreakEnvs);
+  if (CondReachable)
+    Exits.push_back(AfterCond);
+  if (Exits.empty())
+    return false;
+  Cur = mergeEnvs(std::move(Exits), S->loc());
+  return true;
+}
+
+bool Builder::buildFor(const ForStmt *S) {
+  if (S->init())
+    buildStmt(S->init());
+  LoopMerges Merges = openLoopHeader(S->loc());
+  if (S->cond())
+    buildExpr(S->cond());
+  Env ExitEnv = Cur;
+
+  Loops.emplace_back();
+  bool BodyFalls = buildStmt(S->body());
+  LoopCtx Ctx = std::move(Loops.back());
+  Loops.pop_back();
+
+  // Continues re-enter before the step expression.
+  std::vector<Env> StepEnvs = std::move(Ctx.ContinueEnvs);
+  if (BodyFalls)
+    StepEnvs.push_back(Cur);
+  if (!StepEnvs.empty()) {
+    Cur = mergeEnvs(std::move(StepEnvs), S->loc());
+    if (S->step())
+      buildExpr(S->step());
+    closeLoopBackedge(Merges, Cur);
+  }
+
+  std::vector<Env> Exits = std::move(Ctx.BreakEnvs);
+  if (S->cond())
+    Exits.push_back(ExitEnv);
+  if (Exits.empty())
+    return false; // `for (;;)` with no break never falls through.
+  Cur = mergeEnvs(std::move(Exits), S->loc());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and bootstrap
+//===----------------------------------------------------------------------===//
+
+void Builder::buildFunction(const FuncDecl *Fn) {
+  CurFn = Fn;
+  Cur = Env();
+  Returns.clear();
+  Reachable = true;
+
+  // Entry node: one output per parameter plus the store formal.
+  std::vector<ValueKind> Outs;
+  for (const VarDecl *Param : Fn->params())
+    Outs.push_back(valueKindFor(Param->type()));
+  Outs.push_back(ValueKind::Store);
+  NodeId EntryN = G.addNode(NodeKind::Entry, Fn, Fn->loc(), std::move(Outs));
+  Cur.Store = G.outputOf(EntryN, Fn->params().size());
+
+  // Bind parameters: scalarized ones live in the environment; resident
+  // ones are spilled into the store at entry.
+  for (size_t I = 0; I < Fn->params().size(); ++I) {
+    const VarDecl *Param = Fn->params()[I];
+    OutputId Incoming = G.outputOf(EntryN, I);
+    if (!LocationTable::isStoreResident(Param)) {
+      Cur.Vars.emplace(Param, Incoming);
+      continue;
+    }
+    LValue LV;
+    LV.InMemory = true;
+    LV.StaticLoc = true;
+    LV.Loc = constPath(Paths.basePath(Locs.varBase(Param)),
+                       ValueKind::Pointer, Param->loc());
+    storeLValue(LV, Incoming, nullptr);
+  }
+
+  bool Falls = buildStmt(Fn->body());
+  bool HasValue = !Fn->functionType()->returnType()->isVoid();
+  if (Falls) {
+    OutputId V = InvalidId;
+    if (HasValue)
+      V = undefValue(valueKindFor(Fn->functionType()->returnType()),
+                     Fn->loc());
+    Returns.emplace_back(V, Cur.Store);
+  }
+
+  NodeId ReturnN = G.addNode(NodeKind::Return, Fn, Fn->loc(), {});
+  G.node(ReturnN).HasValue = HasValue;
+  if (!Returns.empty()) {
+    if (HasValue) {
+      std::vector<OutputId> Vals;
+      for (auto &[V, Store] : Returns)
+        Vals.push_back(V != InvalidId
+                           ? V
+                           : undefValue(valueKindFor(
+                                            Fn->functionType()->returnType()),
+                                        Fn->loc()));
+      G.addInput(ReturnN,
+                 mergeValues(Vals, Fn->loc(),
+                             valueKindFor(
+                                 Fn->functionType()->returnType())));
+    }
+    std::vector<OutputId> Stores;
+    for (auto &[V, Store] : Returns)
+      Stores.push_back(Store);
+    G.addInput(ReturnN, mergeValues(Stores, Fn->loc()));
+  } else {
+    // The function never returns (infinite loop): give the return node
+    // empty merge inputs so its arity stays uniform.
+    if (HasValue) {
+      NodeId EmptyV = G.addNode(NodeKind::Merge, Fn, Fn->loc(),
+                                {valueKindFor(
+                                    Fn->functionType()->returnType())});
+      G.addInput(ReturnN, G.outputOf(EmptyV));
+    }
+    NodeId EmptyS =
+        G.addNode(NodeKind::Merge, Fn, Fn->loc(), {ValueKind::Store});
+    G.addInput(ReturnN, G.outputOf(EmptyS));
+  }
+
+  FunctionInfo Info;
+  Info.Fn = Fn;
+  Info.EntryNode = EntryN;
+  Info.ReturnNode = ReturnN;
+  Info.NumParams = static_cast<unsigned>(Fn->params().size());
+  G.registerFunction(Info);
+}
+
+void Builder::buildBootstrap() {
+  CurFn = nullptr;
+  Cur = Env();
+  NodeId Init = G.addNode(NodeKind::InitStore, nullptr, SourceLoc(),
+                          {ValueKind::Store});
+  Cur.Store = G.outputOf(Init);
+
+  // Global initializers, in declaration order.
+  for (const VarDecl *Global : P.Globals) {
+    if (const Expr *InitE = Global->init()) {
+      OutputId V = buildExpr(InitE);
+      LValue LV;
+      LV.InMemory = true;
+      LV.StaticLoc = true;
+      LV.Loc = constPath(Paths.basePath(Locs.varBase(Global)),
+                         ValueKind::Pointer, Global->loc());
+      storeLValue(LV, V, InitE);
+    }
+    if (!Global->initList().empty()) {
+      // Array element initializers all write the element-summary path.
+      PathId Elem =
+          Paths.appendArray(Paths.basePath(Locs.varBase(Global)));
+      for (const Expr *ElemE : Global->initList()) {
+        OutputId V = buildExpr(ElemE);
+        LValue LV;
+        LV.InMemory = true;
+        LV.StaticLoc = true;
+        LV.Loc = constPath(Elem, ValueKind::Pointer, Global->loc());
+        storeLValue(LV, V, ElemE);
+      }
+    }
+  }
+
+  // Call main on the initialized store.
+  const FuncDecl *Main = P.findFunction("main");
+  if (!Main || !Main->isDefined())
+    return;
+  OutputId FnVal = constPath(Paths.basePath(Locs.functionBase(Main)),
+                             ValueKind::Function, Main->loc());
+  bool HasResult = !Main->functionType()->returnType()->isVoid();
+  std::vector<ValueKind> Outs;
+  if (HasResult)
+    Outs.push_back(valueKindFor(Main->functionType()->returnType()));
+  Outs.push_back(ValueKind::Store);
+  NodeId CallN =
+      G.addNode(NodeKind::Call, nullptr, Main->loc(), std::move(Outs));
+  G.node(CallN).HasResult = HasResult;
+  G.addInput(CallN, FnVal);
+  for (const VarDecl *Param : Main->params())
+    G.addInput(CallN, undefValue(valueKindFor(Param->type()), Main->loc()));
+  G.addInput(CallN, Cur.Store);
+}
+
+void Builder::build() {
+  buildBootstrap();
+  for (const FuncDecl *Fn : P.Functions)
+    if (Fn->isDefined())
+      buildFunction(Fn);
+}

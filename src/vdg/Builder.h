@@ -1,0 +1,133 @@
+//===- vdg/Builder.h - AST to VDG translation ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates a checked MiniC Program into the VDG. The translation threads
+/// an explicit store value through every statement; non-addressed scalar
+/// locals flow along value edges instead (the paper's SSA-like store
+/// scalarization), so the store stays sparse. Control joins and loop
+/// headers become Merge nodes; breaks/continues merge their states into the
+/// corresponding join. A bootstrap region (owner = null) runs global
+/// initializers on the initial empty store and then calls main.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_VDG_BUILDER_H
+#define VDGA_VDG_BUILDER_H
+
+#include "memory/LocationTable.h"
+#include "vdg/Graph.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace vdga {
+
+/// Builds the whole-program VDG.
+class Builder {
+public:
+  Builder(const Program &P, PathTable &Paths, const LocationTable &Locs,
+          Graph &G)
+      : P(P), Paths(Paths), Locs(Locs), G(G) {}
+
+  /// Translates every defined function plus the bootstrap region.
+  void build();
+
+private:
+  /// The dataflow state at one program point: the current store value and
+  /// the current value of each scalarized local.
+  struct Env {
+    std::map<const VarDecl *, OutputId, DeclOrder> Vars;
+    OutputId Store = InvalidId;
+  };
+
+  /// A translated lvalue: either a scalarized variable or a memory
+  /// location described by a pointer-valued output.
+  struct LValue {
+    bool InMemory = false;
+    const VarDecl *Var = nullptr; ///< Scalarized variable.
+    OutputId Loc = InvalidId;     ///< Memory location (pointer value).
+    /// True when Loc is rooted at a constant path (a direct access).
+    bool StaticLoc = false;
+  };
+
+  struct LoopCtx {
+    std::vector<Env> BreakEnvs;
+    std::vector<Env> ContinueEnvs;
+  };
+
+  // Function-level driving.
+  void buildBootstrap();
+  void buildFunction(const FuncDecl *Fn);
+
+  // Statements. Returns false when control cannot fall through.
+  bool buildStmt(const Stmt *S);
+  bool buildIf(const IfStmt *S);
+  bool buildWhile(const WhileStmt *S);
+  bool buildDoWhile(const DoWhileStmt *S);
+  bool buildFor(const ForStmt *S);
+  void buildLocalDecl(const VarDecl *Var);
+
+  // Loop skeleton shared by while/do-while/for. See Builder.cpp.
+  struct LoopMerges {
+    std::map<const VarDecl *, NodeId, DeclOrder> VarMerges;
+    NodeId StoreMerge = InvalidId;
+  };
+  LoopMerges openLoopHeader(SourceLoc Loc);
+  void closeLoopBackedge(const LoopMerges &Merges, const Env &BackEnv);
+
+  // Expressions.
+  OutputId buildExpr(const Expr *E);
+  LValue buildLValue(const Expr *E);
+  OutputId loadLValue(const LValue &LV, const Type *Ty, const Expr *Origin);
+  void storeLValue(const LValue &LV, OutputId Value, const Expr *Origin);
+  OutputId addressOf(const LValue &LV);
+  OutputId buildCall(const CallExpr *E);
+  OutputId buildBuiltinCall(const CallExpr *E);
+  OutputId buildAssign(const AssignExpr *E);
+  OutputId buildUnary(const UnaryExpr *E);
+  OutputId buildBinary(const BinaryExpr *E);
+
+  // Node helpers.
+  OutputId constScalar(ValueKind K, SourceLoc Loc);
+  OutputId constPath(PathId Path, ValueKind K, SourceLoc Loc);
+  OutputId offset(OutputId Base, const RecordType *Rec, unsigned FieldIdx,
+                  SourceLoc Loc);
+  OutputId offsetArray(OutputId Base, SourceLoc Loc);
+  OutputId scalarOp(std::vector<OutputId> Operands, ValueKind K,
+                    SourceLoc Loc);
+  OutputId ptrArith(OutputId PtrVal, std::vector<OutputId> Scalars,
+                    SourceLoc Loc);
+  /// Merges values into one output. \p Kind overrides the output kind;
+  /// pass Scalar to infer it as the join of the input kinds (a null
+  /// literal flowing into a pointer merge must not demote the output).
+  OutputId mergeValues(const std::vector<OutputId> &Vals, SourceLoc Loc,
+                       ValueKind Kind = ValueKind::Scalar);
+  Env mergeEnvs(std::vector<Env> Envs, SourceLoc Loc);
+  OutputId undefValue(ValueKind K, SourceLoc Loc);
+
+  /// Decayed rvalue of an array-typed lvalue: a pointer to the element
+  /// summary.
+  OutputId decayArray(const LValue &LV, SourceLoc Loc);
+
+  const Program &P;
+  PathTable &Paths;
+  const LocationTable &Locs;
+  Graph &G;
+
+  const FuncDecl *CurFn = nullptr; ///< Null in the bootstrap region.
+  Env Cur;
+  bool Reachable = true;
+  std::vector<LoopCtx> Loops;
+  /// Collected (value, store) pairs at return sites of the current
+  /// function; value is InvalidId for void returns.
+  std::vector<std::pair<OutputId, OutputId>> Returns;
+};
+
+} // namespace vdga
+
+#endif // VDGA_VDG_BUILDER_H

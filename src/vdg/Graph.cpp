@@ -1,0 +1,127 @@
+//===- vdg/Graph.cpp ------------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vdg/Graph.h"
+
+#include <cassert>
+
+using namespace vdga;
+
+const char *vdga::nodeKindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::ConstScalar:
+    return "const";
+  case NodeKind::ConstPath:
+    return "constpath";
+  case NodeKind::Lookup:
+    return "lookup";
+  case NodeKind::Update:
+    return "update";
+  case NodeKind::Offset:
+    return "offset";
+  case NodeKind::Merge:
+    return "merge";
+  case NodeKind::PtrArith:
+    return "ptrarith";
+  case NodeKind::ScalarOp:
+    return "scalarop";
+  case NodeKind::Call:
+    return "call";
+  case NodeKind::Entry:
+    return "entry";
+  case NodeKind::Return:
+    return "return";
+  case NodeKind::InitStore:
+    return "initstore";
+  }
+  return "?";
+}
+
+const char *vdga::valueKindName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Scalar:
+    return "scalar";
+  case ValueKind::Pointer:
+    return "pointer";
+  case ValueKind::Function:
+    return "function";
+  case ValueKind::Aggregate:
+    return "aggregate";
+  case ValueKind::Store:
+    return "store";
+  }
+  return "?";
+}
+
+ValueKind vdga::valueKindFor(const Type *Ty) {
+  if (!Ty)
+    return ValueKind::Scalar;
+  if (const auto *Ptr = dyn_cast<PointerType>(Ty))
+    return Ptr->pointee()->isFunction() ? ValueKind::Function
+                                        : ValueKind::Pointer;
+  if (Ty->isFunction())
+    return ValueKind::Function;
+  if (Ty->isAggregate())
+    return ValueKind::Aggregate;
+  return ValueKind::Scalar;
+}
+
+NodeId Graph::addNode(NodeKind Kind, const FuncDecl *Owner, SourceLoc Loc,
+                      std::vector<ValueKind> OutputKinds) {
+  auto Id = static_cast<NodeId>(Nodes.size());
+  Node N;
+  N.Kind = Kind;
+  N.Owner = Owner;
+  N.Loc = Loc;
+  for (size_t I = 0; I < OutputKinds.size(); ++I) {
+    OutputInfo O;
+    O.Node = Id;
+    O.Index = static_cast<uint16_t>(I);
+    O.Kind = OutputKinds[I];
+    N.Outputs.push_back(static_cast<OutputId>(Outputs.size()));
+    Outputs.push_back(std::move(O));
+  }
+  Nodes.push_back(std::move(N));
+  return Id;
+}
+
+InputId Graph::addInput(NodeId N, OutputId Producer) {
+  auto Id = static_cast<InputId>(Inputs.size());
+  InputInfo In;
+  In.Node = N;
+  In.Index = static_cast<uint16_t>(Nodes[N].Inputs.size());
+  In.Producer = InvalidId;
+  Inputs.push_back(In);
+  Nodes[N].Inputs.push_back(Id);
+  if (Producer != InvalidId)
+    wireInput(Id, Producer);
+  return Id;
+}
+
+void Graph::wireInput(InputId In, OutputId Producer) {
+  assert(Inputs[In].Producer == InvalidId && "input wired twice");
+  assert(Producer < Outputs.size() && "wiring to an unknown output");
+  Inputs[In].Producer = Producer;
+  Outputs[Producer].Consumers.push_back(In);
+}
+
+void Graph::registerFunction(FunctionInfo Info) {
+  FunctionIndex.emplace(Info.Fn, Functions.size());
+  Functions.push_back(Info);
+}
+
+const FunctionInfo *Graph::functionInfo(const FuncDecl *Fn) const {
+  auto It = FunctionIndex.find(Fn);
+  return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+}
+
+unsigned Graph::countAliasRelatedOutputs() const {
+  unsigned Count = 0;
+  for (const OutputInfo &O : Outputs)
+    if (O.Kind != ValueKind::Scalar)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,210 @@
+//===- vdg/Graph.h - Value dependence graph IR -----------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, VDG-style program representation (Section 2, [WCES94]): nodes
+/// consume input values and produce output values of scalar, pointer,
+/// function, aggregate or store type. All memory traffic is expressed as
+/// `lookup` / `update` nodes threading explicit store values; control joins
+/// and loop headers are `merge` nodes that union their inputs ("values from
+/// both branches propagate; the predicate is ignored"); calls and returns
+/// are wired dynamically by the solvers through per-function entry/return
+/// nodes, exactly as in Figure 1.
+///
+/// Node inputs and outputs carry program-wide dense ids so solver state is
+/// plain arrays. Merge inputs may be added after node creation (loop back
+/// edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_VDG_GRAPH_H
+#define VDGA_VDG_GRAPH_H
+
+#include "frontend/AST.h"
+#include "memory/AccessPath.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Node kinds. The transfer functions live in the solvers; the graph only
+/// fixes arities and payloads.
+enum class NodeKind : uint8_t {
+  /// A scalar constant or undefined value; carries no points-to pairs.
+  /// (A null pointer is a ConstScalar of pointer type: no referents.)
+  ConstScalar,
+  /// A location- or function-valued constant: `&x`, a string literal, a
+  /// function reference, or a heap allocation site's result. Seeds the
+  /// analysis with the pair (empty, Path), per Figure 1's initialization.
+  ConstPath,
+  /// Memory read: inputs [loc, store], output [value].
+  Lookup,
+  /// Memory write: inputs [loc, store, value], output [store].
+  Update,
+  /// Appends one access operator to a pointer value: `&p->f`, `&a[i]`.
+  /// Inputs [value], output [value]. For union members the operator is
+  /// empty and the node is the identity.
+  Offset,
+  /// Control-flow join or loop header: unions any number of same-kind
+  /// inputs into one output. Inputs may be wired late (back edges).
+  Merge,
+  /// Identity on points-to pairs with extra scalar operands consumed:
+  /// pointer arithmetic `p + i`, and builtins returning their first
+  /// argument (strcpy). Inputs [value, rest...], output [value].
+  PtrArith,
+  /// A scalar primitive over its inputs; output carries no pairs.
+  /// Inputs [operands...], output [value].
+  ScalarOp,
+  /// A call: inputs [function, actual..., store]; outputs [result?, store].
+  /// Callees are discovered by the solvers from the function input's pairs.
+  Call,
+  /// Function entry: no inputs; outputs [formal..., store].
+  Entry,
+  /// Function return: inputs [value?, store]; no outputs.
+  Return,
+  /// The program's initial (empty) store: no inputs, outputs [store].
+  InitStore,
+};
+
+/// Classification of an output's values; drives the Figure 2/3 statistics.
+enum class ValueKind : uint8_t { Scalar, Pointer, Function, Aggregate, Store };
+
+const char *nodeKindName(NodeKind K);
+const char *valueKindName(ValueKind K);
+
+/// Returns the ValueKind corresponding to a MiniC type used as a value.
+ValueKind valueKindFor(const Type *Ty);
+
+/// Program-wide dense ids.
+using NodeId = uint32_t;
+using OutputId = uint32_t;
+using InputId = uint32_t;
+inline constexpr uint32_t InvalidId = UINT32_MAX;
+
+/// One VDG node.
+struct Node {
+  NodeKind Kind = NodeKind::ConstScalar;
+  /// Enclosing function; null only for the bootstrap region that runs
+  /// global initializers and calls main.
+  const FuncDecl *Owner = nullptr;
+  SourceLoc Loc;
+
+  std::vector<InputId> Inputs;
+  std::vector<OutputId> Outputs;
+
+  // Kind-specific payload.
+  PathId Path = PathId::EmptyOffset; ///< ConstPath: the seeded location.
+  AccessOpId Op{0};                  ///< Offset: operator to append.
+  bool OpIsNoop = false;             ///< Offset: union-member identity.
+  bool HasResult = false;            ///< Call: has a non-void result.
+  bool HasValue = false;             ///< Return: returns a value.
+
+  /// Lookup/Update only: true when the location input is computed from a
+  /// pointer value rather than rooted at a constant path. Figure 4 counts
+  /// exactly these "indirect memory operations".
+  bool IndirectAccess = false;
+  /// Lookup/Update only: the source expression this access implements.
+  /// Links analysis sites to the concrete interpreter's trace (soundness
+  /// oracle) and to diagnostics.
+  const Expr *Origin = nullptr;
+};
+
+/// Where an output lives and who consumes it.
+struct OutputInfo {
+  NodeId Node = InvalidId;
+  uint16_t Index = 0;
+  ValueKind Kind = ValueKind::Scalar;
+  std::vector<InputId> Consumers;
+};
+
+/// Where an input lives and which output feeds it.
+struct InputInfo {
+  NodeId Node = InvalidId;
+  uint16_t Index = 0;
+  OutputId Producer = InvalidId;
+};
+
+/// Per-function interface registration.
+struct FunctionInfo {
+  const FuncDecl *Fn = nullptr;
+  NodeId EntryNode = InvalidId;
+  NodeId ReturnNode = InvalidId;
+  /// Formal value outputs (excluding the store formal).
+  unsigned NumParams = 0;
+};
+
+/// The whole-program graph.
+class Graph {
+public:
+  Graph() = default;
+  Graph(const Graph &) = delete;
+  Graph &operator=(const Graph &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Construction
+  //===--------------------------------------------------------------------===
+
+  /// Creates a node with \p OutputKinds outputs and no inputs yet.
+  NodeId addNode(NodeKind Kind, const FuncDecl *Owner, SourceLoc Loc,
+                 std::vector<ValueKind> OutputKinds);
+
+  /// Appends an input to \p N fed by \p Producer (which may be InvalidId
+  /// for late wiring). Returns the new input's id.
+  InputId addInput(NodeId N, OutputId Producer);
+
+  /// Wires a previously unwired input (loop back edges).
+  void wireInput(InputId In, OutputId Producer);
+
+  void registerFunction(FunctionInfo Info);
+
+  //===--------------------------------------------------------------------===
+  // Access
+  //===--------------------------------------------------------------------===
+
+  Node &node(NodeId N) { return Nodes[N]; }
+  const Node &node(NodeId N) const { return Nodes[N]; }
+  size_t numNodes() const { return Nodes.size(); }
+
+  const OutputInfo &output(OutputId O) const { return Outputs[O]; }
+  size_t numOutputs() const { return Outputs.size(); }
+
+  const InputInfo &input(InputId I) const { return Inputs[I]; }
+  size_t numInputs() const { return Inputs.size(); }
+
+  /// Output \p Index of node \p N.
+  OutputId outputOf(NodeId N, unsigned Index = 0) const {
+    return Nodes[N].Outputs[Index];
+  }
+  /// Input \p Index of node \p N.
+  InputId inputOf(NodeId N, unsigned Index) const {
+    return Nodes[N].Inputs[Index];
+  }
+  /// The output feeding input \p Index of node \p N.
+  OutputId producerOf(NodeId N, unsigned Index) const {
+    return Inputs[Nodes[N].Inputs[Index]].Producer;
+  }
+
+  const FunctionInfo *functionInfo(const FuncDecl *Fn) const;
+  const std::vector<FunctionInfo> &functions() const { return Functions; }
+
+  /// Number of outputs whose kind is pointer, function, aggregate or store
+  /// — the paper's "alias-related outputs" (Figure 2).
+  unsigned countAliasRelatedOutputs() const;
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<OutputInfo> Outputs;
+  std::vector<InputInfo> Inputs;
+  std::vector<FunctionInfo> Functions;
+  std::map<const FuncDecl *, size_t> FunctionIndex;
+};
+
+} // namespace vdga
+
+#endif // VDGA_VDG_GRAPH_H

@@ -1,0 +1,100 @@
+//===- vdg/Printer.cpp ----------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vdg/Printer.h"
+
+#include <sstream>
+
+using namespace vdga;
+
+static std::string nodeLabel(const Graph &G, NodeId N, const Program &P,
+                             const PathTable &Paths) {
+  const Node &Node = G.node(N);
+  std::ostringstream OS;
+  OS << nodeKindName(Node.Kind);
+  if (Node.Kind == NodeKind::ConstPath)
+    OS << ' ' << Paths.str(Node.Path, P.Names);
+  if (Node.Kind == NodeKind::Offset) {
+    if (Node.OpIsNoop) {
+      OS << " (union)";
+    } else {
+      const AccessOp &Op = Paths.op(Node.Op);
+      if (Op.K == AccessOp::Kind::ArrayElem)
+        OS << " [*]";
+      else
+        OS << " ." << P.Names.text(Op.Record->fields()[Op.FieldIndex].Name);
+    }
+  }
+  if ((Node.Kind == NodeKind::Lookup || Node.Kind == NodeKind::Update) &&
+      Node.IndirectAccess)
+    OS << " (indirect)";
+  return OS.str();
+}
+
+std::string vdga::printGraph(const Graph &G, const Program &P,
+                             const PathTable &Paths) {
+  std::ostringstream OS;
+  const FuncDecl *LastOwner = reinterpret_cast<const FuncDecl *>(-1);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Owner != LastOwner) {
+      LastOwner = Node.Owner;
+      OS << "; "
+         << (Node.Owner ? P.Names.text(Node.Owner->name()) : "<bootstrap>")
+         << "\n";
+    }
+    OS << "  n" << N << " = " << nodeLabel(G, N, P, Paths) << '(';
+    for (size_t I = 0; I < Node.Inputs.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OutputId Producer = G.input(Node.Inputs[I]).Producer;
+      if (Producer == InvalidId)
+        OS << "<unwired>";
+      else
+        OS << 'o' << Producer;
+    }
+    OS << ')';
+    if (!Node.Outputs.empty()) {
+      OS << " ->";
+      for (OutputId O : Node.Outputs)
+        OS << " o" << O << ':' << valueKindName(G.output(O).Kind);
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::string vdga::printGraphDot(const Graph &G, const Program &P,
+                                const PathTable &Paths) {
+  std::ostringstream OS;
+  OS << "digraph vdg {\n  node [shape=box, fontsize=9];\n";
+  // Cluster nodes by owner.
+  std::map<const FuncDecl *, std::vector<NodeId>> ByOwner;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    ByOwner[G.node(N).Owner].push_back(N);
+  unsigned Cluster = 0;
+  for (const auto &[Owner, Nodes] : ByOwner) {
+    OS << "  subgraph cluster_" << Cluster++ << " {\n    label=\""
+       << (Owner ? P.Names.text(Owner->name()) : "<bootstrap>") << "\";\n";
+    for (NodeId N : Nodes)
+      OS << "    n" << N << " [label=\"n" << N << " "
+         << nodeLabel(G, N, P, Paths) << "\"];\n";
+    OS << "  }\n";
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    for (InputId In : G.node(N).Inputs) {
+      OutputId Producer = G.input(In).Producer;
+      if (Producer == InvalidId)
+        continue;
+      OS << "  n" << G.output(Producer).Node << " -> n" << N;
+      if (G.output(Producer).Kind == ValueKind::Store)
+        OS << " [style=dashed]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,32 @@
+//===- vdg/Printer.h - VDG text and dot dumps ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug renderings of the VDG: a line-per-node text dump and a Graphviz
+/// dot export (used by the vdg_dump example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_VDG_PRINTER_H
+#define VDGA_VDG_PRINTER_H
+
+#include "vdg/Graph.h"
+
+#include <string>
+
+namespace vdga {
+
+/// Renders every node as "n12 = lookup(o3, o7) -> o15:pointer [f]".
+std::string printGraph(const Graph &G, const Program &P,
+                       const PathTable &Paths);
+
+/// Renders the graph in Graphviz dot syntax, clustered by function.
+std::string printGraphDot(const Graph &G, const Program &P,
+                          const PathTable &Paths);
+
+} // namespace vdga
+
+#endif // VDGA_VDG_PRINTER_H

@@ -1,0 +1,166 @@
+//===- vdg/Verifier.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vdg/Verifier.h"
+
+#include <sstream>
+
+using namespace vdga;
+
+namespace {
+class Verifier {
+public:
+  Verifier(const Graph &G, const Program &P, DiagnosticEngine &Diags)
+      : G(G), P(P), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void check(bool Cond, NodeId N, const char *Message) {
+    if (Cond)
+      return;
+    std::ostringstream OS;
+    OS << "vdg verifier: node " << N << " (" << nodeKindName(G.node(N).Kind)
+       << "): " << Message;
+    Diags.error(G.node(N).Loc, OS.str());
+  }
+
+  /// Kind of the producer feeding input \p Index; Scalar when the input
+  /// is unwired (that is reported separately).
+  ValueKind inputKind(NodeId N, unsigned Index) const {
+    OutputId Producer = G.producerOf(N, Index);
+    if (Producer == InvalidId)
+      return ValueKind::Scalar;
+    return G.output(Producer).Kind;
+  }
+
+  const Graph &G;
+  const Program &P;
+  DiagnosticEngine &Diags;
+};
+} // namespace
+
+bool Verifier::run() {
+  unsigned Before = Diags.errorCount();
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+
+    // All inputs wired and within bounds.
+    for (InputId In : Node.Inputs) {
+      const InputInfo &Info = G.input(In);
+      check(Info.Node == N, N, "input back-reference mismatch");
+      check(Info.Producer != InvalidId, N, "unwired input");
+    }
+
+    switch (Node.Kind) {
+    case NodeKind::ConstScalar:
+    case NodeKind::ConstPath:
+      check(Node.Inputs.empty(), N, "constants take no inputs");
+      check(Node.Outputs.size() == 1, N, "constants produce one output");
+      break;
+    case NodeKind::Lookup:
+      check(Node.Inputs.size() == 2, N, "lookup takes [loc, store]");
+      if (Node.Inputs.size() == 2)
+        check(inputKind(N, 1) == ValueKind::Store, N,
+              "lookup input 1 must be a store");
+      check(Node.Outputs.size() == 1, N, "lookup produces one value");
+      break;
+    case NodeKind::Update:
+      check(Node.Inputs.size() == 3, N, "update takes [loc, store, value]");
+      if (Node.Inputs.size() == 3)
+        check(inputKind(N, 1) == ValueKind::Store, N,
+              "update input 1 must be a store");
+      check(Node.Outputs.size() == 1 &&
+                G.output(Node.Outputs[0]).Kind == ValueKind::Store,
+            N, "update produces one store");
+      break;
+    case NodeKind::Offset:
+      check(Node.Inputs.size() == 1, N, "offset takes one value");
+      check(Node.Outputs.size() == 1, N, "offset produces one value");
+      break;
+    case NodeKind::Merge: {
+      check(Node.Outputs.size() == 1, N, "merge produces one output");
+      ValueKind K = G.output(Node.Outputs[0]).Kind;
+      for (size_t I = 0; I < Node.Inputs.size(); ++I) {
+        ValueKind InK = inputKind(N, static_cast<unsigned>(I));
+        // Scalar/pointer mixing is tolerated (null constants, undef), but
+        // stores never mix with non-stores.
+        check((InK == ValueKind::Store) == (K == ValueKind::Store), N,
+              "merge mixes store and non-store inputs");
+      }
+      break;
+    }
+    case NodeKind::PtrArith:
+      check(!Node.Inputs.empty(), N, "ptrarith takes at least one input");
+      check(Node.Outputs.size() == 1, N, "ptrarith produces one value");
+      break;
+    case NodeKind::ScalarOp:
+      check(Node.Outputs.size() == 1, N, "scalarop produces one value");
+      break;
+    case NodeKind::Call: {
+      check(Node.Inputs.size() >= 2, N,
+            "call takes at least [function, store]");
+      if (!Node.Inputs.empty())
+        check(inputKind(N, static_cast<unsigned>(Node.Inputs.size() - 1)) ==
+                  ValueKind::Store,
+              N, "call's last input must be a store");
+      size_t ExpectedOuts = Node.HasResult ? 2 : 1;
+      check(Node.Outputs.size() == ExpectedOuts, N,
+            "call output arity mismatch");
+      check(G.output(Node.Outputs.back()).Kind == ValueKind::Store, N,
+            "call's last output must be a store");
+      break;
+    }
+    case NodeKind::Entry:
+      check(Node.Inputs.empty(), N, "entry takes no inputs");
+      check(!Node.Outputs.empty() &&
+                G.output(Node.Outputs.back()).Kind == ValueKind::Store,
+            N, "entry's last output must be the store formal");
+      break;
+    case NodeKind::Return: {
+      size_t Expected = Node.HasValue ? 2 : 1;
+      check(Node.Inputs.size() == Expected, N, "return arity mismatch");
+      check(Node.Outputs.empty(), N, "return produces no outputs");
+      if (Node.Inputs.size() == Expected)
+        check(inputKind(N, static_cast<unsigned>(Expected - 1)) ==
+                  ValueKind::Store,
+              N, "return's last input must be a store");
+      break;
+    }
+    case NodeKind::InitStore:
+      check(Node.Inputs.empty() && Node.Outputs.size() == 1 &&
+                G.output(Node.Outputs[0]).Kind == ValueKind::Store,
+            N, "initstore produces exactly one store");
+      break;
+    }
+  }
+
+  // Every defined function is registered with valid entry/return nodes.
+  for (const FuncDecl *Fn : P.Functions) {
+    if (!Fn->isDefined())
+      continue;
+    const FunctionInfo *Info = G.functionInfo(Fn);
+    if (!Info) {
+      Diags.error(Fn->loc(), "vdg verifier: defined function '" +
+                                 P.Names.text(Fn->name()) +
+                                 "' has no graph registration");
+      continue;
+    }
+    if (G.node(Info->EntryNode).Kind != NodeKind::Entry ||
+        G.node(Info->ReturnNode).Kind != NodeKind::Return)
+      Diags.error(Fn->loc(), "vdg verifier: function '" +
+                                 P.Names.text(Fn->name()) +
+                                 "' has malformed entry/return nodes");
+  }
+
+  return Diags.errorCount() == Before;
+}
+
+bool vdga::verifyGraph(const Graph &G, const Program &P,
+                       DiagnosticEngine &Diags) {
+  return Verifier(G, P, Diags).run();
+}

@@ -1,0 +1,28 @@
+//===- vdg/Verifier.h - Structural VDG checks ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural invariants of a built VDG: node arities, fully wired inputs,
+/// store-kind agreement on store edges, entry/return registration for every
+/// defined function. Run by tests and by the pipeline in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_VDG_VERIFIER_H
+#define VDGA_VDG_VERIFIER_H
+
+#include "support/Diagnostics.h"
+#include "vdg/Graph.h"
+
+namespace vdga {
+
+/// Checks structural invariants; reports violations to \p Diags. Returns
+/// true when the graph is well-formed.
+bool verifyGraph(const Graph &G, const Program &P, DiagnosticEngine &Diags);
+
+} // namespace vdga
+
+#endif // VDGA_VDG_VERIFIER_H

@@ -1,0 +1,163 @@
+//===- tests/AccessPathTest.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Tests the Section 2 path algebra: interning, append (+), prefix
+// subtraction (-), dom, strong-dom, union collapsing and strong
+// updateability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessPath.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+class AccessPathTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // struct S { int a; struct S *next; };
+    Rec = Types.createRecord(Names.intern("S"), /*Union=*/false);
+    Rec->complete(
+        {{Names.intern("a"), Types.intType(), 0},
+         {Names.intern("next"), Types.pointerTo(Types.intType()), 0}});
+
+    Uni = Types.createRecord(Names.intern("U"), /*Union=*/true);
+    Uni->complete(
+        {{Names.intern("i"), Types.intType(), 0},
+         {Names.intern("p"), Types.pointerTo(Types.intType()), 0}});
+
+    BaseLocation GlobalB;
+    GlobalB.Kind = BaseLocKind::Global;
+    GlobalB.Name = "g";
+    GlobalB.SingleInstance = true;
+    GlobalId = Paths.addBaseLocation(GlobalB);
+
+    BaseLocation HeapB;
+    HeapB.Kind = BaseLocKind::Heap;
+    HeapB.Name = "heap@0";
+    HeapB.SingleInstance = false;
+    HeapId = Paths.addBaseLocation(HeapB);
+  }
+
+  StringInterner Names;
+  TypeContext Types;
+  PathTable Paths;
+  RecordType *Rec = nullptr;
+  RecordType *Uni = nullptr;
+  BaseLocId GlobalId{};
+  BaseLocId HeapId{};
+};
+
+TEST_F(AccessPathTest, BasePathsAreLocations) {
+  PathId G = Paths.basePath(GlobalId);
+  EXPECT_TRUE(Paths.isLocation(G));
+  EXPECT_EQ(Paths.baseOf(G), GlobalId);
+  EXPECT_EQ(Paths.depth(G), 0u);
+  EXPECT_FALSE(Paths.isLocation(PathTable::emptyPath()));
+}
+
+TEST_F(AccessPathTest, AppendIsInterned) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId A1 = Paths.appendField(G, Rec, 0);
+  PathId A2 = Paths.appendField(G, Rec, 0);
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, Paths.appendField(G, Rec, 1));
+  EXPECT_EQ(Paths.depth(A1), 1u);
+}
+
+TEST_F(AccessPathTest, DomIsPrefix) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId GNext = Paths.appendField(G, Rec, 1);
+  EXPECT_TRUE(Paths.dom(G, G));
+  EXPECT_TRUE(Paths.dom(G, GA));
+  EXPECT_FALSE(Paths.dom(GA, G));
+  EXPECT_FALSE(Paths.dom(GA, GNext));
+  // Different bases never dominate each other.
+  EXPECT_FALSE(Paths.dom(G, Paths.basePath(HeapId)));
+}
+
+TEST_F(AccessPathTest, AppendPathAndSubtractRoundTrip) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId Offset = Paths.subtractPrefix(GA, G);
+  EXPECT_FALSE(Paths.isLocation(Offset));
+  EXPECT_EQ(Paths.appendPath(G, Offset), GA);
+  // The same offset applies to a different base.
+  PathId H = Paths.basePath(HeapId);
+  PathId HA = Paths.appendPath(H, Offset);
+  EXPECT_TRUE(Paths.dom(H, HA));
+  EXPECT_EQ(Paths.subtractPrefix(HA, H), Offset);
+}
+
+TEST_F(AccessPathTest, SubtractSelfIsEmpty) {
+  PathId G = Paths.basePath(GlobalId);
+  EXPECT_EQ(Paths.subtractPrefix(G, G), PathTable::emptyPath());
+  EXPECT_EQ(Paths.appendPath(G, PathTable::emptyPath()), G);
+}
+
+TEST_F(AccessPathTest, StrongUpdateability) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId GArr = Paths.appendArray(G);
+  PathId H = Paths.basePath(HeapId);
+
+  EXPECT_TRUE(Paths.stronglyUpdateable(G));
+  EXPECT_TRUE(Paths.stronglyUpdateable(GA));
+  EXPECT_FALSE(Paths.stronglyUpdateable(GArr));   // array summary
+  EXPECT_FALSE(Paths.stronglyUpdateable(H));      // heap base
+  EXPECT_FALSE(Paths.stronglyUpdateable(Paths.appendField(H, Rec, 0)));
+  // Below an array operator nothing is strongly updateable.
+  EXPECT_FALSE(Paths.stronglyUpdateable(Paths.appendField(GArr, Rec, 0)));
+}
+
+TEST_F(AccessPathTest, StrongDomCombinesPrefixAndStrength) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId H = Paths.basePath(HeapId);
+  PathId HA = Paths.appendField(H, Rec, 0);
+
+  EXPECT_TRUE(Paths.strongDom(G, GA));
+  EXPECT_TRUE(Paths.strongDom(GA, GA));
+  EXPECT_FALSE(Paths.strongDom(H, HA)); // heap: prefix but weak
+  EXPECT_FALSE(Paths.strongDom(G, HA)); // not a prefix
+}
+
+TEST_F(AccessPathTest, UnionMembersCollapse) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId UI = Paths.appendField(G, Uni, 0);
+  PathId UP = Paths.appendField(G, Uni, 1);
+  // Both members share the union's own path, so they must-alias through
+  // the prefix rule — the paper's union modeling.
+  EXPECT_EQ(UI, G);
+  EXPECT_EQ(UP, G);
+  EXPECT_TRUE(Paths.dom(UI, UP));
+}
+
+TEST_F(AccessPathTest, Rendering) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId GArrA = Paths.appendField(Paths.appendArray(G), Rec, 1);
+  EXPECT_EQ(Paths.str(G, Names), "g");
+  EXPECT_EQ(Paths.str(GA, Names), "g.a");
+  EXPECT_EQ(Paths.str(GArrA, Names), "g[*].next");
+  EXPECT_EQ(Paths.str(PathTable::emptyPath(), Names), "<offset>");
+}
+
+TEST_F(AccessPathTest, DeepChainsStayInterned) {
+  // next-field chains on a heap base must re-intern, not grow forever.
+  PathId H = Paths.basePath(HeapId);
+  PathId P1 = Paths.appendField(H, Rec, 1);
+  PathId P2 = Paths.appendField(H, Rec, 1);
+  EXPECT_EQ(P1, P2);
+  size_t Before = Paths.numPaths();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Paths.appendField(H, Rec, 1), P1);
+  EXPECT_EQ(Paths.numPaths(), Before);
+}
+
+} // namespace

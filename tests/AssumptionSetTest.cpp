@@ -1,0 +1,99 @@
+//===- tests/AssumptionSetTest.cpp ----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The assumption-set algebra behind the Figure 5 analysis and its
+// Section 4.2 subsumption rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/AssumptionSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+TEST(AssumptionSet, EmptySetIsIdZero) {
+  AssumptionSetTable T;
+  EXPECT_EQ(T.intern({}), EmptyAssumSet);
+  EXPECT_EQ(T.sizeOf(EmptyAssumSet), 0u);
+}
+
+TEST(AssumptionSet, InterningNormalizesOrderAndDuplicates) {
+  AssumptionSetTable T;
+  AssumSetId A = T.intern({{3, 7}, {1, 2}});
+  AssumSetId B = T.intern({{1, 2}, {3, 7}});
+  AssumSetId C = T.intern({{1, 2}, {3, 7}, {1, 2}});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A, C);
+  EXPECT_EQ(T.sizeOf(A), 2u);
+  EXPECT_EQ(T.elements(A)[0].Formal, 1u);
+  EXPECT_EQ(T.elements(A)[1].Formal, 3u);
+}
+
+TEST(AssumptionSet, Singleton) {
+  AssumptionSetTable T;
+  AssumSetId S = T.singleton(5, 9);
+  EXPECT_EQ(T.sizeOf(S), 1u);
+  EXPECT_EQ(T.elements(S)[0].Formal, 5u);
+  EXPECT_EQ(T.elements(S)[0].Pair, 9u);
+  EXPECT_EQ(T.singleton(5, 9), S);
+}
+
+TEST(AssumptionSet, UnionLaws) {
+  AssumptionSetTable T;
+  AssumSetId A = T.intern({{1, 1}, {2, 2}});
+  AssumSetId B = T.intern({{2, 2}, {3, 3}});
+
+  AssumSetId AB = T.unionSets(A, B);
+  EXPECT_EQ(T.sizeOf(AB), 3u);
+  // Commutativity, idempotence, identity.
+  EXPECT_EQ(T.unionSets(B, A), AB);
+  EXPECT_EQ(T.unionSets(A, A), A);
+  EXPECT_EQ(T.unionSets(A, EmptyAssumSet), A);
+  EXPECT_EQ(T.unionSets(EmptyAssumSet, B), B);
+  // Associativity through a third set.
+  AssumSetId C = T.singleton(4, 4);
+  EXPECT_EQ(T.unionSets(T.unionSets(A, B), C),
+            T.unionSets(A, T.unionSets(B, C)));
+}
+
+TEST(AssumptionSet, SubsetRelation) {
+  AssumptionSetTable T;
+  AssumSetId A = T.intern({{1, 1}});
+  AssumSetId AB = T.intern({{1, 1}, {2, 2}});
+  AssumSetId C = T.intern({{3, 3}});
+
+  EXPECT_TRUE(T.isSubset(EmptyAssumSet, A));
+  EXPECT_TRUE(T.isSubset(A, A));
+  EXPECT_TRUE(T.isSubset(A, AB));
+  EXPECT_FALSE(T.isSubset(AB, A));
+  EXPECT_FALSE(T.isSubset(C, AB));
+  // Union is an upper bound for both operands.
+  EXPECT_TRUE(T.isSubset(A, T.unionSets(A, C)));
+  EXPECT_TRUE(T.isSubset(C, T.unionSets(A, C)));
+}
+
+TEST(AssumptionSet, UnionCacheIsConsistent) {
+  AssumptionSetTable T;
+  AssumSetId A = T.intern({{1, 1}, {5, 5}});
+  AssumSetId B = T.intern({{2, 2}});
+  AssumSetId First = T.unionSets(A, B);
+  // Repeated and swapped queries hit the cache and agree.
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_EQ(T.unionSets(A, B), First);
+    EXPECT_EQ(T.unionSets(B, A), First);
+  }
+}
+
+TEST(AssumptionSet, DistinctPairsOnSameFormalCoexist) {
+  AssumptionSetTable T;
+  AssumSetId S = T.intern({{1, 10}, {1, 11}});
+  EXPECT_EQ(T.sizeOf(S), 2u);
+  EXPECT_FALSE(T.isSubset(S, T.singleton(1, 10)));
+  EXPECT_TRUE(T.isSubset(T.singleton(1, 10), S));
+}
+
+} // namespace

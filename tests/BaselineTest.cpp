@@ -1,0 +1,170 @@
+//===- tests/BaselineTest.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The Weihl-style flow-insensitive and Steensgaard unification baselines:
+// both must be sound (supersets of CI at memory operations) and coarser
+// in the documented ways.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "baseline/SteensgaardAnalysis.h"
+#include "baseline/WeihlAnalysis.h"
+#include "corpus/Corpus.h"
+#include "pointsto/Statistics.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+TEST(Weihl, NoKillMeansOldBindingsSurvive) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int main() {
+  p = &a;
+  p = &b;
+  return *p;   /* line 8 */
+}
+)");
+  ASSERT_TRUE(AP);
+  // CI strong-updates: {b}. Weihl has no kill: {a, b}.
+  PointsToResult CI = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, CI, 8, false),
+            (std::set<std::string>{"b"}));
+
+  WeihlResult W = AP->runWeihl();
+  NodeId N = memoryNodeAtLine(AP->G, 8, false);
+  ASSERT_NE(N, InvalidId);
+  auto Locs = W.pointerReferents(AP->G.producerOf(N, 0), AP->PT);
+  std::set<std::string> Names;
+  for (PathId L : Locs)
+    Names.insert(AP->Paths.str(L, AP->program().Names));
+  EXPECT_EQ(Names, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(Weihl, ProgramWideStoreMergesUnrelatedWrites) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int *q;
+int use_p() { return *p; }    /* line 6 */
+int main() {
+  p = &a;
+  int r = use_p();
+  q = &b;
+  return r;
+}
+)");
+  ASSERT_TRUE(AP);
+  WeihlResult W = AP->runWeihl();
+  // Weihl's single store also contains (q, b); p still resolves to {a}.
+  NodeId N = memoryNodeAtLine(AP->G, 6, false);
+  ASSERT_NE(N, InvalidId);
+  auto Locs = W.pointerReferents(AP->G.producerOf(N, 0), AP->PT);
+  std::set<std::string> Names;
+  for (PathId L : Locs)
+    Names.insert(AP->Paths.str(L, AP->program().Names));
+  EXPECT_EQ(Names, (std::set<std::string>{"a"}));
+  // The global store holds both bindings.
+  std::set<std::string> StorePaths;
+  for (PairId Id : W.globalStore())
+    StorePaths.insert(
+        AP->Paths.str(AP->PT.pair(Id).Path, AP->program().Names));
+  EXPECT_TRUE(StorePaths.count("p"));
+  EXPECT_TRUE(StorePaths.count("q"));
+}
+
+TEST(Weihl, SoundnessSupersetOfCIAtMemoryOps) {
+  for (const CorpusProgram &Prog : corpus()) {
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+    ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+    PointsToResult CI = AP->runContextInsensitive();
+    WeihlResult W = AP->runWeihl();
+    for (NodeId N = 0; N < AP->G.numNodes(); ++N) {
+      const Node &Node = AP->G.node(N);
+      if (Node.Kind != NodeKind::Lookup && Node.Kind != NodeKind::Update)
+        continue;
+      auto CILocs = CI.pointerReferents(AP->G.producerOf(N, 0), AP->PT);
+      auto WLocs = W.pointerReferents(AP->G.producerOf(N, 0), AP->PT);
+      std::set<PathId> WSet(WLocs.begin(), WLocs.end());
+      for (PathId L : CILocs)
+        EXPECT_TRUE(WSet.count(L))
+            << Prog.Name << ": Weihl lost a location at node " << N;
+    }
+  }
+}
+
+TEST(Steensgaard, UnificationMergesAssignedPointers) {
+  // Store-resident pointers (globals) so the assignment flows through
+  // memory; scalarized locals would give even unification analysis
+  // flow-like precision via the value edges.
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int *q;
+int main() {
+  p = &a;
+  q = &b;
+  p = q;       /* unification: pts(p) == pts(q) == {a, b} */
+  return *p;   /* line 10 */
+}
+)");
+  ASSERT_TRUE(AP);
+  SteensgaardResult St = AP->runSteensgaard();
+  NodeId N = memoryNodeAtLine(AP->G, 10, false);
+  ASSERT_NE(N, InvalidId);
+  const auto &Ptees = St.pointees(AP->G.producerOf(N, 0));
+  std::set<std::string> Names;
+  for (BaseLocId B : Ptees)
+    Names.insert(AP->Paths.base(B).Name);
+  EXPECT_TRUE(Names.count("a"));
+  EXPECT_TRUE(Names.count("b"));
+
+  // CI keeps them apart (strong update leaves only b anyway).
+  PointsToResult CI = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, CI, 10, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(Steensgaard, SoundnessCoversCIBaseLocations) {
+  // Field-insensitive soundness: the base location of every CI referent
+  // at an indirect op must appear in the Steensgaard pointee set.
+  for (const CorpusProgram &Prog : corpus()) {
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+    ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+    PointsToResult CI = AP->runContextInsensitive();
+    SteensgaardResult St = AP->runSteensgaard();
+    for (NodeId N = 0; N < AP->G.numNodes(); ++N) {
+      const Node &Node = AP->G.node(N);
+      if (Node.Kind != NodeKind::Lookup && Node.Kind != NodeKind::Update)
+        continue;
+      OutputId Loc = AP->G.producerOf(N, 0);
+      auto CILocs = CI.pointerReferents(Loc, AP->PT);
+      const auto &Ptees = St.pointees(Loc);
+      std::set<BaseLocId> PteeSet(Ptees.begin(), Ptees.end());
+      for (PathId L : CILocs)
+        EXPECT_TRUE(PteeSet.count(AP->Paths.baseOf(L)))
+            << Prog.Name << ": node " << N << " missing base of "
+            << AP->Paths.str(L, AP->program().Names);
+    }
+  }
+}
+
+TEST(Steensgaard, ClassCountIsBounded) {
+  auto AP = analyze("int a;\nint main() { int *p = &a; return *p; }");
+  ASSERT_TRUE(AP);
+  SteensgaardResult St = AP->runSteensgaard();
+  EXPECT_GT(St.NumClasses, 0u);
+  EXPECT_LE(St.NumClasses, AP->G.numOutputs());
+}
+
+} // namespace

@@ -1,0 +1,296 @@
+//===- tests/CISolverTest.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Behavioural tests of the Figure 1 context-insensitive analysis: what do
+// indirect memory operations resolve to on small programs with known
+// answers?
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+TEST(CISolver, SimpleAddressOf) {
+  auto AP = analyze(R"(
+int x;
+int main() {
+  int *p;
+  p = &x;
+  return *p;   /* line 6 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 6, false),
+            (std::set<std::string>{"x"}));
+}
+
+TEST(CISolver, TwoTargetsThroughBranch) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int main() {
+  int *p;
+  if (a)
+    p = &a;
+  else
+    p = &b;
+  return *p;   /* line 10 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 10, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(CISolver, HeapAllocationSitesAreDistinct) {
+  auto AP = analyze(R"(
+int *p;
+int *q;
+int main() {
+  p = (int *) malloc(4);
+  q = (int *) malloc(4);
+  *p = 1;      /* line 7 */
+  *q = 2;      /* line 8 */
+  return 0;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 7, true),
+            (std::set<std::string>{"heap@0"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 8, true),
+            (std::set<std::string>{"heap@1"}));
+}
+
+TEST(CISolver, LinkedListFieldsResolve) {
+  auto AP = analyze(R"(
+struct node { int v; struct node *next; };
+struct node *head;
+int main() {
+  struct node *n;
+  n = (struct node *) malloc(sizeof(struct node));
+  n->next = head;
+  head = n;
+  n = (struct node *) malloc(sizeof(struct node));
+  n->next = head;
+  head = n;
+  while (head != 0) {
+    head->v = 1;           /* line 13 */
+    head = head->next;     /* line 14 */
+  }
+  return 0;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  // Both allocation sites flow into head.
+  EXPECT_EQ(locationsAtLine(*AP, R, 13, true),
+            (std::set<std::string>{"heap@0.v", "heap@1.v"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 14, false),
+            (std::set<std::string>{"heap@0.next", "heap@1.next"}));
+}
+
+TEST(CISolver, FieldsDoNotAlias) {
+  auto AP = analyze(R"(
+struct pair { int *first; int *second; };
+int a;
+int b;
+struct pair g;
+int main() {
+  g.first = &a;
+  g.second = &b;
+  return *g.first    /* line 9 */
+       + *g.second;  /* line 10 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  // The derefs through g.first / g.second reach a and b respectively,
+  // with no cross-contamination between the fields.
+  EXPECT_EQ(locationsAtLine(*AP, R, 9, false),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 10, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(CISolver, ArrayElementsSummarize) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *table[4];
+int main() {
+  table[0] = &a;
+  table[3] = &b;
+  return *table[1];   /* line 8 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  // One summary per array: reading any element sees both pointers.
+  EXPECT_EQ(locationsAtLine(*AP, R, 8, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(CISolver, CallPropagatesActualsAndReturns) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *identity(int *p) {
+  return p;
+}
+int main() {
+  int *x = identity(&a);
+  int *y = identity(&b);
+  return *x     /* line 10 */
+       + *y;    /* line 11 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  // Context-insensitive merging: both callers see both targets. This is
+  // the classic spurious pair the paper studies.
+  EXPECT_EQ(locationsAtLine(*AP, R, 10, false),
+            (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 11, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(CISolver, WritesThroughFormalsReachCallers) {
+  auto AP = analyze(R"(
+int target;
+void set(int **holder) {
+  *holder = &target;   /* line 4 */
+}
+int main() {
+  int *p;
+  p = 0;
+  set(&p);
+  return *p;           /* line 10 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 4, true),
+            (std::set<std::string>{"main.p"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 10, false),
+            (std::set<std::string>{"target"}));
+}
+
+TEST(CISolver, IndirectCallsDiscoverCallees) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *geta() { return &a; }
+int *getb() { return &b; }
+int main() {
+  int *(*f)();
+  int *p;
+  if (a)
+    f = geta;
+  else
+    f = getb;
+  p = f();
+  return *p;   /* line 14 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 14, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(CISolver, GlobalInitializersSeedTheStore) {
+  auto AP = analyze(R"(
+int x;
+int *p = &x;
+int main() {
+  return *p;   /* line 5 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 5, false),
+            (std::set<std::string>{"x"}));
+}
+
+TEST(CISolver, StringLiteralsAreGlobalStorage) {
+  auto AP = analyze(R"(
+char *msg;
+int main() {
+  msg = "hello";
+  return *msg;   /* line 5 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 5, false),
+            (std::set<std::string>{"str#0"}));
+}
+
+TEST(CISolver, PointerArithmeticPreservesTargets) {
+  auto AP = analyze(R"(
+int buf[8];
+int main() {
+  int *p = buf;
+  p = p + 3;
+  p++;
+  return *p;   /* line 7 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 7, false),
+            (std::set<std::string>{"buf[*]"}));
+}
+
+TEST(CISolver, UnionMembersMustAlias) {
+  auto AP = analyze(R"(
+union u { int *p; int *q; };
+int a;
+union u g;
+int main() {
+  g.p = &a;
+  return *g.q;   /* line 7: reading the other member sees the same pair */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 7, false),
+            (std::set<std::string>{"a"}));
+}
+
+TEST(CISolver, CountersAreCounted) {
+  auto AP = analyze("int x;\nint main() { int *p = &x; return *p; }");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_GT(R.Stats.TransferFns, 0u);
+  EXPECT_GT(R.Stats.MeetOps, 0u);
+  EXPECT_GE(R.Stats.MeetOps, R.Stats.PairsInserted);
+}
+
+TEST(CISolver, DeadFunctionGetsNoPairs) {
+  auto AP = analyze(R"(
+int x;
+int *never_called(int *p) { return p; }
+int main() {
+  int *q = &x;
+  return *q;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  const FunctionInfo *Info =
+      AP->G.functionInfo(AP->program().findFunction("never_called"));
+  ASSERT_TRUE(Info);
+  // Its formal never receives anything: no caller exists.
+  EXPECT_TRUE(R.pairs(AP->G.outputOf(Info->EntryNode, 0)).empty());
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- tests/CallGraphTest.cpp --------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+TEST(CallGraph, DirectEdges) {
+  auto AP = analyze(R"(
+int leaf() { return 1; }
+int mid() { return leaf(); }
+int main() { return mid(); }
+)");
+  ASSERT_TRUE(AP);
+  const CallGraphAST &CG = AP->callGraph();
+  const FuncDecl *Main = AP->program().findFunction("main");
+  const FuncDecl *Mid = AP->program().findFunction("mid");
+  const FuncDecl *Leaf = AP->program().findFunction("leaf");
+  EXPECT_TRUE(CG.callees(Main).count(Mid));
+  EXPECT_TRUE(CG.callees(Mid).count(Leaf));
+  EXPECT_FALSE(CG.callees(Main).count(Leaf));
+  EXPECT_FALSE(CG.isRecursive(Main));
+}
+
+TEST(CallGraph, SelfRecursionDetected) {
+  auto AP = analyze(R"(
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main() { return fact(5); }
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_TRUE(AP->callGraph().isRecursive(
+      AP->program().findFunction("fact")));
+  EXPECT_FALSE(AP->callGraph().isRecursive(
+      AP->program().findFunction("main")));
+  EXPECT_TRUE(AP->program().findFunction("fact")->isRecursive());
+}
+
+TEST(CallGraph, MutualRecursionDetected) {
+  auto AP = analyze(R"(
+int isodd(int n);
+int iseven(int n) { return n == 0 ? 1 : isodd(n - 1); }
+int isodd(int n) { return n == 0 ? 0 : iseven(n - 1); }
+int main() { return iseven(10); }
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_TRUE(AP->callGraph().isRecursive(
+      AP->program().findFunction("iseven")));
+  EXPECT_TRUE(AP->callGraph().isRecursive(
+      AP->program().findFunction("isodd")));
+}
+
+TEST(CallGraph, IndirectCallsUseAddressTakenSet) {
+  auto AP = analyze(R"(
+int a() { return 1; }
+int b() { return 2; }
+int unrelated() { return 3; }
+int main() {
+  int (*f)() = a;
+  if (f() == 1)
+    f = b;
+  return f() + unrelated();
+}
+)");
+  ASSERT_TRUE(AP);
+  const CallGraphAST &CG = AP->callGraph();
+  const FuncDecl *Main = AP->program().findFunction("main");
+  // Conservative: every address-taken function may be an indirect callee.
+  EXPECT_TRUE(CG.callees(Main).count(AP->program().findFunction("a")));
+  EXPECT_TRUE(CG.callees(Main).count(AP->program().findFunction("b")));
+  // `unrelated` is called directly; it is a callee but not address-taken.
+  EXPECT_TRUE(
+      CG.callees(Main).count(AP->program().findFunction("unrelated")));
+  EXPECT_FALSE(AP->program().findFunction("unrelated")->isAddressTaken());
+}
+
+TEST(CallGraph, StructureMetrics) {
+  auto AP = analyze(R"(
+int shared() { return 1; }
+int f() { return shared(); }
+int g() { return shared(); }
+int main() { return f() + g(); }
+)");
+  ASSERT_TRUE(AP);
+  // shared has 2 callers; f, g, main have 1/1/0.
+  EXPECT_NEAR(AP->callGraph().averageCallers(), 4.0 / 4.0, 1e-9);
+  EXPECT_NEAR(AP->callGraph().singleCallerFraction(), 2.0 / 4.0, 1e-9);
+}
+
+TEST(CallGraph, RecursionThroughFunctionPointerIsConservative) {
+  auto AP = analyze(R"(
+int apply(int (*f)(int), int x) { return f(x); }
+int twice(int x) { return apply(twice, x - 1) ; }
+int main() { return 0; }
+)");
+  ASSERT_TRUE(AP);
+  // `twice` passes itself through a pointer: the conservative graph must
+  // mark both as (possibly) recursive.
+  EXPECT_TRUE(AP->callGraph().isRecursive(
+      AP->program().findFunction("twice")));
+  EXPECT_TRUE(AP->callGraph().isRecursive(
+      AP->program().findFunction("apply")));
+}
+
+} // namespace

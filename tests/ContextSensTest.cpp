@@ -1,0 +1,281 @@
+//===- tests/ContextSensTest.cpp ------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Behaviour of the Figure 5 context-sensitive analysis: assumption
+// discharge at returns, precision wins over CI on crafted programs, and
+// the Section 4.2 optimizations preserving precision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "contextsens/Spurious.h"
+#include "corpus/Corpus.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+std::set<std::string> csLocationsAtLine(AnalyzedProgram &AP,
+                                        const PointsToResult &Stripped,
+                                        unsigned Line, bool Write) {
+  return locationsAtLine(AP, Stripped, Line, Write);
+}
+
+TEST(ContextSens, IdentityFunctionStaysPolyvariant) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *identity(int *p) { return p; }
+int main() {
+  int *x = identity(&a);
+  int *y = identity(&b);
+  return *x     /* line 8 */
+       + *y;    /* line 9 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+  PointsToResult Stripped = CS.stripAssumptions();
+
+  // CI merges; CS keeps the call sites apart.
+  EXPECT_EQ(locationsAtLine(*AP, CI, 8, false),
+            (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(csLocationsAtLine(*AP, Stripped, 8, false),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(csLocationsAtLine(*AP, Stripped, 9, false),
+            (std::set<std::string>{"b"}));
+  EXPECT_EQ(countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT), 2u);
+}
+
+TEST(ContextSens, StoreEffectsAreDischargedPerCallSite) {
+  auto AP = analyze(R"(
+int a;
+int b;
+void install(int **slot, int *value) { *slot = value; }
+int main() {
+  int *p;
+  int *q;
+  install(&p, &a);
+  install(&q, &b);
+  return *p     /* line 10 */
+       + *q;    /* line 11 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+  PointsToResult Stripped = CS.stripAssumptions();
+
+  EXPECT_EQ(locationsAtLine(*AP, CI, 10, false),
+            (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(csLocationsAtLine(*AP, Stripped, 10, false),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(csLocationsAtLine(*AP, Stripped, 11, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(ContextSens, AlwaysContainedInCI) {
+  auto AP = analyze(R"(
+struct node { int v; struct node *next; };
+struct node *head;
+void push(int v) {
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->v = v;
+  n->next = head;
+  head = n;
+}
+int main() {
+  push(1);
+  push(2);
+  return head->v;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+  PointsToResult Stripped = CS.stripAssumptions();
+  SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
+                                         AP->Paths, AP->locations());
+  EXPECT_EQ(S.ContainmentViolations, 0u);
+}
+
+TEST(ContextSens, SingleCallSiteMatchesCI) {
+  // With one caller per function there is nothing for sensitivity to
+  // separate: the stripped CS solution equals CI exactly.
+  auto AP = analyze(R"(
+int a;
+int *wrap(int *p) { return p; }
+int main() {
+  int *x = wrap(&a);
+  return *x;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+  PointsToResult Stripped = CS.stripAssumptions();
+  for (OutputId O = 0; O < AP->G.numOutputs(); ++O) {
+    for (PairId P : CI.pairs(O))
+      EXPECT_TRUE(Stripped.contains(O, P))
+          << "CS lost a pair at output " << O;
+    for (PairId P : Stripped.pairs(O))
+      EXPECT_TRUE(CI.contains(O, P));
+  }
+}
+
+TEST(ContextSens, OptimizationsPreservePrecision) {
+  // Section 4.2: the CI-based prunings and subsumption must not change
+  // the stripped solution.
+  auto AP = analyze(R"(
+int a;
+int b;
+int *identity(int *p) { return p; }
+void install(int **slot, int *value) { *slot = value; }
+int main() {
+  int *x = identity(&a);
+  int *y = identity(&b);
+  int *p;
+  install(&p, x);
+  install(&p, y);
+  return *p + *x + *y;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+
+  ContextSensOptions Full;
+  ContextSensOptions NoPrune;
+  NoPrune.PruneSingleLocation = false;
+  NoPrune.PruneStrongUpdates = false;
+  ContextSensOptions NoSub;
+  NoSub.UseSubsumption = false;
+
+  PointsToResult A = AP->runContextSensitive(CI, Full).stripAssumptions();
+  PointsToResult B =
+      AP->runContextSensitive(CI, NoPrune).stripAssumptions();
+  PointsToResult C = AP->runContextSensitive(CI, NoSub).stripAssumptions();
+
+  for (OutputId O = 0; O < AP->G.numOutputs(); ++O) {
+    // Subsumption is a pure efficiency technique: identical results.
+    EXPECT_EQ(A.pairs(O).size(), C.pairs(O).size()) << "output " << O;
+    for (PairId P : C.pairs(O))
+      EXPECT_TRUE(A.contains(O, P));
+    // The CI prunings may only *add* facts (footnote 8's imprecision),
+    // never drop any: pruned must contain unpruned.
+    for (PairId P : B.pairs(O))
+      EXPECT_TRUE(A.contains(O, P)) << "pruning dropped a pair: unsound";
+  }
+}
+
+TEST(ContextSens, QualifiedPairsAreInspectable) {
+  // Section 4.1: clients like [PLR92, LRZ93] can consume the qualified
+  // facts directly instead of the stripped solution.
+  auto AP = analyze(R"(
+int a;
+int *identity(int *p) { return p; }
+int main() {
+  int *x = identity(&a);
+  return *x;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+
+  // The identity function's formal carries (<offset> -> a) under the
+  // assumption that the same pair held on entry.
+  const FunctionInfo *Info =
+      AP->G.functionInfo(AP->program().findFunction("identity"));
+  ASSERT_TRUE(Info);
+  OutputId Formal = AP->G.outputOf(Info->EntryNode, 0);
+  const auto &QP = CS.qualified(Formal);
+  ASSERT_EQ(QP.size(), 1u);
+  const auto &[Pair, Sets] = *QP.begin();
+  EXPECT_EQ(AP->Paths.str(AP->PT.pair(Pair).Referent,
+                          AP->program().Names),
+            "a");
+  ASSERT_EQ(Sets.size(), 1u);
+  const auto &Elems = AP->Assums.elements(Sets[0]);
+  ASSERT_EQ(Elems.size(), 1u);
+  EXPECT_EQ(Elems[0].Formal, Formal); // Self-assumption at the formal.
+  EXPECT_EQ(Elems[0].Pair, Pair);
+
+  std::string Rendered = CS.renderQualified(
+      Formal, AP->PT, AP->Paths, AP->program().Names, AP->Assums);
+  EXPECT_NE(Rendered.find("-> a"), std::string::npos);
+  EXPECT_NE(Rendered.find("if {"), std::string::npos);
+}
+
+TEST(ContextSens, WorkCapAborts) {
+  auto AP = analyze(R"(
+int a;
+int *identity(int *p) { return p; }
+int main() { int *x = identity(&a); return *x; }
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensOptions Opts;
+  Opts.MaxTransferFns = 1;
+  ContextSensResult CS = AP->runContextSensitive(CI, Opts);
+  EXPECT_FALSE(CS.Completed);
+}
+
+TEST(ContextSens, RecursionTerminates) {
+  auto AP = analyze(R"(
+struct node { int v; struct node *next; };
+int length(struct node *n) {
+  if (n == 0)
+    return 0;
+  return 1 + length(n->next);
+}
+int main() {
+  struct node *a = (struct node *) malloc(sizeof(struct node));
+  struct node *b = (struct node *) malloc(sizeof(struct node));
+  a->next = b;
+  b->next = 0;
+  return length(a);
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  EXPECT_TRUE(CS.Completed);
+  PointsToResult Stripped = CS.stripAssumptions();
+  EXPECT_LE(Stripped.totalPairInstances(), CI.totalPairInstances());
+}
+
+TEST(ContextSens, MeetCountExceedsCIOnRealPrograms) {
+  // Section 4.3: the CS analysis executes a comparable number of transfer
+  // functions but many more meet operations. Tiny examples can go either
+  // way; the effect shows on real programs, so measure over the corpus.
+  uint64_t CIMeets = 0, CSMeets = 0;
+  uint64_t CIXfer = 0, CSXfer = 0;
+  for (const char *Name : {"part", "bc", "loader"}) {
+    const CorpusProgram *Prog = findCorpusProgram(Name);
+    ASSERT_TRUE(Prog);
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog->Source, &Error);
+    ASSERT_TRUE(AP) << Error;
+    PointsToResult CI = AP->runContextInsensitive();
+    ContextSensResult CS = AP->runContextSensitive(CI);
+    ASSERT_TRUE(CS.Completed) << Name;
+    CIMeets += CI.Stats.MeetOps;
+    CSMeets += CS.Stats.MeetOps;
+    CIXfer += CI.Stats.TransferFns;
+    CSXfer += CS.Stats.TransferFns;
+  }
+  EXPECT_GT(CSMeets, CIMeets);
+  EXPECT_GT(CSXfer, 0u);
+  EXPECT_GT(CIXfer, 0u);
+}
+
+} // namespace

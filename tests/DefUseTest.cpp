@@ -1,0 +1,165 @@
+//===- tests/DefUseTest.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The def/use client (Section 3.2's other application): which memory
+// writes may each memory read observe?
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "driver/DefUse.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+DefUseInfo defUse(AnalyzedProgram &AP, const PointsToResult &R) {
+  return computeDefUse(AP.G, R, AP.PT, AP.Paths);
+}
+
+TEST(DefUse, StraightLineChain) {
+  auto AP = analyze(R"(
+int g;
+int main() {
+  g = 1;       /* line 4: def */
+  return g;    /* line 5: use */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId Def = memoryNodeAtLine(AP->G, 4, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 5, false);
+  ASSERT_NE(Def, InvalidId);
+  ASSERT_NE(Use, InvalidId);
+  EXPECT_EQ(DU.defsFor(Use), std::vector<NodeId>{Def});
+  EXPECT_EQ(DU.usesFor(Def), std::vector<NodeId>{Use});
+}
+
+TEST(DefUse, UnrelatedLocationsDoNotChain) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int main() {
+  a = 1;       /* line 5: writes a */
+  b = 2;       /* line 6: writes b */
+  return a;    /* line 7: reads a only */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId DefA = memoryNodeAtLine(AP->G, 5, true);
+  NodeId DefB = memoryNodeAtLine(AP->G, 6, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 7, false);
+  auto Defs = DU.defsFor(Use);
+  EXPECT_NE(std::find(Defs.begin(), Defs.end(), DefA), Defs.end());
+  EXPECT_EQ(std::find(Defs.begin(), Defs.end(), DefB), Defs.end());
+}
+
+TEST(DefUse, PointerWritesChainToFieldReads) {
+  auto AP = analyze(R"(
+struct s { int x; int y; };
+struct s g;
+void setx(struct s *p) { p->x = 1; }   /* line 4 */
+void sety(struct s *p) { p->y = 2; }   /* line 5 */
+int main() {
+  setx(&g);
+  sety(&g);
+  return g.x;   /* line 9: only the p->x write reaches */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId DefX = memoryNodeAtLine(AP->G, 4, true);
+  NodeId DefY = memoryNodeAtLine(AP->G, 5, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 9, false);
+  auto Defs = DU.defsFor(Use);
+  EXPECT_NE(std::find(Defs.begin(), Defs.end(), DefX), Defs.end());
+  EXPECT_EQ(std::find(Defs.begin(), Defs.end(), DefY), Defs.end());
+}
+
+TEST(DefUse, InterproceduralReachThroughCalls) {
+  auto AP = analyze(R"(
+int g;
+void writer() { g = 7; }   /* line 3 */
+int reader() { return g; } /* line 4 */
+int main() {
+  writer();
+  return reader();
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId Def = memoryNodeAtLine(AP->G, 3, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 4, false);
+  auto Defs = DU.defsFor(Use);
+  EXPECT_NE(std::find(Defs.begin(), Defs.end(), Def), Defs.end());
+}
+
+TEST(DefUse, WholeRecordWriteReachesFieldRead) {
+  auto AP = analyze(R"(
+struct s { int x; };
+struct s g;
+struct s fresh;
+int main() {
+  fresh.x = 3;  /* line 6 */
+  g = fresh;    /* line 7: aggregate write covers g.x */
+  return g.x;   /* line 8 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId AggDef = memoryNodeAtLine(AP->G, 7, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 8, false);
+  auto Defs = DU.defsFor(Use);
+  EXPECT_NE(std::find(Defs.begin(), Defs.end(), AggDef), Defs.end());
+}
+
+TEST(DefUse, LoopCarriedDefsReachUsesBeforeThem) {
+  auto AP = analyze(R"(
+int g;
+int main() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 3; i++) {
+    total = total + g;   /* line 7: reads g */
+    g = i;               /* line 8: def flows around the back edge */
+  }
+  return total;
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  DefUseInfo DU = defUse(*AP, CI);
+  NodeId Def = memoryNodeAtLine(AP->G, 8, true);
+  NodeId Use = memoryNodeAtLine(AP->G, 7, false);
+  auto Defs = DU.defsFor(Use);
+  EXPECT_NE(std::find(Defs.begin(), Defs.end(), Def), Defs.end());
+}
+
+TEST(DefUse, RunsOverTheWholeCorpus) {
+  for (const CorpusProgram &Prog : corpus()) {
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+    ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+    PointsToResult CI = AP->runContextInsensitive();
+    DefUseInfo DU = computeDefUse(AP->G, CI, AP->PT, AP->Paths);
+    EXPECT_GT(DU.totalEdges(), 0u) << Prog.Name;
+    // Symmetry: every def edge has a matching use edge.
+    uint64_t UseEdges = 0;
+    for (NodeId N = 0; N < AP->G.numNodes(); ++N)
+      if (AP->G.node(N).Kind == NodeKind::Update)
+        UseEdges += DU.usesFor(N).size();
+    EXPECT_EQ(UseEdges, DU.totalEdges()) << Prog.Name;
+  }
+}
+
+} // namespace

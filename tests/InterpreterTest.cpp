@@ -1,0 +1,349 @@
+//===- tests/InterpreterTest.cpp ------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+RunResult run(std::string_view Source, std::string Input = "") {
+  auto AP = analyze(Source);
+  EXPECT_TRUE(AP);
+  if (!AP)
+    return RunResult();
+  return AP->interpret(std::move(Input));
+}
+
+TEST(Interpreter, ArithmeticAndControlFlow) {
+  RunResult R = run(R"(
+int main() {
+  int total = 0;
+  int i;
+  for (i = 1; i <= 10; i++)
+    total = total + i;
+  printf("%d\n", total);
+  return total == 55 ? 0 : 1;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "55\n");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Interpreter, PointersAndAddressOf) {
+  RunResult R = run(R"(
+int main() {
+  int x = 3;
+  int *p = &x;
+  *p = *p + 4;
+  printf("%d", x);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "7");
+}
+
+TEST(Interpreter, HeapLinkedList) {
+  RunResult R = run(R"(
+struct node { int v; struct node *next; };
+int main() {
+  struct node *head = 0;
+  int i;
+  int sum = 0;
+  for (i = 1; i <= 5; i++) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  while (head != 0) {
+    sum = sum + head->v;
+    head = head->next;
+  }
+  printf("%d", sum);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "15");
+}
+
+TEST(Interpreter, StringsAndLibrary) {
+  RunResult R = run(R"(
+char buf[32];
+int main() {
+  strcpy(buf, "hello");
+  strcat(buf, ", world");
+  printf("%s|%d|%d", buf, strlen(buf), strcmp(buf, "hello"));
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "hello, world|12|1");
+}
+
+TEST(Interpreter, StructsByValueAndArrays) {
+  RunResult R = run(R"(
+struct pt { int x; int y; };
+struct pt grid[3];
+int manhattan(struct pt p) { return abs(p.x) + abs(p.y); }
+int main() {
+  struct pt a;
+  a.x = -2;
+  a.y = 5;
+  grid[1] = a;
+  printf("%d", manhattan(grid[1]));
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "7");
+}
+
+TEST(Interpreter, FunctionPointers) {
+  RunResult R = run(R"(
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+int main() {
+  int (*f)(int, int) = add;
+  printf("%d %d", apply(f, 2, 3), apply(mul, 2, 3));
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "5 6");
+}
+
+TEST(Interpreter, DoublesAndMath) {
+  RunResult R = run(R"(
+int main() {
+  double x = 2.0;
+  double r = sqrt(x * 8.0);
+  printf("%g %g", r, fabs(-1.5));
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "4 1.5");
+}
+
+TEST(Interpreter, GetcharReadsProvidedInput) {
+  RunResult R = run(R"(
+int main() {
+  int c;
+  int count = 0;
+  while ((c = getchar()) != -1)
+    count = count + 1;
+  printf("%d", count);
+  return 0;
+}
+)",
+                    "abcde");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "5");
+}
+
+TEST(Interpreter, ExitUnwindsCleanly) {
+  RunResult R = run(R"(
+void deep() { exit(42); }
+int main() { deep(); printf("unreachable"); return 0; }
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 42);
+  EXPECT_EQ(R.Output, "");
+}
+
+TEST(Interpreter, NullDereferenceIsAnError) {
+  RunResult R = run("int main() { int *p = 0; return *p; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("null"), std::string::npos);
+}
+
+TEST(Interpreter, UseAfterFreeIsAnError) {
+  RunResult R = run(R"(
+int main() {
+  int *p = (int *) malloc(4);
+  *p = 1;
+  free(p);
+  return *p;
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("freed"), std::string::npos);
+}
+
+TEST(Interpreter, OutOfBoundsIndexIsAnError) {
+  RunResult R = run("int a[4];\nint main() { return a[7]; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("bounds"), std::string::npos);
+}
+
+TEST(Interpreter, BranchOnUndefIsAnError) {
+  RunResult R = run("int main() { int x; if (x) return 1; return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("undefined"), std::string::npos);
+}
+
+TEST(Interpreter, StepLimitStopsRunawayLoops) {
+  auto AP = analyze("int main() { for (;;) { } return 0; }");
+  ASSERT_TRUE(AP);
+  RunResult R = AP->interpret("", /*MaxSteps=*/10000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, GlobalsAreZeroInitialized) {
+  RunResult R = run(R"(
+int g;
+int *gp;
+int main() { return (g == 0 && gp == 0) ? 0 : 1; }
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Interpreter, CallocZeroFills) {
+  RunResult R = run(R"(
+int main() {
+  int *p = (int *) calloc(4, 4);
+  return p[3];
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Interpreter, TraceRecordsAbstractPaths) {
+  auto AP = analyze(R"(
+int x;
+int main() {
+  int *p = &x;
+  *p = 5;      /* write via pointer */
+  return *p;   /* read via pointer */
+}
+)");
+  ASSERT_TRUE(AP);
+  RunResult R = AP->interpret();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Some access in the trace touched the abstract path "x".
+  bool SawWrite = false;
+  for (const auto &[Site, Paths] : R.Trace.Writes)
+    for (PathId P : Paths)
+      if (AP->Paths.str(P, AP->program().Names) == "x")
+        SawWrite = true;
+  EXPECT_TRUE(SawWrite);
+}
+
+TEST(Interpreter, OverlappingAggregateCopy) {
+  // Shifting array elements copies a record onto an overlapping slot of
+  // the same object; a regression here once hung the interpreter.
+  RunResult R = run(R"(
+struct pair { int a; int b; };
+struct pair arr[4];
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) {
+    arr[i].a = i;
+    arr[i].b = i * 10;
+  }
+  for (i = 2; i >= 0; i--)
+    arr[i + 1] = arr[i];  /* shift right, overlapping same object */
+  printf("%d %d %d %d", arr[0].a, arr[1].a, arr[2].b, arr[3].b);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "0 0 10 20");
+}
+
+TEST(Interpreter, LanguageTorture) {
+  // One program exercising most of MiniC end to end: unions, nested
+  // records, 2-D arrays, function pointers in arrays, do-while,
+  // conditional expressions, compound assignment, pre/post inc/dec,
+  // short-circuiting with side effects, casts, pointer arithmetic.
+  RunResult R = run(R"(
+union scalar { int i; double d; };
+struct inner { int tag; union scalar v; };
+struct outer { struct inner cells[2]; struct outer *link; };
+
+int grid[3][4];
+int calls;
+int (*ops[2])(int, int);
+
+int addop(int a, int b) { calls++; return a + b; }
+int mulop(int a, int b) { calls++; return a * b; }
+
+int touch(int v) { calls += 1; return v; }
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 4; j++)
+      grid[i][j] = i * 4 + j;
+
+  ops[0] = addop;
+  ops[1] = mulop;
+
+  struct outer a;
+  struct outer b;
+  a.link = &b;
+  b.link = 0;
+  a.cells[0].tag = 1;
+  a.cells[0].v.i = 10;
+  a.link->cells[1].tag = 2;
+  a.link->cells[1].v.i = 20;
+
+  int total = 0;
+  int k = 0;
+  do {
+    total += grid[k][k];   /* 0, 5, 10 */
+    k++;
+  } while (k < 3);
+
+  int *p = &grid[1][0];
+  p = p + 2;               /* grid[1][2] == 6 */
+  total += *p;
+
+  total += ops[0](2, 3) + ops[1](2, 3);      /* 5 + 6 */
+  total += a.cells[0].v.i + a.link->cells[1].v.i;  /* 10 + 20 */
+  total += (total > 0) ? 1 : -1;
+  total += (0 && touch(100)) + (1 || touch(100));  /* 0 + 1, no calls */
+
+  double d = (double) total / 2.0;
+  int back = (int) (d * 2.0);
+
+  int post = k++;
+  int pre = ++k;
+  printf("%d %d %d %d %d", back, calls, post, pre, k);
+  return 0;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // total: 15 + 6 + 11 + 30 + 1 + 1 = 64; calls: addop+mulop = 2;
+  // post = 3, pre = 5, k = 5.
+  EXPECT_EQ(R.Output, "64 2 3 5 5");
+}
+
+TEST(Interpreter, RandIsDeterministic) {
+  std::string Src = R"(
+int main() {
+  srand(42);
+  printf("%d %d %d", rand() % 100, rand() % 100, rand() % 100);
+  return 0;
+}
+)";
+  RunResult A = run(Src);
+  RunResult B = run(Src);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+//===- tests/LexerTest.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(std::string_view Source) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lex(Source))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("int char double void struct union if else while for do "
+                 "return break continue sizeof");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInt,      TokenKind::KwChar,   TokenKind::KwDouble,
+      TokenKind::KwVoid,     TokenKind::KwStruct, TokenKind::KwUnion,
+      TokenKind::KwIf,       TokenKind::KwElse,   TokenKind::KwWhile,
+      TokenKind::KwFor,      TokenKind::KwDo,     TokenKind::KwReturn,
+      TokenKind::KwBreak,    TokenKind::KwContinue,
+      TokenKind::KwSizeof,   TokenKind::EndOfFile};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  auto Tokens = lex("interior whiled _x x1");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "interior");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto K = kinds("++ -- -> <= >= == != && || << >> += -= *= /= %= ...");
+  std::vector<TokenKind> Expected = {
+      TokenKind::PlusPlus,    TokenKind::MinusMinus,
+      TokenKind::Arrow,       TokenKind::LessEqual,
+      TokenKind::GreaterEqual, TokenKind::EqualEqual,
+      TokenKind::BangEqual,   TokenKind::AmpAmp,
+      TokenKind::PipePipe,    TokenKind::LessLess,
+      TokenKind::GreaterGreater, TokenKind::PlusEqual,
+      TokenKind::MinusEqual,  TokenKind::StarEqual,
+      TokenKind::SlashEqual,  TokenKind::PercentEqual,
+      TokenKind::Ellipsis,    TokenKind::EndOfFile};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto Tokens = lex("42 0 3.5 1e9 2.5e-3 0x1F");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[5].Text, "0x1F");
+}
+
+TEST(Lexer, CharAndStringLiterals) {
+  auto Tokens = lex(R"( 'a' '\n' '\0' "hi\tthere" )");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Lexer::decodeLiteral(Tokens[1].Text), "\n");
+  EXPECT_EQ(Lexer::decodeLiteral(Tokens[3].Text), "hi\tthere");
+}
+
+TEST(Lexer, DecodeEscapes) {
+  EXPECT_EQ(Lexer::decodeLiteral("\"a\\nb\""), "a\nb");
+  EXPECT_EQ(Lexer::decodeLiteral("\"\\\\\""), "\\");
+  EXPECT_EQ(Lexer::decodeLiteral("\"\\\"\""), "\"");
+  std::string Zero = Lexer::decodeLiteral("\"a\\0b\"");
+  ASSERT_EQ(Zero.size(), 3u);
+  EXPECT_EQ(Zero[1], '\0');
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto K = kinds("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::EndOfFile};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto Tokens = lex("a\n  b\nccc d");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[3].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[3].Loc.Column, 5u);
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("\"abc", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterReportsErrorAndContinues) {
+  DiagnosticEngine Diags;
+  Lexer L("a $ b", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // Both identifiers still lexed.
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, CountCodeLines) {
+  EXPECT_EQ(Lexer::countCodeLines(""), 0u);
+  EXPECT_EQ(Lexer::countCodeLines("int x;\n"), 1u);
+  EXPECT_EQ(Lexer::countCodeLines("int x;\n\n\nint y;\n"), 2u);
+  EXPECT_EQ(Lexer::countCodeLines("// only a comment\n"), 0u);
+  EXPECT_EQ(Lexer::countCodeLines("/* multi\n line\n comment */\nint x;"),
+            1u);
+  EXPECT_EQ(Lexer::countCodeLines("int x; // trailing\n"), 1u);
+}
+
+} // namespace

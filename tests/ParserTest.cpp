@@ -1,0 +1,210 @@
+//===- tests/ParserTest.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+/// Parses without running Sema; returns null on parse error.
+std::unique_ptr<Program> parse(std::string_view Source,
+                               std::string *Error = nullptr) {
+  auto P = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser Parse(L.lexAll(), *P, Diags);
+  bool Ok = Parse.parseProgram();
+  if (Error)
+    *Error = Diags.render();
+  if (!Ok || Diags.hasErrors())
+    return nullptr;
+  return P;
+}
+
+TEST(Parser, GlobalVariables) {
+  auto P = parse("int x; int y = 3; char *msg; double d = 1.5;");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Globals.size(), 4u);
+  EXPECT_EQ(P->Names.text(P->Globals[0]->name()), "x");
+  EXPECT_TRUE(P->Globals[1]->init() != nullptr);
+  EXPECT_TRUE(P->Globals[2]->type()->isPointer());
+  EXPECT_TRUE(P->Globals[3]->type()->isDouble());
+}
+
+TEST(Parser, CommaSeparatedDeclarators) {
+  auto P = parse("int a, *b, c[4];");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Globals.size(), 3u);
+  EXPECT_TRUE(P->Globals[0]->type()->isInt());
+  EXPECT_TRUE(P->Globals[1]->type()->isPointer());
+  EXPECT_TRUE(P->Globals[2]->type()->isArray());
+}
+
+TEST(Parser, FunctionDefinitionAndPrototype) {
+  auto P = parse("int add(int a, int b);\n"
+                 "int add(int a, int b) { return a + b; }\n");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Functions.size(), 2u); // Merged later by Sema.
+  EXPECT_FALSE(P->Functions[0]->isDefined());
+  EXPECT_TRUE(P->Functions[1]->isDefined());
+  EXPECT_EQ(P->Functions[1]->params().size(), 2u);
+}
+
+TEST(Parser, StructDefinitionAndUse) {
+  auto P = parse("struct point { int x; int y; };\n"
+                 "struct point origin;\n");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Types.records().size(), 1u);
+  const RecordType *Rec = P->Types.records()[0];
+  EXPECT_TRUE(Rec->isComplete());
+  EXPECT_EQ(Rec->fields().size(), 2u);
+  EXPECT_EQ(P->Globals[0]->type(), Rec);
+}
+
+TEST(Parser, SelfReferentialStruct) {
+  auto P = parse("struct node { int v; struct node *next; };");
+  ASSERT_TRUE(P);
+  const RecordType *Rec = P->Types.records()[0];
+  ASSERT_EQ(Rec->fields().size(), 2u);
+  const auto *Ptr = dyn_cast<PointerType>(Rec->fields()[1].Ty);
+  ASSERT_TRUE(Ptr);
+  EXPECT_EQ(Ptr->pointee(), Rec);
+}
+
+TEST(Parser, UnionDefinition) {
+  auto P = parse("union u { int i; double d; };");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->Types.records()[0]->isUnion());
+  EXPECT_EQ(P->Types.records()[0]->byteSize(), 8u);
+}
+
+TEST(Parser, FunctionPointerDeclarator) {
+  auto P = parse("int (*handler)(int, int);");
+  ASSERT_TRUE(P);
+  const auto *Ptr = dyn_cast<PointerType>(P->Globals[0]->type());
+  ASSERT_TRUE(Ptr);
+  const auto *Fn = dyn_cast<FunctionType>(Ptr->pointee());
+  ASSERT_TRUE(Fn);
+  EXPECT_EQ(Fn->params().size(), 2u);
+}
+
+TEST(Parser, ArrayOfFunctionPointers) {
+  auto P = parse("void (*table[8])(int);");
+  ASSERT_TRUE(P);
+  const auto *Arr = dyn_cast<ArrayType>(P->Globals[0]->type());
+  ASSERT_TRUE(Arr);
+  EXPECT_EQ(Arr->length(), 8u);
+  const auto *Ptr = dyn_cast<PointerType>(Arr->element());
+  ASSERT_TRUE(Ptr);
+  EXPECT_TRUE(Ptr->pointee()->isFunction());
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3); a - b - c as (a - b) - c.
+  auto P = parse("int f() { return 1 + 2 * 3; }\n"
+                 "int g(int a, int b, int c) { return a - b - c; }\n");
+  ASSERT_TRUE(P);
+  auto *F = P->Functions[0];
+  auto *Ret = cast<ReturnStmt>(F->body()->body()[0]);
+  auto *Add = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOp::Mul);
+
+  auto *G = P->Functions[1];
+  auto *Ret2 = cast<ReturnStmt>(G->body()->body()[0]);
+  auto *Outer = cast<BinaryExpr>(Ret2->value());
+  EXPECT_EQ(Outer->op(), BinaryOp::Sub);
+  EXPECT_EQ(cast<BinaryExpr>(Outer->lhs())->op(), BinaryOp::Sub);
+}
+
+TEST(Parser, StatementsRoundTrip) {
+  auto P = parse(R"(
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i % 2 == 0)
+      continue;
+    while (i > 5)
+      break;
+  }
+  do { i = i - 1; } while (i > 0);
+  return i;
+}
+)");
+  ASSERT_TRUE(P);
+  auto *Main = P->Functions[0];
+  ASSERT_TRUE(Main->isDefined());
+  const auto &Body = Main->body()->body();
+  EXPECT_EQ(Body.size(), 4u);
+  EXPECT_TRUE(isa<DeclStmt>(Body[0]));
+  EXPECT_TRUE(isa<ForStmt>(Body[1]));
+  EXPECT_TRUE(isa<DoWhileStmt>(Body[2]));
+  EXPECT_TRUE(isa<ReturnStmt>(Body[3]));
+}
+
+TEST(Parser, CastVsParenExpr) {
+  auto P = parse("int f(int x) { return (int) x + (x) * 2; }");
+  ASSERT_TRUE(P);
+  auto *Ret = cast<ReturnStmt>(P->Functions[0]->body()->body()[0]);
+  auto *Add = cast<BinaryExpr>(Ret->value());
+  EXPECT_TRUE(isa<CastExpr>(Add->lhs()));
+}
+
+TEST(Parser, PointerCastOfMalloc) {
+  auto P = parse("struct s { int x; };\n"
+                 "void f() { struct s *p; "
+                 "p = (struct s *) malloc(sizeof(struct s)); }");
+  ASSERT_TRUE(P);
+}
+
+TEST(Parser, ConditionalExpr) {
+  auto P = parse("int f(int a) { return a ? a : -a; }");
+  ASSERT_TRUE(P);
+  auto *Ret = cast<ReturnStmt>(P->Functions[0]->body()->body()[0]);
+  EXPECT_TRUE(isa<ConditionalExpr>(Ret->value()));
+}
+
+TEST(Parser, MemberChains) {
+  auto P = parse("struct in { int v; };\n"
+                 "struct out { struct in i; struct in *p; };\n"
+                 "int f(struct out *o) { return o->i.v + o->p->v; }");
+  ASSERT_TRUE(P);
+}
+
+TEST(Parser, InitializerList) {
+  auto P = parse("int table[4] = {1, 2, 3, 4};");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Globals[0]->initList().size(), 4u);
+}
+
+TEST(Parser, SwitchIsRejected) {
+  std::string Error;
+  auto P = parse("int f(int x) { switch (x) { } return 0; }", &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("switch"), std::string::npos);
+}
+
+TEST(Parser, ErrorRecoveryProducesMultipleDiagnostics) {
+  std::string Error;
+  auto P = parse("int f() { return $; }\nint g() { return ##; }", &Error);
+  EXPECT_FALSE(P);
+  // Both functions produce at least one diagnostic each.
+  EXPECT_NE(Error.find("1:"), std::string::npos);
+  EXPECT_NE(Error.find("2:"), std::string::npos);
+}
+
+TEST(Parser, MissingSemicolonReported) {
+  std::string Error;
+  auto P = parse("int x\nint y;", &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("';'"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/PathPropertyTest.cpp -----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Parameterized property sweeps over the Section 2 path algebra: the
+// laws the solvers rely on must hold for every generated path shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessPath.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+/// A deterministic path-generation universe: a record with two fields
+/// plus array steps, over one strong and one weak base.
+class PathUniverse {
+public:
+  PathUniverse() {
+    Rec = Types.createRecord(Names.intern("R"), /*Union=*/false);
+    Rec->complete(
+        {{Names.intern("f"), Types.intType(), 0},
+         {Names.intern("g"), Types.pointerTo(Types.intType()), 0}});
+
+    BaseLocation G;
+    G.Kind = BaseLocKind::Global;
+    G.Name = "g";
+    G.SingleInstance = true;
+    Strong = Paths.addBaseLocation(G);
+
+    BaseLocation H;
+    H.Kind = BaseLocKind::Heap;
+    H.Name = "h";
+    H.SingleInstance = false;
+    Weak = Paths.addBaseLocation(H);
+  }
+
+  /// Builds a path from a base and a step string over {'f','g','a'}.
+  PathId make(BaseLocId Base, const std::string &Steps) {
+    PathId P = Paths.basePath(Base);
+    for (char C : Steps) {
+      if (C == 'a')
+        P = Paths.appendArray(P);
+      else
+        P = Paths.appendField(P, Rec, C == 'f' ? 0 : 1);
+    }
+    return P;
+  }
+
+  StringInterner Names;
+  TypeContext Types;
+  PathTable Paths;
+  RecordType *Rec = nullptr;
+  BaseLocId Strong{};
+  BaseLocId Weak{};
+};
+
+/// All step strings up to length 3 over {f, g, a}.
+std::vector<std::string> allSteps() {
+  std::vector<std::string> Out{""};
+  const std::string Alphabet = "fga";
+  size_t Begin = 0;
+  for (int Len = 1; Len <= 3; ++Len) {
+    size_t End = Out.size();
+    for (size_t I = Begin; I < End; ++I)
+      for (char C : Alphabet)
+        Out.push_back(Out[I] + C);
+    Begin = End;
+  }
+  return Out;
+}
+
+class PathLaws : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PathLaws, DomIsReflexiveAndAntisymmetricOnPrefixes) {
+  PathUniverse U;
+  PathId P = U.make(U.Strong, GetParam());
+  EXPECT_TRUE(U.Paths.dom(P, P));
+  // Every proper extension is dominated but does not dominate back.
+  PathId Ext = U.Paths.appendField(P, U.Rec, 0);
+  EXPECT_TRUE(U.Paths.dom(P, Ext));
+  EXPECT_FALSE(U.Paths.dom(Ext, P));
+}
+
+TEST_P(PathLaws, SubtractThenAppendRoundTrips) {
+  PathUniverse U;
+  const std::string &Steps = GetParam();
+  PathId Whole = U.make(U.Strong, Steps);
+  // For every prefix of the step string: whole == prefix + (whole-prefix).
+  for (size_t Cut = 0; Cut <= Steps.size(); ++Cut) {
+    PathId Prefix = U.make(U.Strong, Steps.substr(0, Cut));
+    ASSERT_TRUE(U.Paths.dom(Prefix, Whole));
+    PathId Offset = U.Paths.subtractPrefix(Whole, Prefix);
+    EXPECT_FALSE(U.Paths.isLocation(Offset));
+    EXPECT_EQ(U.Paths.appendPath(Prefix, Offset), Whole);
+    EXPECT_EQ(U.Paths.depth(Offset), Steps.size() - Cut);
+  }
+}
+
+TEST_P(PathLaws, OffsetsTransplantAcrossBases) {
+  PathUniverse U;
+  PathId OnStrong = U.make(U.Strong, GetParam());
+  PathId Offset =
+      U.Paths.subtractPrefix(OnStrong, U.Paths.basePath(U.Strong));
+  PathId OnWeak = U.Paths.appendPath(U.Paths.basePath(U.Weak), Offset);
+  EXPECT_TRUE(U.Paths.dom(U.Paths.basePath(U.Weak), OnWeak));
+  EXPECT_EQ(U.Paths.subtractPrefix(OnWeak, U.Paths.basePath(U.Weak)),
+            Offset);
+  // Cross-base domination never holds.
+  EXPECT_FALSE(U.Paths.dom(OnStrong, OnWeak));
+  EXPECT_FALSE(U.Paths.dom(OnWeak, OnStrong));
+}
+
+TEST_P(PathLaws, StrongUpdateabilityMatchesDefinition) {
+  PathUniverse U;
+  const std::string &Steps = GetParam();
+  bool HasArray = Steps.find('a') != std::string::npos;
+  EXPECT_EQ(U.Paths.stronglyUpdateable(U.make(U.Strong, Steps)),
+            !HasArray);
+  // Nothing on a weak (heap) base is ever strongly updateable.
+  EXPECT_FALSE(U.Paths.stronglyUpdateable(U.make(U.Weak, Steps)));
+}
+
+TEST_P(PathLaws, StrongDomImpliesDom) {
+  PathUniverse U;
+  PathId A = U.make(U.Strong, GetParam());
+  for (const std::string &Other : {std::string("f"), std::string("ag")}) {
+    PathId B = U.make(U.Strong, GetParam() + Other);
+    if (U.Paths.strongDom(A, B)) {
+      EXPECT_TRUE(U.Paths.dom(A, B));
+    }
+  }
+}
+
+TEST_P(PathLaws, InterningIsStable) {
+  PathUniverse U;
+  PathId P1 = U.make(U.Strong, GetParam());
+  size_t Count = U.Paths.numPaths();
+  PathId P2 = U.make(U.Strong, GetParam());
+  EXPECT_EQ(P1, P2);
+  EXPECT_EQ(U.Paths.numPaths(), Count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, PathLaws,
+                         ::testing::ValuesIn(allSteps()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param.empty() ? std::string("root")
+                                                  : I.param;
+                         });
+
+TEST(PathLawsGlobal, DomIsTransitiveAcrossTheUniverse) {
+  PathUniverse U;
+  std::vector<PathId> All;
+  for (const std::string &S : allSteps()) {
+    All.push_back(U.make(U.Strong, S));
+    All.push_back(U.make(U.Weak, S));
+  }
+  for (PathId A : All)
+    for (PathId B : All)
+      for (PathId C : All)
+        if (U.Paths.dom(A, B) && U.Paths.dom(B, C)) {
+          EXPECT_TRUE(U.Paths.dom(A, C));
+        }
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/SemaTest.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+std::unique_ptr<Program> check(std::string_view Source,
+                               std::string *Error = nullptr) {
+  auto P = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser Parse(L.lexAll(), *P, Diags);
+  if (!Parse.parseProgram()) {
+    if (Error)
+      *Error = Diags.render();
+    return nullptr;
+  }
+  Sema S(*P, Diags);
+  bool Ok = S.run();
+  if (Error)
+    *Error = Diags.render();
+  return Ok ? std::move(P) : nullptr;
+}
+
+TEST(Sema, UndeclaredIdentifierRejected) {
+  std::string Error;
+  EXPECT_FALSE(check("int f() { return zz; }", &Error));
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, ScopesNestAndShadow) {
+  EXPECT_TRUE(check("int x;\n"
+                    "int f() { int x; { int y; x = y = 1; } return x; }"));
+  // A block-local variable is invisible outside its block.
+  EXPECT_FALSE(check("int f() { { int y; y = 1; } return y; }"));
+}
+
+TEST(Sema, RedeclarationInSameScopeRejected) {
+  EXPECT_FALSE(check("int f() { int a; int a; return 0; }"));
+}
+
+TEST(Sema, PointerNonPointerCastRejected) {
+  std::string Error;
+  EXPECT_FALSE(check("int f(int *p) { return (int) p; }", &Error));
+  EXPECT_NE(Error.find("cast"), std::string::npos);
+  EXPECT_FALSE(check("int *f(int x) { return (int *) x; }"));
+}
+
+TEST(Sema, PointerToPointerCastAllowed) {
+  EXPECT_TRUE(check("struct s { int v; };\n"
+                    "struct s *f(void *p) { return (struct s *) p; }"));
+}
+
+TEST(Sema, NullPointerConstantAllowed) {
+  EXPECT_TRUE(check("int *f() { return 0; }"));
+  EXPECT_TRUE(check("int g(int *p) { return p == 0; }"));
+}
+
+TEST(Sema, IncompatiblePointerAssignmentRejected) {
+  std::string Error;
+  EXPECT_FALSE(check("struct a { int x; }; struct b { int y; };\n"
+                     "struct a *pa; struct b *pb;\n"
+                     "void f() { pa = pb; }",
+                     &Error));
+  EXPECT_NE(Error.find("incompatible pointer"), std::string::npos);
+}
+
+TEST(Sema, VoidPointerConvertsBothWays) {
+  EXPECT_TRUE(check("struct a { int x; };\n"
+                    "struct a *pa;\n"
+                    "void f(void *vp) { pa = vp; vp = pa; }"));
+}
+
+TEST(Sema, AddressTakenMarksVariable) {
+  auto P = check("int g;\n"
+                 "int f() { int local; int other; int *p; p = &local; "
+                 "other = 1; return *p + other; }");
+  ASSERT_TRUE(P);
+  const FuncDecl *F = P->findFunction("f");
+  ASSERT_TRUE(F);
+  ASSERT_EQ(F->locals().size(), 3u);
+  EXPECT_TRUE(F->locals()[0]->isAddressTaken());  // local
+  EXPECT_FALSE(F->locals()[1]->isAddressTaken()); // other
+  EXPECT_FALSE(F->locals()[2]->isAddressTaken()); // p itself
+}
+
+TEST(Sema, FunctionUsedAsValueIsAddressTaken) {
+  auto P = check("int cb(int x) { return x; }\n"
+                 "int direct(int x) { return x; }\n"
+                 "int (*fp)(int);\n"
+                 "int main() { fp = cb; return direct(fp(1)); }");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->findFunction("cb")->isAddressTaken());
+  EXPECT_FALSE(P->findFunction("direct")->isAddressTaken());
+}
+
+TEST(Sema, BuiltinRecognition) {
+  auto P = check("int main() { int *p; p = (int *) malloc(8); free(p); "
+                 "return 0; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->NumAllocSites, 1u);
+}
+
+TEST(Sema, AllocSitesGetDistinctIds) {
+  auto P = check("int *a; int *b;\n"
+                 "int main() { a = (int *) malloc(4); "
+                 "b = (int *) malloc(4); return 0; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->NumAllocSites, 2u);
+}
+
+TEST(Sema, UserFunctionShadowsBuiltin) {
+  auto P = check("int malloc(int n) { return n; }\n"
+                 "int main() { return malloc(3); }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->NumAllocSites, 0u);
+}
+
+TEST(Sema, ArgumentCountChecked) {
+  EXPECT_FALSE(check("int f(int a, int b) { return a + b; }\n"
+                     "int main() { return f(1); }"));
+}
+
+TEST(Sema, MemberResolution) {
+  auto P = check("struct pt { int x; int y; };\n"
+                 "int f(struct pt *p) { return p->y; }");
+  ASSERT_TRUE(P);
+  EXPECT_FALSE(check("struct pt { int x; };\n"
+                     "int f(struct pt *p) { return p->z; }"));
+  // '.' on a pointer and '->' on a non-pointer are both errors.
+  EXPECT_FALSE(check("struct pt { int x; };\n"
+                     "int f(struct pt *p) { return p.x; }"));
+  EXPECT_FALSE(check("struct pt { int x; };\n"
+                     "int f(struct pt v) { return v->x; }"));
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  EXPECT_FALSE(check("void f() { return 3; }"));
+  EXPECT_FALSE(check("int f() { return; }"));
+  EXPECT_TRUE(check("void f() { return; }"));
+}
+
+TEST(Sema, StringLiteralsCollected) {
+  auto P = check("int main() { printf(\"a\"); printf(\"b\"); return 0; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->StringLiterals.size(), 2u);
+  EXPECT_EQ(P->StringLiterals[0]->literalId(), 0u);
+  EXPECT_EQ(P->StringLiterals[1]->literalId(), 1u);
+}
+
+TEST(Sema, PrototypeMergedWithDefinition) {
+  auto P = check("int f(int);\n"
+                 "int main() { return f(1); }\n"
+                 "int f(int x) { return x + 1; }");
+  ASSERT_TRUE(P);
+  // Exactly one canonical f, and it is defined.
+  unsigned Count = 0;
+  for (const FuncDecl *Fn : P->Functions)
+    if (P->Names.text(Fn->name()) == "f") {
+      ++Count;
+      EXPECT_TRUE(Fn->isDefined());
+    }
+  EXPECT_EQ(Count, 1u);
+}
+
+TEST(Sema, ConflictingPrototypesRejected) {
+  EXPECT_FALSE(check("int f(int);\ndouble f(int x) { return 1.0; }"));
+}
+
+TEST(Sema, AssignToRValueRejected) {
+  EXPECT_FALSE(check("int f(int a) { (a + 1) = 2; return a; }"));
+  EXPECT_FALSE(check("int f() { 3 = 4; return 0; }"));
+}
+
+TEST(Sema, AssignToArrayRejected) {
+  EXPECT_FALSE(check("int a[3]; int b[3];\nvoid f() { a = b; }"));
+}
+
+TEST(Sema, DerefVoidPointerRejected) {
+  EXPECT_FALSE(check("int f(void *p) { return *p; }"));
+}
+
+TEST(Sema, RecordAssignmentAllowed) {
+  EXPECT_TRUE(check("struct s { int a; int b; };\n"
+                    "struct s x; struct s y;\n"
+                    "void f() { x = y; }"));
+}
+
+TEST(Sema, IndirectCallThroughPointer) {
+  EXPECT_TRUE(check("int inc(int x) { return x + 1; }\n"
+                    "int main() { int (*f)(int); f = inc; "
+                    "return f(1) + (*f)(2); }"));
+}
+
+} // namespace

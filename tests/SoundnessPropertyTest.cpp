@@ -1,0 +1,170 @@
+//===- tests/SoundnessPropertyTest.cpp ------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Property tests against the concrete interpreter oracle: every abstract
+// location the interpreter actually touches at a memory-access expression
+// must be predicted by the analysis at the corresponding VDG node, for
+// both the CI and the stripped CS solutions, on every corpus program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+
+#include <map>
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+/// Collects, per origin expression, the union of referent paths the
+/// analysis predicts at its lookup (read) or update (write) nodes.
+std::map<const Expr *, std::set<PathId>>
+predictedPaths(AnalyzedProgram &AP, const PointsToResult &R, bool Writes) {
+  std::map<const Expr *, std::set<PathId>> Out;
+  NodeKind Wanted = Writes ? NodeKind::Update : NodeKind::Lookup;
+  for (NodeId N = 0; N < AP.G.numNodes(); ++N) {
+    const Node &Node = AP.G.node(N);
+    if (Node.Kind != Wanted || !Node.Origin)
+      continue;
+    auto Locs = R.pointerReferents(AP.G.producerOf(N, 0), AP.PT);
+    Out[Node.Origin].insert(Locs.begin(), Locs.end());
+  }
+  return Out;
+}
+
+void checkSoundness(const CorpusProgram &Prog, bool UseCS) {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+  ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+
+  PointsToResult CI = AP->runContextInsensitive();
+  PointsToResult Solution = UseCS
+                                ? [&] {
+                                    ContextSensResult CS =
+                                        AP->runContextSensitive(CI);
+                                    EXPECT_TRUE(CS.Completed) << Prog.Name;
+                                    return CS.stripAssumptions();
+                                  }()
+                                : std::move(CI);
+
+  RunResult R = AP->interpret();
+  ASSERT_TRUE(R.Ok) << Prog.Name << ": " << R.Error;
+
+  for (bool Writes : {false, true}) {
+    auto Predicted = predictedPaths(*AP, Solution, Writes);
+    const auto &Observed = Writes ? R.Trace.Writes : R.Trace.Reads;
+    for (const auto &[Site, DynamicPaths] : Observed) {
+      auto It = Predicted.find(Site);
+      if (It == Predicted.end())
+        continue; // Site compiled to a scalarized access; nothing to check.
+      for (PathId Dyn : DynamicPaths) {
+        EXPECT_TRUE(It->second.count(Dyn))
+            << Prog.Name << (UseCS ? " (CS)" : " (CI)") << ": "
+            << (Writes ? "write" : "read") << " at line "
+            << Site->loc().Line << " touched "
+            << AP->Paths.str(Dyn, AP->program().Names)
+            << " which the analysis did not predict";
+      }
+    }
+  }
+}
+
+class SoundnessTest : public ::testing::TestWithParam<const CorpusProgram *> {
+};
+
+TEST_P(SoundnessTest, CIOverapproximatesExecution) {
+  checkSoundness(*GetParam(), /*UseCS=*/false);
+}
+
+TEST_P(SoundnessTest, CSOverapproximatesExecution) {
+  checkSoundness(*GetParam(), /*UseCS=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, SoundnessTest,
+    ::testing::ValuesIn([] {
+      std::vector<const CorpusProgram *> Ptrs;
+      for (const CorpusProgram &P : corpus())
+        Ptrs.push_back(&P);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const CorpusProgram *> &Info) {
+      return std::string(Info.param->Name);
+    });
+
+TEST(Soundness, HandwrittenAdversarialCases) {
+  // Conditional aliasing, loops that rotate pointers, heap cycles.
+  const char *Cases[] = {
+      R"(
+int a; int b; int c;
+int main() {
+  int *ring[3];
+  int i; int total = 0;
+  ring[0] = &a; ring[1] = &b; ring[2] = &c;
+  for (i = 0; i < 9; i++) {
+    *ring[i % 3] = i;
+    total = total + *ring[(i + 1) % 3];
+  }
+  printf("%d", total);
+  return 0;
+}
+)",
+      R"(
+struct n { struct n *next; int v; };
+int main() {
+  struct n *a = (struct n *) malloc(sizeof(struct n));
+  struct n *b = (struct n *) malloc(sizeof(struct n));
+  a->next = b; b->next = a;      /* heap cycle */
+  a->v = 1; b->v = 2;
+  struct n *cur = a;
+  int total = 0;
+  int i;
+  for (i = 0; i < 6; i++) { total = total + cur->v; cur = cur->next; }
+  printf("%d", total);
+  return 0;
+}
+)",
+      R"(
+int x; int y;
+void swap_targets(int **p, int **q) {
+  int *t = *p;
+  *p = *q;
+  *q = t;
+}
+int main() {
+  int *px = &x; int *py = &y;
+  swap_targets(&px, &py);
+  *px = 10; *py = 20;
+  printf("%d %d", x, y);
+  return 0;
+}
+)",
+  };
+  for (const char *Src : Cases) {
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Src, &Error);
+    ASSERT_TRUE(AP) << Error;
+    PointsToResult CI = AP->runContextInsensitive();
+    RunResult R = AP->interpret();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    for (bool Writes : {false, true}) {
+      auto Predicted = predictedPaths(*AP, CI, Writes);
+      const auto &Observed = Writes ? R.Trace.Writes : R.Trace.Reads;
+      for (const auto &[Site, DynamicPaths] : Observed) {
+        auto It = Predicted.find(Site);
+        if (It == Predicted.end())
+          continue;
+        for (PathId Dyn : DynamicPaths)
+          EXPECT_TRUE(It->second.count(Dyn))
+              << "line " << Site->loc().Line << " touched "
+              << AP->Paths.str(Dyn, AP->program().Names);
+      }
+    }
+  }
+}
+
+} // namespace

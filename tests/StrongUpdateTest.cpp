@@ -1,0 +1,233 @@
+//===- tests/StrongUpdateTest.cpp -----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Strong updates (Section 2 / CWZ90): a write through a singleton,
+// strongly-updateable location kills the old binding; writes through
+// summaries (heap, arrays, recursive locals) do not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+TEST(StrongUpdate, GlobalPointerIsKilled) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int main() {
+  p = &a;
+  p = &b;      /* strong update: kills (p, a) */
+  return *p;   /* line 8 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 8, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(StrongUpdate, AddressTakenLocalIsKilled) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int main() {
+  int *p;
+  int **pp = &p;
+  *pp = &a;
+  *pp = &b;    /* strong update through a singleton location */
+  return *p;   /* line 9 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 9, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(StrongUpdate, HeapWritesAreWeak) {
+  auto AP = analyze(R"(
+struct cell { int *ptr; };
+int a;
+int b;
+int main() {
+  struct cell *c = (struct cell *) malloc(sizeof(struct cell));
+  c->ptr = &a;
+  c->ptr = &b;   /* heap summary: weak update keeps both */
+  return *c->ptr; /* line 9 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 9, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(StrongUpdate, ArrayWritesAreWeak) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *arr[4];
+int main() {
+  arr[0] = &a;
+  arr[0] = &b;   /* same element, but the summary keeps both */
+  return *arr[0]; /* line 8 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 8, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(StrongUpdate, MultiTargetWriteIsWeak) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int *q;
+int main() {
+  int **h;
+  p = &a;
+  q = &a;
+  if (a)
+    h = &p;
+  else
+    h = &q;
+  *h = &b;     /* may write p or q: neither binding is killed */
+  return *p    /* line 15 */
+       + *q;   /* line 16 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 15, false),
+            (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(locationsAtLine(*AP, R, 16, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(StrongUpdate, WholeStructWriteKillsFields) {
+  auto AP = analyze(R"(
+struct s { int *p; };
+int a;
+int b;
+struct s g;
+struct s fresh;
+int main() {
+  g.p = &a;
+  fresh.p = &b;
+  g = fresh;    /* strong update of the whole record kills g.p -> a */
+  return *g.p;  /* line 11 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 11, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(StrongUpdate, FieldWriteDoesNotKillSiblings) {
+  auto AP = analyze(R"(
+struct s { int *p; int *q; };
+int a;
+int b;
+struct s g;
+int main() {
+  g.p = &a;
+  g.q = &b;
+  g.p = &b;     /* kills only g.p's old binding */
+  return *g.q;  /* line 10 */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 10, false),
+            (std::set<std::string>{"b"}));
+  // And g.p itself now only points to b.
+  NodeId N = memoryNodeAtLine(AP->G, 10, false);
+  ASSERT_NE(N, InvalidId);
+  // Scan the final store feeding that lookup for g.p pairs.
+  OutputId Store = AP->G.producerOf(N, 1);
+  std::set<std::string> GPTargets;
+  for (PairId Id : R.pairs(Store)) {
+    const PointsToPair &P = AP->PT.pair(Id);
+    if (AP->Paths.str(P.Path, AP->program().Names) == "g.p")
+      GPTargets.insert(AP->Paths.str(P.Referent, AP->program().Names));
+  }
+  EXPECT_EQ(GPTargets, (std::set<std::string>{"b"}));
+}
+
+TEST(StrongUpdate, RecursiveFunctionLocalsAreWeak) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int depth;
+int recurse(int n) {
+  int *local;
+  int **h = &local;
+  *h = &a;
+  *h = &b;        /* weak: locals of recursive procedures are summaries */
+  if (n > 0)
+    return recurse(n - 1);
+  return *local;  /* line 12 */
+}
+int main() { return recurse(3); }
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  // Footnote 4, scheme 2: both bindings survive.
+  EXPECT_EQ(locationsAtLine(*AP, R, 12, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(StrongUpdate, NonRecursiveLocalsStayStrong) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int helper() {
+  int *local;
+  int **h = &local;
+  *h = &a;
+  *h = &b;
+  return *local;  /* line 9 */
+}
+int main() { return helper() + helper(); }
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 9, false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(StrongUpdate, LoopBackEdgeMergesBindings) {
+  auto AP = analyze(R"(
+int a;
+int b;
+int *p;
+int main() {
+  int i;
+  p = &a;
+  for (i = 0; i < 3; i++) {
+    if (*p)       /* line 9: sees both a (first iteration) and b */
+      i = i;
+    p = &b;
+  }
+  return *p;      /* line 13: only b survives the final assignment? */
+}
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult R = AP->runContextInsensitive();
+  EXPECT_EQ(locationsAtLine(*AP, R, 9, false),
+            (std::set<std::string>{"a", "b"}));
+  // After the loop p may still be &a (zero iterations) or &b.
+  EXPECT_EQ(locationsAtLine(*AP, R, 13, false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+} // namespace

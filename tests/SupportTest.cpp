@@ -1,0 +1,105 @@
+//===- tests/SupportTest.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+TEST(StringInterner, EmptyStringIsSymbolZero) {
+  StringInterner I;
+  EXPECT_TRUE(I.intern("").empty());
+  EXPECT_EQ(I.intern("").id(), 0u);
+  EXPECT_EQ(I.text(Symbol()), "");
+}
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner I;
+  Symbol A = I.intern("alpha");
+  Symbol B = I.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(I.intern("alpha"), A);
+  EXPECT_EQ(I.text(A), "alpha");
+  EXPECT_EQ(I.text(B), "beta");
+}
+
+TEST(StringInterner, IdsAreDenseAndOrdered) {
+  StringInterner I;
+  Symbol A = I.intern("a");
+  Symbol B = I.intern("b");
+  Symbol C = I.intern("c");
+  EXPECT_EQ(A.id() + 1, B.id());
+  EXPECT_EQ(B.id() + 1, C.id());
+  EXPECT_EQ(I.size(), 4u); // Plus the empty symbol.
+}
+
+TEST(StringInterner, SurvivesManyInsertions) {
+  // The lookup index keys string_views into deque storage; growth must
+  // not invalidate them.
+  StringInterner I;
+  std::vector<Symbol> Symbols;
+  for (int K = 0; K < 2000; ++K)
+    Symbols.push_back(I.intern("sym" + std::to_string(K)));
+  for (int K = 0; K < 2000; ++K) {
+    EXPECT_EQ(I.text(Symbols[K]), "sym" + std::to_string(K));
+    EXPECT_EQ(I.intern("sym" + std::to_string(K)), Symbols[K]);
+  }
+}
+
+TEST(Diagnostics, CountsAndRenders) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "looks odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 4), "is broken");
+  D.note(SourceLoc(), "context without a location");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+
+  std::string Out = D.render();
+  EXPECT_NE(Out.find("1:2: warning: looks odd"), std::string::npos);
+  EXPECT_NE(Out.find("3:4: error: is broken"), std::string::npos);
+  EXPECT_NE(Out.find("note: context"), std::string::npos);
+
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.render().empty());
+}
+
+// A tiny classof hierarchy to exercise the casting templates.
+struct Base {
+  enum Kind { KA, KB } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(KA) {}
+  static bool classof(const Base *B) { return B->K == KA; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(KB) {}
+  static bool classof(const Base *B) { return B->K == KB; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+
+  const Base *CB = &A;
+  EXPECT_TRUE(isa<DerivedA>(CB));
+  EXPECT_EQ(cast<DerivedA>(CB), &A);
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_TESTS_TESTUTIL_H
+#define VDGA_TESTS_TESTUTIL_H
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace vdga::test {
+
+/// Fronts a MiniC program, failing the test on any diagnostic.
+inline std::unique_ptr<AnalyzedProgram> analyze(std::string_view Source) {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  EXPECT_NE(AP, nullptr) << Error;
+  return AP;
+}
+
+/// Renders the referent names of the pointer pairs on \p Out.
+inline std::set<std::string> referentNames(AnalyzedProgram &AP,
+                                           const PointsToResult &R,
+                                           OutputId Out) {
+  std::set<std::string> Names;
+  for (PathId Ref : R.pointerReferents(Out, AP.PT))
+    Names.insert(AP.Paths.str(Ref, AP.program().Names));
+  return Names;
+}
+
+/// Finds the lookup/update at source line \p Line, preferring an indirect
+/// access when the line has several (e.g. `*p` first loads `p` directly);
+/// returns InvalidId when absent.
+inline NodeId memoryNodeAtLine(const Graph &G, unsigned Line, bool Write) {
+  NodeKind Wanted = Write ? NodeKind::Update : NodeKind::Lookup;
+  NodeId Direct = InvalidId;
+  NodeId Indirect = InvalidId;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != Wanted || Node.Loc.Line != Line)
+      continue;
+    if (Node.IndirectAccess)
+      Indirect = N; // Last one: the outermost access of the expression.
+    else if (Direct == InvalidId)
+      Direct = N;
+  }
+  return Indirect != InvalidId ? Indirect : Direct;
+}
+
+/// The referent-name set at the location input of the memory op at \p Line.
+inline std::set<std::string> locationsAtLine(AnalyzedProgram &AP,
+                                             const PointsToResult &R,
+                                             unsigned Line, bool Write) {
+  NodeId N = memoryNodeAtLine(AP.G, Line, Write);
+  EXPECT_NE(N, InvalidId) << "no memory op found at line " << Line;
+  if (N == InvalidId)
+    return {};
+  return referentNames(AP, R, AP.G.producerOf(N, 0));
+}
+
+} // namespace vdga::test
+
+#endif // VDGA_TESTS_TESTUTIL_H

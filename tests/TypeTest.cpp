@@ -1,0 +1,119 @@
+//===- tests/TypeTest.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+TEST(Type, BuiltinsAreSingletons) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.intType(), Ctx.intType());
+  EXPECT_NE(Ctx.intType(), Ctx.charType());
+  EXPECT_TRUE(Ctx.voidType()->isVoid());
+}
+
+TEST(Type, PointersAreUniqued) {
+  TypeContext Ctx;
+  const Type *P1 = Ctx.pointerTo(Ctx.intType());
+  const Type *P2 = Ctx.pointerTo(Ctx.intType());
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, Ctx.pointerTo(Ctx.charType()));
+  EXPECT_EQ(Ctx.pointerTo(P1), Ctx.pointerTo(P2));
+}
+
+TEST(Type, ArraysAreUniquedByElementAndLength) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.arrayOf(Ctx.intType(), 4), Ctx.arrayOf(Ctx.intType(), 4));
+  EXPECT_NE(Ctx.arrayOf(Ctx.intType(), 4), Ctx.arrayOf(Ctx.intType(), 5));
+}
+
+TEST(Type, FunctionTypesAreUniqued) {
+  TypeContext Ctx;
+  const Type *F1 = Ctx.function(Ctx.intType(), {Ctx.intType()}, false);
+  const Type *F2 = Ctx.function(Ctx.intType(), {Ctx.intType()}, false);
+  const Type *F3 = Ctx.function(Ctx.intType(), {Ctx.intType()}, true);
+  EXPECT_EQ(F1, F2);
+  EXPECT_NE(F1, F3);
+}
+
+TEST(Type, Sizes) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.charType()->size(), 1u);
+  EXPECT_EQ(Ctx.intType()->size(), 4u);
+  EXPECT_EQ(Ctx.doubleType()->size(), 8u);
+  EXPECT_EQ(Ctx.pointerTo(Ctx.intType())->size(), 8u);
+  EXPECT_EQ(Ctx.arrayOf(Ctx.intType(), 10)->size(), 40u);
+}
+
+TEST(Type, RecordLayoutStruct) {
+  TypeContext Ctx;
+  StringInterner Names;
+  RecordType *Rec = Ctx.createRecord(Names.intern("s"), /*Union=*/false);
+  Rec->complete({{Names.intern("a"), Ctx.intType(), 0},
+                 {Names.intern("b"), Ctx.doubleType(), 0},
+                 {Names.intern("c"), Ctx.pointerTo(Ctx.intType()), 0}});
+  EXPECT_EQ(Rec->fields()[0].Offset, 0u);
+  EXPECT_EQ(Rec->fields()[1].Offset, 4u);
+  EXPECT_EQ(Rec->fields()[2].Offset, 12u);
+  EXPECT_EQ(Rec->byteSize(), 20u);
+  EXPECT_EQ(Rec->fieldIndex(Names.intern("b")), 1);
+  EXPECT_EQ(Rec->fieldIndex(Names.intern("zz")), -1);
+}
+
+TEST(Type, RecordLayoutUnion) {
+  TypeContext Ctx;
+  StringInterner Names;
+  RecordType *Rec = Ctx.createRecord(Names.intern("u"), /*Union=*/true);
+  Rec->complete({{Names.intern("i"), Ctx.intType(), 0},
+                 {Names.intern("d"), Ctx.doubleType(), 0}});
+  EXPECT_EQ(Rec->fields()[0].Offset, 0u);
+  EXPECT_EQ(Rec->fields()[1].Offset, 0u);
+  EXPECT_EQ(Rec->byteSize(), 8u);
+}
+
+TEST(Type, AliasRelatedPredicate) {
+  TypeContext Ctx;
+  StringInterner Names;
+  EXPECT_FALSE(Ctx.intType()->isAliasRelated());
+  EXPECT_FALSE(Ctx.doubleType()->isAliasRelated());
+  EXPECT_TRUE(Ctx.pointerTo(Ctx.intType())->isAliasRelated());
+  EXPECT_FALSE(Ctx.arrayOf(Ctx.charType(), 8)->isAliasRelated());
+  EXPECT_TRUE(
+      Ctx.arrayOf(Ctx.pointerTo(Ctx.intType()), 8)->isAliasRelated());
+
+  // A record is alias-related iff some field is.
+  RecordType *Plain = Ctx.createRecord(Names.intern("p"), false);
+  Plain->complete({{Names.intern("a"), Ctx.intType(), 0}});
+  EXPECT_FALSE(Plain->isAliasRelated());
+
+  RecordType *WithPtr = Ctx.createRecord(Names.intern("q"), false);
+  WithPtr->complete({{Names.intern("a"), Ctx.intType(), 0},
+                     {Names.intern("p"), Ctx.pointerTo(Ctx.intType()), 0}});
+  EXPECT_TRUE(WithPtr->isAliasRelated());
+
+  // Nesting propagates.
+  RecordType *Nested = Ctx.createRecord(Names.intern("n"), false);
+  Nested->complete({{Names.intern("inner"), WithPtr, 0}});
+  EXPECT_TRUE(Nested->isAliasRelated());
+}
+
+TEST(Type, Spelling) {
+  TypeContext Ctx;
+  StringInterner Names;
+  EXPECT_EQ(Ctx.intType()->str(Names), "int");
+  EXPECT_EQ(Ctx.pointerTo(Ctx.charType())->str(Names), "char *");
+  EXPECT_EQ(Ctx.arrayOf(Ctx.intType(), 3)->str(Names), "int [3]");
+  RecordType *Rec = Ctx.createRecord(Names.intern("node"), false);
+  EXPECT_EQ(Rec->str(Names), "struct node");
+  const Type *Fn = Ctx.function(Ctx.voidType(), {Ctx.intType()}, false);
+  EXPECT_EQ(Fn->str(Names), "void (int)");
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/VerifierTest.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Negative tests: hand-built malformed graphs must be rejected with
+// useful diagnostics, and every builder-produced graph must verify.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "vdg/Verifier.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+TEST(Verifier, AcceptsEveryBuilderGraph) {
+  for (const CorpusProgram &Prog : corpus()) {
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+    ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(verifyGraph(AP->G, AP->program(), Diags))
+        << Prog.Name << ":\n"
+        << Diags.render();
+  }
+}
+
+TEST(Verifier, RejectsUnwiredInput) {
+  Program P;
+  Graph G;
+  NodeId Store = G.addNode(NodeKind::InitStore, nullptr, SourceLoc(),
+                           {ValueKind::Store});
+  NodeId Merge =
+      G.addNode(NodeKind::Merge, nullptr, SourceLoc(), {ValueKind::Store});
+  G.addInput(Merge, G.outputOf(Store));
+  G.addInput(Merge, InvalidId); // Left unwired.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+  EXPECT_NE(Diags.render().find("unwired"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongLookupArity) {
+  Program P;
+  Graph G;
+  NodeId Store = G.addNode(NodeKind::InitStore, nullptr, SourceLoc(),
+                           {ValueKind::Store});
+  NodeId Bad = G.addNode(NodeKind::Lookup, nullptr, SourceLoc(),
+                         {ValueKind::Scalar});
+  G.addInput(Bad, G.outputOf(Store)); // Only one input.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+  EXPECT_NE(Diags.render().find("lookup"), std::string::npos);
+}
+
+TEST(Verifier, RejectsStoreKindMismatch) {
+  Program P;
+  Graph G;
+  NodeId Const = G.addNode(NodeKind::ConstScalar, nullptr, SourceLoc(),
+                           {ValueKind::Scalar});
+  // Lookup whose "store" input is a scalar.
+  NodeId Bad = G.addNode(NodeKind::Lookup, nullptr, SourceLoc(),
+                         {ValueKind::Scalar});
+  G.addInput(Bad, G.outputOf(Const));
+  G.addInput(Bad, G.outputOf(Const));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+  EXPECT_NE(Diags.render().find("store"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMergeMixingStoreAndValue) {
+  Program P;
+  Graph G;
+  NodeId Store = G.addNode(NodeKind::InitStore, nullptr, SourceLoc(),
+                           {ValueKind::Store});
+  NodeId Const = G.addNode(NodeKind::ConstScalar, nullptr, SourceLoc(),
+                           {ValueKind::Scalar});
+  NodeId Merge =
+      G.addNode(NodeKind::Merge, nullptr, SourceLoc(), {ValueKind::Store});
+  G.addInput(Merge, G.outputOf(Store));
+  G.addInput(Merge, G.outputOf(Const));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+  EXPECT_NE(Diags.render().find("merge"), std::string::npos);
+}
+
+TEST(Verifier, RejectsConstWithInputs) {
+  Program P;
+  Graph G;
+  NodeId A = G.addNode(NodeKind::ConstScalar, nullptr, SourceLoc(),
+                       {ValueKind::Scalar});
+  NodeId B = G.addNode(NodeKind::ConstScalar, nullptr, SourceLoc(),
+                       {ValueKind::Scalar});
+  G.addInput(B, G.outputOf(A));
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+}
+
+TEST(Verifier, RejectsCallWithoutTrailingStore) {
+  Program P;
+  Graph G;
+  NodeId FnConst = G.addNode(NodeKind::ConstScalar, nullptr, SourceLoc(),
+                             {ValueKind::Function});
+  NodeId Call = G.addNode(NodeKind::Call, nullptr, SourceLoc(),
+                          {ValueKind::Store});
+  G.addInput(Call, G.outputOf(FnConst));
+  G.addInput(Call, G.outputOf(FnConst)); // Last input is not a store.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyGraph(G, P, Diags));
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+//===- tools/vdga-analyze.cpp - Command-line driver ------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Analyze a MiniC file (or a named corpus benchmark) from the command
+// line:
+//
+//   vdga-analyze prog.c                  # indirect-op location sets (CI)
+//   vdga-analyze --cs prog.c             # same, context-sensitively
+//   vdga-analyze --compare prog.c        # CI vs CS at every indirect op
+//   vdga-analyze --pairs prog.c          # Figure 3-style pair totals
+//   vdga-analyze --modref prog.c         # per-function mod/ref sets
+//   vdga-analyze --defuse prog.c         # def/use chains through memory
+//   vdga-analyze --dump prog.c           # VDG text dump
+//   vdga-analyze --dot prog.c            # VDG Graphviz dump
+//   vdga-analyze --run prog.c            # execute under the interpreter
+//   vdga-analyze --corpus bc --compare   # use an embedded benchmark
+//
+//===----------------------------------------------------------------------===//
+
+#include "contextsens/Spurious.h"
+#include "corpus/Corpus.h"
+#include "driver/DefUse.h"
+#include "driver/ModRef.h"
+#include "driver/Pipeline.h"
+#include "pointsto/Statistics.h"
+#include "vdg/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace vdga;
+
+namespace {
+
+enum class Mode { Locations, CS, Compare, Pairs, ModRef, DefUse, Dump, Dot, Run };
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [mode] (<file.c> | --corpus <name>) [--input <text>]\n"
+      "modes: --ci (default) --cs --compare --pairs --modref --defuse "
+      "--dump --dot --run\n"
+      "corpus names:",
+      Argv0);
+  for (const CorpusProgram &P : corpus())
+    std::fprintf(stderr, " %s", P.Name);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+void printLocations(AnalyzedProgram &AP, const PointsToResult &R,
+                    const char *Label) {
+  std::printf("%s:\n", Label);
+  for (bool Writes : {false, true}) {
+    for (const auto &[Node, Locs] :
+         indirectOpLocations(AP.G, R, AP.PT, Writes)) {
+      const auto &N = AP.G.node(Node);
+      std::printf("  %u:%u %s of {", N.Loc.Line, N.Loc.Column,
+                  Writes ? "indirect write" : "indirect read");
+      bool First = true;
+      for (PathId Loc : Locs) {
+        std::printf("%s%s", First ? "" : ", ",
+                    AP.Paths.str(Loc, AP.program().Names).c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Mode M = Mode::Locations;
+  const char *File = nullptr;
+  const char *CorpusName = nullptr;
+  std::string Input;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--ci") == 0)
+      M = Mode::Locations;
+    else if (std::strcmp(Arg, "--cs") == 0)
+      M = Mode::CS;
+    else if (std::strcmp(Arg, "--compare") == 0)
+      M = Mode::Compare;
+    else if (std::strcmp(Arg, "--pairs") == 0)
+      M = Mode::Pairs;
+    else if (std::strcmp(Arg, "--modref") == 0)
+      M = Mode::ModRef;
+    else if (std::strcmp(Arg, "--defuse") == 0)
+      M = Mode::DefUse;
+    else if (std::strcmp(Arg, "--dump") == 0)
+      M = Mode::Dump;
+    else if (std::strcmp(Arg, "--dot") == 0)
+      M = Mode::Dot;
+    else if (std::strcmp(Arg, "--run") == 0)
+      M = Mode::Run;
+    else if (std::strcmp(Arg, "--corpus") == 0 && I + 1 < argc)
+      CorpusName = argv[++I];
+    else if (std::strcmp(Arg, "--input") == 0 && I + 1 < argc)
+      Input = argv[++I];
+    else if (Arg[0] == '-')
+      return usage(argv[0]);
+    else
+      File = Arg;
+  }
+
+  std::string Source;
+  if (CorpusName) {
+    const CorpusProgram *P = findCorpusProgram(CorpusName);
+    if (!P) {
+      std::fprintf(stderr, "unknown corpus program '%s'\n", CorpusName);
+      return usage(argv[0]);
+    }
+    Source = P->Source;
+  } else if (File) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", File);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  } else {
+    return usage(argv[0]);
+  }
+
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+
+  switch (M) {
+  case Mode::Locations: {
+    PointsToResult CI = AP->runContextInsensitive();
+    printLocations(*AP, CI, "context-insensitive (Figure 1)");
+    return 0;
+  }
+  case Mode::CS: {
+    PointsToResult CI = AP->runContextInsensitive();
+    ContextSensResult CS = AP->runContextSensitive(CI);
+    if (!CS.Completed) {
+      std::fprintf(stderr, "context-sensitive run hit the work cap\n");
+      return 1;
+    }
+    PointsToResult Stripped = CS.stripAssumptions();
+    printLocations(*AP, Stripped, "context-sensitive (Figure 5)");
+    return 0;
+  }
+  case Mode::Compare: {
+    PointsToResult CI = AP->runContextInsensitive();
+    ContextSensResult CS = AP->runContextSensitive(CI);
+    if (!CS.Completed) {
+      std::fprintf(stderr, "context-sensitive run hit the work cap\n");
+      return 1;
+    }
+    PointsToResult Stripped = CS.stripAssumptions();
+    printLocations(*AP, CI, "context-insensitive");
+    printLocations(*AP, Stripped, "context-sensitive");
+    SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
+                                           AP->Paths, AP->locations());
+    std::printf("pairs: CI=%llu CS=%llu spurious=%llu (%.1f%%)\n",
+                static_cast<unsigned long long>(S.CITotals.total()),
+                static_cast<unsigned long long>(S.CSTotals.total()),
+                static_cast<unsigned long long>(S.SpuriousTotal),
+                S.SpuriousPercent);
+    std::printf("indirect ops where CS wins: %u\n",
+                countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT));
+    return 0;
+  }
+  case Mode::Pairs: {
+    PointsToResult CI = AP->runContextInsensitive();
+    PairTotals T = computePairTotals(AP->G, CI);
+    std::printf("pointer=%llu function=%llu aggregate=%llu store=%llu "
+                "total=%llu\n",
+                static_cast<unsigned long long>(T.Pointer),
+                static_cast<unsigned long long>(T.Function),
+                static_cast<unsigned long long>(T.Aggregate),
+                static_cast<unsigned long long>(T.Store),
+                static_cast<unsigned long long>(T.total()));
+    for (bool Writes : {false, true}) {
+      IndirectOpStats S =
+          computeIndirectOpStats(AP->G, CI, AP->PT, Writes);
+      std::printf("%s: total=%u single=%u max=%u avg=%.2f\n",
+                  Writes ? "writes" : "reads", S.Total, S.Count1, S.Max,
+                  S.Avg);
+    }
+    return 0;
+  }
+  case Mode::ModRef: {
+    PointsToResult CI = AP->runContextInsensitive();
+    ModRefInfo MR = computeModRef(AP->G, CI, AP->PT, AP->Paths);
+    for (const FuncDecl *Fn : AP->program().Functions) {
+      if (!Fn->isDefined())
+        continue;
+      std::printf("%s:\n", AP->program().Names.text(Fn->name()).c_str());
+      for (const char *Label : {"mod", "ref"}) {
+        const auto &Sets =
+            std::strcmp(Label, "mod") == 0 ? MR.Mod : MR.Ref;
+        std::printf("  %s = {", Label);
+        bool First = true;
+        auto It = Sets.find(Fn);
+        if (It != Sets.end())
+          for (PathId Loc : It->second) {
+            std::printf("%s%s", First ? "" : ", ",
+                        AP->Paths.str(Loc, AP->program().Names).c_str());
+            First = false;
+          }
+        std::printf("}\n");
+      }
+    }
+    return 0;
+  }
+  case Mode::DefUse: {
+    PointsToResult CI = AP->runContextInsensitive();
+    DefUseInfo DU = computeDefUse(AP->G, CI, AP->PT, AP->Paths);
+    for (NodeId L = 0; L < AP->G.numNodes(); ++L) {
+      if (AP->G.node(L).Kind != NodeKind::Lookup)
+        continue;
+      const auto &Defs = DU.defsFor(L);
+      if (Defs.empty())
+        continue;
+      std::printf("read at %u:%u may observe writes at:", AP->G.node(L).Loc.Line,
+                  AP->G.node(L).Loc.Column);
+      for (NodeId U : Defs)
+        std::printf(" %u:%u", AP->G.node(U).Loc.Line,
+                    AP->G.node(U).Loc.Column);
+      std::printf("\n");
+    }
+    std::printf("total def/use edges: %llu\n",
+                static_cast<unsigned long long>(DU.totalEdges()));
+    return 0;
+  }
+  case Mode::Dump:
+    std::fputs(printGraph(AP->G, AP->program(), AP->Paths).c_str(),
+               stdout);
+    return 0;
+  case Mode::Dot:
+    std::fputs(printGraphDot(AP->G, AP->program(), AP->Paths).c_str(),
+               stdout);
+    return 0;
+  case Mode::Run: {
+    RunResult R = AP->interpret(Input);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    return static_cast<int>(R.ExitCode);
+  }
+  }
+  return 0;
+}
