@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_benchmark_sizes.dir/fig2_benchmark_sizes.cpp.o"
+  "CMakeFiles/fig2_benchmark_sizes.dir/fig2_benchmark_sizes.cpp.o.d"
+  "fig2_benchmark_sizes"
+  "fig2_benchmark_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_benchmark_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

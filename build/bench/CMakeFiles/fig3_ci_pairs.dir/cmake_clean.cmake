@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ci_pairs.dir/fig3_ci_pairs.cpp.o"
+  "CMakeFiles/fig3_ci_pairs.dir/fig3_ci_pairs.cpp.o.d"
+  "fig3_ci_pairs"
+  "fig3_ci_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ci_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

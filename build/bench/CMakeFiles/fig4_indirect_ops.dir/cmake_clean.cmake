@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_indirect_ops.dir/fig4_indirect_ops.cpp.o"
+  "CMakeFiles/fig4_indirect_ops.dir/fig4_indirect_ops.cpp.o.d"
+  "fig4_indirect_ops"
+  "fig4_indirect_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_indirect_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

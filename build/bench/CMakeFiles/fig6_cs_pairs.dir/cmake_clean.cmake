@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cs_pairs.dir/fig6_cs_pairs.cpp.o"
+  "CMakeFiles/fig6_cs_pairs.dir/fig6_cs_pairs.cpp.o.d"
+  "fig6_cs_pairs"
+  "fig6_cs_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cs_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

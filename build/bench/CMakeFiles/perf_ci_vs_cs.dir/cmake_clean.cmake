@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ci_vs_cs.dir/perf_ci_vs_cs.cpp.o"
+  "CMakeFiles/perf_ci_vs_cs.dir/perf_ci_vs_cs.cpp.o.d"
+  "perf_ci_vs_cs"
+  "perf_ci_vs_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ci_vs_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

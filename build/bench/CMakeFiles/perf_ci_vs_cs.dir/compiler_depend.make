@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perf_ci_vs_cs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modref_client.dir/modref_client.cpp.o"
+  "CMakeFiles/modref_client.dir/modref_client.cpp.o.d"
+  "modref_client"
+  "modref_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modref_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/run_corpus.cpp" "examples/CMakeFiles/run_corpus.dir/run_corpus.cpp.o" "gcc" "examples/CMakeFiles/run_corpus.dir/run_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_contextsens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_vdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_corpus.dir/run_corpus.cpp.o"
+  "CMakeFiles/run_corpus.dir/run_corpus.cpp.o.d"
+  "run_corpus"
+  "run_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_dump.dir/vdg_dump.cpp.o"
+  "CMakeFiles/vdg_dump.dir/vdg_dump.cpp.o.d"
+  "vdg_dump"
+  "vdg_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

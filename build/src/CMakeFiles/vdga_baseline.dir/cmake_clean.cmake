@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_baseline.dir/baseline/SteensgaardAnalysis.cpp.o"
+  "CMakeFiles/vdga_baseline.dir/baseline/SteensgaardAnalysis.cpp.o.d"
+  "CMakeFiles/vdga_baseline.dir/baseline/WeihlAnalysis.cpp.o"
+  "CMakeFiles/vdga_baseline.dir/baseline/WeihlAnalysis.cpp.o.d"
+  "libvdga_baseline.a"
+  "libvdga_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_contextsens.dir/contextsens/AssumptionSet.cpp.o"
+  "CMakeFiles/vdga_contextsens.dir/contextsens/AssumptionSet.cpp.o.d"
+  "CMakeFiles/vdga_contextsens.dir/contextsens/Solver.cpp.o"
+  "CMakeFiles/vdga_contextsens.dir/contextsens/Solver.cpp.o.d"
+  "CMakeFiles/vdga_contextsens.dir/contextsens/Spurious.cpp.o"
+  "CMakeFiles/vdga_contextsens.dir/contextsens/Spurious.cpp.o.d"
+  "libvdga_contextsens.a"
+  "libvdga_contextsens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_contextsens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

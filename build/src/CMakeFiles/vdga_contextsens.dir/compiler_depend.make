@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdga_contextsens.
+# This may be replaced when dependencies are built.

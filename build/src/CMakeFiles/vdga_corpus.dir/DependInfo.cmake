@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Allroots.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Allroots.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Allroots.cpp.o.d"
+  "/root/repo/src/corpus/Anagram.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Anagram.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Anagram.cpp.o.d"
+  "/root/repo/src/corpus/Assembler.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Assembler.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Assembler.cpp.o.d"
+  "/root/repo/src/corpus/Backprop.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Backprop.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Backprop.cpp.o.d"
+  "/root/repo/src/corpus/Bc.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Bc.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Bc.cpp.o.d"
+  "/root/repo/src/corpus/Compiler.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Compiler.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Compiler.cpp.o.d"
+  "/root/repo/src/corpus/Compress.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Compress.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Compress.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Corpus.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/Lex315.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Lex315.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Lex315.cpp.o.d"
+  "/root/repo/src/corpus/Loader.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Loader.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Loader.cpp.o.d"
+  "/root/repo/src/corpus/Part.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Part.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Part.cpp.o.d"
+  "/root/repo/src/corpus/Simulator.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Simulator.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Simulator.cpp.o.d"
+  "/root/repo/src/corpus/Span.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Span.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Span.cpp.o.d"
+  "/root/repo/src/corpus/Yacr2.cpp" "src/CMakeFiles/vdga_corpus.dir/corpus/Yacr2.cpp.o" "gcc" "src/CMakeFiles/vdga_corpus.dir/corpus/Yacr2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_corpus.dir/corpus/Allroots.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Allroots.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Anagram.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Anagram.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Assembler.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Assembler.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Backprop.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Backprop.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Bc.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Bc.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Compiler.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Compiler.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Compress.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Compress.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Corpus.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Corpus.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Lex315.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Lex315.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Loader.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Loader.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Part.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Part.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Simulator.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Simulator.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Span.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Span.cpp.o.d"
+  "CMakeFiles/vdga_corpus.dir/corpus/Yacr2.cpp.o"
+  "CMakeFiles/vdga_corpus.dir/corpus/Yacr2.cpp.o.d"
+  "libvdga_corpus.a"
+  "libvdga_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

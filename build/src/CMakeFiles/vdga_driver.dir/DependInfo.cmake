@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/DefUse.cpp" "src/CMakeFiles/vdga_driver.dir/driver/DefUse.cpp.o" "gcc" "src/CMakeFiles/vdga_driver.dir/driver/DefUse.cpp.o.d"
+  "/root/repo/src/driver/ModRef.cpp" "src/CMakeFiles/vdga_driver.dir/driver/ModRef.cpp.o" "gcc" "src/CMakeFiles/vdga_driver.dir/driver/ModRef.cpp.o.d"
+  "/root/repo/src/driver/Pipeline.cpp" "src/CMakeFiles/vdga_driver.dir/driver/Pipeline.cpp.o" "gcc" "src/CMakeFiles/vdga_driver.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/driver/Tables.cpp" "src/CMakeFiles/vdga_driver.dir/driver/Tables.cpp.o" "gcc" "src/CMakeFiles/vdga_driver.dir/driver/Tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_contextsens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_vdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_driver.dir/driver/DefUse.cpp.o"
+  "CMakeFiles/vdga_driver.dir/driver/DefUse.cpp.o.d"
+  "CMakeFiles/vdga_driver.dir/driver/ModRef.cpp.o"
+  "CMakeFiles/vdga_driver.dir/driver/ModRef.cpp.o.d"
+  "CMakeFiles/vdga_driver.dir/driver/Pipeline.cpp.o"
+  "CMakeFiles/vdga_driver.dir/driver/Pipeline.cpp.o.d"
+  "CMakeFiles/vdga_driver.dir/driver/Tables.cpp.o"
+  "CMakeFiles/vdga_driver.dir/driver/Tables.cpp.o.d"
+  "libvdga_driver.a"
+  "libvdga_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

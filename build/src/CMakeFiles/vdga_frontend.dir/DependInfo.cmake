@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/AST.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/AST.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/AST.cpp.o.d"
+  "/root/repo/src/frontend/CallGraphAST.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/CallGraphAST.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/CallGraphAST.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/Sema.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/Sema.cpp.o.d"
+  "/root/repo/src/frontend/Type.cpp" "src/CMakeFiles/vdga_frontend.dir/frontend/Type.cpp.o" "gcc" "src/CMakeFiles/vdga_frontend.dir/frontend/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_frontend.dir/frontend/AST.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/AST.cpp.o.d"
+  "CMakeFiles/vdga_frontend.dir/frontend/CallGraphAST.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/CallGraphAST.cpp.o.d"
+  "CMakeFiles/vdga_frontend.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/vdga_frontend.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/Parser.cpp.o.d"
+  "CMakeFiles/vdga_frontend.dir/frontend/Sema.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/Sema.cpp.o.d"
+  "CMakeFiles/vdga_frontend.dir/frontend/Type.cpp.o"
+  "CMakeFiles/vdga_frontend.dir/frontend/Type.cpp.o.d"
+  "libvdga_frontend.a"
+  "libvdga_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

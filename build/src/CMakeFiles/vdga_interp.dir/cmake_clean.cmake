@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_interp.dir/interp/Interpreter.cpp.o"
+  "CMakeFiles/vdga_interp.dir/interp/Interpreter.cpp.o.d"
+  "CMakeFiles/vdga_interp.dir/interp/Value.cpp.o"
+  "CMakeFiles/vdga_interp.dir/interp/Value.cpp.o.d"
+  "libvdga_interp.a"
+  "libvdga_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

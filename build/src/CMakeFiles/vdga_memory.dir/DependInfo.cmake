@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/AccessPath.cpp" "src/CMakeFiles/vdga_memory.dir/memory/AccessPath.cpp.o" "gcc" "src/CMakeFiles/vdga_memory.dir/memory/AccessPath.cpp.o.d"
+  "/root/repo/src/memory/LocationTable.cpp" "src/CMakeFiles/vdga_memory.dir/memory/LocationTable.cpp.o" "gcc" "src/CMakeFiles/vdga_memory.dir/memory/LocationTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

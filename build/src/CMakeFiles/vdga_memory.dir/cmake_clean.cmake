@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_memory.dir/memory/AccessPath.cpp.o"
+  "CMakeFiles/vdga_memory.dir/memory/AccessPath.cpp.o.d"
+  "CMakeFiles/vdga_memory.dir/memory/LocationTable.cpp.o"
+  "CMakeFiles/vdga_memory.dir/memory/LocationTable.cpp.o.d"
+  "libvdga_memory.a"
+  "libvdga_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdga_memory.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_pointsto.dir/pointsto/PointsToPair.cpp.o"
+  "CMakeFiles/vdga_pointsto.dir/pointsto/PointsToPair.cpp.o.d"
+  "CMakeFiles/vdga_pointsto.dir/pointsto/Solver.cpp.o"
+  "CMakeFiles/vdga_pointsto.dir/pointsto/Solver.cpp.o.d"
+  "CMakeFiles/vdga_pointsto.dir/pointsto/Statistics.cpp.o"
+  "CMakeFiles/vdga_pointsto.dir/pointsto/Statistics.cpp.o.d"
+  "libvdga_pointsto.a"
+  "libvdga_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdga_pointsto.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_support.dir/support/Diagnostics.cpp.o"
+  "CMakeFiles/vdga_support.dir/support/Diagnostics.cpp.o.d"
+  "CMakeFiles/vdga_support.dir/support/StringInterner.cpp.o"
+  "CMakeFiles/vdga_support.dir/support/StringInterner.cpp.o.d"
+  "libvdga_support.a"
+  "libvdga_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

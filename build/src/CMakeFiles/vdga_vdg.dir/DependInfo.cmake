@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdg/Builder.cpp" "src/CMakeFiles/vdga_vdg.dir/vdg/Builder.cpp.o" "gcc" "src/CMakeFiles/vdga_vdg.dir/vdg/Builder.cpp.o.d"
+  "/root/repo/src/vdg/Graph.cpp" "src/CMakeFiles/vdga_vdg.dir/vdg/Graph.cpp.o" "gcc" "src/CMakeFiles/vdga_vdg.dir/vdg/Graph.cpp.o.d"
+  "/root/repo/src/vdg/Printer.cpp" "src/CMakeFiles/vdga_vdg.dir/vdg/Printer.cpp.o" "gcc" "src/CMakeFiles/vdga_vdg.dir/vdg/Printer.cpp.o.d"
+  "/root/repo/src/vdg/Verifier.cpp" "src/CMakeFiles/vdga_vdg.dir/vdg/Verifier.cpp.o" "gcc" "src/CMakeFiles/vdga_vdg.dir/vdg/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

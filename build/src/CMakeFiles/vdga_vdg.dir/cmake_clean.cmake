@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga_vdg.dir/vdg/Builder.cpp.o"
+  "CMakeFiles/vdga_vdg.dir/vdg/Builder.cpp.o.d"
+  "CMakeFiles/vdga_vdg.dir/vdg/Graph.cpp.o"
+  "CMakeFiles/vdga_vdg.dir/vdg/Graph.cpp.o.d"
+  "CMakeFiles/vdga_vdg.dir/vdg/Printer.cpp.o"
+  "CMakeFiles/vdga_vdg.dir/vdg/Printer.cpp.o.d"
+  "CMakeFiles/vdga_vdg.dir/vdg/Verifier.cpp.o"
+  "CMakeFiles/vdga_vdg.dir/vdg/Verifier.cpp.o.d"
+  "libvdga_vdg.a"
+  "libvdga_vdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga_vdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AccessPathTest.cpp" "tests/CMakeFiles/vdga_tests.dir/AccessPathTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/AccessPathTest.cpp.o.d"
+  "/root/repo/tests/AssumptionSetTest.cpp" "tests/CMakeFiles/vdga_tests.dir/AssumptionSetTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/AssumptionSetTest.cpp.o.d"
+  "/root/repo/tests/BaselineTest.cpp" "tests/CMakeFiles/vdga_tests.dir/BaselineTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/BaselineTest.cpp.o.d"
+  "/root/repo/tests/BuilderTest.cpp" "tests/CMakeFiles/vdga_tests.dir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/BuilderTest.cpp.o.d"
+  "/root/repo/tests/CISolverTest.cpp" "tests/CMakeFiles/vdga_tests.dir/CISolverTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/CISolverTest.cpp.o.d"
+  "/root/repo/tests/CallGraphTest.cpp" "tests/CMakeFiles/vdga_tests.dir/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/CallGraphTest.cpp.o.d"
+  "/root/repo/tests/ContextSensTest.cpp" "tests/CMakeFiles/vdga_tests.dir/ContextSensTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/ContextSensTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/vdga_tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/DefUseTest.cpp" "tests/CMakeFiles/vdga_tests.dir/DefUseTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/DefUseTest.cpp.o.d"
+  "/root/repo/tests/DeterminismPropertyTest.cpp" "tests/CMakeFiles/vdga_tests.dir/DeterminismPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/DeterminismPropertyTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/vdga_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/vdga_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/ModRefTest.cpp" "tests/CMakeFiles/vdga_tests.dir/ModRefTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/ModRefTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/vdga_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PathPropertyTest.cpp" "tests/CMakeFiles/vdga_tests.dir/PathPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/PathPropertyTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/vdga_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/vdga_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SoundnessPropertyTest.cpp" "tests/CMakeFiles/vdga_tests.dir/SoundnessPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/SoundnessPropertyTest.cpp.o.d"
+  "/root/repo/tests/SpuriousTest.cpp" "tests/CMakeFiles/vdga_tests.dir/SpuriousTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/SpuriousTest.cpp.o.d"
+  "/root/repo/tests/StatisticsTest.cpp" "tests/CMakeFiles/vdga_tests.dir/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/StrongUpdateTest.cpp" "tests/CMakeFiles/vdga_tests.dir/StrongUpdateTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/StrongUpdateTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/vdga_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TypeTest.cpp" "tests/CMakeFiles/vdga_tests.dir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/TypeTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/vdga_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/vdga_tests.dir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdga_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_contextsens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_vdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdga_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

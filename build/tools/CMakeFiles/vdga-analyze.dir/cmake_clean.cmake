@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdga-analyze.dir/vdga-analyze.cpp.o"
+  "CMakeFiles/vdga-analyze.dir/vdga-analyze.cpp.o.d"
+  "vdga-analyze"
+  "vdga-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdga-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

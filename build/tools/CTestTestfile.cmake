@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_compare_smoke "/root/repo/build/tools/vdga-analyze" "--compare" "--corpus" "span")
+set_tests_properties(cli_compare_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_smoke "/root/repo/build/tools/vdga-analyze" "--run" "--corpus" "compiler")
+set_tests_properties(cli_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_modref_smoke "/root/repo/build/tools/vdga-analyze" "--modref" "--corpus" "loader")
+set_tests_properties(cli_modref_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
