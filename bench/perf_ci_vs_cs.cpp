@@ -11,9 +11,15 @@
 
 #include "driver/Tables.h"
 
+#include "support/ThreadPool.h"
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 
 using namespace vdga;
 
@@ -54,7 +60,63 @@ static void BM_Frontend(benchmark::State &State, const CorpusProgram *Prog) {
   }
 }
 
+/// --json[=path]: skip google-benchmark's timing loop and emit the
+/// machine-readable BENCH_ci_vs_cs.json artifact instead. Runs the corpus
+/// once serially and once on the default job count, so the artifact
+/// records both the per-phase times and the parallel-driver speedup.
+static int runJsonMode(const std::string &Path) {
+  CorpusTiming Timing;
+  Timing.HardwareThreads = std::thread::hardware_concurrency();
+  Timing.ParallelJobs = ThreadPool::defaultJobs();
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<BenchmarkReport> Serial =
+      analyzeCorpus(/*RunCS=*/true, {}, /*Jobs=*/1);
+  Timing.SerialMillis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - T0)
+          .count();
+
+  auto T1 = std::chrono::steady_clock::now();
+  std::vector<BenchmarkReport> Parallel =
+      analyzeCorpus(/*RunCS=*/true, {}, Timing.ParallelJobs);
+  Timing.ParallelMillis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - T1)
+          .count();
+  (void)Parallel; // Same reports as Serial; timed for the speedup field.
+
+  std::string Json = renderBenchJson(Serial, Timing);
+  if (Path == "-") {
+    // Keep stdout pure JSON; the human-readable table goes to stderr.
+    std::fputs(Json.c_str(), stdout);
+    std::fputs(renderPerfComparison(Serial).c_str(), stderr);
+    return 0;
+  }
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s for writing\n", Path.c_str());
+      return 1;
+    }
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::fprintf(stderr, "wrote %s (serial %.1f ms, %u jobs %.1f ms)\n",
+                 Path.c_str(), Timing.SerialMillis, Timing.ParallelJobs,
+                 Timing.ParallelMillis);
+  }
+  std::fputs(renderPerfComparison(Serial).c_str(), stdout);
+  return 0;
+}
+
 int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      return runJsonMode("BENCH_ci_vs_cs.json");
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      return runJsonMode(argv[I] + 7);
+  }
+
   for (const CorpusProgram &Prog : corpus()) {
     benchmark::RegisterBenchmark(
         (std::string("frontend/") + Prog.Name).c_str(), BM_Frontend,

@@ -63,7 +63,7 @@ void WeihlSolver::flowValue(OutputId Out, PairId Pair) {
 
 void WeihlSolver::flowStore(PairId Pair) {
   ++Result.Stats.MeetOps;
-  if (!StoreSet.insert(Pair).second)
+  if (!StoreSet.insert(Pair))
     return;
   ++Result.Stats.PairsInserted;
   Result.StoreList.push_back(Pair);

@@ -18,6 +18,9 @@
 #define VDGA_BASELINE_WEIHLANALYSIS_H
 
 #include "pointsto/Solver.h"
+#include "support/DenseBitSet.h"
+
+#include <unordered_map>
 
 namespace vdga {
 
@@ -65,13 +68,14 @@ private:
   PairTable &PT;
   WeihlResult Result;
 
-  std::unordered_set<PairId> StoreSet;
+  DenseBitSet StoreSet;
   std::deque<std::pair<InputId, PairId>> Worklist;
   /// Store-pair events replayed against every lookup in the program.
   std::deque<PairId> StoreWorklist;
   std::vector<NodeId> Lookups;
-  std::map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
-  std::map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+  /// Looked up by key only (never iterated): hashing stays deterministic.
+  std::unordered_map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
+  std::unordered_map<const FuncDecl *, std::vector<NodeId>> CallersOf;
 };
 
 } // namespace vdga

@@ -38,7 +38,7 @@ AssumSetId AssumptionSetTable::unionSets(AssumSetId A, AssumSetId B) {
     return B;
   if (A > B)
     std::swap(A, B);
-  auto Key = std::make_pair(A, B);
+  uint64_t Key = (uint64_t(A) << 32) | B;
   auto It = UnionCache.find(Key);
   if (It != UnionCache.end())
     return It->second;

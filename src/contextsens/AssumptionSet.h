@@ -26,7 +26,7 @@
 #include "vdg/Graph.h"
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace vdga {
@@ -73,9 +73,26 @@ public:
   size_t numSets() const { return Sets.size(); }
 
 private:
+  /// FNV-1a over the (formal, pair) words of a sorted element vector.
+  struct ElementsHash {
+    size_t operator()(const std::vector<Assumption> &Elems) const {
+      uint64_t H = 1469598103934665603ull;
+      auto Mix = [&H](uint32_t V) {
+        H = (H ^ V) * 1099511628211ull;
+      };
+      for (const Assumption &A : Elems) {
+        Mix(A.Formal);
+        Mix(A.Pair);
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
   std::vector<std::vector<Assumption>> Sets;
-  std::map<std::vector<Assumption>, AssumSetId> Index;
-  std::map<std::pair<AssumSetId, AssumSetId>, AssumSetId> UnionCache;
+  std::unordered_map<std::vector<Assumption>, AssumSetId, ElementsHash>
+      Index;
+  /// Memoized unions keyed by the packed (smaller, larger) id pair.
+  std::unordered_map<uint64_t, AssumSetId> UnionCache;
 };
 
 } // namespace vdga

@@ -52,11 +52,13 @@ ContextSensSolver::ContextSensSolver(const Graph &G, PathTable &Paths,
   // Precompute the CI location sets of every memory operation for the
   // Section 4.2 prunings.
   if (Options.PruneSingleLocation || Options.PruneStrongUpdates) {
+    CILocSets.resize(G.numNodes());
     for (NodeId N = 0; N < G.numNodes(); ++N) {
       NodeKind K = G.node(N).Kind;
       if (K != NodeKind::Lookup && K != NodeKind::Update)
         continue;
-      CILocSets.emplace(N, CI.pointerReferents(G.producerOf(N, 0), PT));
+      CILocSets[N] = CI.pointerReferents(G.producerOf(N, 0), PT);
+      HasCILocSet.insert(N);
     }
   }
 }
@@ -64,17 +66,13 @@ ContextSensSolver::ContextSensSolver(const Graph &G, PathTable &Paths,
 bool ContextSensSolver::dropLocAssumptions(NodeId N) const {
   if (!Options.PruneSingleLocation)
     return false;
-  auto It = CILocSets.find(N);
-  return It != CILocSets.end() && It->second.size() <= 1;
+  return HasCILocSet.contains(N) && CILocSets[N].size() <= 1;
 }
 
 bool ContextSensSolver::ciNeverStronglyOverwrites(NodeId N, PathId P) const {
-  if (!Options.PruneStrongUpdates)
+  if (!Options.PruneStrongUpdates || !HasCILocSet.contains(N))
     return false;
-  auto It = CILocSets.find(N);
-  if (It == CILocSets.end())
-    return false;
-  for (PathId Loc : It->second)
+  for (PathId Loc : CILocSets[N])
     if (Paths.strongDom(Loc, P))
       return false;
   return true;
@@ -450,7 +448,7 @@ void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
       return;
     const FunctionInfo *Info = G.functionInfo(Base.Fn);
     if (!Info) {
-      if (IdentityCalls.insert(N).second) {
+      if (IdentityCalls.insert(N)) {
         OutputId StoreOut = G.outputOf(N, CallNode.HasResult ? 1 : 0);
         for (const auto &[SPair, SSets] : qualifiedAtInput(N, LastIdx))
           for (AssumSetId SA : SSets)
@@ -471,7 +469,7 @@ void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
       // failed; replay the callee's returned pairs.
       replayCalleeReturns(N, Info);
     }
-    if (IdentityCalls.count(N))
+    if (IdentityCalls.contains(N))
       flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair, A);
     return;
   }

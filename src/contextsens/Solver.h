@@ -30,10 +30,11 @@
 
 #include "contextsens/AssumptionSet.h"
 #include "pointsto/Solver.h"
+#include "support/DenseBitSet.h"
 
 #include <deque>
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 
 namespace vdga {
 
@@ -146,11 +147,15 @@ private:
   ContextSensResult Result;
 
   std::deque<Event> Worklist;
-  std::map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
-  std::map<const FuncDecl *, std::vector<NodeId>> CallersOf;
-  std::unordered_set<NodeId> IdentityCalls;
-  /// Per memory node: CI referent set of the location input.
-  std::map<NodeId, std::vector<PathId>> CILocSets;
+  /// Hashed call-graph side tables; looked up by key only (never
+  /// iterated), so hashing keeps runs deterministic.
+  std::unordered_map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
+  std::unordered_map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+  DenseBitSet IdentityCalls;
+  /// Per memory node: CI referent set of the location input. Node ids are
+  /// dense, so this is a flat vector gated by a membership bitset.
+  std::vector<std::vector<PathId>> CILocSets;
+  DenseBitSet HasCILocSet;
 };
 
 } // namespace vdga

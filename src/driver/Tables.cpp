@@ -6,9 +6,13 @@
 
 #include "driver/Tables.h"
 
+#include "support/ThreadPool.h"
+
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <sstream>
+#include <thread>
 
 using namespace vdga;
 
@@ -24,7 +28,9 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.Name = Prog.Name;
 
   std::string Error;
+  auto TFront = std::chrono::steady_clock::now();
   auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+  R.FrontendMillis = millisSince(TFront);
   if (!AP) {
     R.Name += " (frontend error: " + Error + ")";
     return R;
@@ -38,11 +44,13 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   PointsToResult CI = AP->runContextInsensitive();
   R.CIMillis = millisSince(T0);
   R.CIStats = CI.Stats;
+  auto TStats = std::chrono::steady_clock::now();
   R.CI = computePairTotals(AP->G, CI);
   R.ReadsCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/false);
   R.WritesCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/true);
   R.AllBreakdown =
       computePairBreakdown(AP->G, CI, AP->PT, AP->Paths, AP->locations());
+  R.StatsMillis = millisSince(TStats);
 
   if (!RunCS)
     return R;
@@ -56,6 +64,7 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   if (!CS.Completed)
     return R;
 
+  auto TStats2 = std::chrono::steady_clock::now();
   PointsToResult Stripped = CS.stripAssumptions();
   SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
                                          AP->Paths, AP->locations());
@@ -66,14 +75,35 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.SpuriousBreakdown = S.SpuriousBreakdown;
   R.IndirectOpsWhereCSWins =
       countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT);
+  R.StatsMillis += millisSince(TStats2);
   return R;
 }
 
 std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
-                                                 ContextSensOptions Opts) {
+                                                 ContextSensOptions Opts,
+                                                 unsigned Jobs) {
+  const std::vector<CorpusProgram> &Programs = corpus();
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultJobs();
+  if (Jobs > Programs.size())
+    Jobs = static_cast<unsigned>(Programs.size());
+
+  // Each task builds its own AnalyzedProgram (private interning tables),
+  // so the programs are embarrassingly parallel; joining the futures in
+  // corpus order keeps the report vector bit-identical to a serial run.
+  ThreadPool Pool(Jobs);
+  std::vector<std::future<BenchmarkReport>> Futures;
+  Futures.reserve(Programs.size());
+  for (const CorpusProgram &P : Programs)
+    Futures.push_back(
+        Pool.submit([&P, RunCS, Opts] {
+          return analyzeBenchmark(P, RunCS, Opts);
+        }));
+
   std::vector<BenchmarkReport> Reports;
-  for (const CorpusProgram &P : corpus())
-    Reports.push_back(analyzeBenchmark(P, RunCS, Opts));
+  Reports.reserve(Programs.size());
+  for (std::future<BenchmarkReport> &F : Futures)
+    Reports.push_back(F.get());
   return Reports;
 }
 
@@ -374,4 +404,142 @@ vdga::renderPerfComparison(const std::vector<BenchmarkReport> &Reports) {
   return "Section 4.2/4.3: work comparison between the context-insensitive "
          "and context-sensitive analyses\n" +
          T.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable bench artifact (BENCH_*.json)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Minimal JSON writer: just enough structure for the bench artifact.
+class Json {
+public:
+  Json &key(const char *K) {
+    comma();
+    OS << '"' << K << "\":";
+    Sep = false;
+    return *this;
+  }
+  Json &value(const std::string &S) {
+    comma();
+    OS << '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        OS << '\\';
+      OS << C;
+    }
+    OS << '"';
+    return *this;
+  }
+  Json &value(uint64_t V) {
+    comma();
+    OS << V;
+    return *this;
+  }
+  Json &value(unsigned V) { return value(uint64_t(V)); }
+  Json &value(bool V) {
+    comma();
+    OS << (V ? "true" : "false");
+    return *this;
+  }
+  Json &value(double V) {
+    comma();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    OS << Buf;
+    return *this;
+  }
+  Json &open(char Bracket) {
+    comma();
+    OS << Bracket;
+    Sep = false;
+    return *this;
+  }
+  Json &close(char Bracket) {
+    OS << Bracket;
+    Sep = true;
+    return *this;
+  }
+  std::string str() const { return OS.str(); }
+
+private:
+  void comma() {
+    if (Sep)
+      OS << ',';
+    Sep = true;
+  }
+  std::ostringstream OS;
+  bool Sep = false;
+};
+
+void emitSolveStats(Json &J, const SolveStats &S) {
+  J.open('{');
+  J.key("transfer_fns").value(S.TransferFns);
+  J.key("meet_ops").value(S.MeetOps);
+  J.key("pairs_inserted").value(S.PairsInserted);
+  J.key("deduped_events").value(S.DedupedEvents);
+  J.close('}');
+}
+
+void emitPairTotals(Json &J, const PairTotals &T) {
+  J.open('{');
+  J.key("pointer").value(T.Pointer);
+  J.key("function").value(T.Function);
+  J.key("aggregate").value(T.Aggregate);
+  J.key("store").value(T.Store);
+  J.key("total").value(T.total());
+  J.close('}');
+}
+} // namespace
+
+std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
+                                  const CorpusTiming &Timing) {
+  Json J;
+  J.open('{');
+  J.key("schema").value(std::string("vdga-bench-v1"));
+
+  J.key("corpus").open('{');
+  J.key("programs").value(uint64_t(Reports.size()));
+  J.key("serial_ms").value(Timing.SerialMillis);
+  J.key("parallel_ms").value(Timing.ParallelMillis);
+  J.key("parallel_jobs").value(Timing.ParallelJobs);
+  J.key("hardware_threads").value(Timing.HardwareThreads);
+  J.key("speedup").value(Timing.ParallelMillis > 0.0
+                             ? Timing.SerialMillis / Timing.ParallelMillis
+                             : 0.0);
+  J.close('}');
+
+  J.key("programs").open('[');
+  for (const BenchmarkReport &R : Reports) {
+    J.open('{');
+    J.key("name").value(R.Name);
+    J.key("source_lines").value(R.SourceLines);
+    J.key("vdg_nodes").value(R.VdgNodes);
+    J.key("alias_outputs").value(R.AliasOutputs);
+    J.key("frontend_ms").value(R.FrontendMillis);
+    J.key("ci_ms").value(R.CIMillis);
+    J.key("stats_ms").value(R.StatsMillis);
+    J.key("ci_stats");
+    emitSolveStats(J, R.CIStats);
+    J.key("ci_pairs");
+    emitPairTotals(J, R.CI);
+    if (R.RanCS) {
+      J.key("cs_ms").value(R.CSMillis);
+      J.key("cs_completed").value(R.CSCompleted);
+      J.key("cs_stats");
+      emitSolveStats(J, R.CSStats);
+      if (R.CSCompleted) {
+        J.key("cs_pairs");
+        emitPairTotals(J, R.CS);
+        J.key("spurious_total").value(R.SpuriousTotal);
+        J.key("spurious_percent").value(R.SpuriousPercent);
+        J.key("cs_wins").value(R.IndirectOpsWhereCSWins);
+        J.key("containment_violations").value(R.ContainmentViolations);
+      }
+    }
+    J.close('}');
+  }
+  J.close(']');
+  J.close('}');
+  return J.str() + "\n";
 }

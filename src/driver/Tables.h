@@ -33,6 +33,11 @@ struct BenchmarkReport {
   unsigned VdgNodes = 0;
   unsigned AliasOutputs = 0;
 
+  // Per-phase wall clock. Every phase of the pipeline is timed the same
+  // way so BENCH_*.json artifacts can track the trajectory per phase.
+  double FrontendMillis = 0.0;
+  double StatsMillis = 0.0; ///< Figure statistics over the solutions.
+
   // Figures 3/4 (context-insensitive).
   PairTotals CI;
   IndirectOpStats ReadsCI;
@@ -58,9 +63,30 @@ struct BenchmarkReport {
 BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
                                  ContextSensOptions CSOptions = {});
 
-/// Runs over the whole corpus.
+/// Runs over the whole corpus. Each program's pipeline is independent
+/// (per-AnalyzedProgram tables), so programs are analyzed concurrently on
+/// \p Jobs threads; reports come back in corpus order and are
+/// bit-identical to the serial run. \p Jobs semantics: 0 picks the
+/// VDGA_JOBS environment override or else the hardware thread count; 1
+/// runs serially on the calling thread.
 std::vector<BenchmarkReport> analyzeCorpus(bool RunCS,
-                                           ContextSensOptions CSOptions = {});
+                                           ContextSensOptions CSOptions = {},
+                                           unsigned Jobs = 0);
+
+/// Corpus-level timing recorded into the JSON bench artifact.
+struct CorpusTiming {
+  double SerialMillis = 0.0;   ///< analyzeCorpus wall clock, Jobs = 1.
+  double ParallelMillis = 0.0; ///< analyzeCorpus wall clock, Jobs below.
+  unsigned ParallelJobs = 0;
+  unsigned HardwareThreads = 0;
+};
+
+/// Renders the machine-readable BENCH_*.json artifact: schema
+/// "vdga-bench-v1", one object per program with per-phase wall-clock and
+/// work counters, plus the corpus-level serial/parallel timing. Diff two
+/// artifacts with tools/bench_diff.py.
+std::string renderBenchJson(const std::vector<BenchmarkReport> &Reports,
+                            const CorpusTiming &Timing);
 
 // Renderers, one per figure.
 std::string renderFig2(const std::vector<BenchmarkReport> &Reports);

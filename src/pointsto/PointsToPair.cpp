@@ -9,14 +9,12 @@
 using namespace vdga;
 
 PairId PairTable::intern(PathId Path, PathId Referent) {
-  auto Key = std::make_pair(index(Path), index(Referent));
-  auto It = Index.find(Key);
-  if (It != Index.end())
-    return It->second;
-  auto Id = static_cast<PairId>(Pairs.size());
-  Pairs.push_back({Path, Referent});
-  Index.emplace(Key, Id);
-  return Id;
+  uint64_t Key = (uint64_t(index(Path)) << 32) | index(Referent);
+  auto [It, Inserted] =
+      Index.emplace(Key, static_cast<PairId>(Pairs.size()));
+  if (Inserted)
+    Pairs.push_back({Path, Referent});
+  return It->second;
 }
 
 std::string PairTable::str(PairId Id, const PathTable &Paths,

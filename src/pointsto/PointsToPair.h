@@ -23,7 +23,7 @@
 #include "memory/AccessPath.h"
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace vdga {
@@ -53,7 +53,9 @@ public:
 
 private:
   std::vector<PointsToPair> Pairs;
-  std::map<std::pair<uint32_t, uint32_t>, PairId> Index;
+  /// (path, referent) packed into one word; ids are dense so the hashed
+  /// index replaces the old tree map on the hottest interning path.
+  std::unordered_map<uint64_t, PairId> Index;
 };
 
 } // namespace vdga

@@ -46,6 +46,8 @@ PointsToResult::callees(NodeId Call) const {
 //===----------------------------------------------------------------------===//
 
 PointsToResult ContextInsensitiveSolver::solve() {
+  Queued.resize(G.numInputs());
+
   // Initialization (Figure 1): every location-valued constant seeds the
   // pair (empty, path) on its output.
   for (NodeId N = 0; N < G.numNodes(); ++N) {
@@ -56,19 +58,32 @@ PointsToResult ContextInsensitiveSolver::solve() {
   }
 
   while (!Worklist.empty()) {
-    InputId In;
-    PairId Pair;
-    if (Order == WorklistOrder::FIFO) {
-      std::tie(In, Pair) = Worklist.front();
-      Worklist.pop_front();
-    } else {
-      std::tie(In, Pair) = Worklist.back();
-      Worklist.pop_back();
-    }
+    auto [In, Pair] = dequeue();
     ++Result.Stats.TransferFns;
     flowIn(In, Pair);
   }
   return std::move(Result);
+}
+
+void ContextInsensitiveSolver::enqueue(InputId In, PairId Pair) {
+  if (!Queued[In].insert(Pair)) {
+    ++Result.Stats.DedupedEvents;
+    return;
+  }
+  Worklist.emplace_back(In, Pair);
+}
+
+std::pair<InputId, PairId> ContextInsensitiveSolver::dequeue() {
+  std::pair<InputId, PairId> Event;
+  if (Order == WorklistOrder::FIFO) {
+    Event = Worklist.front();
+    Worklist.pop_front();
+  } else {
+    Event = Worklist.back();
+    Worklist.pop_back();
+  }
+  Queued[Event.first].erase(Event.second);
+  return Event;
 }
 
 void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair) {
@@ -77,7 +92,7 @@ void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair) {
     return;
   ++Result.Stats.PairsInserted;
   for (InputId Consumer : G.output(Out).Consumers)
-    Worklist.emplace_back(Consumer, Pair);
+    enqueue(Consumer, Pair);
 }
 
 void ContextInsensitiveSolver::flowIn(InputId In, PairId Pair) {
@@ -293,7 +308,7 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
     const FunctionInfo *Info = G.functionInfo(Base.Fn);
     if (!Info) {
       // Undefined callee: the call is the identity on the store.
-      if (IdentityCalls.insert(N).second) {
+      if (IdentityCalls.insert(N)) {
         OutputId StoreOut =
             G.outputOf(N, CallNode.HasResult ? 1 : 0);
         for (PairId SPair : pairsAtInput(N, LastIdx))
@@ -309,7 +324,7 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
     // New store pair: flows into every callee's store formal.
     for (const FunctionInfo *Info : Result.callees(N))
       flowOut(G.outputOf(Info->EntryNode, Info->NumParams), Pair);
-    if (IdentityCalls.count(N))
+    if (IdentityCalls.contains(N))
       flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair);
     return;
   }

@@ -22,11 +22,11 @@
 #define VDGA_POINTSTO_SOLVER_H
 
 #include "pointsto/PointsToPair.h"
+#include "support/DenseBitSet.h"
 #include "vdg/Graph.h"
 
 #include <deque>
-#include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace vdga {
@@ -40,6 +40,8 @@ struct SolveStats {
   uint64_t TransferFns = 0; ///< flow-in applications.
   uint64_t MeetOps = 0;     ///< flow-out applications.
   uint64_t PairsInserted = 0;
+  /// Enqueues skipped because the (input, pair) event was already queued.
+  uint64_t DedupedEvents = 0;
 };
 
 /// The solution: per-output points-to pair sets plus the discovered call
@@ -51,14 +53,14 @@ public:
 
   /// Inserts \p Pair into \p Out's set; returns true if it was new.
   bool insert(OutputId Out, PairId Pair) {
-    if (!SetsByOutput[Out].insert(Pair).second)
+    if (!SetsByOutput[Out].insert(Pair))
       return false;
     PairsByOutput[Out].push_back(Pair);
     return true;
   }
 
   bool contains(OutputId Out, PairId Pair) const {
-    return SetsByOutput[Out].count(Pair) != 0;
+    return SetsByOutput[Out].contains(Pair);
   }
 
   /// Pairs on \p Out in arrival order (deterministic given the schedule).
@@ -83,8 +85,10 @@ public:
 private:
   friend class ContextInsensitiveSolver;
   std::vector<std::vector<PairId>> PairsByOutput;
-  std::vector<std::unordered_set<PairId>> SetsByOutput;
-  std::map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
+  /// Membership index: pair ids are dense interner output, so one bit per
+  /// pair beats a hash-set node on every meet operation.
+  std::vector<DenseBitSet> SetsByOutput;
+  std::unordered_map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
   static const std::vector<const FunctionInfo *> NoCallees;
 };
 
@@ -99,6 +103,12 @@ public:
   PointsToResult solve();
 
 private:
+  /// All worklist pushes funnel through here so every producer of events
+  /// honors the configured WorklistOrder, and so an (input, pair) event
+  /// already sitting in the queue is not enqueued a second time.
+  void enqueue(InputId In, PairId Pair);
+  std::pair<InputId, PairId> dequeue();
+
   void flowOut(OutputId Out, PairId Pair);
   void flowIn(InputId In, PairId Pair);
 
@@ -124,12 +134,15 @@ private:
   PointsToResult Result;
 
   std::deque<std::pair<InputId, PairId>> Worklist;
+  /// Per-input membership of queued-but-unprocessed events, for dedup.
+  std::vector<DenseBitSet> Queued;
   /// Call nodes whose function input produced an undefined callee: the
   /// store passes through unchanged (identity), soundly modeling calls to
   /// prototypes without bodies.
-  std::unordered_set<NodeId> IdentityCalls;
-  /// Callers of each function, for return propagation.
-  std::map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+  DenseBitSet IdentityCalls;
+  /// Callers of each function, for return propagation. Looked up by key
+  /// only (never iterated), so hashing on the pointer stays deterministic.
+  std::unordered_map<const FuncDecl *, std::vector<NodeId>> CallersOf;
 };
 
 } // namespace vdga

@@ -1,0 +1,72 @@
+//===- support/DenseBitSet.h - Growable dense bitset -----------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable bitset over dense 32-bit ids. The solvers intern pairs,
+/// paths and assumption sets to small consecutive integers, so membership
+/// indices over them are one bit per id instead of a hash-set node: the
+/// hot `insert`/`contains` on every meet operation become a shift, a mask
+/// and (rarely) a vector growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_DENSEBITSET_H
+#define VDGA_SUPPORT_DENSEBITSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdga {
+
+class DenseBitSet {
+public:
+  /// Sets bit \p Id; returns true if it was previously clear.
+  bool insert(uint32_t Id) {
+    size_t Word = Id >> 6;
+    uint64_t Mask = uint64_t(1) << (Id & 63);
+    if (Word >= Words.size())
+      Words.resize(Word + 1, 0);
+    else if (Words[Word] & Mask)
+      return false;
+    Words[Word] |= Mask;
+    ++Population;
+    return true;
+  }
+
+  bool contains(uint32_t Id) const {
+    size_t Word = Id >> 6;
+    return Word < Words.size() &&
+           (Words[Word] & (uint64_t(1) << (Id & 63))) != 0;
+  }
+
+  /// Clears bit \p Id; returns true if it was previously set.
+  bool erase(uint32_t Id) {
+    size_t Word = Id >> 6;
+    uint64_t Mask = uint64_t(1) << (Id & 63);
+    if (Word >= Words.size() || !(Words[Word] & Mask))
+      return false;
+    Words[Word] &= ~Mask;
+    --Population;
+    return true;
+  }
+
+  size_t count() const { return Population; }
+  bool empty() const { return Population == 0; }
+
+  void clear() {
+    Words.clear();
+    Population = 0;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Population = 0;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_DENSEBITSET_H

@@ -1,0 +1,65 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace vdga;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads <= 1)
+    return; // Inline fallback: no workers, no queue.
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::dispatch(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task(); // packaged_task captures any exception for the future.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+  }
+  Ready.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping with a drained queue.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+  }
+}
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("VDGA_JOBS")) {
+    long Requested = std::strtol(Env, nullptr, 10);
+    return Requested < 1 ? 1u : static_cast<unsigned>(Requested);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1u;
+}

@@ -1,0 +1,79 @@
+//===- support/ThreadPool.h - Small task executor --------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool for the corpus driver. Each corpus program's
+/// frontend/CI/CS pipeline is independent (per-AnalyzedProgram tables), so
+/// `analyzeCorpus` fans the programs out over this pool and joins the
+/// reports back in corpus order.
+///
+/// Semantics chosen for determinism and testability:
+///   * `submit` returns a std::future; exceptions thrown by the task
+///     surface at `future::get`, never on the worker thread;
+///   * a pool built with 0 or 1 threads runs every task inline at submit
+///     time — the serial fallback is the exact serial execution, not a
+///     one-worker queue;
+///   * tasks are dispatched in submission order (single FIFO queue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_THREADPOOL_H
+#define VDGA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vdga {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 or 1 means inline (serial) execution.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (0 in the inline fallback).
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Schedules \p Fn; the returned future yields its result or rethrows
+  /// its exception. Inline pools run it before returning.
+  template <typename Fn> auto submit(Fn &&F) {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(F));
+    std::future<Result> Future = Task->get_future();
+    dispatch([Task] { (*Task)(); });
+    return Future;
+  }
+
+  /// The job count `analyzeCorpus` uses when none is requested: the
+  /// VDGA_JOBS environment variable if set (clamped to >= 1), otherwise
+  /// std::thread::hardware_concurrency().
+  static unsigned defaultJobs();
+
+private:
+  void dispatch(std::function<void()> Task);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  bool Stopping = false;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_THREADPOOL_H

@@ -15,6 +15,30 @@ using namespace vdga::test;
 
 namespace {
 
+// Regression guard for the bitset-backed membership index: the observable
+// insert/contains/pairs semantics must match the original hash-set store.
+TEST(PointsToResultSemantics, InsertContainsArrivalOrder) {
+  PointsToResult R(3);
+  EXPECT_TRUE(R.insert(0, 5));
+  EXPECT_FALSE(R.insert(0, 5)); // Duplicate insert reports not-new...
+  EXPECT_TRUE(R.insert(0, 2));
+  EXPECT_TRUE(R.insert(0, 5000)); // ...and sparse ids grow the index.
+  EXPECT_TRUE(R.insert(2, 5));
+
+  EXPECT_TRUE(R.contains(0, 5));
+  EXPECT_TRUE(R.contains(0, 2));
+  EXPECT_TRUE(R.contains(0, 5000));
+  EXPECT_FALSE(R.contains(0, 3));
+  EXPECT_FALSE(R.contains(0, 4999));
+  EXPECT_FALSE(R.contains(1, 5)); // Outputs are independent.
+  EXPECT_TRUE(R.contains(2, 5));
+
+  // pairs() preserves arrival order, duplicates excluded.
+  EXPECT_EQ(R.pairs(0), (std::vector<PairId>{5, 2, 5000}));
+  EXPECT_TRUE(R.pairs(1).empty());
+  EXPECT_EQ(R.totalPairInstances(), 4u);
+}
+
 TEST(CISolver, SimpleAddressOf) {
   auto AP = analyze(R"(
 int x;

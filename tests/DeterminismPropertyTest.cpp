@@ -13,6 +13,7 @@
 #include "TestUtil.h"
 
 #include "corpus/Corpus.h"
+#include "driver/Tables.h"
 
 using namespace vdga;
 using namespace vdga::test;
@@ -71,6 +72,40 @@ TEST_P(DeterminismTest, CSStrippedDeterministic) {
   PointsToResult S1 = AP->runContextSensitive(CI).stripAssumptions();
   PointsToResult S2 = AP->runContextSensitive(CI).stripAssumptions();
   EXPECT_EQ(sortedSolution(AP->G, S1), sortedSolution(AP->G, S2));
+}
+
+// The parallel corpus driver must be invisible in the results: reports
+// come back in corpus order and are bit-identical to the serial run
+// (timing fields aside), so every figure rendering matches exactly.
+TEST(ParallelDriver, MatchesSerialReports) {
+  std::vector<BenchmarkReport> Serial =
+      analyzeCorpus(/*RunCS=*/true, {}, /*Jobs=*/1);
+  std::vector<BenchmarkReport> Parallel =
+      analyzeCorpus(/*RunCS=*/true, {}, /*Jobs=*/4);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  ASSERT_EQ(Serial.size(), corpus().size());
+
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    const BenchmarkReport &S = Serial[I];
+    const BenchmarkReport &P = Parallel[I];
+    EXPECT_EQ(S.Name, P.Name);
+    EXPECT_EQ(S.Name, corpus()[I].Name) << "corpus order lost";
+    EXPECT_EQ(S.CIStats.TransferFns, P.CIStats.TransferFns) << S.Name;
+    EXPECT_EQ(S.CIStats.MeetOps, P.CIStats.MeetOps) << S.Name;
+    EXPECT_EQ(S.CIStats.PairsInserted, P.CIStats.PairsInserted) << S.Name;
+    EXPECT_EQ(S.CIStats.DedupedEvents, P.CIStats.DedupedEvents) << S.Name;
+    EXPECT_EQ(S.CSStats.TransferFns, P.CSStats.TransferFns) << S.Name;
+    EXPECT_EQ(S.CSStats.MeetOps, P.CSStats.MeetOps) << S.Name;
+    EXPECT_EQ(S.SpuriousTotal, P.SpuriousTotal) << S.Name;
+    EXPECT_EQ(S.IndirectOpsWhereCSWins, P.IndirectOpsWhereCSWins) << S.Name;
+  }
+
+  // Pair counts, stats and all figure renderings agree exactly.
+  EXPECT_EQ(renderFig2(Serial), renderFig2(Parallel));
+  EXPECT_EQ(renderFig3(Serial), renderFig3(Parallel));
+  EXPECT_EQ(renderFig4(Serial), renderFig4(Parallel));
+  EXPECT_EQ(renderFig6(Serial), renderFig6(Parallel));
+  EXPECT_EQ(renderFig7(Serial), renderFig7(Parallel));
 }
 
 INSTANTIATE_TEST_SUITE_P(

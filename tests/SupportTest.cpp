@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Casting.h"
+#include "support/DenseBitSet.h"
 #include "support/Diagnostics.h"
 #include "support/StringInterner.h"
 
@@ -52,6 +53,55 @@ TEST(StringInterner, SurvivesManyInsertions) {
     EXPECT_EQ(I.text(Symbols[K]), "sym" + std::to_string(K));
     EXPECT_EQ(I.intern("sym" + std::to_string(K)), Symbols[K]);
   }
+}
+
+TEST(DenseBitSet, InsertContainsErase) {
+  DenseBitSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_FALSE(S.insert(0)); // Second insert reports "already present".
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_EQ(S.count(), 1u);
+
+  EXPECT_TRUE(S.insert(1000));
+  EXPECT_TRUE(S.contains(1000));
+  EXPECT_FALSE(S.contains(999)); // Growth must not set neighbors.
+  EXPECT_FALSE(S.contains(1001));
+  EXPECT_EQ(S.count(), 2u);
+
+  EXPECT_TRUE(S.erase(1000));
+  EXPECT_FALSE(S.erase(1000));
+  EXPECT_FALSE(S.contains(1000));
+  EXPECT_FALSE(S.erase(12345)); // Beyond the grown range.
+  EXPECT_EQ(S.count(), 1u);
+
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(0));
+}
+
+TEST(DenseBitSet, WordBoundaries) {
+  DenseBitSet S;
+  for (uint32_t Id : {63u, 64u, 65u, 127u, 128u}) {
+    EXPECT_TRUE(S.insert(Id)) << Id;
+    EXPECT_TRUE(S.contains(Id)) << Id;
+    EXPECT_FALSE(S.insert(Id)) << Id;
+  }
+  EXPECT_EQ(S.count(), 5u);
+  EXPECT_FALSE(S.contains(62));
+  EXPECT_FALSE(S.contains(66));
+  EXPECT_FALSE(S.contains(126));
+}
+
+TEST(DenseBitSet, DenseRangeMatchesReferenceSemantics) {
+  DenseBitSet S;
+  // Insert evens, then everything: odd inserts are new, evens are not.
+  for (uint32_t Id = 0; Id < 500; Id += 2)
+    EXPECT_TRUE(S.insert(Id));
+  for (uint32_t Id = 0; Id < 500; ++Id)
+    EXPECT_EQ(S.insert(Id), Id % 2 == 1) << Id;
+  EXPECT_EQ(S.count(), 500u);
 }
 
 TEST(Diagnostics, CountsAndRenders) {

@@ -1,0 +1,94 @@
+//===- tests/ThreadPoolTest.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The executor behind the parallel corpus driver: results come back
+// through futures in submission order, exceptions surface at get(), and a
+// pool of 0/1 threads degenerates to exact serial execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+TEST(ThreadPool, InlineFallbackRunsOnCallingThread) {
+  for (unsigned Threads : {0u, 1u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(Pool.threadCount(), 0u);
+    std::thread::id RanOn;
+    Pool.submit([&RanOn] { RanOn = std::this_thread::get_id(); }).get();
+    EXPECT_EQ(RanOn, std::this_thread::get_id());
+  }
+}
+
+TEST(ThreadPool, InlineFallbackRunsAtSubmitTime) {
+  ThreadPool Pool(1);
+  int Order = 0, TaskRanAt = -1;
+  auto Future = Pool.submit([&] { TaskRanAt = Order++; });
+  // The task ran before submit returned; Order advanced past it.
+  EXPECT_EQ(TaskRanAt, 0);
+  EXPECT_EQ(Order, 1);
+  Future.get();
+}
+
+TEST(ThreadPool, ReturnsResultsInSubmissionOrder) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 64; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(Futures[I].get(), I * I);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(3);
+    std::vector<std::future<void>> Futures;
+    for (int I = 0; I < 100; ++I)
+      Futures.push_back(Pool.submit([&Count] { ++Count; }));
+    for (auto &F : Futures)
+      F.get();
+  } // Destructor joins the workers.
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  for (unsigned Threads : {1u, 2u}) {
+    ThreadPool Pool(Threads);
+    auto Future = Pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(Future.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(Pool.submit([] { return 7; }).get(), 7);
+  }
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvOverride) {
+  const char *Saved = std::getenv("VDGA_JOBS");
+  std::string SavedCopy = Saved ? Saved : "";
+
+  setenv("VDGA_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+  setenv("VDGA_JOBS", "0", 1); // Clamped to at least one job.
+  EXPECT_EQ(ThreadPool::defaultJobs(), 1u);
+
+  unsetenv("VDGA_JOBS");
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+
+  if (Saved)
+    setenv("VDGA_JOBS", SavedCopy.c_str(), 1);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts (schema vdga-bench-v1).
+
+Usage: bench_diff.py OLD.json NEW.json [--threshold 0.10] [--min-ms 1.0]
+
+Exits nonzero when any wall-clock field regressed by more than the
+threshold (and by more than --min-ms, so sub-millisecond noise on the
+small corpus programs is ignored). Work-counter and pair-count changes
+are printed as warnings but do not fail the diff: they signal an
+intentional behavior change that should be explained in the PR.
+
+Produce the artifacts with `cmake --build build --target bench-json` or
+`perf_ci_vs_cs --json=FILE`.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_FIELDS = ["frontend_ms", "ci_ms", "stats_ms", "cs_ms"]
+CORPUS_TIME_FIELDS = ["serial_ms", "parallel_ms"]
+COUNTER_GROUPS = {
+    "ci_stats": ["transfer_fns", "meet_ops", "pairs_inserted"],
+    "cs_stats": ["transfer_fns", "meet_ops", "pairs_inserted"],
+    "ci_pairs": ["pointer", "function", "aggregate", "store", "total"],
+    "cs_pairs": ["pointer", "function", "aggregate", "store", "total"],
+}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON ({e})")
+    if not isinstance(data, dict):
+        sys.exit(f"{path}: expected a JSON object")
+    schema = data.get("schema")
+    if schema != "vdga-bench-v1":
+        sys.exit(f"{path}: unsupported schema {schema!r}")
+    return data
+
+
+def diff_time(label, field, old, new, args, regressions):
+    if old is None or new is None:
+        return
+    delta = new - old
+    if old > 0 and delta > args.min_ms and delta / old > args.threshold:
+        regressions.append(
+            f"{label}.{field}: {old:.3f} ms -> {new:.3f} ms "
+            f"(+{100.0 * delta / old:.1f}%)"
+        )
+
+
+def diff_counters(label, old, new, warnings):
+    for group, fields in COUNTER_GROUPS.items():
+        og, ng = old.get(group), new.get(group)
+        if og is None or ng is None:
+            continue
+        for field in fields:
+            if og.get(field) != ng.get(field):
+                warnings.append(
+                    f"{label}.{group}.{field}: "
+                    f"{og.get(field)} -> {ng.get(field)}"
+                )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative time regression to flag (default 0.10)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="ignore absolute deltas below this (default 1.0)")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    regressions, warnings = [], []
+
+    for field in CORPUS_TIME_FIELDS:
+        diff_time("corpus", field, old["corpus"].get(field),
+                  new["corpus"].get(field), args, regressions)
+
+    old_programs = {p["name"]: p for p in old["programs"]}
+    new_programs = {p["name"]: p for p in new["programs"]}
+    for name in old_programs.keys() - new_programs.keys():
+        warnings.append(f"program removed: {name}")
+    for name in new_programs.keys() - old_programs.keys():
+        warnings.append(f"program added: {name}")
+
+    for name in sorted(old_programs.keys() & new_programs.keys()):
+        op, np = old_programs[name], new_programs[name]
+        for field in TIME_FIELDS:
+            diff_time(name, field, op.get(field), np.get(field), args,
+                      regressions)
+        diff_counters(name, op, np, warnings)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    if regressions:
+        print(f"{len(regressions)} time regression(s) above "
+              f"{100.0 * args.threshold:.0f}%")
+        return 1
+    print(f"ok: no time regressions above {100.0 * args.threshold:.0f}% "
+          f"({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
