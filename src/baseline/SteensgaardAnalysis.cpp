@@ -6,6 +6,8 @@
 
 #include "baseline/SteensgaardAnalysis.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -160,5 +162,7 @@ SteensgaardResult SteensgaardSolver::solve() {
     R.Pointees[O] = std::move(Ptees);
   }
   R.NumClasses = Classes.size();
+  if (Obs.Metrics)
+    Obs.Metrics->add("steens.classes", R.NumClasses);
   return R;
 }

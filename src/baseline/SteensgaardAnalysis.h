@@ -17,6 +17,7 @@
 #define VDGA_BASELINE_STEENSGAARDANALYSIS_H
 
 #include "pointsto/Solver.h"
+#include "support/Observability.h"
 
 namespace vdga {
 
@@ -42,8 +43,9 @@ private:
 /// Runs the unification analysis over a built VDG.
 class SteensgaardSolver {
 public:
-  SteensgaardSolver(const Graph &G, const PathTable &Paths)
-      : G(G), Paths(Paths) {}
+  SteensgaardSolver(const Graph &G, const PathTable &Paths,
+                    SolverObserver Obs = {})
+      : G(G), Paths(Paths), Obs(Obs) {}
 
   SteensgaardResult solve();
 
@@ -64,6 +66,7 @@ private:
 
   const Graph &G;
   const PathTable &Paths;
+  SolverObserver Obs;
   std::vector<unsigned> Parent;
   std::vector<unsigned> Pointee; ///< Per class representative, or ~0u.
   /// Base-location members per class, merged small-into-large on union.

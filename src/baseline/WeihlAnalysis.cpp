@@ -6,6 +6,8 @@
 
 #include "baseline/WeihlAnalysis.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -48,6 +50,13 @@ WeihlResult WeihlSolver::solve() {
     Worklist.pop_front();
     ++Result.Stats.TransferFns;
     flowIn(In, Pair);
+  }
+
+  if (Obs.Metrics) {
+    Obs.Metrics->add("weihl.transfer_fns", Result.Stats.TransferFns);
+    Obs.Metrics->add("weihl.meet_ops", Result.Stats.MeetOps);
+    Obs.Metrics->add("weihl.pairs_inserted", Result.Stats.PairsInserted);
+    Obs.Metrics->add("weihl.store_pairs", Result.StoreList.size());
   }
   return std::move(Result);
 }

@@ -19,6 +19,7 @@
 
 #include "pointsto/Solver.h"
 #include "support/DenseBitSet.h"
+#include "support/Observability.h"
 
 #include <unordered_map>
 
@@ -52,8 +53,9 @@ private:
 /// Runs the flow-insensitive analysis over a built VDG.
 class WeihlSolver {
 public:
-  WeihlSolver(const Graph &G, PathTable &Paths, PairTable &PT)
-      : G(G), Paths(Paths), PT(PT), Result(G.numOutputs()) {}
+  WeihlSolver(const Graph &G, PathTable &Paths, PairTable &PT,
+              SolverObserver Obs = {})
+      : G(G), Paths(Paths), PT(PT), Obs(Obs), Result(G.numOutputs()) {}
 
   WeihlResult solve();
 
@@ -66,6 +68,7 @@ private:
   const Graph &G;
   PathTable &Paths;
   PairTable &PT;
+  SolverObserver Obs;
   WeihlResult Result;
 
   DenseBitSet StoreSet;

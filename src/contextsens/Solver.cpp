@@ -6,6 +6,9 @@
 
 #include "contextsens/Solver.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -46,9 +49,12 @@ PointsToResult ContextSensResult::stripAssumptions() const {
 ContextSensSolver::ContextSensSolver(const Graph &G, PathTable &Paths,
                                      PairTable &PT, AssumptionSetTable &AT,
                                      const PointsToResult &CI,
-                                     ContextSensOptions Options)
-    : G(G), Paths(Paths), PT(PT), AT(AT), CI(CI), Options(Options),
+                                     ContextSensOptions Options,
+                                     SolverObserver Obs)
+    : G(G), Paths(Paths), PT(PT), AT(AT), CI(CI), Options(Options), Obs(Obs),
       Result(G.numOutputs()) {
+  if (Obs.RecordProvenance)
+    Result.enableProvenance();
   // Precompute the CI location sets of every memory operation for the
   // Section 4.2 prunings.
   if (Options.PruneSingleLocation || Options.PruneStrongUpdates) {
@@ -88,7 +94,8 @@ ContextSensResult ContextSensSolver::solve() {
     if (Node.Kind != NodeKind::ConstPath)
       continue;
     flowOut(G.outputOf(N),
-            PT.intern(PathTable::emptyPath(), Node.Path), EmptyAssumSet);
+            PT.intern(PathTable::emptyPath(), Node.Path), EmptyAssumSet,
+            {N});
   }
 
   while (!Worklist.empty()) {
@@ -102,15 +109,30 @@ ContextSensResult ContextSensSolver::solve() {
     }
     flowIn(E);
   }
+
+  if (Obs.Metrics) {
+    Obs.Metrics->add("cs.transfer_fns", Result.Stats.TransferFns);
+    Obs.Metrics->add("cs.meet_ops", Result.Stats.MeetOps);
+    Obs.Metrics->add("cs.pairs_inserted", Result.Stats.PairsInserted);
+    Obs.Metrics->add("cs.subsumption_discards", SubsumptionDiscards);
+    Obs.Metrics->add("cs.single_loc_prunes", SingleLocPrunes);
+    Obs.Metrics->add("cs.strong_update_prunes", StrongUpdatePrunes);
+  }
   return std::move(Result);
 }
 
-bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum) {
+bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum,
+                               const Derivation &D) {
   auto &Sets = Result.QP[Out][Pair];
+  bool NewPair = Sets.empty();
   if (Options.UseSubsumption) {
     for (AssumSetId Existing : Sets)
-      if (AT.isSubset(Existing, Assum))
+      if (AT.isSubset(Existing, Assum)) {
+        ++SubsumptionDiscards;
+        if (Obs.Events)
+          tracePruned("subsumption", G.output(Out).Node, Pair);
         return false;
+      }
     // Remove supersets of the incoming set.
     Sets.erase(std::remove_if(Sets.begin(), Sets.end(),
                               [&](AssumSetId Existing) {
@@ -121,16 +143,49 @@ bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum) {
     return false;
   }
   Sets.push_back(Assum);
+  if (NewPair) {
+    if (Result.provenanceEnabled())
+      Result.Derivs[Out].emplace(Pair, D);
+    if (Obs.Events)
+      tracePair(Out, Pair);
+  }
   return true;
 }
 
-void ContextSensSolver::flowOut(OutputId Out, PairId Pair, AssumSetId Assum) {
+void ContextSensSolver::flowOut(OutputId Out, PairId Pair, AssumSetId Assum,
+                                const Derivation &D) {
   ++Result.Stats.MeetOps;
-  if (!insert(Out, Pair, Assum))
+  if (!insert(Out, Pair, Assum, D))
     return;
   ++Result.Stats.PairsInserted;
   for (InputId Consumer : G.output(Out).Consumers)
     Worklist.push_back({Consumer, Pair, Assum});
+}
+
+void ContextSensSolver::tracePair(OutputId Out, PairId Pair) {
+  const OutputInfo &Info = G.output(Out);
+  const Node &N = G.node(Info.Node);
+  const PointsToPair &P = PT.pair(Pair);
+  Trace::Event E = Obs.Events->event("pair_introduced");
+  E.field("solver", "cs")
+      .field("out", uint64_t(Out))
+      .field("node", uint64_t(Info.Node))
+      .field("kind", nodeKindName(N.Kind))
+      .field("line", uint64_t(N.Loc.Line))
+      .field("pair", uint64_t(Pair))
+      .field("path", uint64_t(index(P.Path)))
+      .field("referent", uint64_t(index(P.Referent)));
+  if (Paths.isLocation(P.Referent))
+    E.field("referent_base", Paths.base(Paths.baseOf(P.Referent)).Name);
+}
+
+void ContextSensSolver::tracePruned(const char *Rule, NodeId N, PairId Pair) {
+  Obs.Events->event("assumption_pruned")
+      .field("solver", "cs")
+      .field("rule", Rule)
+      .field("node", uint64_t(N))
+      .field("line", uint64_t(G.node(N).Loc.Line))
+      .field("pair", uint64_t(Pair));
 }
 
 void ContextSensSolver::flowIn(const Event &E) {
@@ -149,11 +204,13 @@ void ContextSensSolver::flowIn(const Event &E) {
     flowOffset(N, E.Pair, E.Assum);
     return;
   case NodeKind::Merge:
-    flowOut(G.outputOf(N), E.Pair, E.Assum);
+    flowOut(G.outputOf(N), E.Pair, E.Assum,
+            {N, G.producerOf(N, Idx), E.Pair});
     return;
   case NodeKind::PtrArith:
     if (Idx == 0)
-      flowOut(G.outputOf(N), E.Pair, E.Assum);
+      flowOut(G.outputOf(N), E.Pair, E.Assum,
+              {N, G.producerOf(N, 0), E.Pair});
     return;
   case NodeKind::ScalarOp:
     return;
@@ -187,6 +244,11 @@ void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
       return;
     PathId Loc = P.Referent;
     AssumSetId AL = DropLoc ? EmptyAssumSet : A;
+    if (DropLoc && A != EmptyAssumSet) {
+      ++SingleLocPrunes;
+      if (Obs.Events)
+        tracePruned("single_loc", N, Pair);
+    }
     for (const auto &[SPairId, SSets] : qualifiedAtInput(N, 1)) {
       const PointsToPair &S = PT.pair(SPairId);
       if (!Paths.dom(Loc, S.Path))
@@ -194,7 +256,8 @@ void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
       PairId OutPair =
           PT.intern(Paths.subtractPrefix(S.Path, Loc), S.Referent);
       for (AssumSetId AS : SSets)
-        flowOut(Out, OutPair, AT.unionSets(AL, AS));
+        flowOut(Out, OutPair, AT.unionSets(AL, AS),
+                {N, G.producerOf(N, 1), SPairId, G.producerOf(N, 0), Pair});
     }
     return;
   }
@@ -208,12 +271,16 @@ void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
       continue;
     PairId OutPair =
         PT.intern(Paths.subtractPrefix(P.Path, L.Referent), P.Referent);
+    Derivation D{N, G.producerOf(N, 1), Pair, G.producerOf(N, 0), LPairId};
     if (DropLoc) {
-      flowOut(Out, OutPair, A);
+      ++SingleLocPrunes;
+      if (Obs.Events)
+        tracePruned("single_loc", N, LPairId);
+      flowOut(Out, OutPair, A, D);
       continue;
     }
     for (AssumSetId AL : LSets)
-      flowOut(Out, OutPair, AT.unionSets(AL, A));
+      flowOut(Out, OutPair, AT.unionSets(AL, A), D);
   }
 }
 
@@ -229,13 +296,19 @@ void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
       return;
     PathId Loc = P.Referent;
     AssumSetId AL = DropLoc ? EmptyAssumSet : A;
+    if (DropLoc && A != EmptyAssumSet) {
+      ++SingleLocPrunes;
+      if (Obs.Events)
+        tracePruned("single_loc", N, Pair);
+    }
     // (a) Write every known value at this location.
     for (const auto &[VPairId, VSets] : qualifiedAtInput(N, 2)) {
       const PointsToPair &V = PT.pair(VPairId);
       PairId OutPair =
           PT.intern(Paths.appendPath(Loc, V.Path), V.Referent);
       for (AssumSetId AV : VSets)
-        flowOut(Out, OutPair, AT.unionSets(AL, AV));
+        flowOut(Out, OutPair, AT.unionSets(AL, AV),
+                {N, G.producerOf(N, 2), VPairId, G.producerOf(N, 0), Pair});
     }
     // (b) Pass through store pairs this location does not strongly
     // overwrite. Pairs the CI analysis proves never strongly overwritten
@@ -247,7 +320,8 @@ void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
       if (Paths.strongDom(Loc, S.Path))
         continue;
       for (AssumSetId AS : SSets)
-        flowOut(Out, SPairId, AT.unionSets(AL, AS));
+        flowOut(Out, SPairId, AT.unionSets(AL, AS),
+                {N, G.producerOf(N, 1), SPairId, G.producerOf(N, 0), Pair});
     }
     return;
   }
@@ -255,7 +329,10 @@ void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
     // New store pair.
     if (ciNeverStronglyOverwrites(N, P.Path)) {
       // Optimization (b): provably unmodified; no location assumptions.
-      flowOut(Out, Pair, A);
+      ++StrongUpdatePrunes;
+      if (Obs.Events)
+        tracePruned("strong_update", N, Pair);
+      flowOut(Out, Pair, A, {N, G.producerOf(N, 1), Pair});
       return;
     }
     AssumSetId AS = A;
@@ -265,12 +342,17 @@ void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
         continue;
       if (Paths.strongDom(L.Referent, P.Path))
         continue;
+      Derivation D{N, G.producerOf(N, 1), Pair, G.producerOf(N, 0),
+                   LPairId};
       if (DropLoc) {
-        flowOut(Out, Pair, AS);
+        ++SingleLocPrunes;
+        if (Obs.Events)
+          tracePruned("single_loc", N, LPairId);
+        flowOut(Out, Pair, AS, D);
         continue;
       }
       for (AssumSetId AL : LSets)
-        flowOut(Out, Pair, AT.unionSets(AL, AS));
+        flowOut(Out, Pair, AT.unionSets(AL, AS), D);
     }
     return;
   }
@@ -283,12 +365,17 @@ void ContextSensSolver::flowUpdate(NodeId N, unsigned InIdx, PairId Pair,
         continue;
       PairId OutPair =
           PT.intern(Paths.appendPath(L.Referent, P.Path), P.Referent);
+      Derivation D{N, G.producerOf(N, 2), Pair, G.producerOf(N, 0),
+                   LPairId};
       if (DropLoc) {
-        flowOut(Out, OutPair, AV);
+        ++SingleLocPrunes;
+        if (Obs.Events)
+          tracePruned("single_loc", N, LPairId);
+        flowOut(Out, OutPair, AV, D);
         continue;
       }
       for (AssumSetId AL : LSets)
-        flowOut(Out, OutPair, AT.unionSets(AL, AV));
+        flowOut(Out, OutPair, AT.unionSets(AL, AV), D);
     }
     return;
   }
@@ -303,11 +390,12 @@ void ContextSensSolver::flowOffset(NodeId N, PairId Pair, AssumSetId A) {
   if (P.Path != PathTable::emptyPath())
     return;
   if (Node.OpIsNoop) {
-    flowOut(G.outputOf(N), Pair, A);
+    flowOut(G.outputOf(N), Pair, A, {N, G.producerOf(N, 0), Pair});
     return;
   }
   PathId NewRef = Paths.append(P.Referent, Node.Op);
-  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef), A);
+  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef), A,
+          {N, G.producerOf(N, 0), Pair});
 }
 
 //===----------------------------------------------------------------------===//
@@ -333,10 +421,11 @@ OutputId ContextSensSolver::actualForFormal(NodeId Call,
 }
 
 void ContextSensSolver::propagateReturn(NodeId Call, OutputId Target,
-                                        PairId Pair, AssumSetId Assum) {
+                                        PairId Pair, AssumSetId Assum,
+                                        const Derivation &D) {
   const std::vector<Assumption> &Elems = AT.elements(Assum);
   if (Elems.empty()) {
-    flowOut(Target, Pair, EmptyAssumSet);
+    flowOut(Target, Pair, EmptyAssumSet, D);
     return;
   }
 
@@ -365,7 +454,7 @@ void ContextSensSolver::propagateReturn(NodeId Call, OutputId Target,
     if (std::find(Produced.begin(), Produced.end(), Combined) ==
         Produced.end()) {
       Produced.push_back(Combined);
-      flowOut(Target, Pair, Combined);
+      flowOut(Target, Pair, Combined, D);
     }
     // Advance the mixed-radix cursor.
     size_t I = 0;
@@ -389,14 +478,17 @@ void ContextSensSolver::replayCalleeReturns(NodeId Call,
     for (const auto &[Pair, Sets] :
          qualifiedAtInput(Info->ReturnNode, 0))
       for (AssumSetId A : Sets)
-        propagateReturn(Call, Target, Pair, A);
+        propagateReturn(Call, Target, Pair, A,
+                        {Call, G.producerOf(Info->ReturnNode, 0), Pair});
   }
   unsigned RetStoreIdx = RetNode.HasValue ? 1 : 0;
   OutputId StoreTarget = G.outputOf(Call, CallNode.HasResult ? 1 : 0);
   for (const auto &[Pair, Sets] :
        qualifiedAtInput(Info->ReturnNode, RetStoreIdx))
     for (AssumSetId A : Sets)
-      propagateReturn(Call, StoreTarget, Pair, A);
+      propagateReturn(
+          Call, StoreTarget, Pair, A,
+          {Call, G.producerOf(Info->ReturnNode, RetStoreIdx), Pair});
 }
 
 void ContextSensSolver::propagateActualsToCallee(NodeId Call,
@@ -410,14 +502,16 @@ void ContextSensSolver::propagateActualsToCallee(NodeId Call,
     OutputId Formal = G.outputOf(Entry, I);
     for (const auto &[Pair, Sets] : qualifiedAtInput(Call, I + 1)) {
       (void)Sets;
-      flowOut(Formal, Pair, AT.singleton(Formal, Pair));
+      flowOut(Formal, Pair, AT.singleton(Formal, Pair),
+              {Call, G.producerOf(Call, I + 1), Pair});
     }
   }
   OutputId StoreFormal = G.outputOf(Entry, NumFormals);
   unsigned StoreIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
   for (const auto &[Pair, Sets] : qualifiedAtInput(Call, StoreIdx)) {
     (void)Sets;
-    flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair));
+    flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair),
+            {Call, G.producerOf(Call, StoreIdx), Pair});
   }
 }
 
@@ -452,7 +546,8 @@ void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
         OutputId StoreOut = G.outputOf(N, CallNode.HasResult ? 1 : 0);
         for (const auto &[SPair, SSets] : qualifiedAtInput(N, LastIdx))
           for (AssumSetId SA : SSets)
-            flowOut(StoreOut, SPair, SA);
+            flowOut(StoreOut, SPair, SA,
+                    {N, G.producerOf(N, LastIdx), SPair});
       }
       return;
     }
@@ -464,13 +559,15 @@ void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
     for (const FunctionInfo *Info : CalleesOf[N]) {
       OutputId StoreFormal =
           G.outputOf(Info->EntryNode, Info->NumParams);
-      flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair));
+      flowOut(StoreFormal, Pair, AT.singleton(StoreFormal, Pair),
+              {N, G.producerOf(N, InIdx), Pair});
       // A new actual pair may satisfy return assumptions that previously
       // failed; replay the callee's returned pairs.
       replayCalleeReturns(N, Info);
     }
     if (IdentityCalls.contains(N))
-      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair, A);
+      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair, A,
+              {N, G.producerOf(N, InIdx), Pair});
     return;
   }
 
@@ -478,7 +575,8 @@ void ContextSensSolver::flowCall(NodeId N, unsigned InIdx, PairId Pair,
   for (const FunctionInfo *Info : CalleesOf[N]) {
     if (ActualIdx < Info->NumParams) {
       OutputId Formal = G.outputOf(Info->EntryNode, ActualIdx);
-      flowOut(Formal, Pair, AT.singleton(Formal, Pair));
+      flowOut(Formal, Pair, AT.singleton(Formal, Pair),
+              {N, G.producerOf(N, InIdx), Pair});
     }
     replayCalleeReturns(N, Info);
   }
@@ -495,10 +593,11 @@ void ContextSensSolver::flowReturn(NodeId N, unsigned InIdx, PairId Pair,
     const Node &CallNode = G.node(Call);
     if (IsValue) {
       if (CallNode.HasResult)
-        propagateReturn(Call, G.outputOf(Call, 0), Pair, A);
+        propagateReturn(Call, G.outputOf(Call, 0), Pair, A,
+                        {Call, G.producerOf(N, InIdx), Pair});
     } else {
       propagateReturn(Call, G.outputOf(Call, CallNode.HasResult ? 1 : 0),
-                      Pair, A);
+                      Pair, A, {Call, G.producerOf(N, InIdx), Pair});
     }
   }
 }

@@ -68,6 +68,22 @@ public:
   /// final paragraph).
   PointsToResult stripAssumptions() const;
 
+  /// Turns on derivation recording; call before the first insert.
+  void enableProvenance() {
+    RecordProvenance = true;
+    Derivs.resize(QP.size());
+  }
+  bool provenanceEnabled() const { return RecordProvenance; }
+
+  /// The derivation recorded when \p Pair first appeared on \p Out (any
+  /// assumption set), or null when absent or provenance was not enabled.
+  const Derivation *derivation(OutputId Out, PairId Pair) const {
+    if (!RecordProvenance || Out >= Derivs.size())
+      return nullptr;
+    auto It = Derivs[Out].find(Pair);
+    return It == Derivs[Out].end() ? nullptr : &It->second;
+  }
+
   /// Renders the qualified pairs on \p Out, one per line:
   /// "(p -> a) if {f0: (q -> b)}". Section 4.1 notes that some clients
   /// [PLR92, LRZ93] prefer to consume the qualified information directly;
@@ -83,6 +99,10 @@ public:
 private:
   friend class ContextSensSolver;
   std::vector<std::map<PairId, std::vector<AssumSetId>>> QP;
+  /// First derivation per (output, pair), recorded when the pair's first
+  /// qualified instance arrives; empty unless provenance is enabled.
+  std::vector<std::map<PairId, Derivation>> Derivs;
+  bool RecordProvenance = false;
 };
 
 /// Runs the Figure 5 analysis. Requires the context-insensitive solution
@@ -92,7 +112,8 @@ class ContextSensSolver {
 public:
   ContextSensSolver(const Graph &G, PathTable &Paths, PairTable &PT,
                     AssumptionSetTable &AT, const PointsToResult &CI,
-                    ContextSensOptions Options = {});
+                    ContextSensOptions Options = {},
+                    SolverObserver Obs = {});
 
   ContextSensResult solve();
 
@@ -103,9 +124,15 @@ private:
     AssumSetId Assum;
   };
 
-  bool insert(OutputId Out, PairId Pair, AssumSetId Assum);
-  void flowOut(OutputId Out, PairId Pair, AssumSetId Assum);
+  bool insert(OutputId Out, PairId Pair, AssumSetId Assum,
+              const Derivation &D);
+  void flowOut(OutputId Out, PairId Pair, AssumSetId Assum,
+               const Derivation &D = {});
   void flowIn(const Event &E);
+
+  /// Trace helpers; single null check when tracing is disabled.
+  void tracePair(OutputId Out, PairId Pair);
+  void tracePruned(const char *Rule, NodeId N, PairId Pair);
 
   void flowLookup(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
   void flowUpdate(NodeId N, unsigned InIdx, PairId Pair, AssumSetId A);
@@ -120,7 +147,7 @@ private:
   /// Figure 5's propagate-return: discharges \p Assum against the pairs on
   /// the call's actuals and emits requalified facts at \p Target.
   void propagateReturn(NodeId Call, OutputId Target, PairId Pair,
-                       AssumSetId Assum);
+                       AssumSetId Assum, const Derivation &D = {});
 
   /// Maps a callee formal output to the caller-side producing output at
   /// this call site, or InvalidId when out of range.
@@ -144,7 +171,12 @@ private:
   AssumptionSetTable &AT;
   const PointsToResult &CI;
   ContextSensOptions Options;
+  SolverObserver Obs;
   ContextSensResult Result;
+  /// Section 4.2 pruning activity, published as cs.* metrics.
+  uint64_t SubsumptionDiscards = 0;
+  uint64_t SingleLocPrunes = 0;
+  uint64_t StrongUpdatePrunes = 0;
 
   std::deque<Event> Worklist;
   /// Hashed call-graph side tables; looked up by key only (never

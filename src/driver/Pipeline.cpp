@@ -17,6 +17,8 @@ using namespace vdga;
 std::unique_ptr<AnalyzedProgram>
 AnalyzedProgram::create(std::string_view Source, std::string *Error) {
   auto AP = std::unique_ptr<AnalyzedProgram>(new AnalyzedProgram());
+  AP->TraceSink = Trace::fromEnv();
+  MetricsRegistry::ScopedTimer T = AP->Metrics.time("frontend.ms");
   AP->Prog = std::make_unique<Program>();
   Program &P = *AP->Prog;
   P.SourceLines = Lexer::countCodeLines(Source);

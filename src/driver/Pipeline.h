@@ -21,6 +21,8 @@
 #include "contextsens/Spurious.h"
 #include "frontend/CallGraphAST.h"
 #include "interp/Interpreter.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vdg/Graph.h"
 
 #include <memory>
@@ -38,26 +40,55 @@ public:
   static std::unique_ptr<AnalyzedProgram> create(std::string_view Source,
                                                  std::string *Error);
 
-  /// Context-insensitive analysis (Figure 1).
+  /// Context-insensitive analysis (Figure 1). \p RecordProvenance keeps a
+  /// Derivation per pair instance (for `vdga-analyze --explain`).
   PointsToResult runContextInsensitive(
-      WorklistOrder Order = WorklistOrder::FIFO) {
-    return ContextInsensitiveSolver(G, Paths, PT, Order).solve();
+      WorklistOrder Order = WorklistOrder::FIFO,
+      bool RecordProvenance = false) {
+    MetricsRegistry::ScopedTimer T = Metrics.time("ci.solve.ms");
+    return ContextInsensitiveSolver(G, Paths, PT, Order,
+                                    observer(RecordProvenance))
+        .solve();
   }
 
   /// Context-sensitive analysis (Figure 5). \p CI supplies the pruning
   /// facts of Section 4.2.
   ContextSensResult runContextSensitive(const PointsToResult &CI,
-                                        ContextSensOptions Options = {}) {
-    return ContextSensSolver(G, Paths, PT, Assums, CI, Options).solve();
+                                        ContextSensOptions Options = {},
+                                        bool RecordProvenance = false) {
+    MetricsRegistry::ScopedTimer T = Metrics.time("cs.solve.ms");
+    return ContextSensSolver(G, Paths, PT, Assums, CI, Options,
+                             observer(RecordProvenance))
+        .solve();
   }
 
   /// Weihl-style program-wide flow-insensitive baseline.
-  WeihlResult runWeihl() { return WeihlSolver(G, Paths, PT).solve(); }
+  WeihlResult runWeihl() {
+    MetricsRegistry::ScopedTimer T = Metrics.time("weihl.solve.ms");
+    return WeihlSolver(G, Paths, PT, observer()).solve();
+  }
 
   /// Steensgaard-style unification baseline.
   SteensgaardResult runSteensgaard() {
-    return SteensgaardSolver(G, Paths).solve();
+    MetricsRegistry::ScopedTimer T = Metrics.time("steens.solve.ms");
+    return SteensgaardSolver(G, Paths, observer()).solve();
   }
+
+  /// Overrides the event sink (create() seeds it from `VDGA_TRACE`). Pass
+  /// null to disable tracing for this program.
+  void setTrace(Trace *T) { TraceSink = T; }
+
+  /// The observability hooks the run* methods hand their solver: this
+  /// program's registry, the configured trace sink, and the caller's
+  /// provenance switch.
+  SolverObserver observer(bool RecordProvenance = false) {
+    return {&Metrics, TraceSink, RecordProvenance};
+  }
+
+  /// Counters and timers published by every analysis run on this program.
+  /// One registry per program keeps the parallel corpus driver race-free
+  /// (each worker owns its AnalyzedProgram).
+  MetricsRegistry Metrics;
 
   /// Executes the program in the concrete interpreter.
   RunResult interpret(std::string Input = "",
@@ -84,6 +115,8 @@ private:
   std::unique_ptr<Program> Prog;
   std::unique_ptr<CallGraphAST> CG;
   std::unique_ptr<LocationTable> Locs;
+  /// Event sink shared with the solvers; null means tracing disabled.
+  Trace *TraceSink = nullptr;
 };
 
 } // namespace vdga

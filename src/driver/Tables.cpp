@@ -51,9 +51,12 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.AllBreakdown =
       computePairBreakdown(AP->G, CI, AP->PT, AP->Paths, AP->locations());
   R.StatsMillis = millisSince(TStats);
+  AP->Metrics.addTime("stats.ms", R.StatsMillis);
 
-  if (!RunCS)
+  if (!RunCS) {
+    R.Metrics = AP->Metrics.metrics();
     return R;
+  }
 
   R.RanCS = true;
   auto T1 = std::chrono::steady_clock::now();
@@ -61,8 +64,10 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.CSMillis = millisSince(T1);
   R.CSStats = CS.Stats;
   R.CSCompleted = CS.Completed;
-  if (!CS.Completed)
+  if (!CS.Completed) {
+    R.Metrics = AP->Metrics.metrics();
     return R;
+  }
 
   auto TStats2 = std::chrono::steady_clock::now();
   PointsToResult Stripped = CS.stripAssumptions();
@@ -75,7 +80,10 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.SpuriousBreakdown = S.SpuriousBreakdown;
   R.IndirectOpsWhereCSWins =
       countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT);
-  R.StatsMillis += millisSince(TStats2);
+  double CSStatsMillis = millisSince(TStats2);
+  R.StatsMillis += CSStatsMillis;
+  AP->Metrics.addTime("stats.ms", CSStatsMillis);
+  R.Metrics = AP->Metrics.metrics();
   return R;
 }
 
@@ -536,6 +544,17 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
         J.key("cs_wins").value(R.IndirectOpsWhereCSWins);
         J.key("containment_violations").value(R.ContainmentViolations);
       }
+    }
+    if (!R.Metrics.empty()) {
+      J.key("metrics").open('{');
+      for (const Metric &M : R.Metrics) {
+        J.key(M.Name.c_str());
+        if (M.IsTimer)
+          J.value(M.Millis);
+        else
+          J.value(M.Count);
+      }
+      J.close('}');
     }
     J.close('}');
   }

@@ -18,6 +18,7 @@
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
 #include "pointsto/Statistics.h"
+#include "support/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -57,6 +58,10 @@ struct BenchmarkReport {
   PairBreakdown SpuriousBreakdown;
   SolveStats CSStats;
   double CSMillis = 0.0;
+
+  /// Snapshot of the program's MetricsRegistry after all phases ran;
+  /// exported as the "metrics" section of the JSON bench artifact.
+  std::vector<Metric> Metrics;
 };
 
 /// Runs CI (and optionally CS) over one corpus program.

@@ -6,12 +6,26 @@
 
 #include "pointsto/Solver.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace vdga;
 
 const std::vector<const FunctionInfo *> PointsToResult::NoCallees;
+
+const Derivation *PointsToResult::derivation(OutputId Out,
+                                             PairId Pair) const {
+  if (!RecordProvenance || Out >= Derivations.size())
+    return nullptr;
+  const std::vector<PairId> &Pairs = PairsByOutput[Out];
+  for (size_t I = 0; I < Pairs.size(); ++I)
+    if (Pairs[I] == Pair)
+      return &Derivations[Out][I];
+  return nullptr;
+}
 
 std::vector<PathId> PointsToResult::pointerReferents(OutputId Out,
                                                      const PairTable &PT)
@@ -54,7 +68,8 @@ PointsToResult ContextInsensitiveSolver::solve() {
     const Node &Node = G.node(N);
     if (Node.Kind != NodeKind::ConstPath)
       continue;
-    flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path));
+    flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path),
+            {N});
   }
 
   while (!Worklist.empty()) {
@@ -62,15 +77,55 @@ PointsToResult ContextInsensitiveSolver::solve() {
     ++Result.Stats.TransferFns;
     flowIn(In, Pair);
   }
+
+  if (Obs.Metrics) {
+    Obs.Metrics->add("ci.transfer_fns", Result.Stats.TransferFns);
+    Obs.Metrics->add("ci.meet_ops", Result.Stats.MeetOps);
+    Obs.Metrics->add("ci.pairs_inserted", Result.Stats.PairsInserted);
+    Obs.Metrics->add("ci.deduped_events", Result.Stats.DedupedEvents);
+    Obs.Metrics->add("ci.strong_updates", StrongUpdates);
+  }
   return std::move(Result);
 }
 
 void ContextInsensitiveSolver::enqueue(InputId In, PairId Pair) {
   if (!Queued[In].insert(Pair)) {
     ++Result.Stats.DedupedEvents;
+    if (Obs.Events)
+      Obs.Events->event("worklist_dedup")
+          .field("solver", "ci")
+          .field("input", uint64_t(In))
+          .field("pair", uint64_t(Pair));
     return;
   }
   Worklist.emplace_back(In, Pair);
+}
+
+void ContextInsensitiveSolver::tracePair(OutputId Out, PairId Pair) {
+  const OutputInfo &Info = G.output(Out);
+  const Node &N = G.node(Info.Node);
+  const PointsToPair &P = PT.pair(Pair);
+  Trace::Event E = Obs.Events->event("pair_introduced");
+  E.field("solver", "ci")
+      .field("out", uint64_t(Out))
+      .field("node", uint64_t(Info.Node))
+      .field("kind", nodeKindName(N.Kind))
+      .field("line", uint64_t(N.Loc.Line))
+      .field("pair", uint64_t(Pair))
+      .field("path", uint64_t(index(P.Path)))
+      .field("referent", uint64_t(index(P.Referent)));
+  if (Paths.isLocation(P.Referent))
+    E.field("referent_base", Paths.base(Paths.baseOf(P.Referent)).Name);
+}
+
+void ContextInsensitiveSolver::traceStrongUpdate(NodeId N, PathId Loc,
+                                                 PairId Killed) {
+  Obs.Events->event("strong_update")
+      .field("solver", "ci")
+      .field("node", uint64_t(N))
+      .field("line", uint64_t(G.node(N).Loc.Line))
+      .field("loc", uint64_t(index(Loc)))
+      .field("killed_pair", uint64_t(Killed));
 }
 
 std::pair<InputId, PairId> ContextInsensitiveSolver::dequeue() {
@@ -86,11 +141,14 @@ std::pair<InputId, PairId> ContextInsensitiveSolver::dequeue() {
   return Event;
 }
 
-void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair) {
+void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair,
+                                       const Derivation &D) {
   ++Result.Stats.MeetOps;
-  if (!Result.insert(Out, Pair))
+  if (!Result.insert(Out, Pair, D))
     return;
   ++Result.Stats.PairsInserted;
+  if (Obs.Events)
+    tracePair(Out, Pair);
   for (InputId Consumer : G.output(Out).Consumers)
     enqueue(Consumer, Pair);
 }
@@ -112,12 +170,12 @@ void ContextInsensitiveSolver::flowIn(InputId In, PairId Pair) {
     flowOffset(N, Pair);
     return;
   case NodeKind::Merge:
-    flowOut(G.outputOf(N), Pair);
+    flowOut(G.outputOf(N), Pair, {N, G.producerOf(N, Idx), Pair});
     return;
   case NodeKind::PtrArith:
     // Identity on the first operand's pairs; scalar operands are inert.
     if (Idx == 0)
-      flowOut(G.outputOf(N), Pair);
+      flowOut(G.outputOf(N), Pair, {N, G.producerOf(N, 0), Pair});
     return;
   case NodeKind::ScalarOp:
     return; // Scalar results carry no pairs.
@@ -153,8 +211,9 @@ void ContextInsensitiveSolver::flowLookup(NodeId N, unsigned InIdx,
     for (PairId SId : pairsAtInput(N, 1)) {
       const PointsToPair &S = PT.pair(SId);
       if (Paths.dom(Loc, S.Path))
-        flowOut(Out, PT.intern(Paths.subtractPrefix(S.Path, Loc),
-                               S.Referent));
+        flowOut(Out,
+                PT.intern(Paths.subtractPrefix(S.Path, Loc), S.Referent),
+                {N, G.producerOf(N, 1), SId, G.producerOf(N, 0), Pair});
     }
     return;
   }
@@ -166,8 +225,10 @@ void ContextInsensitiveSolver::flowLookup(NodeId N, unsigned InIdx,
     if (L.Path != PathTable::emptyPath())
       continue;
     if (Paths.dom(L.Referent, P.Path))
-      flowOut(Out, PT.intern(Paths.subtractPrefix(P.Path, L.Referent),
-                             P.Referent));
+      flowOut(Out,
+              PT.intern(Paths.subtractPrefix(P.Path, L.Referent),
+                        P.Referent),
+              {N, G.producerOf(N, 1), Pair, G.producerOf(N, 0), LId});
   }
 }
 
@@ -185,15 +246,22 @@ void ContextInsensitiveSolver::flowUpdate(NodeId N, unsigned InIdx,
     // (a) It writes every known value there.
     for (PairId VId : pairsAtInput(N, 2)) {
       const PointsToPair &V = PT.pair(VId);
-      flowOut(Out, PT.intern(Paths.appendPath(Loc, V.Path), V.Referent));
+      flowOut(Out, PT.intern(Paths.appendPath(Loc, V.Path), V.Referent),
+              {N, G.producerOf(N, 2), VId, G.producerOf(N, 0), Pair});
     }
     // (b) Store pairs this location does not strongly overwrite pass
     // through (CWZ90 strong updates: a pair blocked by one location is
     // re-examined when other locations arrive).
     for (PairId SId : pairsAtInput(N, 1)) {
       const PointsToPair &S = PT.pair(SId);
-      if (!Paths.strongDom(Loc, S.Path))
-        flowOut(Out, SId);
+      if (!Paths.strongDom(Loc, S.Path)) {
+        flowOut(Out, SId,
+                {N, G.producerOf(N, 1), SId, G.producerOf(N, 0), Pair});
+      } else {
+        ++StrongUpdates;
+        if (Obs.Events)
+          traceStrongUpdate(N, Loc, SId);
+      }
     }
     return;
   }
@@ -201,14 +269,24 @@ void ContextInsensitiveSolver::flowUpdate(NodeId N, unsigned InIdx,
     // New store pair: passes through if at least one location fails to
     // strongly overwrite it. With no locations yet, it stays blocked; the
     // location rule above replays it later.
+    bool Blocked = false;
+    PathId BlockingLoc = PathTable::emptyPath();
     for (PairId LId : pairsAtInput(N, 0)) {
       const PointsToPair &L = PT.pair(LId);
       if (L.Path != PathTable::emptyPath())
         continue;
       if (!Paths.strongDom(L.Referent, P.Path)) {
-        flowOut(Out, Pair);
+        flowOut(Out, Pair,
+                {N, G.producerOf(N, 1), Pair, G.producerOf(N, 0), LId});
         return;
       }
+      Blocked = true;
+      BlockingLoc = L.Referent;
+    }
+    if (Blocked) {
+      ++StrongUpdates;
+      if (Obs.Events)
+        traceStrongUpdate(N, BlockingLoc, Pair);
     }
     return;
   }
@@ -218,8 +296,9 @@ void ContextInsensitiveSolver::flowUpdate(NodeId N, unsigned InIdx,
       const PointsToPair &L = PT.pair(LId);
       if (L.Path != PathTable::emptyPath())
         continue;
-      flowOut(Out, PT.intern(Paths.appendPath(L.Referent, P.Path),
-                             P.Referent));
+      flowOut(Out,
+              PT.intern(Paths.appendPath(L.Referent, P.Path), P.Referent),
+              {N, G.producerOf(N, 2), Pair, G.producerOf(N, 0), LId});
     }
     return;
   }
@@ -234,11 +313,12 @@ void ContextInsensitiveSolver::flowOffset(NodeId N, PairId Pair) {
   if (P.Path != PathTable::emptyPath())
     return; // Only pointer values are meaningful here.
   if (Node.OpIsNoop) {
-    flowOut(G.outputOf(N), Pair);
+    flowOut(G.outputOf(N), Pair, {N, G.producerOf(N, 0), Pair});
     return;
   }
   PathId NewRef = Paths.append(P.Referent, Node.Op);
-  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef));
+  flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), NewRef),
+          {N, G.producerOf(N, 0), Pair});
 }
 
 //===----------------------------------------------------------------------===//
@@ -267,12 +347,14 @@ void ContextInsensitiveSolver::propagateActualsToCallee(
 
   for (unsigned I = 0; I < std::min(NumActuals, NumFormals); ++I)
     for (PairId Pair : pairsAtInput(Call, I + 1))
-      flowOut(G.outputOf(Entry, I), Pair);
+      flowOut(G.outputOf(Entry, I), Pair,
+              {Call, G.producerOf(Call, I + 1), Pair});
 
   // Store: the call's last input feeds the entry's store formal.
   unsigned StoreIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
   for (PairId Pair : pairsAtInput(Call, StoreIdx))
-    flowOut(G.outputOf(Entry, NumFormals), Pair);
+    flowOut(G.outputOf(Entry, NumFormals), Pair,
+            {Call, G.producerOf(Call, StoreIdx), Pair});
 }
 
 void ContextInsensitiveSolver::propagateReturnToCaller(
@@ -282,12 +364,14 @@ void ContextInsensitiveSolver::propagateReturnToCaller(
 
   if (RetNode.HasValue && CallNode.HasResult)
     for (PairId Pair : pairsAtInput(Info->ReturnNode, 0))
-      flowOut(G.outputOf(Call, 0), Pair);
+      flowOut(G.outputOf(Call, 0), Pair,
+              {Call, G.producerOf(Info->ReturnNode, 0), Pair});
 
   unsigned RetStoreIdx = RetNode.HasValue ? 1 : 0;
   OutputId CallStoreOut = G.outputOf(Call, CallNode.HasResult ? 1 : 0);
   for (PairId Pair : pairsAtInput(Info->ReturnNode, RetStoreIdx))
-    flowOut(CallStoreOut, Pair);
+    flowOut(CallStoreOut, Pair,
+            {Call, G.producerOf(Info->ReturnNode, RetStoreIdx), Pair});
 }
 
 void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
@@ -312,7 +396,8 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
         OutputId StoreOut =
             G.outputOf(N, CallNode.HasResult ? 1 : 0);
         for (PairId SPair : pairsAtInput(N, LastIdx))
-          flowOut(StoreOut, SPair);
+          flowOut(StoreOut, SPair,
+                  {N, G.producerOf(N, LastIdx), SPair});
       }
       return;
     }
@@ -323,9 +408,11 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
   if (InIdx == LastIdx) {
     // New store pair: flows into every callee's store formal.
     for (const FunctionInfo *Info : Result.callees(N))
-      flowOut(G.outputOf(Info->EntryNode, Info->NumParams), Pair);
+      flowOut(G.outputOf(Info->EntryNode, Info->NumParams), Pair,
+              {N, G.producerOf(N, InIdx), Pair});
     if (IdentityCalls.contains(N))
-      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair);
+      flowOut(G.outputOf(N, CallNode.HasResult ? 1 : 0), Pair,
+              {N, G.producerOf(N, InIdx), Pair});
     return;
   }
 
@@ -333,7 +420,8 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
   unsigned ActualIdx = InIdx - 1;
   for (const FunctionInfo *Info : Result.callees(N))
     if (ActualIdx < Info->NumParams)
-      flowOut(G.outputOf(Info->EntryNode, ActualIdx), Pair);
+      flowOut(G.outputOf(Info->EntryNode, ActualIdx), Pair,
+              {N, G.producerOf(N, InIdx), Pair});
 }
 
 void ContextInsensitiveSolver::flowReturn(NodeId N, unsigned InIdx,
@@ -349,9 +437,11 @@ void ContextInsensitiveSolver::flowReturn(NodeId N, unsigned InIdx,
     const Node &CallNode = G.node(Call);
     if (IsValue) {
       if (CallNode.HasResult)
-        flowOut(G.outputOf(Call, 0), Pair);
+        flowOut(G.outputOf(Call, 0), Pair,
+                {Call, G.producerOf(N, InIdx), Pair});
     } else {
-      flowOut(G.outputOf(Call, CallNode.HasResult ? 1 : 0), Pair);
+      flowOut(G.outputOf(Call, CallNode.HasResult ? 1 : 0), Pair,
+              {Call, G.producerOf(N, InIdx), Pair});
     }
   }
 }

@@ -23,6 +23,7 @@
 
 #include "pointsto/PointsToPair.h"
 #include "support/DenseBitSet.h"
+#include "support/Observability.h"
 #include "vdg/Graph.h"
 
 #include <deque>
@@ -44,6 +45,24 @@ struct SolveStats {
   uint64_t DedupedEvents = 0;
 };
 
+/// Provenance of one derived pair instance: the node whose transfer
+/// function introduced it and up to two predecessor (output, pair)
+/// instances — e.g. a lookup result combines a store pair (primary, the
+/// content that flowed) with a location pair (secondary, the gate).
+/// Instances from Figure 1's initialization carry the seeding ConstPath
+/// node and no predecessors, terminating every derivation chain. First
+/// derivations only: predecessors were always inserted strictly earlier,
+/// so chains are acyclic.
+struct Derivation {
+  NodeId Node = InvalidId;      ///< Deriving node (seed: the ConstPath).
+  OutputId PredOut = InvalidId; ///< Primary predecessor instance.
+  PairId PredPair = 0;
+  OutputId PredOut2 = InvalidId; ///< Secondary predecessor, if any.
+  PairId PredPair2 = 0;
+
+  bool isSeed() const { return PredOut == InvalidId; }
+};
+
 /// The solution: per-output points-to pair sets plus the discovered call
 /// graph.
 class PointsToResult {
@@ -51,13 +70,28 @@ public:
   explicit PointsToResult(size_t NumOutputs)
       : PairsByOutput(NumOutputs), SetsByOutput(NumOutputs) {}
 
-  /// Inserts \p Pair into \p Out's set; returns true if it was new.
-  bool insert(OutputId Out, PairId Pair) {
+  /// Inserts \p Pair into \p Out's set; returns true if it was new. When
+  /// provenance is enabled, \p D is recorded for new instances (first
+  /// derivation wins).
+  bool insert(OutputId Out, PairId Pair, const Derivation &D = {}) {
     if (!SetsByOutput[Out].insert(Pair))
       return false;
     PairsByOutput[Out].push_back(Pair);
+    if (RecordProvenance)
+      Derivations[Out].push_back(D);
     return true;
   }
+
+  /// Turns on derivation recording; call before the first insert.
+  void enableProvenance() {
+    RecordProvenance = true;
+    Derivations.resize(PairsByOutput.size());
+  }
+  bool provenanceEnabled() const { return RecordProvenance; }
+
+  /// The recorded first derivation of \p Pair at \p Out, or null when the
+  /// instance is absent or provenance was not enabled.
+  const Derivation *derivation(OutputId Out, PairId Pair) const;
 
   bool contains(OutputId Out, PairId Pair) const {
     return SetsByOutput[Out].contains(Pair);
@@ -88,6 +122,9 @@ private:
   /// Membership index: pair ids are dense interner output, so one bit per
   /// pair beats a hash-set node on every meet operation.
   std::vector<DenseBitSet> SetsByOutput;
+  /// Parallel to PairsByOutput when provenance is enabled, else empty.
+  std::vector<std::vector<Derivation>> Derivations;
+  bool RecordProvenance = false;
   std::unordered_map<NodeId, std::vector<const FunctionInfo *>> CalleesOf;
   static const std::vector<const FunctionInfo *> NoCallees;
 };
@@ -96,8 +133,13 @@ private:
 class ContextInsensitiveSolver {
 public:
   ContextInsensitiveSolver(const Graph &G, PathTable &Paths, PairTable &PT,
-                           WorklistOrder Order = WorklistOrder::FIFO)
-      : G(G), Paths(Paths), PT(PT), Order(Order), Result(G.numOutputs()) {}
+                           WorklistOrder Order = WorklistOrder::FIFO,
+                           SolverObserver Obs = {})
+      : G(G), Paths(Paths), PT(PT), Order(Order), Obs(Obs),
+        Result(G.numOutputs()) {
+    if (Obs.RecordProvenance)
+      Result.enableProvenance();
+  }
 
   /// Seeds every ConstPath node and iterates to a fixed point.
   PointsToResult solve();
@@ -109,8 +151,12 @@ private:
   void enqueue(InputId In, PairId Pair);
   std::pair<InputId, PairId> dequeue();
 
-  void flowOut(OutputId Out, PairId Pair);
+  void flowOut(OutputId Out, PairId Pair, const Derivation &D = {});
   void flowIn(InputId In, PairId Pair);
+
+  /// Trace helpers; single null check when tracing is disabled.
+  void tracePair(OutputId Out, PairId Pair);
+  void traceStrongUpdate(NodeId N, PathId Loc, PairId Killed);
 
   void flowLookup(NodeId N, unsigned InIdx, PairId Pair);
   void flowUpdate(NodeId N, unsigned InIdx, PairId Pair);
@@ -131,7 +177,10 @@ private:
   PathTable &Paths;
   PairTable &PT;
   WorklistOrder Order;
+  SolverObserver Obs;
   PointsToResult Result;
+  /// Store pairs killed by a strong update (published as a metric).
+  uint64_t StrongUpdates = 0;
 
   std::deque<std::pair<InputId, PairId>> Worklist;
   /// Per-input membership of queued-but-unprocessed events, for dedup.

@@ -1,0 +1,59 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cassert>
+
+using namespace vdga;
+
+MetricsRegistry::ScopedTimer::~ScopedTimer() {
+  auto End = std::chrono::steady_clock::now();
+  Registry.addTime(
+      Name, std::chrono::duration<double, std::milli>(End - Start).count());
+}
+
+Metric &MetricsRegistry::get(std::string_view Name, bool IsTimer) {
+  auto It = Index.find(std::string(Name));
+  if (It != Index.end()) {
+    Metric &M = Metrics[It->second];
+    assert(M.IsTimer == IsTimer && "metric reused with a different kind");
+    return M;
+  }
+  Index.emplace(std::string(Name), Metrics.size());
+  Metrics.push_back(Metric{std::string(Name), IsTimer, 0, 0.0});
+  return Metrics.back();
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  get(Name, /*IsTimer=*/false).Count += Delta;
+}
+
+void MetricsRegistry::set(std::string_view Name, uint64_t Value) {
+  get(Name, /*IsTimer=*/false).Count = Value;
+}
+
+void MetricsRegistry::addTime(std::string_view Name, double Millis) {
+  get(Name, /*IsTimer=*/true).Millis += Millis;
+}
+
+const Metric *MetricsRegistry::find(std::string_view Name) const {
+  auto It = Index.find(std::string(Name));
+  return It == Index.end() ? nullptr : &Metrics[It->second];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  for (const Metric &M : Other.Metrics) {
+    Metric &Mine = get(M.Name, M.IsTimer);
+    Mine.Count += M.Count;
+    Mine.Millis += M.Millis;
+  }
+}
+
+void MetricsRegistry::clear() {
+  Metrics.clear();
+  Index.clear();
+}

@@ -1,0 +1,97 @@
+//===- support/Metrics.h - Named counter/timer registry --------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight registry of named metrics: monotone counters and
+/// wall-clock timers accumulating milliseconds. The solvers (CI, CS,
+/// Weihl, Steensgaard) and the pipeline publish into the registry owned by
+/// their `AnalyzedProgram`; `renderBenchJson` exports the registry as the
+/// `metrics` section of the vdga-bench-v1 artifact.
+///
+/// Iteration order is first-registration order, so exported artifacts are
+/// deterministic. The registry is intentionally not thread-safe: the
+/// parallel corpus driver gives every program its own pipeline (and thus
+/// its own registry), matching the one-pipeline-per-thread split.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_METRICS_H
+#define VDGA_SUPPORT_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vdga {
+
+/// One named metric. Counters hold an integer count; timers hold
+/// accumulated wall-clock milliseconds. By convention timer names end in
+/// ".ms" (tools/bench_diff.py keys off the suffix).
+struct Metric {
+  std::string Name;
+  bool IsTimer = false;
+  uint64_t Count = 0;
+  double Millis = 0.0;
+};
+
+/// Registry of named counters and timers; see the file comment.
+class MetricsRegistry {
+public:
+  /// Adds \p Delta to the named counter, creating it at zero first.
+  void add(std::string_view Name, uint64_t Delta);
+
+  /// Sets the named counter to \p Value (gauge semantics).
+  void set(std::string_view Name, uint64_t Value);
+
+  /// Accumulates wall-clock milliseconds on the named timer.
+  void addTime(std::string_view Name, double Millis);
+
+  /// RAII scope accumulating its lifetime into a named timer.
+  class ScopedTimer {
+  public:
+    ScopedTimer(MetricsRegistry &Registry, std::string_view Name)
+        : Registry(Registry), Name(Name),
+          Start(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+    ~ScopedTimer();
+
+  private:
+    MetricsRegistry &Registry;
+    std::string Name;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  /// Times the enclosing scope into the named timer.
+  ScopedTimer time(std::string_view Name) { return {*this, Name}; }
+
+  /// All metrics in first-registration order.
+  const std::vector<Metric> &metrics() const { return Metrics; }
+
+  /// The named metric, or null if never registered.
+  const Metric *find(std::string_view Name) const;
+
+  /// Folds \p Other into this registry (counters add, timers accumulate);
+  /// names new to this registry append in \p Other's order.
+  void merge(const MetricsRegistry &Other);
+
+  size_t size() const { return Metrics.size(); }
+  bool empty() const { return Metrics.empty(); }
+  void clear();
+
+private:
+  Metric &get(std::string_view Name, bool IsTimer);
+
+  std::vector<Metric> Metrics;
+  std::unordered_map<std::string, size_t> Index;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_METRICS_H

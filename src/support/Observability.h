@@ -1,0 +1,38 @@
+//===- support/Observability.h - Solver observability hooks ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bundle of observability hooks threaded through every solver:
+/// a metrics registry to publish counters/timers into, an optional
+/// structured event trace, and the provenance-recording switch. All
+/// default to off; a default-constructed observer makes every hook a
+/// no-op, so solver behaviour (results, work counters, schedules) is
+/// bit-identical with and without observation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_OBSERVABILITY_H
+#define VDGA_SUPPORT_OBSERVABILITY_H
+
+namespace vdga {
+
+class MetricsRegistry;
+class Trace;
+
+/// Observability hooks handed to a solver run; see the file comment.
+struct SolverObserver {
+  /// Registry the solver publishes its counters into, or null.
+  MetricsRegistry *Metrics = nullptr;
+  /// Structured event sink, or null (tracing disabled).
+  Trace *Events = nullptr;
+  /// When true, the result records one Derivation per pair instance so
+  /// `vdga-analyze --explain` can print derivation chains.
+  bool RecordProvenance = false;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_OBSERVABILITY_H

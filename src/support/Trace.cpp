@@ -1,0 +1,96 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdlib>
+
+using namespace vdga;
+
+Trace::~Trace() {
+  if (File && CloseOnDestroy)
+    std::fclose(File);
+}
+
+std::unique_ptr<Trace> Trace::open(const std::string &Path,
+                                   std::string *Error) {
+  if (Path == "-")
+    return std::unique_ptr<Trace>(new Trace(stderr, /*CloseOnDestroy=*/false));
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open trace file '" + Path + "'";
+    return nullptr;
+  }
+  return std::unique_ptr<Trace>(new Trace(F, /*CloseOnDestroy=*/true));
+}
+
+Trace *Trace::fromEnv() {
+  // Opened at most once per process; every pipeline shares the sink
+  // (writes are line-atomic under the mutex).
+  static std::unique_ptr<Trace> Env = [] {
+    const char *Path = std::getenv("VDGA_TRACE");
+    if (!Path || !*Path)
+      return std::unique_ptr<Trace>();
+    std::string Error;
+    std::unique_ptr<Trace> T = open(Path, &Error);
+    if (!T)
+      std::fprintf(stderr, "VDGA_TRACE: %s; tracing disabled\n",
+                   Error.c_str());
+    return T;
+  }();
+  return Env.get();
+}
+
+void Trace::write(const std::string &Line) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Buffer) {
+    *Buffer += Line;
+    Buffer->push_back('\n');
+    return;
+  }
+  std::fputs(Line.c_str(), File);
+  std::fputc('\n', File);
+}
+
+//===----------------------------------------------------------------------===//
+// Event builder
+//===----------------------------------------------------------------------===//
+
+Trace::Event::Event(Trace &T, const char *Kind) : T(T) {
+  Line = "{\"event\":\"";
+  Line += Kind;
+  Line += '"';
+}
+
+Trace::Event::~Event() {
+  Line += '}';
+  T.write(Line);
+}
+
+Trace::Event &Trace::Event::field(const char *Key, uint64_t V) {
+  Line += ",\"";
+  Line += Key;
+  Line += "\":";
+  Line += std::to_string(V);
+  return *this;
+}
+
+Trace::Event &Trace::Event::field(const char *Key, const char *V) {
+  Line += ",\"";
+  Line += Key;
+  Line += "\":\"";
+  for (const char *P = V; *P; ++P) {
+    char C = *P;
+    if (C == '"' || C == '\\')
+      Line += '\\';
+    // Control characters do not occur in the identifiers and kind names
+    // we emit; keep the escaper minimal.
+    Line += C;
+  }
+  Line += '"';
+  return *this;
+}

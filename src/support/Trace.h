@@ -1,0 +1,100 @@
+//===- support/Trace.h - Opt-in structured event trace ---------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in structured solver trace: one JSON object per line (JSONL).
+/// The solvers emit events through a nullable `Trace *` — when tracing is
+/// disabled the pointer is null and every event site is a single
+/// predicted-not-taken branch, so the disabled cost is near zero (the
+/// trace tests assert results and work counters are bit-identical either
+/// way).
+///
+/// Enabling:
+///   * process-wide: set `VDGA_TRACE=<path>` ("-" for stderr); the
+///     pipeline picks the shared sink up via `Trace::fromEnv()`;
+///   * per pipeline: `AnalyzedProgram::setTrace(&T)` with a trace from
+///     `Trace::open` or the in-memory string constructor (tests).
+///
+/// Event kinds emitted today (see docs/ARCHITECTURE.md for the field
+/// tables): `pair_introduced`, `strong_update`, `assumption_pruned`,
+/// `worklist_dedup`. Writes are mutex-guarded per line, so one sink can
+/// serve the parallel corpus driver without interleaving lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_TRACE_H
+#define VDGA_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vdga {
+
+/// A JSONL trace sink; see the file comment.
+class Trace {
+public:
+  /// A trace capturing into \p Buffer (tests, programmatic consumers).
+  explicit Trace(std::string *Buffer) : Buffer(Buffer) {}
+
+  ~Trace();
+  Trace(const Trace &) = delete;
+  Trace &operator=(const Trace &) = delete;
+
+  /// Opens a file sink ("-" means stderr). Returns null and fills
+  /// \p Error when the file cannot be opened.
+  static std::unique_ptr<Trace> open(const std::string &Path,
+                                     std::string *Error);
+
+  /// The process-wide sink named by the `VDGA_TRACE` environment
+  /// variable, or null when unset (tracing disabled). Opened once; shared
+  /// by every pipeline in the process.
+  static Trace *fromEnv();
+
+  /// One event under construction. Appends `"key":value` fields and
+  /// writes the finished line to the trace when destroyed (end of the
+  /// full expression at the emit site).
+  class Event {
+  public:
+    Event(Trace &T, const char *Kind);
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    ~Event();
+
+    Event &field(const char *Key, uint64_t V);
+    Event &field(const char *Key, const char *V);
+    Event &field(const char *Key, const std::string &V) {
+      return field(Key, V.c_str());
+    }
+
+  private:
+    Trace &T;
+    std::string Line;
+  };
+
+  /// Starts an event of the given kind; chain `.field(...)` calls on the
+  /// returned temporary.
+  Event event(const char *Kind) { return Event(*this, Kind); }
+
+private:
+  friend class Event;
+  Trace(std::FILE *File, bool CloseOnDestroy)
+      : File(File), CloseOnDestroy(CloseOnDestroy) {}
+
+  /// Appends one finished line (mutex-guarded).
+  void write(const std::string &Line);
+
+  std::FILE *File = nullptr;
+  bool CloseOnDestroy = false;
+  std::string *Buffer = nullptr;
+  std::mutex Mu;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_TRACE_H

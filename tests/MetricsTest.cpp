@@ -1,0 +1,101 @@
+//===- tests/MetricsTest.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The metrics registry: counters, timers, registration order, merging.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry R;
+  R.add("ci.meet_ops", 3);
+  R.add("ci.meet_ops", 4);
+  const Metric *M = R.find("ci.meet_ops");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(M->IsTimer);
+  EXPECT_EQ(M->Count, 7u);
+}
+
+TEST(Metrics, SetHasGaugeSemantics) {
+  MetricsRegistry R;
+  R.set("steens.classes", 10);
+  R.set("steens.classes", 4);
+  EXPECT_EQ(R.find("steens.classes")->Count, 4u);
+}
+
+TEST(Metrics, FindUnknownReturnsNull) {
+  MetricsRegistry R;
+  EXPECT_EQ(R.find("never.registered"), nullptr);
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(Metrics, IterationIsRegistrationOrder) {
+  MetricsRegistry R;
+  R.add("zebra", 1);
+  R.add("alpha", 1);
+  R.addTime("mid.ms", 1.0);
+  R.add("zebra", 1); // Re-registration must not reorder.
+  ASSERT_EQ(R.size(), 3u);
+  EXPECT_EQ(R.metrics()[0].Name, "zebra");
+  EXPECT_EQ(R.metrics()[1].Name, "alpha");
+  EXPECT_EQ(R.metrics()[2].Name, "mid.ms");
+}
+
+TEST(Metrics, TimersAccumulateMillis) {
+  MetricsRegistry R;
+  R.addTime("phase.ms", 1.5);
+  R.addTime("phase.ms", 2.25);
+  const Metric *M = R.find("phase.ms");
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->IsTimer);
+  EXPECT_DOUBLE_EQ(M->Millis, 3.75);
+}
+
+TEST(Metrics, ScopedTimerRecordsNonNegativeTime) {
+  MetricsRegistry R;
+  {
+    MetricsRegistry::ScopedTimer T = R.time("scoped.ms");
+    volatile unsigned Sink = 0;
+    for (unsigned I = 0; I < 1000; ++I)
+      Sink = Sink + I;
+    (void)Sink;
+  }
+  const Metric *M = R.find("scoped.ms");
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->IsTimer);
+  EXPECT_GE(M->Millis, 0.0);
+}
+
+TEST(Metrics, MergeAddsCountersAndTimers) {
+  MetricsRegistry A, B;
+  A.add("shared", 1);
+  A.addTime("t.ms", 1.0);
+  B.add("shared", 2);
+  B.addTime("t.ms", 0.5);
+  B.add("only_b", 9);
+  A.merge(B);
+  EXPECT_EQ(A.find("shared")->Count, 3u);
+  EXPECT_DOUBLE_EQ(A.find("t.ms")->Millis, 1.5);
+  ASSERT_NE(A.find("only_b"), nullptr);
+  EXPECT_EQ(A.find("only_b")->Count, 9u);
+  // Names new to A append after A's existing ones.
+  EXPECT_EQ(A.metrics().back().Name, "only_b");
+}
+
+TEST(Metrics, ClearEmptiesTheRegistry) {
+  MetricsRegistry R;
+  R.add("a", 1);
+  R.clear();
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.find("a"), nullptr);
+}
+
+} // namespace

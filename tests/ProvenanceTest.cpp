@@ -1,0 +1,154 @@
+//===- tests/ProvenanceTest.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Points-to provenance: every derived pair records the node that produced
+// it and its predecessor pair instances, so derivation chains walk back to
+// a Figure 1 seed (the machinery behind `vdga-analyze --explain`).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <set>
+#include <utility>
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+/// &x flows through an identity function back to a dereference in main:
+/// the pair at `*r`'s location input derives through the call's return,
+/// the callee's entry, and finally the `&x` ConstPath seed.
+constexpr const char *IdentitySrc = R"(int x;
+int *identity(int *p) { return p; }
+int main() {
+  int *r;
+  r = identity(&x);
+  return *r;
+})";
+
+/// The (empty-path -> x) pair on \p Out, or InvalidId-like failure.
+PairId findPointerPairTo(AnalyzedProgram &AP, const PointsToResult &R,
+                         OutputId Out, const std::string &Base) {
+  for (PairId Pair : R.pairs(Out)) {
+    const PointsToPair &P = AP.PT.pair(Pair);
+    if (P.Path != PathTable::emptyPath())
+      continue;
+    if (AP.Paths.isLocation(P.Referent) &&
+        AP.Paths.base(AP.Paths.baseOf(P.Referent)).Name == Base)
+      return Pair;
+  }
+  ADD_FAILURE() << "no pointer pair to " << Base << " on output " << Out;
+  return 0;
+}
+
+/// Walks primary predecessors to the seed; returns the hop count and the
+/// terminal derivation (null when a link is missing).
+template <typename GetDeriv>
+std::pair<unsigned, const Derivation *> walkChain(OutputId Out, PairId Pair,
+                                                  GetDeriv Get) {
+  unsigned Hops = 0;
+  const Derivation *D = Get(Out, Pair);
+  while (D && !D->isSeed() && Hops < 100) {
+    ++Hops;
+    Out = D->PredOut;
+    Pair = D->PredPair;
+    D = Get(Out, Pair);
+  }
+  return {Hops, D};
+}
+
+TEST(Provenance, DisabledByDefault) {
+  auto AP = analyze(IdentitySrc);
+  PointsToResult CI = AP->runContextInsensitive();
+  EXPECT_FALSE(CI.provenanceEnabled());
+  NodeId N = memoryNodeAtLine(AP->G, 6, false);
+  ASSERT_NE(N, InvalidId);
+  OutputId Out = AP->G.producerOf(N, 0);
+  PairId Pair = findPointerPairTo(*AP, CI, Out, "x");
+  EXPECT_EQ(CI.derivation(Out, Pair), nullptr);
+}
+
+TEST(Provenance, CiChainReachesSeedThroughCall) {
+  auto AP = analyze(IdentitySrc);
+  PointsToResult CI =
+      AP->runContextInsensitive(WorklistOrder::FIFO, /*RecordProvenance=*/true);
+  ASSERT_TRUE(CI.provenanceEnabled());
+
+  NodeId N = memoryNodeAtLine(AP->G, 6, false);
+  ASSERT_NE(N, InvalidId);
+  OutputId Out = AP->G.producerOf(N, 0);
+  PairId Pair = findPointerPairTo(*AP, CI, Out, "x");
+
+  auto [Hops, Seed] = walkChain(Out, Pair, [&](OutputId O, PairId P) {
+    return CI.derivation(O, P);
+  });
+  ASSERT_NE(Seed, nullptr) << "chain has a missing link";
+  ASSERT_TRUE(Seed->isSeed());
+  // &x -> identity's entry -> the call's result: at least two derived hops
+  // before the Figure 1 initialization at the ConstPath node.
+  EXPECT_GE(Hops, 2u);
+  EXPECT_EQ(AP->G.node(Seed->Node).Kind, NodeKind::ConstPath);
+  EXPECT_EQ(AP->G.node(Seed->Node).Loc.Line, 5u); // the `&x` argument
+}
+
+TEST(Provenance, EveryRecordedPredecessorExists) {
+  auto AP = analyze(IdentitySrc);
+  PointsToResult CI =
+      AP->runContextInsensitive(WorklistOrder::FIFO, /*RecordProvenance=*/true);
+  for (OutputId Out = 0; Out < AP->G.numOutputs(); ++Out) {
+    for (PairId Pair : CI.pairs(Out)) {
+      const Derivation *D = CI.derivation(Out, Pair);
+      ASSERT_NE(D, nullptr) << "output " << Out;
+      ASSERT_NE(D->Node, InvalidId);
+      if (D->PredOut != InvalidId) {
+        EXPECT_TRUE(CI.contains(D->PredOut, D->PredPair))
+            << "primary predecessor not in the solution";
+      }
+      if (D->PredOut2 != InvalidId) {
+        EXPECT_TRUE(CI.contains(D->PredOut2, D->PredPair2))
+            << "secondary predecessor not in the solution";
+      }
+    }
+  }
+}
+
+TEST(Provenance, RecordingDoesNotPerturbResults) {
+  auto Plain = analyze(IdentitySrc);
+  PointsToResult Off = Plain->runContextInsensitive();
+  auto Recorded = analyze(IdentitySrc);
+  PointsToResult On =
+      Recorded->runContextInsensitive(WorklistOrder::FIFO, true);
+  EXPECT_EQ(Off.Stats.TransferFns, On.Stats.TransferFns);
+  EXPECT_EQ(Off.Stats.PairsInserted, On.Stats.PairsInserted);
+  for (OutputId Out = 0; Out < Plain->G.numOutputs(); ++Out)
+    EXPECT_EQ(Off.pairs(Out), On.pairs(Out)) << "output " << Out;
+}
+
+TEST(Provenance, CsChainReachesSeed) {
+  auto AP = analyze(IdentitySrc);
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS =
+      AP->runContextSensitive(CI, {}, /*RecordProvenance=*/true);
+  ASSERT_TRUE(CS.Completed);
+  ASSERT_TRUE(CS.provenanceEnabled());
+
+  NodeId N = memoryNodeAtLine(AP->G, 6, false);
+  ASSERT_NE(N, InvalidId);
+  OutputId Out = AP->G.producerOf(N, 0);
+  PointsToResult Stripped = CS.stripAssumptions();
+  PairId Pair = findPointerPairTo(*AP, Stripped, Out, "x");
+
+  auto [Hops, Seed] = walkChain(Out, Pair, [&](OutputId O, PairId P) {
+    return CS.derivation(O, P);
+  });
+  ASSERT_NE(Seed, nullptr) << "chain has a missing link";
+  ASSERT_TRUE(Seed->isSeed());
+  EXPECT_GE(Hops, 1u);
+  EXPECT_EQ(AP->G.node(Seed->Node).Kind, NodeKind::ConstPath);
+}
+
+} // namespace
+

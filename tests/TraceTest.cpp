@@ -1,0 +1,134 @@
+//===- tests/TraceTest.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The JSONL event trace: disabled-by-default, well-formed output, and the
+// guarantee that tracing never perturbs solver results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "support/Trace.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+/// Two globals reaching one dereference through a two-way merge: enough
+/// flow to exercise pair introduction, worklist dedup and call handling.
+constexpr const char *TracedSrc = R"(int a;
+int b;
+int *pick(int *p, int *q, int c) {
+  int *r;
+  if (c) { r = p; } else { r = q; }
+  return r;
+}
+int main() {
+  int *m;
+  m = pick(&a, &b, 1);
+  *m = 3;
+  return 0;
+})";
+
+size_t countOccurrences(const std::string &S, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t Pos = S.find(Needle); Pos != std::string::npos;
+       Pos = S.find(Needle, Pos + Needle.size()))
+    ++N;
+  return N;
+}
+
+std::vector<std::string> lines(const std::string &Buf) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start < Buf.size()) {
+    size_t End = Buf.find('\n', Start);
+    if (End == std::string::npos)
+      End = Buf.size();
+    if (End > Start)
+      Out.push_back(Buf.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Out;
+}
+
+TEST(Trace, FromEnvIsNullWhenUnset) {
+  // ctest runs without VDGA_TRACE; the process-wide sink must stay off.
+  ASSERT_EQ(std::getenv("VDGA_TRACE"), nullptr);
+  EXPECT_EQ(Trace::fromEnv(), nullptr);
+}
+
+TEST(Trace, EmitsWellFormedJsonl) {
+  auto AP = analyze(TracedSrc);
+  std::string Buf;
+  Trace T(&Buf);
+  AP->setTrace(&T);
+  PointsToResult CI = AP->runContextInsensitive();
+
+  std::vector<std::string> Lines = lines(Buf);
+  ASSERT_FALSE(Lines.empty());
+  for (const std::string &L : Lines) {
+    EXPECT_EQ(L.front(), '{') << L;
+    EXPECT_EQ(L.back(), '}') << L;
+    EXPECT_NE(L.find("\"event\":\""), std::string::npos) << L;
+    // Keys and string values are quote-delimited; a well-formed line has
+    // an even number of unescaped quotes (no field writes raw strings).
+    EXPECT_EQ(countOccurrences(L, "\"") % 2, 0u) << L;
+  }
+}
+
+TEST(Trace, EventCountsMatchSolveStats) {
+  auto AP = analyze(TracedSrc);
+  std::string Buf;
+  Trace T(&Buf);
+  AP->setTrace(&T);
+  PointsToResult CI = AP->runContextInsensitive();
+
+  EXPECT_GT(CI.Stats.PairsInserted, 0u);
+  EXPECT_EQ(countOccurrences(Buf, "\"event\":\"pair_introduced\""),
+            CI.Stats.PairsInserted);
+  EXPECT_EQ(countOccurrences(Buf, "\"event\":\"worklist_dedup\""),
+            CI.Stats.DedupedEvents);
+}
+
+TEST(Trace, TracingDoesNotPerturbResults) {
+  auto Plain = analyze(TracedSrc);
+  PointsToResult Untraced = Plain->runContextInsensitive();
+
+  auto Traced = analyze(TracedSrc);
+  std::string Buf;
+  Trace T(&Buf);
+  Traced->setTrace(&T);
+  PointsToResult WithTrace = Traced->runContextInsensitive();
+
+  EXPECT_EQ(Untraced.Stats.TransferFns, WithTrace.Stats.TransferFns);
+  EXPECT_EQ(Untraced.Stats.MeetOps, WithTrace.Stats.MeetOps);
+  EXPECT_EQ(Untraced.Stats.PairsInserted, WithTrace.Stats.PairsInserted);
+  EXPECT_EQ(Untraced.Stats.DedupedEvents, WithTrace.Stats.DedupedEvents);
+  ASSERT_EQ(Plain->G.numOutputs(), Traced->G.numOutputs());
+  for (OutputId Out = 0; Out < Plain->G.numOutputs(); ++Out)
+    EXPECT_EQ(Untraced.pairs(Out), WithTrace.pairs(Out)) << "output " << Out;
+}
+
+TEST(Trace, ContextSensitiveRunsEmitCsEvents) {
+  auto AP = analyze(TracedSrc);
+  PointsToResult CI = AP->runContextInsensitive();
+
+  std::string Buf;
+  Trace T(&Buf);
+  AP->setTrace(&T);
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  ASSERT_TRUE(CS.Completed);
+
+  EXPECT_GT(countOccurrences(Buf, "\"solver\":\"cs\""), 0u);
+  EXPECT_GT(countOccurrences(Buf, "\"event\":\"pair_introduced\""), 0u);
+  for (const std::string &L : lines(Buf))
+    EXPECT_EQ(countOccurrences(L, "\"") % 2, 0u) << L;
+}
+
+} // namespace

@@ -67,6 +67,25 @@ def diff_counters(label, old, new, warnings):
                 )
 
 
+def diff_metrics(label, old, new, args, regressions, warnings):
+    """The registry-driven "metrics" section (see docs/BENCH_FORMAT.md):
+    names ending in ".ms" are wall-clock timers and go through the same
+    regression gate as the fixed time fields; everything else is a work
+    counter and only warns. Skipped cleanly when either artifact predates
+    the section."""
+    om, nm = old.get("metrics"), new.get("metrics")
+    if om is None or nm is None:
+        return
+    for name in sorted(om.keys() & nm.keys()):
+        if name.endswith(".ms"):
+            diff_time(label, f"metrics.{name}", om[name], nm[name], args,
+                      regressions)
+        elif om[name] != nm[name]:
+            warnings.append(
+                f"{label}.metrics.{name}: {om[name]} -> {nm[name]}"
+            )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -97,6 +116,7 @@ def main():
             diff_time(name, field, op.get(field), np.get(field), args,
                       regressions)
         diff_counters(name, op, np, warnings)
+        diff_metrics(name, op, np, args, regressions, warnings)
 
     for w in warnings:
         print(f"warning: {w}")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Usage: check_doc_links.py <repo-root>
+
+Scans every ``*.md`` at the repo root and under ``docs/`` for inline
+markdown links ``[text](target)``. External targets (``scheme://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; everything
+else is resolved relative to the file containing the link and must exist.
+Exits non-zero listing every broken link. Wired into ctest as
+``docs-check``.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(root)
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1]).resolve()
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 2
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

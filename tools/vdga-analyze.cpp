@@ -15,6 +15,11 @@
 //   vdga-analyze --dot prog.c            # VDG Graphviz dump
 //   vdga-analyze --run prog.c            # execute under the interpreter
 //   vdga-analyze --corpus bc --compare   # use an embedded benchmark
+//   vdga-analyze --explain x prog.c      # derivation chain of a points-to
+//                                        # pair referencing variable x
+//   vdga-analyze --diff-ci-cs prog.c     # pairs CS eliminates, and where
+//   vdga-analyze --diff-ci-cs            # same over the whole corpus
+//   vdga-analyze --trace t.jsonl ...     # JSONL solver event trace
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,26 +34,197 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 using namespace vdga;
 
 namespace {
 
-enum class Mode { Locations, CS, Compare, Pairs, ModRef, DefUse, Dump, Dot, Run };
+enum class Mode {
+  Locations,
+  CS,
+  Compare,
+  Pairs,
+  ModRef,
+  DefUse,
+  Dump,
+  Dot,
+  Run,
+  Explain,
+  DiffCiCs
+};
 
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [mode] (<file.c> | --corpus <name>) [--input <text>]\n"
+      "       [--trace <path>]\n"
       "modes: --ci (default) --cs --compare --pairs --modref --defuse "
-      "--dump --dot --run\n"
+      "--dump --dot --run --explain <var> --diff-ci-cs\n"
+      "--explain walks the recorded derivation chain of a points-to pair\n"
+      "whose referent is rooted at <var> (add --cs for the context-\n"
+      "sensitive derivation); --diff-ci-cs lists every pair the context-\n"
+      "sensitive analysis eliminates (whole corpus when no input given)\n"
       "corpus names:",
       Argv0);
   for (const CorpusProgram &P : corpus())
     std::fprintf(stderr, " %s", P.Name);
   std::fprintf(stderr, "\n");
   return 2;
+}
+
+/// Walks and prints the recorded derivation chain of (Out, Pair),
+/// following primary predecessors down to the Figure 1 seed. \p GetDeriv
+/// abstracts over the CI and CS provenance stores.
+template <class DerivFn>
+void printChain(AnalyzedProgram &AP, OutputId Out, PairId Pair,
+                DerivFn GetDeriv) {
+  const StringInterner &Names = AP.program().Names;
+  for (unsigned Depth = 0; Depth < 100; ++Depth) {
+    int Indent = static_cast<int>(2 * Depth + 2);
+    const OutputInfo &Info = AP.G.output(Out);
+    const Node &N = AP.G.node(Info.Node);
+    std::printf("%*s%s at output %u [%s @ %u:%u]\n", Indent, "",
+                AP.PT.str(Pair, AP.Paths, Names).c_str(), Out,
+                nodeKindName(N.Kind), N.Loc.Line, N.Loc.Column);
+    const Derivation *D = GetDeriv(Out, Pair);
+    if (!D) {
+      std::printf("%*s(no recorded derivation)\n", Indent + 2, "");
+      return;
+    }
+    if (D->isSeed()) {
+      const Node &Seed = AP.G.node(D->Node);
+      std::printf("%*sseeded by %s @ %u:%u (Figure 1 initialization)\n",
+                  Indent + 2, "", nodeKindName(Seed.Kind), Seed.Loc.Line,
+                  Seed.Loc.Column);
+      return;
+    }
+    const Node &Via = AP.G.node(D->Node);
+    if (D->PredOut2 != InvalidId)
+      std::printf("%*svia %s @ %u:%u, gated by %s at output %u\n",
+                  Indent + 2, "", nodeKindName(Via.Kind), Via.Loc.Line,
+                  Via.Loc.Column,
+                  AP.PT.str(D->PredPair2, AP.Paths, Names).c_str(),
+                  D->PredOut2);
+    else
+      std::printf("%*svia %s @ %u:%u\n", Indent + 2, "",
+                  nodeKindName(Via.Kind), Via.Loc.Line, Via.Loc.Column);
+    Out = D->PredOut;
+    Pair = D->PredPair;
+  }
+  std::printf("  ... (chain truncated at depth 100)\n");
+}
+
+/// `--explain <var>`: finds the pair instances whose referent is rooted at
+/// the named variable and prints the deepest recorded derivation chain.
+template <class PairsFn, class DerivFn>
+int explainVariable(AnalyzedProgram &AP, const char *Var, const char *Label,
+                    PairsFn ForEachPair, DerivFn GetDeriv) {
+  std::vector<std::pair<OutputId, PairId>> Candidates;
+  for (OutputId O = 0; O < AP.G.numOutputs(); ++O)
+    ForEachPair(O, [&](PairId Pair) {
+      const PointsToPair &P = AP.PT.pair(Pair);
+      if (!AP.Paths.isLocation(P.Referent))
+        return;
+      if (AP.Paths.base(AP.Paths.baseOf(P.Referent)).Name == Var)
+        Candidates.emplace_back(O, Pair);
+    });
+  if (Candidates.empty()) {
+    std::fprintf(stderr,
+                 "no points-to pair references a location rooted at '%s'\n",
+                 Var);
+    return 1;
+  }
+
+  // The deepest chain is the most informative one to show.
+  auto ChainDepth = [&](OutputId O, PairId Pair) {
+    unsigned Depth = 0;
+    for (; Depth < 100; ++Depth) {
+      const Derivation *D = GetDeriv(O, Pair);
+      if (!D || D->isSeed())
+        break;
+      O = D->PredOut;
+      Pair = D->PredPair;
+    }
+    return Depth;
+  };
+  std::pair<OutputId, PairId> Best = Candidates.front();
+  unsigned BestDepth = 0;
+  for (const auto &C : Candidates) {
+    unsigned Depth = ChainDepth(C.first, C.second);
+    if (Depth > BestDepth) {
+      BestDepth = Depth;
+      Best = C;
+    }
+  }
+  std::printf("%zu pair instance(s) reference '%s' (%s); deepest "
+              "derivation chain:\n",
+              Candidates.size(), Var, Label);
+  printChain(AP, Best.first, Best.second, GetDeriv);
+  return 0;
+}
+
+/// `--diff-ci-cs`: reports every (output, pair) instance present in the
+/// context-insensitive solution but absent from the stripped
+/// context-sensitive one, with the inputs each eliminated pair would have
+/// reached.
+int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "%s: %s", Name, Error.c_str());
+    return 1;
+  }
+  if (T)
+    AP->setTrace(T);
+  const StringInterner &Names = AP->program().Names;
+
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  if (!CS.Completed) {
+    std::fprintf(stderr, "%s: context-sensitive run hit the work cap\n",
+                 Name);
+    return 1;
+  }
+  PointsToResult Stripped = CS.stripAssumptions();
+
+  std::printf("%s: pairs eliminated by the context-sensitive analysis\n",
+              Name);
+  uint64_t Eliminated = 0;
+  for (OutputId O = 0; O < AP->G.numOutputs(); ++O) {
+    for (PairId Pair : CI.pairs(O)) {
+      if (Stripped.contains(O, Pair))
+        continue;
+      ++Eliminated;
+      const OutputInfo &Info = AP->G.output(O);
+      const Node &N = AP->G.node(Info.Node);
+      std::printf("  %s at output %u [%s @ %u:%u]",
+                  AP->PT.str(Pair, AP->Paths, Names).c_str(), O,
+                  nodeKindName(N.Kind), N.Loc.Line, N.Loc.Column);
+      if (Info.Consumers.empty()) {
+        std::printf(" (no consumers)\n");
+        continue;
+      }
+      std::printf(", would reach:");
+      for (InputId In : Info.Consumers) {
+        const InputInfo &II = AP->G.input(In);
+        const Node &C = AP->G.node(II.Node);
+        std::printf(" %s@%u:%u/in%u", nodeKindName(C.Kind), C.Loc.Line,
+                    C.Loc.Column, II.Index);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("  totals: CI=%llu CS=%llu eliminated=%llu; indirect ops "
+              "where CS wins: %u\n",
+              static_cast<unsigned long long>(CI.totalPairInstances()),
+              static_cast<unsigned long long>(
+                  Stripped.totalPairInstances()),
+              static_cast<unsigned long long>(Eliminated),
+              countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT));
+  return 0;
 }
 
 void printLocations(AnalyzedProgram &AP, const PointsToResult &R,
@@ -77,15 +253,19 @@ int main(int argc, char **argv) {
   Mode M = Mode::Locations;
   const char *File = nullptr;
   const char *CorpusName = nullptr;
+  const char *ExplainVar = nullptr;
+  const char *TracePath = nullptr;
+  bool WantCS = false;
   std::string Input;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strcmp(Arg, "--ci") == 0)
       M = Mode::Locations;
-    else if (std::strcmp(Arg, "--cs") == 0)
+    else if (std::strcmp(Arg, "--cs") == 0) {
       M = Mode::CS;
-    else if (std::strcmp(Arg, "--compare") == 0)
+      WantCS = true;
+    } else if (std::strcmp(Arg, "--compare") == 0)
       M = Mode::Compare;
     else if (std::strcmp(Arg, "--pairs") == 0)
       M = Mode::Pairs;
@@ -99,6 +279,12 @@ int main(int argc, char **argv) {
       M = Mode::Dot;
     else if (std::strcmp(Arg, "--run") == 0)
       M = Mode::Run;
+    else if (std::strcmp(Arg, "--explain") == 0 && I + 1 < argc)
+      ExplainVar = argv[++I];
+    else if (std::strcmp(Arg, "--diff-ci-cs") == 0)
+      M = Mode::DiffCiCs;
+    else if (std::strcmp(Arg, "--trace") == 0 && I + 1 < argc)
+      TracePath = argv[++I];
     else if (std::strcmp(Arg, "--corpus") == 0 && I + 1 < argc)
       CorpusName = argv[++I];
     else if (std::strcmp(Arg, "--input") == 0 && I + 1 < argc)
@@ -107,6 +293,28 @@ int main(int argc, char **argv) {
       return usage(argv[0]);
     else
       File = Arg;
+  }
+  // --explain combines with --cs (explain the CS derivation), so it wins
+  // over the mode the --cs flag set.
+  if (ExplainVar)
+    M = Mode::Explain;
+
+  std::unique_ptr<Trace> CliTrace;
+  if (TracePath) {
+    std::string TraceError;
+    CliTrace = Trace::open(TracePath, &TraceError);
+    if (!CliTrace) {
+      std::fprintf(stderr, "%s\n", TraceError.c_str());
+      return 1;
+    }
+  }
+
+  // Corpus-wide diff when no specific input was named.
+  if (M == Mode::DiffCiCs && !File && !CorpusName) {
+    int Rc = 0;
+    for (const CorpusProgram &P : corpus())
+      Rc |= diffCiCs(P.Source, P.Name, CliTrace.get());
+    return Rc;
   }
 
   std::string Source;
@@ -136,6 +344,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", Error.c_str());
     return 1;
   }
+  if (CliTrace)
+    AP->setTrace(CliTrace.get());
 
   switch (M) {
   case Mode::Locations: {
@@ -255,6 +465,34 @@ int main(int argc, char **argv) {
     }
     return static_cast<int>(R.ExitCode);
   }
+  case Mode::Explain: {
+    PointsToResult CI = AP->runContextInsensitive(
+        WorklistOrder::FIFO, /*RecordProvenance=*/!WantCS);
+    if (!WantCS)
+      return explainVariable(
+          *AP, ExplainVar, "context-insensitive",
+          [&](OutputId O, auto Consider) {
+            for (PairId Pair : CI.pairs(O))
+              Consider(Pair);
+          },
+          [&](OutputId O, PairId Pair) { return CI.derivation(O, Pair); });
+    ContextSensResult CS = AP->runContextSensitive(
+        CI, ContextSensOptions(), /*RecordProvenance=*/true);
+    if (!CS.Completed) {
+      std::fprintf(stderr, "context-sensitive run hit the work cap\n");
+      return 1;
+    }
+    return explainVariable(
+        *AP, ExplainVar, "context-sensitive",
+        [&](OutputId O, auto Consider) {
+          for (const auto &[Pair, Sets] : CS.qualified(O))
+            Consider(Pair);
+        },
+        [&](OutputId O, PairId Pair) { return CS.derivation(O, Pair); });
+  }
+  case Mode::DiffCiCs:
+    return diffCiCs(Source, CorpusName ? CorpusName : File,
+                    CliTrace.get());
   }
   return 0;
 }
