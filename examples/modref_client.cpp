@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/ModRef.h"
+#include "clients/ModRef.h"
 #include "driver/Pipeline.h"
 
 #include <cstdio>

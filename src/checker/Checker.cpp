@@ -1,0 +1,200 @@
+//===- checker/Checker.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+using namespace vdga;
+
+const char *vdga::checkLevelName(CheckLevel L) {
+  switch (L) {
+  case CheckLevel::None:
+    return "none";
+  case CheckLevel::Verify:
+    return "verify";
+  case CheckLevel::Oracle:
+    return "oracle";
+  case CheckLevel::Diagnose:
+    return "diagnose";
+  }
+  return "?";
+}
+
+const char *vdga::findingSeverityName(FindingSeverity S) {
+  switch (S) {
+  case FindingSeverity::Note:
+    return "note";
+  case FindingSeverity::Warning:
+    return "warning";
+  case FindingSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+unsigned CheckReport::countSeverity(FindingSeverity S) const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    if (F.Severity == S)
+      ++N;
+  return N;
+}
+
+void CheckReport::sortFindings() {
+  auto Key = [](const Finding &F) {
+    return std::tie(F.Loc.Line, F.Loc.Column, F.Pass, F.Analysis,
+                    F.Message, F.Path);
+  };
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [&](const Finding &A, const Finding &B) {
+                     return Key(A) < Key(B);
+                   });
+}
+
+std::string CheckReport::renderText() const {
+  std::ostringstream OS;
+  for (const Finding &F : Findings) {
+    if (F.Loc.isValid())
+      OS << F.Loc.Line << ':' << F.Loc.Column << ": ";
+    OS << findingSeverityName(F.Severity) << " [" << F.Pass;
+    if (!F.Analysis.empty())
+      OS << '/' << F.Analysis;
+    OS << "] " << F.Message;
+    if (!F.Path.empty())
+      OS << " (path " << F.Path << ')';
+    OS << '\n';
+    for (const std::string &Line : F.Provenance)
+      OS << "    " << Line << '\n';
+  }
+  OS << "checks:";
+  if (VerifierRan)
+    OS << " verifier=" << VerifierChecks;
+  if (OracleRan)
+    OS << " oracle-sites=" << OracleSites
+       << " oracle-checks=" << OracleChecks;
+  OS << " findings=" << Findings.size() << " errors=" << errorCount()
+     << '\n';
+  return OS.str();
+}
+
+namespace {
+void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+} // namespace
+
+std::string CheckReport::renderJson() const {
+  std::ostringstream OS;
+  OS << "{\"schema\":\"vdga-check-v1\""
+     << ",\"verifier_ran\":" << (VerifierRan ? "true" : "false")
+     << ",\"oracle_ran\":" << (OracleRan ? "true" : "false")
+     << ",\"diagnose_ran\":" << (DiagnoseRan ? "true" : "false")
+     << ",\"verifier_checks\":" << VerifierChecks
+     << ",\"oracle_sites\":" << OracleSites
+     << ",\"oracle_checks\":" << OracleChecks
+     << ",\"errors\":" << errorCount() << ",\"findings\":[";
+  bool First = true;
+  for (const Finding &F : Findings) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"pass\":";
+    jsonEscape(OS, F.Pass);
+    OS << ",\"severity\":\"" << findingSeverityName(F.Severity) << '"';
+    if (F.Loc.isValid())
+      OS << ",\"line\":" << F.Loc.Line << ",\"column\":" << F.Loc.Column;
+    if (F.Node != InvalidId)
+      OS << ",\"node\":" << F.Node;
+    OS << ",\"message\":";
+    jsonEscape(OS, F.Message);
+    if (!F.Path.empty()) {
+      OS << ",\"path\":";
+      jsonEscape(OS, F.Path);
+    }
+    if (!F.Analysis.empty()) {
+      OS << ",\"analysis\":";
+      jsonEscape(OS, F.Analysis);
+    }
+    if (!F.Provenance.empty()) {
+      OS << ",\"provenance\":[";
+      for (size_t I = 0; I < F.Provenance.size(); ++I) {
+        if (I)
+          OS << ',';
+        jsonEscape(OS, F.Provenance[I]);
+      }
+      OS << ']';
+    }
+    OS << '}';
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+std::vector<std::string>
+vdga::renderDerivationChain(const Graph &G, const PointsToResult &R,
+                            const PairTable &PT, const PathTable &Paths,
+                            const StringInterner &Names, OutputId Out,
+                            PairId Pair) {
+  std::vector<std::string> Lines;
+  if (!R.provenanceEnabled())
+    return Lines;
+  // First-derivation chains are acyclic (predecessors were inserted
+  // strictly earlier), so the depth cap is belt-and-braces only.
+  for (unsigned Depth = 0; Depth < 100; ++Depth) {
+    const Derivation *D = R.derivation(Out, Pair);
+    std::ostringstream OS;
+    const Node &N = G.node(G.output(Out).Node);
+    OS << PT.str(Pair, Paths, Names) << " at " << nodeKindName(N.Kind)
+       << " @ " << N.Loc.Line << ':' << N.Loc.Column;
+    if (!D) {
+      OS << " (no recorded derivation)";
+      Lines.push_back(OS.str());
+      return Lines;
+    }
+    if (D->isSeed()) {
+      const Node &Seed = G.node(D->Node);
+      OS << ", seeded @ " << Seed.Loc.Line << ':' << Seed.Loc.Column;
+      Lines.push_back(OS.str());
+      return Lines;
+    }
+    const Node &Via = G.node(D->Node);
+    OS << ", via " << nodeKindName(Via.Kind) << " @ " << Via.Loc.Line
+       << ':' << Via.Loc.Column;
+    Lines.push_back(OS.str());
+    Out = D->PredOut;
+    Pair = D->PredPair;
+  }
+  Lines.push_back("... (chain truncated)");
+  return Lines;
+}

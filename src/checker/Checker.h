@@ -1,0 +1,141 @@
+//===- checker/Checker.h - Checking & diagnostics subsystem ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker subsystem's shared vocabulary: check levels, structured
+/// findings, and the per-program CheckReport the three passes fill in.
+///
+/// Three cooperating passes guard the analyses (the paper's argument rests
+/// on their soundness — a CI/CS comparison is vacuous if either solver
+/// drops true pairs):
+///   * the VDG verifier (VdgVerifier.h) re-proves IR well-formedness over
+///     a fronted program: typed node wiring, store threading, call/return
+///     registration, interned-path algebra;
+///   * the soundness oracle (Oracle.h) runs the concrete interpreter and
+///     asserts every observed pointer target is covered by the CI, CS,
+///     Weihl and Steensgaard solutions;
+///   * the diagnostic client passes (Diagnostics.h) turn the CI solution
+///     plus the mod/ref and def/use clients into bug findings
+///     (dangling-stack escapes, possibly-uninitialized reads,
+///     possibly-null writes) with derivation-chain provenance.
+///
+/// Findings pre-render their paths and provenance, so a CheckReport is
+/// self-contained, bit-comparable across runs, and serializable without
+/// the program's interning tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CHECKER_CHECKER_H
+#define VDGA_CHECKER_CHECKER_H
+
+#include "pointsto/Solver.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// How much checking the pipeline performs. Levels are cumulative: each
+/// one runs everything below it.
+enum class CheckLevel : uint8_t {
+  None = 0,     ///< No checking (the default pipeline).
+  Verify = 1,   ///< VDG verifier only.
+  Oracle = 2,   ///< Verifier + interpreter-backed soundness oracle.
+  Diagnose = 3, ///< Verifier + oracle + alias-driven diagnostics.
+};
+
+const char *checkLevelName(CheckLevel L);
+
+/// Options threaded through `runChecks` / `checkCorpus`.
+struct CheckOptions {
+  CheckLevel Level = CheckLevel::Verify;
+  /// Worklist schedule for the solver runs the oracle checks against.
+  /// Findings are schedule-independent (asserted by the determinism
+  /// tests), matching Figure 1's order-independence.
+  WorklistOrder Order = WorklistOrder::FIFO;
+  /// stdin contents for the oracle's interpreter run.
+  std::string OracleInput;
+  /// Step cap for the oracle's interpreter run.
+  uint64_t OracleMaxSteps = 50'000'000;
+};
+
+/// Severity of one finding. Verifier violations and oracle misses are
+/// errors (the analysis infrastructure itself is broken); diagnostics are
+/// may-analysis warnings about the analyzed program.
+enum class FindingSeverity : uint8_t { Note, Warning, Error };
+
+const char *findingSeverityName(FindingSeverity S);
+
+/// One structured finding from any checker pass.
+struct Finding {
+  /// Emitting pass: "verifier", "oracle", "dangling-escape",
+  /// "uninit-read" or "null-write".
+  std::string Pass;
+  FindingSeverity Severity = FindingSeverity::Warning;
+  /// Program point the finding anchors to (invalid when program-wide).
+  SourceLoc Loc;
+  /// VDG node involved, or InvalidId.
+  NodeId Node = InvalidId;
+  std::string Message;
+  /// Rendered access path involved, when applicable.
+  std::string Path;
+  /// Oracle findings: the analysis that missed the pair ("ci", "cs",
+  /// "weihl", "steens").
+  std::string Analysis;
+  /// Rendered derivation chain (one line per step, outermost first) from
+  /// the Derivation provenance machinery, when recorded.
+  std::vector<std::string> Provenance;
+};
+
+/// Everything one checked program produced.
+struct CheckReport {
+  std::vector<Finding> Findings;
+
+  bool VerifierRan = false;
+  bool OracleRan = false;
+  bool DiagnoseRan = false;
+
+  /// Invariants the verifier evaluated.
+  uint64_t VerifierChecks = 0;
+  /// Memory-access sites the oracle cross-checked.
+  uint64_t OracleSites = 0;
+  /// (site, path, analysis) coverage checks the oracle performed.
+  uint64_t OracleChecks = 0;
+  /// Steps the oracle's interpreter run executed.
+  uint64_t OracleSteps = 0;
+
+  unsigned countSeverity(FindingSeverity S) const;
+  unsigned errorCount() const { return countSeverity(FindingSeverity::Error); }
+
+  /// True when no pass reported an Error-severity finding.
+  bool clean() const { return errorCount() == 0; }
+
+  /// Orders findings by (line, column, pass, message) so reports are
+  /// bit-identical across worklist schedules and job counts.
+  void sortFindings();
+
+  /// Human-readable rendering; contains no timings, so two deterministic
+  /// runs render byte-identically.
+  std::string renderText() const;
+
+  /// JSON rendering (one object: counters + findings array), same
+  /// determinism contract as renderText.
+  std::string renderJson() const;
+};
+
+/// Renders the recorded CI derivation chain of (Out, Pair) as display
+/// lines, outermost instance first, ending at the Figure 1 seed. Empty
+/// when provenance was not recorded for the instance.
+std::vector<std::string>
+renderDerivationChain(const Graph &G, const PointsToResult &R,
+                      const PairTable &PT, const PathTable &Paths,
+                      const StringInterner &Names, OutputId Out,
+                      PairId Pair);
+
+} // namespace vdga
+
+#endif // VDGA_CHECKER_CHECKER_H

@@ -1,0 +1,210 @@
+//===- checker/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Diagnostics.h"
+
+#include <set>
+
+using namespace vdga;
+
+namespace {
+
+class DiagCtx {
+public:
+  DiagCtx(const Graph &G, const Program &P, const PathTable &Paths,
+          const PairTable &PT, const PointsToResult &CI,
+          const ModRefInfo &MR, const DefUseInfo &DU)
+      : G(G), P(P), Paths(Paths), PT(PT), CI(CI), MR(MR), DU(DU) {}
+
+  std::vector<Finding> run() {
+    computeReachable();
+    checkDanglingEscapes();
+    checkUninitReads();
+    checkNullWrites();
+    return std::move(Findings);
+  }
+
+private:
+  const Graph &G;
+  const Program &P;
+  const PathTable &Paths;
+  const PairTable &PT;
+  const PointsToResult &CI;
+  const ModRefInfo &MR;
+  const DefUseInfo &DU;
+  std::vector<Finding> Findings;
+  /// Functions reachable from the bootstrap region along the
+  /// solver-discovered call graph; dead functions stay quiet.
+  std::set<const FuncDecl *> Reachable;
+
+  void computeReachable() {
+    // The bootstrap region (Owner == null) always executes; grow the set
+    // through the callees the CI solver discovered until fixpoint (the
+    // call graph is small, so the quadratic loop is fine).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (NodeId N = 0; N < G.numNodes(); ++N) {
+        const Node &Nd = G.node(N);
+        if (Nd.Kind != NodeKind::Call || !reachable(Nd.Owner))
+          continue;
+        for (const FunctionInfo *FI : CI.callees(N))
+          if (FI->Fn && Reachable.insert(FI->Fn).second)
+            Changed = true;
+      }
+    }
+  }
+
+  bool reachable(const FuncDecl *Fn) const {
+    return Fn == nullptr || Reachable.count(Fn) != 0;
+  }
+
+  BaseLocKind kindOf(PathId Loc) const {
+    return Paths.base(Paths.baseOf(Loc)).Kind;
+  }
+
+  Finding &add(const char *Pass, NodeId N, std::string Msg) {
+    Finding F;
+    F.Pass = Pass;
+    F.Severity = FindingSeverity::Warning;
+    F.Node = N;
+    if (N != InvalidId)
+      F.Loc = G.node(N).Loc;
+    F.Message = std::move(Msg);
+    Findings.push_back(std::move(F));
+    return Findings.back();
+  }
+
+  void attachProvenance(Finding &F, OutputId Out, PairId Pair) {
+    F.Provenance = renderDerivationChain(G, CI, PT, Paths, P.Names, Out, Pair);
+  }
+
+  void checkDanglingEscapes();
+  void checkUninitReads();
+  void checkNullWrites();
+};
+
+void DiagCtx::checkDanglingEscapes() {
+  // A function returning the address of one of its own locals.
+  for (const FunctionInfo &FI : G.functions()) {
+    const Node &Ret = G.node(FI.ReturnNode);
+    if (Ret.Kind != NodeKind::Return || !Ret.HasValue)
+      continue;
+    OutputId ValOut = G.producerOf(FI.ReturnNode, 0);
+    for (PairId Pair : CI.pairs(ValOut)) {
+      const PointsToPair &PP = PT.pair(Pair);
+      if (PP.Path != PathId::EmptyOffset || !Paths.isLocation(PP.Referent))
+        continue;
+      const BaseLocation &B = Paths.base(Paths.baseOf(PP.Referent));
+      if (B.Kind != BaseLocKind::Local || !B.Var || B.Var->owner() != FI.Fn)
+        continue;
+      Finding &F =
+          add("dangling-escape", FI.ReturnNode,
+              P.Names.text(FI.Fn->name()) +
+                  " may return the address of its own local " + B.Name);
+      F.Path = Paths.str(PP.Referent, P.Names);
+      attachProvenance(F, ValOut, Pair);
+    }
+  }
+
+  // The address of a local written into global- or heap-based storage,
+  // where it outlives the frame.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (Nd.Kind != NodeKind::Update || !reachable(Nd.Owner))
+      continue;
+    bool DurableTarget = false;
+    for (PathId Loc : CI.pointerReferents(G.producerOf(N, 0), PT)) {
+      BaseLocKind K = kindOf(Loc);
+      if (K == BaseLocKind::Global || K == BaseLocKind::Heap)
+        DurableTarget = true;
+    }
+    if (!DurableTarget)
+      continue;
+    OutputId ValOut = G.producerOf(N, 2);
+    for (PairId Pair : CI.pairs(ValOut)) {
+      const PointsToPair &PP = PT.pair(Pair);
+      if (PP.Path != PathId::EmptyOffset || !Paths.isLocation(PP.Referent))
+        continue;
+      const BaseLocation &B = Paths.base(Paths.baseOf(PP.Referent));
+      if (B.Kind != BaseLocKind::Local)
+        continue;
+      Finding &F = add("dangling-escape", N,
+                       "address of local " + B.Name +
+                           " may be stored into global or heap memory");
+      F.Path = Paths.str(PP.Referent, P.Names);
+      attachProvenance(F, ValOut, Pair);
+    }
+  }
+}
+
+void DiagCtx::checkUninitReads() {
+  // Per-site: a read no update may have defined, over uninitialized
+  // storage (locals and heap; globals and string literals start zeroed).
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (Nd.Kind != NodeKind::Lookup || !reachable(Nd.Owner))
+      continue;
+    if (!DU.defsFor(N).empty())
+      continue;
+    for (PathId Loc : CI.pointerReferents(G.producerOf(N, 0), PT)) {
+      BaseLocKind K = kindOf(Loc);
+      if (K != BaseLocKind::Local && K != BaseLocKind::Heap)
+        continue;
+      Finding &F = add("uninit-read", N,
+                       "read with no reaching write may observe "
+                       "uninitialized storage");
+      F.Path = Paths.str(Loc, P.Names);
+    }
+  }
+
+  // Whole-program: local/heap storage the entry point transitively reads
+  // but nothing ever writes. The mod/ref client makes this a one-line
+  // query per referenced location.
+  const FuncDecl *Entry = P.findFunction("main");
+  if (!Entry)
+    return;
+  auto It = MR.Ref.find(Entry);
+  if (It == MR.Ref.end())
+    return;
+  for (PathId Loc : It->second) {
+    BaseLocKind K = kindOf(Loc);
+    if (K != BaseLocKind::Local && K != BaseLocKind::Heap)
+      continue;
+    if (MR.mayMod(Entry, Loc, Paths))
+      continue;
+    Finding &F = add("uninit-read", InvalidId,
+                     "location is read during execution but never written");
+    F.Path = Paths.str(Loc, P.Names);
+  }
+}
+
+void DiagCtx::checkNullWrites() {
+  // An indirect write whose location pointer has no referents on any
+  // path: every execution reaching it dereferences null or an undefined
+  // pointer. Direct writes root at a ConstPath and can never fire.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (Nd.Kind != NodeKind::Update || !Nd.IndirectAccess ||
+        !reachable(Nd.Owner))
+      continue;
+    if (!CI.pointerReferents(G.producerOf(N, 0), PT).empty())
+      continue;
+    add("null-write", N,
+        "write through a pointer that is null or undefined on every path");
+  }
+}
+
+} // namespace
+
+std::vector<Finding> vdga::runDiagnostics(const Graph &G, const Program &P,
+                                          const PathTable &Paths,
+                                          const PairTable &PT,
+                                          const PointsToResult &CI,
+                                          const ModRefInfo &MR,
+                                          const DefUseInfo &DU) {
+  return DiagCtx(G, P, Paths, PT, CI, MR, DU).run();
+}

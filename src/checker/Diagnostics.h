@@ -1,0 +1,50 @@
+//===- checker/Diagnostics.h - Alias-driven bug finding --------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic client passes over the context-insensitive solution plus the
+/// mod/ref and def/use clients — the "real consumer" use of the paper's
+/// analyses. Three may-analysis passes emit Warning findings about the
+/// analyzed program:
+///
+///   * dangling-escape — the address of a stack local escapes its frame:
+///     returned from its own function, or written into a global- or
+///     heap-based location;
+///   * uninit-read — a memory read with no def/use predecessor whose
+///     possible referents include local or heap storage (globals and
+///     string literals are initialized);
+///   * null-write — an indirect write whose location pointer has no
+///     referents on any execution path: definitely null or undefined.
+///
+/// Passes only report on analysis-reachable nodes (the store input carries
+/// at least one pair), so dead code stays quiet. When the CI solution
+/// recorded provenance, findings carry the derivation chain of the
+/// offending pair back to its Figure 1 seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CHECKER_DIAGNOSTICS_H
+#define VDGA_CHECKER_DIAGNOSTICS_H
+
+#include "checker/Checker.h"
+#include "clients/DefUse.h"
+#include "clients/ModRef.h"
+#include "memory/LocationTable.h"
+
+namespace vdga {
+
+/// Runs the three diagnostic passes and returns their findings (sorted by
+/// the caller as part of the CheckReport).
+std::vector<Finding> runDiagnostics(const Graph &G, const Program &P,
+                                    const PathTable &Paths,
+                                    const PairTable &PT,
+                                    const PointsToResult &CI,
+                                    const ModRefInfo &MR,
+                                    const DefUseInfo &DU);
+
+} // namespace vdga
+
+#endif // VDGA_CHECKER_DIAGNOSTICS_H

@@ -1,0 +1,109 @@
+//===- checker/Oracle.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Oracle.h"
+
+#include <map>
+#include <set>
+
+using namespace vdga;
+
+namespace {
+
+/// The location-producing outputs feeding each access expression's
+/// lookup (read) or update (write) nodes. One expression can compile to
+/// several nodes (loop bodies are not duplicated, but struct copies
+/// fan out per field), so sites union over all of them.
+struct SiteNodes {
+  std::vector<NodeId> Nodes;
+};
+
+std::map<const Expr *, SiteNodes> collectSites(const Graph &G, bool Writes) {
+  std::map<const Expr *, SiteNodes> Out;
+  NodeKind Wanted = Writes ? NodeKind::Update : NodeKind::Lookup;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (Nd.Kind == Wanted && Nd.Origin)
+      Out[Nd.Origin].Nodes.push_back(N);
+  }
+  return Out;
+}
+
+} // namespace
+
+OracleResult vdga::runSoundnessOracle(const Graph &G, const PathTable &Paths,
+                                      const PairTable &PT,
+                                      const StringInterner &Names,
+                                      const AccessTrace &Trace,
+                                      const OracleAnalyses &A) {
+  OracleResult R;
+
+  for (bool Writes : {false, true}) {
+    auto Sites = collectSites(G, Writes);
+    const auto &Observed = Writes ? Trace.Writes : Trace.Reads;
+    const char *Dir = Writes ? "write" : "read";
+
+    for (const auto &[Site, DynamicPaths] : Observed) {
+      auto It = Sites.find(Site);
+      if (It == Sites.end())
+        continue; // Site compiled to a scalarized access; nothing to check.
+      ++R.Sites;
+
+      // Union each solution's prediction over the site's nodes, lazily
+      // per analysis. The location input is input 0 of both node kinds.
+      auto Predicted = [&](auto &&Referents) {
+        std::set<PathId> S;
+        for (NodeId N : It->second.Nodes) {
+          auto Locs = Referents(G.producerOf(N, 0));
+          S.insert(Locs.begin(), Locs.end());
+        }
+        return S;
+      };
+      std::map<std::string, std::set<PathId>> Solutions;
+      if (A.CI)
+        Solutions["ci"] =
+            Predicted([&](OutputId O) { return A.CI->pointerReferents(O, PT); });
+      if (A.CS)
+        Solutions["cs"] =
+            Predicted([&](OutputId O) { return A.CS->pointerReferents(O, PT); });
+      if (A.Weihl)
+        Solutions["weihl"] = Predicted(
+            [&](OutputId O) { return A.Weihl->pointerReferents(O, PT); });
+      std::set<BaseLocId> SteensBases;
+      if (A.Steens)
+        for (NodeId N : It->second.Nodes) {
+          const auto &Ptees = A.Steens->pointees(G.producerOf(N, 0));
+          SteensBases.insert(Ptees.begin(), Ptees.end());
+        }
+
+      for (PathId Dyn : DynamicPaths) {
+        auto Miss = [&](const std::string &Analysis) {
+          Finding F;
+          F.Pass = "oracle";
+          F.Severity = FindingSeverity::Error;
+          F.Loc = Site->loc();
+          F.Node = It->second.Nodes.front();
+          F.Analysis = Analysis;
+          F.Path = Paths.str(Dyn, Names);
+          F.Message = std::string("concrete ") + Dir + " target missed by " +
+                      Analysis + " analysis";
+          R.Findings.push_back(std::move(F));
+        };
+        for (const auto &[Name, Paths_] : Solutions) {
+          ++R.Checks;
+          if (!Paths_.count(Dyn))
+            Miss(Name);
+        }
+        if (A.Steens) {
+          ++R.Checks;
+          if (!SteensBases.count(Paths.baseOf(Dyn)))
+            Miss("steens");
+        }
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,68 @@
+//===- checker/Oracle.h - Interpreter-backed soundness oracle --*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The soundness oracle: cross-checks the static points-to solutions
+/// against a concrete execution. The interpreter records every abstract
+/// location actually read or written at each memory-access expression
+/// (AccessTrace, keyed by the same Origin expressions the VDG builder
+/// stamps on lookup/update nodes); the oracle asserts each observed
+/// referent is covered by every solution it is handed — CI, stripped CS,
+/// and the Weihl and Steensgaard baselines. A miss means the analysis
+/// dropped a true pair, which would void the paper's precision comparison,
+/// so misses are Error findings carrying the access path, program point
+/// and the analysis that missed it.
+///
+/// Steensgaard is field-insensitive (one equivalence class per base), so
+/// its coverage obligation is the observed path's base location rather
+/// than the exact path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CHECKER_ORACLE_H
+#define VDGA_CHECKER_ORACLE_H
+
+#include "baseline/SteensgaardAnalysis.h"
+#include "baseline/WeihlAnalysis.h"
+#include "checker/Checker.h"
+#include "interp/Interpreter.h"
+
+namespace vdga {
+
+/// The solutions one oracle run checks. Null entries are skipped (the
+/// oracle checks whatever it is handed; the driver passes all four).
+struct OracleAnalyses {
+  const PointsToResult *CI = nullptr;
+  /// The stripped context-sensitive solution.
+  const PointsToResult *CS = nullptr;
+  const WeihlResult *Weihl = nullptr;
+  const SteensgaardResult *Steens = nullptr;
+};
+
+/// What one oracle run produced.
+struct OracleResult {
+  std::vector<Finding> Findings;
+  /// Distinct (expression, direction) access sites cross-checked.
+  uint64_t Sites = 0;
+  /// (site, observed path, analysis) coverage obligations evaluated.
+  uint64_t Checks = 0;
+
+  bool ok() const { return Findings.empty(); }
+};
+
+/// Checks every observed access in \p Trace against the solutions in
+/// \p A. The caller runs the interpreter (AnalyzedProgram::interpret) and
+/// hands over the trace, so tests can also feed synthetic traces or
+/// deliberately crippled solutions.
+OracleResult runSoundnessOracle(const Graph &G, const PathTable &Paths,
+                                const PairTable &PT,
+                                const StringInterner &Names,
+                                const AccessTrace &Trace,
+                                const OracleAnalyses &A);
+
+} // namespace vdga
+
+#endif // VDGA_CHECKER_ORACLE_H

@@ -1,0 +1,517 @@
+//===- checker/VdgVerifier.cpp --------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/VdgVerifier.h"
+
+#include <set>
+#include <sstream>
+
+using namespace vdga;
+
+namespace {
+
+/// Findings past this cap are dropped (one truncation note is kept); a
+/// broken invariant usually fires once per node and would swamp reports.
+constexpr size_t MaxFindings = 200;
+
+class VerifierCtx {
+public:
+  VerifierCtx(const Graph &G, const Program &P, const PathTable &Paths,
+              const LocationTable &Locs)
+      : G(G), P(P), Paths(Paths), Locs(Locs) {}
+
+  VerifierResult run();
+
+private:
+  const Graph &G;
+  const Program &P;
+  const PathTable &Paths;
+  const LocationTable &Locs;
+  VerifierResult R;
+  bool Truncated = false;
+
+  /// Evaluates one invariant: counts it, and files a finding on failure.
+  /// Returns \p Ok so callers can chain dependent checks.
+  bool check(bool Ok, NodeId N, const std::string &Msg) {
+    ++R.Checks;
+    if (Ok)
+      return true;
+    if (R.Findings.size() >= MaxFindings) {
+      if (!Truncated) {
+        Truncated = true;
+        Finding F;
+        F.Pass = "verifier";
+        F.Severity = FindingSeverity::Error;
+        F.Message = "further verifier findings truncated";
+        R.Findings.push_back(std::move(F));
+      }
+      return false;
+    }
+    Finding F;
+    F.Pass = "verifier";
+    F.Severity = FindingSeverity::Error;
+    F.Node = N;
+    if (N != InvalidId)
+      F.Loc = G.node(N).Loc;
+    F.Message = Msg;
+    R.Findings.push_back(std::move(F));
+    return false;
+  }
+
+  static std::string at(NodeId N) {
+    return "node " + std::to_string(N);
+  }
+
+  /// Index of the store input of \p N, or -1 when the kind has none.
+  static int storeInputIndex(const Node &N) {
+    switch (N.Kind) {
+    case NodeKind::Lookup:
+    case NodeKind::Update:
+      return 1;
+    case NodeKind::Call:
+    case NodeKind::Return:
+      return N.Inputs.empty() ? -1 : static_cast<int>(N.Inputs.size()) - 1;
+    default:
+      return -1;
+    }
+  }
+
+  void checkEdges();
+  void checkNodeShape(NodeId Id, const Node &N);
+  void checkStoreThreading();
+  void checkFunctions();
+  void checkLocationTable();
+  void checkPathAlgebra();
+};
+
+void VerifierCtx::checkEdges() {
+  // Node -> edge direction: every input/output slot points back at its
+  // node, and wired producers mirror their consumer lists.
+  for (NodeId Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    for (size_t I = 0; I < N.Inputs.size(); ++I) {
+      InputId In = N.Inputs[I];
+      if (!check(In < G.numInputs(), Id, at(Id) + " input id out of range"))
+        continue;
+      const InputInfo &Info = G.input(In);
+      check(Info.Node == Id && Info.Index == I, Id,
+            at(Id) + " input " + std::to_string(I) +
+                " back-reference mismatch");
+      if (!check(Info.Producer != InvalidId, Id,
+                 at(Id) + " input " + std::to_string(I) + " is unwired"))
+        continue;
+      if (!check(Info.Producer < G.numOutputs(), Id,
+                 at(Id) + " input " + std::to_string(I) +
+                     " producer out of range"))
+        continue;
+      const OutputInfo &Prod = G.output(Info.Producer);
+      bool Mirrored = false;
+      for (InputId C : Prod.Consumers)
+        if (C == In)
+          Mirrored = true;
+      check(Mirrored, Id,
+            at(Id) + " input " + std::to_string(I) +
+                " missing from its producer's consumer list");
+    }
+    for (size_t O = 0; O < N.Outputs.size(); ++O) {
+      OutputId Out = N.Outputs[O];
+      if (!check(Out < G.numOutputs(), Id, at(Id) + " output id out of range"))
+        continue;
+      const OutputInfo &Info = G.output(Out);
+      check(Info.Node == Id && Info.Index == O, Id,
+            at(Id) + " output " + std::to_string(O) +
+                " back-reference mismatch");
+      for (InputId C : Info.Consumers) {
+        if (!check(C < G.numInputs(), Id,
+                   at(Id) + " consumer id out of range"))
+          continue;
+        check(G.input(C).Producer == Out, Id,
+              at(Id) + " output " + std::to_string(O) +
+                  " consumer does not point back at it");
+      }
+    }
+  }
+  // Edge -> node direction: no orphaned slots.
+  for (InputId In = 0; In < G.numInputs(); ++In) {
+    const InputInfo &Info = G.input(In);
+    bool Owned = Info.Node < G.numNodes() &&
+                 Info.Index < G.node(Info.Node).Inputs.size() &&
+                 G.node(Info.Node).Inputs[Info.Index] == In;
+    check(Owned, Info.Node < G.numNodes() ? Info.Node : InvalidId,
+          "input " + std::to_string(In) + " not owned by its node");
+  }
+  for (OutputId Out = 0; Out < G.numOutputs(); ++Out) {
+    const OutputInfo &Info = G.output(Out);
+    bool Owned = Info.Node < G.numNodes() &&
+                 Info.Index < G.node(Info.Node).Outputs.size() &&
+                 G.node(Info.Node).Outputs[Info.Index] == Out;
+    check(Owned, Info.Node < G.numNodes() ? Info.Node : InvalidId,
+          "output " + std::to_string(Out) + " not owned by its node");
+  }
+}
+
+void VerifierCtx::checkNodeShape(NodeId Id, const Node &N) {
+  auto InKinds = [&](size_t I) {
+    OutputId Prod = G.input(N.Inputs[I]).Producer;
+    return Prod == InvalidId ? ValueKind::Scalar : G.output(Prod).Kind;
+  };
+  auto OutKind = [&](size_t O) { return G.output(N.Outputs[O]).Kind; };
+
+  // Store inputs are fed by store outputs and vice versa: a value slot fed
+  // a store (or a store slot fed a value) would let the solvers smuggle
+  // whole stores through pointer transfer functions.
+  int StoreIn = storeInputIndex(N);
+  for (size_t I = 0; I < N.Inputs.size(); ++I) {
+    if (G.input(N.Inputs[I]).Producer == InvalidId)
+      continue; // Flagged by checkEdges.
+    bool ExpectStore = static_cast<int>(I) == StoreIn;
+    if (N.Kind == NodeKind::Merge)
+      ExpectStore = !N.Outputs.empty() && OutKind(0) == ValueKind::Store;
+    check((InKinds(I) == ValueKind::Store) == ExpectStore, Id,
+          at(Id) + " (" + nodeKindName(N.Kind) + ") input " +
+              std::to_string(I) +
+              (ExpectStore ? " must be fed a store" : " fed a store value"));
+  }
+
+  switch (N.Kind) {
+  case NodeKind::ConstScalar:
+    check(N.Inputs.empty() && N.Outputs.size() == 1 &&
+              OutKind(0) != ValueKind::Store,
+          Id, at(Id) + " const-scalar arity/kind");
+    break;
+  case NodeKind::ConstPath:
+    check(N.Inputs.empty() && N.Outputs.size() == 1 &&
+              (OutKind(0) == ValueKind::Pointer ||
+               OutKind(0) == ValueKind::Function),
+          Id, at(Id) + " const-path arity/kind");
+    if (check(index(N.Path) < Paths.numPaths(), Id,
+              at(Id) + " const-path payload out of range") &&
+        check(Paths.isLocation(N.Path), Id,
+              at(Id) + " const-path payload is an offset, not a location"))
+      check(index(Paths.baseOf(N.Path)) < Paths.numBases(), Id,
+            at(Id) + " const-path base out of range");
+    break;
+  case NodeKind::Lookup:
+    check(N.Inputs.size() == 2 && N.Outputs.size() == 1 &&
+              OutKind(0) != ValueKind::Store,
+          Id, at(Id) + " lookup arity/kind");
+    break;
+  case NodeKind::Update:
+    check(N.Inputs.size() == 3 && N.Outputs.size() == 1 &&
+              OutKind(0) == ValueKind::Store,
+          Id, at(Id) + " update arity/kind");
+    break;
+  case NodeKind::Offset:
+  case NodeKind::PtrArith:
+    check(!N.Inputs.empty() && N.Outputs.size() == 1 &&
+              OutKind(0) != ValueKind::Store,
+          Id, at(Id) + " offset/ptr-arith arity/kind");
+    break;
+  case NodeKind::Merge:
+    if (check(N.Outputs.size() == 1, Id, at(Id) + " merge output arity"))
+      for (size_t I = 0; I < N.Inputs.size(); ++I) {
+        OutputId Prod = G.input(N.Inputs[I]).Producer;
+        if (Prod == InvalidId)
+          continue;
+        // Scalar constants are kind-polymorphic (a literal 0 merges into
+        // pointer values as null): they carry no pairs, so uniting them
+        // into any non-store merge is sound.
+        bool NullConst =
+            InKinds(I) == ValueKind::Scalar &&
+            G.node(G.output(Prod).Node).Kind == NodeKind::ConstScalar &&
+            OutKind(0) != ValueKind::Store;
+        check(NullConst || InKinds(I) == OutKind(0), Id,
+              at(Id) + " merge input " + std::to_string(I) +
+                  " kind differs from its output");
+      }
+    break;
+  case NodeKind::ScalarOp:
+    check(N.Outputs.size() == 1 && OutKind(0) != ValueKind::Store, Id,
+          at(Id) + " scalar-op arity/kind");
+    break;
+  case NodeKind::Call: {
+    size_t WantOuts = N.HasResult ? 2 : 1;
+    if (check(N.Inputs.size() >= 2 && N.Outputs.size() == WantOuts, Id,
+              at(Id) + " call arity")) {
+      check(OutKind(WantOuts - 1) == ValueKind::Store, Id,
+            at(Id) + " call store output kind");
+      if (N.HasResult)
+        check(OutKind(0) != ValueKind::Store, Id,
+              at(Id) + " call result output kind");
+    }
+    break;
+  }
+  case NodeKind::Entry:
+    if (check(N.Inputs.empty() && !N.Outputs.empty(), Id,
+              at(Id) + " entry arity"))
+      check(OutKind(N.Outputs.size() - 1) == ValueKind::Store, Id,
+            at(Id) + " entry store formal must be last");
+    break;
+  case NodeKind::Return: {
+    size_t WantIns = N.HasValue ? 2 : 1;
+    check(N.Inputs.size() == WantIns && N.Outputs.empty(), Id,
+          at(Id) + " return arity");
+    break;
+  }
+  case NodeKind::InitStore:
+    check(N.Inputs.empty() && N.Outputs.size() == 1 &&
+              OutKind(0) == ValueKind::Store,
+          Id, at(Id) + " init-store arity/kind");
+    break;
+  }
+
+  // Store outputs come only from store-carrying kinds.
+  bool MayProduceStore =
+      N.Kind == NodeKind::Update || N.Kind == NodeKind::Call ||
+      N.Kind == NodeKind::Entry || N.Kind == NodeKind::InitStore ||
+      N.Kind == NodeKind::Merge;
+  for (size_t O = 0; O < N.Outputs.size(); ++O)
+    if (OutKind(O) == ValueKind::Store)
+      check(MayProduceStore, Id,
+            at(Id) + " (" + nodeKindName(N.Kind) +
+                ") must not produce a store output");
+
+  if (N.Kind == NodeKind::Lookup || N.Kind == NodeKind::Update)
+    check(!N.IndirectAccess || N.Origin != nullptr, Id,
+          at(Id) + " indirect access without an origin expression");
+}
+
+void VerifierCtx::checkStoreThreading() {
+  // Every store chain followed backwards through non-merge producers must
+  // reach an Entry, InitStore or Merge in finitely many steps: loop back
+  // edges enter only through merges, so a cycle of Update/Call store
+  // threading would make the solvers' store transfer functions unsound.
+  enum : uint8_t { Unknown, Visiting, Done };
+  std::vector<uint8_t> State(G.numNodes(), Unknown);
+  for (NodeId Start = 0; Start < G.numNodes(); ++Start) {
+    if (State[Start] != Unknown || storeInputIndex(G.node(Start)) < 0)
+      continue;
+    std::vector<NodeId> Stack{Start};
+    while (!Stack.empty()) {
+      NodeId Cur = Stack.back();
+      const Node &N = G.node(Cur);
+      int SI = storeInputIndex(N);
+      NodeId Pred = InvalidId;
+      if (SI >= 0 && static_cast<size_t>(SI) < N.Inputs.size()) {
+        OutputId Prod = G.input(N.Inputs[SI]).Producer;
+        if (Prod != InvalidId)
+          Pred = G.output(Prod).Node;
+      }
+      if (State[Cur] == Done) {
+        Stack.pop_back();
+        continue;
+      }
+      ++R.Checks;
+      bool Terminal =
+          Pred == InvalidId || N.Kind == NodeKind::Merge ||
+          N.Kind == NodeKind::Entry || N.Kind == NodeKind::InitStore;
+      if (!Terminal) {
+        const Node &PredN = G.node(Pred);
+        Terminal = PredN.Kind == NodeKind::Merge ||
+                   PredN.Kind == NodeKind::Entry ||
+                   PredN.Kind == NodeKind::InitStore ||
+                   storeInputIndex(PredN) < 0;
+      }
+      if (Terminal || State[Pred] == Done) {
+        State[Cur] = Done;
+        Stack.pop_back();
+        continue;
+      }
+      if (State[Pred] == Visiting) {
+        check(false, Cur,
+              at(Cur) + " store chain cycles without passing a merge");
+        State[Cur] = Done;
+        Stack.pop_back();
+        continue;
+      }
+      State[Cur] = Visiting;
+      Stack.push_back(Pred);
+    }
+  }
+}
+
+void VerifierCtx::checkFunctions() {
+  std::set<const FuncDecl *> Defined;
+  for (const FuncDecl *Fn : P.Functions)
+    if (Fn->isDefined())
+      Defined.insert(Fn);
+
+  for (NodeId Id = 0; Id < G.numNodes(); ++Id) {
+    const Node &N = G.node(Id);
+    check(N.Owner == nullptr || Defined.count(N.Owner) != 0, Id,
+          at(Id) + " owner is not a defined function");
+  }
+
+  std::set<const FuncDecl *> Registered;
+  for (const FunctionInfo &FI : G.functions()) {
+    if (!check(FI.Fn != nullptr, InvalidId,
+               "function registration without a declaration"))
+      continue;
+    Registered.insert(FI.Fn);
+    std::string Name = P.Names.text(FI.Fn->name());
+    if (!check(FI.EntryNode < G.numNodes() && FI.ReturnNode < G.numNodes(),
+               InvalidId, "function " + Name + " entry/return out of range"))
+      continue;
+    const Node &E = G.node(FI.EntryNode);
+    const Node &Ret = G.node(FI.ReturnNode);
+    check(E.Kind == NodeKind::Entry, FI.EntryNode,
+          "function " + Name + " entry node has wrong kind");
+    check(Ret.Kind == NodeKind::Return, FI.ReturnNode,
+          "function " + Name + " return node has wrong kind");
+    check(E.Owner == FI.Fn && Ret.Owner == FI.Fn, FI.EntryNode,
+          "function " + Name + " entry/return owned by another function");
+    check(FI.NumParams == FI.Fn->params().size(), FI.EntryNode,
+          "function " + Name + " formal count differs from declaration");
+    check(E.Kind != NodeKind::Entry ||
+              E.Outputs.size() == FI.NumParams + 1,
+          FI.EntryNode,
+          "function " + Name + " entry outputs != formals + store");
+    check(Ret.Kind != NodeKind::Return ||
+              Ret.HasValue ==
+                  !FI.Fn->functionType()->returnType()->isVoid(),
+          FI.ReturnNode,
+          "function " + Name + " return value presence differs from type");
+  }
+
+  for (const FuncDecl *Fn : Defined)
+    check(Registered.count(Fn) != 0, InvalidId,
+          "defined function " + P.Names.text(Fn->name()) +
+              " has no entry/return registration");
+}
+
+void VerifierCtx::checkLocationTable() {
+  auto CheckVar = [&](const VarDecl *V, const FuncDecl *Fn) {
+    if (!LocationTable::isStoreResident(V)) {
+      ++R.Checks;
+      return;
+    }
+    std::string Name = P.Names.text(V->name());
+    if (!check(Locs.hasVarBase(V), InvalidId,
+               "store-resident variable " + Name + " has no base location"))
+      return;
+    const BaseLocation &B = Paths.base(Locs.varBase(V));
+    check(B.Var == V, InvalidId,
+          "base location of " + Name + " names another variable");
+    check(B.Kind == (Fn ? BaseLocKind::Local : BaseLocKind::Global),
+          InvalidId, "base location of " + Name + " has wrong storage kind");
+    if (Fn)
+      check(B.SingleInstance == !Fn->isRecursive(), InvalidId,
+            "local " + Name + " instance count disagrees with recursion");
+  };
+
+  for (const VarDecl *V : P.Globals)
+    CheckVar(V, nullptr);
+  for (const FuncDecl *Fn : P.Functions) {
+    if (!Fn->isDefined())
+      continue;
+    for (const VarDecl *Param : Fn->params())
+      CheckVar(Param, Fn);
+    for (const VarDecl *Local : Fn->locals())
+      CheckVar(Local, Fn);
+  }
+
+  for (const FuncDecl *Fn : P.Functions) {
+    const BaseLocation &B = Paths.base(Locs.functionBase(Fn));
+    check(B.Kind == BaseLocKind::Function && B.Fn == Fn, InvalidId,
+          "function base of " + P.Names.text(Fn->name()) + " malformed");
+  }
+  for (unsigned Site = 0; Site < P.NumAllocSites; ++Site) {
+    const BaseLocation &B = Paths.base(Locs.heapBase(Site));
+    check(B.Kind == BaseLocKind::Heap && !B.SingleInstance, InvalidId,
+          "heap base " + std::to_string(Site) + " malformed");
+  }
+}
+
+void VerifierCtx::checkPathAlgebra() {
+  // Per-path laws.
+  std::vector<std::vector<PathId>> ByBase(Paths.numBases());
+  for (uint32_t I = 0; I < Paths.numPaths(); ++I) {
+    PathId Pi = static_cast<PathId>(I);
+    check(Paths.dom(Pi, Pi), InvalidId,
+          "path " + std::to_string(I) + " does not dominate itself");
+    check(Paths.strongDom(Pi, Pi) == Paths.stronglyUpdateable(Pi),
+          InvalidId,
+          "path " + std::to_string(I) + " strong-dom(self) inconsistent");
+    if (!Paths.isLocation(Pi)) {
+      ++R.Checks;
+      continue;
+    }
+    BaseLocId Base = Paths.baseOf(Pi);
+    if (!check(index(Base) < Paths.numBases(), InvalidId,
+               "path " + std::to_string(I) + " base out of range"))
+      continue;
+    PathId Root = Paths.basePath(Base);
+    if (check(Paths.dom(Root, Pi), InvalidId,
+              "base root does not dominate path " + std::to_string(I))) {
+      PathId Off = Paths.subtractPrefix(Pi, Root);
+      check(!Paths.isLocation(Off) && Paths.depth(Off) == Paths.depth(Pi),
+            InvalidId,
+            "root subtraction of path " + std::to_string(I) +
+                " is not a same-depth offset");
+    }
+    check(!Paths.stronglyUpdateable(Pi) ||
+              Paths.base(Base).SingleInstance,
+          InvalidId,
+          "path " + std::to_string(I) +
+              " strongly updateable over a multi-instance base");
+    if (ByBase[index(Base)].size() < 64)
+      ByBase[index(Base)].push_back(Pi);
+  }
+
+  // Pairwise laws within a base (capped at 64 paths per base).
+  auto CheckPair = [&](PathId A, PathId B) {
+    bool Dom = Paths.dom(A, B);
+    check(Paths.strongDom(A, B) == (Dom && Paths.stronglyUpdateable(A)),
+          InvalidId, "strong-dom disagrees with dom + strong-updateability");
+    if (!Dom) {
+      ++R.Checks;
+      return;
+    }
+    check(Paths.depth(A) <= Paths.depth(B), InvalidId,
+          "dominating path is deeper than the dominated one");
+    PathId Off = Paths.subtractPrefix(B, A);
+    check(Paths.depth(Off) == Paths.depth(B) - Paths.depth(A), InvalidId,
+          "prefix subtraction depth mismatch");
+    if (A != B && Paths.dom(B, A))
+      check(false, InvalidId,
+            "distinct interned paths dominate each other");
+    else
+      ++R.Checks;
+  };
+  for (const std::vector<PathId> &Group : ByBase)
+    for (PathId A : Group)
+      for (PathId B : Group)
+        CheckPair(A, B);
+
+  // Paths over different bases never dominate each other (sampled: the
+  // first path of each base against the next base's first path).
+  for (size_t I = 0; I + 1 < ByBase.size(); ++I) {
+    if (ByBase[I].empty() || ByBase[I + 1].empty())
+      continue;
+    check(!Paths.dom(ByBase[I].front(), ByBase[I + 1].front()) &&
+              !Paths.dom(ByBase[I + 1].front(), ByBase[I].front()),
+          InvalidId, "paths of distinct bases dominate each other");
+  }
+}
+
+VerifierResult VerifierCtx::run() {
+  checkEdges();
+  for (NodeId Id = 0; Id < G.numNodes(); ++Id)
+    checkNodeShape(Id, G.node(Id));
+  checkStoreThreading();
+  checkFunctions();
+  checkLocationTable();
+  checkPathAlgebra();
+  return std::move(R);
+}
+
+} // namespace
+
+VerifierResult vdga::verifyAnalyzedGraph(const Graph &G, const Program &P,
+                                         const PathTable &Paths,
+                                         const LocationTable &Locs) {
+  return VerifierCtx(G, P, Paths, Locs).run();
+}

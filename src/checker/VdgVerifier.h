@@ -1,0 +1,57 @@
+//===- checker/VdgVerifier.h - Deep IR well-formedness checks --*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker subsystem's IR verifier. The build-time verifier
+/// (vdg/Verifier.h) checks node arities as the graph is constructed; this
+/// pass re-proves the whole-program invariants every solver leans on and
+/// that a refactor could silently break:
+///
+///   * edge consistency — inputs/outputs carry correct back-references and
+///     the producer/consumer lists mirror each other exactly;
+///   * typed wiring — store inputs are fed by store outputs, store outputs
+///     are produced only by store-carrying node kinds, value inputs are
+///     never fed stores;
+///   * single-threaded stores — following a store value backwards through
+///     non-merge producers never cycles (loop back edges enter only
+///     through Merge nodes), so every `lookup`/`update` chain is rooted at
+///     an Entry or InitStore;
+///   * call/return wiring — every defined function registers Entry/Return
+///     nodes owned by it, with formal count matching the declaration and
+///     the store formal in the last slot;
+///   * interned-path algebra — `dom`/`strong-dom`/`stronglyUpdateable`
+///     consistency, append/subtract round-trips, and LocationTable
+///     registration for every store-resident variable (Section 2's
+///     access-path laws, which strong updates depend on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_CHECKER_VDGVERIFIER_H
+#define VDGA_CHECKER_VDGVERIFIER_H
+
+#include "checker/Checker.h"
+#include "memory/LocationTable.h"
+#include "vdg/Graph.h"
+
+namespace vdga {
+
+/// What one verifier run produced.
+struct VerifierResult {
+  std::vector<Finding> Findings;
+  /// Invariants evaluated (published as checker.verifier.checks).
+  uint64_t Checks = 0;
+
+  bool ok() const { return Findings.empty(); }
+};
+
+/// Runs every check in the file comment over a fronted program.
+VerifierResult verifyAnalyzedGraph(const Graph &G, const Program &P,
+                                   const PathTable &Paths,
+                                   const LocationTable &Locs);
+
+} // namespace vdga
+
+#endif // VDGA_CHECKER_VDGVERIFIER_H

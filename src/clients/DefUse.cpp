@@ -1,10 +1,10 @@
-//===- driver/DefUse.cpp --------------------------------------------------===//
+//===- clients/DefUse.cpp --------------------------------------------------===//
 //
 // Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/DefUse.h"
+#include "clients/DefUse.h"
 
 #include <set>
 

@@ -1,4 +1,4 @@
-//===- driver/DefUse.h - Store def/use client ------------------*- C++ -*-===//
+//===- clients/DefUse.h - Store def/use client ------------------*- C++ -*-===//
 //
 // Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
 //
@@ -22,8 +22,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef VDGA_DRIVER_DEFUSE_H
-#define VDGA_DRIVER_DEFUSE_H
+#ifndef VDGA_CLIENTS_DEFUSE_H
+#define VDGA_CLIENTS_DEFUSE_H
 
 #include "pointsto/Solver.h"
 
@@ -64,4 +64,4 @@ DefUseInfo computeDefUse(const Graph &G, const PointsToResult &R,
 
 } // namespace vdga
 
-#endif // VDGA_DRIVER_DEFUSE_H
+#endif // VDGA_CLIENTS_DEFUSE_H

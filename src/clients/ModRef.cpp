@@ -1,10 +1,10 @@
-//===- driver/ModRef.cpp --------------------------------------------------===//
+//===- clients/ModRef.cpp --------------------------------------------------===//
 //
 // Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/ModRef.h"
+#include "clients/ModRef.h"
 
 using namespace vdga;
 

@@ -1,4 +1,4 @@
-//===- driver/ModRef.h - Mod/ref client analysis ---------------*- C++ -*-===//
+//===- clients/ModRef.h - Mod/ref client analysis ---------------*- C++ -*-===//
 //
 // Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
 //
@@ -15,8 +15,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef VDGA_DRIVER_MODREF_H
-#define VDGA_DRIVER_MODREF_H
+#ifndef VDGA_CLIENTS_MODREF_H
+#define VDGA_CLIENTS_MODREF_H
 
 #include "pointsto/Solver.h"
 
@@ -42,4 +42,4 @@ ModRefInfo computeModRef(const Graph &G, const PointsToResult &R,
 
 } // namespace vdga
 
-#endif // VDGA_DRIVER_MODREF_H
+#endif // VDGA_CLIENTS_MODREF_H

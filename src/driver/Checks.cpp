@@ -1,0 +1,84 @@
+//===- driver/Checks.cpp - Pipeline entry into the checker ----------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Diagnostics.h"
+#include "checker/Oracle.h"
+#include "checker/VdgVerifier.h"
+#include "driver/Pipeline.h"
+
+using namespace vdga;
+
+CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
+  CheckReport Report;
+  if (Opts.Level == CheckLevel::None)
+    return Report;
+
+  {
+    MetricsRegistry::ScopedTimer T = Metrics.time("checker.verifier.ms");
+    VerifierResult VR = verifyAnalyzedGraph(G, *Prog, Paths, *Locs);
+    Report.VerifierRan = true;
+    Report.VerifierChecks = VR.Checks;
+    for (Finding &F : VR.Findings)
+      Report.Findings.push_back(std::move(F));
+  }
+
+  if (Opts.Level >= CheckLevel::Oracle) {
+    // Fresh solver runs under the requested schedule; provenance is only
+    // recorded when the diagnostics will render it.
+    bool WantProvenance = Opts.Level >= CheckLevel::Diagnose;
+    PointsToResult CI = runContextInsensitive(Opts.Order, WantProvenance);
+    ContextSensResult CS = runContextSensitive(CI);
+    WeihlResult Weihl = runWeihl();
+    SteensgaardResult Steens = runSteensgaard();
+    PointsToResult Stripped =
+        CS.Completed ? CS.stripAssumptions() : PointsToResult(0);
+
+    {
+      MetricsRegistry::ScopedTimer T = Metrics.time("checker.oracle.ms");
+      RunResult RR = interpret(Opts.OracleInput, Opts.OracleMaxSteps);
+      Report.OracleRan = true;
+      Report.OracleSteps = RR.StepsExecuted;
+      if (!RR.Ok) {
+        Finding F;
+        F.Pass = "oracle";
+        F.Severity = FindingSeverity::Error;
+        F.Message = "concrete execution failed: " + RR.Error;
+        Report.Findings.push_back(std::move(F));
+      } else {
+        OracleAnalyses A;
+        A.CI = &CI;
+        A.CS = CS.Completed ? &Stripped : nullptr;
+        A.Weihl = &Weihl;
+        A.Steens = &Steens;
+        OracleResult OR = runSoundnessOracle(G, Paths, PT, Prog->Names,
+                                             RR.Trace, A);
+        Report.OracleSites = OR.Sites;
+        Report.OracleChecks = OR.Checks;
+        for (Finding &F : OR.Findings)
+          Report.Findings.push_back(std::move(F));
+      }
+    }
+
+    if (Opts.Level >= CheckLevel::Diagnose) {
+      MetricsRegistry::ScopedTimer T = Metrics.time("checker.diagnose.ms");
+      ModRefInfo MR = computeModRef(G, CI, PT, Paths);
+      DefUseInfo DU = computeDefUse(G, CI, PT, Paths);
+      for (Finding &F : runDiagnostics(G, *Prog, Paths, PT, CI, MR, DU))
+        Report.Findings.push_back(std::move(F));
+      Report.DiagnoseRan = true;
+    }
+  }
+
+  Report.sortFindings();
+  Metrics.set("checker.verifier.checks", Report.VerifierChecks);
+  if (Report.OracleRan) {
+    Metrics.set("checker.oracle.sites", Report.OracleSites);
+    Metrics.set("checker.oracle.checks", Report.OracleChecks);
+  }
+  Metrics.set("checker.findings", Report.Findings.size());
+  Metrics.set("checker.errors", Report.errorCount());
+  return Report;
+}

@@ -17,6 +17,7 @@
 
 #include "baseline/SteensgaardAnalysis.h"
 #include "baseline/WeihlAnalysis.h"
+#include "checker/Checker.h"
 #include "contextsens/Solver.h"
 #include "contextsens/Spurious.h"
 #include "frontend/CallGraphAST.h"
@@ -89,6 +90,12 @@ public:
   /// One registry per program keeps the parallel corpus driver race-free
   /// (each worker owns its AnalyzedProgram).
   MetricsRegistry Metrics;
+
+  /// Runs the checker subsystem (driver/Checks.cpp): the VDG verifier,
+  /// then — per Opts.Level — the interpreter-backed soundness oracle over
+  /// fresh CI/CS/Weihl/Steensgaard runs, then the diagnostic client
+  /// passes. Publishes checker.* metrics into this program's registry.
+  CheckReport runChecks(const CheckOptions &Opts = {});
 
   /// Executes the program in the concrete interpreter.
   RunResult interpret(std::string Input = "",

@@ -23,9 +23,20 @@ static double millisSince(
 }
 
 BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
-                                       ContextSensOptions CSOptions) {
+                                       ContextSensOptions CSOptions,
+                                       CheckLevel Checks) {
   BenchmarkReport R;
   R.Name = Prog.Name;
+
+  // Checker runs (and their metrics) ride along on every exit path.
+  auto Finish = [&](AnalyzedProgram &AP) {
+    if (Checks != CheckLevel::None) {
+      CheckOptions CO;
+      CO.Level = Checks;
+      R.Check = AP.runChecks(CO);
+    }
+    R.Metrics = AP.Metrics.metrics();
+  };
 
   std::string Error;
   auto TFront = std::chrono::steady_clock::now();
@@ -54,7 +65,7 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   AP->Metrics.addTime("stats.ms", R.StatsMillis);
 
   if (!RunCS) {
-    R.Metrics = AP->Metrics.metrics();
+    Finish(*AP);
     return R;
   }
 
@@ -65,7 +76,7 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.CSStats = CS.Stats;
   R.CSCompleted = CS.Completed;
   if (!CS.Completed) {
-    R.Metrics = AP->Metrics.metrics();
+    Finish(*AP);
     return R;
   }
 
@@ -83,13 +94,14 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   double CSStatsMillis = millisSince(TStats2);
   R.StatsMillis += CSStatsMillis;
   AP->Metrics.addTime("stats.ms", CSStatsMillis);
-  R.Metrics = AP->Metrics.metrics();
+  Finish(*AP);
   return R;
 }
 
 std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
                                                  ContextSensOptions Opts,
-                                                 unsigned Jobs) {
+                                                 unsigned Jobs,
+                                                 CheckLevel Checks) {
   const std::vector<CorpusProgram> &Programs = corpus();
   if (Jobs == 0)
     Jobs = ThreadPool::defaultJobs();
@@ -104,13 +116,49 @@ std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
   Futures.reserve(Programs.size());
   for (const CorpusProgram &P : Programs)
     Futures.push_back(
-        Pool.submit([&P, RunCS, Opts] {
-          return analyzeBenchmark(P, RunCS, Opts);
+        Pool.submit([&P, RunCS, Opts, Checks] {
+          return analyzeBenchmark(P, RunCS, Opts, Checks);
         }));
 
   std::vector<BenchmarkReport> Reports;
   Reports.reserve(Programs.size());
   for (std::future<BenchmarkReport> &F : Futures)
+    Reports.push_back(F.get());
+  return Reports;
+}
+
+std::vector<ProgramCheckReport> vdga::checkCorpus(const CheckOptions &Opts,
+                                                  unsigned Jobs) {
+  const std::vector<CorpusProgram> &Programs = corpus();
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultJobs();
+  if (Jobs > Programs.size())
+    Jobs = static_cast<unsigned>(Programs.size());
+
+  ThreadPool Pool(Jobs);
+  std::vector<std::future<ProgramCheckReport>> Futures;
+  Futures.reserve(Programs.size());
+  for (const CorpusProgram &P : Programs)
+    Futures.push_back(Pool.submit([&P, Opts] {
+      ProgramCheckReport R;
+      R.Name = P.Name;
+      std::string Error;
+      auto AP = AnalyzedProgram::create(P.Source, &Error);
+      if (!AP) {
+        Finding F;
+        F.Pass = "frontend";
+        F.Severity = FindingSeverity::Error;
+        F.Message = "frontend error: " + Error;
+        R.Report.Findings.push_back(std::move(F));
+        return R;
+      }
+      R.Report = AP->runChecks(Opts);
+      return R;
+    }));
+
+  std::vector<ProgramCheckReport> Reports;
+  Reports.reserve(Programs.size());
+  for (std::future<ProgramCheckReport> &F : Futures)
     Reports.push_back(F.get());
   return Reports;
 }

@@ -59,14 +59,21 @@ struct BenchmarkReport {
   SolveStats CSStats;
   double CSMillis = 0.0;
 
+  /// Checker subsystem report when analyzeBenchmark ran with a CheckLevel
+  /// above None (checker.* metrics land in Metrics either way).
+  CheckReport Check;
+
   /// Snapshot of the program's MetricsRegistry after all phases ran;
   /// exported as the "metrics" section of the JSON bench artifact.
   std::vector<Metric> Metrics;
 };
 
-/// Runs CI (and optionally CS) over one corpus program.
+/// Runs CI (and optionally CS) over one corpus program. \p Checks runs the
+/// checker subsystem afterwards (verifier / oracle / diagnostics per the
+/// level) so its timers and counters appear in the metrics snapshot.
 BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
-                                 ContextSensOptions CSOptions = {});
+                                 ContextSensOptions CSOptions = {},
+                                 CheckLevel Checks = CheckLevel::None);
 
 /// Runs over the whole corpus. Each program's pipeline is independent
 /// (per-AnalyzedProgram tables), so programs are analyzed concurrently on
@@ -76,7 +83,21 @@ BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
 /// runs serially on the calling thread.
 std::vector<BenchmarkReport> analyzeCorpus(bool RunCS,
                                            ContextSensOptions CSOptions = {},
-                                           unsigned Jobs = 0);
+                                           unsigned Jobs = 0,
+                                           CheckLevel Checks = CheckLevel::None);
+
+/// One corpus program's checker outcome.
+struct ProgramCheckReport {
+  std::string Name;
+  CheckReport Report;
+};
+
+/// Runs the checker subsystem over every corpus program, in parallel like
+/// analyzeCorpus (same \p Jobs semantics). Reports come back in corpus
+/// order; their renderings are bit-identical across job counts and
+/// worklist schedules (asserted by the determinism tests).
+std::vector<ProgramCheckReport> checkCorpus(const CheckOptions &Opts,
+                                            unsigned Jobs = 0);
 
 /// Corpus-level timing recorded into the JSON bench artifact.
 struct CorpusTiming {

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -47,6 +48,25 @@ uint32_t Interpreter::allocObject(BaseLocId Base, uint64_t Size,
   O.Name = std::move(Name);
   Objects.push_back(std::move(O));
   return static_cast<uint32_t>(Objects.size() - 1);
+}
+
+/// Integer arithmetic in the interpreted language wraps like two's
+/// complement (the corpus PRNGs multiply by 1103515245 and rely on it),
+/// so compute in uint64_t where the signed operation would be UB.
+static int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
 }
 
 static Value zeroOf(const Type *Ty) {
@@ -236,8 +256,9 @@ Interpreter::LV Interpreter::evalLValue(const Expr *E, Flow &F) {
       F = Flow::Abort;
       return L;
     }
-    int64_t NewOff = static_cast<int64_t>(Ptr.A.Offset) +
-                     Idx.asInt() * static_cast<int64_t>(Stride);
+    int64_t NewOff = wrapAdd(static_cast<int64_t>(Ptr.A.Offset),
+                             wrapMul(Idx.asInt(),
+                                     static_cast<int64_t>(Stride)));
     if (NewOff < 0) {
       fail(E->loc(), "pointer subscript before object start");
       F = Flow::Abort;
@@ -367,9 +388,9 @@ Value Interpreter::evalExpr(const Expr *E, Flow &F) {
     const Type *Ty = A->target()->type();
     if (Ty->isPointer()) {
       uint64_t Stride = cast<PointerType>(Ty)->pointee()->size();
-      int64_t Delta = V.asInt() * static_cast<int64_t>(Stride);
+      int64_t Delta = wrapMul(V.asInt(), static_cast<int64_t>(Stride));
       if (A->op() == AssignOp::Sub)
-        Delta = -Delta;
+        Delta = wrapNeg(Delta);
       if (Old.K != Value::Kind::Ptr || Old.isNullPtr()) {
         fail(E->loc(), "pointer arithmetic on a non-pointer value");
         F = Flow::Abort;
@@ -494,7 +515,7 @@ Value Interpreter::evalUnary(const UnaryExpr *E, Flow &F) {
       return Value::undef();
     if (V.K == Value::Kind::Double)
       return Value::makeDouble(-V.D);
-    return Value::makeInt(-V.asInt());
+    return Value::makeInt(wrapNeg(V.asInt()));
   }
   case UnaryOp::Not: {
     Value V = evalExpr(E->operand(), F);
@@ -559,7 +580,7 @@ Value Interpreter::evalUnary(const UnaryExpr *E, Flow &F) {
     } else if (Old.K == Value::Kind::Double) {
       New = Value::makeDouble(Old.D + (Inc ? 1.0 : -1.0));
     } else {
-      New = Value::makeInt(Old.asInt() + (Inc ? 1 : -1));
+      New = Value::makeInt(wrapAdd(Old.asInt(), Inc ? 1 : -1));
     }
     store(L, New, E);
     bool IsPre = E->op() == UnaryOp::PreInc || E->op() == UnaryOp::PreDec;
@@ -620,10 +641,10 @@ Value Interpreter::evalBinary(const BinaryExpr *E, Flow &F) {
         F = Flow::Abort;
         return Value::undef();
       }
-      int64_t Delta = Int.asInt() * static_cast<int64_t>(Stride);
+      int64_t Delta = wrapMul(Int.asInt(), static_cast<int64_t>(Stride));
       if (E->op() == BinaryOp::Sub)
-        Delta = -Delta;
-      int64_t NewOff = static_cast<int64_t>(Ptr.A.Offset) + Delta;
+        Delta = wrapNeg(Delta);
+      int64_t NewOff = wrapAdd(static_cast<int64_t>(Ptr.A.Offset), Delta);
       if (NewOff < 0) {
         fail(E->loc(), "pointer arithmetic before object start");
         F = Flow::Abort;
@@ -717,17 +738,19 @@ Value Interpreter::evalBinary(const BinaryExpr *E, Flow &F) {
   int64_t A = L.asInt(), B = R.asInt();
   switch (E->op()) {
   case BinaryOp::Add:
-    return Value::makeInt(A + B);
+    return Value::makeInt(wrapAdd(A, B));
   case BinaryOp::Sub:
-    return Value::makeInt(A - B);
+    return Value::makeInt(wrapSub(A, B));
   case BinaryOp::Mul:
-    return Value::makeInt(A * B);
+    return Value::makeInt(wrapMul(A, B));
   case BinaryOp::Div:
     if (B == 0) {
       fail(E->loc(), "division by zero");
       F = Flow::Abort;
       return Value::undef();
     }
+    if (A == INT64_MIN && B == -1)
+      return Value::makeInt(A); // Quotient wraps back to INT64_MIN.
     return Value::makeInt(A / B);
   case BinaryOp::Rem:
     if (B == 0) {
@@ -735,6 +758,8 @@ Value Interpreter::evalBinary(const BinaryExpr *E, Flow &F) {
       F = Flow::Abort;
       return Value::undef();
     }
+    if (A == INT64_MIN && B == -1)
+      return Value::makeInt(0);
     return Value::makeInt(A % B);
   case BinaryOp::Shl:
     return Value::makeInt(A << (B & 63));

@@ -1,0 +1,264 @@
+//===- tests/CheckerTest.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The checker subsystem itself: the VDG verifier accepts every fronted
+// graph and rejects deliberately seeded IR corruption; the soundness
+// oracle accepts the real solutions and flags deliberately crippled ones;
+// runChecks wires the passes behind cumulative CheckLevels and renders
+// deterministic reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "checker/Oracle.h"
+#include "checker/VdgVerifier.h"
+
+#include <algorithm>
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+/// True when some finding's message contains \p Needle.
+bool anyFindingContains(const std::vector<Finding> &Findings,
+                        std::string_view Needle) {
+  return std::any_of(Findings.begin(), Findings.end(), [&](const Finding &F) {
+    return F.Message.find(Needle) != std::string::npos;
+  });
+}
+
+/// First output of the graph with (or without) store kind.
+OutputId findOutput(const Graph &G, bool Store) {
+  for (OutputId O = 0; O < G.numOutputs(); ++O)
+    if ((G.output(O).Kind == ValueKind::Store) == Store)
+      return O;
+  return InvalidId;
+}
+
+constexpr const char *SmallProgram = R"(
+int g;
+int main() {
+  int *p;
+  p = &g;
+  *p = 3;            /* line 6: indirect write to g */
+  printf("%d", *p);  /* line 7: indirect read of g */
+  return 0;
+}
+)";
+
+VerifierResult verify(AnalyzedProgram &AP) {
+  return verifyAnalyzedGraph(AP.G, AP.program(), AP.Paths, AP.locations());
+}
+
+TEST(Checker, VerifierCleanOnFrontedProgram) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  VerifierResult R = verify(*AP);
+  for (const Finding &F : R.Findings)
+    ADD_FAILURE() << F.Message;
+  EXPECT_TRUE(R.ok());
+  EXPECT_GT(R.Checks, 0u);
+}
+
+// Seeded bug: a lookup node with the wrong input/output arity must be
+// rejected (the build-time verifier would never emit one; the checker
+// re-proves it over the final graph).
+TEST(Checker, VerifierFlagsMalformedArity) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  AP->G.addNode(NodeKind::Lookup, nullptr, SourceLoc{},
+                {ValueKind::Scalar});
+  VerifierResult R = verify(*AP);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(anyFindingContains(R.Findings, "lookup arity"));
+}
+
+// Seeded bug: an update whose store slot is fed a value output and whose
+// value slot is fed a store output violates the typed-wiring invariant in
+// both directions.
+TEST(Checker, VerifierFlagsStoreTypeViolation) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  Graph &G = AP->G;
+  OutputId Value = findOutput(G, /*Store=*/false);
+  OutputId Store = findOutput(G, /*Store=*/true);
+  ASSERT_NE(Value, InvalidId);
+  ASSERT_NE(Store, InvalidId);
+  NodeId U = G.addNode(NodeKind::Update, nullptr, SourceLoc{},
+                       {ValueKind::Store});
+  G.addInput(U, Value); // Location slot: fine.
+  G.addInput(U, Value); // Store slot fed a value.
+  G.addInput(U, Store); // Value slot fed a store.
+  VerifierResult R = verify(*AP);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(anyFindingContains(R.Findings, "must be fed a store"));
+  EXPECT_TRUE(anyFindingContains(R.Findings, "fed a store value"));
+}
+
+// Seeded bug: two updates threading their stores through each other form
+// a cycle that never passes a merge, which would make every store
+// transfer function diverge.
+TEST(Checker, VerifierFlagsStoreCycle) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  Graph &G = AP->G;
+  OutputId Value = findOutput(G, /*Store=*/false);
+  ASSERT_NE(Value, InvalidId);
+  NodeId U1 = G.addNode(NodeKind::Update, nullptr, SourceLoc{},
+                        {ValueKind::Store});
+  NodeId U2 = G.addNode(NodeKind::Update, nullptr, SourceLoc{},
+                        {ValueKind::Store});
+  G.addInput(U1, Value);
+  G.addInput(U1, G.outputOf(U2, 0));
+  G.addInput(U1, Value);
+  G.addInput(U2, Value);
+  G.addInput(U2, G.outputOf(U1, 0));
+  G.addInput(U2, Value);
+  VerifierResult R = verify(*AP);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(anyFindingContains(R.Findings,
+                                 "store chain cycles without passing a merge"));
+}
+
+// The oracle accepts the genuine CI solution and rejects an empty one on
+// the same trace: a seeded total soundness bug.
+TEST(Checker, OracleFlagsCrippledSolution) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  RunResult R = AP->interpret();
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  OracleAnalyses Genuine;
+  Genuine.CI = &CI;
+  OracleResult Ok = runSoundnessOracle(AP->G, AP->Paths, AP->PT,
+                                       AP->program().Names, R.Trace, Genuine);
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_GT(Ok.Sites, 0u);
+
+  PointsToResult Empty(AP->G.numOutputs());
+  OracleAnalyses Crippled;
+  Crippled.CI = &Empty;
+  OracleResult Bad = runSoundnessOracle(AP->G, AP->Paths, AP->PT,
+                                        AP->program().Names, R.Trace, Crippled);
+  EXPECT_FALSE(Bad.ok());
+  for (const Finding &F : Bad.Findings) {
+    EXPECT_EQ(F.Severity, FindingSeverity::Error);
+    EXPECT_EQ(F.Analysis, "ci");
+    EXPECT_NE(F.Message.find("missed by ci"), std::string::npos) << F.Message;
+  }
+}
+
+// Dropping the pairs at a single access site's location output — leaving
+// the rest of the solution intact — is caught and attributed to the right
+// site and analysis.
+TEST(Checker, OracleFlagsSingleDroppedPair) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  RunResult R = AP->interpret();
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  NodeId WriteSite = memoryNodeAtLine(AP->G, 6, /*Write=*/true);
+  ASSERT_NE(WriteSite, InvalidId);
+  OutputId Victim = AP->G.producerOf(WriteSite, 0);
+
+  PointsToResult Crippled(AP->G.numOutputs());
+  for (OutputId O = 0; O < AP->G.numOutputs(); ++O)
+    if (O != Victim)
+      for (PairId Pr : CI.pairs(O))
+        Crippled.insert(O, Pr);
+
+  OracleAnalyses A;
+  A.CI = &Crippled;
+  OracleResult OR = runSoundnessOracle(AP->G, AP->Paths, AP->PT,
+                                       AP->program().Names, R.Trace, A);
+  ASSERT_FALSE(OR.ok());
+  // The scalarized pointer value may feed both derefs, so the read can
+  // miss too; but every miss blames CI, and the seeded write site fires.
+  bool SawWriteMiss = false;
+  for (const Finding &F : OR.Findings) {
+    EXPECT_EQ(F.Analysis, "ci");
+    if (F.Loc.Line == 6 && F.Message.find("write") != std::string::npos)
+      SawWriteMiss = true;
+  }
+  EXPECT_TRUE(SawWriteMiss);
+}
+
+// CheckLevels are cumulative and the driver publishes the counters.
+TEST(Checker, RunChecksLevels) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+
+  CheckOptions Opts;
+  Opts.Level = CheckLevel::None;
+  CheckReport None = AP->runChecks(Opts);
+  EXPECT_FALSE(None.VerifierRan);
+  EXPECT_FALSE(None.OracleRan);
+  EXPECT_FALSE(None.DiagnoseRan);
+  EXPECT_TRUE(None.clean());
+
+  Opts.Level = CheckLevel::Verify;
+  CheckReport V = AP->runChecks(Opts);
+  EXPECT_TRUE(V.VerifierRan);
+  EXPECT_FALSE(V.OracleRan);
+  EXPECT_GT(V.VerifierChecks, 0u);
+  EXPECT_TRUE(V.clean());
+
+  Opts.Level = CheckLevel::Oracle;
+  CheckReport O = AP->runChecks(Opts);
+  EXPECT_TRUE(O.VerifierRan);
+  EXPECT_TRUE(O.OracleRan);
+  EXPECT_FALSE(O.DiagnoseRan);
+  EXPECT_GT(O.OracleSites, 0u);
+  EXPECT_GT(O.OracleChecks, 0u);
+  EXPECT_GT(O.OracleSteps, 0u);
+  EXPECT_TRUE(O.clean());
+
+  Opts.Level = CheckLevel::Diagnose;
+  CheckReport D = AP->runChecks(Opts);
+  EXPECT_TRUE(D.VerifierRan && D.OracleRan && D.DiagnoseRan);
+  EXPECT_TRUE(D.clean());
+}
+
+TEST(Checker, ReportRendering) {
+  auto AP = analyze(SmallProgram);
+  ASSERT_TRUE(AP);
+  CheckOptions Opts;
+  Opts.Level = CheckLevel::Oracle;
+  CheckReport R = AP->runChecks(Opts);
+
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("checks:"), std::string::npos);
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("vdga-check-v1"), std::string::npos);
+  EXPECT_NE(Json.find("\"findings\""), std::string::npos);
+
+  // Renderings carry no timings: a second identical run matches bitwise.
+  auto AP2 = analyze(SmallProgram);
+  ASSERT_TRUE(AP2);
+  CheckReport R2 = AP2->runChecks(Opts);
+  EXPECT_EQ(Text, R2.renderText());
+  EXPECT_EQ(Json, R2.renderJson());
+}
+
+TEST(Checker, SortFindingsOrdersBySourcePosition) {
+  CheckReport R;
+  Finding Late;
+  Late.Pass = "verifier";
+  Late.Loc.Line = 9;
+  Late.Message = "later";
+  Finding Early;
+  Early.Pass = "oracle";
+  Early.Loc.Line = 2;
+  Early.Message = "earlier";
+  R.Findings = {Late, Early};
+  R.sortFindings();
+  EXPECT_EQ(R.Findings.front().Message, "earlier");
+  EXPECT_EQ(R.Findings.back().Message, "later");
+}
+
+} // namespace

@@ -108,6 +108,34 @@ TEST(ParallelDriver, MatchesSerialReports) {
   EXPECT_EQ(renderFig7(Serial), renderFig7(Parallel));
 }
 
+// Checker reports carry no timings, so a corpus-wide run must render
+// byte-identically regardless of worker count or worklist schedule: the
+// verifier walks a deterministic graph, the oracle's trace and solutions
+// are schedule-independent, and findings are sorted before rendering.
+TEST(CheckerDeterminism, ReportsBitIdenticalAcrossJobsAndSchedules) {
+  CheckOptions Opts;
+  Opts.Level = CheckLevel::Diagnose;
+  Opts.Order = WorklistOrder::FIFO;
+  std::vector<ProgramCheckReport> Serial = checkCorpus(Opts, /*Jobs=*/1);
+  std::vector<ProgramCheckReport> Parallel = checkCorpus(Opts, /*Jobs=*/4);
+  Opts.Order = WorklistOrder::LIFO;
+  std::vector<ProgramCheckReport> Lifo = checkCorpus(Opts, /*Jobs=*/4);
+
+  ASSERT_EQ(Serial.size(), corpus().size());
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  ASSERT_EQ(Lifo.size(), Serial.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Name, corpus()[I].Name) << "corpus order lost";
+    EXPECT_EQ(Serial[I].Name, Parallel[I].Name);
+    EXPECT_EQ(Serial[I].Report.renderText(), Parallel[I].Report.renderText())
+        << Serial[I].Name << ": job count changed the report";
+    EXPECT_EQ(Serial[I].Report.renderJson(), Parallel[I].Report.renderJson())
+        << Serial[I].Name;
+    EXPECT_EQ(Serial[I].Report.renderText(), Lifo[I].Report.renderText())
+        << Serial[I].Name << ": worklist schedule changed the report";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPrograms, DeterminismTest,
     ::testing::ValuesIn([] {

@@ -6,7 +6,7 @@
 
 #include "TestUtil.h"
 
-#include "driver/ModRef.h"
+#include "clients/ModRef.h"
 
 using namespace vdga;
 using namespace vdga::test;
@@ -118,6 +118,62 @@ int main() { touch(); return 0; }
   // Query with the whole-record location: g.x is dominated by g, so a
   // write to g.x counts as a possible mod of g.
   EXPECT_TRUE(MR.mayMod(Touch, globalLoc(*AP, "g"), AP->Paths));
+}
+
+TEST(ModRef, AggregateCopyTransfersBothEffects) {
+  auto AP = analyze(R"(
+struct s { int x; int y; };
+struct s a;
+struct s b;
+void copy_s() { b = a; }
+int main() { a.x = 1; copy_s(); return b.y; }
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ModRefInfo MR = computeModRef(AP->G, CI, AP->PT, AP->Paths);
+  const FuncDecl *Copy = AP->program().findFunction("copy_s");
+  PathId A = globalLoc(*AP, "a");
+  PathId B = globalLoc(*AP, "b");
+  // The whole-record copy reads a and writes b — and nothing else.
+  EXPECT_TRUE(MR.mayRef(Copy, A, AP->Paths));
+  EXPECT_TRUE(MR.mayMod(Copy, B, AP->Paths));
+  EXPECT_FALSE(MR.mayMod(Copy, A, AP->Paths));
+  EXPECT_FALSE(MR.mayRef(Copy, B, AP->Paths));
+}
+
+TEST(ModRef, RecursiveCallsThroughFunctionPointers) {
+  auto AP = analyze(R"(
+int g;
+int depth;
+int other;
+void rec();
+void step(void (*f)()) { f(); }
+void rec() {
+  if (depth > 0) {
+    depth = depth - 1;
+    g = g + 1;
+    step(rec);
+  }
+}
+int main() { depth = 2; step(rec); printf("%d", g); return 0; }
+)");
+  ASSERT_TRUE(AP);
+  PointsToResult CI = AP->runContextInsensitive();
+  ModRefInfo MR = computeModRef(AP->G, CI, AP->PT, AP->Paths);
+  const FuncDecl *Step = AP->program().findFunction("step");
+  const FuncDecl *Rec = AP->program().findFunction("rec");
+  PathId G = globalLoc(*AP, "g");
+  PathId Depth = globalLoc(*AP, "depth");
+  PathId Other = globalLoc(*AP, "other");
+  // step's effects arrive only through the indirect call the points-to
+  // solution resolves, closing the step -> rec -> step recursion.
+  EXPECT_TRUE(MR.mayMod(Step, G, AP->Paths));
+  EXPECT_TRUE(MR.mayMod(Step, Depth, AP->Paths));
+  EXPECT_TRUE(MR.mayRef(Step, Depth, AP->Paths));
+  EXPECT_TRUE(MR.mayMod(Rec, G, AP->Paths));
+  EXPECT_TRUE(MR.mayMod(AP->program().findFunction("main"), G, AP->Paths));
+  EXPECT_FALSE(MR.mayMod(Step, Other, AP->Paths));
+  EXPECT_FALSE(MR.mayRef(Step, Other, AP->Paths));
 }
 
 } // namespace

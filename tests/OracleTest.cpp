@@ -1,0 +1,72 @@
+//===- tests/OracleTest.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The checker subsystem's soundness oracle over the full corpus: every
+// abstract location the concrete interpreter touches at a memory-access
+// site must be covered by all four static solutions at once — CI, the
+// stripped CS solution, and the Weihl and Steensgaard baselines. This is
+// the acceptance gate for the paper's precision comparison: a single miss
+// means some analysis dropped a true pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "checker/Oracle.h"
+#include "corpus/Corpus.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+class OracleTest : public ::testing::TestWithParam<const CorpusProgram *> {};
+
+TEST_P(OracleTest, AllFourAnalysesCoverExecution) {
+  const CorpusProgram &Prog = *GetParam();
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Prog.Source, &Error);
+  ASSERT_TRUE(AP) << Prog.Name << ": " << Error;
+
+  PointsToResult CI = AP->runContextInsensitive();
+  ContextSensResult CS = AP->runContextSensitive(CI);
+  EXPECT_TRUE(CS.Completed) << Prog.Name;
+  PointsToResult Stripped =
+      CS.Completed ? CS.stripAssumptions() : PointsToResult(0);
+  WeihlResult Weihl = AP->runWeihl();
+  SteensgaardResult Steens = AP->runSteensgaard();
+
+  RunResult R = AP->interpret();
+  ASSERT_TRUE(R.Ok) << Prog.Name << ": " << R.Error;
+
+  OracleAnalyses A;
+  A.CI = &CI;
+  if (CS.Completed)
+    A.CS = &Stripped;
+  A.Weihl = &Weihl;
+  A.Steens = &Steens;
+
+  OracleResult OR = runSoundnessOracle(AP->G, AP->Paths, AP->PT,
+                                       AP->program().Names, R.Trace, A);
+  EXPECT_GT(OR.Sites, 0u) << Prog.Name << ": no access sites cross-checked";
+  EXPECT_GT(OR.Checks, 0u) << Prog.Name;
+  for (const Finding &F : OR.Findings)
+    ADD_FAILURE() << Prog.Name << " line " << F.Loc.Line << ": ["
+                  << F.Analysis << "] " << F.Message << " (" << F.Path
+                  << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, OracleTest,
+    ::testing::ValuesIn([] {
+      std::vector<const CorpusProgram *> Ptrs;
+      for (const CorpusProgram &P : corpus())
+        Ptrs.push_back(&P);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const CorpusProgram *> &Info) {
+      return std::string(Info.param->Name);
+    });
+
+} // namespace

@@ -80,10 +80,23 @@ def diff_metrics(label, old, new, args, regressions, warnings):
         if name.endswith(".ms"):
             diff_time(label, f"metrics.{name}", om[name], nm[name], args,
                       regressions)
+        elif name == "checker.errors" and nm[name] > om[name]:
+            # Checker errors are verifier violations or oracle soundness
+            # misses: a new one always fails the diff, whatever the
+            # timing looks like.
+            regressions.append(
+                f"{label}.metrics.{name}: {om[name]} -> {nm[name]} "
+                f"(checker found new errors)"
+            )
         elif om[name] != nm[name]:
             warnings.append(
                 f"{label}.metrics.{name}: {om[name]} -> {nm[name]}"
             )
+    dropped = sorted(
+        n for n in om.keys() - nm.keys() if n.startswith("checker.")
+    )
+    for name in dropped:
+        warnings.append(f"{label}.metrics.{name}: dropped from artifact")
 
 
 def main():
@@ -123,8 +136,8 @@ def main():
     for r in regressions:
         print(f"REGRESSION: {r}")
     if regressions:
-        print(f"{len(regressions)} time regression(s) above "
-              f"{100.0 * args.threshold:.0f}%")
+        print(f"{len(regressions)} regression(s) (time above "
+              f"{100.0 * args.threshold:.0f}% or new checker errors)")
         return 1
     print(f"ok: no time regressions above {100.0 * args.threshold:.0f}% "
           f"({len(warnings)} warning(s))")

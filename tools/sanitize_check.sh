@@ -1,0 +1,30 @@
+#!/bin/sh
+# Configure, build and test the project under ASan + UBSan in a separate
+# build tree (build-asan/ by default). Any sanitizer report fails the run:
+# -fno-sanitize-recover=all aborts the offending test.
+#
+# Usage: tools/sanitize_check.sh [build-dir] [ctest -R regex]
+#   tools/sanitize_check.sh                 # full suite
+#   tools/sanitize_check.sh build-asan Oracle   # just the oracle tests
+set -eu
+
+SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$SRC_DIR/build-asan"}
+FILTER=${2:-}
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+  -DVDGA_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error makes UBSan reports fatal even where recovery is the
+# platform default; detect_leaks exercises the interpreter's ownership.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+if [ -n "$FILTER" ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+echo "sanitize-check: all tests clean under ASan+UBSan"

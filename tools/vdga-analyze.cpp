@@ -19,14 +19,20 @@
 //                                        # pair referencing variable x
 //   vdga-analyze --diff-ci-cs prog.c     # pairs CS eliminates, and where
 //   vdga-analyze --diff-ci-cs            # same over the whole corpus
+//   vdga-analyze --verify prog.c         # deep IR well-formedness checks
+//   vdga-analyze --oracle prog.c         # + interpreter soundness oracle
+//   vdga-analyze --diagnose prog.c       # + alias-driven bug findings
+//   vdga-analyze --verify                # checker over the whole corpus
+//   vdga-analyze --diagnose --json ...   # machine-readable check report
 //   vdga-analyze --trace t.jsonl ...     # JSONL solver event trace
 //
 //===----------------------------------------------------------------------===//
 
 #include "contextsens/Spurious.h"
 #include "corpus/Corpus.h"
-#include "driver/DefUse.h"
-#include "driver/ModRef.h"
+#include "driver/Tables.h"
+#include "clients/DefUse.h"
+#include "clients/ModRef.h"
 #include "driver/Pipeline.h"
 #include "pointsto/Statistics.h"
 #include "vdg/Printer.h"
@@ -53,20 +59,25 @@ enum class Mode {
   Dot,
   Run,
   Explain,
-  DiffCiCs
+  DiffCiCs,
+  Check
 };
 
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [mode] (<file.c> | --corpus <name>) [--input <text>]\n"
-      "       [--trace <path>]\n"
+      "       [--trace <path>] [--json]\n"
       "modes: --ci (default) --cs --compare --pairs --modref --defuse "
       "--dump --dot --run --explain <var> --diff-ci-cs\n"
+      "       --verify --oracle --diagnose\n"
       "--explain walks the recorded derivation chain of a points-to pair\n"
       "whose referent is rooted at <var> (add --cs for the context-\n"
       "sensitive derivation); --diff-ci-cs lists every pair the context-\n"
-      "sensitive analysis eliminates (whole corpus when no input given)\n"
+      "sensitive analysis eliminates (whole corpus when no input given);\n"
+      "--verify/--oracle/--diagnose run the checker subsystem at that\n"
+      "level (whole corpus when no input given; --json for machine-\n"
+      "readable reports); exit status 1 when any check fails\n"
       "corpus names:",
       Argv0);
   for (const CorpusProgram &P : corpus())
@@ -227,6 +238,26 @@ int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
   return 0;
 }
 
+/// `--verify` / `--oracle` / `--diagnose` over one program: runs the
+/// checker at the requested level and prints the report.
+int runCheckMode(const std::string &Source, const char *Name,
+                 const CheckOptions &Opts, bool Json) {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "%s: %s", Name, Error.c_str());
+    return 1;
+  }
+  CheckReport R = AP->runChecks(Opts);
+  if (Json)
+    std::printf("{\"program\":\"%s\",\"report\":%s}\n", Name,
+                R.renderJson().c_str());
+  else
+    std::printf("== %s (%s) ==\n%s", Name, checkLevelName(Opts.Level),
+                R.renderText().c_str());
+  return R.clean() ? 0 : 1;
+}
+
 void printLocations(AnalyzedProgram &AP, const PointsToResult &R,
                     const char *Label) {
   std::printf("%s:\n", Label);
@@ -256,6 +287,8 @@ int main(int argc, char **argv) {
   const char *ExplainVar = nullptr;
   const char *TracePath = nullptr;
   bool WantCS = false;
+  bool Json = false;
+  CheckLevel Level = CheckLevel::Verify;
   std::string Input;
 
   for (int I = 1; I < argc; ++I) {
@@ -283,6 +316,17 @@ int main(int argc, char **argv) {
       ExplainVar = argv[++I];
     else if (std::strcmp(Arg, "--diff-ci-cs") == 0)
       M = Mode::DiffCiCs;
+    else if (std::strcmp(Arg, "--verify") == 0) {
+      M = Mode::Check;
+      Level = CheckLevel::Verify;
+    } else if (std::strcmp(Arg, "--oracle") == 0) {
+      M = Mode::Check;
+      Level = CheckLevel::Oracle;
+    } else if (std::strcmp(Arg, "--diagnose") == 0) {
+      M = Mode::Check;
+      Level = CheckLevel::Diagnose;
+    } else if (std::strcmp(Arg, "--json") == 0)
+      Json = true;
     else if (std::strcmp(Arg, "--trace") == 0 && I + 1 < argc)
       TracePath = argv[++I];
     else if (std::strcmp(Arg, "--corpus") == 0 && I + 1 < argc)
@@ -307,6 +351,33 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s\n", TraceError.c_str());
       return 1;
     }
+  }
+
+  // Corpus-wide checking when no specific input was named.
+  if (M == Mode::Check && !File && !CorpusName) {
+    CheckOptions CO;
+    CO.Level = Level;
+    CO.OracleInput = Input;
+    std::vector<ProgramCheckReport> Reports = checkCorpus(CO);
+    int Rc = 0;
+    if (Json)
+      std::printf("{\"schema\":\"vdga-check-corpus-v1\",\"programs\":[");
+    bool First = true;
+    for (const ProgramCheckReport &R : Reports) {
+      if (Json)
+        std::printf("%s{\"program\":\"%s\",\"report\":%s}",
+                    First ? "" : ",", R.Name.c_str(),
+                    R.Report.renderJson().c_str());
+      else
+        std::printf("== %s (%s) ==\n%s", R.Name.c_str(),
+                    checkLevelName(Level), R.Report.renderText().c_str());
+      First = false;
+      if (!R.Report.clean())
+        Rc = 1;
+    }
+    if (Json)
+      std::printf("]}\n");
+    return Rc;
   }
 
   // Corpus-wide diff when no specific input was named.
@@ -493,6 +564,12 @@ int main(int argc, char **argv) {
   case Mode::DiffCiCs:
     return diffCiCs(Source, CorpusName ? CorpusName : File,
                     CliTrace.get());
+  case Mode::Check: {
+    CheckOptions CO;
+    CO.Level = Level;
+    CO.OracleInput = Input;
+    return runCheckMode(Source, CorpusName ? CorpusName : File, CO, Json);
+  }
   }
   return 0;
 }
