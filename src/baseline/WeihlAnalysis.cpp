@@ -39,7 +39,7 @@ WeihlResult WeihlSolver::solve() {
             continue;
           if (Paths.dom(LP.Referent, S.Path))
             flowValue(G.outputOf(L),
-                      PT.intern(Paths.subtractPrefix(S.Path, LP.Referent),
+                      PT.intern(Paths.subtractPrefix(S.Path, LP.Referent).value(),
                                 S.Referent));
         }
       }
@@ -113,7 +113,7 @@ void WeihlSolver::flowIn(InputId In, PairId Pair) {
       const PointsToPair &S = PT.pair(SId);
       if (Paths.dom(P.Referent, S.Path))
         flowValue(G.outputOf(N),
-                  PT.intern(Paths.subtractPrefix(S.Path, P.Referent),
+                  PT.intern(Paths.subtractPrefix(S.Path, P.Referent).value(),
                             S.Referent));
     }
     return;

@@ -59,8 +59,13 @@ struct CheckOptions {
   WorklistOrder Order = WorklistOrder::FIFO;
   /// stdin contents for the oracle's interpreter run.
   std::string OracleInput;
-  /// Step cap for the oracle's interpreter run.
+  /// Step cap for the oracle's interpreter run. Exceeding it truncates
+  /// the run (the oracle then checks the trace prefix) instead of
+  /// reporting a spurious execution failure.
   uint64_t OracleMaxSteps = 50'000'000;
+  /// Call-depth cap for the oracle's interpreter run; same truncation
+  /// semantics as OracleMaxSteps.
+  unsigned OracleMaxCallDepth = 1024;
 };
 
 /// Severity of one finding. Verifier violations and oracle misses are

@@ -446,7 +446,7 @@ void VerifierCtx::checkPathAlgebra() {
     PathId Root = Paths.basePath(Base);
     if (check(Paths.dom(Root, Pi), InvalidId,
               "base root does not dominate path " + std::to_string(I))) {
-      PathId Off = Paths.subtractPrefix(Pi, Root);
+      PathId Off = Paths.subtractPrefix(Pi, Root).value();
       check(!Paths.isLocation(Off) && Paths.depth(Off) == Paths.depth(Pi),
             InvalidId,
             "root subtraction of path " + std::to_string(I) +
@@ -472,7 +472,7 @@ void VerifierCtx::checkPathAlgebra() {
     }
     check(Paths.depth(A) <= Paths.depth(B), InvalidId,
           "dominating path is deeper than the dominated one");
-    PathId Off = Paths.subtractPrefix(B, A);
+    PathId Off = Paths.subtractPrefix(B, A).value();
     check(Paths.depth(Off) == Paths.depth(B) - Paths.depth(A), InvalidId,
           "prefix subtraction depth mismatch");
     if (A != B && Paths.dom(B, A))

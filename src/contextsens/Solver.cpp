@@ -78,6 +78,14 @@ bool ContextSensSolver::dropLocAssumptions(NodeId N) const {
 bool ContextSensSolver::ciNeverStronglyOverwrites(NodeId N, PathId P) const {
   if (!Options.PruneStrongUpdates || !HasCILocSet.contains(N))
     return false;
+  // An empty CI location set means the reference analysis never passes any
+  // store pair through this update at all (the write has no modeled
+  // target, e.g. in a function that is never called). The assumption-free
+  // shortcut below is justified by CI having already propagated the pair;
+  // taking it here would manufacture pairs CI lacks and break the
+  // CS ⊆ CI containment invariant.
+  if (CILocSets[N].empty())
+    return false;
   for (PathId Loc : CILocSets[N])
     if (Paths.strongDom(Loc, P))
       return false;
@@ -254,7 +262,7 @@ void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
       if (!Paths.dom(Loc, S.Path))
         continue;
       PairId OutPair =
-          PT.intern(Paths.subtractPrefix(S.Path, Loc), S.Referent);
+          PT.intern(Paths.subtractPrefix(S.Path, Loc).value(), S.Referent);
       for (AssumSetId AS : SSets)
         flowOut(Out, OutPair, AT.unionSets(AL, AS),
                 {N, G.producerOf(N, 1), SPairId, G.producerOf(N, 0), Pair});
@@ -270,7 +278,7 @@ void ContextSensSolver::flowLookup(NodeId N, unsigned InIdx, PairId Pair,
     if (!Paths.dom(L.Referent, P.Path))
       continue;
     PairId OutPair =
-        PT.intern(Paths.subtractPrefix(P.Path, L.Referent), P.Referent);
+        PT.intern(Paths.subtractPrefix(P.Path, L.Referent).value(), P.Referent);
     Derivation D{N, G.producerOf(N, 1), Pair, G.producerOf(N, 0), LPairId};
     if (DropLoc) {
       ++SingleLocPrunes;

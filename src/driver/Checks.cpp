@@ -38,7 +38,8 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
 
     {
       MetricsRegistry::ScopedTimer T = Metrics.time("checker.oracle.ms");
-      RunResult RR = interpret(Opts.OracleInput, Opts.OracleMaxSteps);
+      RunResult RR = interpret(Opts.OracleInput, Opts.OracleMaxSteps,
+                               Opts.OracleMaxCallDepth);
       Report.OracleRan = true;
       Report.OracleSteps = RR.StepsExecuted;
       if (!RR.Ok) {
@@ -48,6 +49,17 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
         F.Message = "concrete execution failed: " + RR.Error;
         Report.Findings.push_back(std::move(F));
       } else {
+        if (RR.Truncated) {
+          // A budget-truncated run is not a failure: every access in the
+          // prefix trace is still a valid soundness obligation, so note
+          // the truncation and check the prefix.
+          Finding F;
+          F.Pass = "oracle";
+          F.Severity = FindingSeverity::Note;
+          F.Message = "concrete execution truncated: " + RR.TruncationReason +
+                      "; checking the executed prefix";
+          Report.Findings.push_back(std::move(F));
+        }
         OracleAnalyses A;
         A.CI = &CI;
         A.CS = CS.Completed ? &Stripped : nullptr;

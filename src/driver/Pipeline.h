@@ -97,12 +97,16 @@ public:
   /// passes. Publishes checker.* metrics into this program's registry.
   CheckReport runChecks(const CheckOptions &Opts = {});
 
-  /// Executes the program in the concrete interpreter.
+  /// Executes the program in the concrete interpreter. Runs that exhaust
+  /// a budget come back Ok with RunResult::Truncated set and a valid
+  /// trace prefix.
   RunResult interpret(std::string Input = "",
-                      uint64_t MaxSteps = 50'000'000) {
+                      uint64_t MaxSteps = 50'000'000,
+                      unsigned MaxCallDepth = 1024) {
     Interpreter I(*Prog, Paths, *Locs);
     I.setInput(std::move(Input));
     I.setMaxSteps(MaxSteps);
+    I.setMaxCallDepth(MaxCallDepth);
     return I.run();
   }
 

@@ -302,112 +302,116 @@ Token Lexer::lexStringLiteral() {
 }
 
 Token Lexer::lexToken() {
-  skipTrivia();
-  SourceLoc Loc = loc();
-  size_t Start = Pos;
-  char C = peek();
+  // Loops (rather than recursing) past unexpected characters: a long run
+  // of garbage bytes must not grow the host stack.
+  for (;;) {
+    skipTrivia();
+    SourceLoc Loc = loc();
+    size_t Start = Pos;
+    char C = peek();
 
-  if (C == '\0')
-    return makeToken(TokenKind::EndOfFile, Start, Loc);
-  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
-    return lexIdentifierOrKeyword();
-  if (std::isdigit(static_cast<unsigned char>(C)))
-    return lexNumber();
-  if (C == '\'')
-    return lexCharLiteral();
-  if (C == '"')
-    return lexStringLiteral();
+    if (C == '\0')
+      return makeToken(TokenKind::EndOfFile, Start, Loc);
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifierOrKeyword();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    if (C == '\'')
+      return lexCharLiteral();
+    if (C == '"')
+      return lexStringLiteral();
 
-  advance();
-  switch (C) {
-  case '(':
-    return makeToken(TokenKind::LParen, Start, Loc);
-  case ')':
-    return makeToken(TokenKind::RParen, Start, Loc);
-  case '{':
-    return makeToken(TokenKind::LBrace, Start, Loc);
-  case '}':
-    return makeToken(TokenKind::RBrace, Start, Loc);
-  case '[':
-    return makeToken(TokenKind::LBracket, Start, Loc);
-  case ']':
-    return makeToken(TokenKind::RBracket, Start, Loc);
-  case ';':
-    return makeToken(TokenKind::Semi, Start, Loc);
-  case ',':
-    return makeToken(TokenKind::Comma, Start, Loc);
-  case ':':
-    return makeToken(TokenKind::Colon, Start, Loc);
-  case '?':
-    return makeToken(TokenKind::Question, Start, Loc);
-  case '~':
-    return makeToken(TokenKind::Tilde, Start, Loc);
-  case '^':
-    return makeToken(TokenKind::Caret, Start, Loc);
-  case '.':
-    if (peek() == '.' && peek(1) == '.') {
-      advance();
-      advance();
-      return makeToken(TokenKind::Ellipsis, Start, Loc);
+    advance();
+    switch (C) {
+    case '(':
+      return makeToken(TokenKind::LParen, Start, Loc);
+    case ')':
+      return makeToken(TokenKind::RParen, Start, Loc);
+    case '{':
+      return makeToken(TokenKind::LBrace, Start, Loc);
+    case '}':
+      return makeToken(TokenKind::RBrace, Start, Loc);
+    case '[':
+      return makeToken(TokenKind::LBracket, Start, Loc);
+    case ']':
+      return makeToken(TokenKind::RBracket, Start, Loc);
+    case ';':
+      return makeToken(TokenKind::Semi, Start, Loc);
+    case ',':
+      return makeToken(TokenKind::Comma, Start, Loc);
+    case ':':
+      return makeToken(TokenKind::Colon, Start, Loc);
+    case '?':
+      return makeToken(TokenKind::Question, Start, Loc);
+    case '~':
+      return makeToken(TokenKind::Tilde, Start, Loc);
+    case '^':
+      return makeToken(TokenKind::Caret, Start, Loc);
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        advance();
+        advance();
+        return makeToken(TokenKind::Ellipsis, Start, Loc);
+      }
+      return makeToken(TokenKind::Dot, Start, Loc);
+    case '+':
+      if (match('+'))
+        return makeToken(TokenKind::PlusPlus, Start, Loc);
+      if (match('='))
+        return makeToken(TokenKind::PlusEqual, Start, Loc);
+      return makeToken(TokenKind::Plus, Start, Loc);
+    case '-':
+      if (match('-'))
+        return makeToken(TokenKind::MinusMinus, Start, Loc);
+      if (match('='))
+        return makeToken(TokenKind::MinusEqual, Start, Loc);
+      if (match('>'))
+        return makeToken(TokenKind::Arrow, Start, Loc);
+      return makeToken(TokenKind::Minus, Start, Loc);
+    case '*':
+      if (match('='))
+        return makeToken(TokenKind::StarEqual, Start, Loc);
+      return makeToken(TokenKind::Star, Start, Loc);
+    case '/':
+      if (match('='))
+        return makeToken(TokenKind::SlashEqual, Start, Loc);
+      return makeToken(TokenKind::Slash, Start, Loc);
+    case '%':
+      if (match('='))
+        return makeToken(TokenKind::PercentEqual, Start, Loc);
+      return makeToken(TokenKind::Percent, Start, Loc);
+    case '&':
+      if (match('&'))
+        return makeToken(TokenKind::AmpAmp, Start, Loc);
+      return makeToken(TokenKind::Amp, Start, Loc);
+    case '|':
+      if (match('|'))
+        return makeToken(TokenKind::PipePipe, Start, Loc);
+      return makeToken(TokenKind::Pipe, Start, Loc);
+    case '<':
+      if (match('='))
+        return makeToken(TokenKind::LessEqual, Start, Loc);
+      if (match('<'))
+        return makeToken(TokenKind::LessLess, Start, Loc);
+      return makeToken(TokenKind::Less, Start, Loc);
+    case '>':
+      if (match('='))
+        return makeToken(TokenKind::GreaterEqual, Start, Loc);
+      if (match('>'))
+        return makeToken(TokenKind::GreaterGreater, Start, Loc);
+      return makeToken(TokenKind::Greater, Start, Loc);
+    case '=':
+      if (match('='))
+        return makeToken(TokenKind::EqualEqual, Start, Loc);
+      return makeToken(TokenKind::Equal, Start, Loc);
+    case '!':
+      if (match('='))
+        return makeToken(TokenKind::BangEqual, Start, Loc);
+      return makeToken(TokenKind::Bang, Start, Loc);
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      break; // Re-enter the loop past the bad byte.
     }
-    return makeToken(TokenKind::Dot, Start, Loc);
-  case '+':
-    if (match('+'))
-      return makeToken(TokenKind::PlusPlus, Start, Loc);
-    if (match('='))
-      return makeToken(TokenKind::PlusEqual, Start, Loc);
-    return makeToken(TokenKind::Plus, Start, Loc);
-  case '-':
-    if (match('-'))
-      return makeToken(TokenKind::MinusMinus, Start, Loc);
-    if (match('='))
-      return makeToken(TokenKind::MinusEqual, Start, Loc);
-    if (match('>'))
-      return makeToken(TokenKind::Arrow, Start, Loc);
-    return makeToken(TokenKind::Minus, Start, Loc);
-  case '*':
-    if (match('='))
-      return makeToken(TokenKind::StarEqual, Start, Loc);
-    return makeToken(TokenKind::Star, Start, Loc);
-  case '/':
-    if (match('='))
-      return makeToken(TokenKind::SlashEqual, Start, Loc);
-    return makeToken(TokenKind::Slash, Start, Loc);
-  case '%':
-    if (match('='))
-      return makeToken(TokenKind::PercentEqual, Start, Loc);
-    return makeToken(TokenKind::Percent, Start, Loc);
-  case '&':
-    if (match('&'))
-      return makeToken(TokenKind::AmpAmp, Start, Loc);
-    return makeToken(TokenKind::Amp, Start, Loc);
-  case '|':
-    if (match('|'))
-      return makeToken(TokenKind::PipePipe, Start, Loc);
-    return makeToken(TokenKind::Pipe, Start, Loc);
-  case '<':
-    if (match('='))
-      return makeToken(TokenKind::LessEqual, Start, Loc);
-    if (match('<'))
-      return makeToken(TokenKind::LessLess, Start, Loc);
-    return makeToken(TokenKind::Less, Start, Loc);
-  case '>':
-    if (match('='))
-      return makeToken(TokenKind::GreaterEqual, Start, Loc);
-    if (match('>'))
-      return makeToken(TokenKind::GreaterGreater, Start, Loc);
-    return makeToken(TokenKind::Greater, Start, Loc);
-  case '=':
-    if (match('='))
-      return makeToken(TokenKind::EqualEqual, Start, Loc);
-    return makeToken(TokenKind::Equal, Start, Loc);
-  case '!':
-    if (match('='))
-      return makeToken(TokenKind::BangEqual, Start, Loc);
-    return makeToken(TokenKind::Bang, Start, Loc);
-  default:
-    Diags.error(Loc, std::string("unexpected character '") + C + "'");
-    return lexToken();
   }
 }
 

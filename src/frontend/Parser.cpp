@@ -8,9 +8,15 @@
 
 #include "frontend/Lexer.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace vdga;
+
+/// Per-dimension array length cap. MiniC is an analysis subject language,
+/// not a systems language: a fuzzer-sized dimension like `int a[1 << 40]`
+/// would otherwise make the interpreter's cell allocation explode.
+static constexpr uint64_t MaxArrayLength = 1u << 20;
 
 bool Parser::tryConsume(TokenKind Kind) {
   if (cur().isNot(Kind))
@@ -48,6 +54,41 @@ void Parser::skipToRecoveryPoint() {
   }
 }
 
+bool Parser::atNestingLimit(const char *What) {
+  if (NestingDepth < MaxNestingDepth)
+    return false;
+  // Diagnose once per recovery region: skipToRecoveryPoint consumes up to
+  // the enclosing ';' or '}', so the callers unwinding above us see a
+  // different cursor and do not re-trigger.
+  Diags.error(cur().Loc,
+              std::string(What) + " nesting exceeds the maximum depth of " +
+                  std::to_string(MaxNestingDepth));
+  skipToRecoveryPoint();
+  return true;
+}
+
+int64_t Parser::parseIntLiteralValue(const Token &T) {
+  errno = 0;
+  int64_t Value = std::strtoll(std::string(T.Text).c_str(), nullptr, 0);
+  if (errno == ERANGE)
+    Diags.error(T.Loc, "integer literal '" + std::string(T.Text) +
+                           "' is out of range");
+  return Value;
+}
+
+uint64_t Parser::parseArrayLength() {
+  Token N = consume();
+  errno = 0;
+  uint64_t Value = std::strtoull(std::string(N.Text).c_str(), nullptr, 0);
+  if (errno == ERANGE || Value > MaxArrayLength) {
+    Diags.error(N.Loc, "array length '" + std::string(N.Text) +
+                           "' exceeds the maximum of " +
+                           std::to_string(MaxArrayLength));
+    return 1;
+  }
+  return Value;
+}
+
 bool Parser::atTypeStart() const {
   switch (cur().Kind) {
   case TokenKind::KwInt:
@@ -67,8 +108,14 @@ bool Parser::atTypeStart() const {
 //===----------------------------------------------------------------------===//
 
 bool Parser::parseProgram() {
-  while (cur().isNot(TokenKind::EndOfFile))
+  while (cur().isNot(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
     parseTopLevel();
+    // Same progress guarantee as parseCompound: never spin on a token
+    // that error recovery failed to consume.
+    if (Pos == Before)
+      consume();
+  }
   return !Diags.hasErrors();
 }
 
@@ -238,9 +285,7 @@ Parser::Declarator Parser::parseDeclarator(const Type *Base,
     std::vector<uint64_t> FnDims;
     while (tryConsume(TokenKind::LBracket)) {
       if (cur().is(TokenKind::IntLiteral)) {
-        Token N = consume();
-        FnDims.push_back(
-            std::strtoull(std::string(N.Text).c_str(), nullptr, 0));
+        FnDims.push_back(parseArrayLength());
       } else {
         Diags.error(cur().Loc, "expected constant array length");
         FnDims.push_back(1);
@@ -300,8 +345,7 @@ Parser::Declarator Parser::parseDeclarator(const Type *Base,
   std::vector<uint64_t> Dims;
   while (tryConsume(TokenKind::LBracket)) {
     if (cur().is(TokenKind::IntLiteral)) {
-      Token N = consume();
-      Dims.push_back(std::strtoull(std::string(N.Text).c_str(), nullptr, 0));
+      Dims.push_back(parseArrayLength());
     } else {
       Diags.error(cur().Loc, "expected constant array length");
       Dims.push_back(1);
@@ -421,12 +465,16 @@ CompoundStmt *Parser::parseCompound() {
   std::vector<Stmt *> Body;
   while (cur().isNot(TokenKind::RBrace) &&
          cur().isNot(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
     if (atTypeStart()) {
       parseDeclStmtList(Body);
-      continue;
-    }
-    if (Stmt *S = parseStmt())
+    } else if (Stmt *S = parseStmt()) {
       Body.push_back(S);
+    }
+    // Error recovery must always make progress; a parse that consumed
+    // nothing (e.g. a lone stray token) would otherwise loop forever.
+    if (Pos == Before)
+      consume();
   }
   expect(TokenKind::RBrace, "to close block");
   return P.Ctx.create<CompoundStmt>(Loc, std::move(Body));
@@ -461,6 +509,9 @@ Stmt *Parser::parseDeclStmtList(std::vector<Stmt *> &Out) {
 }
 
 Stmt *Parser::parseStmt() {
+  if (atNestingLimit("statement"))
+    return nullptr;
+  NestingScope Scope(*this);
   switch (cur().Kind) {
   case TokenKind::LBrace:
     return parseCompound();
@@ -584,6 +635,11 @@ Stmt *Parser::parseReturn() {
 Expr *Parser::parseExpr() { return parseAssignment(); }
 
 Expr *Parser::parseAssignment() {
+  // Chained assignments (`a = b = c = ...`) recurse without passing
+  // through parseUnary at increasing depth, so they need their own guard.
+  if (atNestingLimit("expression"))
+    return nullptr;
+  NestingScope Scope(*this);
   Expr *LHS = parseConditional();
   if (!LHS)
     return nullptr;
@@ -616,6 +672,10 @@ Expr *Parser::parseAssignment() {
 }
 
 Expr *Parser::parseConditional() {
+  // `a ? b : c ? d : ...` chains recurse flatly too; see parseAssignment.
+  if (atNestingLimit("expression"))
+    return nullptr;
+  NestingScope Scope(*this);
   Expr *Cond = parseBinaryRHS(/*MinPrec=*/0, parseUnary());
   if (!Cond || cur().isNot(TokenKind::Question))
     return Cond;
@@ -711,6 +771,12 @@ Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
 }
 
 Expr *Parser::parseUnary() {
+  // Every expression nesting level passes through here (unary chains
+  // directly, parenthesized and conditional subexpressions via
+  // parsePrimary/parseExpr), so this single guard bounds them all.
+  if (atNestingLimit("expression"))
+    return nullptr;
+  NestingScope Scope(*this);
   SourceLoc Loc = cur().Loc;
   switch (cur().Kind) {
   case TokenKind::Plus:
@@ -857,8 +923,7 @@ Expr *Parser::parsePrimary() {
   switch (cur().Kind) {
   case TokenKind::IntLiteral: {
     Token T = consume();
-    int64_t Value = std::strtoll(std::string(T.Text).c_str(), nullptr, 0);
-    return P.Ctx.create<IntLiteralExpr>(Loc, Value);
+    return P.Ctx.create<IntLiteralExpr>(Loc, parseIntLiteralValue(T));
   }
   case TokenKind::FloatLiteral: {
     Token T = consume();
@@ -886,6 +951,12 @@ Expr *Parser::parsePrimary() {
   case TokenKind::LParen: {
     consume();
     Expr *E = parseExpr();
+    if (!E) {
+      // The subexpression already diagnosed and recovered; a cascade of
+      // "expected ')'" errors from every enclosing paren helps nobody.
+      tryConsume(TokenKind::RParen);
+      return nullptr;
+    }
     expect(TokenKind::RParen, "to close parenthesized expression");
     return E;
   }

@@ -45,6 +45,20 @@ private:
   bool expect(TokenKind Kind, const char *Context);
   void skipToRecoveryPoint();
 
+  /// Bounds the combined statement/expression recursion depth so that
+  /// adversarial inputs (`((((...`, `{{{{...`) produce a diagnostic and
+  /// panic-mode recovery instead of exhausting the host stack.
+  static constexpr unsigned MaxNestingDepth = 256;
+  /// RAII depth accounting around every recursive parse entry point.
+  struct NestingScope {
+    Parser &P;
+    explicit NestingScope(Parser &P) : P(P) { ++P.NestingDepth; }
+    ~NestingScope() { --P.NestingDepth; }
+  };
+  /// When the nesting limit is hit: diagnoses (once per recovery region),
+  /// skips to a recovery point and returns true.
+  bool atNestingLimit(const char *What);
+
   bool atTypeStart() const;
 
   // Declarations.
@@ -88,11 +102,18 @@ private:
   Expr *parsePrimary();
   std::vector<Expr *> parseCallArgs();
 
+  /// Parses one integer literal token, diagnosing out-of-range values.
+  int64_t parseIntLiteralValue(const Token &T);
+  /// Parses one constant array length, diagnosing overflow and lengths
+  /// beyond the MiniC per-dimension cap.
+  uint64_t parseArrayLength();
+
   std::vector<Token> Tokens;
   size_t Pos = 0;
   Program &P;
   DiagnosticEngine &Diags;
   std::map<Symbol, RecordType *> RecordsByTag;
+  unsigned NestingDepth = 0;
 };
 
 } // namespace vdga

@@ -1,0 +1,543 @@
+//===- fuzz/Generator.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void renderStmt(const GenStmt &S, unsigned Indent, std::string &Out) {
+  std::string Pad(2 * Indent, ' ');
+  if (!S.isBlock()) {
+    Out += Pad + S.Line + "\n";
+    return;
+  }
+  Out += Pad + S.Head + "\n";
+  for (const GenStmt &C : S.Body)
+    renderStmt(C, Indent + 1, Out);
+  Out += Pad + "}\n";
+}
+
+} // namespace
+
+std::string GenProgram::render() const {
+  std::string Out;
+  for (const std::string &L : Prologue)
+    Out += L + "\n";
+  for (const GenFunc &F : Funcs) {
+    Out += "\n" + F.Header + "\n";
+    for (const std::string &L : F.Prologue)
+      Out += "  " + L + "\n";
+    for (const GenStmt &S : F.Body)
+      renderStmt(S, 1, Out);
+    if (!F.Epilogue.empty())
+      Out += "  " + F.Epilogue + "\n";
+    Out += "}\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Program generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// What one function body can name. Type-correct generation only ever
+/// combines entries of the matching list.
+struct Env {
+  std::vector<std::string> Ints;       ///< Assignable int variables.
+  std::vector<std::string> Ptrs;       ///< int* variables.
+  std::vector<std::string> PtrPtrs;    ///< int** variables.
+  std::vector<std::string> Structs;    ///< struct S0 values.
+  std::vector<std::string> StructPtrs; ///< struct S0* variables.
+  std::vector<std::string> Arrays;     ///< int[4] variables.
+  std::vector<std::string> FnPtrs;     ///< int (*)(int) variables.
+  std::vector<std::string> LoopVars;   ///< Read-only loop counters.
+  std::vector<std::string> SimpleFns;  ///< Callable int f(int).
+  std::vector<std::string> PtrFns;     ///< Callable int g(int *, int).
+  std::string SelfName;                ///< Own name when self-calls are ok.
+  bool HasParamN = false;              ///< "n" bounds self-recursion.
+};
+
+class Generator {
+public:
+  Generator(const FuzzOptions &O) : O(O), R(O.Seed) {}
+
+  GenProgram run();
+
+private:
+  const std::string &pick(const std::vector<std::string> &V) {
+    assert(!V.empty());
+    return V[R.below(V.size())];
+  }
+
+  std::string intConst();
+  std::string intLValue(const Env &E);
+  std::string intExpr(const Env &E, unsigned Depth);
+  std::string ptrExpr(const Env &E);
+  std::string structPtrExpr(const Env &E);
+  std::string callExpr(const Env &E, unsigned Depth);
+  std::string heapInitLine(const Env &E, const std::string &Target);
+
+  GenStmt leaf(std::string Line) {
+    GenStmt S;
+    S.Line = std::move(Line);
+    return S;
+  }
+  GenStmt stmt(const Env &E, unsigned BlockDepth);
+  std::vector<GenStmt> block(const Env &E, unsigned BlockDepth);
+
+  GenFunc makeHelper(unsigned Index);
+  GenFunc makeMain();
+  Env baseEnv() const;
+  void declareLocals(Env &E, GenFunc &F);
+
+  FuzzOptions O;
+  Rng R;
+  std::vector<std::string> SimpleFns;
+  std::vector<std::string> PtrFns;
+};
+
+std::string Generator::intConst() {
+  // Mostly small values; occasionally large magnitudes to exercise the
+  // wrapping arithmetic paths.
+  if (R.chance(10))
+    return std::to_string(R.range(100000, 2000000000));
+  return std::to_string(R.range(-8, 9));
+}
+
+Env Generator::baseEnv() const {
+  Env E;
+  // Globals are zero-initialized value types, so reads are always defined.
+  E.Ints = {"g0", "g1"};
+  E.Arrays = {"garr"};
+  E.SimpleFns = SimpleFns;
+  E.PtrFns = PtrFns;
+  return E;
+}
+
+std::string Generator::intLValue(const Env &E) {
+  // Collect the forms the env affords, then pick one uniformly.
+  std::vector<std::string> Forms = E.Ints;
+  for (const std::string &P : E.Ptrs)
+    Forms.push_back("*" + P);
+  for (const std::string &PP : E.PtrPtrs)
+    Forms.push_back("**" + PP);
+  for (const std::string &S : E.Structs) {
+    Forms.push_back(S + ".a");
+    Forms.push_back(S + ".b");
+    Forms.push_back("*" + S + ".p");
+  }
+  for (const std::string &SP : E.StructPtrs) {
+    Forms.push_back(SP + "->a");
+    Forms.push_back(SP + "->b");
+    Forms.push_back("*" + SP + "->p");
+    Forms.push_back(SP + "->next->" + (R.chance(50) ? "a" : "b"));
+  }
+  for (const std::string &A : E.Arrays)
+    Forms.push_back(A + "[" + std::to_string(R.below(3)) + "]");
+  return pick(Forms);
+}
+
+std::string Generator::intExpr(const Env &E, unsigned Depth) {
+  if (Depth == 0 || R.chance(35)) {
+    // Leaves: constants, variables, loop counters.
+    unsigned Which = static_cast<unsigned>(R.below(3));
+    if (Which == 0 || (E.Ints.empty() && E.LoopVars.empty()))
+      return intConst();
+    if (Which == 1 && !E.LoopVars.empty())
+      return pick(E.LoopVars);
+    return intLValue(E);
+  }
+  unsigned Which = static_cast<unsigned>(R.below(10));
+  std::string A = intExpr(E, Depth - 1);
+  std::string B = intExpr(E, Depth - 1);
+  switch (Which) {
+  case 0:
+  case 1:
+    return "(" + A + " + " + B + ")";
+  case 2:
+    return "(" + A + " - " + B + ")";
+  case 3:
+    return "(" + A + " * " + std::to_string(R.range(-5, 5)) + ")";
+  case 4:
+    // Nonzero constant divisors keep division well-defined.
+    return "(" + A + " / " + std::to_string(R.range(2, 9)) + ")";
+  case 5:
+    return "(" + A + " % " + std::to_string(R.range(2, 9)) + ")";
+  case 6:
+    return "(" + A + " < " + B + ")";
+  case 7:
+    return "(" + A + " == " + B + ")";
+  case 8:
+    if (!E.SimpleFns.empty() || !E.FnPtrs.empty())
+      return callExpr(E, Depth - 1);
+    return "(" + A + " + " + B + ")";
+  default:
+    return "(" + A + " > " + B + " ? " + A + " : " + B + ")";
+  }
+}
+
+std::string Generator::callExpr(const Env &E, unsigned Depth) {
+  std::string Arg = intExpr(E, Depth);
+  bool ViaPtr = !E.FnPtrs.empty() && (E.SimpleFns.empty() || R.chance(40));
+  if (ViaPtr) {
+    const std::string &FP = pick(E.FnPtrs);
+    return (R.chance(50) ? FP : "(*" + FP + ")") + "(" + Arg + ")";
+  }
+  return pick(E.SimpleFns) + "(" + Arg + ")";
+}
+
+std::string Generator::ptrExpr(const Env &E) {
+  std::vector<std::string> Forms;
+  for (const std::string &I : E.Ints)
+    Forms.push_back("&" + I);
+  for (const std::string &P : E.Ptrs)
+    Forms.push_back(P);
+  for (const std::string &PP : E.PtrPtrs)
+    Forms.push_back("*" + PP);
+  for (const std::string &S : E.Structs)
+    Forms.push_back(S + ".p");
+  for (const std::string &SP : E.StructPtrs)
+    Forms.push_back(SP + "->p");
+  assert(!Forms.empty());
+  return pick(Forms);
+}
+
+std::string Generator::structPtrExpr(const Env &E) {
+  std::vector<std::string> Forms;
+  for (const std::string &S : E.Structs)
+    Forms.push_back("&" + S);
+  for (const std::string &SP : E.StructPtrs) {
+    Forms.push_back(SP);
+    Forms.push_back(SP + "->next");
+  }
+  for (const std::string &S : E.Structs)
+    Forms.push_back(S + ".next");
+  assert(!Forms.empty());
+  return pick(Forms);
+}
+
+std::string Generator::heapInitLine(const Env &E, const std::string &Target) {
+  // Allocation plus full field initialization as one atomic line, so the
+  // reducer cannot strand an uninitialized heap object. The initializers
+  // must not read through Target itself: its fields are undefined until
+  // this line completes ("sp0->p = sp0->p" was a fuzzer-found generator
+  // bug).
+  Env Src = E;
+  Src.StructPtrs.erase(
+      std::remove(Src.StructPtrs.begin(), Src.StructPtrs.end(), Target),
+      Src.StructPtrs.end());
+  std::string L = Target + " = (struct S0 *) malloc(sizeof(struct S0)); ";
+  L += Target + "->a = " + intConst() + "; ";
+  L += Target + "->b = " + intConst() + "; ";
+  L += Target + "->p = " + ptrExpr(Src) + "; ";
+  L += Target + "->next = " + (R.chance(60) && !E.StructPtrs.empty()
+                                   ? pick(E.StructPtrs)
+                                   : Target) +
+       ";";
+  return L;
+}
+
+GenStmt Generator::stmt(const Env &E, unsigned BlockDepth) {
+  // Weighted statement-kind choice; block kinds only below the nesting
+  // budget, feature kinds only when the env affords them.
+  for (;;) {
+    switch (R.below(12)) {
+    case 0:
+    case 1: { // Integer assignment, sometimes compound.
+      std::string LHS = intLValue(E);
+      std::string RHS = intExpr(E, O.MaxExprDepth);
+      static const char *Ops[] = {"=", "+=", "-=", "*=", "/="};
+      const char *Op = R.chance(25) ? Ops[1 + R.below(4)] : Ops[0];
+      if (Op[0] == '/')
+        RHS = std::to_string(R.range(2, 9));
+      return leaf(LHS + " " + Op + " " + RHS + ";");
+    }
+    case 2: { // Pointer reassignment.
+      if (!O.Pointers || (E.Ptrs.empty() && E.Structs.empty() &&
+                          E.StructPtrs.empty()))
+        continue;
+      std::vector<std::string> Targets = E.Ptrs;
+      for (const std::string &S : E.Structs)
+        Targets.push_back(S + ".p");
+      for (const std::string &SP : E.StructPtrs)
+        Targets.push_back(SP + "->p");
+      if (Targets.empty())
+        continue;
+      return leaf(pick(Targets) + " = " + ptrExpr(E) + ";");
+    }
+    case 3: { // Pointer-to-pointer reassignment.
+      if (!O.Pointers || E.PtrPtrs.empty() || E.Ptrs.empty())
+        continue;
+      return leaf(pick(E.PtrPtrs) + " = &" + pick(E.Ptrs) + ";");
+    }
+    case 4: { // Struct-pointer reassignment.
+      if (!O.Aggregates || (E.StructPtrs.empty() && E.Structs.empty()))
+        continue;
+      std::vector<std::string> Targets = E.StructPtrs;
+      for (const std::string &S : E.Structs)
+        Targets.push_back(S + ".next");
+      for (const std::string &SP : E.StructPtrs)
+        Targets.push_back(SP + "->next");
+      if (Targets.empty())
+        continue;
+      return leaf(pick(Targets) + " = " + structPtrExpr(E) + ";");
+    }
+    case 5: { // Fresh heap object into an existing struct pointer.
+      if (!O.Heap || !O.Aggregates || E.StructPtrs.empty())
+        continue;
+      return leaf(heapInitLine(E, pick(E.StructPtrs)));
+    }
+    case 6: { // Function-pointer retarget.
+      if (!O.FunctionPointers || E.FnPtrs.empty() || E.SimpleFns.empty())
+        continue;
+      return leaf(pick(E.FnPtrs) + " = " + pick(E.SimpleFns) + ";");
+    }
+    case 7: { // Call statement (direct, by pointer, or via a pointer arg).
+      if (!E.PtrFns.empty() && !E.Ptrs.empty() && R.chance(40))
+        return leaf(intLValue(E) + " = " + pick(E.PtrFns) + "(" +
+                    ptrExpr(E) + ", " + intExpr(E, 1) + ");");
+      if (E.SimpleFns.empty() && E.FnPtrs.empty())
+        continue;
+      return leaf(intLValue(E) + " = " + callExpr(E, 1) + ";");
+    }
+    case 8: // Observable output.
+      return leaf("printf(\"%d\\n\", " + intExpr(E, 2) + ");");
+    case 9: { // if / if-else.
+      if (BlockDepth >= O.MaxBlockDepth)
+        continue;
+      GenStmt S;
+      S.Head = "if (" + intExpr(E, 2) + " < " + intExpr(E, 2) + ") {";
+      S.Body = block(E, BlockDepth + 1);
+      return S;
+    }
+    case 10: { // Counter-bounded for loop.
+      if (BlockDepth >= O.MaxBlockDepth)
+        continue;
+      std::string LV = "lv" + std::to_string(BlockDepth);
+      GenStmt S;
+      S.Head = "for (" + LV + " = 0; " + LV + " < " +
+               std::to_string(R.range(2, 6)) + "; " + LV + " = " + LV +
+               " + 1) {";
+      Env Inner = E;
+      Inner.LoopVars.push_back(LV);
+      S.Body = block(Inner, BlockDepth + 1);
+      return S;
+    }
+    default: { // Counter-bounded while loop.
+      if (BlockDepth >= O.MaxBlockDepth)
+        continue;
+      std::string LV = "lv" + std::to_string(BlockDepth);
+      GenStmt S;
+      S.Head = "while (" + LV + " < " + std::to_string(R.range(2, 5)) +
+               ") {";
+      Env Inner = E;
+      Inner.LoopVars.push_back(LV);
+      S.Body = block(Inner, BlockDepth + 1);
+      S.Body.push_back(leaf(LV + " = " + LV + " + 1;"));
+      // The counter must be reset before entry, as one atomic pair.
+      GenStmt Wrap;
+      Wrap.Head = "if (1) {";
+      Wrap.Body.push_back(leaf(LV + " = 0;"));
+      Wrap.Body.push_back(std::move(S));
+      return Wrap;
+    }
+    }
+  }
+}
+
+std::vector<GenStmt> Generator::block(const Env &E, unsigned BlockDepth) {
+  std::vector<GenStmt> Out;
+  unsigned N = 1 + static_cast<unsigned>(R.below(O.MaxStmtsPerBlock));
+  for (unsigned I = 0; I < N; ++I)
+    Out.push_back(stmt(E, BlockDepth));
+  return Out;
+}
+
+void Generator::declareLocals(Env &E, GenFunc &F) {
+  // Every local is declared and fully initialized up front, so any read
+  // the body generates is defined.
+  unsigned NInts = 2 + static_cast<unsigned>(R.below(2));
+  for (unsigned I = 0; I < NInts; ++I) {
+    std::string Name = "i" + std::to_string(I);
+    F.Prologue.push_back("int " + Name + " = " + intConst() + ";");
+    E.Ints.push_back(Name);
+  }
+  for (unsigned I = 0; I <= O.MaxBlockDepth; ++I) {
+    std::string LV = "lv" + std::to_string(I);
+    F.Prologue.push_back("int " + LV + " = 0;");
+  }
+  if (O.Aggregates) {
+    F.Prologue.push_back("int arr0[4];");
+    F.Prologue.push_back(
+        "arr0[0] = 0; arr0[1] = 1; arr0[2] = 2; arr0[3] = 3;");
+    E.Arrays.push_back("arr0");
+  }
+  if (O.Pointers) {
+    F.Prologue.push_back("int *q0 = &" + pick(E.Ints) + ";");
+    E.Ptrs.push_back("q0");
+    if (R.chance(70)) {
+      F.Prologue.push_back("int *q1 = &" + pick(E.Ints) + ";");
+      E.Ptrs.push_back("q1");
+    }
+    F.Prologue.push_back("int **qq0 = &" + pick(E.Ptrs) + ";");
+    E.PtrPtrs.push_back("qq0");
+  }
+  if (O.Aggregates && O.Pointers) {
+    F.Prologue.push_back("struct S0 s0;");
+    F.Prologue.push_back("s0.a = " + intConst() + "; s0.b = " + intConst() +
+                         "; s0.p = &" + pick(E.Ints) +
+                         "; s0.next = &s0;");
+    E.Structs.push_back("s0");
+    F.Prologue.push_back("struct S0 *sp0 = &s0;");
+    E.StructPtrs.push_back("sp0");
+    if (O.Heap) {
+      F.Prologue.push_back("struct S0 *hp0 = &s0;");
+      E.StructPtrs.push_back("hp0");
+      F.Prologue.push_back(heapInitLine(E, "hp0"));
+    }
+  }
+  if (O.FunctionPointers && !E.SimpleFns.empty()) {
+    F.Prologue.push_back("int (*fp0)(int);");
+    F.Prologue.push_back("fp0 = " + pick(E.SimpleFns) + ";");
+    E.FnPtrs.push_back("fp0");
+  }
+}
+
+GenFunc Generator::makeHelper(unsigned Index) {
+  GenFunc F;
+  F.Name = "f" + std::to_string(Index);
+  bool PtrParam = O.Pointers && R.chance(35);
+  Env E = baseEnv();
+  if (PtrParam) {
+    F.Header = "int " + F.Name + "(int *p, int n) {";
+    E.Ptrs.push_back("p");
+  } else {
+    F.Header = "int " + F.Name + "(int n) {";
+  }
+  E.Ints.push_back("n");
+  E.HasParamN = true;
+  declareLocals(E, F);
+
+  // Parameter-bounded self-recursion, inserted as one atomic guard so the
+  // reducer keeps it terminating.
+  if (O.Recursion && !PtrParam && R.chance(55)) {
+    std::string Call = F.Name + "(n - 1)";
+    F.Body.push_back(
+        leaf("if (n > 0) { i0 = " + Call + " + " + intConst() + "; }"));
+  }
+  for (GenStmt &S : block(E, 0))
+    F.Body.push_back(std::move(S));
+  F.Epilogue = "return i0 + " + (PtrParam ? "*p" : std::string("n")) + ";";
+  return F;
+}
+
+GenFunc Generator::makeMain() {
+  GenFunc F;
+  F.Name = "main";
+  F.Header = "int main() {";
+  Env E = baseEnv();
+  declareLocals(E, F);
+  F.Body = block(E, 0);
+  // Print the final state so differential runs compare real dataflow.
+  for (const std::string &I : E.Ints)
+    F.Body.push_back(leaf("printf(\"%d\\n\", " + I + ");"));
+  if (!E.Structs.empty())
+    F.Body.push_back(leaf("printf(\"%d\\n\", s0.a + s0.b);"));
+  if (!E.Ptrs.empty())
+    F.Body.push_back(leaf("printf(\"%d\\n\", *q0);"));
+  F.Epilogue = "return 0;";
+  return F;
+}
+
+GenProgram Generator::run() {
+  GenProgram P;
+  if (O.Aggregates)
+    P.Prologue.push_back(
+        "struct S0 { int a; int b; int *p; struct S0 *next; };");
+  P.Prologue.push_back("int g0;");
+  P.Prologue.push_back("int g1;");
+  P.Prologue.push_back("int garr[3];");
+
+  unsigned NFuncs = O.MaxFunctions == 0
+                        ? 0
+                        : static_cast<unsigned>(R.below(O.MaxFunctions + 1));
+  for (unsigned I = 0; I < NFuncs; ++I) {
+    GenFunc F = makeHelper(I);
+    // Helpers only call previously defined helpers (and themselves), so
+    // the call graph is well-defined bottom-up.
+    if (F.Header.find("int *p") == std::string::npos)
+      SimpleFns.push_back(F.Name);
+    else
+      PtrFns.push_back(F.Name);
+    P.Funcs.push_back(std::move(F));
+  }
+  P.Funcs.push_back(makeMain());
+  return P;
+}
+
+} // namespace
+
+GenProgram vdga::generateProgram(const FuzzOptions &Opts) {
+  Generator G(Opts);
+  return G.run();
+}
+
+//===----------------------------------------------------------------------===//
+// Raw-byte mutation
+//===----------------------------------------------------------------------===//
+
+std::string vdga::mutateSource(const std::string &Source, uint64_t Seed) {
+  Rng R(Seed);
+  std::string S = Source;
+  // Characters the lexer/parser care about, plus raw bytes.
+  static const char Alphabet[] =
+      "(){}[]*&;,->.\"'\\0123456789abcxyz \n\t_=+<>!%/#$@`~\x01\x7f";
+  unsigned NMutations = 1 + static_cast<unsigned>(R.below(8));
+  for (unsigned I = 0; I < NMutations && !S.empty(); ++I) {
+    switch (R.below(5)) {
+    case 0: // Flip one byte.
+      S[R.below(S.size())] = Alphabet[R.below(sizeof(Alphabet) - 1)];
+      break;
+    case 1: { // Delete a span.
+      size_t At = R.below(S.size());
+      size_t Len = 1 + R.below(16);
+      S.erase(At, Len);
+      break;
+    }
+    case 2: { // Duplicate a span somewhere else.
+      size_t At = R.below(S.size());
+      size_t Len = 1 + R.below(24);
+      std::string Piece = S.substr(At, Len);
+      S.insert(R.below(S.size() + 1), Piece);
+      break;
+    }
+    case 3: { // Insert fresh noise (often unbalanced brackets/quotes).
+      std::string Noise;
+      size_t Len = 1 + R.below(12);
+      for (size_t J = 0; J < Len; ++J)
+        Noise += Alphabet[R.below(sizeof(Alphabet) - 1)];
+      S.insert(R.below(S.size() + 1), Noise);
+      break;
+    }
+    default: // Truncate (stresses at-EOF recovery paths).
+      S.resize(R.below(S.size() + 1));
+      break;
+    }
+  }
+  return S;
+}

@@ -1,0 +1,84 @@
+//===- fuzz/Generator.h - Random MiniC program generator --------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, grammar-directed random program generation over the frontend's
+/// MiniC subset. Programs are built as a small statement tree (not raw
+/// text) so the reducer can delete subtrees while preserving
+/// well-formedness, and are type-correct by construction: every local is
+/// initialized at declaration, every pointer always targets live storage,
+/// loops are counter-bounded, and recursion decreases a parameter — so a
+/// generated program's only legitimate fates are normal termination or a
+/// clean budget truncation, and any interpreter error is an oracle
+/// finding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FUZZ_GENERATOR_H
+#define VDGA_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Size and feature knobs for one generated program.
+struct FuzzOptions {
+  uint64_t Seed = 0;
+  unsigned MaxFunctions = 4;     ///< Helper functions besides main.
+  unsigned MaxStmtsPerBlock = 6;
+  unsigned MaxBlockDepth = 3;    ///< if/loop nesting.
+  unsigned MaxExprDepth = 3;
+  bool Pointers = true;          ///< int* / int** locals and stores.
+  bool Aggregates = true;        ///< struct S0 with pointer fields, arrays.
+  bool FunctionPointers = true;  ///< int (*fp)(int) variables and calls.
+  bool Recursion = true;         ///< Parameter-bounded self-calls.
+  bool Heap = true;              ///< malloc'ed struct instances.
+};
+
+/// One statement in the generated tree: either a leaf line ("x = y + 1;")
+/// or a block with a header ("if (x < y) {"), nested statements and an
+/// implicit closing brace.
+struct GenStmt {
+  std::string Line;           ///< Leaf text; empty for blocks.
+  std::string Head;           ///< Block header; empty for leaves.
+  std::vector<GenStmt> Body;  ///< Block children.
+
+  bool isBlock() const { return !Head.empty(); }
+};
+
+/// One generated function: fixed header/locals prologue plus a reducible
+/// statement list.
+struct GenFunc {
+  std::string Name;
+  std::string Header;                 ///< "int f0(int n) {"
+  std::vector<std::string> Prologue;  ///< Declarations + initialization.
+  std::vector<GenStmt> Body;
+  std::string Epilogue;               ///< Final return statement.
+};
+
+/// A whole generated program, renderable to MiniC source.
+struct GenProgram {
+  std::vector<std::string> Prologue;  ///< Struct defs + globals.
+  std::vector<GenFunc> Funcs;         ///< Helpers first, main last.
+
+  std::string render() const;
+};
+
+/// Generates one program from the option knobs (deterministic in
+/// Opts.Seed).
+GenProgram generateProgram(const FuzzOptions &Opts);
+
+/// Byte-level mutation of existing source (bit flips, splices, truncation,
+/// token duplication) for lexer/parser robustness fuzzing. The result is
+/// usually ill-formed; the only oracle for it is "the frontend diagnoses
+/// rather than crashes". Deterministic in Seed.
+std::string mutateSource(const std::string &Source, uint64_t Seed);
+
+} // namespace vdga
+
+#endif // VDGA_FUZZ_GENERATOR_H

@@ -1,0 +1,216 @@
+//===- fuzz/Oracles.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "driver/Pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+/// FNV-1a, the digest accumulator. Stringly canonical inputs only.
+class Fnv {
+public:
+  void add(const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001B3ULL;
+    }
+    // Separator so "ab"+"c" and "a"+"bc" differ.
+    H ^= 0xFF;
+    H *= 0x100000001B3ULL;
+  }
+  std::string hex() const {
+    static const char *Digits = "0123456789abcdef";
+    std::string S(16, '0');
+    uint64_t V = H;
+    for (int I = 15; I >= 0; --I, V >>= 4)
+      S[I] = Digits[V & 0xF];
+    return S;
+  }
+
+private:
+  uint64_t H = 0xCBF29CE484222325ULL;
+};
+
+/// Canonical per-output pair listing: rendered paths, sorted, so the
+/// digest is independent of interning and arrival order.
+void addPairs(Fnv &D, AnalyzedProgram &AP, const PointsToResult &R,
+              const char *Tag) {
+  const StringInterner &Names = AP.program().Names;
+  D.add(Tag);
+  for (OutputId O = 0; O < AP.G.numOutputs(); ++O) {
+    const std::vector<PairId> &Pairs = R.pairs(O);
+    if (Pairs.empty())
+      continue;
+    std::vector<std::string> Rendered;
+    Rendered.reserve(Pairs.size());
+    for (PairId Pair : Pairs)
+      Rendered.push_back(AP.PT.str(Pair, AP.Paths, Names));
+    std::sort(Rendered.begin(), Rendered.end());
+    D.add("out" + std::to_string(O));
+    for (const std::string &S : Rendered)
+      D.add(S);
+  }
+}
+
+/// Set-equality of two solutions over the same pair table.
+bool samePairSets(const Graph &G, const PointsToResult &A,
+                  const PointsToResult &B, OutputId *WhereOut) {
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    std::vector<PairId> PA = A.pairs(O), PB = B.pairs(O);
+    std::sort(PA.begin(), PA.end());
+    std::sort(PB.begin(), PB.end());
+    if (PA != PB) {
+      if (WhereOut)
+        *WhereOut = O;
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+OracleOutcome vdga::runOracleStack(const std::string &Source,
+                                   const OracleOptions &Opts) {
+  OracleOutcome Out;
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    // Diagnosed, not crashed: that is the frontend oracle passing.
+    Out.Passed = true;
+    Out.Detail = Error;
+    return Out;
+  }
+  Out.FrontendOk = true;
+
+  // Stages 2 + 4: the checker subsystem runs the VDG verifier, then the
+  // interpreter-backed soundness oracle over CI/CS/Weihl/Steensgaard.
+  CheckOptions CO;
+  CO.Level = CheckLevel::Oracle;
+  CO.OracleInput = Opts.Input;
+  CO.OracleMaxSteps = Opts.MaxSteps;
+  CO.OracleMaxCallDepth = Opts.MaxCallDepth;
+  CheckReport Report = AP->runChecks(CO);
+  Report.sortFindings();
+
+  // Stage 3: schedule independence of the CI solution.
+  PointsToResult CI = AP->runContextInsensitive(WorklistOrder::FIFO);
+  PointsToResult CILifo = AP->runContextInsensitive(WorklistOrder::LIFO);
+  OutputId Where = 0;
+  bool SchedulesAgree = samePairSets(AP->G, CI, CILifo, &Where);
+
+  // Stage 5: CS refines CI, so its stripped pairs must be contained.
+  bool CSComplete = true;
+  bool Contained = true;
+  std::string ContainDetail;
+  PointsToResult Stripped(0);
+  if (Opts.RunCS) {
+    ContextSensResult CS = AP->runContextSensitive(CI);
+    CSComplete = CS.Completed;
+    if (CSComplete) {
+      Stripped = CS.stripAssumptions();
+      for (OutputId O = 0; O < AP->G.numOutputs() && Contained; ++O)
+        for (PairId Pair : Stripped.pairs(O))
+          if (!CI.contains(O, Pair)) {
+            Contained = false;
+            ContainDetail =
+                "pair " +
+                AP->PT.str(Pair, AP->Paths, AP->program().Names) +
+                " at output " + std::to_string(O) +
+                " is context-sensitive but not context-insensitive";
+            break;
+          }
+    }
+  }
+
+  // Interpreter leg for the digest (deterministic re-run; genuine runtime
+  // errors were already turned into checker findings above).
+  RunResult RR = AP->interpret(Opts.Input, Opts.MaxSteps, Opts.MaxCallDepth);
+
+  Fnv D;
+  addPairs(D, *AP, CI, "ci");
+  if (Opts.RunCS && CSComplete)
+    addPairs(D, *AP, Stripped, "cs");
+  else
+    D.add("cs:skipped");
+  D.add("report");
+  D.add(Report.renderText());
+  D.add("run");
+  D.add(RR.Output);
+  D.add(std::to_string(RR.ExitCode));
+  D.add(RR.Truncated ? "truncated" : "complete");
+  Out.Digest = D.hex();
+
+  // Classify the first failure, most fundamental stage first.
+  auto FirstError = [&Report](const char *Pass,
+                              const char *MsgPrefix) -> const Finding * {
+    for (const Finding &F : Report.Findings) {
+      if (F.Severity != FindingSeverity::Error || F.Pass != Pass)
+        continue;
+      if (MsgPrefix && F.Message.rfind(MsgPrefix, 0) != 0)
+        continue;
+      return &F;
+    }
+    return nullptr;
+  };
+  if (const Finding *F = FirstError("verifier", nullptr)) {
+    Out.FailStage = "verifier";
+    Out.Detail = F->Message;
+  } else if (!SchedulesAgree) {
+    Out.FailStage = "schedule";
+    Out.Detail = "FIFO and LIFO worklists disagree at output " +
+                 std::to_string(Where);
+  } else if (const Finding *F =
+                 FirstError("oracle", "concrete execution failed")) {
+    Out.FailStage = "interp";
+    Out.Detail = F->Message;
+  } else if (const Finding *F = FirstError("oracle", nullptr)) {
+    Out.FailStage = "soundness";
+    Out.Detail = F->Message;
+  } else if (!CSComplete) {
+    Out.FailStage = "cs-incomplete";
+    Out.Detail = "context-sensitive solver hit its work cap";
+  } else if (!Contained) {
+    Out.FailStage = "containment";
+    Out.Detail = ContainDetail;
+  }
+  Out.Passed = Out.FailStage.empty();
+  return Out;
+}
+
+OracleOutcome vdga::runFrontendOracle(const std::string &Source) {
+  OracleOutcome Out;
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    Out.Passed = true;
+    Out.Detail = Error;
+    return Out;
+  }
+  Out.FrontendOk = true;
+  // Whatever graph the frontend accepted must at least verify.
+  CheckOptions CO;
+  CO.Level = CheckLevel::Verify;
+  CheckReport Report = AP->runChecks(CO);
+  if (!Report.clean()) {
+    Report.sortFindings();
+    Out.FailStage = "verifier";
+    for (const Finding &F : Report.Findings)
+      if (F.Severity == FindingSeverity::Error) {
+        Out.Detail = F.Message;
+        break;
+      }
+  }
+  Out.Passed = Out.FailStage.empty();
+  return Out;
+}

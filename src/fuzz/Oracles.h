@@ -1,0 +1,74 @@
+//===- fuzz/Oracles.h - Differential oracle stack ---------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle stack one fuzzed program is pushed through:
+///
+///   1. frontend   — lex/parse/sema either build a program or diagnose;
+///                   crashing is the finding.
+///   2. verifier   — VdgVerifier accepts every graph the builder emits.
+///   3. schedule   — FIFO and LIFO worklist orders reach the same
+///                   points-to solution (Figure 1 order-independence).
+///   4. soundness  — the interpreter's access trace is covered by the
+///                   CI, CS, Weihl and Steensgaard solutions (budget
+///                   truncation checks the executed prefix).
+///   5. containment— the stripped context-sensitive solution is a subset
+///                   of the context-insensitive one at every output.
+///
+/// Each outcome carries a digest of everything observable so a batch can
+/// be compared bit-for-bit between jobs=1 and jobs=N runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FUZZ_ORACLES_H
+#define VDGA_FUZZ_ORACLES_H
+
+#include <cstdint>
+#include <string>
+
+namespace vdga {
+
+struct OracleOptions {
+  uint64_t MaxSteps = 2'000'000;   ///< Interpreter step budget.
+  /// Interpreter frame budget. Each guest frame costs several host C++
+  /// frames (evalCall/evalExpr/evalBinary), which sanitizer builds
+  /// inflate further; 512 was observed to overflow an 8 MiB host stack
+  /// under ASan before the guest budget triggered, so the fuzzing
+  /// default stays well below that.
+  unsigned MaxCallDepth = 192;
+  bool RunCS = true;               ///< Include the context-sensitive legs.
+  std::string Input;               ///< stdin for the interpreter run.
+};
+
+struct OracleOutcome {
+  /// The frontend accepted the program (false means it was diagnosed,
+  /// which for adversarial inputs is itself a pass).
+  bool FrontendOk = false;
+  /// Every applicable oracle held.
+  bool Passed = false;
+  /// First failing stage: "verifier", "schedule", "soundness",
+  /// "containment", "cs-incomplete" or "interp". Empty when Passed.
+  std::string FailStage;
+  /// Human-readable description of the failure.
+  std::string Detail;
+  /// Deterministic fingerprint of all observable results (analysis pair
+  /// sets, interpreter output, findings). Empty when !FrontendOk.
+  std::string Digest;
+};
+
+/// Runs the full oracle stack over one source buffer.
+OracleOutcome runOracleStack(const std::string &Source,
+                             const OracleOptions &Opts);
+
+/// Frontend-only oracle for byte-mutated (usually ill-formed) inputs: the
+/// pipeline must diagnose or accept, and any graph it does build must
+/// verify. The interpreter legs are skipped — mutants may legitimately
+/// fault at runtime.
+OracleOutcome runFrontendOracle(const std::string &Source);
+
+} // namespace vdga
+
+#endif // VDGA_FUZZ_ORACLES_H

@@ -1,0 +1,140 @@
+//===- fuzz/Reducer.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+/// One bottom-up pass over a statement list: try deleting each statement,
+/// then hoisting block bodies into their parent, then recursing into
+/// surviving blocks. Returns true if anything was removed.
+bool reduceStmts(std::vector<GenStmt> &Stmts, GenProgram &P,
+                 const Interesting &Pred) {
+  bool Changed = false;
+  for (size_t I = Stmts.size(); I > 0; --I) {
+    size_t Idx = I - 1;
+    // Whole-subtree deletion.
+    GenStmt Removed = std::move(Stmts[Idx]);
+    Stmts.erase(Stmts.begin() + Idx);
+    if (Pred(P.render())) {
+      Changed = true;
+      continue;
+    }
+    Stmts.insert(Stmts.begin() + Idx, std::move(Removed));
+    // Block unwrapping: replace "if (..) { body }" with just the body.
+    if (Stmts[Idx].isBlock()) {
+      GenStmt Saved = Stmts[Idx];
+      std::vector<GenStmt> Body = std::move(Stmts[Idx].Body);
+      Stmts.erase(Stmts.begin() + Idx);
+      Stmts.insert(Stmts.begin() + Idx,
+                   std::make_move_iterator(Body.begin()),
+                   std::make_move_iterator(Body.end()));
+      if (Pred(P.render())) {
+        Changed = true;
+        // Re-examine from the same position next pass.
+        continue;
+      }
+      Stmts.erase(Stmts.begin() + Idx, Stmts.begin() + Idx + Saved.Body.size());
+      Stmts.insert(Stmts.begin() + Idx, std::move(Saved));
+      if (reduceStmts(Stmts[Idx].Body, P, Pred))
+        Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Tries deleting individual lines of a string list. Returns true on any
+/// removal.
+bool reduceLines(std::vector<std::string> &Lines, GenProgram &P,
+                 const Interesting &Pred) {
+  bool Changed = false;
+  for (size_t I = Lines.size(); I > 0; --I) {
+    size_t Idx = I - 1;
+    std::string Removed = std::move(Lines[Idx]);
+    Lines.erase(Lines.begin() + Idx);
+    if (Pred(P.render())) {
+      Changed = true;
+      continue;
+    }
+    Lines.insert(Lines.begin() + Idx, std::move(Removed));
+  }
+  return Changed;
+}
+
+} // namespace
+
+GenProgram vdga::reduceProgram(GenProgram P, const Interesting &Pred) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Drop whole helper functions first (main stays — a program without
+    // main is diagnosed, which would change the failure).
+    for (size_t I = P.Funcs.size(); I > 1; --I) {
+      size_t Idx = I - 2; // Never index the trailing main.
+      if (P.Funcs[Idx].Name == "main")
+        continue;
+      GenFunc Removed = std::move(P.Funcs[Idx]);
+      P.Funcs.erase(P.Funcs.begin() + Idx);
+      if (Pred(P.render())) {
+        Changed = true;
+        continue;
+      }
+      P.Funcs.insert(P.Funcs.begin() + Idx, std::move(Removed));
+    }
+    for (GenFunc &F : P.Funcs) {
+      if (reduceStmts(F.Body, P, Pred))
+        Changed = true;
+      if (reduceLines(F.Prologue, P, Pred))
+        Changed = true;
+    }
+    if (reduceLines(P.Prologue, P, Pred))
+      Changed = true;
+  }
+  return P;
+}
+
+std::string vdga::reduceText(std::string Source, const Interesting &Pred) {
+  // Split into lines once; chunk size halves to a single line, ddmin-style.
+  std::vector<std::string> Lines;
+  {
+    std::istringstream In(Source);
+    std::string L;
+    while (std::getline(In, L))
+      Lines.push_back(L);
+  }
+  auto Render = [&Lines]() {
+    std::string S;
+    for (const std::string &L : Lines)
+      S += L + "\n";
+    return S;
+  };
+  for (size_t Chunk = Lines.size() / 2; Chunk >= 1;) {
+    bool Changed = false;
+    for (size_t At = 0; At + Chunk <= Lines.size();) {
+      std::vector<std::string> Saved(Lines.begin() + At,
+                                     Lines.begin() + At + Chunk);
+      Lines.erase(Lines.begin() + At, Lines.begin() + At + Chunk);
+      if (Pred(Render())) {
+        Changed = true;
+        // Same position now holds the next chunk.
+      } else {
+        Lines.insert(Lines.begin() + At, Saved.begin(), Saved.end());
+        At += Chunk;
+      }
+    }
+    if (!Changed) {
+      if (Chunk == 1)
+        break;
+      Chunk /= 2;
+    }
+  }
+  return Render();
+}

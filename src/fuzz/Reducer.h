@@ -1,0 +1,41 @@
+//===- fuzz/Reducer.h - Greedy AST-level test-case reduction ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy minimization of a failing generated program: repeatedly try to
+/// delete whole functions, statement subtrees and prologue lines, keeping
+/// a deletion whenever the caller's predicate says the reduced program is
+/// still "interesting" (same oracle failure). Works on the GenProgram
+/// statement tree so every candidate stays structurally well-formed; a
+/// line-based fallback handles raw byte-mutated sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FUZZ_REDUCER_H
+#define VDGA_FUZZ_REDUCER_H
+
+#include "fuzz/Generator.h"
+
+#include <functional>
+#include <string>
+
+namespace vdga {
+
+/// True when the candidate source still reproduces the failure being
+/// minimized.
+using Interesting = std::function<bool(const std::string &Source)>;
+
+/// Reduces a generated program to a local minimum under \p Pred. The
+/// returned program still satisfies the predicate (the input must).
+GenProgram reduceProgram(GenProgram P, const Interesting &Pred);
+
+/// Line/chunk-deletion fallback for sources without a statement tree
+/// (byte-mutated inputs). Returns a local minimum under \p Pred.
+std::string reduceText(std::string Source, const Interesting &Pred);
+
+} // namespace vdga
+
+#endif // VDGA_FUZZ_REDUCER_H

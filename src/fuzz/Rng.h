@@ -1,0 +1,57 @@
+//===- fuzz/Rng.h - Deterministic fuzzing PRNG ------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small splitmix64-seeded xorshift generator. The fuzzer must be
+/// bit-reproducible from a seed across platforms and standard-library
+/// versions, so it cannot use <random> distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_FUZZ_RNG_H
+#define VDGA_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace vdga {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 scrambles small/sequential seeds into good state.
+    uint64_t Z = Seed + 0x9E3779B97F4A7C15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    State = Z ^ (Z >> 31);
+    if (State == 0)
+      State = 0x2545F4914F6CDD1DULL;
+  }
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace vdga
+
+#endif // VDGA_FUZZ_RNG_H

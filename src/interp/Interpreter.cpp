@@ -30,11 +30,23 @@ void Interpreter::fail(SourceLoc Loc, const std::string &Message) {
   Result.Error = Where + Message;
 }
 
+void Interpreter::truncate(SourceLoc Loc, const std::string &Reason) {
+  if (Aborted)
+    return;
+  Aborted = true;
+  Result.Truncated = true;
+  std::string Where;
+  if (Loc.isValid())
+    Where = std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column) +
+            ": ";
+  Result.TruncationReason = Where + Reason;
+}
+
 bool Interpreter::step() {
   if (Aborted)
     return false;
   if (++Result.StepsExecuted > MaxSteps) {
-    fail(SourceLoc(), "interpreter step limit exceeded");
+    truncate(SourceLoc(), "interpreter step limit exceeded");
     return false;
   }
   return true;
@@ -424,16 +436,18 @@ Value Interpreter::evalExpr(const Expr *E, Flow &F) {
       New = Ty->isDouble() ? Value::makeDouble(Res)
                            : Value::makeInt(static_cast<int64_t>(Res));
     } else {
+      // Mirror evalBinary: wrap like two's complement where the raw
+      // signed operation would be UB, including INT64_MIN / -1.
       int64_t L = Old.asInt(), R = V.asInt(), Res = 0;
       switch (A->op()) {
       case AssignOp::Add:
-        Res = L + R;
+        Res = wrapAdd(L, R);
         break;
       case AssignOp::Sub:
-        Res = L - R;
+        Res = wrapSub(L, R);
         break;
       case AssignOp::Mul:
-        Res = L * R;
+        Res = wrapMul(L, R);
         break;
       case AssignOp::Div:
         if (R == 0) {
@@ -441,7 +455,7 @@ Value Interpreter::evalExpr(const Expr *E, Flow &F) {
           F = Flow::Abort;
           return Value::undef();
         }
-        Res = L / R;
+        Res = (L == INT64_MIN && R == -1) ? L : L / R;
         break;
       case AssignOp::Rem:
         if (R == 0) {
@@ -449,7 +463,7 @@ Value Interpreter::evalExpr(const Expr *E, Flow &F) {
           F = Flow::Abort;
           return Value::undef();
         }
-        Res = L % R;
+        Res = (L == INT64_MIN && R == -1) ? 0 : L % R;
         break;
       default:
         break;
@@ -1066,8 +1080,8 @@ Value Interpreter::evalCall(const CallExpr *E, Flow &F) {
 
 Value Interpreter::callFunction(const FuncDecl *Fn, std::vector<Value> Args,
                                 Flow &F) {
-  if (Frames.size() > 4096) {
-    fail(Fn->loc(), "call stack depth limit exceeded");
+  if (Frames.size() >= MaxCallDepth) {
+    truncate(Fn->loc(), "call stack depth limit exceeded");
     F = Flow::Abort;
     return Value::undef();
   }
@@ -1318,18 +1332,26 @@ RunResult Interpreter::run() {
   }
 
   initGlobals();
-  if (Aborted)
+  if (Aborted) {
+    if (Result.Truncated) {
+      Result.Ok = true;
+      Result.Error.clear();
+    }
     return Result;
+  }
 
   Flow F = Flow::Normal;
   std::vector<Value> Args(Main->params().size(), Value::makeInt(0));
   Value Ret = callFunction(Main, std::move(Args), F);
 
-  if (Aborted && !CleanExit)
+  // A run that hit a resource budget ends cleanly: the executed prefix is
+  // well-defined and its trace is usable, so it is Ok + Truncated rather
+  // than an error.
+  if (Aborted && !CleanExit && !Result.Truncated)
     return Result;
   Result.Ok = true;
   Result.Error.clear();
-  if (!CleanExit && Ret.K == Value::Kind::Int)
+  if (!CleanExit && !Result.Truncated && Ret.K == Value::Kind::Int)
     Result.ExitCode = Ret.I;
   return Result;
 }

@@ -45,6 +45,13 @@ struct RunResult {
   std::string Output;      ///< Captured printf/putchar text.
   std::string Error;       ///< First runtime error, if any.
   uint64_t StepsExecuted = 0;
+  /// True when a resource budget (step or call-depth limit) ended the run
+  /// early. The run still counts as Ok: everything executed so far was
+  /// well-defined and Trace holds a valid prefix, so oracles can check it
+  /// without reporting a spurious failure. TruncationReason says which
+  /// budget fired.
+  bool Truncated = false;
+  std::string TruncationReason;
   AccessTrace Trace;
 };
 
@@ -55,8 +62,14 @@ public:
   Interpreter(const Program &P, PathTable &Paths, const LocationTable &Locs)
       : P(P), Paths(Paths), Locs(Locs) {}
 
-  /// Caps interpretation work; exceeding it fails the run.
+  /// Caps interpretation work; exceeding it truncates the run cleanly
+  /// (RunResult::Truncated) rather than failing it.
   void setMaxSteps(uint64_t N) { MaxSteps = N; }
+  /// Caps the interpreted call-stack depth; exceeding it truncates the
+  /// run cleanly. The default leaves ample headroom between interpreted
+  /// frames and the host stack frames that implement them, so deeply
+  /// recursive subject programs cannot exhaust the host stack.
+  void setMaxCallDepth(unsigned N) { MaxCallDepth = N; }
   /// Provides stdin content for getchar().
   void setInput(std::string In) { Input = std::move(In); }
 
@@ -105,6 +118,9 @@ private:
   uint32_t stringObject(const StringLiteralExpr *S);
 
   void fail(SourceLoc Loc, const std::string &Message);
+  /// Ends the run cleanly at a resource budget: unwinds like fail(), but
+  /// marks the result truncated-Ok instead of failed.
+  void truncate(SourceLoc Loc, const std::string &Reason);
   bool step();
 
   const Program &P;
@@ -117,6 +133,7 @@ private:
   std::vector<Frame> Frames;
   RunResult Result;
   uint64_t MaxSteps = 50'000'000;
+  unsigned MaxCallDepth = 1024;
   std::string Input;
   size_t InputPos = 0;
   uint64_t RandState = 0x2545F4914F6CDD1DULL;

@@ -99,37 +99,57 @@ PathId PathTable::appendArray(PathId Parent) {
   return append(Parent, arrayOp());
 }
 
+namespace {
+/// Operator chain buffer: inline storage for the common shallow case, a
+/// heap fallback for adversarially deep paths (depth is bounded only by
+/// uint16_t, so a fixed 64-slot array would be a buffer overflow waiting
+/// for a fuzzer to find it).
+struct OpChain {
+  uint32_t Inline[64];
+  std::vector<uint32_t> Heap;
+  uint32_t *Data = Inline;
+
+  explicit OpChain(unsigned Capacity) {
+    if (Capacity > 64) {
+      Heap.resize(Capacity);
+      Data = Heap.data();
+    }
+  }
+};
+} // namespace
+
 PathId PathTable::appendPath(PathId Base, PathId Offset) {
   assert(!isLocation(Offset) && "appendPath requires an offset suffix");
   if (Offset == emptyPath())
     return Base;
   // Gather Offset's operators top-down, then replay them onto Base.
-  uint32_t OpsChain[64];
+  OpChain Chain(depth(Offset));
   unsigned Count = 0;
   uint32_t Cur = index(Offset);
   while (Nodes[Cur].Op != UINT32_MAX) {
-    assert(Count < 64 && "access path too deep");
-    OpsChain[Count++] = Nodes[Cur].Op;
+    Chain.Data[Count++] = Nodes[Cur].Op;
     Cur = Nodes[Cur].Parent;
   }
   PathId Result = Base;
   for (unsigned I = Count; I > 0; --I)
-    Result = append(Result, static_cast<AccessOpId>(OpsChain[I - 1]));
+    Result = append(Result, static_cast<AccessOpId>(Chain.Data[I - 1]));
   return Result;
 }
 
-PathId PathTable::subtractPrefix(PathId Whole, PathId Prefix) const {
-  assert(dom(Prefix, Whole) && "subtractPrefix requires Prefix dom Whole");
-  // Collect the operators of Whole below Prefix, then const_cast-free
-  // rebuild is impossible without mutation; callers hold a mutable table,
-  // so this method is logically const but uses the mutable appendPath via
-  // a small local copy of the operator chain.
-  uint32_t OpsChain[64];
+std::optional<PathId> PathTable::subtractPrefix(PathId Whole,
+                                                PathId Prefix) const {
+  // The subtraction is undefined unless Prefix dom Whole; checking here
+  // (rather than trusting callers) turns a release-mode unsigned
+  // underflow and out-of-bounds write into a clean sentinel.
+  if (!dom(Prefix, Whole))
+    return std::nullopt;
+  // Collect the operators of Whole below Prefix.
+  unsigned Steps = depth(Whole) - depth(Prefix);
+  OpChain Chain(Steps);
   unsigned Count = 0;
   uint32_t Cur = index(Whole);
-  unsigned Steps = depth(Whole) - depth(Prefix);
   for (unsigned I = 0; I < Steps; ++I) {
-    OpsChain[Count++] = Nodes[Cur].Op;
+    Chain.Data[Count++] = Nodes[Cur].Op;
     Cur = Nodes[Cur].Parent;
   }
   // Rebuild bottom-up from the empty offset. The children map is mutated,
@@ -138,7 +158,7 @@ PathId PathTable::subtractPrefix(PathId Whole, PathId Prefix) const {
   auto *Self = const_cast<PathTable *>(this);
   PathId Result = emptyPath();
   for (unsigned I = Count; I > 0; --I)
-    Result = Self->append(Result, static_cast<AccessOpId>(OpsChain[I - 1]));
+    Result = Self->append(Result, static_cast<AccessOpId>(Chain.Data[I - 1]));
   return Result;
 }
 

@@ -31,6 +31,7 @@
 #include <cassert>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -133,15 +134,22 @@ public:
   /// The paper's `+`: appends offset path \p Offset to \p Base.
   PathId appendPath(PathId Base, PathId Offset);
 
-  /// The paper's `-`: given `Prefix dom Whole`, returns the offset path
-  /// such that Prefix + offset == Whole.
-  PathId subtractPrefix(PathId Whole, PathId Prefix) const;
+  /// The paper's `-`: returns the offset path such that
+  /// `Prefix + offset == Whole`. The subtraction is only defined when
+  /// `Prefix dom Whole`; otherwise std::nullopt is returned, so callers
+  /// that cannot establish dominance up front fail gracefully instead of
+  /// hitting undefined behaviour. Callers that have just checked `dom`
+  /// can dereference the result with `.value()`.
+  std::optional<PathId> subtractPrefix(PathId Whole, PathId Prefix) const;
 
   /// The paper's `dom`: true if \p A is a prefix of \p B (a read/write of A
-  /// may observe/modify a value written to B).
+  /// may observe/modify a value written to B). Total over all interned
+  /// paths: unrelated bases, deeper prefixes and offset/location mixes all
+  /// simply return false.
   bool dom(PathId A, PathId B) const;
 
   /// The paper's `strong-dom`: \p A dom \p B and A is strongly updateable.
+  /// Total over all interned paths, like `dom`.
   bool strongDom(PathId A, PathId B) const;
 
   /// True if a write to this path definitely overwrites exactly one

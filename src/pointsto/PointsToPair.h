@@ -44,7 +44,11 @@ struct PointsToPair {
 class PairTable {
 public:
   PairId intern(PathId Path, PathId Referent);
-  const PointsToPair &pair(PairId Id) const { return Pairs[Id]; }
+  /// Returns by value (the pair is 8 bytes): intern() may grow the backing
+  /// vector, so a returned reference would dangle across any interleaved
+  /// intern call — the solvers intern new pairs while iterating pairs they
+  /// previously fetched.
+  PointsToPair pair(PairId Id) const { return Pairs[Id]; }
   size_t size() const { return Pairs.size(); }
 
   /// Renders "(path -> referent)" for diagnostics.

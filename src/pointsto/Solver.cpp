@@ -212,7 +212,7 @@ void ContextInsensitiveSolver::flowLookup(NodeId N, unsigned InIdx,
       const PointsToPair &S = PT.pair(SId);
       if (Paths.dom(Loc, S.Path))
         flowOut(Out,
-                PT.intern(Paths.subtractPrefix(S.Path, Loc), S.Referent),
+                PT.intern(Paths.subtractPrefix(S.Path, Loc).value(), S.Referent),
                 {N, G.producerOf(N, 1), SId, G.producerOf(N, 0), Pair});
     }
     return;
@@ -226,7 +226,7 @@ void ContextInsensitiveSolver::flowLookup(NodeId N, unsigned InIdx,
       continue;
     if (Paths.dom(L.Referent, P.Path))
       flowOut(Out,
-              PT.intern(Paths.subtractPrefix(P.Path, L.Referent),
+              PT.intern(Paths.subtractPrefix(P.Path, L.Referent).value(),
                         P.Referent),
               {N, G.producerOf(N, 1), Pair, G.producerOf(N, 0), LId});
   }

@@ -84,7 +84,7 @@ TEST_F(AccessPathTest, DomIsPrefix) {
 TEST_F(AccessPathTest, AppendPathAndSubtractRoundTrip) {
   PathId G = Paths.basePath(GlobalId);
   PathId GA = Paths.appendField(G, Rec, 0);
-  PathId Offset = Paths.subtractPrefix(GA, G);
+  PathId Offset = Paths.subtractPrefix(GA, G).value();
   EXPECT_FALSE(Paths.isLocation(Offset));
   EXPECT_EQ(Paths.appendPath(G, Offset), GA);
   // The same offset applies to a different base.
@@ -98,6 +98,18 @@ TEST_F(AccessPathTest, SubtractSelfIsEmpty) {
   PathId G = Paths.basePath(GlobalId);
   EXPECT_EQ(Paths.subtractPrefix(G, G), PathTable::emptyPath());
   EXPECT_EQ(Paths.appendPath(G, PathTable::emptyPath()), G);
+}
+
+TEST_F(AccessPathTest, SubtractNonDominatingPrefixIsEmptyOptional) {
+  PathId G = Paths.basePath(GlobalId);
+  PathId GA = Paths.appendField(G, Rec, 0);
+  PathId H = Paths.basePath(HeapId);
+  // Deeper-than-whole, unrelated-base and sibling prefixes are all
+  // undefined subtractions and must come back empty, not crash.
+  EXPECT_EQ(Paths.subtractPrefix(G, GA), std::nullopt);
+  EXPECT_EQ(Paths.subtractPrefix(GA, H), std::nullopt);
+  EXPECT_EQ(Paths.subtractPrefix(Paths.appendField(G, Rec, 1), GA),
+            std::nullopt);
 }
 
 TEST_F(AccessPathTest, StrongUpdateability) {

@@ -191,12 +191,31 @@ TEST(Interpreter, BranchOnUndefIsAnError) {
   EXPECT_NE(R.Error.find("undefined"), std::string::npos);
 }
 
-TEST(Interpreter, StepLimitStopsRunawayLoops) {
+TEST(Interpreter, StepLimitTruncatesRunawayLoops) {
   auto AP = analyze("int main() { for (;;) { } return 0; }");
   ASSERT_TRUE(AP);
   RunResult R = AP->interpret("", /*MaxSteps=*/10000);
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+  // Hitting a resource budget ends the run cleanly: Ok + Truncated, not a
+  // runtime error.
+  EXPECT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_TRUE(R.Error.empty());
+  EXPECT_NE(R.TruncationReason.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, CallDepthLimitTruncatesDeepRecursion) {
+  auto AP = analyze(R"(
+int f(int n) { return f(n + 1); }
+int main() { return f(0); }
+)");
+  ASSERT_TRUE(AP);
+  RunResult R = AP->interpret("", /*MaxSteps=*/50'000'000,
+                              /*MaxCallDepth=*/100);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_NE(R.TruncationReason.find("call stack depth"), std::string::npos);
+  // The executed prefix still produced a usable trace.
+  EXPECT_FALSE(R.Trace.Reads.empty());
 }
 
 TEST(Interpreter, GlobalsAreZeroInitialized) {

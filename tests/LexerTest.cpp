@@ -144,6 +144,38 @@ TEST(Lexer, UnexpectedCharacterReportsErrorAndContinues) {
   EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
 }
 
+TEST(Lexer, UnterminatedStringWithTrailingBackslashAtEof) {
+  // The escape skip must not step past the end of the buffer: a string
+  // that ends in a lone backslash at EOF has to terminate with a
+  // diagnostic, not read out of bounds or loop forever.
+  DiagnosticEngine Diags;
+  Lexer L("\"abc\\", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, UnterminatedCharWithTrailingBackslashAtEof) {
+  DiagnosticEngine Diags;
+  Lexer L("'\\", Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, LongGarbageRunLexesIteratively) {
+  // lexToken loops (rather than recursing) past unexpected characters, so
+  // a long run of garbage bytes must not exhaust the host stack.
+  DiagnosticEngine Diags;
+  std::string Source = std::string(100'000, '$') + " x";
+  Lexer L(Source, Diags); // Lexer keeps a view; Source must outlive it.
+  auto Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::EndOfFile);
+}
+
 TEST(Lexer, CountCodeLines) {
   EXPECT_EQ(Lexer::countCodeLines(""), 0u);
   EXPECT_EQ(Lexer::countCodeLines("int x;\n"), 1u);

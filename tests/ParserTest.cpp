@@ -207,4 +207,64 @@ TEST(Parser, MissingSemicolonReported) {
   EXPECT_NE(Error.find("';'"), std::string::npos);
 }
 
+TEST(Parser, DeeplyNestedParensDiagnosedNotCrash) {
+  // 10k unmatched '(' used to recurse the parser off the host stack; the
+  // nesting guard must turn it into a diagnostic.
+  std::string Error;
+  std::string Source = "int f() { return " + std::string(10'000, '(') + "; }";
+  auto P = parse(Source, &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("nesting exceeds"), std::string::npos) << Error;
+}
+
+TEST(Parser, DeeplyNestedBlocksDiagnosedNotCrash) {
+  std::string Error;
+  std::string Source =
+      "int f() { " + std::string(10'000, '{') + std::string(10'000, '}') + " }";
+  auto P = parse(Source, &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("nesting exceeds"), std::string::npos) << Error;
+}
+
+TEST(Parser, DeepChainedAssignmentsDiagnosedNotCrash) {
+  // `a = a = a = ...` recurses through parseAssignment without passing
+  // parseUnary at increasing depth, so it needs its own guard.
+  std::string Source = "int a; int f() { a ";
+  for (int I = 0; I < 10'000; ++I)
+    Source += "= a ";
+  Source += "; return a; }";
+  std::string Error;
+  auto P = parse(Source, &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("nesting exceeds"), std::string::npos) << Error;
+}
+
+TEST(Parser, ModestNestingStillAccepted) {
+  // The guard must not reject reasonable programs.
+  std::string Source = "int f() { return " + std::string(64, '(') + "1" +
+                       std::string(64, ')') + "; }";
+  auto P = parse(Source);
+  EXPECT_TRUE(P);
+}
+
+TEST(Parser, OverlongIntegerLiteralDiagnosed) {
+  // Used to clamp silently via strtoll; the fuzzer's FIFO/LIFO digest
+  // comparison caught the resulting nondeterministic constant.
+  std::string Error;
+  auto P = parse("int x = 99999999999999999999999999;", &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("out of range"), std::string::npos) << Error;
+}
+
+TEST(Parser, HugeArrayLengthDiagnosed) {
+  std::string Error;
+  auto P = parse("int a[99999999999999999999];", &Error);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Error.find("array length"), std::string::npos) << Error;
+  // A large-but-parseable length beyond the MiniC cap is rejected too.
+  auto Q = parse("int b[1073741824];", &Error);
+  EXPECT_FALSE(Q);
+  EXPECT_NE(Error.find("array length"), std::string::npos) << Error;
+}
+
 } // namespace

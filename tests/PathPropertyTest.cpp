@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+
 using namespace vdga;
 
 namespace {
@@ -93,7 +96,7 @@ TEST_P(PathLaws, SubtractThenAppendRoundTrips) {
   for (size_t Cut = 0; Cut <= Steps.size(); ++Cut) {
     PathId Prefix = U.make(U.Strong, Steps.substr(0, Cut));
     ASSERT_TRUE(U.Paths.dom(Prefix, Whole));
-    PathId Offset = U.Paths.subtractPrefix(Whole, Prefix);
+    PathId Offset = U.Paths.subtractPrefix(Whole, Prefix).value();
     EXPECT_FALSE(U.Paths.isLocation(Offset));
     EXPECT_EQ(U.Paths.appendPath(Prefix, Offset), Whole);
     EXPECT_EQ(U.Paths.depth(Offset), Steps.size() - Cut);
@@ -104,7 +107,7 @@ TEST_P(PathLaws, OffsetsTransplantAcrossBases) {
   PathUniverse U;
   PathId OnStrong = U.make(U.Strong, GetParam());
   PathId Offset =
-      U.Paths.subtractPrefix(OnStrong, U.Paths.basePath(U.Strong));
+      U.Paths.subtractPrefix(OnStrong, U.Paths.basePath(U.Strong)).value();
   PathId OnWeak = U.Paths.appendPath(U.Paths.basePath(U.Weak), Offset);
   EXPECT_TRUE(U.Paths.dom(U.Paths.basePath(U.Weak), OnWeak));
   EXPECT_EQ(U.Paths.subtractPrefix(OnWeak, U.Paths.basePath(U.Weak)),
@@ -150,6 +153,50 @@ INSTANTIATE_TEST_SUITE_P(AllShapes, PathLaws,
                            return I.param.empty() ? std::string("root")
                                                   : I.param;
                          });
+
+TEST(PathLawsGlobal, SubtractOfNonPrefixIsDefinedAndEmpty) {
+  // Randomized sweep: for arbitrary (Whole, Prefix) pairs across both
+  // bases, subtractPrefix must either round-trip (when Prefix dom Whole)
+  // or return nullopt — never underflow or write out of bounds.
+  PathUniverse U;
+  std::vector<PathId> All;
+  for (const std::string &S : allSteps()) {
+    All.push_back(U.make(U.Strong, S));
+    All.push_back(U.make(U.Weak, S));
+  }
+  uint64_t Rng = 0x9E3779B97F4A7C15ULL;
+  auto Next = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+  for (int I = 0; I < 2000; ++I) {
+    PathId Whole = All[Next() % All.size()];
+    PathId Prefix = All[Next() % All.size()];
+    std::optional<PathId> Offset = U.Paths.subtractPrefix(Whole, Prefix);
+    if (U.Paths.dom(Prefix, Whole)) {
+      ASSERT_TRUE(Offset.has_value());
+      EXPECT_EQ(U.Paths.appendPath(Prefix, *Offset), Whole);
+    } else {
+      EXPECT_EQ(Offset, std::nullopt);
+    }
+  }
+}
+
+TEST(PathLawsGlobal, SubtractSurvivesVeryDeepPaths) {
+  // Depth > 64 exercises the heap fallback of the operator-chain buffer
+  // (the old fixed 64-slot array was an out-of-bounds write here).
+  PathUniverse U;
+  PathId Base = U.Paths.basePath(U.Strong);
+  PathId Deep = Base;
+  for (int I = 0; I < 200; ++I)
+    Deep = U.Paths.appendArray(Deep);
+  std::optional<PathId> Offset = U.Paths.subtractPrefix(Deep, Base);
+  ASSERT_TRUE(Offset.has_value());
+  EXPECT_EQ(U.Paths.depth(*Offset), 200u);
+  EXPECT_EQ(U.Paths.appendPath(Base, *Offset), Deep);
+}
 
 TEST(PathLawsGlobal, DomIsTransitiveAcrossTheUniverse) {
   PathUniverse U;

@@ -1,0 +1,20 @@
+// Found by reading the interpreter after vdga-fuzz began generating
+// compound assignments; confirmed by UBSan under the sanitize build.
+//
+// Pre-fix: the interpreter's compound-assignment path (`+=`, `-=`, `*=`,
+// `/=`, `%=`) used raw signed arithmetic while plain binary expressions
+// went through the two's-complement wrap helpers — so `x += 1` at
+// INT64_MAX was undefined behavior (and INT64_MIN / -1 could trap) even
+// though `x = x + 1` wrapped. Both paths now share the same wrapping and
+// INT64_MIN/-1 guards.
+int main() {
+  int x = 9223372036854775807;
+  x += 1;               // wraps to INT64_MIN
+  int y = x;
+  y /= -1;              // INT64_MIN / -1: guarded, yields INT64_MIN
+  int z = x;
+  z %= -1;              // INT64_MIN % -1: guarded, yields 0
+  int w = 3037000500;
+  w *= w;               // wraps
+  return (x < 0) + z + (w != 0);
+}

@@ -1,0 +1,25 @@
+// Found by vdga-fuzz (seed 23 of the first 30-program sweep), minimized.
+//
+// Same root cause as cs-containment-uncalled-fn.c, through a different
+// shape: the uncalled f1 forwards a value read through **qq0 into a call
+// of f0, so the leaked assumption-free store pair flowed onward through
+// the call node before surfacing as a containment violation at f0's
+// body outputs.
+int g0;
+
+int f0(int n) {
+  int i0 = 2;
+  return i0 + n;
+}
+
+int f1(int *p, int n) {
+  int i0 = 5;
+  int *q0 = &g0;
+  int **qq0 = &q0;
+  *p = f0((**qq0 / 5));
+  return i0 + *p;
+}
+
+int main() {
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Found by vdga-fuzz (seed 17 of the first 30-program sweep), minimized.
+//
+// Pre-fix: the context-sensitive solver's strong-update pruning treated an
+// EMPTY context-insensitive location set at an update node as "this store
+// pair is provably never strongly overwritten" and passed the pair through
+// assumption-free. The CI solver blocks store pass-through until a
+// location pair arrives, so in a function that is never called (here f1:
+// its formal p has no CI points-to pairs) CS reported pairs CI lacked,
+// violating the CS ⊆ CI containment invariant.
+//
+// Fixed in ContextSensSolver::ciNeverStronglyOverwrites: the shortcut now
+// requires a non-empty CI location set.
+int g0;
+
+int f1(int *p, int n) {
+  int *q0 = &g0;
+  int **qq0 = &q0;
+  *p = **qq0;
+  return *p;
+}
+
+int main() { return 0; }

@@ -1,0 +1,8 @@
+// Found by vdga-fuzz byte-mutation mode (duplicated '(' spans), minimized.
+//
+// Pre-fix: the recursive-descent parser had no depth bound, so a few
+// thousand unmatched parentheses ran the host stack out and crashed the
+// whole process. The parser now diagnoses "expression nesting exceeds the
+// maximum depth of 256" and recovers. The oracle stack expects this file
+// to be cleanly diagnosed by the frontend, not to crash.
+int main() { return ((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((1; }

@@ -1,0 +1,9 @@
+// Found by vdga-fuzz (generated unguarded self-recursion), minimized.
+//
+// Pre-fix: the interpreter reported call-stack exhaustion as a hard error,
+// which the soundness oracle then surfaced as a spurious "concrete
+// execution failed" finding. Budget exhaustion (steps or call depth) now
+// ends the run cleanly with Truncated=true and a valid trace prefix; the
+// oracle notes the truncation and checks the executed prefix.
+int f(int n) { return f(n + 1); }
+int main() { return f(0); }

@@ -1,0 +1,7 @@
+// Found by vdga-fuzz byte-mutation mode (digit-span duplication), minimized.
+//
+// Pre-fix: integer literals were parsed with a bare strtoll, so an
+// out-of-range literal silently clamped to INT64_MAX with errno ignored —
+// the analyses and the interpreter then disagreed about the constant's
+// value. The parser now diagnoses "integer literal ... is out of range".
+int main() { return 99999999999999999999999999 == 0; }

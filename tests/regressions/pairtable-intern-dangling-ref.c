@@ -1,0 +1,60 @@
+// Found by vdga-fuzz (seed 20261096 of the 500-program fuzz-smoke sweep),
+// minimized by the reducer against the pre-fix sanitizer build.
+//
+// Pre-fix: PairTable::pair() returned a reference into the interner's
+// backing vector. ContextInsensitiveSolver::flowUpdate held such
+// references while calling PT.intern() in its per-input loops; once this
+// program's pair population landed an intern exactly on a vector growth
+// boundary mid-loop, the next iteration read freed memory (a segfault in
+// release builds, heap-use-after-free under ASan). pair() now returns the
+// 8-byte pair by value, so no caller can dangle.
+//
+// The repro needs this much code because the crash requires enough
+// distinct pairs to hit a reallocation inside the vulnerable loop.
+struct S0 { int a; int b; int *p; struct S0 *next; };
+int g0;
+int g1;
+int main() {
+  int i0 = -6;
+  int i1 = -2;
+  int i2 = 8;
+  int lv0 = 0;
+  int lv1 = 0;
+  int lv2 = 0;
+  int arr0[4];
+  arr0[0] = 0; arr0[1] = 1; arr0[2] = 2; arr0[3] = 3;
+  int *q0 = &i2;
+  int *q1 = &i1;
+  int **qq0 = &q1;
+  struct S0 s0;
+  s0.a = -1; s0.b = 594302527; s0.p = &i0; s0.next = &s0;
+  struct S0 *sp0 = &s0;
+  struct S0 *hp0 = &s0;
+  hp0 = (struct S0 *) malloc(sizeof(struct S0)); hp0->a = -8; hp0->b = 583599356; hp0->p = &g1; hp0->next = hp0;
+  while (lv0 < 5) {
+    q1 = &i0;
+    *s0.p = (((5 / 3) < (*hp0->p + lv0)) + ((-5 < s0.a) - (2 + g0)));
+    hp0->next = hp0->next;
+    qq0 = &q0;
+    printf("%d\n", ((s0.b + lv0) + (lv0 == lv0)));
+    hp0 = &s0;
+  }
+  hp0->p = sp0->p;
+  for (lv1 = 0; lv1 < 5; lv1 = lv1 + 1) {
+    hp0 = (struct S0 *) malloc(sizeof(struct S0)); hp0->a = -5; hp0->b = 3; hp0->p = &g1; hp0->next = hp0;
+  }
+  for (lv2 = 0; lv2 < 2; lv2 = lv2 + 1) {
+    hp0->p = q0;
+    sp0 = (struct S0 *) malloc(sizeof(struct S0)); sp0->a = 6; sp0->b = 3; sp0->p = q1; sp0->next = sp0;
+    hp0 = (struct S0 *) malloc(sizeof(struct S0)); hp0->a = -4; hp0->b = 4; hp0->p = &g1; hp0->next = hp0;
+    q1 = &g0;
+  }
+  printf("%d\n", ((*q1 * 2) < (7 + 4)));
+  printf("%d\n", g0);
+  printf("%d\n", g1);
+  printf("%d\n", i0);
+  printf("%d\n", i1);
+  printf("%d\n", i2);
+  printf("%d\n", s0.a + s0.b);
+  printf("%d\n", *q0);
+}

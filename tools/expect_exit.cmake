@@ -1,0 +1,24 @@
+# Runs TOOL with ARGS (a ;-list) and asserts the exact exit code
+# EXPECT_RC, optionally also that stderr contains EXPECT_STDERR. Used by
+# the CLI rejection smoke tests: ctest alone can only distinguish zero
+# from nonzero, but the rejection contract is specifically "exit 2 with a
+# usage message".
+if(NOT DEFINED TOOL OR NOT DEFINED EXPECT_RC)
+  message(FATAL_ERROR "expect_exit.cmake needs -DTOOL=... -DEXPECT_RC=...")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} ${ARGS}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+
+if(NOT RC EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR
+          "expected exit ${EXPECT_RC}, got ${RC}\nstderr:\n${ERR}")
+endif()
+
+if(DEFINED EXPECT_STDERR AND NOT "${ERR}" MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+          "stderr does not contain '${EXPECT_STDERR}':\n${ERR}")
+endif()

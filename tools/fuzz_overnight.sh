@@ -1,0 +1,55 @@
+#!/bin/sh
+# Open-ended randomized fuzzing sweeps with vdga-fuzz: each round draws a
+# fresh base seed, mixes generated and byte-mutated programs, and stops
+# the whole run on the first surviving finding (reproducers stay in the
+# crash directory, minimized). Companion to sanitize_check.sh: pass
+# --sanitize to build and fuzz under ASan+UBSan, which also catches the
+# memory bugs that do not change analysis answers.
+#
+# Usage: tools/fuzz_overnight.sh [--sanitize] [rounds] [per-round-count]
+#   tools/fuzz_overnight.sh               # unlimited rounds of 1000
+#   tools/fuzz_overnight.sh 20            # 20 rounds, then exit 0
+#   tools/fuzz_overnight.sh --sanitize 20 500
+set -eu
+
+SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+ROUNDS=${1:-0}     # 0 = run until interrupted or a finding survives
+COUNT=${2:-1000}
+
+if [ "$SANITIZE" = 1 ]; then
+  BUILD_DIR="$SRC_DIR/build-asan"
+  cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+    -DVDGA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+else
+  BUILD_DIR="$SRC_DIR/build"
+  cmake -S "$SRC_DIR" -B "$BUILD_DIR"
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target vdga-fuzz
+
+CRASH_DIR="$SRC_DIR/fuzz-crashes"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+ROUND=0
+while :; do
+  ROUND=$((ROUND + 1))
+  # Decorrelate rounds without repeating ctest's pinned smoke seeds.
+  SEED=$(( ($(date +%s) + ROUND * 1000003) % 1000000000 ))
+  echo "== round $ROUND: seed $SEED, $COUNT programs =="
+  "$BUILD_DIR/tools/vdga-fuzz" \
+    --count "$COUNT" --seed "$SEED" --jobs "$JOBS" \
+    --mutate-every 5 --crash-dir "$CRASH_DIR" || {
+    echo "fuzz_overnight: finding survived in round $ROUND;" \
+         "reproducers in $CRASH_DIR"
+    exit 1
+  }
+  [ "$ROUNDS" -gt 0 ] && [ "$ROUND" -ge "$ROUNDS" ] && break
+done
+echo "fuzz_overnight: $ROUND round(s) clean"

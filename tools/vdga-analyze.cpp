@@ -291,8 +291,22 @@ int main(int argc, char **argv) {
   CheckLevel Level = CheckLevel::Verify;
   std::string Input;
 
+  // Option flags that consume the next argv slot. Checking the list up
+  // front lets "--flag" at end-of-line produce a precise missing-argument
+  // message instead of being misparsed.
+  auto TakesValue = [](const char *Arg) {
+    return std::strcmp(Arg, "--explain") == 0 ||
+           std::strcmp(Arg, "--trace") == 0 ||
+           std::strcmp(Arg, "--corpus") == 0 ||
+           std::strcmp(Arg, "--input") == 0;
+  };
+
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
+    if (TakesValue(Arg) && I + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' requires an argument\n", Arg);
+      return usage(argv[0]);
+    }
     if (std::strcmp(Arg, "--ci") == 0)
       M = Mode::Locations;
     else if (std::strcmp(Arg, "--cs") == 0) {
@@ -312,7 +326,7 @@ int main(int argc, char **argv) {
       M = Mode::Dot;
     else if (std::strcmp(Arg, "--run") == 0)
       M = Mode::Run;
-    else if (std::strcmp(Arg, "--explain") == 0 && I + 1 < argc)
+    else if (std::strcmp(Arg, "--explain") == 0)
       ExplainVar = argv[++I];
     else if (std::strcmp(Arg, "--diff-ci-cs") == 0)
       M = Mode::DiffCiCs;
@@ -327,16 +341,21 @@ int main(int argc, char **argv) {
       Level = CheckLevel::Diagnose;
     } else if (std::strcmp(Arg, "--json") == 0)
       Json = true;
-    else if (std::strcmp(Arg, "--trace") == 0 && I + 1 < argc)
+    else if (std::strcmp(Arg, "--trace") == 0)
       TracePath = argv[++I];
-    else if (std::strcmp(Arg, "--corpus") == 0 && I + 1 < argc)
+    else if (std::strcmp(Arg, "--corpus") == 0)
       CorpusName = argv[++I];
-    else if (std::strcmp(Arg, "--input") == 0 && I + 1 < argc)
+    else if (std::strcmp(Arg, "--input") == 0)
       Input = argv[++I];
-    else if (Arg[0] == '-')
+    else if (Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
-    else
+    } else if (File) {
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", Arg);
+      return usage(argv[0]);
+    } else {
       File = Arg;
+    }
   }
   // --explain combines with --cs (explain the CS derivation), so it wins
   // over the mode the --cs flag set.

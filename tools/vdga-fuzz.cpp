@@ -1,0 +1,266 @@
+//===- tools/vdga-fuzz.cpp - Differential fuzzing harness ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Seeded grammar-directed fuzzing of the whole pipeline:
+//
+//   vdga-fuzz --count 500 --seed 1            # 500 generated programs
+//   vdga-fuzz --count 200 --mutate-every 4    # every 4th is byte-mutated
+//   vdga-fuzz --jobs 4                        # + jobs=1 vs jobs=N diff
+//   vdga-fuzz --crash-dir crashes             # reproducer persistence
+//
+// Every generated program runs the oracle stack (frontend must diagnose
+// or accept, VdgVerifier must pass, FIFO==LIFO schedules, interpreter
+// trace soundness under CI/CS/Weihl/Steensgaard, CS ⊆ CI containment).
+// The program is persisted to the crash directory *before* the oracles
+// run, so a process-killing crash leaves the reproducer behind; on a
+// clean pass it is removed, and on an oracle failure a greedily minimized
+// version is written next to it. Exit status is 1 when any finding
+// survived, 0 on a clean sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracles.h"
+#include "fuzz/Reducer.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--count N] [--seed S] [--jobs J] [--crash-dir DIR]\n"
+      "       [--max-steps N] [--max-call-depth N] [--mutate-every K]\n"
+      "       [--max-functions N] [--max-stmts N] [--max-block-depth N]\n"
+      "       [--max-expr-depth N] [--no-pointers] [--no-aggregates]\n"
+      "       [--no-fnptrs] [--no-recursion] [--no-heap] [--no-cs] [-v]\n"
+      "Generates MiniC programs and runs each through the differential\n"
+      "oracle stack; exits 1 if any oracle finding survives.\n",
+      Argv0);
+  return 2;
+}
+
+struct Job {
+  uint64_t Seed = 0;
+  bool Mutated = false;
+  std::string Source;
+  GenProgram Tree; ///< Statement tree for AST-level reduction (unused
+                   ///< for mutated jobs, whose tree no longer matches).
+};
+
+struct JobResult {
+  OracleOutcome Outcome;
+  bool Crashed = false; // Unused in-process; reserved for the report.
+};
+
+std::string crashPath(const std::string &Dir, const Job &J,
+                      const char *Suffix) {
+  return Dir + "/" + (J.Mutated ? "mutant-" : "gen-") +
+         std::to_string(J.Seed) + Suffix;
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  Out << Text;
+}
+
+OracleOutcome runJob(const Job &J, const OracleOptions &OOpts) {
+  return J.Mutated ? runFrontendOracle(J.Source)
+                   : runOracleStack(J.Source, OOpts);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Count = 100;
+  uint64_t Seed = 1;
+  unsigned Jobs = 1;
+  unsigned MutateEvery = 0; // 0 = no mutation jobs.
+  bool Verbose = false;
+  std::string CrashDir = "fuzz-crashes";
+  FuzzOptions FOpts;
+  OracleOptions OOpts;
+
+  auto TakesValue = [](const char *Arg) {
+    static const char *Flags[] = {
+        "--count",         "--seed",          "--jobs",
+        "--crash-dir",     "--max-steps",     "--max-call-depth",
+        "--mutate-every",  "--max-functions", "--max-stmts",
+        "--max-block-depth", "--max-expr-depth"};
+    for (const char *F : Flags)
+      if (std::strcmp(Arg, F) == 0)
+        return true;
+    return false;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (TakesValue(Arg) && I + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' requires an argument\n", Arg);
+      return usage(argv[0]);
+    }
+    if (std::strcmp(Arg, "--count") == 0)
+      Count = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(Arg, "--seed") == 0)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(Arg, "--jobs") == 0)
+      Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--crash-dir") == 0)
+      CrashDir = argv[++I];
+    else if (std::strcmp(Arg, "--max-steps") == 0)
+      OOpts.MaxSteps = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(Arg, "--max-call-depth") == 0)
+      OOpts.MaxCallDepth =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--mutate-every") == 0)
+      MutateEvery =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--max-functions") == 0)
+      FOpts.MaxFunctions =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--max-stmts") == 0)
+      FOpts.MaxStmtsPerBlock =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--max-block-depth") == 0)
+      FOpts.MaxBlockDepth =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--max-expr-depth") == 0)
+      FOpts.MaxExprDepth =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--no-pointers") == 0)
+      FOpts.Pointers = false;
+    else if (std::strcmp(Arg, "--no-aggregates") == 0)
+      FOpts.Aggregates = false;
+    else if (std::strcmp(Arg, "--no-fnptrs") == 0)
+      FOpts.FunctionPointers = false;
+    else if (std::strcmp(Arg, "--no-recursion") == 0)
+      FOpts.Recursion = false;
+    else if (std::strcmp(Arg, "--no-heap") == 0)
+      FOpts.Heap = false;
+    else if (std::strcmp(Arg, "--no-cs") == 0)
+      OOpts.RunCS = false;
+    else if (std::strcmp(Arg, "-v") == 0 ||
+             std::strcmp(Arg, "--verbose") == 0)
+      Verbose = true;
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      return usage(argv[0]);
+    }
+  }
+
+  std::error_code EC;
+  std::filesystem::create_directories(CrashDir, EC);
+  if (EC) {
+    std::fprintf(stderr, "cannot create crash directory '%s': %s\n",
+                 CrashDir.c_str(), EC.message().c_str());
+    return 1;
+  }
+
+  // Generate the whole batch up front: generation is cheap, and having
+  // the full list makes the serial and pooled passes trivially identical.
+  std::vector<Job> Batch;
+  Batch.reserve(Count);
+  for (uint64_t I = 0; I < Count; ++I) {
+    Job J;
+    J.Seed = Seed + I;
+    FuzzOptions Local = FOpts;
+    Local.Seed = J.Seed;
+    J.Tree = generateProgram(Local);
+    std::string Source = J.Tree.render();
+    if (MutateEvery && I % MutateEvery == MutateEvery - 1) {
+      J.Mutated = true;
+      J.Source = mutateSource(Source, J.Seed);
+    } else {
+      J.Source = Source;
+    }
+    Batch.push_back(std::move(J));
+  }
+
+  unsigned Failures = 0;
+  uint64_t FrontendRejects = 0;
+  std::vector<std::string> SerialDigests(Batch.size());
+
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const Job &J = Batch[I];
+    // Persist first: if an oracle crashes the process, the reproducer
+    // survives in the crash directory.
+    std::string Pending = crashPath(CrashDir, J, ".c");
+    writeFile(Pending, J.Source);
+    OracleOutcome O = runJob(J, OOpts);
+    SerialDigests[I] = O.Digest;
+    if (!O.FrontendOk)
+      ++FrontendRejects;
+    if (O.Passed) {
+      std::filesystem::remove(Pending, EC);
+      if (Verbose)
+        std::printf("seed %llu: ok%s\n",
+                    static_cast<unsigned long long>(J.Seed),
+                    O.FrontendOk ? "" : " (diagnosed)");
+      continue;
+    }
+    ++Failures;
+    std::fprintf(stderr, "seed %llu: FAIL [%s] %s\n",
+                 static_cast<unsigned long long>(J.Seed),
+                 O.FailStage.c_str(), O.Detail.c_str());
+    // Minimize while preserving the failing stage, then persist both the
+    // original and the reduced reproducer. Generated programs reduce over
+    // their statement tree; mutants fall back to line deletion.
+    std::string Stage = O.FailStage;
+    Interesting Pred = [&](const std::string &Candidate) {
+      OracleOutcome C = J.Mutated ? runFrontendOracle(Candidate)
+                                  : runOracleStack(Candidate, OOpts);
+      return !C.Passed && C.FailStage == Stage;
+    };
+    std::string Reduced = J.Mutated
+                              ? reduceText(J.Source, Pred)
+                              : reduceProgram(J.Tree, Pred).render();
+    writeFile(crashPath(CrashDir, J, ".min.c"), Reduced);
+    std::fprintf(stderr, "  reproducer: %s (minimized: %s)\n",
+                 Pending.c_str(),
+                 crashPath(CrashDir, J, ".min.c").c_str());
+  }
+
+  // jobs=1 vs jobs=N: the whole batch re-runs on a pool and every digest
+  // must be bit-identical to the serial pass.
+  unsigned ScheduleMismatches = 0;
+  if (Jobs > 1) {
+    ThreadPool Pool(Jobs);
+    std::vector<std::future<std::string>> Futures;
+    Futures.reserve(Batch.size());
+    for (const Job &J : Batch)
+      Futures.push_back(Pool.submit(
+          [&J, &OOpts] { return runJob(J, OOpts).Digest; }));
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      std::string D = Futures[I].get();
+      if (D != SerialDigests[I]) {
+        ++ScheduleMismatches;
+        std::fprintf(stderr,
+                     "seed %llu: FAIL [jobs] serial digest %s != "
+                     "jobs=%u digest %s\n",
+                     static_cast<unsigned long long>(Batch[I].Seed),
+                     SerialDigests[I].c_str(), Jobs, D.c_str());
+        writeFile(crashPath(CrashDir, Batch[I], ".jobs.c"),
+                  Batch[I].Source);
+      }
+    }
+  }
+
+  std::printf("fuzz: %llu programs (%llu diagnosed by the frontend), "
+              "%u oracle failure(s), %u schedule mismatch(es)\n",
+              static_cast<unsigned long long>(Batch.size()),
+              static_cast<unsigned long long>(FrontendRejects), Failures,
+              ScheduleMismatches);
+  return (Failures || ScheduleMismatches) ? 1 : 0;
+}
