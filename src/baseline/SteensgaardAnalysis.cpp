@@ -7,6 +7,7 @@
 #include "baseline/SteensgaardAnalysis.h"
 
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -17,6 +18,16 @@ using namespace vdga;
 namespace {
 constexpr unsigned NoPointee = UINT32_MAX;
 } // namespace
+
+SteensgaardResult SteensgaardResult::top(const PathTable &Paths) {
+  SteensgaardResult R;
+  R.IsTop = true;
+  R.AllBases.reserve(Paths.numBases());
+  for (size_t B = 0; B < Paths.numBases(); ++B)
+    R.AllBases.push_back(static_cast<BaseLocId>(B));
+  R.NumClasses = 1;
+  return R;
+}
 
 unsigned SteensgaardSolver::find(unsigned X) {
   while (Parent[X] != X) {
@@ -65,6 +76,28 @@ void SteensgaardSolver::joinPointees(unsigned A, unsigned B) {
 }
 
 SteensgaardResult SteensgaardSolver::solve() {
+  // There is no worklist here; the meter is polled once per constraint
+  // processed. A half-unified solution misses aliases (equality
+  // constraints not yet applied), so on any trip this solver degrades
+  // directly to its own ladder rung — the conservative top result — with
+  // the trip recorded. Callers may always serve a SteensgaardResult.
+  BudgetMeter Meter(Budget);
+  uint64_t Work = 0;
+  auto Tripped = [&](BudgetTrip T) {
+    SteensgaardResult R = SteensgaardResult::top(Paths);
+    R.Status = statusForTrip(T);
+    R.Trip = T;
+    if (Obs.Metrics)
+      Obs.Metrics->add("steens.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "steens")
+          .field("trip", budgetTripName(T))
+          .field("status", solveStatusName(R.Status))
+          .field("constraints", Work);
+    return R;
+  };
+
   size_t NumOutputs = G.numOutputs();
   size_t NumBases = Paths.numBases();
   Members.assign(NumOutputs + NumBases, {});
@@ -78,6 +111,8 @@ SteensgaardResult SteensgaardSolver::solve() {
 
   // Intraprocedural constraints.
   for (NodeId N = 0; N < G.numNodes(); ++N) {
+    if (BudgetTrip T = Meter.poll(++Work, 0); T != BudgetTrip::None)
+      return Tripped(T);
     const Node &Node = G.node(N);
     switch (Node.Kind) {
     case NodeKind::ConstPath: {
@@ -122,6 +157,8 @@ SteensgaardResult SteensgaardSolver::solve() {
       const Node &CallNode = G.node(N);
       if (CallNode.Kind != NodeKind::Call)
         continue;
+      if (BudgetTrip T = Meter.poll(++Work, 0); T != BudgetTrip::None)
+        return Tripped(T);
       unsigned FnClass =
           pointeeOf(outputNode(G.producerOf(N, 0)));
       // Copy: unite below may grow/merge member lists.
@@ -152,6 +189,8 @@ SteensgaardResult SteensgaardSolver::solve() {
   R.Pointees.resize(NumOutputs);
   std::set<unsigned> Classes;
   for (OutputId O = 0; O < NumOutputs; ++O) {
+    if (BudgetTrip T = Meter.poll(++Work, 0); T != BudgetTrip::None)
+      return Tripped(T);
     unsigned C = find(outputNode(O));
     Classes.insert(C);
     if (Pointee[C] == NoPointee)

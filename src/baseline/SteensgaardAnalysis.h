@@ -17,6 +17,7 @@
 #define VDGA_BASELINE_STEENSGAARDANALYSIS_H
 
 #include "pointsto/Solver.h"
+#include "support/Budget.h"
 #include "support/Observability.h"
 
 namespace vdga {
@@ -26,26 +27,43 @@ namespace vdga {
 class SteensgaardResult {
 public:
   /// Base locations the value on \p Out may reference (collapsed to whole
-  /// objects: the analysis is field-insensitive).
+  /// objects: the analysis is field-insensitive). A top result answers
+  /// "every base location" for every output.
   const std::vector<BaseLocId> &pointees(OutputId Out) const {
     static const std::vector<BaseLocId> Empty;
+    if (IsTop)
+      return AllBases;
     return Out < Pointees.size() ? Pointees[Out] : Empty;
   }
 
+  /// The maximally conservative result — every output may point to every
+  /// base location. The last rung of the degradation ladder: trivially
+  /// sound (it covers any trace the interpreter can produce) and free to
+  /// construct, for when even unification blows its budget or the run is
+  /// cancelled.
+  static SteensgaardResult top(const PathTable &Paths);
+
   /// Number of distinct equivalence classes built (a size metric).
   size_t NumClasses = 0;
+  /// True for the conservative all-locations result.
+  bool IsTop = false;
+  SolveStatus Status = SolveStatus::Complete;
+  BudgetTrip Trip = BudgetTrip::None;
+  bool complete() const { return Status == SolveStatus::Complete; }
 
 private:
   friend class SteensgaardSolver;
   std::vector<std::vector<BaseLocId>> Pointees;
+  std::vector<BaseLocId> AllBases; ///< Populated for top results only.
 };
 
 /// Runs the unification analysis over a built VDG.
 class SteensgaardSolver {
 public:
   SteensgaardSolver(const Graph &G, const PathTable &Paths,
-                    SolverObserver Obs = {})
-      : G(G), Paths(Paths), Obs(Obs) {}
+                    SolverObserver Obs = {},
+                    const ResourceBudget &Budget = {})
+      : G(G), Paths(Paths), Obs(Obs), Budget(Budget) {}
 
   SteensgaardResult solve();
 
@@ -67,6 +85,7 @@ private:
   const Graph &G;
   const PathTable &Paths;
   SolverObserver Obs;
+  ResourceBudget Budget;
   std::vector<unsigned> Parent;
   std::vector<unsigned> Pointee; ///< Per class representative, or ~0u.
   /// Base-location members per class, merged small-into-large on union.

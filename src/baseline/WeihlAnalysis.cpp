@@ -7,6 +7,7 @@
 #include "baseline/WeihlAnalysis.h"
 
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -25,7 +26,17 @@ WeihlResult WeihlSolver::solve() {
     flowValue(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path));
   }
 
+  BudgetMeter Meter(Budget);
   while (!Worklist.empty() || !StoreWorklist.empty()) {
+    // Poll at the dequeue boundary shared by both worklists; all facts
+    // accumulated so far are in the fixed point (monotone, no kill).
+    BudgetTrip T = Meter.poll(Result.Stats.TransferFns,
+                              Result.Stats.PairsInserted);
+    if (T != BudgetTrip::None) {
+      Result.Status = statusForTrip(T);
+      Result.Trip = T;
+      break;
+    }
     if (!StoreWorklist.empty()) {
       PairId Pair = StoreWorklist.front();
       StoreWorklist.pop_front();
@@ -52,6 +63,17 @@ WeihlResult WeihlSolver::solve() {
     flowIn(In, Pair);
   }
 
+  if (!Result.complete()) {
+    if (Obs.Metrics)
+      Obs.Metrics->add("weihl.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "weihl")
+          .field("trip", budgetTripName(Result.Trip))
+          .field("status", solveStatusName(Result.Status))
+          .field("transfer_fns", Result.Stats.TransferFns)
+          .field("pairs_inserted", Result.Stats.PairsInserted);
+  }
   if (Obs.Metrics) {
     Obs.Metrics->add("weihl.transfer_fns", Result.Stats.TransferFns);
     Obs.Metrics->add("weihl.meet_ops", Result.Stats.MeetOps);

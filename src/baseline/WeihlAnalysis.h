@@ -43,6 +43,11 @@ public:
   }
 
   SolveStats Stats;
+  /// Non-Complete means the value/store sets are a partial prefix of the
+  /// fixed point; the governance ladder must not serve them.
+  SolveStatus Status = SolveStatus::Complete;
+  BudgetTrip Trip = BudgetTrip::None;
+  bool complete() const { return Status == SolveStatus::Complete; }
 
 private:
   friend class WeihlSolver;
@@ -54,8 +59,9 @@ private:
 class WeihlSolver {
 public:
   WeihlSolver(const Graph &G, PathTable &Paths, PairTable &PT,
-              SolverObserver Obs = {})
-      : G(G), Paths(Paths), PT(PT), Obs(Obs), Result(G.numOutputs()) {}
+              SolverObserver Obs = {}, const ResourceBudget &Budget = {})
+      : G(G), Paths(Paths), PT(PT), Obs(Obs), Budget(Budget),
+        Result(G.numOutputs()) {}
 
   WeihlResult solve();
 
@@ -69,6 +75,7 @@ private:
   PathTable &Paths;
   PairTable &PT;
   SolverObserver Obs;
+  ResourceBudget Budget;
   WeihlResult Result;
 
   DenseBitSet StoreSet;

@@ -78,6 +78,8 @@ std::string CheckReport::renderText() const {
   if (OracleRan)
     OS << " oracle-sites=" << OracleSites
        << " oracle-checks=" << OracleChecks;
+  if (DegradedAnalyses)
+    OS << " degraded=" << DegradedAnalyses;
   OS << " findings=" << Findings.size() << " errors=" << errorCount()
      << '\n';
   return OS.str();
@@ -123,6 +125,7 @@ std::string CheckReport::renderJson() const {
      << ",\"verifier_checks\":" << VerifierChecks
      << ",\"oracle_sites\":" << OracleSites
      << ",\"oracle_checks\":" << OracleChecks
+     << ",\"degraded_analyses\":" << DegradedAnalyses
      << ",\"errors\":" << errorCount() << ",\"findings\":[";
   bool First = true;
   for (const Finding &F : Findings) {

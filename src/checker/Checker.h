@@ -32,6 +32,7 @@
 #define VDGA_CHECKER_CHECKER_H
 
 #include "pointsto/Solver.h"
+#include "support/Budget.h"
 #include "support/SourceLoc.h"
 
 #include <string>
@@ -66,6 +67,12 @@ struct CheckOptions {
   /// Call-depth cap for the oracle's interpreter run; same truncation
   /// semantics as OracleMaxSteps.
   unsigned OracleMaxCallDepth = 1024;
+  /// Budget for the solver runs the oracle checks against. An analysis
+  /// that trips it is *degraded*, not broken: its coverage assertion is
+  /// skipped with a Note finding (a partial solve legitimately misses
+  /// pairs), while the analyses that completed are still held to full
+  /// coverage. Default: unlimited.
+  ResourceBudget SolverBudget;
 };
 
 /// Severity of one finding. Verifier violations and oracle misses are
@@ -112,6 +119,10 @@ struct CheckReport {
   uint64_t OracleChecks = 0;
   /// Steps the oracle's interpreter run executed.
   uint64_t OracleSteps = 0;
+  /// Analyses whose solves degraded under CheckOptions::SolverBudget and
+  /// were therefore excluded from oracle coverage (each also leaves a
+  /// Note finding).
+  unsigned DegradedAnalyses = 0;
 
   unsigned countSeverity(FindingSeverity S) const;
   unsigned errorCount() const { return countSeverity(FindingSeverity::Error); }

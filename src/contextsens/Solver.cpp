@@ -106,18 +106,45 @@ ContextSensResult ContextSensSolver::solve() {
             {N});
   }
 
+  BudgetMeter Meter(Options.Budget);
   while (!Worklist.empty()) {
+    // Poll at the event boundary (before the pop): qualified pairs are
+    // only ever added, so everything inserted so far belongs to the fixed
+    // point; the assumption-set table size is this solver's dominant
+    // memory axis and is reported to the meter alongside the counters.
+    BudgetTrip T = Meter.poll(Result.Stats.TransferFns,
+                              Result.Stats.PairsInserted, AT.numSets());
+    if (T != BudgetTrip::None) {
+      Result.Status = statusForTrip(T);
+      Result.Trip = T;
+      Result.Completed = false;
+      break;
+    }
     Event E = Worklist.front();
     Worklist.pop_front();
     ++Result.Stats.TransferFns;
     if (Options.MaxTransferFns &&
         Result.Stats.TransferFns > Options.MaxTransferFns) {
       Result.Completed = false;
+      Result.Status = SolveStatus::BudgetExceeded;
+      Result.Trip = BudgetTrip::Iterations;
       break;
     }
     flowIn(E);
   }
 
+  if (!Result.complete()) {
+    if (Obs.Metrics)
+      Obs.Metrics->add("cs.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "cs")
+          .field("trip", budgetTripName(Result.Trip))
+          .field("status", solveStatusName(Result.Status))
+          .field("transfer_fns", Result.Stats.TransferFns)
+          .field("pairs_inserted", Result.Stats.PairsInserted)
+          .field("assum_sets", uint64_t(AT.numSets()));
+  }
   if (Obs.Metrics) {
     Obs.Metrics->add("cs.transfer_fns", Result.Stats.TransferFns);
     Obs.Metrics->add("cs.meet_ops", Result.Stats.MeetOps);

@@ -45,7 +45,12 @@ struct ContextSensOptions {
   bool PruneStrongUpdates = true;
   /// Safety valve for the ablation bench: abort (Completed = false) after
   /// this many transfer-function applications. 0 means unlimited.
+  /// Equivalent to Budget.MaxIterations; kept for ablation-bench callers.
   uint64_t MaxTransferFns = 0;
+  /// Resource governance (support/Budget.h). The CS solver additionally
+  /// reports its assumption-set table size to the meter, so MaxAssumSets
+  /// is meaningful here.
+  ResourceBudget Budget;
 };
 
 /// The context-sensitive solution.
@@ -94,7 +99,12 @@ public:
                               const AssumptionSetTable &AT) const;
 
   SolveStats Stats;
+  /// False when any budget (including the legacy MaxTransferFns valve)
+  /// ended the solve early; kept in sync with Status for old callers.
   bool Completed = true;
+  SolveStatus Status = SolveStatus::Complete;
+  BudgetTrip Trip = BudgetTrip::None;
+  bool complete() const { return Status == SolveStatus::Complete; }
 
 private:
   friend class ContextSensSolver;

@@ -26,15 +26,52 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
   }
 
   if (Opts.Level >= CheckLevel::Oracle) {
-    // Fresh solver runs under the requested schedule; provenance is only
-    // recorded when the diagnostics will render it.
+    // Fresh solver runs under the requested schedule and budget;
+    // provenance is only recorded when the diagnostics will render it.
+    // An analysis that trips the budget is excluded from oracle coverage
+    // with a Note — a partial solve legitimately misses pairs, so holding
+    // it to full coverage would manufacture false Errors — while every
+    // analysis that completed is still fully asserted.
     bool WantProvenance = Opts.Level >= CheckLevel::Diagnose;
-    PointsToResult CI = runContextInsensitive(Opts.Order, WantProvenance);
-    ContextSensResult CS = runContextSensitive(CI);
-    WeihlResult Weihl = runWeihl();
-    SteensgaardResult Steens = runSteensgaard();
-    PointsToResult Stripped =
-        CS.Completed ? CS.stripAssumptions() : PointsToResult(0);
+    const ResourceBudget &B = Opts.SolverBudget;
+    auto NoteDegraded = [&](const char *Analysis, BudgetTrip Trip) {
+      ++Report.DegradedAnalyses;
+      Finding F;
+      F.Pass = "oracle";
+      F.Severity = FindingSeverity::Note;
+      F.Analysis = Analysis;
+      F.Message = std::string("analysis degraded under budget (") +
+                  budgetTripName(Trip) +
+                  "); skipping its coverage assertion";
+      Report.Findings.push_back(std::move(F));
+    };
+
+    PointsToResult CI =
+        runContextInsensitive(Opts.Order, WantProvenance, B);
+    if (!CI.complete())
+      NoteDegraded("ci", CI.Trip);
+    // The CS prunings require a complete CI solution; without one the CS
+    // leg is skipped outright (it would be unsound, not just partial).
+    ContextSensOptions CSO;
+    CSO.Budget = B;
+    ContextSensResult CS =
+        CI.complete() ? runContextSensitive(CI, CSO)
+                      : ContextSensResult(0);
+    if (!CI.complete())
+      NoteDegraded("cs", CI.Trip); // prerequisite degraded; leg skipped.
+    else if (!CS.complete())
+      NoteDegraded("cs", CS.Trip);
+    WeihlResult Weihl = runWeihl(B);
+    if (!Weihl.complete())
+      NoteDegraded("weihl", Weihl.Trip);
+    // Steensgaard degrades internally to the sound top result, which
+    // trivially passes coverage — note it, but keep it in the oracle.
+    SteensgaardResult Steens = runSteensgaard(B);
+    if (!Steens.complete())
+      NoteDegraded("steens", Steens.Trip);
+    PointsToResult Stripped = CI.complete() && CS.complete()
+                                  ? CS.stripAssumptions()
+                                  : PointsToResult(0);
 
     {
       MetricsRegistry::ScopedTimer T = Metrics.time("checker.oracle.ms");
@@ -61,9 +98,11 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
           Report.Findings.push_back(std::move(F));
         }
         OracleAnalyses A;
-        A.CI = &CI;
-        A.CS = CS.Completed ? &Stripped : nullptr;
-        A.Weihl = &Weihl;
+        A.CI = CI.complete() ? &CI : nullptr;
+        A.CS = CI.complete() && CS.complete() ? &Stripped : nullptr;
+        A.Weihl = Weihl.complete() ? &Weihl : nullptr;
+        // Steensgaard is always servable: a tripped solve came back as
+        // the conservative top result.
         A.Steens = &Steens;
         OracleResult OR = runSoundnessOracle(G, Paths, PT, Prog->Names,
                                              RR.Trace, A);
@@ -75,12 +114,25 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
     }
 
     if (Opts.Level >= CheckLevel::Diagnose) {
-      MetricsRegistry::ScopedTimer T = Metrics.time("checker.diagnose.ms");
-      ModRefInfo MR = computeModRef(G, CI, PT, Paths);
-      DefUseInfo DU = computeDefUse(G, CI, PT, Paths);
-      for (Finding &F : runDiagnostics(G, *Prog, Paths, PT, CI, MR, DU))
+      if (!CI.complete()) {
+        // Diagnostics consume the CI solution; a partial one would
+        // produce schedule-dependent findings (e.g. phantom uninit
+        // reads from missing pairs).
+        Finding F;
+        F.Pass = "diagnostics";
+        F.Severity = FindingSeverity::Note;
+        F.Message = "skipped: context-insensitive analysis degraded "
+                    "under budget";
         Report.Findings.push_back(std::move(F));
-      Report.DiagnoseRan = true;
+      } else {
+        MetricsRegistry::ScopedTimer T =
+            Metrics.time("checker.diagnose.ms");
+        ModRefInfo MR = computeModRef(G, CI, PT, Paths);
+        DefUseInfo DU = computeDefUse(G, CI, PT, Paths);
+        for (Finding &F : runDiagnostics(G, *Prog, Paths, PT, CI, MR, DU))
+          Report.Findings.push_back(std::move(F));
+        Report.DiagnoseRan = true;
+      }
     }
   }
 
@@ -92,5 +144,7 @@ CheckReport AnalyzedProgram::runChecks(const CheckOptions &Opts) {
   }
   Metrics.set("checker.findings", Report.Findings.size());
   Metrics.set("checker.errors", Report.errorCount());
+  if (Report.DegradedAnalyses)
+    Metrics.set("checker.degraded", Report.DegradedAnalyses);
   return Report;
 }

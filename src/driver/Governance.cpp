@@ -1,0 +1,133 @@
+//===- driver/Governance.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Governance.h"
+
+#include "driver/Pipeline.h"
+#include "support/Trace.h"
+
+#include <chrono>
+
+using namespace vdga;
+
+const char *vdga::precisionTierName(PrecisionTier T) {
+  switch (T) {
+  case PrecisionTier::ContextSens:
+    return "cs";
+  case PrecisionTier::ContextInsens:
+    return "ci";
+  case PrecisionTier::Steensgaard:
+    return "steens";
+  case PrecisionTier::Top:
+    return "top";
+  }
+  return "unknown";
+}
+
+std::string DegradationReport::summary() const {
+  std::string S;
+  for (const DegradationStep &Step : Steps) {
+    if (!S.empty())
+      S += ", ";
+    S += Step.Solver;
+    S += "->";
+    S += precisionTierName(Step.FellBackTo);
+    S += "(";
+    S += budgetTripName(Step.Trip);
+    S += ")";
+  }
+  return S;
+}
+
+static double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+GovernedAnalysis AnalyzedProgram::runGoverned(const GovernancePolicy &Policy,
+                                              bool RunCS,
+                                              ContextSensOptions CSOptions,
+                                              WorklistOrder Order,
+                                              bool RecordProvenance) {
+  ResourceBudget B = Policy.solverBudget();
+
+  auto RecordStep = [&](DegradationReport &Rep, const char *Solver,
+                        SolveStatus Status, BudgetTrip Trip,
+                        PrecisionTier FellBackTo, const SolveStats &Stats) {
+    DegradationStep Step;
+    Step.Solver = Solver;
+    Step.Status = Status;
+    Step.Trip = Trip;
+    Step.FellBackTo = FellBackTo;
+    Step.PartialStats = Stats;
+    Rep.Steps.push_back(std::move(Step));
+    Metrics.add(std::string(Solver) + ".degraded", 1);
+    if (TraceSink)
+      TraceSink->event("degraded")
+          .field("solver", Solver)
+          .field("trip", budgetTripName(Trip))
+          .field("fell_back_to", precisionTierName(FellBackTo));
+  };
+
+  auto T0 = std::chrono::steady_clock::now();
+  GovernedAnalysis GA(runContextInsensitive(Order, RecordProvenance, B));
+  GA.CIMillis = millisSince(T0);
+  GA.RanCS = RunCS;
+
+  if (!GA.CI.complete()) {
+    // CI blew its budget: its partial pair sets under-approximate the
+    // fixed point, so CI clients are served by the Steensgaard rung. On
+    // cancellation no further solving is attempted — top is free.
+    if (GA.CI.Status == SolveStatus::Cancelled) {
+      GA.Steens = SteensgaardResult::top(Paths);
+      GA.Steens->Status = SolveStatus::Cancelled;
+      GA.Steens->Trip = BudgetTrip::Cancelled;
+      GA.Degradation.CITier = PrecisionTier::Top;
+      RecordStep(GA.Degradation, "ci", GA.CI.Status, GA.CI.Trip,
+                 PrecisionTier::Top, GA.CI.Stats);
+    } else {
+      auto TS = std::chrono::steady_clock::now();
+      GA.Steens = runSteensgaard(B);
+      GA.SteensMillis = millisSince(TS);
+      // A tripped Steensgaard solve already degraded itself to top.
+      GA.Degradation.CITier = GA.Steens->IsTop ? PrecisionTier::Top
+                                               : PrecisionTier::Steensgaard;
+      RecordStep(GA.Degradation, "ci", GA.CI.Status, GA.CI.Trip,
+                 GA.Degradation.CITier, GA.CI.Stats);
+      if (!GA.Steens->complete())
+        RecordStep(GA.Degradation, "steens", GA.Steens->Status,
+                   GA.Steens->Trip, PrecisionTier::Top, SolveStats{});
+    }
+  }
+
+  if (!RunCS)
+    return GA;
+
+  if (!GA.CI.complete()) {
+    // Both CS prerequisites are gone: the Section 4.2 prunings and the
+    // CS->CI fallback both require a *complete* CI solution. CS clients
+    // are served by whatever tier CI clients got.
+    GA.Degradation.CSTier = GA.Degradation.CITier;
+    RecordStep(GA.Degradation, "cs", GA.CI.Status, GA.CI.Trip,
+               GA.Degradation.CSTier, SolveStats{});
+    return GA;
+  }
+
+  ContextSensOptions GovernedOpts = CSOptions;
+  GovernedOpts.Budget = B;
+  auto T1 = std::chrono::steady_clock::now();
+  GA.CS = runContextSensitive(GA.CI, GovernedOpts, RecordProvenance);
+  GA.CSMillis = millisSince(T1);
+  if (!GA.CS->complete()) {
+    // The paper's containment guarantee (CS subset-of CI at every output)
+    // makes the already-computed CI result a sound stand-in.
+    GA.Degradation.CSTier = PrecisionTier::ContextInsens;
+    RecordStep(GA.Degradation, "cs", GA.CS->Status, GA.CS->Trip,
+               PrecisionTier::ContextInsens, GA.CS->Stats);
+  }
+  return GA;
+}

@@ -1,0 +1,163 @@
+//===- driver/Governance.h - Sound degradation ladder ----------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the analysis pipeline. The paper's own result
+/// — the context-sensitive solution is contained in the context-
+/// insensitive one (Section 4.1, fuzz-verified here) — generalizes into a
+/// runtime policy: when a solver blows its budget, serve the next coarser
+/// *complete* result instead of stalling or dying. The ladder:
+///
+///     context-sensitive  --budget trip-->  context-insensitive
+///     context-insensitive --budget trip--> Steensgaard
+///     Steensgaard         --budget trip--> top (all base locations)
+///
+/// Every rung is sound for may-alias clients: each coarser tier
+/// over-approximates the finer one, and top covers any execution at all.
+/// Partial worklist results are never served — a monotone solver stopped
+/// early has a *subset* of the true facts, which for may-analyses is the
+/// unsound direction.
+///
+/// A `GovernancePolicy` describes the budgets; `AnalyzedProgram::
+/// runGoverned` walks the ladder and returns a `GovernedAnalysis` whose
+/// `DegradationReport` records each step for metrics (`*.degraded`,
+/// `*.budget_trips`), the JSONL trace, the bench artifact and the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_DRIVER_GOVERNANCE_H
+#define VDGA_DRIVER_GOVERNANCE_H
+
+#include "baseline/SteensgaardAnalysis.h"
+#include "contextsens/Solver.h"
+#include "support/Budget.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// The precision tiers the ladder can serve, finest first.
+enum class PrecisionTier : uint8_t {
+  ContextSens,
+  ContextInsens,
+  Steensgaard,
+  Top,
+};
+
+const char *precisionTierName(PrecisionTier T);
+
+/// Budget knobs for one governed pipeline run. Every limit applies to
+/// each solver run individually (the ladder's whole point is that a rung
+/// that trips is replaced, not that the pipeline shares one meter); the
+/// absolute `Deadline` and the `Cancel` token are shared so a corpus
+/// watchdog can bound the whole run. All-defaults means ungoverned:
+/// `runGoverned` then produces bit-identical results to the plain `run*`
+/// calls at one extra branch per worklist dequeue.
+struct GovernancePolicy {
+  /// Per-solve wall-clock budget, milliseconds. 0 = unlimited.
+  double SolveMs = 0;
+  /// Whole-corpus wall-clock budget, milliseconds; consumed by
+  /// `analyzeCorpus`, which turns it into the shared `Deadline` plus a
+  /// cancellation watchdog. Ignored by per-program runs. 0 = unlimited.
+  double CorpusMs = 0;
+  /// Absolute deadline shared by every solve of this run (set by the
+  /// corpus watchdog; earlier of this and SolveMs wins per solve).
+  std::chrono::steady_clock::time_point Deadline{};
+  uint64_t MaxPairs = 0;      ///< Per-solve pair-insertion cap.
+  uint64_t MaxAssumSets = 0;  ///< CS assumption-set table cap.
+  uint64_t MaxIterations = 0; ///< Per-solve worklist dequeue cap.
+  const CancellationToken *Cancel = nullptr; ///< Not owned.
+
+  /// The per-solve budget this policy hands each solver.
+  ResourceBudget solverBudget() const {
+    ResourceBudget B;
+    B.SoftMs = SolveMs;
+    B.Deadline = Deadline;
+    B.MaxPairs = MaxPairs;
+    B.MaxAssumSets = MaxAssumSets;
+    B.MaxIterations = MaxIterations;
+    B.Cancel = Cancel;
+    return B;
+  }
+
+  bool unlimited() const { return solverBudget().unlimited() && CorpusMs == 0; }
+};
+
+/// One rung walked down the ladder.
+struct DegradationStep {
+  std::string Solver; ///< "cs", "ci" or "steens" — the rung that tripped.
+  BudgetTrip Trip = BudgetTrip::None;
+  SolveStatus Status = SolveStatus::BudgetExceeded;
+  PrecisionTier FellBackTo = PrecisionTier::Top;
+  /// Work done before the trip. Schedule-dependent for partial solves —
+  /// informational only, excluded from determinism-compared renderings.
+  SolveStats PartialStats;
+};
+
+/// Everything a client needs to know about how (and whether) one
+/// program's analysis degraded.
+struct DegradationReport {
+  std::vector<DegradationStep> Steps;
+  /// The tier actually serving context-insensitive clients.
+  PrecisionTier CITier = PrecisionTier::ContextInsens;
+  /// The tier actually serving context-sensitive clients (only
+  /// meaningful when the run included the CS leg).
+  PrecisionTier CSTier = PrecisionTier::ContextSens;
+
+  bool degraded() const { return !Steps.empty(); }
+
+  /// Compact, schedule-independent rendering for figure annotations and
+  /// logs, e.g. "cs->ci(iterations), ci->steens(deadline)". Partial
+  /// stats are deliberately excluded (see DegradationStep::PartialStats).
+  std::string summary() const;
+};
+
+/// The bundle `AnalyzedProgram::runGoverned` returns: per ladder rung,
+/// the finest *complete* result that fit the budget, plus the report.
+struct GovernedAnalysis {
+  explicit GovernedAnalysis(PointsToResult CI) : CI(std::move(CI)) {}
+
+  /// The context-insensitive solve. Complete iff
+  /// `Degradation.CITier == ContextInsens`; otherwise a partial result
+  /// kept only for its stats — never serve it.
+  PointsToResult CI;
+  /// The context-sensitive solve, present when the run included the CS
+  /// leg and a complete CI existed to prune it. Complete iff
+  /// `Degradation.CSTier == ContextSens`.
+  std::optional<ContextSensResult> CS;
+  /// Populated when CI degraded: the Steensgaard result serving CI
+  /// clients — the conservative top result if that rung tripped too.
+  std::optional<SteensgaardResult> Steens;
+
+  DegradationReport Degradation;
+
+  double CIMillis = 0.0;
+  double CSMillis = 0.0;
+  double SteensMillis = 0.0;
+
+  bool RanCS = false;
+
+  bool degraded() const { return Degradation.degraded(); }
+
+  /// The complete CI result, or null when that rung degraded.
+  const PointsToResult *completeCI() const {
+    return Degradation.CITier == PrecisionTier::ContextInsens ? &CI
+                                                              : nullptr;
+  }
+  /// The complete CS result, or null when that rung degraded (clients
+  /// should then fall back to `completeCI()`, the ladder's next rung).
+  const ContextSensResult *completeCS() const {
+    return Degradation.CSTier == PrecisionTier::ContextSens && CS
+               ? &*CS
+               : nullptr;
+  }
+};
+
+} // namespace vdga
+
+#endif // VDGA_DRIVER_GOVERNANCE_H

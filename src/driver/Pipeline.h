@@ -19,6 +19,7 @@
 #include "baseline/WeihlAnalysis.h"
 #include "checker/Checker.h"
 #include "contextsens/Solver.h"
+#include "driver/Governance.h"
 #include "contextsens/Spurious.h"
 #include "frontend/CallGraphAST.h"
 #include "interp/Interpreter.h"
@@ -43,12 +44,14 @@ public:
 
   /// Context-insensitive analysis (Figure 1). \p RecordProvenance keeps a
   /// Derivation per pair instance (for `vdga-analyze --explain`).
+  /// \p Budget governs the solve; check `Status` on the result, or use
+  /// runGoverned() to get the degradation ladder handled for you.
   PointsToResult runContextInsensitive(
       WorklistOrder Order = WorklistOrder::FIFO,
-      bool RecordProvenance = false) {
+      bool RecordProvenance = false, const ResourceBudget &Budget = {}) {
     MetricsRegistry::ScopedTimer T = Metrics.time("ci.solve.ms");
     return ContextInsensitiveSolver(G, Paths, PT, Order,
-                                    observer(RecordProvenance))
+                                    observer(RecordProvenance), Budget)
         .solve();
   }
 
@@ -64,16 +67,28 @@ public:
   }
 
   /// Weihl-style program-wide flow-insensitive baseline.
-  WeihlResult runWeihl() {
+  WeihlResult runWeihl(const ResourceBudget &Budget = {}) {
     MetricsRegistry::ScopedTimer T = Metrics.time("weihl.solve.ms");
-    return WeihlSolver(G, Paths, PT, observer()).solve();
+    return WeihlSolver(G, Paths, PT, observer(), Budget).solve();
   }
 
-  /// Steensgaard-style unification baseline.
-  SteensgaardResult runSteensgaard() {
+  /// Steensgaard-style unification baseline. Never returns an unsound
+  /// result: a budget trip yields the conservative top result with the
+  /// trip recorded on it.
+  SteensgaardResult runSteensgaard(const ResourceBudget &Budget = {}) {
     MetricsRegistry::ScopedTimer T = Metrics.time("steens.solve.ms");
-    return SteensgaardSolver(G, Paths, observer()).solve();
+    return SteensgaardSolver(G, Paths, observer(), Budget).solve();
   }
+
+  /// Runs the analyses under \p Policy's budgets, walking the sound
+  /// degradation ladder (CS -> CI -> Steensgaard -> top) whenever a rung
+  /// trips; see driver/Governance.h. With an unlimited policy this is
+  /// exactly runContextInsensitive + runContextSensitive.
+  GovernedAnalysis runGoverned(const GovernancePolicy &Policy,
+                               bool RunCS = false,
+                               ContextSensOptions CSOptions = {},
+                               WorklistOrder Order = WorklistOrder::FIFO,
+                               bool RecordProvenance = false);
 
   /// Overrides the event sink (create() seeds it from `VDGA_TRACE`). Pass
   /// null to disable tracing for this program.

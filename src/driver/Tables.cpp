@@ -9,8 +9,10 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -24,7 +26,8 @@ static double millisSince(
 
 BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
                                        ContextSensOptions CSOptions,
-                                       CheckLevel Checks) {
+                                       CheckLevel Checks,
+                                       const GovernancePolicy &Policy) {
   BenchmarkReport R;
   R.Name = Prog.Name;
 
@@ -33,6 +36,7 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
     if (Checks != CheckLevel::None) {
       CheckOptions CO;
       CO.Level = Checks;
+      CO.SolverBudget = Policy.solverBudget();
       R.Check = AP.runChecks(CO);
     }
     R.Metrics = AP.Metrics.metrics();
@@ -51,18 +55,25 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.VdgNodes = static_cast<unsigned>(AP->G.numNodes());
   R.AliasOutputs = AP->G.countAliasRelatedOutputs();
 
-  auto T0 = std::chrono::steady_clock::now();
-  PointsToResult CI = AP->runContextInsensitive();
-  R.CIMillis = millisSince(T0);
-  R.CIStats = CI.Stats;
-  auto TStats = std::chrono::steady_clock::now();
-  R.CI = computePairTotals(AP->G, CI);
-  R.ReadsCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/false);
-  R.WritesCI = computeIndirectOpStats(AP->G, CI, AP->PT, /*Writes=*/true);
-  R.AllBreakdown =
-      computePairBreakdown(AP->G, CI, AP->PT, AP->Paths, AP->locations());
-  R.StatsMillis = millisSince(TStats);
-  AP->Metrics.addTime("stats.ms", R.StatsMillis);
+  GovernedAnalysis GA = AP->runGoverned(Policy, RunCS, CSOptions);
+  R.Degradation = GA.Degradation;
+  R.CIMillis = GA.CIMillis;
+  if (const PointsToResult *CI = GA.completeCI()) {
+    R.CIStats = CI->Stats;
+    auto TStats = std::chrono::steady_clock::now();
+    R.CI = computePairTotals(AP->G, *CI);
+    R.ReadsCI =
+        computeIndirectOpStats(AP->G, *CI, AP->PT, /*Writes=*/false);
+    R.WritesCI =
+        computeIndirectOpStats(AP->G, *CI, AP->PT, /*Writes=*/true);
+    R.AllBreakdown = computePairBreakdown(AP->G, *CI, AP->PT, AP->Paths,
+                                          AP->locations());
+    R.StatsMillis = millisSince(TStats);
+    AP->Metrics.addTime("stats.ms", R.StatsMillis);
+  }
+  // CI degraded: the partial solve's figures stay zeroed (renderers
+  // annotate the row) — partial CI counters are schedule-dependent and
+  // must not leak into determinism-compared output.
 
   if (!RunCS) {
     Finish(*AP);
@@ -70,19 +81,19 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   }
 
   R.RanCS = true;
-  auto T1 = std::chrono::steady_clock::now();
-  ContextSensResult CS = AP->runContextSensitive(CI, CSOptions);
-  R.CSMillis = millisSince(T1);
-  R.CSStats = CS.Stats;
-  R.CSCompleted = CS.Completed;
-  if (!CS.Completed) {
+  R.CSMillis = GA.CSMillis;
+  if (GA.CS)
+    R.CSStats = GA.CS->Stats;
+  const ContextSensResult *CS = GA.completeCS();
+  R.CSCompleted = CS != nullptr;
+  if (!CS) {
     Finish(*AP);
     return R;
   }
 
   auto TStats2 = std::chrono::steady_clock::now();
-  PointsToResult Stripped = CS.stripAssumptions();
-  SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
+  PointsToResult Stripped = CS->stripAssumptions();
+  SpuriousStats S = computeSpuriousStats(AP->G, GA.CI, Stripped, AP->PT,
                                          AP->Paths, AP->locations());
   R.CS = S.CSTotals;
   R.SpuriousTotal = S.SpuriousTotal;
@@ -90,7 +101,7 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.ContainmentViolations = S.ContainmentViolations;
   R.SpuriousBreakdown = S.SpuriousBreakdown;
   R.IndirectOpsWhereCSWins =
-      countIndirectOpsWhereCSWins(AP->G, CI, Stripped, AP->PT);
+      countIndirectOpsWhereCSWins(AP->G, GA.CI, Stripped, AP->PT);
   double CSStatsMillis = millisSince(TStats2);
   R.StatsMillis += CSStatsMillis;
   AP->Metrics.addTime("stats.ms", CSStatsMillis);
@@ -101,29 +112,73 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
 std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
                                                  ContextSensOptions Opts,
                                                  unsigned Jobs,
-                                                 CheckLevel Checks) {
+                                                 CheckLevel Checks,
+                                                 const GovernancePolicy &Policy) {
   const std::vector<CorpusProgram> &Programs = corpus();
   if (Jobs == 0)
     Jobs = ThreadPool::defaultJobs();
   if (Jobs > Programs.size())
     Jobs = static_cast<unsigned>(Programs.size());
 
+  // Corpus watchdog: a corpus-level wall budget becomes one absolute
+  // deadline shared by every program's solver budget, so in-flight
+  // solves trip within one polling interval of it passing and programs
+  // not yet started degrade immediately. A cancellation token fired a
+  // grace period after the deadline backstops work between poll points
+  // (and is how stragglers are stopped at shutdown).
+  GovernancePolicy Effective = Policy;
+  CancellationToken WatchdogCancel;
+  std::thread Watchdog;
+  std::mutex WatchdogMutex;
+  std::condition_variable WatchdogCV;
+  bool RunDone = false;
+  if (Policy.CorpusMs > 0) {
+    auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(Policy.CorpusMs));
+    if (Effective.Deadline == std::chrono::steady_clock::time_point{} ||
+        Deadline < Effective.Deadline)
+      Effective.Deadline = Deadline;
+    if (!Effective.Cancel) {
+      Effective.Cancel = &WatchdogCancel;
+      auto Grace = Deadline + std::chrono::milliseconds(100);
+      Watchdog = std::thread([&WatchdogCancel, &WatchdogMutex, &WatchdogCV,
+                              &RunDone, Grace] {
+        std::unique_lock<std::mutex> Lock(WatchdogMutex);
+        WatchdogCV.wait_until(Lock, Grace, [&RunDone] { return RunDone; });
+        if (!RunDone)
+          WatchdogCancel.cancel();
+      });
+    }
+  }
+
   // Each task builds its own AnalyzedProgram (private interning tables),
   // so the programs are embarrassingly parallel; joining the futures in
   // corpus order keeps the report vector bit-identical to a serial run.
+  // Degraded programs return annotated reports in their usual slot.
   ThreadPool Pool(Jobs);
   std::vector<std::future<BenchmarkReport>> Futures;
   Futures.reserve(Programs.size());
   for (const CorpusProgram &P : Programs)
     Futures.push_back(
-        Pool.submit([&P, RunCS, Opts, Checks] {
-          return analyzeBenchmark(P, RunCS, Opts, Checks);
+        Pool.submit([&P, RunCS, Opts, Checks, &Effective] {
+          return analyzeBenchmark(P, RunCS, Opts, Checks, Effective);
         }));
 
   std::vector<BenchmarkReport> Reports;
   Reports.reserve(Programs.size());
   for (std::future<BenchmarkReport> &F : Futures)
     Reports.push_back(F.get());
+
+  if (Watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(WatchdogMutex);
+      RunDone = true;
+    }
+    WatchdogCV.notify_all();
+    Watchdog.join();
+  }
   return Reports;
 }
 
@@ -243,6 +298,12 @@ std::string vdga::renderFig3(const std::vector<BenchmarkReport> &Reports) {
   T.rule();
   PairTotals Sum;
   for (const BenchmarkReport &R : Reports) {
+    if (R.Degradation.CITier != PrecisionTier::ContextInsens) {
+      T.cell(R.Name)
+          .cell("(degraded: " + R.Degradation.summary() + ")")
+          .endRow();
+      continue;
+    }
     T.cell(R.Name)
         .cell(R.CI.Pointer)
         .cell(R.CI.Function)
@@ -298,6 +359,12 @@ std::string vdga::renderFig4(const std::vector<BenchmarkReport> &Reports) {
   IndirectOpStats SumR, SumW;
   uint64_t SumRRefs = 0, SumWRefs = 0;
   for (const BenchmarkReport &R : Reports) {
+    if (R.Degradation.CITier != PrecisionTier::ContextInsens) {
+      T.cell(R.Name)
+          .cell("(degraded: " + R.Degradation.summary() + ")")
+          .endRow();
+      continue;
+    }
     fig4Row(T, R.Name, "read", R.ReadsCI);
     fig4Row(T, R.Name, "write", R.WritesCI);
     auto Fold = [](IndirectOpStats &Acc, const IndirectOpStats &S,
@@ -345,7 +412,12 @@ std::string vdga::renderFig6(const std::vector<BenchmarkReport> &Reports) {
   uint64_t SumCI = 0, SumSpur = 0;
   for (const BenchmarkReport &R : Reports) {
     if (!R.RanCS || !R.CSCompleted) {
-      T.cell(R.Name).cell("(context-sensitive run skipped)").endRow();
+      if (R.Degradation.degraded())
+        T.cell(R.Name)
+            .cell("(degraded: " + R.Degradation.summary() + ")")
+            .endRow();
+      else
+        T.cell(R.Name).cell("(context-sensitive run skipped)").endRow();
       continue;
     }
     T.cell(R.Name)
@@ -434,7 +506,9 @@ vdga::renderPerfComparison(const std::vector<BenchmarkReport> &Reports) {
       .endRow();
   T.rule();
   for (const BenchmarkReport &R : Reports) {
-    if (!R.RanCS)
+    // Degraded runs have no comparable work ratios (partial counters are
+    // schedule-dependent); their story is told by the degradation rows.
+    if (!R.RanCS || R.Degradation.degraded())
       continue;
     double XferRatio =
         R.CIStats.TransferFns
@@ -593,6 +667,27 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
         J.key("containment_violations").value(R.ContainmentViolations);
       }
     }
+    J.key("degradation").open('{');
+    J.key("degraded").value(R.Degradation.degraded());
+    J.key("ci_tier").value(
+        std::string(precisionTierName(R.Degradation.CITier)));
+    if (R.RanCS)
+      J.key("cs_tier").value(
+          std::string(precisionTierName(R.Degradation.CSTier)));
+    if (!R.Degradation.Steps.empty()) {
+      J.key("steps").open('[');
+      for (const DegradationStep &S : R.Degradation.Steps) {
+        J.open('{');
+        J.key("solver").value(S.Solver);
+        J.key("trip").value(std::string(budgetTripName(S.Trip)));
+        J.key("status").value(std::string(solveStatusName(S.Status)));
+        J.key("fell_back_to")
+            .value(std::string(precisionTierName(S.FellBackTo)));
+        J.close('}');
+      }
+      J.close(']');
+    }
+    J.close('}');
     if (!R.Metrics.empty()) {
       J.key("metrics").open('{');
       for (const Metric &M : R.Metrics) {

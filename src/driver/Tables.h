@@ -16,6 +16,7 @@
 
 #include "contextsens/Spurious.h"
 #include "corpus/Corpus.h"
+#include "driver/Governance.h"
 #include "driver/Pipeline.h"
 #include "pointsto/Statistics.h"
 #include "support/Metrics.h"
@@ -59,6 +60,15 @@ struct BenchmarkReport {
   SolveStats CSStats;
   double CSMillis = 0.0;
 
+  /// How (and whether) this program's analyses degraded under the
+  /// governance policy. Degraded programs keep their slot in the corpus
+  /// report — annotated, never dropped — so figures stay order-preserving.
+  /// When CI degraded, the CI-derived figure fields above are zeroed (the
+  /// partial solve is schedule-dependent and must not leak into
+  /// determinism-compared renderings); `Degradation.CITier` says which
+  /// tier served instead.
+  DegradationReport Degradation;
+
   /// Checker subsystem report when analyzeBenchmark ran with a CheckLevel
   /// above None (checker.* metrics land in Metrics either way).
   CheckReport Check;
@@ -73,7 +83,8 @@ struct BenchmarkReport {
 /// level) so its timers and counters appear in the metrics snapshot.
 BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
                                  ContextSensOptions CSOptions = {},
-                                 CheckLevel Checks = CheckLevel::None);
+                                 CheckLevel Checks = CheckLevel::None,
+                                 const GovernancePolicy &Policy = {});
 
 /// Runs over the whole corpus. Each program's pipeline is independent
 /// (per-AnalyzedProgram tables), so programs are analyzed concurrently on
@@ -81,10 +92,17 @@ BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
 /// bit-identical to the serial run. \p Jobs semantics: 0 picks the
 /// VDGA_JOBS environment override or else the hardware thread count; 1
 /// runs serially on the calling thread.
+/// \p Policy governs every program's solves. Policy.CorpusMs additionally
+/// arms the corpus watchdog: an absolute deadline shared by every
+/// program's budget (so stragglers trip within one polling interval of
+/// the corpus budget expiring) plus a cancellation token fired shortly
+/// after the deadline as a backstop for work between poll points.
+/// Degraded programs keep their corpus-order slot, annotated.
 std::vector<BenchmarkReport> analyzeCorpus(bool RunCS,
                                            ContextSensOptions CSOptions = {},
                                            unsigned Jobs = 0,
-                                           CheckLevel Checks = CheckLevel::None);
+                                           CheckLevel Checks = CheckLevel::None,
+                                           const GovernancePolicy &Policy = {});
 
 /// One corpus program's checker outcome.
 struct ProgramCheckReport {

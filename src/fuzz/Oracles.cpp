@@ -93,30 +93,66 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   }
   Out.FrontendOk = true;
 
+  // An iteration budget turns this into a governed run: every solve is
+  // capped, trips degrade down the sound ladder instead of failing.
+  bool Governed = Opts.BudgetIterations != 0;
+  ResourceBudget B;
+  if (Governed)
+    B = ResourceBudget::maxIterations(Opts.BudgetIterations);
+
   // Stages 2 + 4: the checker subsystem runs the VDG verifier, then the
   // interpreter-backed soundness oracle over CI/CS/Weihl/Steensgaard.
+  // Under a budget the checker excludes degraded solves from coverage
+  // (notes, not errors) while still asserting every complete one — and
+  // Steensgaard always, since a tripped Steensgaard solve degrades
+  // internally to the sound conservative top.
   CheckOptions CO;
   CO.Level = CheckLevel::Oracle;
   CO.OracleInput = Opts.Input;
   CO.OracleMaxSteps = Opts.MaxSteps;
   CO.OracleMaxCallDepth = Opts.MaxCallDepth;
+  CO.SolverBudget = B;
   CheckReport Report = AP->runChecks(CO);
   Report.sortFindings();
 
-  // Stage 3: schedule independence of the CI solution.
-  PointsToResult CI = AP->runContextInsensitive(WorklistOrder::FIFO);
-  PointsToResult CILifo = AP->runContextInsensitive(WorklistOrder::LIFO);
+  // Stage 3: schedule independence of the CI solution. Only meaningful
+  // between two *complete* solves: a capped partial solve is legitimately
+  // schedule-dependent (the fixed point is order-independent, prefixes of
+  // it are not).
+  PointsToResult CI = AP->runContextInsensitive(WorklistOrder::FIFO,
+                                                /*RecordProvenance=*/false,
+                                                B);
   OutputId Where = 0;
-  bool SchedulesAgree = samePairSets(AP->G, CI, CILifo, &Where);
+  bool SchedulesAgree = true;
+  if (CI.complete()) {
+    PointsToResult CILifo = AP->runContextInsensitive(
+        WorklistOrder::LIFO, /*RecordProvenance=*/false, B);
+    if (CILifo.complete())
+      SchedulesAgree = samePairSets(AP->G, CI, CILifo, &Where);
+  }
 
   // Stage 5: CS refines CI, so its stripped pairs must be contained.
+  // The rung is only runnable over a complete CI solution (the Section
+  // 4.2 prunings assume one); under a budget a missing or tripped rung is
+  // a recorded degradation, not a failure.
   bool CSComplete = true;
   bool Contained = true;
   std::string ContainDetail;
   PointsToResult Stripped(0);
-  if (Opts.RunCS) {
-    ContextSensResult CS = AP->runContextSensitive(CI);
-    CSComplete = CS.Completed;
+  PrecisionTier CITier = PrecisionTier::ContextInsens;
+  PrecisionTier CSTier = PrecisionTier::ContextSens;
+  if (!CI.complete()) {
+    // CI clients are served by the Steensgaard rung (or top); its
+    // soundness against the trace was already asserted by the checker.
+    SteensgaardResult Steens = AP->runSteensgaard(B);
+    CITier = Steens.IsTop ? PrecisionTier::Top : PrecisionTier::Steensgaard;
+    CSTier = CITier;
+    CSComplete = false;
+  } else if (Opts.RunCS) {
+    ContextSensOptions CSO;
+    CSO.Budget = B;
+    ContextSensResult CS = AP->runContextSensitive(CI, CSO);
+    CSComplete = CS.complete();
     if (CSComplete) {
       Stripped = CS.stripAssumptions();
       for (OutputId O = 0; O < AP->G.numOutputs() && Contained; ++O)
@@ -130,6 +166,10 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
                 " is context-sensitive but not context-insensitive";
             break;
           }
+    } else {
+      // The ladder's first rung: CS clients fall back to the complete CI
+      // solution, which trivially satisfies containment.
+      CSTier = PrecisionTier::ContextInsens;
     }
   }
 
@@ -138,9 +178,14 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   RunResult RR = AP->interpret(Opts.Input, Opts.MaxSteps, Opts.MaxCallDepth);
 
   Fnv D;
-  addPairs(D, *AP, CI, "ci");
-  if (Opts.RunCS && CSComplete)
+  if (CI.complete())
+    addPairs(D, *AP, CI, "ci");
+  else
+    D.add(std::string("ci:degraded->") + precisionTierName(CITier));
+  if (Opts.RunCS && CI.complete() && CSComplete)
     addPairs(D, *AP, Stripped, "cs");
+  else if (Opts.RunCS && Governed)
+    D.add(std::string("cs:degraded->") + precisionTierName(CSTier));
   else
     D.add("cs:skipped");
   D.add("report");
@@ -177,7 +222,9 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   } else if (const Finding *F = FirstError("oracle", nullptr)) {
     Out.FailStage = "soundness";
     Out.Detail = F->Message;
-  } else if (!CSComplete) {
+  } else if (Opts.RunCS && !CSComplete && !Governed) {
+    // Under a budget an incomplete CS solve is a recorded degradation
+    // served by the CI rung, not an oracle failure.
     Out.FailStage = "cs-incomplete";
     Out.Detail = "context-sensitive solver hit its work cap";
   } else if (!Contained) {

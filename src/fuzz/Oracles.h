@@ -41,6 +41,16 @@ struct OracleOptions {
   unsigned MaxCallDepth = 192;
   bool RunCS = true;               ///< Include the context-sensitive legs.
   std::string Input;               ///< stdin for the interpreter run.
+  /// Per-solve worklist-iteration budget; 0 = ungoverned. Iteration caps
+  /// (not wall-clock) keep budgeted fuzz runs deterministic across
+  /// machines and job counts. A solve that trips is *degraded* down the
+  /// sound ladder, not failed: the soundness oracle skips the coverage
+  /// assertion of partial solves (the served Steensgaard/top tier is
+  /// still asserted), the FIFO-vs-LIFO schedule stage is skipped when
+  /// either capped solve is partial (partial sets are legitimately
+  /// schedule-dependent), containment is asserted per completed rung, and
+  /// the tier each client ends up served by lands in the digest.
+  uint64_t BudgetIterations = 0;
 };
 
 struct OracleOutcome {

@@ -72,12 +72,34 @@ PointsToResult ContextInsensitiveSolver::solve() {
             {N});
   }
 
+  BudgetMeter Meter(Budget);
   while (!Worklist.empty()) {
+    // Poll before the dequeue so the trip point is a clean event boundary:
+    // every pair inserted so far is in the final fixed point (the worklist
+    // algorithm is monotone), and the tripped event stays unprocessed.
+    BudgetTrip T = Meter.poll(Result.Stats.TransferFns,
+                              Result.Stats.PairsInserted);
+    if (T != BudgetTrip::None) {
+      Result.Status = statusForTrip(T);
+      Result.Trip = T;
+      break;
+    }
     auto [In, Pair] = dequeue();
     ++Result.Stats.TransferFns;
     flowIn(In, Pair);
   }
 
+  if (!Result.complete()) {
+    if (Obs.Metrics)
+      Obs.Metrics->add("ci.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "ci")
+          .field("trip", budgetTripName(Result.Trip))
+          .field("status", solveStatusName(Result.Status))
+          .field("transfer_fns", Result.Stats.TransferFns)
+          .field("pairs_inserted", Result.Stats.PairsInserted);
+  }
   if (Obs.Metrics) {
     Obs.Metrics->add("ci.transfer_fns", Result.Stats.TransferFns);
     Obs.Metrics->add("ci.meet_ops", Result.Stats.MeetOps);

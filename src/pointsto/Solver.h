@@ -22,6 +22,7 @@
 #define VDGA_POINTSTO_SOLVER_H
 
 #include "pointsto/PointsToPair.h"
+#include "support/Budget.h"
 #include "support/DenseBitSet.h"
 #include "support/Observability.h"
 #include "vdg/Graph.h"
@@ -115,6 +116,13 @@ public:
   const std::vector<const FunctionInfo *> &callees(NodeId Call) const;
 
   SolveStats Stats;
+  /// How the solve ended. Anything other than Complete means the pair
+  /// sets are a partial (under-approximate) prefix of the fixed point and
+  /// MUST NOT be served as an analysis result — the governance ladder
+  /// (driver/Governance.h) substitutes a coarser complete tier instead.
+  SolveStatus Status = SolveStatus::Complete;
+  BudgetTrip Trip = BudgetTrip::None;
+  bool complete() const { return Status == SolveStatus::Complete; }
 
 private:
   friend class ContextInsensitiveSolver;
@@ -134,8 +142,9 @@ class ContextInsensitiveSolver {
 public:
   ContextInsensitiveSolver(const Graph &G, PathTable &Paths, PairTable &PT,
                            WorklistOrder Order = WorklistOrder::FIFO,
-                           SolverObserver Obs = {})
-      : G(G), Paths(Paths), PT(PT), Order(Order), Obs(Obs),
+                           SolverObserver Obs = {},
+                           const ResourceBudget &Budget = {})
+      : G(G), Paths(Paths), PT(PT), Order(Order), Obs(Obs), Budget(Budget),
         Result(G.numOutputs()) {
     if (Obs.RecordProvenance)
       Result.enableProvenance();
@@ -178,6 +187,7 @@ private:
   PairTable &PT;
   WorklistOrder Order;
   SolverObserver Obs;
+  ResourceBudget Budget;
   PointsToResult Result;
   /// Store pairs killed by a strong update (published as a metric).
   uint64_t StrongUpdates = 0;

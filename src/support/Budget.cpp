@@ -1,0 +1,39 @@
+//===- support/Budget.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace vdga;
+
+const char *vdga::solveStatusName(SolveStatus S) {
+  switch (S) {
+  case SolveStatus::Complete:
+    return "complete";
+  case SolveStatus::BudgetExceeded:
+    return "budget-exceeded";
+  case SolveStatus::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+const char *vdga::budgetTripName(BudgetTrip T) {
+  switch (T) {
+  case BudgetTrip::None:
+    return "none";
+  case BudgetTrip::Deadline:
+    return "deadline";
+  case BudgetTrip::Pairs:
+    return "pairs";
+  case BudgetTrip::AssumSets:
+    return "assum-sets";
+  case BudgetTrip::Iterations:
+    return "iterations";
+  case BudgetTrip::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}

@@ -1,0 +1,195 @@
+//===- support/Budget.h - Solver resource budgets --------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the worklist solvers: a `ResourceBudget` caps
+/// how much wall clock, how many points-to pair insertions, how large an
+/// assumption-set table and how many worklist iterations one solve may
+/// consume, and a lock-free `CancellationToken` lets another thread ask a
+/// running solve to stop. Solvers poll a `BudgetMeter` once per dequeue
+/// and exit with `SolveStatus::BudgetExceeded`/`Cancelled` instead of
+/// looping unboundedly; the pipeline then degrades to a coarser-but-sound
+/// tier (see driver/Governance.h) instead of stalling or dying.
+///
+/// Polling cadence: the counter limits and the cancellation flag are a
+/// handful of integer compares and one relaxed atomic load, cheap enough
+/// to evaluate on every dequeue; the deadline needs a clock read, so it is
+/// only consulted every `ClockStride` polls. A tripped deadline is thus
+/// detected within one stride of solver work (microseconds), which is the
+/// "within one polling interval" slack the corpus watchdog quotes. A
+/// default-constructed (unlimited) budget short-circuits to a single
+/// branch per poll, so ungoverned solves are bit-identical and
+/// within-noise of pre-governance builds.
+///
+/// Determinism: iteration and pair limits are compared against the
+/// solver's own deterministic work counters at dequeue boundaries, so a
+/// trip (and everything downstream of it) is reproducible across job
+/// counts and — for budgets that trip well before convergence — across
+/// worklist schedules. Deadlines and cancellation are inherently
+/// wall-clock and carry no such guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_BUDGET_H
+#define VDGA_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vdga {
+
+/// How a governed solve ended.
+enum class SolveStatus : uint8_t {
+  Complete,       ///< Reached its fixed point; the result is exact.
+  BudgetExceeded, ///< A resource limit tripped; the result is partial.
+  Cancelled,      ///< The cancellation token fired; the result is partial.
+};
+
+const char *solveStatusName(SolveStatus S);
+
+/// Which budget dimension ended a solve early.
+enum class BudgetTrip : uint8_t {
+  None,
+  Deadline,   ///< Wall-clock deadline passed.
+  Pairs,      ///< Points-to pair insertion cap.
+  AssumSets,  ///< Assumption-set table size cap (CS only).
+  Iterations, ///< Worklist dequeue cap.
+  Cancelled,  ///< CancellationToken fired.
+};
+
+const char *budgetTripName(BudgetTrip T);
+
+/// Lock-free cooperative cancellation: any thread may cancel(), solvers
+/// observe it at their next poll. Tokens outlive every solve they govern
+/// (the corpus driver owns one per run).
+class CancellationToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Resource limits for one solver run. Every field defaults to
+/// "unlimited"; a default-constructed budget makes governance free.
+struct ResourceBudget {
+  /// Relative wall-clock budget in milliseconds, turned into an absolute
+  /// deadline when the solve starts. 0 means none.
+  double SoftMs = 0;
+  /// Absolute wall-clock deadline (steady clock), for corpus-level
+  /// budgets shared across programs. Default-constructed means none.
+  /// When both deadlines apply, the earlier one wins.
+  std::chrono::steady_clock::time_point Deadline{};
+  /// Max points-to pair instances the solve may insert. 0 = unlimited.
+  uint64_t MaxPairs = 0;
+  /// Max assumption-set table size (context-sensitive solver only).
+  /// 0 = unlimited.
+  uint64_t MaxAssumSets = 0;
+  /// Max worklist dequeues (transfer-function applications).
+  /// 0 = unlimited.
+  uint64_t MaxIterations = 0;
+  /// Cooperative cancellation, or null. Not owned.
+  const CancellationToken *Cancel = nullptr;
+
+  bool hasDeadline() const {
+    return SoftMs > 0 ||
+           Deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// True when no limit of any kind is set (polling short-circuits).
+  bool unlimited() const {
+    return !hasDeadline() && MaxPairs == 0 && MaxAssumSets == 0 &&
+           MaxIterations == 0 && Cancel == nullptr;
+  }
+
+  static ResourceBudget deadlineMs(double Ms) {
+    ResourceBudget B;
+    B.SoftMs = Ms;
+    return B;
+  }
+  static ResourceBudget maxPairs(uint64_t N) {
+    ResourceBudget B;
+    B.MaxPairs = N;
+    return B;
+  }
+  static ResourceBudget maxIterations(uint64_t N) {
+    ResourceBudget B;
+    B.MaxIterations = N;
+    return B;
+  }
+};
+
+/// The in-loop poller a solver embeds: constructed once per solve (this
+/// is where SoftMs becomes an absolute deadline), polled once per
+/// dequeue with the solver's current work counters.
+class BudgetMeter {
+public:
+  explicit BudgetMeter(const ResourceBudget &B) : B(B) {
+    Enabled = !B.unlimited();
+    if (!Enabled)
+      return;
+    if (B.SoftMs > 0) {
+      auto Soft = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(B.SoftMs));
+      EffectiveDeadline = Soft;
+    }
+    if (B.Deadline != std::chrono::steady_clock::time_point{} &&
+        (EffectiveDeadline == std::chrono::steady_clock::time_point{} ||
+         B.Deadline < EffectiveDeadline))
+      EffectiveDeadline = B.Deadline;
+    HasDeadline =
+        EffectiveDeadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// Checks every limit against the caller's counters; BudgetTrip::None
+  /// means keep going. The deadline is only consulted every ClockStride
+  /// calls (see the file comment).
+  BudgetTrip poll(uint64_t Iterations, uint64_t Pairs,
+                  uint64_t AssumSets = 0) {
+    if (!Enabled)
+      return BudgetTrip::None;
+    if (B.Cancel && B.Cancel->cancelled())
+      return BudgetTrip::Cancelled;
+    if (B.MaxIterations && Iterations >= B.MaxIterations)
+      return BudgetTrip::Iterations;
+    if (B.MaxPairs && Pairs >= B.MaxPairs)
+      return BudgetTrip::Pairs;
+    if (B.MaxAssumSets && AssumSets >= B.MaxAssumSets)
+      return BudgetTrip::AssumSets;
+    if (HasDeadline && ++PollsSinceClock >= ClockStride) {
+      PollsSinceClock = 0;
+      if (std::chrono::steady_clock::now() >= EffectiveDeadline)
+        return BudgetTrip::Deadline;
+    }
+    return BudgetTrip::None;
+  }
+
+  /// Deadline detection slack, in polls (documented for the watchdog).
+  static constexpr unsigned ClockStride = 256;
+
+private:
+  ResourceBudget B;
+  std::chrono::steady_clock::time_point EffectiveDeadline{};
+  bool Enabled = false;
+  bool HasDeadline = false;
+  unsigned PollsSinceClock = 0;
+};
+
+/// Maps a trip to the status a solver reports for it.
+inline SolveStatus statusForTrip(BudgetTrip T) {
+  if (T == BudgetTrip::None)
+    return SolveStatus::Complete;
+  return T == BudgetTrip::Cancelled ? SolveStatus::Cancelled
+                                    : SolveStatus::BudgetExceeded;
+}
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_BUDGET_H

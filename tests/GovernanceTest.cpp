@@ -1,0 +1,345 @@
+//===- tests/GovernanceTest.cpp -------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Resource governance: BudgetMeter limit semantics, the sound degradation
+// ladder (cs->ci->steens->top), the corpus watchdog, the checker's
+// degraded-analysis handling, and determinism of governed runs. The
+// ladder's soundness argument is the paper's own containment result
+// (Section 4.1) generalized: every coarser tier over-approximates the
+// finer one, so serving it can only add spurious aliases, never hide
+// true ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "driver/Tables.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+const CorpusProgram &prog(const char *Name) {
+  const CorpusProgram *P = findCorpusProgram(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return *P;
+}
+
+// ---------------------------------------------------------------- meter --
+
+TEST(BudgetMeter, UnlimitedIsFreeAndNeverTrips) {
+  ResourceBudget B;
+  EXPECT_TRUE(B.unlimited());
+  BudgetMeter M(B);
+  for (unsigned I = 0; I < 4 * BudgetMeter::ClockStride; ++I)
+    EXPECT_EQ(M.poll(~0ULL, ~0ULL, ~0ULL), BudgetTrip::None);
+}
+
+TEST(BudgetMeter, IterationCapTripsAtTheCap) {
+  BudgetMeter M(ResourceBudget::maxIterations(10));
+  EXPECT_EQ(M.poll(9, 0), BudgetTrip::None);
+  EXPECT_EQ(M.poll(10, 0), BudgetTrip::Iterations);
+}
+
+TEST(BudgetMeter, PairCapTripsAtTheCap) {
+  BudgetMeter M(ResourceBudget::maxPairs(5));
+  EXPECT_EQ(M.poll(0, 4), BudgetTrip::None);
+  EXPECT_EQ(M.poll(0, 5), BudgetTrip::Pairs);
+}
+
+TEST(BudgetMeter, AssumSetCapTripsAtTheCap) {
+  ResourceBudget B;
+  B.MaxAssumSets = 3;
+  BudgetMeter M(B);
+  EXPECT_EQ(M.poll(0, 0, 2), BudgetTrip::None);
+  EXPECT_EQ(M.poll(0, 0, 3), BudgetTrip::AssumSets);
+}
+
+TEST(BudgetMeter, ExpiredDeadlineTripsWithinOneStride) {
+  BudgetMeter M(ResourceBudget::deadlineMs(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  BudgetTrip T = BudgetTrip::None;
+  unsigned Polls = 0;
+  while (T == BudgetTrip::None && Polls <= BudgetMeter::ClockStride) {
+    T = M.poll(0, 0);
+    ++Polls;
+  }
+  EXPECT_EQ(T, BudgetTrip::Deadline);
+  // The documented slack: detection within ClockStride polls.
+  EXPECT_LE(Polls, BudgetMeter::ClockStride);
+}
+
+TEST(BudgetMeter, AbsoluteDeadlineHonored) {
+  ResourceBudget B;
+  B.Deadline = std::chrono::steady_clock::now() -
+               std::chrono::milliseconds(1);
+  BudgetMeter M(B);
+  BudgetTrip T = BudgetTrip::None;
+  for (unsigned I = 0; I <= BudgetMeter::ClockStride &&
+                       T == BudgetTrip::None;
+       ++I)
+    T = M.poll(0, 0);
+  EXPECT_EQ(T, BudgetTrip::Deadline);
+}
+
+TEST(BudgetMeter, CancellationObservedAtNextPoll) {
+  CancellationToken Tok;
+  ResourceBudget B;
+  B.Cancel = &Tok;
+  BudgetMeter M(B);
+  EXPECT_EQ(M.poll(0, 0), BudgetTrip::None);
+  Tok.cancel();
+  // Cancellation is checked on every poll, not on the clock stride.
+  EXPECT_EQ(M.poll(0, 0), BudgetTrip::Cancelled);
+}
+
+TEST(BudgetMeter, StatusForTripMapping) {
+  EXPECT_EQ(statusForTrip(BudgetTrip::None), SolveStatus::Complete);
+  EXPECT_EQ(statusForTrip(BudgetTrip::Deadline),
+            SolveStatus::BudgetExceeded);
+  EXPECT_EQ(statusForTrip(BudgetTrip::Pairs), SolveStatus::BudgetExceeded);
+  EXPECT_EQ(statusForTrip(BudgetTrip::Iterations),
+            SolveStatus::BudgetExceeded);
+  EXPECT_EQ(statusForTrip(BudgetTrip::Cancelled), SolveStatus::Cancelled);
+}
+
+// --------------------------------------------------------- partial solves --
+
+// Monotone worklist solvers only ever add facts, so a budget-stopped
+// solve holds a subset of the fixed point — the reason partial results
+// are never served to may-alias clients (missing pairs are the unsound
+// direction) and the reason the ladder's coarser tiers are.
+TEST(GovernedSolve, PartialCIIsSubsetOfFixpoint) {
+  auto AP = analyze(prog("span").Source);
+  PointsToResult Full = AP->runContextInsensitive();
+  ASSERT_TRUE(Full.complete());
+
+  PointsToResult Partial = AP->runContextInsensitive(
+      WorklistOrder::FIFO, /*RecordProvenance=*/false,
+      ResourceBudget::maxIterations(8));
+  EXPECT_FALSE(Partial.complete());
+  EXPECT_EQ(Partial.Status, SolveStatus::BudgetExceeded);
+  EXPECT_EQ(Partial.Trip, BudgetTrip::Iterations);
+  EXPECT_LE(Partial.Stats.TransferFns, 8u);
+
+  for (OutputId O = 0; O < AP->G.numOutputs(); ++O)
+    for (PairId Pair : Partial.pairs(O))
+      EXPECT_TRUE(Full.contains(O, Pair))
+          << "partial solve invented a pair at output " << O;
+}
+
+// All-defaults governance must be invisible: same pairs, same stats,
+// no degradation — the one-branch-per-poll fast path.
+TEST(GovernedSolve, UngovernedRunGovernedIsBitIdentical) {
+  auto A1 = analyze(prog("span").Source);
+  auto A2 = analyze(prog("span").Source);
+  GovernedAnalysis GA = A1->runGoverned(GovernancePolicy(), /*RunCS=*/true);
+  EXPECT_FALSE(GA.degraded());
+  ASSERT_NE(GA.completeCI(), nullptr);
+  ASSERT_NE(GA.completeCS(), nullptr);
+
+  PointsToResult CI = A2->runContextInsensitive();
+  for (OutputId O = 0; O < A2->G.numOutputs(); ++O)
+    EXPECT_EQ(GA.CI.pairs(O), CI.pairs(O)) << "output " << O;
+  EXPECT_EQ(GA.CI.Stats.TransferFns, CI.Stats.TransferFns);
+  EXPECT_EQ(GA.CI.Stats.PairsInserted, CI.Stats.PairsInserted);
+}
+
+// ------------------------------------------------------------------ ladder --
+
+TEST(DegradationLadder, CSTripIsServedByCompleteCI) {
+  auto AP = analyze(prog("span").Source);
+  GovernancePolicy Policy;
+  Policy.MaxAssumSets = 1; // CS-only dimension: CI and Steens ignore it.
+  GovernedAnalysis GA = AP->runGoverned(Policy, /*RunCS=*/true);
+
+  ASSERT_NE(GA.completeCI(), nullptr);
+  EXPECT_EQ(GA.completeCS(), nullptr);
+  EXPECT_EQ(GA.Degradation.CITier, PrecisionTier::ContextInsens);
+  EXPECT_EQ(GA.Degradation.CSTier, PrecisionTier::ContextInsens);
+  ASSERT_EQ(GA.Degradation.Steps.size(), 1u);
+  EXPECT_EQ(GA.Degradation.Steps[0].Solver, "cs");
+  EXPECT_EQ(GA.Degradation.Steps[0].Trip, BudgetTrip::AssumSets);
+  EXPECT_EQ(GA.Degradation.summary(), "cs->ci(assum-sets)");
+}
+
+TEST(DegradationLadder, CITripIsServedBySteensgaard) {
+  auto AP = analyze(prog("span").Source);
+  GovernancePolicy Policy;
+  Policy.MaxPairs = 4; // Trips CI; Steensgaard inserts no pairs.
+  GovernedAnalysis GA = AP->runGoverned(Policy);
+
+  EXPECT_EQ(GA.completeCI(), nullptr);
+  EXPECT_FALSE(GA.CI.complete());
+  EXPECT_EQ(GA.CI.Trip, BudgetTrip::Pairs);
+  ASSERT_TRUE(GA.Steens.has_value());
+  EXPECT_TRUE(GA.Steens->complete());
+  EXPECT_FALSE(GA.Steens->IsTop);
+  EXPECT_EQ(GA.Degradation.CITier, PrecisionTier::Steensgaard);
+  ASSERT_EQ(GA.Degradation.Steps.size(), 1u);
+  EXPECT_EQ(GA.Degradation.Steps[0].Solver, "ci");
+}
+
+TEST(DegradationLadder, SteensgaardTripYieldsTop) {
+  auto AP = analyze(prog("span").Source);
+  GovernancePolicy Policy;
+  Policy.MaxIterations = 2; // Trips CI and then Steensgaard itself.
+  GovernedAnalysis GA = AP->runGoverned(Policy);
+
+  EXPECT_EQ(GA.completeCI(), nullptr);
+  ASSERT_TRUE(GA.Steens.has_value());
+  EXPECT_TRUE(GA.Steens->IsTop);
+  EXPECT_EQ(GA.Degradation.CITier, PrecisionTier::Top);
+  ASSERT_EQ(GA.Degradation.Steps.size(), 2u);
+  EXPECT_EQ(GA.Degradation.Steps[0].Solver, "ci");
+  EXPECT_EQ(GA.Degradation.Steps[1].Solver, "steens");
+
+  // Top covers every base location at every output: the trivially sound
+  // last rung.
+  ASSERT_GT(AP->G.numOutputs(), 0u);
+  EXPECT_EQ(GA.Steens->pointees(0).size(), AP->Paths.numBases());
+}
+
+TEST(DegradationLadder, CancellationServesTopWithoutFurtherSolving) {
+  auto AP = analyze(prog("span").Source);
+  CancellationToken Tok;
+  Tok.cancel();
+  GovernancePolicy Policy;
+  Policy.Cancel = &Tok;
+  GovernedAnalysis GA = AP->runGoverned(Policy, /*RunCS=*/true);
+
+  EXPECT_EQ(GA.CI.Status, SolveStatus::Cancelled);
+  ASSERT_TRUE(GA.Steens.has_value());
+  EXPECT_TRUE(GA.Steens->IsTop);
+  EXPECT_EQ(GA.Steens->Status, SolveStatus::Cancelled);
+  EXPECT_EQ(GA.Degradation.CITier, PrecisionTier::Top);
+  EXPECT_EQ(GA.Degradation.CSTier, PrecisionTier::Top);
+}
+
+// ---------------------------------------------------------------- watchdog --
+
+TEST(CorpusWatchdog, BoundsTheRunAndPreservesCorpusOrder) {
+  GovernancePolicy Policy;
+  Policy.CorpusMs = 1; // Far below the corpus's ungoverned wall clock.
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<BenchmarkReport> Reports =
+      analyzeCorpus(/*RunCS=*/true, {}, /*Jobs=*/2, CheckLevel::None,
+                    Policy);
+  double Elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  // Every program keeps its slot, annotated rather than dropped.
+  ASSERT_EQ(Reports.size(), corpus().size());
+  for (size_t I = 0; I < Reports.size(); ++I)
+    EXPECT_EQ(Reports[I].Name, corpus()[I].Name) << "corpus order lost";
+
+  unsigned Degraded = 0;
+  for (const BenchmarkReport &R : Reports)
+    if (R.Degradation.degraded())
+      ++Degraded;
+  EXPECT_GT(Degraded, 0u) << "1ms corpus budget tripped nothing";
+  // The bound is deliberately loose (frontend work is not governed and CI
+  // machines are slow); the point is the run cannot stall unboundedly.
+  EXPECT_LT(Elapsed, 30'000.0);
+}
+
+// ----------------------------------------------------------------- checker --
+
+TEST(CheckerGovernance, DegradedAnalysesAreNotedNotFailed) {
+  auto AP = analyze(prog("span").Source);
+  CheckOptions CO;
+  CO.Level = CheckLevel::Diagnose;
+  CO.SolverBudget = ResourceBudget::maxIterations(4);
+  CheckReport R = AP->runChecks(CO);
+
+  // A degraded solve legitimately misses pairs; holding it to oracle
+  // coverage would manufacture false errors.
+  EXPECT_TRUE(R.clean()) << R.renderText();
+  EXPECT_GE(R.DegradedAnalyses, 3u); // ci, cs (prereq), weihl, steens.
+  unsigned Notes = 0;
+  bool DiagnosticsSkipped = false;
+  for (const Finding &F : R.Findings) {
+    if (F.Severity != FindingSeverity::Note ||
+        F.Message.find("degraded under budget") == std::string::npos)
+      continue;
+    if (F.Pass == "oracle")
+      ++Notes; // One per excluded analysis.
+    else if (F.Pass == "diagnostics")
+      DiagnosticsSkipped = true; // Diagnostics consume CI; noted once.
+  }
+  EXPECT_EQ(Notes, R.DegradedAnalyses);
+  EXPECT_TRUE(DiagnosticsSkipped);
+  // Both renderings surface the count.
+  EXPECT_NE(R.renderText().find("degraded="), std::string::npos);
+  EXPECT_NE(R.renderJson().find("\"degraded_analyses\":"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- determinism --
+
+// Iteration budgets trip at deterministic worklist positions, so a
+// degraded corpus run must render bit-identically across job counts:
+// partial-solve counters are explicitly zeroed out of the figure fields.
+TEST(GovernedDeterminism, DegradedFiguresBitIdenticalAcrossJobs) {
+  GovernancePolicy Policy;
+  Policy.MaxIterations = 64;
+  std::vector<BenchmarkReport> Serial = analyzeCorpus(
+      /*RunCS=*/true, {}, /*Jobs=*/1, CheckLevel::None, Policy);
+  std::vector<BenchmarkReport> Parallel = analyzeCorpus(
+      /*RunCS=*/true, {}, /*Jobs=*/4, CheckLevel::None, Policy);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+
+  unsigned Degraded = 0;
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Degradation.summary(),
+              Parallel[I].Degradation.summary())
+        << Serial[I].Name;
+    if (Serial[I].Degradation.degraded())
+      ++Degraded;
+  }
+  EXPECT_GT(Degraded, 0u) << "64-iteration budget tripped nothing";
+
+  EXPECT_EQ(renderFig2(Serial), renderFig2(Parallel));
+  EXPECT_EQ(renderFig3(Serial), renderFig3(Parallel));
+  EXPECT_EQ(renderFig4(Serial), renderFig4(Parallel));
+  EXPECT_EQ(renderFig6(Serial), renderFig6(Parallel));
+  EXPECT_EQ(renderFig7(Serial), renderFig7(Parallel));
+  EXPECT_EQ(renderPerfComparison(Serial), renderPerfComparison(Parallel));
+}
+
+// A budget that trips well before convergence trips identically under
+// FIFO and LIFO, so governed checker reports are schedule-independent
+// too (near-convergence budgets would not be: dequeue counts to the
+// fixed point legitimately differ between schedules).
+TEST(GovernedDeterminism, CheckReportsIdenticalAcrossJobsAndSchedules) {
+  CheckOptions Opts;
+  Opts.Level = CheckLevel::Oracle;
+  Opts.SolverBudget = ResourceBudget::maxIterations(4);
+  Opts.Order = WorklistOrder::FIFO;
+  std::vector<ProgramCheckReport> Fifo = checkCorpus(Opts, /*Jobs=*/1);
+  std::vector<ProgramCheckReport> FifoJobs = checkCorpus(Opts, /*Jobs=*/4);
+  Opts.Order = WorklistOrder::LIFO;
+  std::vector<ProgramCheckReport> Lifo = checkCorpus(Opts, /*Jobs=*/4);
+
+  ASSERT_EQ(Fifo.size(), corpus().size());
+  ASSERT_EQ(FifoJobs.size(), Fifo.size());
+  ASSERT_EQ(Lifo.size(), Fifo.size());
+  for (size_t I = 0; I < Fifo.size(); ++I) {
+    EXPECT_GT(Fifo[I].Report.DegradedAnalyses, 0u) << Fifo[I].Name;
+    EXPECT_EQ(Fifo[I].Report.renderText(), FifoJobs[I].Report.renderText())
+        << Fifo[I].Name << ": job count changed the governed report";
+    EXPECT_EQ(Fifo[I].Report.renderText(), Lifo[I].Report.renderText())
+        << Fifo[I].Name << ": schedule changed the governed report";
+    EXPECT_EQ(Fifo[I].Report.renderJson(), FifoJobs[I].Report.renderJson())
+        << Fifo[I].Name;
+  }
+}
+
+} // namespace

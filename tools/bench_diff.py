@@ -88,15 +88,55 @@ def diff_metrics(label, old, new, args, regressions, warnings):
                 f"{label}.metrics.{name}: {om[name]} -> {nm[name]} "
                 f"(checker found new errors)"
             )
+        elif _is_degradation_metric(name) and nm[name] > om[name]:
+            # A solver newly tripping its budget means the artifact no
+            # longer measures the analysis it claims to: hard failure.
+            regressions.append(
+                f"{label}.metrics.{name}: {om[name]} -> {nm[name]} "
+                f"(analysis newly degraded under budget)"
+            )
         elif om[name] != nm[name]:
             warnings.append(
                 f"{label}.metrics.{name}: {om[name]} -> {nm[name]}"
+            )
+    for name in sorted(nm.keys() - om.keys()):
+        # Degradation metrics are only emitted on a trip, so a baseline
+        # without them vs a new artifact with them is the common way a
+        # new degradation shows up.
+        if _is_degradation_metric(name) and nm[name] > 0:
+            regressions.append(
+                f"{label}.metrics.{name}: absent -> {nm[name]} "
+                f"(analysis newly degraded under budget)"
             )
     dropped = sorted(
         n for n in om.keys() - nm.keys() if n.startswith("checker.")
     )
     for name in dropped:
         warnings.append(f"{label}.metrics.{name}: dropped from artifact")
+
+
+def _is_degradation_metric(name):
+    return (name.endswith(".degraded") or name.endswith(".budget_trips")
+            or name == "checker.degraded")
+
+
+def diff_degradation(label, old, new, regressions, warnings):
+    """The per-program "degradation" section (schema addition for governed
+    runs). A program that degrades when the baseline did not is a hard
+    failure; one that stops degrading is just a warning (improvement)."""
+    od = old.get("degradation") or {}
+    nd = new.get("degradation") or {}
+    if nd.get("degraded") and not od.get("degraded"):
+        steps = ", ".join(
+            f"{s.get('solver')}->{s.get('fell_back_to')}({s.get('trip')})"
+            for s in nd.get("steps", [])
+        )
+        regressions.append(
+            f"{label}: analysis newly degraded under budget"
+            + (f" ({steps})" if steps else "")
+        )
+    elif od.get("degraded") and not nd.get("degraded"):
+        warnings.append(f"{label}: no longer degrades under budget")
 
 
 def main():
@@ -130,6 +170,7 @@ def main():
                       regressions)
         diff_counters(name, op, np, warnings)
         diff_metrics(name, op, np, args, regressions, warnings)
+        diff_degradation(name, op, np, regressions, warnings)
 
     for w in warnings:
         print(f"warning: {w}")
@@ -137,7 +178,8 @@ def main():
         print(f"REGRESSION: {r}")
     if regressions:
         print(f"{len(regressions)} regression(s) (time above "
-              f"{100.0 * args.threshold:.0f}% or new checker errors)")
+              f"{100.0 * args.threshold:.0f}%, new checker errors, or "
+              f"new budget degradation)")
         return 1
     print(f"ok: no time regressions above {100.0 * args.threshold:.0f}% "
           f"({len(warnings)} warning(s))")

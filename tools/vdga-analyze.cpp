@@ -37,7 +37,9 @@
 #include "pointsto/Statistics.h"
 #include "vdg/Printer.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -67,7 +69,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [mode] (<file.c> | --corpus <name>) [--input <text>]\n"
-      "       [--trace <path>] [--json]\n"
+      "       [--trace <path>] [--json] [--budget-ms <n>] [--max-pairs <n>]\n"
+      "       [--max-iterations <n>] [--corpus-budget-ms <n>]\n"
       "modes: --ci (default) --cs --compare --pairs --modref --defuse "
       "--dump --dot --run --explain <var> --diff-ci-cs\n"
       "       --verify --oracle --diagnose\n"
@@ -78,6 +81,10 @@ int usage(const char *Argv0) {
       "--verify/--oracle/--diagnose run the checker subsystem at that\n"
       "level (whole corpus when no input given; --json for machine-\n"
       "readable reports); exit status 1 when any check fails\n"
+      "--budget-ms/--max-pairs/--max-iterations bound each solver run;\n"
+      "a solve that trips its budget degrades to the next coarser sound\n"
+      "tier (cs->ci->steens->top) and the tool exits 3;\n"
+      "--corpus-budget-ms bounds a whole corpus-wide checker run\n"
       "corpus names:",
       Argv0);
   for (const CorpusProgram &P : corpus())
@@ -239,7 +246,9 @@ int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
 }
 
 /// `--verify` / `--oracle` / `--diagnose` over one program: runs the
-/// checker at the requested level and prints the report.
+/// checker at the requested level and prints the report. Exit 1 when any
+/// check fails, 3 when the checks passed but an analysis degraded under
+/// the solver budget.
 int runCheckMode(const std::string &Source, const char *Name,
                  const CheckOptions &Opts, bool Json) {
   std::string Error;
@@ -255,7 +264,16 @@ int runCheckMode(const std::string &Source, const char *Name,
   else
     std::printf("== %s (%s) ==\n%s", Name, checkLevelName(Opts.Level),
                 R.renderText().c_str());
-  return R.clean() ? 0 : 1;
+  if (!R.clean())
+    return 1;
+  return R.DegradedAnalyses ? 3 : 0;
+}
+
+/// Shared degraded-run epilogue for the governed single-program modes:
+/// says which ladder rungs tripped and what tier ended up serving.
+void printDegradation(const GovernedAnalysis &GA) {
+  std::printf("analysis degraded under budget: %s\n",
+              GA.Degradation.summary().c_str());
 }
 
 void printLocations(AnalyzedProgram &AP, const PointsToResult &R,
@@ -290,6 +308,7 @@ int main(int argc, char **argv) {
   bool Json = false;
   CheckLevel Level = CheckLevel::Verify;
   std::string Input;
+  GovernancePolicy Policy;
 
   // Option flags that consume the next argv slot. Checking the list up
   // front lets "--flag" at end-of-line produce a precise missing-argument
@@ -298,7 +317,39 @@ int main(int argc, char **argv) {
     return std::strcmp(Arg, "--explain") == 0 ||
            std::strcmp(Arg, "--trace") == 0 ||
            std::strcmp(Arg, "--corpus") == 0 ||
-           std::strcmp(Arg, "--input") == 0;
+           std::strcmp(Arg, "--input") == 0 ||
+           std::strcmp(Arg, "--budget-ms") == 0 ||
+           std::strcmp(Arg, "--max-pairs") == 0 ||
+           std::strcmp(Arg, "--max-iterations") == 0 ||
+           std::strcmp(Arg, "--corpus-budget-ms") == 0;
+  };
+
+  // Budget values must be fully numeric; "--budget-ms fast" is a user
+  // error, not a zero budget.
+  bool BadBudgetValue = false;
+  auto ParseMillis = [&](const char *Flag, const char *Text, double &Out) {
+    char *End = nullptr;
+    double V = std::strtod(Text, &End);
+    if (End == Text || *End != '\0' || V < 0) {
+      std::fprintf(stderr, "option '%s' expects a non-negative number, "
+                           "got '%s'\n",
+                   Flag, Text);
+      BadBudgetValue = true;
+      return;
+    }
+    Out = V;
+  };
+  auto ParseCount = [&](const char *Flag, const char *Text, uint64_t &Out) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Text, &End, 10);
+    if (End == Text || *End != '\0' || Text[0] == '-') {
+      std::fprintf(stderr, "option '%s' expects a non-negative integer, "
+                           "got '%s'\n",
+                   Flag, Text);
+      BadBudgetValue = true;
+      return;
+    }
+    Out = V;
   };
 
   for (int I = 1; I < argc; ++I) {
@@ -347,6 +398,14 @@ int main(int argc, char **argv) {
       CorpusName = argv[++I];
     else if (std::strcmp(Arg, "--input") == 0)
       Input = argv[++I];
+    else if (std::strcmp(Arg, "--budget-ms") == 0)
+      ParseMillis(Arg, argv[++I], Policy.SolveMs);
+    else if (std::strcmp(Arg, "--max-pairs") == 0)
+      ParseCount(Arg, argv[++I], Policy.MaxPairs);
+    else if (std::strcmp(Arg, "--max-iterations") == 0)
+      ParseCount(Arg, argv[++I], Policy.MaxIterations);
+    else if (std::strcmp(Arg, "--corpus-budget-ms") == 0)
+      ParseMillis(Arg, argv[++I], Policy.CorpusMs);
     else if (Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
@@ -357,6 +416,8 @@ int main(int argc, char **argv) {
       File = Arg;
     }
   }
+  if (BadBudgetValue)
+    return usage(argv[0]);
   // --explain combines with --cs (explain the CS derivation), so it wins
   // over the mode the --cs flag set.
   if (ExplainVar)
@@ -377,8 +438,17 @@ int main(int argc, char **argv) {
     CheckOptions CO;
     CO.Level = Level;
     CO.OracleInput = Input;
+    CO.SolverBudget = Policy.solverBudget();
+    // A corpus budget becomes an absolute deadline shared by every
+    // program's solves, so stragglers trip within one polling interval
+    // of the budget expiring.
+    if (Policy.CorpusMs > 0)
+      CO.SolverBudget.Deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(Policy.CorpusMs));
     std::vector<ProgramCheckReport> Reports = checkCorpus(CO);
-    int Rc = 0;
+    bool Failed = false, Degraded = false;
     if (Json)
       std::printf("{\"schema\":\"vdga-check-corpus-v1\",\"programs\":[");
     bool First = true;
@@ -392,11 +462,13 @@ int main(int argc, char **argv) {
                     checkLevelName(Level), R.Report.renderText().c_str());
       First = false;
       if (!R.Report.clean())
-        Rc = 1;
+        Failed = true;
+      else if (R.Report.DegradedAnalyses)
+        Degraded = true;
     }
     if (Json)
       std::printf("]}\n");
-    return Rc;
+    return Failed ? 1 : (Degraded ? 3 : 0);
   }
 
   // Corpus-wide diff when no specific input was named.
@@ -439,29 +511,39 @@ int main(int argc, char **argv) {
 
   switch (M) {
   case Mode::Locations: {
-    PointsToResult CI = AP->runContextInsensitive();
-    printLocations(*AP, CI, "context-insensitive (Figure 1)");
-    return 0;
+    GovernedAnalysis GA = AP->runGoverned(Policy);
+    if (const PointsToResult *CI = GA.completeCI())
+      printLocations(*AP, *CI, "context-insensitive (Figure 1)");
+    else
+      printDegradation(GA);
+    return GA.degraded() ? 3 : 0;
   }
   case Mode::CS: {
-    PointsToResult CI = AP->runContextInsensitive();
-    ContextSensResult CS = AP->runContextSensitive(CI);
-    if (!CS.Completed) {
-      std::fprintf(stderr, "context-sensitive run hit the work cap\n");
-      return 1;
+    GovernedAnalysis GA = AP->runGoverned(Policy, /*RunCS=*/true);
+    if (const ContextSensResult *CS = GA.completeCS()) {
+      PointsToResult Stripped = CS->stripAssumptions();
+      printLocations(*AP, Stripped, "context-sensitive (Figure 5)");
+    } else if (const PointsToResult *CI = GA.completeCI()) {
+      // The ladder's first rung: the already-computed CI solution is a
+      // sound (coarser) stand-in for the tripped CS solve.
+      printDegradation(GA);
+      printLocations(*AP, *CI, "context-insensitive (serving CS clients)");
+    } else {
+      printDegradation(GA);
     }
-    PointsToResult Stripped = CS.stripAssumptions();
-    printLocations(*AP, Stripped, "context-sensitive (Figure 5)");
-    return 0;
+    return GA.degraded() ? 3 : 0;
   }
   case Mode::Compare: {
-    PointsToResult CI = AP->runContextInsensitive();
-    ContextSensResult CS = AP->runContextSensitive(CI);
-    if (!CS.Completed) {
-      std::fprintf(stderr, "context-sensitive run hit the work cap\n");
-      return 1;
+    GovernedAnalysis GA = AP->runGoverned(Policy, /*RunCS=*/true);
+    const PointsToResult *CIPtr = GA.completeCI();
+    const ContextSensResult *CSPtr = GA.completeCS();
+    if (!CIPtr || !CSPtr) {
+      // The comparison is only meaningful between two complete solves.
+      printDegradation(GA);
+      return 3;
     }
-    PointsToResult Stripped = CS.stripAssumptions();
+    const PointsToResult &CI = *CIPtr;
+    PointsToResult Stripped = CSPtr->stripAssumptions();
     printLocations(*AP, CI, "context-insensitive");
     printLocations(*AP, Stripped, "context-sensitive");
     SpuriousStats S = computeSpuriousStats(AP->G, CI, Stripped, AP->PT,
@@ -476,7 +558,13 @@ int main(int argc, char **argv) {
     return 0;
   }
   case Mode::Pairs: {
-    PointsToResult CI = AP->runContextInsensitive();
+    GovernedAnalysis GA = AP->runGoverned(Policy);
+    const PointsToResult *CIPtr = GA.completeCI();
+    if (!CIPtr) {
+      printDegradation(GA);
+      return 3;
+    }
+    const PointsToResult &CI = *CIPtr;
     PairTotals T = computePairTotals(AP->G, CI);
     std::printf("pointer=%llu function=%llu aggregate=%llu store=%llu "
                 "total=%llu\n",
@@ -495,7 +583,13 @@ int main(int argc, char **argv) {
     return 0;
   }
   case Mode::ModRef: {
-    PointsToResult CI = AP->runContextInsensitive();
+    GovernedAnalysis GA = AP->runGoverned(Policy);
+    const PointsToResult *CIPtr = GA.completeCI();
+    if (!CIPtr) {
+      printDegradation(GA);
+      return 3;
+    }
+    const PointsToResult &CI = *CIPtr;
     ModRefInfo MR = computeModRef(AP->G, CI, AP->PT, AP->Paths);
     for (const FuncDecl *Fn : AP->program().Functions) {
       if (!Fn->isDefined())
@@ -519,7 +613,13 @@ int main(int argc, char **argv) {
     return 0;
   }
   case Mode::DefUse: {
-    PointsToResult CI = AP->runContextInsensitive();
+    GovernedAnalysis GA = AP->runGoverned(Policy);
+    const PointsToResult *CIPtr = GA.completeCI();
+    if (!CIPtr) {
+      printDegradation(GA);
+      return 3;
+    }
+    const PointsToResult &CI = *CIPtr;
     DefUseInfo DU = computeDefUse(AP->G, CI, AP->PT, AP->Paths);
     for (NodeId L = 0; L < AP->G.numNodes(); ++L) {
       if (AP->G.node(L).Kind != NodeKind::Lookup)
@@ -587,6 +687,7 @@ int main(int argc, char **argv) {
     CheckOptions CO;
     CO.Level = Level;
     CO.OracleInput = Input;
+    CO.SolverBudget = Policy.solverBudget();
     return runCheckMode(Source, CorpusName ? CorpusName : File, CO, Json);
   }
   }

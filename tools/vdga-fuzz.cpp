@@ -46,8 +46,13 @@ int usage(const char *Argv0) {
       "       [--max-functions N] [--max-stmts N] [--max-block-depth N]\n"
       "       [--max-expr-depth N] [--no-pointers] [--no-aggregates]\n"
       "       [--no-fnptrs] [--no-recursion] [--no-heap] [--no-cs] [-v]\n"
+      "       [--budget-iterations N]\n"
       "Generates MiniC programs and runs each through the differential\n"
-      "oracle stack; exits 1 if any oracle finding survives.\n",
+      "oracle stack; exits 1 if any oracle finding survives.\n"
+      "--budget-iterations caps every solver run at N worklist\n"
+      "iterations: tripped solves degrade down the sound ladder and the\n"
+      "oracles assert the degraded results are still sound (coarser is\n"
+      "fine, missing a traced target is not).\n",
       Argv0);
   return 2;
 }
@@ -98,7 +103,7 @@ int main(int argc, char **argv) {
         "--count",         "--seed",          "--jobs",
         "--crash-dir",     "--max-steps",     "--max-call-depth",
         "--mutate-every",  "--max-functions", "--max-stmts",
-        "--max-block-depth", "--max-expr-depth"};
+        "--max-block-depth", "--max-expr-depth", "--budget-iterations"};
     for (const char *F : Flags)
       if (std::strcmp(Arg, F) == 0)
         return true;
@@ -124,6 +129,8 @@ int main(int argc, char **argv) {
     else if (std::strcmp(Arg, "--max-call-depth") == 0)
       OOpts.MaxCallDepth =
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(Arg, "--budget-iterations") == 0)
+      OOpts.BudgetIterations = std::strtoull(argv[++I], nullptr, 10);
     else if (std::strcmp(Arg, "--mutate-every") == 0)
       MutateEvery =
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
