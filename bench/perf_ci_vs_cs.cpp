@@ -24,6 +24,11 @@
 
 using namespace vdga;
 
+/// --solver=basic|wave|deep: worklist engine every solve below runs under
+/// (timing loops and the --json artifact alike). The artifact records it
+/// as corpus.solver_strategy so bench_diff.py only compares like runs.
+static SolverStrategy BenchStrategy = SolverStrategy::Basic;
+
 static void BM_ContextInsensitive(benchmark::State &State,
                                   const CorpusProgram *Prog) {
   std::string Error;
@@ -33,7 +38,8 @@ static void BM_ContextInsensitive(benchmark::State &State,
     return;
   }
   for (auto _ : State) {
-    PointsToResult R = AP->runContextInsensitive();
+    PointsToResult R = AP->runContextInsensitive(
+        WorklistOrder::FIFO, /*RecordProvenance=*/false, {}, BenchStrategy);
     benchmark::DoNotOptimize(R.totalPairInstances());
   }
 }
@@ -46,9 +52,12 @@ static void BM_ContextSensitive(benchmark::State &State,
     State.SkipWithError(Error.c_str());
     return;
   }
-  PointsToResult CI = AP->runContextInsensitive();
+  PointsToResult CI = AP->runContextInsensitive(
+      WorklistOrder::FIFO, /*RecordProvenance=*/false, {}, BenchStrategy);
+  ContextSensOptions CSO;
+  CSO.Strategy = BenchStrategy;
   for (auto _ : State) {
-    ContextSensResult R = AP->runContextSensitive(CI);
+    ContextSensResult R = AP->runContextSensitive(CI, CSO);
     benchmark::DoNotOptimize(R.Stats.MeetOps);
   }
 }
@@ -79,7 +88,10 @@ static int runJsonMode(const std::string &Path) {
   // but a catastrophic solver regression trips the budget instead of
   // hanging CI, and bench_diff.py hard-fails on the resulting
   // degradation entry. Override with VDGA_BENCH_BUDGET_MS.
+  Timing.Strategy = BenchStrategy;
+
   GovernancePolicy Policy;
+  Policy.Strategy = BenchStrategy;
   Policy.SolveMs = 60'000;
   if (const char *Env = std::getenv("VDGA_BENCH_BUDGET_MS"))
     Policy.SolveMs = std::strtod(Env, nullptr);
@@ -139,6 +151,28 @@ static int runJsonMode(const std::string &Path) {
 }
 
 int main(int argc, char **argv) {
+  // Strip --solver before google-benchmark sees (and rejects) it.
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    const char *Name = nullptr;
+    if (std::strncmp(argv[I], "--solver=", 9) == 0)
+      Name = argv[I] + 9;
+    else if (std::strcmp(argv[I], "--solver") == 0 && I + 1 < argc)
+      Name = argv[++I];
+    if (Name) {
+      if (!parseSolverStrategy(Name, BenchStrategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' (expected basic, wave "
+                     "or deep)\n",
+                     Name);
+        return 2;
+      }
+      continue;
+    }
+    argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       return runJsonMode("BENCH_ci_vs_cs.json");
@@ -163,7 +197,10 @@ int main(int argc, char **argv) {
 
   // The paper's work counters (Section 4.2: ~1.1x transfer functions,
   // up to ~100x meets; Section 4.3: 2-3 orders of magnitude slower).
-  std::vector<BenchmarkReport> Reports = analyzeCorpus(/*RunCS=*/true);
+  GovernancePolicy Policy;
+  Policy.Strategy = BenchStrategy;
+  std::vector<BenchmarkReport> Reports =
+      analyzeCorpus(/*RunCS=*/true, {}, /*Jobs=*/0, CheckLevel::None, Policy);
   std::fputs(renderPerfComparison(Reports).c_str(), stdout);
   return 0;
 }

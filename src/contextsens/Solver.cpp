@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace vdga;
 
@@ -97,6 +98,38 @@ bool ContextSensSolver::ciNeverStronglyOverwrites(NodeId N, PathId P) const {
 //===----------------------------------------------------------------------===//
 
 ContextSensResult ContextSensSolver::solve() {
+  if (Options.Strategy == SolverStrategy::Basic)
+    runBasic();
+  else
+    runWave();
+
+  if (!Result.complete()) {
+    if (Obs.Metrics)
+      Obs.Metrics->add("cs.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "cs")
+          .field("trip", budgetTripName(Result.Trip))
+          .field("status", solveStatusName(Result.Status))
+          .field("transfer_fns", Result.Stats.TransferFns)
+          .field("pairs_inserted", Result.Stats.PairsInserted)
+          .field("assum_sets", uint64_t(AT.numSets()));
+  }
+  if (Obs.Metrics) {
+    Obs.Metrics->add("cs.transfer_fns", Result.Stats.TransferFns);
+    Obs.Metrics->add("cs.meet_ops", Result.Stats.MeetOps);
+    Obs.Metrics->add("cs.pairs_inserted", Result.Stats.PairsInserted);
+    Obs.Metrics->add("cs.subsumption_discards", SubsumptionDiscards);
+    Obs.Metrics->add("cs.single_loc_prunes", SingleLocPrunes);
+    Obs.Metrics->add("cs.strong_update_prunes", StrongUpdatePrunes);
+    Obs.Metrics->set("cs.solver.strategy", uint64_t(Options.Strategy));
+    Obs.Metrics->add("cs.delta_pairs_flowed", DeltaPairsFlowed);
+    Obs.Metrics->add("cs.scc_collapsed", SccCollapsed);
+  }
+  return std::move(Result);
+}
+
+void ContextSensSolver::runBasic() {
   for (NodeId N = 0; N < G.numNodes(); ++N) {
     const Node &Node = G.node(N);
     if (Node.Kind != NodeKind::ConstPath)
@@ -132,28 +165,193 @@ ContextSensResult ContextSensSolver::solve() {
     }
     flowIn(E);
   }
+}
 
-  if (!Result.complete()) {
-    if (Obs.Metrics)
-      Obs.Metrics->add("cs.budget_trips", 1);
-    if (Obs.Events)
-      Obs.Events->event("budget_trip")
-          .field("solver", "cs")
-          .field("trip", budgetTripName(Result.Trip))
-          .field("status", solveStatusName(Result.Status))
-          .field("transfer_fns", Result.Stats.TransferFns)
-          .field("pairs_inserted", Result.Stats.PairsInserted)
-          .field("assum_sets", uint64_t(AT.numSets()));
+//===----------------------------------------------------------------------===//
+// Wave/Deep engine
+//===----------------------------------------------------------------------===//
+//
+// The context-sensitive mirror of the CI wave engine (pointsto/Solver.cpp):
+// outputs queue in topological rank of the value-flow condensation, and a
+// dequeued output flushes the (pair, assumption-set) facts inserted since
+// its last flush to every consumer as one batch. Two CS-specific twists:
+//
+//   * The delta is a vector of (PairId, AssumSetId) records, not a pair
+//     bitset — the propagated fact is the qualified instance, and the same
+//     pair legitimately recurs with different assumption sets.
+//   * The copy condensation (Deep) is purely static. Call and return
+//     flows *change* the fact — actuals-to-formals introduces a fresh
+//     singleton assumption and propagate-return discharges assumptions —
+//     so only merge / no-op pointer-arithmetic identities qualify, all of
+//     which are known before the first insert. No online merges means no
+//     reconcile step: the components are condensed on empty maps.
+//
+// The fixed point (the minimal assumption antichain per output and pair)
+// is schedule-independent, so all strategies agree; the strategy fuzz
+// oracle and the equivalence suite enforce this.
+
+void ContextSensSolver::runWave() {
+  DeltaQ.resize(G.numOutputs());
+  buildFlowGraphs();
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::ConstPath)
+      continue;
+    flowOut(G.outputOf(N),
+            PT.intern(PathTable::emptyPath(), Node.Path), EmptyAssumSet,
+            {N});
   }
-  if (Obs.Metrics) {
-    Obs.Metrics->add("cs.transfer_fns", Result.Stats.TransferFns);
-    Obs.Metrics->add("cs.meet_ops", Result.Stats.MeetOps);
-    Obs.Metrics->add("cs.pairs_inserted", Result.Stats.PairsInserted);
-    Obs.Metrics->add("cs.subsumption_discards", SubsumptionDiscards);
-    Obs.Metrics->add("cs.single_loc_prunes", SingleLocPrunes);
-    Obs.Metrics->add("cs.strong_update_prunes", StrongUpdatePrunes);
+
+  BudgetMeter Meter(Options.Budget);
+  std::vector<std::pair<PairId, AssumSetId>> Batch;
+  bool KeepGoing = true;
+  while (KeepGoing && !OutHeap.empty()) {
+    BudgetTrip T = Meter.poll(Result.Stats.TransferFns,
+                              Result.Stats.PairsInserted, AT.numSets());
+    if (T != BudgetTrip::None) {
+      Result.Status = statusForTrip(T);
+      Result.Trip = T;
+      Result.Completed = false;
+      break;
+    }
+    std::pop_heap(OutHeap.begin(), OutHeap.end(),
+                  std::greater<std::pair<uint32_t, OutputId>>());
+    OutputId Out = OutHeap.back().second;
+    OutHeap.pop_back();
+    // A clear QueuedOut bit marks a stale heap entry.
+    if (!QueuedOut.erase(Out))
+      continue;
+    Batch.clear();
+    Batch.swap(DeltaQ[Out]);
+    DeltaPairsFlowed += Batch.size();
+    const std::vector<InputId> &Consumers = G.output(Out).Consumers;
+    for (size_t I = 0; KeepGoing && I < Consumers.size(); ++I)
+      KeepGoing = deliverBatch(Consumers[I], Out, Batch);
+    if (Copies) {
+      const std::vector<InputId> &Extra = ExtraConsumers[Out];
+      for (size_t I = 0; KeepGoing && I < Extra.size(); ++I)
+        KeepGoing = deliverBatch(Extra[I], Out, Batch);
+    }
   }
-  return std::move(Result);
+  finalizeCollapse();
+}
+
+void ContextSensSolver::buildFlowGraphs() {
+  // Both condensations are sealed here: no dynamic edge ever arrives (see
+  // the class comment), so neither needs the online-repair adjacency.
+  OnlineSCC Flow(static_cast<uint32_t>(G.numOutputs()), /*Sealed=*/true);
+  if (Options.Strategy == SolverStrategy::Deep)
+    Copies = std::make_unique<OnlineSCC>(
+        static_cast<uint32_t>(G.numOutputs()), /*Sealed=*/true);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    // Same static edge set as the CI engine; see the copy-edge rationale
+    // there and in the engine comment above.
+    auto Add = [&](unsigned Idx, bool Copy) {
+      OutputId P = G.producerOf(N, Idx);
+      if (P == InvalidId)
+        return;
+      Flow.addInitialEdge(P, G.outputOf(N));
+      if (Copy && Copies)
+        Copies->addInitialEdge(P, G.outputOf(N));
+    };
+    switch (Node.Kind) {
+    case NodeKind::Lookup:
+      Add(0, false);
+      Add(1, false);
+      break;
+    case NodeKind::Update:
+      Add(0, false);
+      Add(1, false);
+      Add(2, false);
+      break;
+    case NodeKind::Offset:
+      Add(0, false);
+      break;
+    case NodeKind::Merge:
+      for (unsigned I = 0; I < Node.Inputs.size(); ++I)
+        Add(I, true);
+      break;
+    case NodeKind::PtrArith:
+      Add(0, true);
+      break;
+    default:
+      break;
+    }
+  }
+  Flow.build();
+  FlowRank.resize(G.numOutputs());
+  for (OutputId O = 0; O < G.numOutputs(); ++O)
+    FlowRank[O] = Flow.rank(O);
+  if (Copies) {
+    Copies->build();
+    // Collapse happens before the first insert, so there is nothing to
+    // reconcile — just teach each representative about the consumers of
+    // the members it absorbed.
+    ExtraConsumers.resize(G.numOutputs());
+    for (OutputId O = 0; O < G.numOutputs(); ++O) {
+      OutputId R = Copies->find(O);
+      if (R == O)
+        continue;
+      ++SccCollapsed;
+      std::vector<InputId> &EW = ExtraConsumers[R];
+      const std::vector<InputId> &C = G.output(O).Consumers;
+      EW.insert(EW.end(), C.begin(), C.end());
+    }
+  }
+}
+
+void ContextSensSolver::scheduleOutput(OutputId Rep) {
+  if (!QueuedOut.insert(Rep))
+    return;
+  OutHeap.push_back({FlowRank[Rep], Rep});
+  std::push_heap(OutHeap.begin(), OutHeap.end(),
+                 std::greater<std::pair<uint32_t, OutputId>>());
+}
+
+bool ContextSensSolver::deliverBatch(
+    InputId In, OutputId SrcRep,
+    const std::vector<std::pair<PairId, AssumSetId>> &Batch) {
+  if (Copies) {
+    // Intra-component copy consumer: source and target share one map, so
+    // every qualified instance would be subsumption-discarded verbatim.
+    const InputInfo &Info = G.input(In);
+    const Node &Node = G.node(Info.Node);
+    bool PureCopy = Node.Kind == NodeKind::Merge ||
+                    (Node.Kind == NodeKind::PtrArith && Info.Index == 0);
+    if (PureCopy && Copies->find(G.outputOf(Info.Node)) == SrcRep)
+      return true;
+  }
+  for (const auto &[Pair, Assum] : Batch) {
+    ++Result.Stats.TransferFns;
+    // The legacy ablation valve counts deliveries, matching Basic's
+    // per-event accounting; the tripped fact stays unprocessed.
+    if (Options.MaxTransferFns &&
+        Result.Stats.TransferFns > Options.MaxTransferFns) {
+      Result.Completed = false;
+      Result.Status = SolveStatus::BudgetExceeded;
+      Result.Trip = BudgetTrip::Iterations;
+      return false;
+    }
+    flowIn({In, Pair, Assum});
+  }
+  return true;
+}
+
+void ContextSensSolver::finalizeCollapse() {
+  if (!Copies)
+    return;
+  // Materialize each member's view of its component's shared qualified
+  // map, preserving the per-output contract of qualified()/derivation().
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    OutputId R = Copies->find(O);
+    if (R == O)
+      continue;
+    Result.QP[O] = Result.QP[R];
+    if (Result.provenanceEnabled())
+      Result.Derivs[O] = Result.Derivs[R];
+  }
 }
 
 bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum,
@@ -190,11 +388,22 @@ bool ContextSensSolver::insert(OutputId Out, PairId Pair, AssumSetId Assum,
 void ContextSensSolver::flowOut(OutputId Out, PairId Pair, AssumSetId Assum,
                                 const Derivation &D) {
   ++Result.Stats.MeetOps;
-  if (!insert(Out, Pair, Assum, D))
+  if (Options.Strategy == SolverStrategy::Basic) {
+    if (!insert(Out, Pair, Assum, D))
+      return;
+    ++Result.Stats.PairsInserted;
+    for (InputId Consumer : G.output(Out).Consumers)
+      Worklist.push_back({Consumer, Pair, Assum});
+    return;
+  }
+  // Wave/Deep: record the surviving instance in the (representative)
+  // output's delta and queue the output itself.
+  OutputId R = rep(Out);
+  if (!insert(R, Pair, Assum, D))
     return;
   ++Result.Stats.PairsInserted;
-  for (InputId Consumer : G.output(Out).Consumers)
-    Worklist.push_back({Consumer, Pair, Assum});
+  DeltaQ[R].push_back({Pair, Assum});
+  scheduleOutput(R);
 }
 
 void ContextSensSolver::tracePair(OutputId Out, PairId Pair) {
@@ -472,7 +681,7 @@ void ContextSensSolver::propagateReturn(NodeId Call, OutputId Target,
     OutputId Actual = actualForFormal(Call, Asm.Formal);
     if (Actual == InvalidId)
       return; // Arity mismatch: cannot be satisfied here.
-    const auto &QPActual = Result.QP[Actual];
+    const auto &QPActual = Result.QP[rep(Actual)];
     auto It = QPActual.find(Asm.Pair);
     if (It == QPActual.end())
       return; // Assumption not satisfied at this call site (yet).

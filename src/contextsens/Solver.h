@@ -31,10 +31,13 @@
 #include "contextsens/AssumptionSet.h"
 #include "pointsto/Solver.h"
 #include "support/DenseBitSet.h"
+#include "support/SCC.h"
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 namespace vdga {
 
@@ -51,6 +54,12 @@ struct ContextSensOptions {
   /// reports its assumption-set table size to the meter, so MaxAssumSets
   /// is meaningful here.
   ResourceBudget Budget;
+  /// Solver engine (pointsto/Solver.h): Basic is the reference event
+  /// worklist; Wave batches per-output (pair, assumption) deltas in
+  /// topological waves; Deep additionally collapses *static* copy cycles
+  /// (merge / pointer-arithmetic identities — call/return flows introduce
+  /// or discharge assumptions here, so they are never copy edges).
+  SolverStrategy Strategy = SolverStrategy::Basic;
 };
 
 /// The context-sensitive solution.
@@ -134,6 +143,26 @@ private:
     AssumSetId Assum;
   };
 
+  void runBasic();
+  void runWave();
+
+  /// Representative output whose map stores \p Out's qualified pairs:
+  /// identity except for static copy components under Deep.
+  OutputId rep(OutputId Out) const {
+    return Copies ? Copies->find(Out) : Out;
+  }
+
+  // Wave/Deep machinery (mirrors the CI engine; see pointsto/Solver.cpp).
+  // There is no dynamic-edge path: dynamic call wiring is delivered
+  // through the worklist, and the scheduling ranks stay the static
+  // condensation (online rank repair costs more than it saves — see the
+  // CI addDynamicEdge comment).
+  void buildFlowGraphs();
+  void scheduleOutput(OutputId Rep);
+  bool deliverBatch(InputId In, OutputId SrcRep,
+                    const std::vector<std::pair<PairId, AssumSetId>> &Batch);
+  void finalizeCollapse();
+
   bool insert(OutputId Out, PairId Pair, AssumSetId Assum,
               const Derivation &D);
   void flowOut(OutputId Out, PairId Pair, AssumSetId Assum,
@@ -172,7 +201,7 @@ private:
 
   const std::map<PairId, std::vector<AssumSetId>> &
   qualifiedAtInput(NodeId N, unsigned Index) const {
-    return Result.QP[G.producerOf(N, Index)];
+    return Result.QP[rep(G.producerOf(N, Index))];
   }
 
   const Graph &G;
@@ -198,6 +227,28 @@ private:
   /// dense, so this is a flat vector gated by a membership bitset.
   std::vector<std::vector<PathId>> CILocSets;
   DenseBitSet HasCILocSet;
+
+  //===--------------------------------------------------------------------===
+  // Wave/Deep state (null / empty under Basic)
+  //===--------------------------------------------------------------------===
+
+  /// Topological rank of each output in the condensed value-flow graph,
+  /// flattened out of a throwaway OnlineSCC at buildFlowGraphs() time
+  /// (ranks never change: there is no dynamic-edge path here).
+  std::vector<uint32_t> FlowRank;
+  /// Deep only: static copy components sharing one qualified-pair map.
+  /// Built once (no online merges: dynamic flows are never copies here).
+  std::unique_ptr<OnlineSCC> Copies;
+  /// Per-representative (pair, assumption set) facts inserted since that
+  /// output's last flush. A vector, not a bitset: the delta is keyed by
+  /// the (pair, assumption) product.
+  std::vector<std::vector<std::pair<PairId, AssumSetId>>> DeltaQ;
+  std::vector<std::pair<uint32_t, OutputId>> OutHeap;
+  DenseBitSet QueuedOut;
+  /// Deep only: consumers inherited from collapsed member outputs.
+  std::vector<std::vector<InputId>> ExtraConsumers;
+  uint64_t DeltaPairsFlowed = 0;
+  uint64_t SccCollapsed = 0;
 };
 
 } // namespace vdga

@@ -36,6 +36,12 @@ const std::vector<CorpusProgram> &vdga::corpus() {
        corpusSpan(), true},
       {"yacr2", "channel router: track assignment with constraint graphs",
        corpusYacr2(), true},
+      // Solver-scale stress programs (not in Figure 2); excluded from the
+      // unoptimized-CS ablation, which is quadratic in their set sizes.
+      {"protocol", "layered packet pipeline: forwarding ring of handler states",
+       corpusProtocol(), false},
+      {"pipeline", "reorder-buffer model: unrolled slot rotation per cycle",
+       corpusPipeline(), false},
   };
   return Programs;
 }

@@ -15,6 +15,12 @@
 /// routines. Every program is closed (no inputs) and runnable under the
 /// concrete interpreter, which the soundness property tests exploit.
 ///
+/// Two solver-scale stress programs (`protocol`, `pipeline`) extend the
+/// Figure 2 set. Their long pointer-copy cycles — a forwarding-call ring
+/// and an unrolled reorder-buffer rotation — are the structures where the
+/// wave/deep solver strategies pay off; the tiny Figure 2 programs never
+/// build such cycles, so the bench gate measures these two.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VDGA_CORPUS_CORPUS_H
@@ -36,7 +42,8 @@ struct CorpusProgram {
   bool SmallEnoughForUnoptimizedCS;
 };
 
-/// All thirteen benchmarks, in Figure 2 order.
+/// The thirteen Figure 2 benchmarks in Figure 2 order, followed by the
+/// two solver-scale stress programs.
 const std::vector<CorpusProgram> &corpus();
 
 /// Finds a benchmark by name; null when absent.
@@ -53,6 +60,8 @@ const char *corpusCompress();
 const char *corpusLex315();
 const char *corpusLoader();
 const char *corpusPart();
+const char *corpusPipeline();
+const char *corpusProtocol();
 const char *corpusSimulator();
 const char *corpusSpan();
 const char *corpusYacr2();

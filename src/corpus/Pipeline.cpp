@@ -1,0 +1,624 @@
+//===- corpus/Pipeline.cpp - reorder-buffer rotation stress ----------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// Solver-scale stress program (not part of Figure 2): a reorder-buffer
+// model whose unrolled slot rotation inside the cycle loop forms one
+// long static copy cycle carrying every decoded record. Exercises the
+// batch (build-time) SCC collapse and delta-wave scheduling on a scale
+// the Figure 2 programs never reach.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusPipeline() {
+  return R"minic(
+/* pipeline: a reorder-buffer model. Decoded instruction records
+ * occupy a 100-slot circular scoreboard; every cycle each slot's
+ * occupant advances one position (an unrolled rotation, the way
+ * a hardware shift structure is written out), and the retire
+ * slot re-issues the oldest record. Only the decode table and
+ * the final drain walk ever dereference a record. */
+
+struct inst {
+  int opcode;
+  int dest;
+  int latency;
+  struct inst *dep;
+};
+
+int retired;
+
+int main() {
+  struct inst *decoded = 0;
+  struct inst *r = 0;
+  int cycle = 0;
+  int issued = 0;
+  int weight = 0;
+  retired = 0;
+  /* Decode table: one record per static instruction. Records
+   * with a real destination register join the issue list. */
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 3;
+  r->dest = 3;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 10;
+  r->dest = 14;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 1;
+  r->dest = 25;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 8;
+  r->dest = 4;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 15;
+  r->dest = 15;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 6;
+  r->dest = 26;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 13;
+  r->dest = 5;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 4;
+  r->dest = 16;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 11;
+  r->dest = 27;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 2;
+  r->dest = 6;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 9;
+  r->dest = 17;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 0;
+  r->dest = 28;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 7;
+  r->dest = 7;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 14;
+  r->dest = 18;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 5;
+  r->dest = 29;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 12;
+  r->dest = 8;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 3;
+  r->dest = 19;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 10;
+  r->dest = -2;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 1;
+  r->dest = 9;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 8;
+  r->dest = 20;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 15;
+  r->dest = -1;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 6;
+  r->dest = 10;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 13;
+  r->dest = 21;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 4;
+  r->dest = 0;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 11;
+  r->dest = 11;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 2;
+  r->dest = 22;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 9;
+  r->dest = 1;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 0;
+  r->dest = 12;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 7;
+  r->dest = 23;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 14;
+  r->dest = 2;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 5;
+  r->dest = 13;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 12;
+  r->dest = 24;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 3;
+  r->dest = 3;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 10;
+  r->dest = 14;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 1;
+  r->dest = 25;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 8;
+  r->dest = 4;
+  r->latency = 1;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 15;
+  r->dest = 15;
+  r->latency = 2;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 6;
+  r->dest = 26;
+  r->latency = 3;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 13;
+  r->dest = 5;
+  r->latency = 4;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+  r = (struct inst *) malloc(sizeof(struct inst));
+  r->opcode = 4;
+  r->dest = 16;
+  r->latency = 5;
+  r->dep = decoded;
+  if (r->dest >= 0)
+    decoded = r;
+  else
+    issued = issued + 1;
+
+  struct inst *rob0 = decoded;
+  struct inst *rob1 = decoded;
+  struct inst *rob2 = decoded;
+  struct inst *rob3 = decoded;
+  struct inst *rob4 = decoded;
+  struct inst *rob5 = decoded;
+  struct inst *rob6 = decoded;
+  struct inst *rob7 = decoded;
+  struct inst *rob8 = decoded;
+  struct inst *rob9 = decoded;
+  struct inst *rob10 = decoded;
+  struct inst *rob11 = decoded;
+  struct inst *rob12 = decoded;
+  struct inst *rob13 = decoded;
+  struct inst *rob14 = decoded;
+  struct inst *rob15 = decoded;
+  struct inst *rob16 = decoded;
+  struct inst *rob17 = decoded;
+  struct inst *rob18 = decoded;
+  struct inst *rob19 = decoded;
+  struct inst *rob20 = decoded;
+  struct inst *rob21 = decoded;
+  struct inst *rob22 = decoded;
+  struct inst *rob23 = decoded;
+  struct inst *rob24 = decoded;
+  struct inst *rob25 = decoded;
+  struct inst *rob26 = decoded;
+  struct inst *rob27 = decoded;
+  struct inst *rob28 = decoded;
+  struct inst *rob29 = decoded;
+  struct inst *rob30 = decoded;
+  struct inst *rob31 = decoded;
+  struct inst *rob32 = decoded;
+  struct inst *rob33 = decoded;
+  struct inst *rob34 = decoded;
+  struct inst *rob35 = decoded;
+  struct inst *rob36 = decoded;
+  struct inst *rob37 = decoded;
+  struct inst *rob38 = decoded;
+  struct inst *rob39 = decoded;
+  struct inst *rob40 = decoded;
+  struct inst *rob41 = decoded;
+  struct inst *rob42 = decoded;
+  struct inst *rob43 = decoded;
+  struct inst *rob44 = decoded;
+  struct inst *rob45 = decoded;
+  struct inst *rob46 = decoded;
+  struct inst *rob47 = decoded;
+  struct inst *rob48 = decoded;
+  struct inst *rob49 = decoded;
+  struct inst *rob50 = decoded;
+  struct inst *rob51 = decoded;
+  struct inst *rob52 = decoded;
+  struct inst *rob53 = decoded;
+  struct inst *rob54 = decoded;
+  struct inst *rob55 = decoded;
+  struct inst *rob56 = decoded;
+  struct inst *rob57 = decoded;
+  struct inst *rob58 = decoded;
+  struct inst *rob59 = decoded;
+  struct inst *rob60 = decoded;
+  struct inst *rob61 = decoded;
+  struct inst *rob62 = decoded;
+  struct inst *rob63 = decoded;
+  struct inst *rob64 = decoded;
+  struct inst *rob65 = decoded;
+  struct inst *rob66 = decoded;
+  struct inst *rob67 = decoded;
+  struct inst *rob68 = decoded;
+  struct inst *rob69 = decoded;
+  struct inst *rob70 = decoded;
+  struct inst *rob71 = decoded;
+  struct inst *rob72 = decoded;
+  struct inst *rob73 = decoded;
+  struct inst *rob74 = decoded;
+  struct inst *rob75 = decoded;
+  struct inst *rob76 = decoded;
+  struct inst *rob77 = decoded;
+  struct inst *rob78 = decoded;
+  struct inst *rob79 = decoded;
+  struct inst *rob80 = decoded;
+  struct inst *rob81 = decoded;
+  struct inst *rob82 = decoded;
+  struct inst *rob83 = decoded;
+  struct inst *rob84 = decoded;
+  struct inst *rob85 = decoded;
+  struct inst *rob86 = decoded;
+  struct inst *rob87 = decoded;
+  struct inst *rob88 = decoded;
+  struct inst *rob89 = decoded;
+  struct inst *rob90 = decoded;
+  struct inst *rob91 = decoded;
+  struct inst *rob92 = decoded;
+  struct inst *rob93 = decoded;
+  struct inst *rob94 = decoded;
+  struct inst *rob95 = decoded;
+  struct inst *rob96 = decoded;
+  struct inst *rob97 = decoded;
+  struct inst *rob98 = decoded;
+  struct inst *rob99 = decoded;
+  struct inst *rob100 = decoded;
+
+  for (cycle = 0; cycle < 3; cycle = cycle + 1) {
+    /* Advance: the youngest slot recycles the retiring record,
+     * then every occupant shifts one slot toward retirement. */
+    rob0 = rob100;
+    rob1 = rob0;
+    rob2 = rob1;
+    rob3 = rob2;
+    rob4 = rob3;
+    rob5 = rob4;
+    rob6 = rob5;
+    rob7 = rob6;
+    rob8 = rob7;
+    rob9 = rob8;
+    rob10 = rob9;
+    rob11 = rob10;
+    rob12 = rob11;
+    rob13 = rob12;
+    rob14 = rob13;
+    rob15 = rob14;
+    rob16 = rob15;
+    rob17 = rob16;
+    rob18 = rob17;
+    rob19 = rob18;
+    rob20 = rob19;
+    rob21 = rob20;
+    rob22 = rob21;
+    rob23 = rob22;
+    rob24 = rob23;
+    rob25 = rob24;
+    rob26 = rob25;
+    rob27 = rob26;
+    rob28 = rob27;
+    rob29 = rob28;
+    rob30 = rob29;
+    rob31 = rob30;
+    rob32 = rob31;
+    rob33 = rob32;
+    rob34 = rob33;
+    rob35 = rob34;
+    rob36 = rob35;
+    rob37 = rob36;
+    rob38 = rob37;
+    rob39 = rob38;
+    rob40 = rob39;
+    rob41 = rob40;
+    rob42 = rob41;
+    rob43 = rob42;
+    rob44 = rob43;
+    rob45 = rob44;
+    rob46 = rob45;
+    rob47 = rob46;
+    rob48 = rob47;
+    rob49 = rob48;
+    rob50 = rob49;
+    rob51 = rob50;
+    rob52 = rob51;
+    rob53 = rob52;
+    rob54 = rob53;
+    rob55 = rob54;
+    rob56 = rob55;
+    rob57 = rob56;
+    rob58 = rob57;
+    rob59 = rob58;
+    rob60 = rob59;
+    rob61 = rob60;
+    rob62 = rob61;
+    rob63 = rob62;
+    rob64 = rob63;
+    rob65 = rob64;
+    rob66 = rob65;
+    rob67 = rob66;
+    rob68 = rob67;
+    rob69 = rob68;
+    rob70 = rob69;
+    rob71 = rob70;
+    rob72 = rob71;
+    rob73 = rob72;
+    rob74 = rob73;
+    rob75 = rob74;
+    rob76 = rob75;
+    rob77 = rob76;
+    rob78 = rob77;
+    rob79 = rob78;
+    rob80 = rob79;
+    rob81 = rob80;
+    rob82 = rob81;
+    rob83 = rob82;
+    rob84 = rob83;
+    rob85 = rob84;
+    rob86 = rob85;
+    rob87 = rob86;
+    rob88 = rob87;
+    rob89 = rob88;
+    rob90 = rob89;
+    rob91 = rob90;
+    rob92 = rob91;
+    rob93 = rob92;
+    rob94 = rob93;
+    rob95 = rob94;
+    rob96 = rob95;
+    rob97 = rob96;
+    rob98 = rob97;
+    rob99 = rob98;
+    rob100 = rob99;
+    if (cycle == 0)
+      rob100 = decoded;
+    retired = retired + 1;
+  }
+
+  /* Drain the issue list; this is the only walk that loads
+   * through the record pointers. */
+  while (decoded != 0) {
+    weight = weight + decoded->latency;
+    decoded = decoded->dep;
+  }
+  printf("pipeline: %d cycles, %d skipped, weight %d\n",
+         retired, issued, weight);
+  return 0;
+}
+)minic";
+}

@@ -1,0 +1,417 @@
+//===- corpus/Protocol.cpp - layered forwarding ring stress ----------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+// Solver-scale stress program (not part of Figure 2): a layered
+// protocol whose handler states form a call ring, so every actual ->
+// formal copy discovered at solve time lands on one large dynamic
+// cycle. The Figure 2 suite has no such structure; this program is
+// where the wave/deep solver strategies earn their keep (and what the
+// bench gate in BENCH_FORMAT.md measures).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+const char *vdga::corpusProtocol() {
+  return R"minic(
+/* protocol: a layered packet pipeline modeled as a ring of
+ * forwarding states. Each stage inspects nothing but the TTL,
+ * stages the message through local bookkeeping pointers, and
+ * hands it to the next layer; delivery loops back to rx_sync
+ * until the TTL runs out. The test vector below feeds the ring
+ * messages from every allocation site at once. */
+
+struct msg {
+  int tag;
+  int len;
+  int hops;
+  struct msg *link;
+};
+
+int delivered;
+int dropped;
+
+struct msg *rx_sync(struct msg *m, int ttl);
+struct msg *rx_parse(struct msg *m, int ttl);
+struct msg *validate(struct msg *m, int ttl);
+struct msg *classify(struct msg *m, int ttl);
+struct msg *route(struct msg *m, int ttl);
+struct msg *shape(struct msg *m, int ttl);
+struct msg *enqueue(struct msg *m, int ttl);
+struct msg *schedule(struct msg *m, int ttl);
+struct msg *tx_encode(struct msg *m, int ttl);
+struct msg *tx_frame(struct msg *m, int ttl);
+struct msg *tx_send(struct msg *m, int ttl);
+struct msg *account(struct msg *m, int ttl);
+
+struct msg *rx_sync(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return rx_parse(fwd, ttl - 1);
+}
+
+struct msg *rx_parse(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return validate(fwd, ttl - 1);
+}
+
+struct msg *validate(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return classify(fwd, ttl - 1);
+}
+
+struct msg *classify(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return route(fwd, ttl - 1);
+}
+
+struct msg *route(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return shape(fwd, ttl - 1);
+}
+
+struct msg *shape(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return enqueue(fwd, ttl - 1);
+}
+
+struct msg *enqueue(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return schedule(fwd, ttl - 1);
+}
+
+struct msg *schedule(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return tx_encode(fwd, ttl - 1);
+}
+
+struct msg *tx_encode(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return tx_frame(fwd, ttl - 1);
+}
+
+struct msg *tx_frame(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return tx_send(fwd, ttl - 1);
+}
+
+struct msg *tx_send(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return account(fwd, ttl - 1);
+}
+
+struct msg *account(struct msg *m, int ttl) {
+  struct msg *cur = m;
+  struct msg *audit = cur;
+  struct msg *fwd = audit;
+  if (ttl <= 0) {
+    delivered = delivered + 1;
+    return fwd;
+  }
+  return rx_sync(fwd, ttl - 1);
+}
+
+int main() {
+  struct msg *inbox = 0;
+  struct msg *m = 0;
+  struct msg *out = 0;
+  int total = 0;
+  delivered = 0;
+  dropped = 0;
+  /* Test vector: one message per protocol class. A message
+   * with a non-positive length is malformed and dropped on
+   * the floor instead of being linked into the inbox. */
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 11;
+  m->len = 4;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 48;
+  m->len = 17;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 85;
+  m->len = 30;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 22;
+  m->len = 43;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 59;
+  m->len = 56;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 96;
+  m->len = 8;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 33;
+  m->len = 21;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 70;
+  m->len = 34;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 7;
+  m->len = 47;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 44;
+  m->len = 60;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 81;
+  m->len = 12;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 18;
+  m->len = 25;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 55;
+  m->len = 38;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 92;
+  m->len = 51;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 29;
+  m->len = 64;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 66;
+  m->len = 16;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 3;
+  m->len = 29;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 40;
+  m->len = 42;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 77;
+  m->len = 55;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 14;
+  m->len = 7;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 51;
+  m->len = 20;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 88;
+  m->len = 33;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 25;
+  m->len = 46;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  m = (struct msg *) malloc(sizeof(struct msg));
+  m->tag = 62;
+  m->len = 59;
+  m->hops = 0;
+  m->link = inbox;
+  if (m->len > 0)
+    inbox = m;
+  else
+    dropped = dropped + 1;
+  /* Drive every queued message around the ring. */
+  m = inbox;
+  while (m != 0) {
+    out = rx_sync(m, 40);
+    total = total + out->len;
+    m = m->link;
+  }
+  printf("protocol: %d delivered, %d dropped, %d bytes\n",
+         delivered, dropped, total);
+  return 0;
+}
+)minic";
+}

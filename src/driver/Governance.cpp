@@ -74,7 +74,8 @@ GovernedAnalysis AnalyzedProgram::runGoverned(const GovernancePolicy &Policy,
   };
 
   auto T0 = std::chrono::steady_clock::now();
-  GovernedAnalysis GA(runContextInsensitive(Order, RecordProvenance, B));
+  GovernedAnalysis GA(
+      runContextInsensitive(Order, RecordProvenance, B, Policy.Strategy));
   GA.CIMillis = millisSince(T0);
   GA.RanCS = RunCS;
 
@@ -119,6 +120,7 @@ GovernedAnalysis AnalyzedProgram::runGoverned(const GovernancePolicy &Policy,
 
   ContextSensOptions GovernedOpts = CSOptions;
   GovernedOpts.Budget = B;
+  GovernedOpts.Strategy = Policy.Strategy;
   auto T1 = std::chrono::steady_clock::now();
   GA.CS = runContextSensitive(GA.CI, GovernedOpts, RecordProvenance);
   GA.CSMillis = millisSince(T1);

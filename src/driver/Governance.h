@@ -72,6 +72,11 @@ struct GovernancePolicy {
   uint64_t MaxAssumSets = 0;  ///< CS assumption-set table cap.
   uint64_t MaxIterations = 0; ///< Per-solve worklist dequeue cap.
   const CancellationToken *Cancel = nullptr; ///< Not owned.
+  /// Solver engine for both the CI and CS legs (the policy owns the
+  /// engine choice: it overrides any ContextSensOptions::Strategy handed
+  /// to runGoverned). All strategies produce identical results, so this
+  /// is purely a performance knob; see pointsto/Solver.h.
+  SolverStrategy Strategy = SolverStrategy::Basic;
 
   /// The per-solve budget this policy hands each solver.
   ResourceBudget solverBudget() const {

@@ -48,10 +48,12 @@ public:
   /// runGoverned() to get the degradation ladder handled for you.
   PointsToResult runContextInsensitive(
       WorklistOrder Order = WorklistOrder::FIFO,
-      bool RecordProvenance = false, const ResourceBudget &Budget = {}) {
+      bool RecordProvenance = false, const ResourceBudget &Budget = {},
+      SolverStrategy Strategy = SolverStrategy::Basic) {
     MetricsRegistry::ScopedTimer T = Metrics.time("ci.solve.ms");
     return ContextInsensitiveSolver(G, Paths, PT, Order,
-                                    observer(RecordProvenance), Budget)
+                                    observer(RecordProvenance), Budget,
+                                    Strategy)
         .solve();
   }
 

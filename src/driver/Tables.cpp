@@ -630,6 +630,7 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
 
   J.key("corpus").open('{');
   J.key("programs").value(uint64_t(Reports.size()));
+  J.key("solver_strategy").value(std::string(solverStrategyName(Timing.Strategy)));
   J.key("serial_ms").value(Timing.SerialMillis);
   J.key("parallel_ms").value(Timing.ParallelMillis);
   J.key("parallel_jobs").value(Timing.ParallelJobs);

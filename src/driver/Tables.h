@@ -123,6 +123,10 @@ struct CorpusTiming {
   double ParallelMillis = 0.0; ///< analyzeCorpus wall clock, Jobs below.
   unsigned ParallelJobs = 0;
   unsigned HardwareThreads = 0;
+  /// Worklist engine every solve in the artifact ran under; emitted as
+  /// corpus.solver_strategy so bench_diff.py can refuse cross-strategy
+  /// comparisons.
+  SolverStrategy Strategy = SolverStrategy::Basic;
 };
 
 /// Renders the machine-readable BENCH_*.json artifact: schema

@@ -9,6 +9,7 @@
 #include "driver/Pipeline.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,36 @@ bool samePairSets(const Graph &G, const PointsToResult &A,
   return true;
 }
 
+/// Equality of two context-sensitive solutions over the same pair and
+/// assumption-set tables: identical pair keys and identical assumption
+/// antichains per (output, pair). Ids are content-addressed within one
+/// AnalyzedProgram, so id comparison is exact; only the antichain order
+/// is schedule-dependent, hence the sort.
+bool sameQualifiedSets(const Graph &G, const ContextSensResult &A,
+                       const ContextSensResult &B, OutputId *WhereOut) {
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    const auto &QA = A.qualified(O);
+    const auto &QB = B.qualified(O);
+    if (QA.size() != QB.size()) {
+      if (WhereOut)
+        *WhereOut = O;
+      return false;
+    }
+    auto IB = QB.begin();
+    for (auto IA = QA.begin(); IA != QA.end(); ++IA, ++IB) {
+      std::vector<AssumSetId> SA = IA->second, SB = IB->second;
+      std::sort(SA.begin(), SA.end());
+      std::sort(SB.begin(), SB.end());
+      if (IA->first != IB->first || SA != SB) {
+        if (WhereOut)
+          *WhereOut = O;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 OracleOutcome vdga::runOracleStack(const std::string &Source,
@@ -139,6 +170,7 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   bool Contained = true;
   std::string ContainDetail;
   PointsToResult Stripped(0);
+  std::optional<ContextSensResult> CSBasic;
   PrecisionTier CITier = PrecisionTier::ContextInsens;
   PrecisionTier CSTier = PrecisionTier::ContextSens;
   if (!CI.complete()) {
@@ -151,7 +183,8 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   } else if (Opts.RunCS) {
     ContextSensOptions CSO;
     CSO.Budget = B;
-    ContextSensResult CS = AP->runContextSensitive(CI, CSO);
+    CSBasic = AP->runContextSensitive(CI, CSO);
+    const ContextSensResult &CS = *CSBasic;
     CSComplete = CS.complete();
     if (CSComplete) {
       Stripped = CS.stripAssumptions();
@@ -170,6 +203,42 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
       // The ladder's first rung: CS clients fall back to the complete CI
       // solution, which trivially satisfies containment.
       CSTier = PrecisionTier::ContextInsens;
+    }
+  }
+
+  // Stage 6: strategy independence — the wave and deep engines must land
+  // on the bit-identical fixed point the basic engine does: equal CI pair
+  // sets and equal CS assumption antichains. Partial (tripped) solves are
+  // excluded — the engines account work differently, so their prefixes
+  // legitimately differ under a shared cap.
+  bool StrategiesAgree = true;
+  std::string StrategyDetail;
+  if (CI.complete()) {
+    for (SolverStrategy S : {SolverStrategy::Wave, SolverStrategy::Deep}) {
+      PointsToResult AltCI = AP->runContextInsensitive(
+          WorklistOrder::FIFO, /*RecordProvenance=*/false, B, S);
+      OutputId W = 0;
+      if (AltCI.complete() && !samePairSets(AP->G, CI, AltCI, &W)) {
+        StrategiesAgree = false;
+        StrategyDetail = std::string("ci ") + solverStrategyName(S) +
+                         " engine disagrees with basic at output " +
+                         std::to_string(W);
+        break;
+      }
+      if (CSBasic && CSBasic->complete()) {
+        ContextSensOptions AltCSO;
+        AltCSO.Budget = B;
+        AltCSO.Strategy = S;
+        ContextSensResult AltCS = AP->runContextSensitive(CI, AltCSO);
+        if (AltCS.complete() &&
+            !sameQualifiedSets(AP->G, *CSBasic, AltCS, &W)) {
+          StrategiesAgree = false;
+          StrategyDetail = std::string("cs ") + solverStrategyName(S) +
+                           " engine disagrees with basic at output " +
+                           std::to_string(W);
+          break;
+        }
+      }
     }
   }
 
@@ -215,6 +284,9 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
     Out.FailStage = "schedule";
     Out.Detail = "FIFO and LIFO worklists disagree at output " +
                  std::to_string(Where);
+  } else if (!StrategiesAgree) {
+    Out.FailStage = "strategy";
+    Out.Detail = StrategyDetail;
   } else if (const Finding *F =
                  FirstError("oracle", "concrete execution failed")) {
     Out.FailStage = "interp";

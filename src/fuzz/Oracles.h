@@ -17,6 +17,9 @@
 ///                   truncation checks the executed prefix).
 ///   5. containment— the stripped context-sensitive solution is a subset
 ///                   of the context-insensitive one at every output.
+///   6. strategy   — the wave and deep solver engines reach the exact
+///                   fixed point of the basic engine: identical CI pair
+///                   sets and identical CS assumption antichains.
 ///
 /// Each outcome carries a digest of everything observable so a batch can
 /// be compared bit-for-bit between jobs=1 and jobs=N runs.
@@ -59,8 +62,9 @@ struct OracleOutcome {
   bool FrontendOk = false;
   /// Every applicable oracle held.
   bool Passed = false;
-  /// First failing stage: "verifier", "schedule", "soundness",
-  /// "containment", "cs-incomplete" or "interp". Empty when Passed.
+  /// First failing stage: "verifier", "schedule", "strategy",
+  /// "soundness", "containment", "cs-incomplete" or "interp". Empty when
+  /// Passed.
   std::string FailStage;
   /// Human-readable description of the failure.
   std::string Detail;

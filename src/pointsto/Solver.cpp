@@ -11,8 +11,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <functional>
 
 using namespace vdga;
+
+const char *vdga::solverStrategyName(SolverStrategy S) {
+  switch (S) {
+  case SolverStrategy::Basic:
+    return "basic";
+  case SolverStrategy::Wave:
+    return "wave";
+  case SolverStrategy::Deep:
+    return "deep";
+  }
+  return "unknown";
+}
+
+bool vdga::parseSolverStrategy(const char *Text, SolverStrategy &Out) {
+  if (std::strcmp(Text, "basic") == 0)
+    Out = SolverStrategy::Basic;
+  else if (std::strcmp(Text, "wave") == 0)
+    Out = SolverStrategy::Wave;
+  else if (std::strcmp(Text, "deep") == 0)
+    Out = SolverStrategy::Deep;
+  else
+    return false;
+  return true;
+}
 
 const std::vector<const FunctionInfo *> PointsToResult::NoCallees;
 
@@ -60,6 +86,36 @@ PointsToResult::callees(NodeId Call) const {
 //===----------------------------------------------------------------------===//
 
 PointsToResult ContextInsensitiveSolver::solve() {
+  if (Strategy == SolverStrategy::Basic)
+    runBasic();
+  else
+    runWave();
+
+  if (!Result.complete()) {
+    if (Obs.Metrics)
+      Obs.Metrics->add("ci.budget_trips", 1);
+    if (Obs.Events)
+      Obs.Events->event("budget_trip")
+          .field("solver", "ci")
+          .field("trip", budgetTripName(Result.Trip))
+          .field("status", solveStatusName(Result.Status))
+          .field("transfer_fns", Result.Stats.TransferFns)
+          .field("pairs_inserted", Result.Stats.PairsInserted);
+  }
+  if (Obs.Metrics) {
+    Obs.Metrics->add("ci.transfer_fns", Result.Stats.TransferFns);
+    Obs.Metrics->add("ci.meet_ops", Result.Stats.MeetOps);
+    Obs.Metrics->add("ci.pairs_inserted", Result.Stats.PairsInserted);
+    Obs.Metrics->add("ci.deduped_events", Result.Stats.DedupedEvents);
+    Obs.Metrics->add("ci.strong_updates", StrongUpdates);
+    Obs.Metrics->set("ci.solver.strategy", uint64_t(Strategy));
+    Obs.Metrics->add("ci.delta_pairs_flowed", DeltaPairsFlowed);
+    Obs.Metrics->add("ci.scc_collapsed", SccCollapsed);
+  }
+  return std::move(Result);
+}
+
+void ContextInsensitiveSolver::runBasic() {
   Queued.resize(G.numInputs());
 
   // Initialization (Figure 1): every location-valued constant seeds the
@@ -88,26 +144,306 @@ PointsToResult ContextInsensitiveSolver::solve() {
     ++Result.Stats.TransferFns;
     flowIn(In, Pair);
   }
+}
 
-  if (!Result.complete()) {
-    if (Obs.Metrics)
-      Obs.Metrics->add("ci.budget_trips", 1);
-    if (Obs.Events)
-      Obs.Events->event("budget_trip")
-          .field("solver", "ci")
-          .field("trip", budgetTripName(Result.Trip))
-          .field("status", solveStatusName(Result.Status))
-          .field("transfer_fns", Result.Stats.TransferFns)
-          .field("pairs_inserted", Result.Stats.PairsInserted);
+//===----------------------------------------------------------------------===//
+// Wave/Deep engine: delta-set difference propagation over a condensed
+// value-flow graph
+//===----------------------------------------------------------------------===//
+//
+// Instead of one worklist event per (input, pair), the wave engine queues
+// *outputs*: an output owes its consumers exactly the pairs inserted since
+// its last flush (its Delta bitset — the difference-propagation
+// invariant), and the queue drains in topological-rank order of the
+// value-flow condensation so information crosses each region of the graph
+// in waves rather than thrashing around cycles. Deep additionally
+// collapses cycles of pair-preserving edges onto one representative set:
+// all members of such a cycle provably converge to identical sets, so
+// inserts and reads redirect to rep() and the members are materialized
+// once at the end (finalizeCollapse). Both engines reach the same fixed
+// point as Basic — the fixed point of Figure 1 is schedule-independent,
+// which the strategy fuzz oracle and the equivalence suite enforce.
+
+void ContextInsensitiveSolver::runWave() {
+  // Delta must exist before buildFlowGraphs(): condensing the static copy
+  // graph fires reconcileMerge for build-time components.
+  Delta.resize(G.numOutputs());
+  buildFlowGraphs();
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    if (Node.Kind != NodeKind::ConstPath)
+      continue;
+    flowOut(G.outputOf(N), PT.intern(PathTable::emptyPath(), Node.Path),
+            {N});
   }
-  if (Obs.Metrics) {
-    Obs.Metrics->add("ci.transfer_fns", Result.Stats.TransferFns);
-    Obs.Metrics->add("ci.meet_ops", Result.Stats.MeetOps);
-    Obs.Metrics->add("ci.pairs_inserted", Result.Stats.PairsInserted);
-    Obs.Metrics->add("ci.deduped_events", Result.Stats.DedupedEvents);
-    Obs.Metrics->add("ci.strong_updates", StrongUpdates);
+
+  BudgetMeter Meter(Budget);
+  std::vector<PairId> Batch;
+  while (!OutHeap.empty() || PendingMergeHead < PendingMerges.size()) {
+    BudgetTrip T = Meter.poll(Result.Stats.TransferFns,
+                              Result.Stats.PairsInserted);
+    if (T != BudgetTrip::None) {
+      Result.Status = statusForTrip(T);
+      Result.Trip = T;
+      break;
+    }
+    // Targeted merge deliveries first: they carry pairs the regular delta
+    // flushes deliberately skip (see reconcileMerge). Moved out because
+    // a delivery can discover a callee and append further merges.
+    if (PendingMergeHead < PendingMerges.size()) {
+      MergeDelivery MD = std::move(PendingMerges[PendingMergeHead++]);
+      if (PendingMergeHead == PendingMerges.size()) {
+        PendingMerges.clear();
+        PendingMergeHead = 0;
+      }
+      DeltaPairsFlowed += MD.Batch.size();
+      OutputId SrcRep = rep(MD.Rep);
+      for (size_t I = 0; I < MD.Consumers.size(); ++I)
+        deliverBatch(MD.Consumers[I], SrcRep, MD.Batch);
+      continue;
+    }
+    std::pop_heap(OutHeap.begin(), OutHeap.end(),
+                  std::greater<std::pair<uint32_t, OutputId>>());
+    OutputId Out = OutHeap.back().second;
+    OutHeap.pop_back();
+    // A clear QueuedOut bit marks a stale heap entry: the output was
+    // flushed via a fresher entry, or merged into another representative.
+    if (!QueuedOut.erase(Out))
+      continue;
+    Batch.clear();
+    Delta[Out].forEachSetBit([&](uint32_t Pair) { Batch.push_back(Pair); });
+    Delta[Out].clear();
+    DeltaPairsFlowed += Batch.size();
+    // Consumer lists may grow mid-flush (a merge funnels the loser's
+    // consumers here), so iterate by index; the batch is a local copy.
+    const std::vector<InputId> &Consumers = G.output(Out).Consumers;
+    for (size_t I = 0; I < Consumers.size(); ++I)
+      deliverBatch(Consumers[I], Out, Batch);
+    if (Copies) {
+      std::vector<InputId> &Extra = ExtraConsumers[Out];
+      for (size_t I = 0; I < Extra.size(); ++I)
+        deliverBatch(Extra[I], Out, Batch);
+    }
   }
-  return std::move(Result);
+  finalizeCollapse();
+}
+
+void ContextInsensitiveSolver::buildFlowGraphs() {
+  // Sealed: Flow only ever supplies scheduling ranks (see addDynamicEdge),
+  // so it lives just long enough to be flattened into FlowRank below.
+  OnlineSCC Flow(static_cast<uint32_t>(G.numOutputs()), /*Sealed=*/true);
+  if (Strategy == SolverStrategy::Deep) {
+    Copies = std::make_unique<OnlineSCC>(static_cast<uint32_t>(G.numOutputs()));
+    ExtraConsumers.resize(G.numOutputs());
+    Copies->OnMerge = [this](uint32_t W, uint32_t L) {
+      reconcileMerge(W, L);
+    };
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Node = G.node(N);
+    // Copy edges propagate every pair unchanged — only those may take
+    // part in collapse. Offset is excluded even when OpIsNoop (it filters
+    // non-empty-path pairs), as are lookup/update (transformers) and all
+    // call/return plumbing (added dynamically as callees are discovered).
+    auto Add = [&](unsigned Idx, bool Copy) {
+      OutputId P = G.producerOf(N, Idx);
+      if (P == InvalidId)
+        return;
+      Flow.addInitialEdge(P, G.outputOf(N));
+      if (Copy && Copies)
+        Copies->addInitialEdge(P, G.outputOf(N));
+    };
+    switch (Node.Kind) {
+    case NodeKind::Lookup:
+      Add(0, false);
+      Add(1, false);
+      break;
+    case NodeKind::Update:
+      Add(0, false);
+      Add(1, false);
+      Add(2, false);
+      break;
+    case NodeKind::Offset:
+      Add(0, false);
+      break;
+    case NodeKind::Merge:
+      for (unsigned I = 0; I < Node.Inputs.size(); ++I)
+        Add(I, true);
+      break;
+    case NodeKind::PtrArith:
+      Add(0, true);
+      break;
+    default:
+      break;
+    }
+  }
+  Flow.build();
+  FlowRank.resize(G.numOutputs());
+  for (OutputId O = 0; O < G.numOutputs(); ++O)
+    FlowRank[O] = Flow.rank(O);
+  if (Copies)
+    Copies->build();
+}
+
+/// Registers a dynamically discovered copy edge with the Deep collapse
+/// graph. Note the edge is *not* added to Flow: the scheduling rank is a
+/// heuristic (the worklist re-flushes out-of-rank deliveries soundly), and
+/// profiling showed Pearce–Kelly rank repair on the dense value-flow graph
+/// — where a late-ranked return feeding an early-ranked call output drags
+/// a huge affected region — costs several times more than the few extra
+/// flushes it avoids. The sparse copy graph keeps exact online
+/// maintenance because collapse there is semantic, not heuristic.
+void ContextInsensitiveSolver::addDynamicEdge(OutputId From, OutputId To,
+                                              bool Copy) {
+  if (From == InvalidId || To == InvalidId || From == To)
+    return;
+  if (Copy && Copies)
+    Copies->insertEdge(From, To);
+}
+
+/// The copy edges a newly registered callee adds: actuals to formals,
+/// return value/store back to the call's outputs. All of them propagate
+/// pairs unchanged, so they are copy edges and a recursion cycle through
+/// them may collapse.
+void ContextInsensitiveSolver::addDynamicCallEdges(NodeId Call,
+                                                   const FunctionInfo *Info) {
+  const Node &CallNode = G.node(Call);
+  unsigned NumActuals = static_cast<unsigned>(CallNode.Inputs.size()) - 2;
+  NodeId Entry = Info->EntryNode;
+  unsigned NumFormals = Info->NumParams;
+  for (unsigned I = 0; I < std::min(NumActuals, NumFormals); ++I)
+    addDynamicEdge(G.producerOf(Call, I + 1), G.outputOf(Entry, I), true);
+  unsigned StoreIdx = static_cast<unsigned>(CallNode.Inputs.size()) - 1;
+  addDynamicEdge(G.producerOf(Call, StoreIdx),
+                 G.outputOf(Entry, NumFormals), true);
+
+  const Node &RetNode = G.node(Info->ReturnNode);
+  if (RetNode.HasValue && CallNode.HasResult)
+    addDynamicEdge(G.producerOf(Info->ReturnNode, 0), G.outputOf(Call, 0),
+                   true);
+  unsigned RetStoreIdx = RetNode.HasValue ? 1 : 0;
+  addDynamicEdge(G.producerOf(Info->ReturnNode, RetStoreIdx),
+                 G.outputOf(Call, CallNode.HasResult ? 1 : 0), true);
+}
+
+void ContextInsensitiveSolver::scheduleOutput(OutputId Rep) {
+  if (!QueuedOut.insert(Rep))
+    return;
+  OutHeap.push_back({FlowRank[Rep], Rep});
+  std::push_heap(OutHeap.begin(), OutHeap.end(),
+                 std::greater<std::pair<uint32_t, OutputId>>());
+}
+
+void ContextInsensitiveSolver::deliverBatch(InputId In, OutputId SrcRep,
+                                            const std::vector<PairId> &Batch) {
+  if (Copies) {
+    // An intra-component copy consumer is the collapse win: source and
+    // target share one set, so the whole batch would no-op.
+    const InputInfo &Info = G.input(In);
+    const Node &Node = G.node(Info.Node);
+    bool PureCopy = Node.Kind == NodeKind::Merge ||
+                    (Node.Kind == NodeKind::PtrArith && Info.Index == 0);
+    if (PureCopy && Copies->find(G.outputOf(Info.Node)) == SrcRep)
+      return;
+  }
+  for (PairId Pair : Batch) {
+    ++Result.Stats.TransferFns;
+    flowIn(In, Pair);
+  }
+}
+
+void ContextInsensitiveSolver::reconcileMerge(OutputId Winner,
+                                              OutputId Loser) {
+  ++SccCollapsed;
+  // Unify the sets: the winner's becomes the union, keeping the loser's
+  // first derivations for pairs the winner lacked. Only the *differences*
+  // flow onward — each side's consumers already saw (or have pending)
+  // their own side's pairs, so the intersection owes nobody anything.
+  // Re-queuing the whole union into Delta[Winner] instead was measured to
+  // add ~40% lookup/update transfer work on recursion-heavy programs:
+  // online merges happen between sets that have been flowing into each
+  // other and overlap almost entirely, and Delta[Winner] over-delivers to
+  // the winner's own consumers.
+  // Each difference is owed to exactly the *other* side's consumers:
+  // loser-minus-winner to the winner's old consumers, winner-minus-loser
+  // (plus the loser's still-pending delta) to the loser's. Both go out as
+  // targeted deferred batches whose consumer snapshots are taken before
+  // the rehoming below — routing either difference through Delta[Winner]
+  // would replay it at consumers that already saw it, and pairs pending
+  // in Delta[Winner] still reach everyone through its next flush.
+  size_t WinnerOld = Result.PairsByOutput[Winner].size();
+  MergeDelivery ToWinnerSide, ToLoserSide;
+  ToWinnerSide.Rep = ToLoserSide.Rep = Winner;
+  const std::vector<PairId> &LoserPairs = Result.PairsByOutput[Loser];
+  for (size_t I = 0; I < LoserPairs.size(); ++I) {
+    Derivation D;
+    if (Result.RecordProvenance)
+      D = Result.Derivations[Loser][I];
+    if (Result.insert(Winner, LoserPairs[I], D)) {
+      ++Result.Stats.PairsInserted;
+      ToWinnerSide.Batch.push_back(LoserPairs[I]);
+    }
+  }
+  for (size_t I = 0; I < WinnerOld; ++I) {
+    PairId Pair = Result.PairsByOutput[Winner][I];
+    if (!Result.SetsByOutput[Loser].contains(Pair))
+      ToLoserSide.Batch.push_back(Pair);
+  }
+  Delta[Loser].forEachSetBit([&](uint32_t Pair) {
+    // The loser's undelivered delta: its own consumers still need it.
+    // Pairs the winner lacked are in ToWinnerSide already (they are
+    // loser pairs the insert above accepted), pairs pending at the winner
+    // too will arrive via Delta[Winner]'s flush; the rest of the winner
+    // side saw them long ago.
+    if (!Delta[Winner].contains(Pair))
+      ToLoserSide.Batch.push_back(Pair);
+  });
+  Delta[Loser].clear();
+  if (!ToWinnerSide.Batch.empty()) {
+    const std::vector<InputId> &WC = G.output(Winner).Consumers;
+    ToWinnerSide.Consumers.assign(WC.begin(), WC.end());
+    const std::vector<InputId> &EW0 = ExtraConsumers[Winner];
+    ToWinnerSide.Consumers.insert(ToWinnerSide.Consumers.end(), EW0.begin(),
+                                  EW0.end());
+    if (!ToWinnerSide.Consumers.empty())
+      PendingMerges.push_back(std::move(ToWinnerSide));
+  }
+  if (!ToLoserSide.Batch.empty()) {
+    const std::vector<InputId> &LC0 = G.output(Loser).Consumers;
+    ToLoserSide.Consumers.assign(LC0.begin(), LC0.end());
+    const std::vector<InputId> &EL0 = ExtraConsumers[Loser];
+    ToLoserSide.Consumers.insert(ToLoserSide.Consumers.end(), EL0.begin(),
+                                 EL0.end());
+    if (!ToLoserSide.Consumers.empty())
+      PendingMerges.push_back(std::move(ToLoserSide));
+  }
+  // The loser's consumers now hear from the winner. The loser's own lists
+  // are left intact in case it is mid-flush; duplicates are harmless.
+  std::vector<InputId> &EW = ExtraConsumers[Winner];
+  const std::vector<InputId> &LC = G.output(Loser).Consumers;
+  EW.insert(EW.end(), LC.begin(), LC.end());
+  const std::vector<InputId> &EL = ExtraConsumers[Loser];
+  EW.insert(EW.end(), EL.begin(), EL.end());
+  QueuedOut.erase(Loser);
+  if (!Delta[Winner].empty())
+    scheduleOutput(Winner);
+}
+
+void ContextInsensitiveSolver::finalizeCollapse() {
+  if (!Copies)
+    return;
+  // Materialize each member's view of its component's shared set, so
+  // pairs()/contains()/derivation() keep their per-output contract.
+  for (OutputId O = 0; O < G.numOutputs(); ++O) {
+    OutputId R = Copies->find(O);
+    if (R == O)
+      continue;
+    Result.PairsByOutput[O] = Result.PairsByOutput[R];
+    Result.SetsByOutput[O] = Result.SetsByOutput[R];
+    if (Result.RecordProvenance)
+      Result.Derivations[O] = Result.Derivations[R];
+  }
 }
 
 void ContextInsensitiveSolver::enqueue(InputId In, PairId Pair) {
@@ -166,13 +502,26 @@ std::pair<InputId, PairId> ContextInsensitiveSolver::dequeue() {
 void ContextInsensitiveSolver::flowOut(OutputId Out, PairId Pair,
                                        const Derivation &D) {
   ++Result.Stats.MeetOps;
-  if (!Result.insert(Out, Pair, D))
+  if (Strategy == SolverStrategy::Basic) {
+    if (!Result.insert(Out, Pair, D))
+      return;
+    ++Result.Stats.PairsInserted;
+    if (Obs.Events)
+      tracePair(Out, Pair);
+    for (InputId Consumer : G.output(Out).Consumers)
+      enqueue(Consumer, Pair);
+    return;
+  }
+  // Wave/Deep: record the pair in the (representative) output's delta and
+  // queue the output itself; consumers see the whole batch at its flush.
+  OutputId R = rep(Out);
+  if (!Result.insert(R, Pair, D))
     return;
   ++Result.Stats.PairsInserted;
   if (Obs.Events)
-    tracePair(Out, Pair);
-  for (InputId Consumer : G.output(Out).Consumers)
-    enqueue(Consumer, Pair);
+    tracePair(R, Pair);
+  Delta[R].insert(Pair);
+  scheduleOutput(R);
 }
 
 void ContextInsensitiveSolver::flowIn(InputId In, PairId Pair) {
@@ -354,6 +703,11 @@ void ContextInsensitiveSolver::registerCallee(NodeId Call,
     return;
   List.push_back(Info);
   CallersOf[Info->Fn].push_back(Call);
+  // Deep first extends the copy graph (possibly collapsing a freshly
+  // closed recursion cycle) so the repropagation below lands on the right
+  // representatives.
+  if (Strategy == SolverStrategy::Deep)
+    addDynamicCallEdges(Call, Info);
   // Repropagation: everything already sitting on the call's inputs flows
   // into the new callee, and everything at the callee's return flows back.
   propagateActualsToCallee(Call, Info);
@@ -417,6 +771,8 @@ void ContextInsensitiveSolver::flowCall(NodeId N, unsigned InIdx,
       if (IdentityCalls.insert(N)) {
         OutputId StoreOut =
             G.outputOf(N, CallNode.HasResult ? 1 : 0);
+        if (Strategy == SolverStrategy::Deep)
+          addDynamicEdge(G.producerOf(N, LastIdx), StoreOut, true);
         for (PairId SPair : pairsAtInput(N, LastIdx))
           flowOut(StoreOut, SPair,
                   {N, G.producerOf(N, LastIdx), SPair});

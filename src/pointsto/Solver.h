@@ -25,9 +25,11 @@
 #include "support/Budget.h"
 #include "support/DenseBitSet.h"
 #include "support/Observability.h"
+#include "support/SCC.h"
 #include "vdg/Graph.h"
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,29 @@ namespace vdga {
 /// Worklist scheduling strategies. Figure 1's algorithm converges to the
 /// same solution under any of them (a property the test suite checks).
 enum class WorklistOrder : uint8_t { FIFO, LIFO };
+
+/// Solver engine strategies. All three compute the same fixed point (the
+/// fuzz oracle stack and the strategy equivalence suite enforce it):
+///
+///   Basic — the reference engine: one (input, pair) worklist event per
+///           propagation, exactly Figure 1 as written.
+///   Wave  — delta-set difference propagation: each output accumulates a
+///           `Delta` bitset of pairs added since its last dequeue, and the
+///           worklist drains outputs in topological-rank waves (an online
+///           SCC condensation of the value-flow graph orders them), so a
+///           whole batch of pairs flows through each consumer's transfer
+///           function at once.
+///   Deep  — Wave plus representative collapse of copy cycles: outputs
+///           connected by cycles of pair-preserving edges (merge /
+///           pointer-arithmetic identities, call/return value plumbing)
+///           provably converge to identical sets, so they share one
+///           representative set instead of converging by re-propagation.
+enum class SolverStrategy : uint8_t { Basic, Wave, Deep };
+
+const char *solverStrategyName(SolverStrategy S);
+
+/// Parses "basic" / "wave" / "deep"; returns false on anything else.
+bool parseSolverStrategy(const char *Text, SolverStrategy &Out);
 
 /// Work counters for one solver run.
 struct SolveStats {
@@ -143,9 +168,10 @@ public:
   ContextInsensitiveSolver(const Graph &G, PathTable &Paths, PairTable &PT,
                            WorklistOrder Order = WorklistOrder::FIFO,
                            SolverObserver Obs = {},
-                           const ResourceBudget &Budget = {})
-      : G(G), Paths(Paths), PT(PT), Order(Order), Obs(Obs), Budget(Budget),
-        Result(G.numOutputs()) {
+                           const ResourceBudget &Budget = {},
+                           SolverStrategy Strategy = SolverStrategy::Basic)
+      : G(G), Paths(Paths), PT(PT), Order(Order), Strategy(Strategy),
+        Obs(Obs), Budget(Budget), Result(G.numOutputs()) {
     if (Obs.RecordProvenance)
       Result.enableProvenance();
   }
@@ -154,6 +180,8 @@ public:
   PointsToResult solve();
 
 private:
+  void runBasic();
+  void runWave();
   /// All worklist pushes funnel through here so every producer of events
   /// honors the configured WorklistOrder, and so an (input, pair) event
   /// already sitting in the queue is not enqueued a second time.
@@ -177,15 +205,32 @@ private:
   void propagateActualsToCallee(NodeId Call, const FunctionInfo *Info);
   void propagateReturnToCaller(NodeId Call, const FunctionInfo *Info);
 
+  /// Representative output whose set stores \p Out's pairs: identity
+  /// under Basic/Wave, the copy-component representative under Deep.
+  OutputId rep(OutputId Out) const {
+    return Copies ? Copies->find(Out) : Out;
+  }
+
   /// The pairs currently on the producer of input \p Index of node \p N.
   const std::vector<PairId> &pairsAtInput(NodeId N, unsigned Index) const {
-    return Result.pairs(G.producerOf(N, Index));
+    return Result.pairs(rep(G.producerOf(N, Index)));
   }
+
+  // Wave/Deep machinery (see runWave in Solver.cpp).
+  void buildFlowGraphs();
+  void addDynamicEdge(OutputId From, OutputId To, bool Copy);
+  void addDynamicCallEdges(NodeId Call, const FunctionInfo *Info);
+  void scheduleOutput(OutputId Rep);
+  void deliverBatch(InputId In, OutputId SrcRep,
+                    const std::vector<PairId> &Batch);
+  void reconcileMerge(OutputId Winner, OutputId Loser);
+  void finalizeCollapse();
 
   const Graph &G;
   PathTable &Paths;
   PairTable &PT;
   WorklistOrder Order;
+  SolverStrategy Strategy;
   SolverObserver Obs;
   ResourceBudget Budget;
   PointsToResult Result;
@@ -202,6 +247,43 @@ private:
   /// Callers of each function, for return propagation. Looked up by key
   /// only (never iterated), so hashing on the pointer stays deterministic.
   std::unordered_map<const FuncDecl *, std::vector<NodeId>> CallersOf;
+
+  //===--------------------------------------------------------------------===
+  // Wave/Deep state (null / empty under Basic)
+  //===--------------------------------------------------------------------===
+
+  /// Topological rank of each output in the condensed value-flow graph;
+  /// orders the output worklist into waves. Flattened out of a throwaway
+  /// OnlineSCC at buildFlowGraphs() time — the ranks are a scheduling
+  /// heuristic and never change afterwards (see addDynamicEdge).
+  std::vector<uint32_t> FlowRank;
+  /// Deep only: condensation of the pair-preserving (copy) subgraph; its
+  /// components share one representative pair set.
+  std::unique_ptr<OnlineSCC> Copies;
+  /// Per-representative pairs inserted since that output's last flush.
+  std::vector<DenseBitSet> Delta;
+  /// Min-heap of (flow rank, output) with std::push_heap/pop_heap;
+  /// entries whose QueuedOut bit is clear are stale and skipped.
+  std::vector<std::pair<uint32_t, OutputId>> OutHeap;
+  DenseBitSet QueuedOut;
+  /// Deep only: consumers inherited from collapsed-away member outputs
+  /// (each output's own consumers stay in the graph).
+  std::vector<std::vector<InputId>> ExtraConsumers;
+  /// Deep only: deferred targeted deliveries from reconcileMerge — the
+  /// winner-side difference owed to exactly the loser's consumers. A
+  /// merge fires inside OnlineSCC's OnMerge callback, which must not
+  /// re-enter the condensation, so the delivery (which can discover
+  /// callees and insert new copy edges) waits for the runWave loop.
+  struct MergeDelivery {
+    std::vector<InputId> Consumers;
+    std::vector<PairId> Batch;
+    OutputId Rep;
+  };
+  std::vector<MergeDelivery> PendingMerges;
+  size_t PendingMergeHead = 0;
+  /// New *.delta_pairs_flowed / *.scc_collapsed metric feeds.
+  uint64_t DeltaPairsFlowed = 0;
+  uint64_t SccCollapsed = 0;
 };
 
 } // namespace vdga

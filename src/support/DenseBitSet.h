@@ -57,6 +57,22 @@ public:
   size_t count() const { return Population; }
   bool empty() const { return Population == 0; }
 
+  /// Invokes \p Fn(Id) for every set bit in ascending order, scanning a
+  /// word at a time with count-trailing-zeros instead of testing each of
+  /// the 64 bits. This is the delta-flush hot loop of the wave/deep
+  /// solver strategies (pointsto/Solver.h), where deltas are sparse
+  /// relative to the id space.
+  template <typename Callback> void forEachSetBit(Callback Fn) const {
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Word = Words[W];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        Fn(static_cast<uint32_t>((W << 6) + Bit));
+        Word &= Word - 1;
+      }
+    }
+  }
+
   void clear() {
     Words.clear();
     Population = 0;

@@ -1,0 +1,289 @@
+//===- support/SCC.cpp - Online strongly connected components -------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SCC.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vdga;
+
+OnlineSCC::OnlineSCC(uint32_t NumNodes, bool Sealed) : Sealed(Sealed) {
+  Parent.resize(NumNodes);
+  Ranks.assign(NumNodes, 0);
+  if (!Sealed) {
+    OutEdges.resize(NumNodes);
+    InEdges.resize(NumNodes);
+  }
+  for (uint32_t V = 0; V < NumNodes; ++V)
+    Parent[V] = V;
+}
+
+uint32_t OnlineSCC::find(uint32_t V) const {
+  uint32_t Root = V;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  while (Parent[V] != Root) {
+    uint32_t Next = Parent[V];
+    Parent[V] = Root;
+    V = Next;
+  }
+  return Root;
+}
+
+void OnlineSCC::addInitialEdge(uint32_t From, uint32_t To) {
+  assert(!Built && "addInitialEdge after build()");
+  InitialEdges.push_back({From, To});
+}
+
+void OnlineSCC::mergeInto(uint32_t Winner, uint32_t Loser) {
+  assert(Winner != Loser);
+  Parent[Loser] = Winner;
+  if (!Sealed) {
+    OutEdges[Winner].insert(OutEdges[Winner].end(), OutEdges[Loser].begin(),
+                            OutEdges[Loser].end());
+    InEdges[Winner].insert(InEdges[Winner].end(), InEdges[Loser].begin(),
+                           InEdges[Loser].end());
+    OutEdges[Loser].clear();
+    OutEdges[Loser].shrink_to_fit();
+    InEdges[Loser].clear();
+    InEdges[Loser].shrink_to_fit();
+  }
+  ++Merges;
+  if (OnMerge)
+    OnMerge(Winner, Loser);
+}
+
+void OnlineSCC::build() {
+  assert(!Built && "build() called twice");
+  Built = true;
+  uint32_t N = static_cast<uint32_t>(Parent.size());
+
+  // CSR adjacency for the batch pass (the per-representative lists are
+  // only populated afterwards, once components are known).
+  std::vector<uint32_t> Head(N + 1, 0);
+  for (auto &E : InitialEdges)
+    ++Head[E.first + 1];
+  for (uint32_t V = 0; V < N; ++V)
+    Head[V + 1] += Head[V];
+  std::vector<uint32_t> Adj(InitialEdges.size());
+  {
+    std::vector<uint32_t> Next(Head.begin(), Head.end() - 1);
+    for (auto &E : InitialEdges)
+      Adj[Next[E.first]++] = E.second;
+  }
+
+  // Iterative Tarjan. Components are emitted in reverse topological
+  // order, so emission index C gets rank (NumComponents - 1 - C) — but we
+  // don't know NumComponents up front, so record the emission index and
+  // flip at the end.
+  constexpr uint32_t Unvisited = UINT32_MAX;
+  std::vector<uint32_t> Index(N, Unvisited), Low(N, 0);
+  std::vector<uint32_t> CompIdx(N, Unvisited);
+  DenseBitSet OnStack;
+  std::vector<uint32_t> TarjanStack;
+  // DFS frame: (node, next out-edge position in Adj).
+  std::vector<std::pair<uint32_t, uint32_t>> Frames;
+  uint32_t NextIndex = 0, NumComps = 0;
+
+  // Nodes no edge touches are singleton components whose rank is
+  // unconstrained; emitting them inline (in id order, interleaved with the
+  // DFS components) skips the Tarjan machinery. On the sparse copy graphs
+  // most nodes take this path.
+  DenseBitSet Touched;
+  for (auto &E : InitialEdges) {
+    Touched.insert(E.first);
+    Touched.insert(E.second);
+  }
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    if (!Touched.contains(Root)) {
+      CompIdx[Root] = NumComps++;
+      continue;
+    }
+    Frames.push_back({Root, Head[Root]});
+    Index[Root] = Low[Root] = NextIndex++;
+    TarjanStack.push_back(Root);
+    OnStack.insert(Root);
+    while (!Frames.empty()) {
+      uint32_t V = Frames.back().first;
+      if (Frames.back().second < Head[V + 1]) {
+        uint32_t W = Adj[Frames.back().second++];
+        if (Index[W] == Unvisited) {
+          Frames.push_back({W, Head[W]});
+          Index[W] = Low[W] = NextIndex++;
+          TarjanStack.push_back(W);
+          OnStack.insert(W);
+        } else if (OnStack.contains(W)) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().first] =
+            std::min(Low[Frames.back().first], Low[V]);
+      if (Low[V] != Index[V])
+        continue;
+      // V roots a component: pop its members. The root (lowest dense id
+      // reached first) becomes the union-find representative.
+      uint32_t Member;
+      do {
+        Member = TarjanStack.back();
+        TarjanStack.pop_back();
+        OnStack.erase(Member);
+        CompIdx[Member] = NumComps;
+        if (Member != V)
+          mergeInto(V, Member);
+      } while (Member != V);
+      ++NumComps;
+    }
+  }
+
+  for (uint32_t V = 0; V < N; ++V)
+    if (find(V) == V)
+      Ranks[V] = NumComps - 1 - CompIdx[V];
+
+  // Populate the per-representative adjacency with cross-component edges
+  // (intra-component edges are already satisfied by the collapse). Sealed
+  // instances never traverse again, so they skip this entirely.
+  if (!Sealed) {
+    for (auto &E : InitialEdges) {
+      uint32_t F = find(E.first), T = find(E.second);
+      if (F == T)
+        continue;
+      OutEdges[F].push_back(T);
+      InEdges[T].push_back(F);
+    }
+  }
+  InitialEdges.clear();
+  InitialEdges.shrink_to_fit();
+}
+
+unsigned OnlineSCC::insertEdge(uint32_t From, uint32_t To) {
+  assert(Built && "insertEdge before build()");
+  assert(!Sealed && "insertEdge on a sealed condensation");
+  uint32_t F = find(From), T = find(To);
+  if (F == T)
+    return 0;
+  OutEdges[F].push_back(T);
+  InEdges[T].push_back(F);
+  if (Ranks[F] < Ranks[T])
+    return 0;
+
+  // Pearce–Kelly: only components with ranks inside [rank(T), rank(F)]
+  // can be affected. Fwd collects what T reaches inside the window, Bwd
+  // what reaches F; membership in both means the new edge closed a cycle.
+  uint32_t Lo = Ranks[T], Hi = Ranks[F];
+  Fwd.clear();
+  Bwd.clear();
+
+  Stack.clear();
+  Stack.push_back(T);
+  FwdMark.insert(T);
+  while (!Stack.empty()) {
+    uint32_t V = Stack.back();
+    Stack.pop_back();
+    Fwd.push_back(V);
+    for (uint32_t Raw : OutEdges[V]) {
+      uint32_t W = find(Raw);
+      if (W == V || FwdMark.contains(W) || Ranks[W] > Hi)
+        continue;
+      FwdMark.insert(W);
+      Stack.push_back(W);
+    }
+  }
+
+  Stack.clear();
+  Stack.push_back(F);
+  BwdMark.insert(F);
+  while (!Stack.empty()) {
+    uint32_t V = Stack.back();
+    Stack.pop_back();
+    Bwd.push_back(V);
+    for (uint32_t Raw : InEdges[V]) {
+      uint32_t W = find(Raw);
+      if (W == V || BwdMark.contains(W) || Ranks[W] < Lo)
+        continue;
+      BwdMark.insert(W);
+      Stack.push_back(W);
+    }
+  }
+
+  // Acyclic two-singleton repair — the overwhelmingly common case for
+  // dynamic call wiring, where a freshly reached formal sits below the
+  // actual feeding it: nothing else occupies the affected window, so
+  // swapping the endpoint ranks restores the invariant directly.
+  if (Fwd.size() == 1 && Bwd.size() == 1 && !FwdMark.contains(F)) {
+    Ranks[F] = Lo;
+    Ranks[T] = Hi;
+    FwdMark.erase(T);
+    BwdMark.erase(F);
+    return 0;
+  }
+
+  // The rank pool of every affected component, reassigned below in the
+  // repaired order. Collected before any merge retires ranks.
+  Pool.clear();
+  for (uint32_t V : Fwd)
+    Pool.push_back(Ranks[V]);
+  for (uint32_t V : Bwd)
+    if (!FwdMark.contains(V))
+      Pool.push_back(Ranks[V]);
+  std::sort(Pool.begin(), Pool.end());
+
+  unsigned MergeCount = 0;
+  uint32_t CycleRep = UINT32_MAX;
+  if (FwdMark.contains(F)) {
+    // Cycle: every component in Fwd ∩ Bwd is on a path T ->* F -> T.
+    // The member with the lowest pre-insertion rank wins, keeping the
+    // choice deterministic.
+    for (uint32_t V : Fwd) {
+      if (!BwdMark.contains(V))
+        continue;
+      if (CycleRep == UINT32_MAX || Ranks[V] < Ranks[CycleRep] ||
+          (Ranks[V] == Ranks[CycleRep] && V < CycleRep))
+        CycleRep = V;
+    }
+    for (uint32_t V : Fwd) {
+      if (V == CycleRep || !BwdMark.contains(V))
+        continue;
+      mergeInto(CycleRep, V);
+      ++MergeCount;
+    }
+  }
+
+  // Repaired order: components that reach F (minus the merged cycle)
+  // keep their relative order and come first, then the cycle component,
+  // then components reachable from T. Survivors take ranks from the
+  // sorted pool; retired ranks at the tail simply go unused.
+  Order.clear();
+  for (uint32_t V : Bwd)
+    if (find(V) == V && V != CycleRep && !FwdMark.contains(V))
+      Order.push_back(V);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](uint32_t A, uint32_t B) { return Ranks[A] < Ranks[B]; });
+  size_t BwdCount = Order.size();
+  if (CycleRep != UINT32_MAX)
+    Order.push_back(CycleRep);
+  size_t FwdStart = Order.size();
+  for (uint32_t V : Fwd)
+    if (find(V) == V && V != CycleRep)
+      Order.push_back(V);
+  std::stable_sort(Order.begin() + FwdStart, Order.end(),
+                   [&](uint32_t A, uint32_t B) { return Ranks[A] < Ranks[B]; });
+  (void)BwdCount;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Ranks[Order[I]] = Pool[I];
+
+  for (uint32_t V : Fwd)
+    FwdMark.erase(V);
+  for (uint32_t V : Bwd)
+    BwdMark.erase(V);
+  return MergeCount;
+}

@@ -1,0 +1,120 @@
+//===- support/SCC.h - Online strongly connected components ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental SCC maintenance over a dense-id directed graph, for the
+/// wave/deep solver strategies (pointsto/Solver.h): components are tracked
+/// in a union-find, each live component carries a topological rank, and
+/// edges may keep arriving after the initial batch (the solvers discover
+/// call/return wiring dynamically).
+///
+/// The initial graph is condensed with one batch pass (Pearce's iterative
+/// Tarjan variant) that also assigns ranks; subsequent `insertEdge` calls
+/// use the Pearce–Kelly affected-region algorithm: an edge that respects
+/// the current ranks is O(1), otherwise only components whose ranks lie
+/// between the endpoints are re-ordered, and any cycle that forms is
+/// collapsed by unioning its components (firing `OnMerge` so the owner can
+/// reconcile per-component solver state).
+///
+/// Everything is deterministic given the node count and the edge sequence:
+/// ties are broken by dense id, and no hashing or pointer identity is
+/// involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_SCC_H
+#define VDGA_SUPPORT_SCC_H
+
+#include "support/DenseBitSet.h"
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace vdga {
+
+/// See the file comment. Typical use:
+///
+///   OnlineSCC S(NumOutputs);
+///   for (static edges) S.addInitialEdge(From, To);
+///   S.OnMerge = [&](uint32_t Winner, uint32_t Loser) { ... };
+///   S.build();                       // condense + rank the static graph
+///   ...
+///   S.insertEdge(From, To);          // dynamic call/return wiring
+///
+/// After build(), `find(V)` names V's component representative and
+/// `rank(V)` its topological position: for every edge (U, V) with
+/// `find(U) != find(V)`, `rank(U) < rank(V)`. Ranks are unique per live
+/// component but not contiguous (merges retire ranks).
+class OnlineSCC {
+public:
+  /// \p Sealed builds a static-only condensation: insertEdge() is
+  /// disallowed, and the per-representative adjacency (needed only for
+  /// online repair) is never materialized. The wave scheduler's rank
+  /// source is sealed — it condenses the dense value-flow graph once per
+  /// solve, and skipping the adjacency churn is a measurable win there.
+  explicit OnlineSCC(uint32_t NumNodes, bool Sealed = false);
+
+  /// Invoked as OnMerge(Winner, Loser) each time component Loser is
+  /// unioned into Winner — both during build() (one call per non-root
+  /// member of a static SCC) and on a cycle closed by insertEdge(). The
+  /// callback must not re-enter this OnlineSCC.
+  std::function<void(uint32_t Winner, uint32_t Loser)> OnMerge;
+
+  /// Records a static edge; only valid before build(). Self-edges and
+  /// duplicates are allowed.
+  void addInitialEdge(uint32_t From, uint32_t To);
+
+  /// Condenses the static graph and assigns topological ranks. Must be
+  /// called exactly once, before any insertEdge().
+  void build();
+
+  /// Inserts an edge online, restoring topological ranks and collapsing
+  /// any cycle it closes. Returns the number of component merges this
+  /// edge caused (0 for rank-respecting edges). Invalid on a sealed
+  /// instance.
+  unsigned insertEdge(uint32_t From, uint32_t To);
+
+  /// Representative of \p V's component (path-compressing).
+  uint32_t find(uint32_t V) const;
+
+  /// Topological rank of \p V's component.
+  uint32_t rank(uint32_t V) const { return Ranks[find(V)]; }
+
+  bool sameComponent(uint32_t A, uint32_t B) const {
+    return find(A) == find(B);
+  }
+
+  /// Total components merged away so far (build-time + online).
+  size_t numMerges() const { return Merges; }
+
+  size_t numNodes() const { return Parent.size(); }
+
+private:
+  void mergeInto(uint32_t Winner, uint32_t Loser);
+
+  /// Union-find parents; mutable for path compression in const find().
+  mutable std::vector<uint32_t> Parent;
+  /// Topological rank, valid for representatives only.
+  std::vector<uint32_t> Ranks;
+  /// Per-representative adjacency, empty in sealed instances. Endpoints
+  /// may be stale (merged-away) ids; traversals map them through find().
+  std::vector<std::vector<uint32_t>> OutEdges;
+  std::vector<std::vector<uint32_t>> InEdges;
+  std::vector<std::pair<uint32_t, uint32_t>> InitialEdges;
+  size_t Merges = 0;
+  bool Built = false;
+  bool Sealed = false;
+
+  // insertEdge() scratch, kept allocated across calls.
+  std::vector<uint32_t> Fwd, Bwd, Stack, Order, Pool;
+  DenseBitSet FwdMark, BwdMark;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_SCC_H

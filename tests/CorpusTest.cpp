@@ -70,9 +70,12 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(Info.param->Name);
     });
 
-TEST(CorpusSuite, ThirteenBenchmarks) {
-  EXPECT_EQ(corpus().size(), 13u);
+TEST(CorpusSuite, ThirteenBenchmarksPlusStress) {
+  // Figure 2's thirteen programs plus the two solver-scale stress programs.
+  EXPECT_EQ(corpus().size(), 15u);
   EXPECT_TRUE(findCorpusProgram("bc"));
+  EXPECT_TRUE(findCorpusProgram("protocol"));
+  EXPECT_TRUE(findCorpusProgram("pipeline"));
   EXPECT_FALSE(findCorpusProgram("no-such-benchmark"));
 }
 

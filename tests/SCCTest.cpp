@@ -1,0 +1,279 @@
+//===- tests/SCCTest.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for support/SCC.h: batch condensation and ranks on known
+// graphs (chains, self-loops, nested cycles), online edge insertion with
+// Pearce-Kelly reordering, cycle collapse with OnMerge notification, and
+// a randomized comparison against a naive from-scratch recompute.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SCC.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+/// Asserts the core invariant: every recorded edge either stays inside
+/// one component or goes from a lower-ranked component to a higher one.
+void expectTopological(const OnlineSCC &S,
+                       const std::vector<std::pair<uint32_t, uint32_t>> &Edges) {
+  for (auto &[U, V] : Edges) {
+    if (S.sameComponent(U, V))
+      continue;
+    EXPECT_LT(S.rank(U), S.rank(V))
+        << "edge " << U << " -> " << V << " violates rank order";
+  }
+}
+
+TEST(OnlineSCC, ChainIsRankOrdered) {
+  OnlineSCC S(4);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {{0, 1}, {1, 2}, {2, 3}};
+  for (auto &[U, V] : Edges)
+    S.addInitialEdge(U, V);
+  S.build();
+  EXPECT_EQ(S.numMerges(), 0u);
+  for (uint32_t V = 0; V < 4; ++V)
+    EXPECT_EQ(S.find(V), V);
+  expectTopological(S, Edges);
+}
+
+TEST(OnlineSCC, SelfLoopIsNotAMerge) {
+  OnlineSCC S(2);
+  S.addInitialEdge(0, 0);
+  S.addInitialEdge(0, 1);
+  S.build();
+  EXPECT_EQ(S.numMerges(), 0u);
+  EXPECT_FALSE(S.sameComponent(0, 1));
+  EXPECT_LT(S.rank(0), S.rank(1));
+}
+
+TEST(OnlineSCC, StaticCycleCollapsesWithOnMerge) {
+  OnlineSCC S(5);
+  // 0 -> {1 -> 2 -> 3 -> 1} -> 4
+  S.addInitialEdge(0, 1);
+  S.addInitialEdge(1, 2);
+  S.addInitialEdge(2, 3);
+  S.addInitialEdge(3, 1);
+  S.addInitialEdge(3, 4);
+  std::vector<std::pair<uint32_t, uint32_t>> MergeLog;
+  S.OnMerge = [&](uint32_t W, uint32_t L) { MergeLog.push_back({W, L}); };
+  S.build();
+  EXPECT_EQ(S.numMerges(), 2u);
+  EXPECT_EQ(MergeLog.size(), 2u);
+  EXPECT_TRUE(S.sameComponent(1, 2));
+  EXPECT_TRUE(S.sameComponent(1, 3));
+  EXPECT_FALSE(S.sameComponent(0, 1));
+  EXPECT_FALSE(S.sameComponent(1, 4));
+  // Every merge must have targeted the surviving representative.
+  for (auto &[W, L] : MergeLog) {
+    EXPECT_EQ(S.find(L), S.find(1));
+    EXPECT_EQ(S.find(W), S.find(1));
+  }
+  EXPECT_LT(S.rank(0), S.rank(1));
+  EXPECT_LT(S.rank(1), S.rank(4));
+}
+
+TEST(OnlineSCC, NestedCyclesCollapseToOneComponent) {
+  // Two overlapping cycles 1->2->3->1 and 2->4->2 form one SCC {1,2,3,4}.
+  OnlineSCC S(6);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 1}, {2, 4}, {4, 2}, {3, 5}};
+  for (auto &[U, V] : Edges)
+    S.addInitialEdge(U, V);
+  S.build();
+  EXPECT_EQ(S.numMerges(), 3u);
+  EXPECT_TRUE(S.sameComponent(1, 2));
+  EXPECT_TRUE(S.sameComponent(1, 3));
+  EXPECT_TRUE(S.sameComponent(1, 4));
+  EXPECT_FALSE(S.sameComponent(0, 1));
+  EXPECT_FALSE(S.sameComponent(1, 5));
+  expectTopological(S, Edges);
+}
+
+TEST(OnlineSCC, RankRespectingInsertIsCheapNoop) {
+  OnlineSCC S(3);
+  S.addInitialEdge(0, 1);
+  S.addInitialEdge(1, 2);
+  S.build();
+  uint32_t R0 = S.rank(0), R1 = S.rank(1), R2 = S.rank(2);
+  EXPECT_EQ(S.insertEdge(0, 2), 0u);
+  EXPECT_EQ(S.rank(0), R0);
+  EXPECT_EQ(S.rank(1), R1);
+  EXPECT_EQ(S.rank(2), R2);
+}
+
+TEST(OnlineSCC, InsertReordersWithoutMerging) {
+  // Two disjoint chains; an edge from the "later" chain into the
+  // "earlier" one must reorder but not merge.
+  OnlineSCC S(4);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {{0, 1}, {2, 3}};
+  for (auto &[U, V] : Edges)
+    S.addInitialEdge(U, V);
+  S.build();
+  uint32_t From, To;
+  // Pick the direction that currently violates rank order.
+  if (S.rank(3) > S.rank(0)) {
+    From = 3;
+    To = 0;
+  } else {
+    From = 1;
+    To = 2;
+  }
+  Edges.push_back({From, To});
+  EXPECT_EQ(S.insertEdge(From, To), 0u);
+  EXPECT_EQ(S.numMerges(), 0u);
+  expectTopological(S, Edges);
+}
+
+TEST(OnlineSCC, InsertClosingCycleMergesAndNotifies) {
+  OnlineSCC S(5);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  for (auto &[U, V] : Edges)
+    S.addInitialEdge(U, V);
+  S.build();
+  std::vector<std::pair<uint32_t, uint32_t>> MergeLog;
+  S.OnMerge = [&](uint32_t W, uint32_t L) { MergeLog.push_back({W, L}); };
+  // 3 -> 1 closes the cycle {1, 2, 3}.
+  Edges.push_back({3, 1});
+  EXPECT_EQ(S.insertEdge(3, 1), 2u);
+  EXPECT_EQ(MergeLog.size(), 2u);
+  EXPECT_TRUE(S.sameComponent(1, 2));
+  EXPECT_TRUE(S.sameComponent(1, 3));
+  EXPECT_FALSE(S.sameComponent(0, 1));
+  EXPECT_FALSE(S.sameComponent(1, 4));
+  expectTopological(S, Edges);
+  // A second cycle through the collapsed component grows it.
+  Edges.push_back({4, 2});
+  EXPECT_EQ(S.insertEdge(4, 2), 1u);
+  EXPECT_TRUE(S.sameComponent(1, 4));
+  expectTopological(S, Edges);
+}
+
+TEST(OnlineSCC, DuplicateAndIntraComponentEdgesAreNoops) {
+  OnlineSCC S(3);
+  S.addInitialEdge(0, 1);
+  S.addInitialEdge(1, 0);
+  S.addInitialEdge(1, 2);
+  S.build();
+  EXPECT_EQ(S.numMerges(), 1u);
+  EXPECT_EQ(S.insertEdge(0, 1), 0u); // intra-component
+  EXPECT_EQ(S.insertEdge(1, 2), 0u); // duplicate, already ordered
+  EXPECT_TRUE(S.sameComponent(0, 1));
+  EXPECT_FALSE(S.sameComponent(0, 2));
+}
+
+/// Deterministic xorshift so the randomized test is reproducible.
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+/// Naive reference: component of V = nodes reachable both ways.
+std::vector<uint32_t>
+naiveComponents(uint32_t N,
+                const std::vector<std::pair<uint32_t, uint32_t>> &Edges) {
+  std::vector<std::vector<bool>> Reach(N, std::vector<bool>(N, false));
+  for (uint32_t V = 0; V < N; ++V)
+    Reach[V][V] = true;
+  for (auto &[U, V] : Edges)
+    Reach[U][V] = true;
+  for (uint32_t K = 0; K < N; ++K)
+    for (uint32_t I = 0; I < N; ++I)
+      if (Reach[I][K])
+        for (uint32_t J = 0; J < N; ++J)
+          if (Reach[K][J])
+            Reach[I][J] = true;
+  std::vector<uint32_t> Comp(N);
+  for (uint32_t V = 0; V < N; ++V) {
+    uint32_t Rep = V;
+    for (uint32_t U = 0; U < V; ++U)
+      if (Reach[U][V] && Reach[V][U]) {
+        Rep = Comp[U];
+        break;
+      }
+    Comp[V] = Rep;
+  }
+  return Comp;
+}
+
+TEST(OnlineSCC, RandomizedMatchesNaiveRecompute) {
+  uint64_t Rng = 0x9e3779b97f4a7c15ull;
+  for (unsigned Trial = 0; Trial < 40; ++Trial) {
+    uint32_t N = 2 + nextRand(Rng) % 14;
+    // Start from a random DAG-ish initial batch, then stream more edges.
+    std::vector<std::pair<uint32_t, uint32_t>> Edges;
+    OnlineSCC S(N);
+    unsigned InitialCount = nextRand(Rng) % (2 * N);
+    for (unsigned I = 0; I < InitialCount; ++I) {
+      uint32_t U = nextRand(Rng) % N, V = nextRand(Rng) % N;
+      Edges.push_back({U, V});
+      S.addInitialEdge(U, V);
+    }
+    S.build();
+    unsigned OnlineCount = nextRand(Rng) % (2 * N);
+    for (unsigned I = 0; I < OnlineCount; ++I) {
+      uint32_t U = nextRand(Rng) % N, V = nextRand(Rng) % N;
+      Edges.push_back({U, V});
+      S.insertEdge(U, V);
+      expectTopological(S, Edges);
+    }
+    std::vector<uint32_t> Naive = naiveComponents(N, Edges);
+    for (uint32_t A = 0; A < N; ++A)
+      for (uint32_t B = 0; B < N; ++B)
+        EXPECT_EQ(S.sameComponent(A, B), Naive[A] == Naive[B])
+            << "trial " << Trial << " nodes " << A << "," << B;
+    // Ranks of distinct live components must be unique.
+    std::set<uint32_t> Seen;
+    for (uint32_t V = 0; V < N; ++V)
+      if (S.find(V) == V)
+        EXPECT_TRUE(Seen.insert(S.rank(V)).second);
+  }
+}
+
+TEST(DenseBitSetIteration, ForEachSetBitVisitsAscending) {
+  DenseBitSet B;
+  std::vector<uint32_t> Ids = {0, 1, 63, 64, 65, 127, 128, 1000};
+  for (uint32_t Id : Ids)
+    B.insert(Id);
+  std::vector<uint32_t> Seen;
+  B.forEachSetBit([&](uint32_t Id) { Seen.push_back(Id); });
+  EXPECT_EQ(Seen, Ids);
+}
+
+TEST(DenseBitSetIteration, ForEachSetBitEmptyAndErased) {
+  DenseBitSet B;
+  unsigned Calls = 0;
+  B.forEachSetBit([&](uint32_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  B.insert(70);
+  B.insert(71);
+  B.erase(70);
+  std::vector<uint32_t> Seen;
+  B.forEachSetBit([&](uint32_t Id) { Seen.push_back(Id); });
+  EXPECT_EQ(Seen, std::vector<uint32_t>{71});
+}
+
+TEST(DenseBitSetIteration, ForEachSetBitFullWord) {
+  DenseBitSet B;
+  for (uint32_t Id = 64; Id < 128; ++Id)
+    B.insert(Id);
+  uint32_t Expect = 64;
+  B.forEachSetBit([&](uint32_t Id) { EXPECT_EQ(Id, Expect++); });
+  EXPECT_EQ(Expect, 128u);
+}
+
+} // namespace

@@ -2,12 +2,19 @@
 """Diff two BENCH_*.json artifacts (schema vdga-bench-v1).
 
 Usage: bench_diff.py OLD.json NEW.json [--threshold 0.10] [--min-ms 1.0]
+                     [--allow-cross-strategy]
 
 Exits nonzero when any wall-clock field regressed by more than the
 threshold (and by more than --min-ms, so sub-millisecond noise on the
 small corpus programs is ignored). Work-counter and pair-count changes
 are printed as warnings but do not fail the diff: they signal an
 intentional behavior change that should be explained in the PR.
+
+Artifacts record the solver strategy they ran under
+(corpus.solver_strategy; artifacts predating the field are "basic").
+Comparing runs of different strategies is a hard error unless
+--allow-cross-strategy is given: the timing delta would measure the
+engine choice, not the code change.
 
 Produce the artifacts with `cmake --build build --target bench-json` or
 `perf_ci_vs_cs --json=FILE`.
@@ -147,9 +154,22 @@ def main():
                     help="relative time regression to flag (default 0.10)")
     ap.add_argument("--min-ms", type=float, default=1.0,
                     help="ignore absolute deltas below this (default 1.0)")
+    ap.add_argument("--allow-cross-strategy", action="store_true",
+                    help="compare artifacts from different solver "
+                         "strategies anyway (timing gates still apply)")
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
+
+    old_strategy = old["corpus"].get("solver_strategy", "basic")
+    new_strategy = new["corpus"].get("solver_strategy", "basic")
+    if old_strategy != new_strategy and not args.allow_cross_strategy:
+        sys.exit(
+            f"solver strategy mismatch: {args.old} ran {old_strategy!r}, "
+            f"{args.new} ran {new_strategy!r}; timings are not comparable "
+            f"(pass --allow-cross-strategy to override)"
+        )
+
     regressions, warnings = [], []
 
     for field in CORPUS_TIME_FIELDS:

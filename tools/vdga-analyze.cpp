@@ -71,6 +71,7 @@ int usage(const char *Argv0) {
       "usage: %s [mode] (<file.c> | --corpus <name>) [--input <text>]\n"
       "       [--trace <path>] [--json] [--budget-ms <n>] [--max-pairs <n>]\n"
       "       [--max-iterations <n>] [--corpus-budget-ms <n>]\n"
+      "       [--solver <basic|wave|deep>]\n"
       "modes: --ci (default) --cs --compare --pairs --modref --defuse "
       "--dump --dot --run --explain <var> --diff-ci-cs\n"
       "       --verify --oracle --diagnose\n"
@@ -85,6 +86,10 @@ int usage(const char *Argv0) {
       "a solve that trips its budget degrades to the next coarser sound\n"
       "tier (cs->ci->steens->top) and the tool exits 3;\n"
       "--corpus-budget-ms bounds a whole corpus-wide checker run\n"
+      "--solver picks the worklist engine (default basic; wave batches\n"
+      "per-output deltas in topological waves, deep also collapses copy\n"
+      "cycles — all three produce identical results); the VDGA_SOLVER\n"
+      "environment variable supplies a default when the flag is absent\n"
       "corpus names:",
       Argv0);
   for (const CorpusProgram &P : corpus())
@@ -188,7 +193,8 @@ int explainVariable(AnalyzedProgram &AP, const char *Var, const char *Label,
 /// context-insensitive solution but absent from the stripped
 /// context-sensitive one, with the inputs each eliminated pair would have
 /// reached.
-int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
+int diffCiCs(const std::string &Source, const char *Name, Trace *T,
+             SolverStrategy Strategy) {
   std::string Error;
   auto AP = AnalyzedProgram::create(Source, &Error);
   if (!AP) {
@@ -199,8 +205,12 @@ int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
     AP->setTrace(T);
   const StringInterner &Names = AP->program().Names;
 
-  PointsToResult CI = AP->runContextInsensitive();
-  ContextSensResult CS = AP->runContextSensitive(CI);
+  PointsToResult CI = AP->runContextInsensitive(WorklistOrder::FIFO,
+                                                /*RecordProvenance=*/false,
+                                                /*Budget=*/{}, Strategy);
+  ContextSensOptions CSOpts;
+  CSOpts.Strategy = Strategy;
+  ContextSensResult CS = AP->runContextSensitive(CI, CSOpts);
   if (!CS.Completed) {
     std::fprintf(stderr, "%s: context-sensitive run hit the work cap\n",
                  Name);
@@ -211,29 +221,41 @@ int diffCiCs(const std::string &Source, const char *Name, Trace *T) {
   std::printf("%s: pairs eliminated by the context-sensitive analysis\n",
               Name);
   uint64_t Eliminated = 0;
+  std::vector<std::string> Lines;
   for (OutputId O = 0; O < AP->G.numOutputs(); ++O) {
+    // Pair arrival order is schedule-dependent; render and sort the
+    // eliminated pairs per output so every strategy and worklist order
+    // prints byte-identical output.
+    Lines.clear();
     for (PairId Pair : CI.pairs(O)) {
       if (Stripped.contains(O, Pair))
         continue;
       ++Eliminated;
       const OutputInfo &Info = AP->G.output(O);
       const Node &N = AP->G.node(Info.Node);
-      std::printf("  %s at output %u [%s @ %u:%u]",
-                  AP->PT.str(Pair, AP->Paths, Names).c_str(), O,
-                  nodeKindName(N.Kind), N.Loc.Line, N.Loc.Column);
+      std::string Line = "  " + AP->PT.str(Pair, AP->Paths, Names) +
+                         " at output " + std::to_string(O) + " [" +
+                         nodeKindName(N.Kind) + " @ " +
+                         std::to_string(N.Loc.Line) + ":" +
+                         std::to_string(N.Loc.Column) + "]";
       if (Info.Consumers.empty()) {
-        std::printf(" (no consumers)\n");
-        continue;
+        Line += " (no consumers)";
+      } else {
+        Line += ", would reach:";
+        for (InputId In : Info.Consumers) {
+          const InputInfo &II = AP->G.input(In);
+          const Node &C = AP->G.node(II.Node);
+          Line += std::string(" ") + nodeKindName(C.Kind) + "@" +
+                  std::to_string(C.Loc.Line) + ":" +
+                  std::to_string(C.Loc.Column) + "/in" +
+                  std::to_string(II.Index);
+        }
       }
-      std::printf(", would reach:");
-      for (InputId In : Info.Consumers) {
-        const InputInfo &II = AP->G.input(In);
-        const Node &C = AP->G.node(II.Node);
-        std::printf(" %s@%u:%u/in%u", nodeKindName(C.Kind), C.Loc.Line,
-                    C.Loc.Column, II.Index);
-      }
-      std::printf("\n");
+      Lines.push_back(std::move(Line));
     }
+    std::sort(Lines.begin(), Lines.end());
+    for (const std::string &Line : Lines)
+      std::printf("%s\n", Line.c_str());
   }
   std::printf("  totals: CI=%llu CS=%llu eliminated=%llu; indirect ops "
               "where CS wins: %u\n",
@@ -309,6 +331,7 @@ int main(int argc, char **argv) {
   CheckLevel Level = CheckLevel::Verify;
   std::string Input;
   GovernancePolicy Policy;
+  bool SawSolverFlag = false;
 
   // Option flags that consume the next argv slot. Checking the list up
   // front lets "--flag" at end-of-line produce a precise missing-argument
@@ -321,7 +344,8 @@ int main(int argc, char **argv) {
            std::strcmp(Arg, "--budget-ms") == 0 ||
            std::strcmp(Arg, "--max-pairs") == 0 ||
            std::strcmp(Arg, "--max-iterations") == 0 ||
-           std::strcmp(Arg, "--corpus-budget-ms") == 0;
+           std::strcmp(Arg, "--corpus-budget-ms") == 0 ||
+           std::strcmp(Arg, "--solver") == 0;
   };
 
   // Budget values must be fully numeric; "--budget-ms fast" is a user
@@ -406,7 +430,16 @@ int main(int argc, char **argv) {
       ParseCount(Arg, argv[++I], Policy.MaxIterations);
     else if (std::strcmp(Arg, "--corpus-budget-ms") == 0)
       ParseMillis(Arg, argv[++I], Policy.CorpusMs);
-    else if (Arg[0] == '-') {
+    else if (std::strcmp(Arg, "--solver") == 0) {
+      SawSolverFlag = true;
+      if (!parseSolverStrategy(argv[++I], Policy.Strategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' (expected basic, wave "
+                     "or deep)\n",
+                     argv[I]);
+        return usage(argv[0]);
+      }
+    } else if (Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
     } else if (File) {
@@ -418,6 +451,20 @@ int main(int argc, char **argv) {
   }
   if (BadBudgetValue)
     return usage(argv[0]);
+  // The environment supplies a default engine; an explicit flag wins. A
+  // bad value is rejected just like a bad flag — silently falling back to
+  // basic would mask typos in CI configurations.
+  if (!SawSolverFlag) {
+    if (const char *Env = std::getenv("VDGA_SOLVER")) {
+      if (!parseSolverStrategy(Env, Policy.Strategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' in VDGA_SOLVER "
+                     "(expected basic, wave or deep)\n",
+                     Env);
+        return usage(argv[0]);
+      }
+    }
+  }
   // --explain combines with --cs (explain the CS derivation), so it wins
   // over the mode the --cs flag set.
   if (ExplainVar)
@@ -475,7 +522,7 @@ int main(int argc, char **argv) {
   if (M == Mode::DiffCiCs && !File && !CorpusName) {
     int Rc = 0;
     for (const CorpusProgram &P : corpus())
-      Rc |= diffCiCs(P.Source, P.Name, CliTrace.get());
+      Rc |= diffCiCs(P.Source, P.Name, CliTrace.get(), Policy.Strategy);
     return Rc;
   }
 
@@ -657,7 +704,8 @@ int main(int argc, char **argv) {
   }
   case Mode::Explain: {
     PointsToResult CI = AP->runContextInsensitive(
-        WorklistOrder::FIFO, /*RecordProvenance=*/!WantCS);
+        WorklistOrder::FIFO, /*RecordProvenance=*/!WantCS, /*Budget=*/{},
+        Policy.Strategy);
     if (!WantCS)
       return explainVariable(
           *AP, ExplainVar, "context-insensitive",
@@ -666,8 +714,10 @@ int main(int argc, char **argv) {
               Consider(Pair);
           },
           [&](OutputId O, PairId Pair) { return CI.derivation(O, Pair); });
+    ContextSensOptions ExplainOpts;
+    ExplainOpts.Strategy = Policy.Strategy;
     ContextSensResult CS = AP->runContextSensitive(
-        CI, ContextSensOptions(), /*RecordProvenance=*/true);
+        CI, ExplainOpts, /*RecordProvenance=*/true);
     if (!CS.Completed) {
       std::fprintf(stderr, "context-sensitive run hit the work cap\n");
       return 1;
@@ -682,7 +732,7 @@ int main(int argc, char **argv) {
   }
   case Mode::DiffCiCs:
     return diffCiCs(Source, CorpusName ? CorpusName : File,
-                    CliTrace.get());
+                    CliTrace.get(), Policy.Strategy);
   case Mode::Check: {
     CheckOptions CO;
     CO.Level = Level;
