@@ -11,6 +11,9 @@
 
 #include "driver/Tables.h"
 
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "query/Loadgen.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -127,7 +130,42 @@ static int runJsonMode(const std::string &Path) {
         Serial[I].Metrics.push_back(M);
   }
 
-  std::string Json = renderBenchJson(Serial, Timing);
+  // Query-service load: a fixed-seed mixed-query replay against one
+  // mid-size benchmark, so cache hit rate and per-query latency are
+  // tracked across PRs (bench_diff.py warns on regressions).
+  QueryBenchSection QuerySec;
+  {
+    const CorpusProgram *Prog = findCorpusProgram("bc");
+    std::string Error;
+    auto AP = AnalyzedProgram::create(Prog->Source, &Error);
+    if (!AP) {
+      std::fprintf(stderr, "query load: %s failed to load: %s\n", Prog->Name,
+                   Error.c_str());
+      return 1;
+    }
+    AliasSummary Summary = buildAliasSummary(*AP, Prog->Source, Policy);
+    LoadgenOptions LO;
+    // Fixed thread count, NOT Timing.ParallelJobs: each client thread is
+    // its own session with its own cold caches, so the cache counters
+    // depend on the thread count — pinning it keeps the artifact
+    // identical across VDGA_JOBS values (modulo timing fields).
+    LO.Threads = 4;
+    LO.Queries = 200'000;
+    LO.Seed = 20260808;
+    QueryLoadReport QR = runQueryLoad(Summary, LO);
+    QuerySec.Program = Prog->Name;
+    QuerySec.Threads = LO.Threads;
+    QuerySec.Queries = QR.Queries;
+    QuerySec.Errors = QR.Errors;
+    QuerySec.MeanUs = QR.MeanUs;
+    QuerySec.P50Us = QR.P50Us;
+    QuerySec.P99Us = QR.P99Us;
+    QuerySec.CacheHits = QR.CacheHits;
+    QuerySec.CacheMisses = QR.CacheMisses;
+    QuerySec.HitRate = QR.HitRate;
+  }
+
+  std::string Json = renderBenchJson(Serial, Timing, &QuerySec);
   if (Path == "-") {
     // Keep stdout pure JSON; the human-readable table goes to stderr.
     std::fputs(Json.c_str(), stdout);

@@ -1,0 +1,132 @@
+//===- bench/query_loadgen.cpp - Query-service load bench ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Hammers the query service with a seeded stream of mixed mayAlias /
+// pointsTo / modref queries from concurrent client threads and prints
+// latency percentiles plus the cache hit rate:
+//
+//   query_loadgen --corpus bc --queries 200000 --threads 8 --seed 1
+//
+// Exit status: 0 on success, 1 when the program fails to load, when any
+// generated query errors, or when the hit rate is zero (the memo caches
+// are the whole point — a zero rate means they are broken), 2 on usage
+// errors. The same measurement runs inside perf_ci_vs_cs --json as the
+// artifact's `query` section; this standalone binary is for interactive
+// profiling and the query-smoke ctest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "query/Loadgen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace vdga;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --corpus <name> [--queries <n>] [--threads <n>]\n"
+               "       [--seed <n>]\n"
+               "corpus names:",
+               Argv0);
+  for (const CorpusProgram &P : corpus())
+    std::fprintf(stderr, " %s", P.Name);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *CorpusName = nullptr;
+  LoadgenOptions LO;
+  LO.Threads = 4;
+  LO.Queries = 200'000;
+  LO.Seed = 1;
+
+  bool Bad = false;
+  auto ParseCount = [&](const char *Flag, const char *Text, uint64_t &Out) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Text, &End, 10);
+    if (End == Text || *End != '\0' || Text[0] == '-') {
+      std::fprintf(stderr, "option '%s' expects a non-negative integer, "
+                           "got '%s'\n",
+                   Flag, Text);
+      Bad = true;
+      return;
+    }
+    Out = V;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    bool TakesValue = std::strcmp(Arg, "--corpus") == 0 ||
+                      std::strcmp(Arg, "--queries") == 0 ||
+                      std::strcmp(Arg, "--threads") == 0 ||
+                      std::strcmp(Arg, "--seed") == 0;
+    if (TakesValue && I + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' requires an argument\n", Arg);
+      return usage(argv[0]);
+    }
+    if (std::strcmp(Arg, "--corpus") == 0) {
+      CorpusName = argv[++I];
+    } else if (std::strcmp(Arg, "--queries") == 0) {
+      ParseCount(Arg, argv[++I], LO.Queries);
+    } else if (std::strcmp(Arg, "--threads") == 0) {
+      uint64_t T = 0;
+      ParseCount(Arg, argv[++I], T);
+      LO.Threads = static_cast<unsigned>(T);
+    } else if (std::strcmp(Arg, "--seed") == 0) {
+      ParseCount(Arg, argv[++I], LO.Seed);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      return usage(argv[0]);
+    }
+  }
+  if (Bad || !CorpusName)
+    return usage(argv[0]);
+  const CorpusProgram *Prog = findCorpusProgram(CorpusName);
+  if (!Prog) {
+    std::fprintf(stderr, "unknown corpus benchmark '%s'\n", CorpusName);
+    return usage(argv[0]);
+  }
+
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Prog->Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "%s failed to load: %s\n", Prog->Name,
+                 Error.c_str());
+    return 1;
+  }
+  AliasSummary Summary = buildAliasSummary(*AP, Prog->Source);
+  QueryLoadReport R = runQueryLoad(Summary, LO);
+
+  std::printf("program   %s (tier %s)\n", Prog->Name,
+              precisionTierName(Summary.Tier));
+  std::printf("queries   %llu across %u threads (%llu errors)\n",
+              static_cast<unsigned long long>(R.Queries), R.Threads,
+              static_cast<unsigned long long>(R.Errors));
+  std::printf("latency   mean %.1f us   p50 %.1f us   p99 %.1f us\n",
+              R.MeanUs, R.P50Us, R.P99Us);
+  std::printf("caches    %llu hits / %llu misses (hit rate %.3f)\n",
+              static_cast<unsigned long long>(R.CacheHits),
+              static_cast<unsigned long long>(R.CacheMisses), R.HitRate);
+
+  if (R.Errors) {
+    std::fprintf(stderr, "FAIL: %llu generated queries errored\n",
+                 static_cast<unsigned long long>(R.Errors));
+    return 1;
+  }
+  if (R.Queries && R.HitRate <= 0.0) {
+    std::fprintf(stderr, "FAIL: cache hit rate is zero under replay\n");
+    return 1;
+  }
+  return 0;
+}

@@ -200,6 +200,20 @@ SteensgaardResult SteensgaardSolver::solve() {
               [](BaseLocId A, BaseLocId B) { return index(A) < index(B); });
     R.Pointees[O] = std::move(Ptees);
   }
+  // And per-base pointee sets: what the pointers stored inside each
+  // abstract object may reference (the query service's degraded tier).
+  R.BasePointees.resize(NumBases);
+  for (size_t B = 0; B < NumBases; ++B) {
+    if (BudgetTrip T = Meter.poll(++Work, 0); T != BudgetTrip::None)
+      return Tripped(T);
+    unsigned C = find(baseNode(static_cast<BaseLocId>(B)));
+    if (Pointee[C] == NoPointee)
+      continue;
+    std::vector<BaseLocId> Ptees = Members[find(Pointee[C])];
+    std::sort(Ptees.begin(), Ptees.end(),
+              [](BaseLocId A, BaseLocId Bid) { return index(A) < index(Bid); });
+    R.BasePointees[B] = std::move(Ptees);
+  }
   R.NumClasses = Classes.size();
   if (Obs.Metrics)
     Obs.Metrics->add("steens.classes", R.NumClasses);

@@ -36,6 +36,16 @@ public:
     return Out < Pointees.size() ? Pointees[Out] : Empty;
   }
 
+  /// Base locations the pointers *stored in* base \p B may reference —
+  /// the query service's degraded-tier `pointsTo` answer. Same collapse
+  /// rules as pointees(): field-insensitive, whole objects.
+  const std::vector<BaseLocId> &basePointees(BaseLocId B) const {
+    static const std::vector<BaseLocId> Empty;
+    if (IsTop)
+      return AllBases;
+    return index(B) < BasePointees.size() ? BasePointees[index(B)] : Empty;
+  }
+
   /// The maximally conservative result — every output may point to every
   /// base location. The last rung of the degradation ladder: trivially
   /// sound (it covers any trace the interpreter can produce) and free to
@@ -54,6 +64,7 @@ public:
 private:
   friend class SteensgaardSolver;
   std::vector<std::vector<BaseLocId>> Pointees;
+  std::vector<std::vector<BaseLocId>> BasePointees; ///< Indexed by base id.
   std::vector<BaseLocId> AllBases; ///< Populated for top results only.
 };
 

@@ -623,7 +623,8 @@ void emitPairTotals(Json &J, const PairTotals &T) {
 } // namespace
 
 std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
-                                  const CorpusTiming &Timing) {
+                                  const CorpusTiming &Timing,
+                                  const QueryBenchSection *Query) {
   Json J;
   J.open('{');
   J.key("schema").value(std::string("vdga-bench-v1"));
@@ -703,6 +704,22 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
     J.close('}');
   }
   J.close(']');
+
+  if (Query) {
+    J.key("query").open('{');
+    J.key("program").value(Query->Program);
+    J.key("threads").value(Query->Threads);
+    J.key("queries").value(Query->Queries);
+    J.key("errors").value(Query->Errors);
+    J.key("mean_us").value(Query->MeanUs);
+    J.key("p50_us").value(Query->P50Us);
+    J.key("p99_us").value(Query->P99Us);
+    J.key("cache_hits").value(Query->CacheHits);
+    J.key("cache_misses").value(Query->CacheMisses);
+    J.key("hit_rate").value(Query->HitRate);
+    J.close('}');
+  }
+
   J.close('}');
   return J.str() + "\n";
 }

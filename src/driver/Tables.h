@@ -129,12 +129,31 @@ struct CorpusTiming {
   SolverStrategy Strategy = SolverStrategy::Basic;
 };
 
+/// Query-service load-generator results for the artifact's `query`
+/// section (docs/BENCH_FORMAT.md). Plain data so the driver layer does
+/// not depend on vdga_query; bench/perf_ci_vs_cs.cpp fills it from a
+/// `QueryLoadReport`.
+struct QueryBenchSection {
+  std::string Program; ///< Corpus benchmark the load ran against.
+  unsigned Threads = 0;
+  uint64_t Queries = 0;
+  uint64_t Errors = 0;
+  double MeanUs = 0.0;
+  double P50Us = 0.0;
+  double P99Us = 0.0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  double HitRate = 0.0;
+};
+
 /// Renders the machine-readable BENCH_*.json artifact: schema
 /// "vdga-bench-v1", one object per program with per-phase wall-clock and
-/// work counters, plus the corpus-level serial/parallel timing. Diff two
+/// work counters, plus the corpus-level serial/parallel timing and — when
+/// \p Query is non-null — the query-service load section. Diff two
 /// artifacts with tools/bench_diff.py.
 std::string renderBenchJson(const std::vector<BenchmarkReport> &Reports,
-                            const CorpusTiming &Timing);
+                            const CorpusTiming &Timing,
+                            const QueryBenchSection *Query = nullptr);
 
 // Renderers, one per figure.
 std::string renderFig2(const std::vector<BenchmarkReport> &Reports);

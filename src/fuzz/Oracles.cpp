@@ -7,6 +7,7 @@
 #include "fuzz/Oracles.h"
 
 #include "driver/Pipeline.h"
+#include "support/Digest.h"
 
 #include <algorithm>
 #include <optional>
@@ -17,34 +18,9 @@ using namespace vdga;
 
 namespace {
 
-/// FNV-1a, the digest accumulator. Stringly canonical inputs only.
-class Fnv {
-public:
-  void add(const std::string &S) {
-    for (char C : S) {
-      H ^= static_cast<unsigned char>(C);
-      H *= 0x100000001B3ULL;
-    }
-    // Separator so "ab"+"c" and "a"+"bc" differ.
-    H ^= 0xFF;
-    H *= 0x100000001B3ULL;
-  }
-  std::string hex() const {
-    static const char *Digits = "0123456789abcdef";
-    std::string S(16, '0');
-    uint64_t V = H;
-    for (int I = 15; I >= 0; --I, V >>= 4)
-      S[I] = Digits[V & 0xF];
-    return S;
-  }
-
-private:
-  uint64_t H = 0xCBF29CE484222325ULL;
-};
-
 /// Canonical per-output pair listing: rendered paths, sorted, so the
 /// digest is independent of interning and arrival order.
-void addPairs(Fnv &D, AnalyzedProgram &AP, const PointsToResult &R,
+void addPairs(Fnv64 &D, AnalyzedProgram &AP, const PointsToResult &R,
               const char *Tag) {
   const StringInterner &Names = AP.program().Names;
   D.add(Tag);
@@ -246,7 +222,7 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   // errors were already turned into checker findings above).
   RunResult RR = AP->interpret(Opts.Input, Opts.MaxSteps, Opts.MaxCallDepth);
 
-  Fnv D;
+  Fnv64 D;
   if (CI.complete())
     addPairs(D, *AP, CI, "ci");
   else

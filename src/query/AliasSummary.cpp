@@ -1,0 +1,349 @@
+//===- query/AliasSummary.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/AliasSummary.h"
+
+#include "clients/ModRef.h"
+#include "driver/Pipeline.h"
+#include "support/Digest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace vdga;
+
+namespace {
+
+/// True for the base-location kinds clients can name as query operands.
+bool queryableBase(BaseLocKind K) {
+  return K == BaseLocKind::Global || K == BaseLocKind::Local ||
+         K == BaseLocKind::Heap;
+}
+
+std::string siteString(const SourceLoc &Loc) {
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column);
+}
+
+/// Sorted, deduplicated vector from a string set.
+std::vector<std::string> sortedList(std::set<std::string> &S) {
+  return {S.begin(), S.end()};
+}
+
+/// Enumerates every call node's site; callee names when \p CI is given.
+std::vector<AliasSummary::Callsite>
+collectCallsites(AnalyzedProgram &AP, const PointsToResult *CI) {
+  std::map<std::string, std::set<std::string>> Sites;
+  const Graph &G = AP.G;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    if (G.node(N).Kind != NodeKind::Call)
+      continue;
+    auto &Callees = Sites[siteString(G.node(N).Loc)];
+    if (CI)
+      for (const FunctionInfo *Info : CI->callees(N))
+        Callees.insert(AP.program().Names.text(Info->Fn->name()));
+  }
+  std::vector<AliasSummary::Callsite> Out;
+  Out.reserve(Sites.size());
+  for (auto &[Site, Callees] : Sites)
+    Out.push_back({Site, sortedList(Callees)});
+  return Out;
+}
+
+} // namespace
+
+AliasSummary vdga::buildAliasSummary(AnalyzedProgram &AP,
+                                     std::string_view Source,
+                                     const GovernancePolicy &Policy) {
+  MetricsRegistry::ScopedTimer T = AP.Metrics.time("query.summary_build.ms");
+  AliasSummary S;
+  S.Digest = sourceDigest(Source);
+
+  GovernedAnalysis GA = AP.runGoverned(Policy);
+  S.Tier = GA.Degradation.CITier;
+  S.Degraded = GA.degraded();
+  S.Degradation = GA.Degradation.summary();
+
+  const PathTable &Paths = AP.Paths;
+  const StringInterner &Names = AP.program().Names;
+
+  // Every queryable base gets a Variables slot, even with no pointees, so
+  // pointsTo on a non-pointer object answers "empty" rather than
+  // "unknown operand".
+  std::map<std::string, std::set<std::string>> Pointees;
+  for (size_t B = 0; B < Paths.numBases(); ++B)
+    if (queryableBase(Paths.base(static_cast<BaseLocId>(B)).Kind))
+      Pointees[Paths.base(static_cast<BaseLocId>(B)).Name];
+
+  const PointsToResult *CI = GA.completeCI();
+  if (CI) {
+    // Complete CI tier: a pair (P, R) on any output means the value
+    // stored at location P may reference R; collapse to P's base.
+    for (OutputId O = 0; O < AP.G.numOutputs(); ++O)
+      for (PairId Pair : CI->pairs(O)) {
+        PointsToPair P = AP.PT.pair(Pair);
+        if (!Paths.isLocation(P.Path) || !Paths.isLocation(P.Referent))
+          continue;
+        const BaseLocation &Base = Paths.base(Paths.baseOf(P.Path));
+        if (!queryableBase(Base.Kind))
+          continue;
+        Pointees[Base.Name].insert(Paths.str(P.Referent, Names));
+      }
+
+    ModRefInfo MR = computeModRef(AP.G, *CI, AP.PT, Paths);
+    for (const FuncDecl *Fn : AP.program().Functions) {
+      if (!Fn->isDefined())
+        continue;
+      AliasSummary::Function F;
+      F.Name = Names.text(Fn->name());
+      for (bool Mod : {true, false}) {
+        const auto &Sets = Mod ? MR.Mod : MR.Ref;
+        std::set<std::string> Rendered;
+        if (auto It = Sets.find(Fn); It != Sets.end())
+          for (PathId Loc : It->second)
+            Rendered.insert(Paths.str(Loc, Names));
+        (Mod ? F.Mod : F.Ref) = sortedList(Rendered);
+      }
+      S.Functions.push_back(std::move(F));
+    }
+    S.Callsites = collectCallsites(AP, CI);
+  } else {
+    // Degraded tier: the Steensgaard rung (or its internal top fallback)
+    // is serving CI clients. Per-base pointee sets come from the
+    // unification classes; mod/ref collapses to "may touch anything".
+    const SteensgaardResult *Steens = GA.Steens ? &*GA.Steens : nullptr;
+    SteensgaardResult Fallback = SteensgaardResult::top(Paths);
+    if (!Steens)
+      Steens = &Fallback;
+    for (size_t B = 0; B < Paths.numBases(); ++B) {
+      const BaseLocation &Base = Paths.base(static_cast<BaseLocId>(B));
+      if (!queryableBase(Base.Kind))
+        continue;
+      auto &Set = Pointees[Base.Name];
+      for (BaseLocId Ref : Steens->basePointees(static_cast<BaseLocId>(B)))
+        Set.insert(Paths.str(Paths.basePath(Ref), Names));
+    }
+    for (const FuncDecl *Fn : AP.program().Functions) {
+      if (!Fn->isDefined())
+        continue;
+      AliasSummary::Function F;
+      F.Name = Names.text(Fn->name());
+      F.TopModRef = true;
+      S.Functions.push_back(std::move(F));
+    }
+    S.Callsites = collectCallsites(AP, nullptr);
+  }
+
+  S.Variables.reserve(Pointees.size());
+  for (auto &[Name, Refs] : Pointees)
+    S.Variables.push_back({Name, sortedList(Refs)});
+  std::sort(S.Functions.begin(), S.Functions.end(),
+            [](const auto &A, const auto &B) { return A.Name < B.Name; });
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup
+//===----------------------------------------------------------------------===//
+
+int AliasSummary::resolveVariable(std::string_view Name) const {
+  auto It = std::lower_bound(
+      Variables.begin(), Variables.end(), Name,
+      [](const Variable &V, std::string_view N) { return V.Name < N; });
+  if (It != Variables.end() && It->Name == Name)
+    return static_cast<int>(It - Variables.begin());
+  // Bare local name: unique "fn.name" match.
+  if (Name.find('.') != std::string_view::npos)
+    return NotFound;
+  int Found = NotFound;
+  std::string Suffix(".");
+  Suffix += Name;
+  for (size_t I = 0; I < Variables.size(); ++I) {
+    const std::string &V = Variables[I].Name;
+    if (V.size() > Suffix.size() &&
+        V.compare(V.size() - Suffix.size(), Suffix.size(), Suffix) == 0) {
+      if (Found != NotFound)
+        return Ambiguous;
+      Found = static_cast<int>(I);
+    }
+  }
+  return Found;
+}
+
+int AliasSummary::resolveFunction(std::string_view Name) const {
+  auto It = std::lower_bound(
+      Functions.begin(), Functions.end(), Name,
+      [](const Function &F, std::string_view N) { return F.Name < N; });
+  if (It != Functions.end() && It->Name == Name)
+    return static_cast<int>(It - Functions.begin());
+  return NotFound;
+}
+
+int AliasSummary::resolveCallsite(std::string_view Site) const {
+  auto It = std::lower_bound(
+      Callsites.begin(), Callsites.end(), Site,
+      [](const Callsite &C, std::string_view S) { return C.Site < S; });
+  if (It != Callsites.end() && It->Site == Site)
+    return static_cast<int>(It - Callsites.begin());
+  return NotFound;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string AliasSummary::serialize() const {
+  std::ostringstream OS;
+  OS << Schema << "\n";
+  OS << "digest " << Digest << "\n";
+  OS << "tier " << precisionTierName(Tier) << "\n";
+  OS << "degraded " << (Degraded ? 1 : 0) << "\n";
+  if (Degraded)
+    OS << "degradation " << Degradation << "\n";
+  for (const Variable &V : Variables) {
+    OS << "var " << V.Name;
+    for (const std::string &P : V.Pointees)
+      OS << ' ' << P;
+    OS << "\n";
+  }
+  for (const Function &F : Functions) {
+    OS << "fn " << F.Name << ' ' << (F.TopModRef ? "top" : "exact") << "\n";
+    OS << "mod";
+    for (const std::string &L : F.Mod)
+      OS << ' ' << L;
+    OS << "\nref";
+    for (const std::string &L : F.Ref)
+      OS << ' ' << L;
+    OS << "\n";
+  }
+  for (const Callsite &C : Callsites) {
+    OS << "call " << C.Site;
+    for (const std::string &F : C.Callees)
+      OS << ' ' << F;
+    OS << "\n";
+  }
+  OS << "end\n";
+  return OS.str();
+}
+
+namespace {
+
+std::vector<std::string> splitTokens(std::string_view Line) {
+  std::vector<std::string> Tok;
+  size_t I = 0;
+  while (I < Line.size()) {
+    size_t J = Line.find(' ', I);
+    if (J == std::string_view::npos)
+      J = Line.size();
+    if (J > I)
+      Tok.emplace_back(Line.substr(I, J - I));
+    I = J + 1;
+  }
+  return Tok;
+}
+
+bool fail(std::string *Error, size_t LineNo, const std::string &Msg) {
+  if (Error)
+    *Error = "vdga-summary-v1 line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+} // namespace
+
+bool AliasSummary::parse(std::string_view Text, AliasSummary &Out,
+                         std::string *Error) {
+  Out = AliasSummary();
+  std::vector<std::string_view> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string_view::npos)
+      Nl = Text.size();
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  if (Lines.empty() || Lines[0] != Schema)
+    return fail(Error, 1, "missing or unsupported schema header");
+
+  bool SawEnd = false;
+  Function *OpenFn = nullptr;
+  int FnPart = 0; // 0 = want fn/other, 1 = want mod, 2 = want ref.
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    std::string_view Line = Lines[I];
+    if (Line.empty())
+      continue;
+    if (SawEnd)
+      return fail(Error, I + 1, "content after end marker");
+    std::vector<std::string> Tok = splitTokens(Line);
+    const std::string &Kw = Tok[0];
+    if (FnPart == 1) {
+      if (Kw != "mod")
+        return fail(Error, I + 1, "expected mod line after fn");
+      OpenFn->Mod.assign(Tok.begin() + 1, Tok.end());
+      FnPart = 2;
+      continue;
+    }
+    if (FnPart == 2) {
+      if (Kw != "ref")
+        return fail(Error, I + 1, "expected ref line after mod");
+      OpenFn->Ref.assign(Tok.begin() + 1, Tok.end());
+      FnPart = 0;
+      OpenFn = nullptr;
+      continue;
+    }
+    if (Kw == "digest" && Tok.size() == 2) {
+      Out.Digest = Tok[1];
+    } else if (Kw == "tier" && Tok.size() == 2) {
+      bool Known = false;
+      for (PrecisionTier T :
+           {PrecisionTier::ContextSens, PrecisionTier::ContextInsens,
+            PrecisionTier::Steensgaard, PrecisionTier::Top})
+        if (Tok[1] == precisionTierName(T)) {
+          Out.Tier = T;
+          Known = true;
+        }
+      if (!Known)
+        return fail(Error, I + 1, "unknown tier '" + Tok[1] + "'");
+    } else if (Kw == "degraded" && Tok.size() == 2) {
+      Out.Degraded = Tok[1] == "1";
+    } else if (Kw == "degradation") {
+      // Free text: everything after the keyword, spaces preserved.
+      Out.Degradation = std::string(
+          Line.substr(std::min(Line.size(), Kw.size() + 1)));
+    } else if (Kw == "var" && Tok.size() >= 2) {
+      Variable V;
+      V.Name = Tok[1];
+      V.Pointees.assign(Tok.begin() + 2, Tok.end());
+      Out.Variables.push_back(std::move(V));
+    } else if (Kw == "fn" && Tok.size() == 3) {
+      if (Tok[2] != "top" && Tok[2] != "exact")
+        return fail(Error, I + 1, "fn mode must be top or exact");
+      Function F;
+      F.Name = Tok[1];
+      F.TopModRef = Tok[2] == "top";
+      Out.Functions.push_back(std::move(F));
+      OpenFn = &Out.Functions.back();
+      FnPart = 1;
+    } else if (Kw == "call" && Tok.size() >= 2) {
+      Callsite C;
+      C.Site = Tok[1];
+      C.Callees.assign(Tok.begin() + 2, Tok.end());
+      Out.Callsites.push_back(std::move(C));
+    } else if (Kw == "end" && Tok.size() == 1) {
+      SawEnd = true;
+    } else {
+      return fail(Error, I + 1, "unrecognized directive '" + Kw + "'");
+    }
+  }
+  if (FnPart != 0)
+    return fail(Error, Lines.size(), "truncated fn record");
+  if (!SawEnd)
+    return fail(Error, Lines.size(), "missing end marker");
+  if (Out.Digest.empty())
+    return fail(Error, 1, "missing digest");
+  return true;
+}

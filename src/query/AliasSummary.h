@@ -1,0 +1,138 @@
+//===- query/AliasSummary.h - Query-level program summary ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data model the query service answers from: a canonical,
+/// serializable summary of one solved program, collapsed to the
+/// granularity clients actually query at — named abstract locations
+/// (store-resident variables, heap allocation sites) rather than VDG
+/// outputs. Building one runs the governed pipeline (the service's
+/// admission-control point); loading one from the artifact store skips
+/// the solve entirely. Either way the summary is immutable afterwards,
+/// so any number of `QuerySession`s can share it without locks.
+///
+/// The summary deliberately serves *context-insensitive* answers: the
+/// paper's central result is that they are almost always as precise as
+/// the context-sensitive ones, which is exactly what makes a cheap,
+/// cacheable query layer viable. When the solve degraded under budget
+/// the summary is built from the coarser tier that actually completed
+/// (Steensgaard or top) and every answer carries that tier marker.
+///
+/// Serialization is the versioned `vdga-summary-v1` line format: all
+/// lists sorted, all names rendered, so the bytes are independent of
+/// interning order and worklist schedule — two builds of the same
+/// program serialize identically, and a store round-trip is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_ALIASSUMMARY_H
+#define VDGA_QUERY_ALIASSUMMARY_H
+
+#include "driver/Governance.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdga {
+
+class AnalyzedProgram;
+
+/// Canonical query-level summary of one solved program; see file comment.
+struct AliasSummary {
+  /// The serialization format this code writes and accepts.
+  static constexpr const char *Schema = "vdga-summary-v1";
+
+  /// Canonical digest of the program's source text (support/Digest.h);
+  /// the artifact-store key.
+  std::string Digest;
+
+  /// The precision tier every answer from this summary carries:
+  /// ContextInsens for a complete solve, Steensgaard or Top when the
+  /// solve degraded under its admission budget.
+  PrecisionTier Tier = PrecisionTier::ContextInsens;
+
+  /// True when any ladder rung tripped while building.
+  bool Degraded = false;
+
+  /// Compact rendering of the degradation steps ("ci->steens(deadline)");
+  /// empty when !Degraded.
+  std::string Degradation;
+
+  /// One queryable abstract location: a store-resident variable (global,
+  /// address-taken local/param, aggregate — named "g" or "fn.local") or a
+  /// heap allocation site ("heap@N").
+  struct Variable {
+    std::string Name;
+    /// Locations any pointer stored inside this object may reference;
+    /// rendered access paths, sorted and deduplicated.
+    std::vector<std::string> Pointees;
+  };
+  /// Sorted by name.
+  std::vector<Variable> Variables;
+
+  /// Per-function transitive mod/ref summary.
+  struct Function {
+    std::string Name;
+    /// Degraded tiers cannot compute mod/ref: the sound answer is "may
+    /// touch anything", carried as this flag with empty lists.
+    bool TopModRef = false;
+    std::vector<std::string> Mod; ///< Sorted rendered locations.
+    std::vector<std::string> Ref; ///< Sorted rendered locations.
+  };
+  /// Sorted by name; defined functions only.
+  std::vector<Function> Functions;
+
+  /// One call site and the callees the solver discovered there.
+  struct Callsite {
+    std::string Site; ///< "line:col" of the call node.
+    std::vector<std::string> Callees; ///< Sorted function names.
+  };
+  /// Sorted by site string. Under a degraded tier callee sets are
+  /// unknown; sites are still listed (resolution is structural) with
+  /// empty callee lists.
+  std::vector<Callsite> Callsites;
+
+  //===--------------------------------------------------------------------===
+  // Lookup
+  //===--------------------------------------------------------------------===
+
+  /// Resolution outcomes for operand lookup.
+  enum : int { NotFound = -1, Ambiguous = -2 };
+
+  /// Resolves a variable operand: exact display-name match first, then —
+  /// for bare names without a '.' — a unique "fn.name" local. Returns the
+  /// index into Variables, or NotFound / Ambiguous.
+  int resolveVariable(std::string_view Name) const;
+
+  /// Index into Functions, or NotFound.
+  int resolveFunction(std::string_view Name) const;
+
+  /// Index into Callsites ("line:col"), or NotFound.
+  int resolveCallsite(std::string_view Site) const;
+
+  //===--------------------------------------------------------------------===
+  // Serialization (vdga-summary-v1)
+  //===--------------------------------------------------------------------===
+
+  std::string serialize() const;
+
+  /// Strict parse of the v1 format; on failure returns false and fills
+  /// \p Error. A parsed summary serializes back byte-identically.
+  static bool parse(std::string_view Text, AliasSummary &Out,
+                    std::string *Error);
+};
+
+/// Builds the summary for \p AP by running the governed pipeline under
+/// \p Policy (the admission-control point: budget trips degrade the tier
+/// instead of stalling the service). \p Source is digested for the
+/// artifact-store key. Publishes solve timings into AP's registry.
+AliasSummary buildAliasSummary(AnalyzedProgram &AP, std::string_view Source,
+                               const GovernancePolicy &Policy = {});
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_ALIASSUMMARY_H

@@ -1,0 +1,82 @@
+//===- query/ArtifactStore.cpp --------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/ArtifactStore.h"
+
+#include "support/Metrics.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vdga;
+
+std::string ArtifactStore::pathFor(const std::string &Digest) const {
+  std::filesystem::path P(Directory);
+  P /= Digest + ".vdga-summary";
+  return P.string();
+}
+
+std::optional<AliasSummary>
+ArtifactStore::load(const std::string &Digest,
+                    MetricsRegistry *Metrics) const {
+  auto Miss = [&]() -> std::optional<AliasSummary> {
+    if (Metrics)
+      Metrics->add("query.store_misses", 1);
+    return std::nullopt;
+  };
+  if (!enabled())
+    return Miss();
+  std::ifstream In(pathFor(Digest), std::ios::binary);
+  if (!In)
+    return Miss();
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  AliasSummary S;
+  if (!AliasSummary::parse(Text.str(), S, nullptr) || S.Digest != Digest)
+    return Miss();
+  if (Metrics)
+    Metrics->add("query.store_hits", 1);
+  return S;
+}
+
+bool ArtifactStore::save(const AliasSummary &Summary,
+                         std::string *Error) const {
+  if (!enabled())
+    return true;
+  std::error_code EC;
+  std::filesystem::create_directories(Directory, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot create store directory " + Directory + ": " +
+               EC.message();
+    return false;
+  }
+  std::string Final = pathFor(Summary.Digest);
+  std::string Tmp = Final + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out << Summary.serialize();
+    if (!Out) {
+      if (Error)
+        *Error = "short write to " + Tmp;
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot rename " + Tmp + ": " + EC.message();
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}

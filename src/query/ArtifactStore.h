@@ -1,0 +1,67 @@
+//===- query/ArtifactStore.h - Digest-keyed summary store ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, digest-keyed store of serialized `AliasSummary`
+/// artifacts: one `<digest>.vdga-summary` file per solved program. The
+/// query service consults it before solving, so a program analysed once
+/// — by any earlier server run, or by a warm-up job — is re-served
+/// without re-running the solver at all. Keys are the canonical source
+/// digest from support/Digest.h (the same FNV the fuzz oracle stack
+/// uses), so hits are content-addressed: formatting-identical sources
+/// share one artifact, any byte change misses.
+///
+/// Writes are tmp-file + rename so concurrent servers sharing a store
+/// directory never observe a torn artifact. A load that fails to parse
+/// (truncated file, foreign schema version) is treated as a miss, never
+/// an error — the store is strictly an accelerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_ARTIFACTSTORE_H
+#define VDGA_QUERY_ARTIFACTSTORE_H
+
+#include "query/AliasSummary.h"
+
+#include <optional>
+#include <string>
+
+namespace vdga {
+
+class MetricsRegistry;
+
+/// Filesystem-backed summary cache; see file comment. A default-constructed
+/// store is disabled: every load misses, every save is a no-op.
+class ArtifactStore {
+public:
+  ArtifactStore() = default;
+  explicit ArtifactStore(std::string Directory)
+      : Directory(std::move(Directory)) {}
+
+  bool enabled() const { return !Directory.empty(); }
+
+  /// Looks up the artifact for \p Digest. Returns the parsed summary on a
+  /// hit; nullopt on a miss (absent, unreadable, or unparseable file).
+  /// Counts `query.store_hits` / `query.store_misses` in \p Metrics.
+  std::optional<AliasSummary> load(const std::string &Digest,
+                                   MetricsRegistry *Metrics = nullptr) const;
+
+  /// Persists \p Summary under its own digest, creating the store
+  /// directory on first use. Returns false (with \p Error filled) only on
+  /// I/O failure; a disabled store returns true without writing.
+  bool save(const AliasSummary &Summary, std::string *Error = nullptr) const;
+
+  /// The artifact path a digest maps to (valid even when disabled; used
+  /// by tests and diagnostics).
+  std::string pathFor(const std::string &Digest) const;
+
+private:
+  std::string Directory;
+};
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_ARTIFACTSTORE_H

@@ -1,0 +1,148 @@
+//===- query/Loadgen.cpp --------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Loadgen.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+using namespace vdga;
+
+namespace {
+
+/// SplitMix64: tiny, seedable, and good enough for operand selection.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+
+private:
+  uint64_t State;
+};
+
+struct ThreadResult {
+  uint64_t Queries = 0;
+  uint64_t Errors = 0;
+  std::vector<uint32_t> LatenciesUs;
+  MetricsRegistry Metrics;
+};
+
+ThreadResult runClient(const AliasSummary &S, uint64_t Seed,
+                       uint64_t Queries) {
+  ThreadResult R;
+  QuerySession Session(S, R.Metrics);
+  Rng Rand(Seed);
+  R.LatenciesUs.reserve(Queries);
+  size_t NumVars = S.Variables.size();
+  size_t NumFns = S.Functions.size();
+  size_t NumSites = S.Callsites.size();
+  for (uint64_t Q = 0; Q < Queries; ++Q) {
+    auto Start = std::chrono::steady_clock::now();
+    QueryAnswer A;
+    // Mix: roughly half alias-pair probes (the compiler-client hot
+    // path), the rest split between pointsTo and modref.
+    uint64_t Roll = Rand.below(100);
+    if (Roll < 50 && NumVars) {
+      const std::string &VA = S.Variables[Rand.below(NumVars)].Name;
+      const std::string &VB = S.Variables[Rand.below(NumVars)].Name;
+      A = Session.mayAlias(VA, VB);
+    } else if (Roll < 80 && NumVars) {
+      A = Session.pointsTo(S.Variables[Rand.below(NumVars)].Name);
+    } else if (Roll < 90 && NumFns) {
+      A = Session.modref(S.Functions[Rand.below(NumFns)].Name);
+    } else if (NumSites) {
+      A = Session.modref(S.Callsites[Rand.below(NumSites)].Site);
+    } else if (NumVars) {
+      A = Session.pointsTo(S.Variables[Rand.below(NumVars)].Name);
+    } else {
+      continue; // Nothing queryable in this summary.
+    }
+    auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    R.LatenciesUs.push_back(static_cast<uint32_t>(
+        std::min<int64_t>(Us, UINT32_MAX)));
+    ++R.Queries;
+    if (!A.Ok)
+      ++R.Errors;
+  }
+  return R;
+}
+
+double percentile(const std::vector<uint32_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+} // namespace
+
+QueryLoadReport vdga::runQueryLoad(const AliasSummary &Summary,
+                                   const LoadgenOptions &Opts) {
+  QueryLoadReport Report;
+  unsigned Threads = std::max(1u, Opts.Threads);
+  Report.Threads = Threads;
+
+  uint64_t PerThread = Opts.Queries / Threads;
+  uint64_t Extra = Opts.Queries % Threads;
+
+  ThreadPool Pool(Threads);
+  std::vector<std::future<ThreadResult>> Futures;
+  Futures.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T) {
+    uint64_t N = PerThread + (T < Extra ? 1 : 0);
+    uint64_t Seed = Opts.Seed * 0x9E3779B9ULL + T + 1;
+    Futures.push_back(
+        Pool.submit([&Summary, Seed, N] { return runClient(Summary, Seed, N); }));
+  }
+
+  std::vector<uint32_t> AllUs;
+  AllUs.reserve(Opts.Queries);
+  uint64_t SumUs = 0;
+  for (auto &F : Futures) {
+    ThreadResult R = F.get();
+    Report.Queries += R.Queries;
+    Report.Errors += R.Errors;
+    for (uint32_t Us : R.LatenciesUs) {
+      AllUs.push_back(Us);
+      SumUs += Us;
+    }
+    Report.Metrics.merge(R.Metrics);
+  }
+
+  std::sort(AllUs.begin(), AllUs.end());
+  Report.MeanUs = AllUs.empty()
+                      ? 0
+                      : static_cast<double>(SumUs) /
+                            static_cast<double>(AllUs.size());
+  Report.P50Us = percentile(AllUs, 0.50);
+  Report.P99Us = percentile(AllUs, 0.99);
+
+  auto Count = [&](const char *Name) -> uint64_t {
+    const Metric *M = Report.Metrics.find(Name);
+    return M ? M->Count : 0;
+  };
+  Report.CacheHits = Count("query.alias_hits") + Count("query.pointee_hits") +
+                     Count("query.modref_hits");
+  Report.CacheMisses = Count("query.alias_misses") +
+                       Count("query.pointee_misses") +
+                       Count("query.modref_misses");
+  uint64_t Lookups = Report.CacheHits + Report.CacheMisses;
+  Report.HitRate = Lookups ? static_cast<double>(Report.CacheHits) /
+                                 static_cast<double>(Lookups)
+                           : 0;
+  return Report;
+}

@@ -1,0 +1,64 @@
+//===- query/Loadgen.h - Query-service load generator ----------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic load generator for the query service: replays a
+/// seeded stream of mixed `mayAlias` / `pointsTo` / `modref` queries
+/// against one shared `AliasSummary` from N concurrent client threads
+/// (one `QuerySession` per thread — the summary is immutable, so no
+/// locks), and reports latency percentiles plus the aggregate cache hit
+/// rate. This is the measurement behind the `query` section of the
+/// vdga-bench-v1 artifact (docs/BENCH_FORMAT.md) and the `query-smoke`
+/// ctest fixture; bench/query_loadgen.cpp is its CLI.
+///
+/// Operands are drawn uniformly from the summary's own universe
+/// (variables, functions, call sites), so every generated query is
+/// well-formed and the hit rate converges to 1 - U/Q for U distinct
+/// questions in Q queries — a small universe replayed at volume is
+/// exactly the compiler-client workload the caches exist for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_LOADGEN_H
+#define VDGA_QUERY_LOADGEN_H
+
+#include "query/QuerySession.h"
+
+namespace vdga {
+
+struct LoadgenOptions {
+  /// Client threads; 0 or 1 runs serially (support/ThreadPool.h).
+  unsigned Threads = 4;
+  /// Total queries, split evenly across threads.
+  uint64_t Queries = 100000;
+  /// Stream seed; same seed + same summary = same query stream.
+  uint64_t Seed = 1;
+};
+
+/// What one load run measured.
+struct QueryLoadReport {
+  uint64_t Queries = 0; ///< Answered (== requested unless summary empty).
+  uint64_t Errors = 0;  ///< Operand/usage errors (0 for generated streams).
+  unsigned Threads = 0;
+  double MeanUs = 0;
+  double P50Us = 0;
+  double P99Us = 0;
+  uint64_t CacheHits = 0;   ///< Sum over the alias/pointee/modref caches.
+  uint64_t CacheMisses = 0;
+  /// CacheHits / (CacheHits + CacheMisses); 0 when no lookups ran.
+  double HitRate = 0;
+  /// Per-thread registries merged (query.* counters, per-op latencies).
+  MetricsRegistry Metrics;
+};
+
+/// Runs the load; see file comment. Deterministic in everything except
+/// the latency figures.
+QueryLoadReport runQueryLoad(const AliasSummary &Summary,
+                             const LoadgenOptions &Opts);
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_LOADGEN_H

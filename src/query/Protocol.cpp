@@ -1,0 +1,324 @@
+//===- query/Protocol.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Protocol.h"
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string vdga::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonObject::key(std::string_view K) {
+  if (!First)
+    Buf += ',';
+  First = false;
+  Buf += '"';
+  Buf += jsonEscape(K);
+  Buf += "\":";
+}
+
+JsonObject &JsonObject::field(std::string_view Key, std::string_view Value) {
+  key(Key);
+  Buf += '"';
+  Buf += jsonEscape(Value);
+  Buf += '"';
+  return *this;
+}
+
+JsonObject &JsonObject::field(std::string_view Key, int64_t Value) {
+  key(Key);
+  Buf += std::to_string(Value);
+  return *this;
+}
+
+JsonObject &JsonObject::field(std::string_view Key, bool Value) {
+  key(Key);
+  Buf += Value ? "true" : "false";
+  return *this;
+}
+
+JsonObject &JsonObject::raw(std::string_view Key, std::string_view Json) {
+  key(Key);
+  Buf += Json;
+  return *this;
+}
+
+JsonObject &JsonObject::list(std::string_view Key,
+                             const std::vector<std::string> &V) {
+  key(Key);
+  Buf += '[';
+  for (size_t I = 0; I < V.size(); ++I) {
+    if (I)
+      Buf += ',';
+    Buf += '"';
+    Buf += jsonEscape(V[I]);
+    Buf += '"';
+  }
+  Buf += ']';
+  return *this;
+}
+
+std::string JsonObject::str() {
+  Buf += '}';
+  return std::move(Buf);
+}
+
+std::string QueryRequest::idJson() const {
+  if (!HasId)
+    return "null";
+  if (IdIsString)
+    return "\"" + jsonEscape(Id) + "\"";
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hand-rolled scanner for one flat JSON object. Positions are byte
+/// offsets into the line, reported in errors.
+class Scanner {
+public:
+  Scanner(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(QueryRequest &Out);
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error)
+      *Error = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool parseString(std::string &Out);
+  bool parseValue(const std::string &Key, QueryRequest &Out);
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+bool Scanner::parseString(std::string &Out) {
+  if (!eat('"'))
+    return fail("expected string");
+  Out.clear();
+  while (Pos < Text.size()) {
+    char C = Text[Pos++];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Out += C;
+      continue;
+    }
+    if (Pos >= Text.size())
+      return fail("dangling escape");
+    char E = Text[Pos++];
+    switch (E) {
+    case '"':
+    case '\\':
+    case '/':
+      Out += E;
+      break;
+    case 'b':
+      Out += '\b';
+      break;
+    case 'f':
+      Out += '\f';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (Pos + 4 > Text.size())
+        return fail("truncated \\u escape");
+      unsigned V = 0;
+      for (int I = 0; I < 4; ++I) {
+        char H = Text[Pos++];
+        V <<= 4;
+        if (H >= '0' && H <= '9')
+          V |= H - '0';
+        else if (H >= 'a' && H <= 'f')
+          V |= H - 'a' + 10;
+        else if (H >= 'A' && H <= 'F')
+          V |= H - 'A' + 10;
+        else
+          return fail("bad \\u escape digit");
+      }
+      // BMP code point to UTF-8 (surrogates pass through as-is bytes of
+      // the replacement pattern are unnecessary for this protocol).
+      if (V < 0x80) {
+        Out += static_cast<char>(V);
+      } else if (V < 0x800) {
+        Out += static_cast<char>(0xC0 | (V >> 6));
+        Out += static_cast<char>(0x80 | (V & 0x3F));
+      } else {
+        Out += static_cast<char>(0xE0 | (V >> 12));
+        Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+        Out += static_cast<char>(0x80 | (V & 0x3F));
+      }
+      break;
+    }
+    default:
+      return fail(std::string("unknown escape \\") + E);
+    }
+  }
+  return fail("unterminated string");
+}
+
+bool Scanner::parseValue(const std::string &Key, QueryRequest &Out) {
+  skipWs();
+  if (Pos >= Text.size())
+    return fail("missing value");
+  char C = Text[Pos];
+  auto SetId = [&](std::string V, bool IsString) {
+    Out.HasId = true;
+    Out.IdIsString = IsString;
+    Out.Id = std::move(V);
+  };
+  if (C == '"') {
+    std::string V;
+    if (!parseString(V))
+      return false;
+    if (Key == "id")
+      SetId(std::move(V), true);
+    else if (Key == "op")
+      Out.Op = std::move(V);
+    else
+      Out.Strings[Key] = std::move(V);
+    return true;
+  }
+  if (C == '-' || (C >= '0' && C <= '9')) {
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Pos < Text.size() &&
+        (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E'))
+      return fail("non-integer numbers are not part of vdga-query-v1");
+    std::string Tok(Text.substr(Start, Pos - Start));
+    if (Tok == "-")
+      return fail("bad number");
+    if (Key == "id") {
+      SetId(std::move(Tok), false);
+      return true;
+    }
+    Out.Ints[Key] = std::stoll(Tok);
+    return true;
+  }
+  auto Lit = [&](std::string_view W) {
+    if (Text.substr(Pos, W.size()) != W)
+      return false;
+    Pos += W.size();
+    return true;
+  };
+  if (Lit("true")) {
+    Out.Bools[Key] = true;
+    return true;
+  }
+  if (Lit("false")) {
+    Out.Bools[Key] = false;
+    return true;
+  }
+  if (Lit("null"))
+    return true; // Tolerated and ignored (an explicit "id": null).
+  if (C == '{' || C == '[')
+    return fail("nested values are not part of vdga-query-v1 requests");
+  return fail("unrecognized value");
+}
+
+bool Scanner::parse(QueryRequest &Out) {
+  if (!eat('{'))
+    return fail("request line must be a JSON object");
+  skipWs();
+  if (eat('}')) {
+    skipWs();
+    return Pos == Text.size() ? true : fail("trailing bytes after object");
+  }
+  while (true) {
+    std::string Key;
+    if (!parseString(Key))
+      return false;
+    if (!eat(':'))
+      return fail("expected ':' after key");
+    if (!parseValue(Key, Out))
+      return false;
+    if (eat(','))
+      continue;
+    if (eat('}'))
+      break;
+    return fail("expected ',' or '}'");
+  }
+  skipWs();
+  if (Pos != Text.size())
+    return fail("trailing bytes after object");
+  return true;
+}
+
+} // namespace
+
+bool vdga::parseQueryRequest(std::string_view Line, QueryRequest &Out,
+                             std::string *Error) {
+  Out = QueryRequest();
+  Scanner Sc(Line, Error);
+  return Sc.parse(Out);
+}

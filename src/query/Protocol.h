@@ -1,0 +1,103 @@
+//===- query/Protocol.h - vdga-query-v1 wire protocol ----------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned `vdga-query-v1` wire protocol: newline-delimited JSON,
+/// one request object per line in, one response object per line out.
+/// Requests are *flat* — every value is a string, integer, or boolean;
+/// nested objects/arrays are rejected as `parse-error` — which keeps the
+/// embedded parser small and the protocol trivially generatable from
+/// any language. Responses may carry string arrays (pointsTo results).
+/// The full field-by-field specification, error-code table, and a
+/// worked transcript live in docs/QUERY_PROTOCOL.md; this header is the
+/// single implementation of both directions, shared by the server, the
+/// load generator, and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_PROTOCOL_H
+#define VDGA_QUERY_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdga {
+
+/// The protocol revision this code speaks; echoed by `hello`.
+inline constexpr const char *QueryProtocolVersion = "vdga-query-v1";
+
+/// One parsed request line. Fields are stored by kind; `str`/`integer`/
+/// `boolean` are the typed accessors ops use to pull their operands.
+struct QueryRequest {
+  /// The client's correlation id, echoed verbatim (with its original
+  /// JSON type) on the response. Optional; responses to id-less requests
+  /// carry "id": null.
+  bool HasId = false;
+  bool IdIsString = false;
+  std::string Id;
+
+  /// The operation name ("hello", "mayAlias", ...). Required.
+  std::string Op;
+
+  std::map<std::string, std::string> Strings;
+  std::map<std::string, int64_t> Ints;
+  std::map<std::string, bool> Bools;
+
+  const std::string *str(const std::string &Key) const {
+    auto It = Strings.find(Key);
+    return It == Strings.end() ? nullptr : &It->second;
+  }
+  std::optional<int64_t> integer(const std::string &Key) const {
+    auto It = Ints.find(Key);
+    return It == Ints.end() ? std::nullopt : std::optional<int64_t>(It->second);
+  }
+  std::optional<bool> boolean(const std::string &Key) const {
+    auto It = Bools.find(Key);
+    return It == Bools.end() ? std::nullopt : std::optional<bool>(It->second);
+  }
+
+  /// The id rendered as a JSON value for echoing ("null" when absent).
+  std::string idJson() const;
+};
+
+/// Strict parse of one request line. On failure returns false and fills
+/// \p Error with a position-carrying message (the server turns it into a
+/// `parse-error` response).
+bool parseQueryRequest(std::string_view Line, QueryRequest &Out,
+                       std::string *Error);
+
+/// JSON string escaping (quotes not included).
+std::string jsonEscape(std::string_view S);
+
+/// Minimal single-object JSON writer for response lines. Fields render
+/// in insertion order; call str() exactly once to close the object.
+class JsonObject {
+public:
+  JsonObject &field(std::string_view Key, std::string_view Value);
+  /// Without this overload a string literal would bind to the bool one.
+  JsonObject &field(std::string_view Key, const char *Value) {
+    return field(Key, std::string_view(Value));
+  }
+  JsonObject &field(std::string_view Key, int64_t Value);
+  JsonObject &field(std::string_view Key, bool Value);
+  /// A pre-rendered JSON value (the echoed id, a nested array).
+  JsonObject &raw(std::string_view Key, std::string_view Json);
+  JsonObject &list(std::string_view Key, const std::vector<std::string> &V);
+  std::string str();
+
+private:
+  void key(std::string_view K);
+  std::string Buf = "{";
+  bool First = true;
+};
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_PROTOCOL_H

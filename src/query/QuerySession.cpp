@@ -1,0 +1,213 @@
+//===- query/QuerySession.cpp ---------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/QuerySession.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace vdga;
+
+bool QuerySession::locationsOverlap(std::string_view A, std::string_view B) {
+  if (A == B)
+    return true;
+  if (A.size() > B.size())
+    std::swap(A, B);
+  // A strictly shorter: overlap iff B extends A at a component boundary
+  // ("p" dominates "p.f" and "p[*]", but not "p2").
+  return B.substr(0, A.size()) == A && (B[A.size()] == '.' || B[A.size()] == '[');
+}
+
+QueryAnswer QuerySession::operandError(int Resolution,
+                                       std::string_view Operand,
+                                       const char *What) {
+  QueryAnswer A;
+  A.Ok = false;
+  std::string Name(Operand);
+  if (Resolution == AliasSummary::Ambiguous) {
+    A.Error = "ambiguous-operand";
+    A.Detail = "'" + Name + "' names a local in more than one function; "
+               "qualify it as fn." + Name;
+  } else {
+    A.Error = "unknown-operand";
+    A.Detail = "no " + std::string(What) + " named '" + Name +
+               "' (non-address-taken scalars are not store-resident and "
+               "cannot be queried)";
+  }
+  return A;
+}
+
+void QuerySession::finish(QueryAnswer &A, bool Cached) {
+  A.Cached = Cached;
+  if (A.Ok) {
+    A.Tier = S.Tier;
+    A.Degraded = S.Tier != PrecisionTier::ContextInsens;
+    if (A.Degraded)
+      M.add("query.degraded_answers", 1);
+  } else {
+    M.add("query.errors", 1);
+  }
+  M.add("query.requests", 1);
+}
+
+QueryAnswer QuerySession::mayAlias(std::string_view NameA,
+                                   std::string_view NameB, CacheMode Mode) {
+  int IA = S.resolveVariable(NameA);
+  if (IA < 0) {
+    QueryAnswer A = operandError(IA, NameA, "variable");
+    finish(A, false);
+    return A;
+  }
+  int IB = S.resolveVariable(NameB);
+  if (IB < 0) {
+    QueryAnswer A = operandError(IB, NameB, "variable");
+    finish(A, false);
+    return A;
+  }
+
+  // Canonical symmetric key: mayAlias(a,b) and mayAlias(b,a) are the
+  // same question and share one cache entry.
+  std::pair<int, int> Key{std::min(IA, IB), std::max(IA, IB)};
+  QueryAnswer A;
+  if (Mode == CacheMode::Use) {
+    if (auto It = AliasCache.find(Key); It != AliasCache.end()) {
+      M.add("query.alias_hits", 1);
+      A.Verdict = It->second.Value ? "may-alias" : "no-alias";
+      finish(A, true);
+      return A;
+    }
+    M.add("query.alias_misses", 1);
+  }
+
+  bool May = false;
+  if (IA == IB) {
+    May = true; // The same object trivially overlaps itself.
+  } else {
+    const auto &PA = S.Variables[IA].Pointees;
+    const auto &PB = S.Variables[IB].Pointees;
+    for (const std::string &LA : PA) {
+      for (const std::string &LB : PB)
+        if (locationsOverlap(LA, LB)) {
+          May = true;
+          break;
+        }
+      if (May)
+        break;
+    }
+  }
+  if (Mode == CacheMode::Use)
+    AliasCache[Key] = {May, S.Tier};
+  A.Verdict = May ? "may-alias" : "no-alias";
+  finish(A, false);
+  return A;
+}
+
+QueryAnswer QuerySession::pointsTo(std::string_view Var, CacheMode Mode) {
+  int I = S.resolveVariable(Var);
+  if (I < 0) {
+    QueryAnswer A = operandError(I, Var, "variable");
+    finish(A, false);
+    return A;
+  }
+  QueryAnswer A;
+  if (Mode == CacheMode::Use) {
+    if (auto It = PointeeCache.find(I); It != PointeeCache.end()) {
+      M.add("query.pointee_hits", 1);
+      A.Locations = It->second.Value;
+      finish(A, true);
+      return A;
+    }
+    M.add("query.pointee_misses", 1);
+    PointeeCache[I] = {S.Variables[I].Pointees, S.Tier};
+  }
+  A.Locations = S.Variables[I].Pointees;
+  finish(A, false);
+  return A;
+}
+
+QueryAnswer QuerySession::modref(std::string_view Operand, CacheMode Mode) {
+  // A "line:col" operand is a call site; anything else is a function name.
+  bool IsSite = Operand.find(':') != std::string_view::npos;
+
+  // Per-function answer, memoized by function id.
+  auto FunctionAnswer = [&](int Fn, bool &WasCached) -> QueryAnswer {
+    if (Mode == CacheMode::Use) {
+      if (auto It = ModRefCache.find(Fn); It != ModRefCache.end()) {
+        M.add("query.modref_hits", 1);
+        WasCached = true;
+        return It->second.Value;
+      }
+      M.add("query.modref_misses", 1);
+    }
+    WasCached = false;
+    const AliasSummary::Function &F = S.Functions[Fn];
+    QueryAnswer A;
+    A.TopModRef = F.TopModRef;
+    if (!F.TopModRef) {
+      A.Mod = F.Mod;
+      A.Ref = F.Ref;
+    }
+    if (Mode == CacheMode::Use)
+      ModRefCache[Fn] = {A, S.Tier};
+    return A;
+  };
+
+  if (!IsSite) {
+    int Fn = S.resolveFunction(Operand);
+    if (Fn < 0) {
+      QueryAnswer A = operandError(Fn, Operand, "defined function");
+      finish(A, false);
+      return A;
+    }
+    bool Cached = false;
+    QueryAnswer A = FunctionAnswer(Fn, Cached);
+    finish(A, Cached);
+    return A;
+  }
+
+  int Site = S.resolveCallsite(Operand);
+  if (Site < 0) {
+    QueryAnswer A = operandError(Site, Operand, "call site");
+    finish(A, false);
+    return A;
+  }
+  const AliasSummary::Callsite &C = S.Callsites[Site];
+  QueryAnswer A;
+  bool AllCached = !C.Callees.empty();
+  if (C.Callees.empty()) {
+    // Under a degraded tier callee sets are unknown — the sound answer
+    // is top. Under the complete tier an empty set means the solver
+    // proved no callable value reaches this site: nothing is touched.
+    A.TopModRef = S.Tier != PrecisionTier::ContextInsens;
+  } else {
+    std::set<std::string> Mod, Ref;
+    for (const std::string &Callee : C.Callees) {
+      int Fn = S.resolveFunction(Callee);
+      if (Fn < 0) {
+        // A discovered callee without a body: conservatively top.
+        A.TopModRef = true;
+        break;
+      }
+      bool Cached = false;
+      QueryAnswer FA = FunctionAnswer(Fn, Cached);
+      AllCached = AllCached && Cached;
+      if (FA.TopModRef) {
+        A.TopModRef = true;
+        break;
+      }
+      Mod.insert(FA.Mod.begin(), FA.Mod.end());
+      Ref.insert(FA.Ref.begin(), FA.Ref.end());
+    }
+    if (!A.TopModRef) {
+      A.Mod.assign(Mod.begin(), Mod.end());
+      A.Ref.assign(Ref.begin(), Ref.end());
+    } else {
+      AllCached = false;
+    }
+  }
+  finish(A, AllCached);
+  return A;
+}

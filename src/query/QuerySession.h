@@ -1,0 +1,141 @@
+//===- query/QuerySession.h - Memoizing query sessions ---------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demand side of the query service: a `QuerySession` answers
+/// `mayAlias` / `pointsTo` / `modref` questions against one immutable
+/// `AliasSummary`, memoizing each answer so repeated questions — the
+/// common case for compiler clients, which probe the same few pairs from
+/// many transformation sites — are served from O(1) cache lookups
+/// instead of recomputed set intersections.
+///
+/// Three caches, mirroring the classic alias-manager shape:
+///  - the alias-pair cache, keyed on the *canonical* (min,max) pair of
+///    resolved variable ids so mayAlias(a,b) and mayAlias(b,a) share one
+///    entry (the relation is symmetric);
+///  - the pointee cache, keyed on the resolved variable id;
+///  - the mod/ref cache, keyed on the resolved function id.
+/// Every entry records the precision tier it was computed at — a
+/// degraded (Steensgaard/top) answer is never cached as if it were a
+/// complete context-insensitive one, and re-serving it re-marks it.
+/// Hit/miss counters land in the session's MetricsRegistry under
+/// `query.alias_hits`, `query.pointee_misses`, etc.
+///
+/// Sessions are single-threaded by design (MetricsRegistry is too);
+/// concurrency comes from running one session per client thread over
+/// the shared summary, then merging registries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_QUERYSESSION_H
+#define VDGA_QUERY_QUERYSESSION_H
+
+#include "query/AliasSummary.h"
+#include "support/Metrics.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdga {
+
+/// One answer from the service. `Ok` distinguishes answered queries from
+/// operand/usage errors; everything else is op-specific payload.
+struct QueryAnswer {
+  bool Ok = true;
+  /// Machine-readable error code when !Ok ("unknown-operand",
+  /// "ambiguous-operand", "bad-request"); see docs/QUERY_PROTOCOL.md.
+  std::string Error;
+  /// Human-readable error detail when !Ok.
+  std::string Detail;
+
+  /// mayAlias: "may-alias" or "no-alias".
+  std::string Verdict;
+  /// pointsTo: rendered locations, sorted.
+  std::vector<std::string> Locations;
+  /// modref: rendered location lists, sorted (empty when TopModRef).
+  std::vector<std::string> Mod, Ref;
+  /// modref: the degraded "may touch anything" answer.
+  bool TopModRef = false;
+
+  /// The precision tier the answer was computed at ("ci", "steens", "top").
+  PrecisionTier Tier = PrecisionTier::ContextInsens;
+  /// True when Tier is coarser than the full context-insensitive solve.
+  bool Degraded = false;
+  /// True when served from this session's memo cache.
+  bool Cached = false;
+
+  friend bool operator==(const QueryAnswer &A, const QueryAnswer &B) {
+    // Cached is deliberately excluded: a cached answer must be
+    // *bit-identical in content* to the uncached one.
+    return A.Ok == B.Ok && A.Error == B.Error && A.Verdict == B.Verdict &&
+           A.Locations == B.Locations && A.Mod == B.Mod && A.Ref == B.Ref &&
+           A.TopModRef == B.TopModRef && A.Tier == B.Tier &&
+           A.Degraded == B.Degraded;
+  }
+};
+
+/// Cache behaviour for one request (the protocol's "cache" field).
+enum class CacheMode {
+  Use,    ///< Normal: consult and populate the memo caches.
+  Bypass, ///< Recompute; neither consult nor populate (for validation).
+};
+
+/// See file comment. Holds only references — the summary must outlive
+/// the session; the registry is typically AnalyzedProgram::Metrics or a
+/// per-thread one merged later.
+class QuerySession {
+public:
+  QuerySession(const AliasSummary &Summary, MetricsRegistry &Metrics)
+      : S(Summary), M(Metrics) {}
+
+  /// May the objects named \p A and \p B hold pointers to overlapping
+  /// storage? Symmetric; the same operand twice is trivially may-alias.
+  QueryAnswer mayAlias(std::string_view A, std::string_view B,
+                       CacheMode Mode = CacheMode::Use);
+
+  /// The locations any pointer stored in \p Var may reference.
+  QueryAnswer pointsTo(std::string_view Var, CacheMode Mode = CacheMode::Use);
+
+  /// Transitive mod/ref of a function (by name) or of every callee the
+  /// solver discovered at a call site (by "line:col").
+  QueryAnswer modref(std::string_view Operand,
+                     CacheMode Mode = CacheMode::Use);
+
+  const AliasSummary &summary() const { return S; }
+  MetricsRegistry &metrics() { return M; }
+
+  /// Do two rendered access paths denote potentially overlapping
+  /// storage?  Equal, or one a strict prefix of the other at a '.' / '['
+  /// component boundary (path domination at the rendered level).
+  static bool locationsOverlap(std::string_view A, std::string_view B);
+
+private:
+  /// A memoized answer plus the tier it was computed at.
+  template <typename V> struct Entry {
+    V Value;
+    PrecisionTier Tier;
+  };
+
+  QueryAnswer operandError(int Resolution, std::string_view Operand,
+                           const char *What);
+  void finish(QueryAnswer &A, bool Cached);
+
+  const AliasSummary &S;
+  MetricsRegistry &M;
+  /// Alias-pair cache; key is canonical (min,max) variable-id pair.
+  std::map<std::pair<int, int>, Entry<bool>> AliasCache;
+  /// Pointee cache; key is the variable id.
+  std::map<int, Entry<std::vector<std::string>>> PointeeCache;
+  /// Mod/ref cache; key is the function id (callsite queries fan out to
+  /// per-function entries, so they share hits with direct queries).
+  std::map<int, Entry<QueryAnswer>> ModRefCache;
+};
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_QUERYSESSION_H

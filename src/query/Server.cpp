@@ -1,0 +1,217 @@
+//===- query/Server.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Server.h"
+
+#include "driver/Pipeline.h"
+#include "support/Digest.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+using namespace vdga;
+
+QueryServer::QueryServer(std::string Source, QueryServerOptions Opts,
+                         std::unique_ptr<AnalyzedProgram> AP)
+    : Source(std::move(Source)), Opts(std::move(Opts)), AP(std::move(AP)),
+      Store(this->Opts.StoreDir) {}
+
+QueryServer::~QueryServer() = default;
+
+std::unique_ptr<QueryServer> QueryServer::create(std::string Source,
+                                                 QueryServerOptions Opts,
+                                                 std::string *Error) {
+  auto AP = AnalyzedProgram::create(Source, Error);
+  if (!AP)
+    return nullptr;
+  return std::unique_ptr<QueryServer>(
+      new QueryServer(std::move(Source), std::move(Opts), std::move(AP)));
+}
+
+MetricsRegistry &QueryServer::metrics() { return AP->Metrics; }
+
+void QueryServer::ensureSummary(const QueryRequest *Req) {
+  if (Summary)
+    return;
+  GovernancePolicy Policy = Opts.Policy;
+  if (Req) {
+    // Per-request admission control: a budget_ms on the triggering
+    // request tightens the solve's wall-clock budget, never loosens it.
+    if (auto Ms = Req->integer("budget_ms"); Ms && *Ms > 0)
+      if (Policy.SolveMs == 0 || static_cast<double>(*Ms) < Policy.SolveMs)
+        Policy.SolveMs = static_cast<double>(*Ms);
+  }
+  std::string Digest = sourceDigest(Source);
+  if (Store.enabled())
+    if (auto Loaded = Store.load(Digest, &AP->Metrics)) {
+      Summary = std::move(*Loaded);
+      Session.emplace(*Summary, AP->Metrics);
+      return;
+    }
+  Summary = buildAliasSummary(*AP, Source, Policy);
+  if (Store.enabled())
+    Store.save(*Summary); // Best-effort: a failed save never fails a query.
+  Session.emplace(*Summary, AP->Metrics);
+}
+
+const AliasSummary &QueryServer::summary() {
+  ensureSummary(nullptr);
+  return *Summary;
+}
+
+namespace {
+
+std::string errorResponse(const std::string &IdJson, std::string_view Op,
+                          std::string_view Code, std::string_view Detail,
+                          int64_t LatencyUs) {
+  JsonObject O;
+  O.raw("id", IdJson).field("ok", false);
+  if (!Op.empty())
+    O.field("op", Op);
+  O.field("error", Code).field("detail", Detail);
+  O.field("latency_us", LatencyUs);
+  return O.str();
+}
+
+} // namespace
+
+std::string QueryServer::handleLine(std::string_view Line, bool &Shutdown) {
+  auto Start = std::chrono::steady_clock::now();
+  auto LatencyUs = [&]() -> int64_t {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  QueryRequest Req;
+  std::string ParseError;
+  if (!parseQueryRequest(Line, Req, &ParseError))
+    return errorResponse("null", "", "parse-error", ParseError, LatencyUs());
+  if (Req.Op.empty())
+    return errorResponse(Req.idJson(), "", "bad-request",
+                         "request has no \"op\" field", LatencyUs());
+
+  const std::string &Op = Req.Op;
+  auto Missing = [&](const char *Field) {
+    return errorResponse(Req.idJson(), Op, "missing-operand",
+                         std::string("op \"") + Op +
+                             "\" requires the \"" + Field + "\" field",
+                         LatencyUs());
+  };
+
+  // Cache-control field, shared by the three query ops.
+  CacheMode Mode = CacheMode::Use;
+  if (const std::string *C = Req.str("cache")) {
+    if (*C == "bypass")
+      Mode = CacheMode::Bypass;
+    else if (*C != "use")
+      return errorResponse(Req.idJson(), Op, "bad-request",
+                           "\"cache\" must be \"use\" or \"bypass\", got \"" +
+                               *C + "\"",
+                           LatencyUs());
+  }
+
+  auto RenderAnswer = [&](const QueryAnswer &A) {
+    if (!A.Ok)
+      return errorResponse(Req.idJson(), Op, A.Error, A.Detail, LatencyUs());
+    JsonObject O;
+    O.raw("id", Req.idJson()).field("ok", true).field("op", Op);
+    if (Op == "mayAlias")
+      O.field("verdict", A.Verdict);
+    else if (Op == "pointsTo")
+      O.list("locations", A.Locations);
+    else if (Op == "modref") {
+      O.field("top", A.TopModRef);
+      O.list("mod", A.Mod).list("ref", A.Ref);
+    }
+    O.field("tier", precisionTierName(A.Tier))
+        .field("degraded", A.Degraded)
+        .field("cached", A.Cached)
+        .field("latency_us", LatencyUs());
+    return O.str();
+  };
+
+  if (Op == "hello") {
+    JsonObject O;
+    O.raw("id", Req.idJson())
+        .field("ok", true)
+        .field("op", Op)
+        .field("protocol", QueryProtocolVersion)
+        .field("digest", sourceDigest(Source))
+        .field("solved", Summary.has_value())
+        .field("latency_us", LatencyUs());
+    return O.str();
+  }
+  if (Op == "shutdown") {
+    Shutdown = true;
+    JsonObject O;
+    O.raw("id", Req.idJson())
+        .field("ok", true)
+        .field("op", Op)
+        .field("shutdown", true)
+        .field("latency_us", LatencyUs());
+    return O.str();
+  }
+  if (Op == "stats") {
+    auto Count = [&](const char *Name) -> int64_t {
+      const Metric *M = AP->Metrics.find(Name);
+      return M ? static_cast<int64_t>(M->Count) : 0;
+    };
+    JsonObject O;
+    O.raw("id", Req.idJson()).field("ok", true).field("op", Op);
+    O.field("solved", Summary.has_value());
+    for (const char *Name :
+         {"query.requests", "query.errors", "query.degraded_answers",
+          "query.alias_hits", "query.alias_misses", "query.pointee_hits",
+          "query.pointee_misses", "query.modref_hits", "query.modref_misses",
+          "query.store_hits", "query.store_misses"})
+      O.field(Name, Count(Name));
+    O.field("latency_us", LatencyUs());
+    return O.str();
+  }
+
+  if (Op == "mayAlias") {
+    const std::string *A = Req.str("a"), *B = Req.str("b");
+    if (!A)
+      return Missing("a");
+    if (!B)
+      return Missing("b");
+    ensureSummary(&Req);
+    return RenderAnswer(Session->mayAlias(*A, *B, Mode));
+  }
+  if (Op == "pointsTo") {
+    const std::string *Var = Req.str("var");
+    if (!Var)
+      return Missing("var");
+    ensureSummary(&Req);
+    return RenderAnswer(Session->pointsTo(*Var, Mode));
+  }
+  if (Op == "modref") {
+    const std::string *Target = Req.str("target");
+    if (!Target)
+      return Missing("target");
+    ensureSummary(&Req);
+    return RenderAnswer(Session->modref(*Target, Mode));
+  }
+
+  return errorResponse(Req.idJson(), Op, "unknown-op",
+                       "\"" + Op + "\" is not a vdga-query-v1 operation",
+                       LatencyUs());
+}
+
+int QueryServer::runPipe(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  bool Shutdown = false;
+  while (!Shutdown && std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue; // Blank lines are keep-alive no-ops.
+    Out << handleLine(Line, Shutdown) << "\n" << std::flush;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- query/Server.h - vdga-query-v1 request handling ---------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server side of the query service: owns one analyzed program,
+/// builds (or store-loads) its `AliasSummary` lazily on the first query,
+/// and maps protocol request lines to `QuerySession` answers. The
+/// transport is deliberately out of scope — `handleLine` is the whole
+/// protocol state machine, so the same object serves the stdin/stdout
+/// pipe mode (CI tests), the socket loop in tools/vdga-serve.cpp, and
+/// in-process tests over stringstreams.
+///
+/// Admission control: the governed solve happens at most once, under the
+/// server's GovernancePolicy; a `budget_ms` field on the triggering
+/// request tightens (never loosens) that solve's wall-clock budget. If
+/// the solve degrades, the server stays up and every answer carries the
+/// degraded tier marker — a slow program costs precision, not liveness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_QUERY_SERVER_H
+#define VDGA_QUERY_SERVER_H
+
+#include "query/ArtifactStore.h"
+#include "query/Protocol.h"
+#include "query/QuerySession.h"
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace vdga {
+
+class AnalyzedProgram;
+
+struct QueryServerOptions {
+  /// Admission-control budgets for the one governed solve.
+  GovernancePolicy Policy;
+  /// Artifact-store directory; empty disables the store.
+  std::string StoreDir;
+};
+
+/// See file comment. One server = one program; create() fails (frontend
+/// diagnostics in \p Error) when the source does not analyze.
+class QueryServer {
+public:
+  static std::unique_ptr<QueryServer> create(std::string Source,
+                                             QueryServerOptions Opts,
+                                             std::string *Error);
+  ~QueryServer();
+
+  /// Handles one request line (no trailing newline) and returns the
+  /// response line (no trailing newline). Sets \p Shutdown on a
+  /// `shutdown` request. Never throws; malformed input becomes a
+  /// `parse-error` response.
+  std::string handleLine(std::string_view Line, bool &Shutdown);
+
+  /// Pipe mode: serve newline-delimited requests from \p In to \p Out
+  /// until EOF or `shutdown`. Returns the process exit code (0).
+  int runPipe(std::istream &In, std::ostream &Out);
+
+  /// The analyzed program's registry (query.* counters land here).
+  MetricsRegistry &metrics();
+
+  /// The summary, solving it now if no query has triggered that yet.
+  const AliasSummary &summary();
+
+private:
+  QueryServer(std::string Source, QueryServerOptions Opts,
+              std::unique_ptr<AnalyzedProgram> AP);
+
+  /// Builds or store-loads the summary once; \p Req may tighten the
+  /// solve budget via "budget_ms".
+  void ensureSummary(const QueryRequest *Req);
+
+  std::string Source;
+  QueryServerOptions Opts;
+  std::unique_ptr<AnalyzedProgram> AP;
+  ArtifactStore Store;
+  std::optional<AliasSummary> Summary;
+  std::optional<QuerySession> Session;
+};
+
+} // namespace vdga
+
+#endif // VDGA_QUERY_SERVER_H

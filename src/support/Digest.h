@@ -1,0 +1,68 @@
+//===- support/Digest.h - Canonical FNV-1a digest --------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical digest accumulator shared by the fuzz oracle stack
+/// (fingerprinting everything observable about one program's analysis)
+/// and the query service's artifact store (keying solved programs so a
+/// corpus member is re-served without re-solving). FNV-1a over strings
+/// with a separator byte, so "ab"+"c" and "a"+"bc" digest differently.
+/// Stringly canonical inputs only: callers must render and sort anything
+/// whose in-memory order is schedule-dependent before feeding it in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_DIGEST_H
+#define VDGA_SUPPORT_DIGEST_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vdga {
+
+/// FNV-1a digest accumulator.
+class Fnv64 {
+public:
+  void add(std::string_view S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001B3ULL;
+    }
+    // Separator so "ab"+"c" and "a"+"bc" differ.
+    H ^= 0xFF;
+    H *= 0x100000001B3ULL;
+  }
+
+  uint64_t value() const { return H; }
+
+  std::string hex() const {
+    static const char *Digits = "0123456789abcdef";
+    std::string S(16, '0');
+    uint64_t V = H;
+    for (int I = 15; I >= 0; --I, V >>= 4)
+      S[I] = Digits[V & 0xF];
+    return S;
+  }
+
+private:
+  uint64_t H = 0xCBF29CE484222325ULL;
+};
+
+/// The canonical digest of one program's source text — the artifact-store
+/// key. Deliberately byte-exact (no whitespace canonicalization): two
+/// sources that differ at all may analyze differently, and a false cache
+/// miss only costs a re-solve while a false hit serves wrong answers.
+inline std::string sourceDigest(std::string_view Source) {
+  Fnv64 D;
+  D.add("vdga-src");
+  D.add(Source);
+  return D.hex();
+}
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_DIGEST_H

@@ -1,0 +1,297 @@
+//===- tests/QueryCacheTest.cpp - Query service and caches ----------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The query-service contracts: cached answers are bit-identical to
+// uncached ones (including the symmetric mayAlias pair), hit/miss
+// counters account exactly, the digest-keyed artifact store round-trips
+// byte-identically, and degraded-tier answers are served — and cached —
+// at their own tier, never as complete context-insensitive results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/ArtifactStore.h"
+#include "query/Loadgen.h"
+#include "query/QuerySession.h"
+#include "support/Digest.h"
+
+#include "TestUtil.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace vdga;
+using vdga::test::analyze;
+
+namespace {
+
+/// A program with distinguishable alias classes: p and r can both reach
+/// g; q reaches only h; s aliases nothing.
+constexpr const char *Demo = R"(
+int g;
+int h;
+int *p;
+int *q;
+int *r;
+int s;
+
+void set(int *t) {
+  p = t;
+}
+
+int main() {
+  set(&g);
+  q = &h;
+  r = &g;
+  s = 1;
+  *p = 2;
+  return *q + *r + s;
+}
+)";
+
+AliasSummary demoSummary(AnalyzedProgram &AP) {
+  return buildAliasSummary(AP, Demo);
+}
+
+uint64_t count(const MetricsRegistry &M, const char *Name) {
+  const Metric *Metric = M.find(Name);
+  return Metric ? Metric->Count : 0;
+}
+
+TEST(QueryCache, CachedAnswersBitIdenticalToUncached) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+  MetricsRegistry M;
+  QuerySession Session(S, M);
+
+  // Every (variable, variable) pair, three ways: a cold cached query, a
+  // warm cached query, and a bypass recompute. All three must agree on
+  // every content field.
+  for (const auto &VA : S.Variables)
+    for (const auto &VB : S.Variables) {
+      QueryAnswer Cold = Session.mayAlias(VA.Name, VB.Name);
+      QueryAnswer Warm = Session.mayAlias(VA.Name, VB.Name);
+      QueryAnswer Fresh =
+          Session.mayAlias(VA.Name, VB.Name, CacheMode::Bypass);
+      EXPECT_TRUE(Warm.Cached) << VA.Name << " vs " << VB.Name;
+      EXPECT_FALSE(Fresh.Cached);
+      EXPECT_EQ(Cold, Warm) << VA.Name << " vs " << VB.Name;
+      EXPECT_EQ(Cold, Fresh) << VA.Name << " vs " << VB.Name;
+    }
+  for (const auto &V : S.Variables) {
+    QueryAnswer Cold = Session.pointsTo(V.Name);
+    QueryAnswer Warm = Session.pointsTo(V.Name);
+    QueryAnswer Fresh = Session.pointsTo(V.Name, CacheMode::Bypass);
+    EXPECT_TRUE(Warm.Cached) << V.Name;
+    EXPECT_EQ(Cold, Warm) << V.Name;
+    EXPECT_EQ(Cold, Fresh) << V.Name;
+  }
+  for (const auto &F : S.Functions) {
+    QueryAnswer Cold = Session.modref(F.Name);
+    QueryAnswer Warm = Session.modref(F.Name);
+    EXPECT_TRUE(Warm.Cached) << F.Name;
+    EXPECT_EQ(Cold, Warm) << F.Name;
+  }
+}
+
+TEST(QueryCache, MayAliasIsSymmetricAndSharesOneEntry) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+  MetricsRegistry M;
+  QuerySession Session(S, M);
+
+  QueryAnswer AB = Session.mayAlias("p", "r");
+  QueryAnswer BA = Session.mayAlias("r", "p");
+  EXPECT_EQ(AB.Verdict, "may-alias"); // Both reach g.
+  EXPECT_EQ(AB, BA);
+  // The canonical (min,max) key means the reversed query is a hit.
+  EXPECT_FALSE(AB.Cached);
+  EXPECT_TRUE(BA.Cached);
+  EXPECT_EQ(count(M, "query.alias_misses"), 1u);
+  EXPECT_EQ(count(M, "query.alias_hits"), 1u);
+
+  EXPECT_EQ(Session.mayAlias("p", "q").Verdict, "no-alias");
+  EXPECT_EQ(Session.mayAlias("q", "p").Verdict, "no-alias");
+  EXPECT_EQ(Session.mayAlias("s", "s").Verdict, "may-alias");
+}
+
+TEST(QueryCache, HitAndMissCountersAccountExactly) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+  MetricsRegistry M;
+  QuerySession Session(S, M);
+
+  Session.pointsTo("p");                      // miss
+  Session.pointsTo("p");                      // hit
+  Session.pointsTo("q");                      // miss
+  Session.pointsTo("p", CacheMode::Bypass);   // neither
+  Session.mayAlias("p", "q");                 // miss
+  Session.mayAlias("q", "p");                 // hit (symmetric)
+  Session.mayAlias("p", "r");                 // miss
+  Session.modref("set");                      // miss
+  Session.modref("set");                      // hit
+  Session.pointsTo("nope");                   // error: no cache traffic
+
+  EXPECT_EQ(count(M, "query.pointee_misses"), 2u);
+  EXPECT_EQ(count(M, "query.pointee_hits"), 1u);
+  EXPECT_EQ(count(M, "query.alias_misses"), 2u);
+  EXPECT_EQ(count(M, "query.alias_hits"), 1u);
+  EXPECT_EQ(count(M, "query.modref_misses"), 1u);
+  EXPECT_EQ(count(M, "query.modref_hits"), 1u);
+  EXPECT_EQ(count(M, "query.requests"), 10u);
+  EXPECT_EQ(count(M, "query.errors"), 1u);
+  EXPECT_EQ(count(M, "query.degraded_answers"), 0u);
+}
+
+TEST(QueryCache, OperandResolution) {
+  auto AP = analyze(R"(
+int x;
+int *p;
+void f() { int y; p = &y; }
+void g() { int y; p = &y; }
+int main() { f(); g(); return x; }
+)");
+  AliasSummary S = buildAliasSummary(*AP, "resolution-demo");
+  // Exact display names resolve; a bare local name resolves only when
+  // unique across functions.
+  EXPECT_GE(S.resolveVariable("x"), 0);
+  EXPECT_GE(S.resolveVariable("f.y"), 0);
+  EXPECT_EQ(S.resolveVariable("y"), AliasSummary::Ambiguous);
+  EXPECT_EQ(S.resolveVariable("z"), AliasSummary::NotFound);
+  EXPECT_GE(S.resolveFunction("main"), 0);
+  EXPECT_EQ(S.resolveFunction("nope"), AliasSummary::NotFound);
+}
+
+TEST(QueryCache, SummarySerializationRoundTripsByteIdentically) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+  std::string Bytes = S.serialize();
+
+  AliasSummary Parsed;
+  std::string Error;
+  ASSERT_TRUE(AliasSummary::parse(Bytes, Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.serialize(), Bytes);
+  EXPECT_EQ(Parsed.Digest, S.Digest);
+  EXPECT_EQ(Parsed.Tier, S.Tier);
+
+  // A parsed summary answers identically to the original.
+  MetricsRegistry M1, M2;
+  QuerySession A(S, M1), B(Parsed, M2);
+  EXPECT_EQ(A.mayAlias("p", "r"), B.mayAlias("p", "r"));
+  EXPECT_EQ(A.pointsTo("p"), B.pointsTo("p"));
+  EXPECT_EQ(A.modref("set"), B.modref("set"));
+
+  // Truncation and foreign schemas are parse errors, not crashes.
+  AliasSummary Bad;
+  EXPECT_FALSE(AliasSummary::parse(Bytes.substr(0, Bytes.size() / 2), Bad,
+                                   &Error));
+  EXPECT_FALSE(AliasSummary::parse("vdga-summary-v2\nend\n", Bad, &Error));
+}
+
+TEST(QueryCache, ArtifactStoreRoundTrip) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "vdga-query-store-test";
+  std::filesystem::remove_all(Dir);
+  ArtifactStore Store(Dir.string());
+  MetricsRegistry M;
+
+  // Cold: miss. Save, then: hit with byte-identical content.
+  EXPECT_FALSE(Store.load(S.Digest, &M).has_value());
+  EXPECT_EQ(count(M, "query.store_misses"), 1u);
+  std::string Error;
+  ASSERT_TRUE(Store.save(S, &Error)) << Error;
+  auto Loaded = Store.load(S.Digest, &M);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(count(M, "query.store_hits"), 1u);
+  EXPECT_EQ(Loaded->serialize(), S.serialize());
+
+  // Content addressing: a different source digests to a different key.
+  EXPECT_NE(sourceDigest(Demo), sourceDigest("int main() { return 0; }"));
+  EXPECT_FALSE(Store.load(sourceDigest("other"), &M).has_value());
+
+  // A torn artifact (truncated write) is a miss, never an error.
+  std::filesystem::path Torn = Store.pathFor(S.Digest);
+  {
+    std::ofstream Out(Torn, std::ios::trunc);
+    Out << S.serialize().substr(0, 40);
+  }
+  EXPECT_FALSE(Store.load(S.Digest, &M).has_value());
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(QueryCache, DegradedTierAnswersCarryTheirTier) {
+  auto AP = analyze(Demo);
+  // An unmeetable iteration budget forces the CI solve down the ladder.
+  GovernancePolicy Tight;
+  Tight.MaxIterations = 1;
+  AliasSummary S = buildAliasSummary(*AP, Demo, Tight);
+  ASSERT_TRUE(S.Degraded);
+  ASSERT_NE(S.Tier, PrecisionTier::ContextInsens);
+
+  MetricsRegistry M;
+  QuerySession Session(S, M);
+  QueryAnswer Cold = Session.mayAlias("p", "q");
+  QueryAnswer Warm = Session.mayAlias("p", "q");
+  // The degraded tier marker survives caching: a cached answer is never
+  // re-served as a complete context-insensitive result.
+  EXPECT_TRUE(Cold.Degraded);
+  EXPECT_TRUE(Warm.Degraded);
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.Tier, S.Tier);
+  EXPECT_EQ(Cold, Warm);
+  EXPECT_EQ(count(M, "query.degraded_answers"), 2u);
+
+  // Degraded mod/ref is the sound "may touch anything".
+  QueryAnswer MR = Session.modref("set");
+  EXPECT_TRUE(MR.TopModRef);
+  EXPECT_TRUE(MR.Mod.empty());
+
+  // Degradation is recorded in the serialized artifact too.
+  AliasSummary Parsed;
+  std::string Error;
+  ASSERT_TRUE(AliasSummary::parse(S.serialize(), Parsed, &Error)) << Error;
+  EXPECT_TRUE(Parsed.Degraded);
+  EXPECT_EQ(Parsed.Tier, S.Tier);
+
+  // Degraded answers over-approximate the complete ones (the ladder is
+  // sound): everything the complete tier calls may-alias, the degraded
+  // tier must too.
+  auto AP2 = analyze(Demo);
+  AliasSummary Full = buildAliasSummary(*AP2, Demo);
+  MetricsRegistry M2;
+  QuerySession FullSession(Full, M2);
+  for (const auto &VA : Full.Variables)
+    for (const auto &VB : Full.Variables)
+      if (FullSession.mayAlias(VA.Name, VB.Name).Verdict == "may-alias") {
+        EXPECT_EQ(Session.mayAlias(VA.Name, VB.Name).Verdict, "may-alias")
+            << VA.Name << " vs " << VB.Name;
+      }
+}
+
+TEST(QueryCache, LoadgenIsDeterministicAndHitsCaches) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+
+  LoadgenOptions LO;
+  LO.Threads = 3;
+  LO.Queries = 3000;
+  LO.Seed = 42;
+  QueryLoadReport R1 = runQueryLoad(S, LO);
+  QueryLoadReport R2 = runQueryLoad(S, LO);
+
+  EXPECT_EQ(R1.Queries, 3000u);
+  EXPECT_EQ(R1.Errors, 0u);
+  EXPECT_GT(R1.HitRate, 0.5); // Tiny universe, thousands of replays.
+  // Same seed, same summary: the query streams (and thus all counters)
+  // are identical; only latencies may differ.
+  EXPECT_EQ(R1.CacheHits, R2.CacheHits);
+  EXPECT_EQ(R1.CacheMisses, R2.CacheMisses);
+  EXPECT_EQ(count(R1.Metrics, "query.requests"),
+            count(R2.Metrics, "query.requests"));
+}
+
+} // namespace

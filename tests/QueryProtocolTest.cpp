@@ -1,0 +1,403 @@
+//===- tests/QueryProtocolTest.cpp - vdga-query-v1 wire tests -------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The wire protocol is the repo's one external interface, so these tests
+// pin it down from both directions: the request parser (flat JSON only,
+// typed fields, byte-offset errors), the response writer, and the full
+// pipe loop through QueryServer::runPipe over stringstreams — including
+// the contract that a pipe-mode answer is bit-identical in content to
+// the same question asked of a QuerySession directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Protocol.h"
+#include "query/QuerySession.h"
+#include "query/Server.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace vdga;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+TEST(QueryProtocol, ParseAcceptsFlatTypedRequest) {
+  QueryRequest R;
+  std::string Err;
+  ASSERT_TRUE(parseQueryRequest(
+      R"({"id": 7, "op": "mayAlias", "a": "p", "b": "q", "deep": true,)"
+      R"( "budget_ms": 250})",
+      R, &Err))
+      << Err;
+  EXPECT_TRUE(R.HasId);
+  EXPECT_FALSE(R.IdIsString);
+  EXPECT_EQ(R.idJson(), "7");
+  EXPECT_EQ(R.Op, "mayAlias");
+  ASSERT_NE(R.str("a"), nullptr);
+  EXPECT_EQ(*R.str("a"), "p");
+  ASSERT_NE(R.str("b"), nullptr);
+  EXPECT_EQ(*R.str("b"), "q");
+  EXPECT_EQ(R.integer("budget_ms"), std::optional<int64_t>(250));
+  EXPECT_EQ(R.boolean("deep"), std::optional<bool>(true));
+  // Absent fields answer null/nullptr, not defaults.
+  EXPECT_EQ(R.str("c"), nullptr);
+  EXPECT_EQ(R.integer("missing"), std::nullopt);
+  EXPECT_EQ(R.boolean("missing"), std::nullopt);
+}
+
+TEST(QueryProtocol, ParseEchoesIdWithItsOriginalType) {
+  QueryRequest R;
+  ASSERT_TRUE(parseQueryRequest(R"({"id": "req-1", "op": "hello"})", R,
+                                nullptr));
+  EXPECT_TRUE(R.HasId);
+  EXPECT_TRUE(R.IdIsString);
+  EXPECT_EQ(R.idJson(), "\"req-1\"");
+
+  ASSERT_TRUE(parseQueryRequest(R"({"id": -3, "op": "hello"})", R, nullptr));
+  EXPECT_FALSE(R.IdIsString);
+  EXPECT_EQ(R.idJson(), "-3");
+
+  // No id at all, and an explicit null id, both echo as null.
+  ASSERT_TRUE(parseQueryRequest(R"({"op": "hello"})", R, nullptr));
+  EXPECT_FALSE(R.HasId);
+  EXPECT_EQ(R.idJson(), "null");
+  ASSERT_TRUE(parseQueryRequest(R"({"id": null, "op": "hello"})", R, nullptr));
+  EXPECT_FALSE(R.HasId);
+  EXPECT_EQ(R.idJson(), "null");
+}
+
+TEST(QueryProtocol, ParseDecodesEscapes) {
+  QueryRequest R;
+  ASSERT_TRUE(parseQueryRequest(
+      R"({"op": "pointsTo", "var": "a\tb\"c\\dAé\n"})", R,
+      nullptr));
+  ASSERT_NE(R.str("var"), nullptr);
+  EXPECT_EQ(*R.str("var"), "a\tb\"c\\dA\xC3\xA9\n");
+}
+
+TEST(QueryProtocol, ParseRejectsMalformedLines) {
+  struct Case {
+    const char *Line;
+    const char *Why;
+  };
+  const Case Cases[] = {
+      {"not json at all", "bare text"},
+      {"", "empty line"},
+      {"[1, 2]", "top-level array"},
+      {R"({"op": "x")", "truncated object"},
+      {R"({"op": "x"} trailing)", "trailing bytes"},
+      {R"({"op": {"nested": 1}})", "nested object value"},
+      {R"({"op": ["a"]})", "nested array value"},
+      {R"({"budget_ms": 1.5, "op": "x"})", "float value"},
+      {R"({"budget_ms": 1e3, "op": "x"})", "exponent value"},
+      {R"({"op": "unterminated)", "unterminated string"},
+      {R"({"op": "bad\q"})", "unknown escape"},
+      {R"({"op": "bad\u12"})", "truncated unicode escape"},
+      {R"({"op" "x"})", "missing colon"},
+      {R"({"op": "x" "a": "b"})", "missing comma"},
+      {R"({"op": nope})", "bare word value"},
+  };
+  for (const Case &C : Cases) {
+    QueryRequest R;
+    std::string Err;
+    EXPECT_FALSE(parseQueryRequest(C.Line, R, &Err)) << C.Why;
+    // Every parse error carries a byte position for the client.
+    EXPECT_NE(Err.find("at byte"), std::string::npos) << C.Why;
+  }
+}
+
+TEST(QueryProtocol, ParseToleratesWhitespaceAndEmptyObject) {
+  QueryRequest R;
+  ASSERT_TRUE(
+      parseQueryRequest("  {  \"op\" :\t\"hello\"  }  ", R, nullptr));
+  EXPECT_EQ(R.Op, "hello");
+  // {} parses (it is valid flat JSON); the server rejects it later as
+  // bad-request because op is missing.
+  ASSERT_TRUE(parseQueryRequest("{}", R, nullptr));
+  EXPECT_TRUE(R.Op.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Response writing
+//===----------------------------------------------------------------------===//
+
+TEST(QueryProtocol, JsonObjectRendersCompactInsertionOrder) {
+  JsonObject O;
+  std::string S = O.field("ok", true)
+                      .field("n", static_cast<int64_t>(-42))
+                      .field("s", "a\"b\\c")
+                      .raw("id", "null")
+                      .list("xs", {"g", "heap@0"})
+                      .str();
+  EXPECT_EQ(S, "{\"ok\":true,\"n\":-42,\"s\":\"a\\\"b\\\\c\","
+               "\"id\":null,\"xs\":[\"g\",\"heap@0\"]}");
+}
+
+TEST(QueryProtocol, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("\n\r\t"), "\\n\\r\\t");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(QueryProtocol, WriterOutputParsesBackLosslessly) {
+  // A request built with the writer round-trips through the parser: the
+  // two directions agree on escaping.
+  JsonObject O;
+  std::string Line = O.field("op", "pointsTo")
+                         .field("var", "weird \"name\"\twith\\escapes")
+                         .field("budget_ms", static_cast<int64_t>(9))
+                         .field("flag", false)
+                         .str();
+  QueryRequest R;
+  std::string Err;
+  ASSERT_TRUE(parseQueryRequest(Line, R, &Err)) << Err;
+  EXPECT_EQ(R.Op, "pointsTo");
+  ASSERT_NE(R.str("var"), nullptr);
+  EXPECT_EQ(*R.str("var"), "weird \"name\"\twith\\escapes");
+  EXPECT_EQ(R.integer("budget_ms"), std::optional<int64_t>(9));
+  EXPECT_EQ(R.boolean("flag"), std::optional<bool>(false));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipe-mode end to end
+//===----------------------------------------------------------------------===//
+
+constexpr const char *Demo = R"(
+int g;
+int h;
+int *p;
+int *q;
+
+void set(int *t) {
+  p = t;
+}
+
+int main() {
+  set(&g);
+  q = &h;
+  *p = 1;
+  return *q;
+}
+)";
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  std::string L;
+  while (std::getline(In, L))
+    Out.push_back(L);
+  return Out;
+}
+
+TEST(QueryProtocol, PipeModeServesAFullSession) {
+  std::string Err;
+  auto Srv = QueryServer::create(Demo, QueryServerOptions{}, &Err);
+  ASSERT_NE(Srv, nullptr) << Err;
+
+  std::istringstream In("{\"id\": 1, \"op\": \"hello\"}\n"
+                        "\n" // blank keep-alive: no response line
+                        "{\"id\": 2, \"op\": \"pointsTo\", \"var\": \"p\"}\r\n"
+                        "{\"id\": 3, \"op\": \"mayAlias\", \"a\": \"p\","
+                        " \"b\": \"q\"}\n"
+                        "{\"id\": 4, \"op\": \"mayAlias\", \"b\": \"p\","
+                        " \"a\": \"q\"}\n"
+                        "this is not JSON\n"
+                        "{\"id\": 5, \"op\": \"frobnicate\"}\n"
+                        "{\"id\": 6}\n"
+                        "{\"id\": 7, \"op\": \"shutdown\"}\n"
+                        "{\"id\": 8, \"op\": \"hello\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(Srv->runPipe(In, Out), 0);
+
+  std::vector<std::string> R = lines(Out.str());
+  // Shutdown stops the loop: the request after it is never served, and
+  // the blank line produced no response.
+  ASSERT_EQ(R.size(), 8u);
+
+  EXPECT_NE(R[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(R[0].find("\"protocol\":\"vdga-query-v1\""), std::string::npos);
+  EXPECT_NE(R[0].find("\"solved\":false"), std::string::npos);
+
+  EXPECT_NE(R[1].find("\"locations\":[\"g\"]"), std::string::npos);
+  EXPECT_NE(R[1].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(R[1].find("\"tier\":\"ci\""), std::string::npos);
+  EXPECT_NE(R[1].find("\"degraded\":false"), std::string::npos);
+
+  // p -> {g}, q -> {h}: disjoint.
+  EXPECT_NE(R[2].find("\"verdict\":\"no-alias\""), std::string::npos);
+  EXPECT_NE(R[2].find("\"cached\":false"), std::string::npos);
+  // The reversed pair is served from the symmetric cache entry.
+  EXPECT_NE(R[3].find("\"verdict\":\"no-alias\""), std::string::npos);
+  EXPECT_NE(R[3].find("\"cached\":true"), std::string::npos);
+
+  EXPECT_NE(R[4].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(R[4].find("\"error\":\"parse-error\""), std::string::npos);
+  EXPECT_NE(R[4].find("\"id\":null"), std::string::npos);
+  EXPECT_NE(R[4].find("at byte"), std::string::npos);
+
+  EXPECT_NE(R[5].find("\"error\":\"unknown-op\""), std::string::npos);
+  EXPECT_NE(R[5].find("\"id\":5"), std::string::npos);
+
+  EXPECT_NE(R[6].find("\"error\":\"bad-request\""), std::string::npos);
+  EXPECT_NE(R[6].find("no \\\"op\\\" field"), std::string::npos);
+
+  EXPECT_NE(R[7].find("\"shutdown\":true"), std::string::npos);
+  EXPECT_NE(R[7].find("\"id\":7"), std::string::npos);
+}
+
+TEST(QueryProtocol, PipeAnswersMatchDirectSessionAnswers) {
+  // The bit-identical contract: the rendered payload of every pipe-mode
+  // answer must be exactly what a direct QuerySession computes — the
+  // transport adds correlation and timing, never content.
+  std::string Err;
+  auto Srv = QueryServer::create(Demo, QueryServerOptions{}, &Err);
+  ASSERT_NE(Srv, nullptr) << Err;
+
+  MetricsRegistry Direct;
+  QuerySession Session(Srv->summary(), Direct);
+
+  struct Probe {
+    std::string Line;
+    QueryAnswer Expected;
+  };
+  std::vector<Probe> Probes;
+  Probes.push_back({R"({"op": "pointsTo", "var": "p"})",
+                    Session.pointsTo("p", CacheMode::Bypass)});
+  Probes.push_back({R"({"op": "pointsTo", "var": "q"})",
+                    Session.pointsTo("q", CacheMode::Bypass)});
+  Probes.push_back({R"({"op": "mayAlias", "a": "p", "b": "q"})",
+                    Session.mayAlias("p", "q", CacheMode::Bypass)});
+  Probes.push_back({R"({"op": "mayAlias", "a": "p", "b": "p"})",
+                    Session.mayAlias("p", "p", CacheMode::Bypass)});
+  Probes.push_back({R"({"op": "modref", "target": "set"})",
+                    Session.modref("set", CacheMode::Bypass)});
+  Probes.push_back({R"({"op": "pointsTo", "var": "no_such"})",
+                    Session.pointsTo("no_such", CacheMode::Bypass)});
+
+  for (const Probe &P : Probes) {
+    bool Shutdown = false;
+    std::string Resp = Srv->handleLine(P.Line, Shutdown);
+    EXPECT_FALSE(Shutdown);
+    const QueryAnswer &E = P.Expected;
+    if (!E.Ok) {
+      EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos) << Resp;
+      EXPECT_NE(Resp.find("\"error\":\"" + E.Error + "\""),
+                std::string::npos)
+          << Resp;
+      continue;
+    }
+    EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos) << Resp;
+    if (!E.Verdict.empty()) {
+      EXPECT_NE(Resp.find("\"verdict\":\"" + E.Verdict + "\""),
+                std::string::npos)
+          << Resp;
+    }
+    if (P.Line.find("pointsTo") != std::string::npos) {
+      JsonObject O;
+      std::string Rendered = O.list("locations", E.Locations).str();
+      // Strip the writer's surrounding braces to get the exact field.
+      std::string Field = Rendered.substr(1, Rendered.size() - 2);
+      EXPECT_NE(Resp.find(Field), std::string::npos)
+          << Resp << " vs " << Field;
+    }
+    if (P.Line.find("modref") != std::string::npos) {
+      JsonObject O;
+      std::string Rendered =
+          O.field("top", E.TopModRef).list("mod", E.Mod).list("ref", E.Ref)
+              .str();
+      std::string Field = Rendered.substr(1, Rendered.size() - 2);
+      EXPECT_NE(Resp.find(Field), std::string::npos)
+          << Resp << " vs " << Field;
+    }
+    EXPECT_NE(Resp.find(std::string("\"tier\":\"") +
+                        precisionTierName(E.Tier) + "\""),
+              std::string::npos)
+        << Resp;
+  }
+
+  // The demo's expected ground truth, so the comparison above cannot
+  // vacuously pass on two identically-wrong answers.
+  EXPECT_EQ(Probes[0].Expected.Locations, std::vector<std::string>{"g"});
+  EXPECT_EQ(Probes[1].Expected.Locations, std::vector<std::string>{"h"});
+  EXPECT_EQ(Probes[2].Expected.Verdict, "no-alias");
+  EXPECT_EQ(Probes[3].Expected.Verdict, "may-alias");
+  EXPECT_FALSE(Probes[4].Expected.TopModRef);
+  EXPECT_EQ(Probes[4].Expected.Mod, std::vector<std::string>{"p"});
+  EXPECT_FALSE(Probes[5].Expected.Ok);
+  EXPECT_EQ(Probes[5].Expected.Error, "unknown-operand");
+}
+
+TEST(QueryProtocol, ServerValidatesOperandsAndCacheField) {
+  std::string Err;
+  auto Srv = QueryServer::create(Demo, QueryServerOptions{}, &Err);
+  ASSERT_NE(Srv, nullptr) << Err;
+  bool Shutdown = false;
+
+  std::string R =
+      Srv->handleLine(R"({"id": 1, "op": "mayAlias", "a": "p"})", Shutdown);
+  EXPECT_NE(R.find("\"error\":\"missing-operand\""), std::string::npos);
+  EXPECT_NE(R.find("requires the \\\"b\\\" field"), std::string::npos);
+
+  R = Srv->handleLine(R"({"id": 2, "op": "pointsTo"})", Shutdown);
+  EXPECT_NE(R.find("\"error\":\"missing-operand\""), std::string::npos);
+  EXPECT_NE(R.find("\\\"var\\\" field"), std::string::npos);
+
+  R = Srv->handleLine(R"({"id": 3, "op": "modref"})", Shutdown);
+  EXPECT_NE(R.find("\"error\":\"missing-operand\""), std::string::npos);
+
+  R = Srv->handleLine(
+      R"({"id": 4, "op": "pointsTo", "var": "p", "cache": "sometimes"})",
+      Shutdown);
+  EXPECT_NE(R.find("\"error\":\"bad-request\""), std::string::npos);
+  EXPECT_NE(R.find("sometimes"), std::string::npos);
+
+  // "cache": "use" and "bypass" are both accepted; bypass recomputes.
+  R = Srv->handleLine(
+      R"({"id": 5, "op": "pointsTo", "var": "p", "cache": "use"})", Shutdown);
+  EXPECT_NE(R.find("\"ok\":true"), std::string::npos);
+  R = Srv->handleLine(
+      R"({"id": 6, "op": "pointsTo", "var": "p", "cache": "use"})", Shutdown);
+  EXPECT_NE(R.find("\"cached\":true"), std::string::npos);
+  R = Srv->handleLine(
+      R"({"id": 7, "op": "pointsTo", "var": "p", "cache": "bypass"})",
+      Shutdown);
+  EXPECT_NE(R.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(R.find("\"locations\":[\"g\"]"), std::string::npos);
+  EXPECT_FALSE(Shutdown);
+}
+
+TEST(QueryProtocol, StatsReportsCacheCountersOverTheWire) {
+  std::string Err;
+  auto Srv = QueryServer::create(Demo, QueryServerOptions{}, &Err);
+  ASSERT_NE(Srv, nullptr) << Err;
+  bool Shutdown = false;
+
+  // Before any query: unsolved, all counters zero.
+  std::string R = Srv->handleLine(R"({"op": "stats"})", Shutdown);
+  EXPECT_NE(R.find("\"solved\":false"), std::string::npos);
+  EXPECT_NE(R.find("\"query.requests\":0"), std::string::npos);
+
+  Srv->handleLine(R"({"op": "pointsTo", "var": "p"})", Shutdown);
+  Srv->handleLine(R"({"op": "pointsTo", "var": "p"})", Shutdown);
+  Srv->handleLine(R"({"op": "pointsTo", "var": "no_such"})", Shutdown);
+
+  R = Srv->handleLine(R"({"op": "stats"})", Shutdown);
+  EXPECT_NE(R.find("\"solved\":true"), std::string::npos);
+  EXPECT_NE(R.find("\"query.requests\":3"), std::string::npos);
+  EXPECT_NE(R.find("\"query.errors\":1"), std::string::npos);
+  EXPECT_NE(R.find("\"query.pointee_hits\":1"), std::string::npos);
+  EXPECT_NE(R.find("\"query.pointee_misses\":1"), std::string::npos);
+}
+
+} // namespace

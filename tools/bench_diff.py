@@ -146,6 +146,45 @@ def diff_degradation(label, old, new, regressions, warnings):
         warnings.append(f"{label}: no longer degrades under budget")
 
 
+def diff_query(old, new, warnings):
+    """The corpus-level "query" section (query-service load results; see
+    docs/BENCH_FORMAT.md). Latencies are microseconds per query under a
+    synthetic load, too noisy for the hard timing gate — regressions in
+    p50/p99 or a drop in cache hit rate warn so the PR explains them.
+    Skipped cleanly when either artifact predates the section."""
+    oq, nq = old.get("query"), new.get("query")
+    if oq is None or nq is None:
+        return
+    if oq.get("program") != nq.get("program"):
+        warnings.append(
+            f"query.program: {oq.get('program')} -> {nq.get('program')} "
+            f"(load ran against a different benchmark; figures not "
+            f"comparable)"
+        )
+        return
+    for field in ("p50_us", "p99_us", "mean_us"):
+        ov, nv = oq.get(field), nq.get(field)
+        if ov is None or nv is None:
+            continue
+        # Warn above 50% relative and 2us absolute: micro-latencies
+        # bounce with scheduler noise.
+        if nv - ov > 2.0 and ov > 0 and (nv - ov) / ov > 0.50:
+            warnings.append(
+                f"query.{field}: {ov:.1f} us -> {nv:.1f} us "
+                f"(+{100.0 * (nv - ov) / ov:.0f}%)"
+            )
+    ohr, nhr = oq.get("hit_rate"), nq.get("hit_rate")
+    if ohr is not None and nhr is not None and ohr - nhr > 0.02:
+        warnings.append(
+            f"query.hit_rate: {ohr:.3f} -> {nhr:.3f} (memo caches serving "
+            f"fewer answers)"
+        )
+    if nq.get("errors", 0) > oq.get("errors", 0):
+        warnings.append(
+            f"query.errors: {oq.get('errors', 0)} -> {nq.get('errors', 0)}"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -191,6 +230,8 @@ def main():
         diff_counters(name, op, np, warnings)
         diff_metrics(name, op, np, args, regressions, warnings)
         diff_degradation(name, op, np, regressions, warnings)
+
+    diff_query(old, new, warnings)
 
     for w in warnings:
         print(f"warning: {w}")

@@ -1,24 +1,45 @@
 # Runs TOOL with ARGS (a ;-list) and asserts the exact exit code
-# EXPECT_RC, optionally also that stderr contains EXPECT_STDERR. Used by
-# the CLI rejection smoke tests: ctest alone can only distinguish zero
-# from nonzero, but the rejection contract is specifically "exit 2 with a
-# usage message".
+# EXPECT_RC, optionally also that stderr contains EXPECT_STDERR and that
+# stdout matches every regex in EXPECT_STDOUT (a ;-list). STDIN, when
+# given, is a file fed to the tool's standard input — the vdga-serve
+# pipe-mode smokes drive whole protocol sessions this way. Used by the
+# CLI smoke tests: ctest alone can only distinguish zero from nonzero,
+# but the contracts are exact codes plus output content.
 if(NOT DEFINED TOOL OR NOT DEFINED EXPECT_RC)
   message(FATAL_ERROR "expect_exit.cmake needs -DTOOL=... -DEXPECT_RC=...")
 endif()
 
-execute_process(
-  COMMAND ${TOOL} ${ARGS}
-  RESULT_VARIABLE RC
-  OUTPUT_VARIABLE OUT
-  ERROR_VARIABLE ERR)
+if(DEFINED STDIN)
+  execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    INPUT_FILE ${STDIN}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+else()
+  execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+endif()
 
 if(NOT RC EQUAL ${EXPECT_RC})
   message(FATAL_ERROR
-          "expected exit ${EXPECT_RC}, got ${RC}\nstderr:\n${ERR}")
+          "expected exit ${EXPECT_RC}, got ${RC}\nstdout:\n${OUT}\n"
+          "stderr:\n${ERR}")
 endif()
 
 if(DEFINED EXPECT_STDERR AND NOT "${ERR}" MATCHES "${EXPECT_STDERR}")
   message(FATAL_ERROR
           "stderr does not contain '${EXPECT_STDERR}':\n${ERR}")
+endif()
+
+if(DEFINED EXPECT_STDOUT)
+  foreach(pattern ${EXPECT_STDOUT})
+    if(NOT "${OUT}" MATCHES "${pattern}")
+      message(FATAL_ERROR
+              "stdout does not match '${pattern}':\n${OUT}")
+    endif()
+  endforeach()
 endif()

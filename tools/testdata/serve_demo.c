@@ -1,0 +1,15 @@
+int g;
+int *p;
+int *q;
+int h;
+
+void set(int *t) {
+  p = t;
+}
+
+int main() {
+  set(&g);
+  q = &h;
+  *p = 1;
+  return *q;
+}

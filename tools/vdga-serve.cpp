@@ -1,0 +1,275 @@
+//===- tools/vdga-serve.cpp - Alias query daemon ---------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// A long-lived alias query service speaking the vdga-query-v1 protocol
+// (docs/QUERY_PROTOCOL.md): newline-delimited JSON requests in, one
+// response line per request out.
+//
+//   vdga-serve prog.c                    # pipe mode: stdin -> stdout
+//   vdga-serve --corpus bc               # serve an embedded benchmark
+//   vdga-serve --listen 7777 prog.c      # TCP mode on 127.0.0.1:7777
+//   vdga-serve --store .vdga-store ...   # digest-keyed summary store
+//   vdga-serve --budget-ms 50 ...        # admission-control solve budget
+//
+// The program is analyzed lazily on the first query; a solve that trips
+// its budget degrades down the sound ladder (ci -> steens -> top) and
+// the server keeps answering at the coarser tier — every response says
+// which. Exit status: 0 on clean EOF or a `shutdown` request, 1 when the
+// program fails to load, 2 on CLI usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "query/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define VDGA_HAVE_SOCKETS 1
+#endif
+
+using namespace vdga;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (<file.c> | --corpus <name>) [--listen <port>]\n"
+      "       [--store <dir>] [--budget-ms <n>] [--max-pairs <n>]\n"
+      "       [--max-iterations <n>] [--solver <basic|wave|deep>]\n"
+      "Serves vdga-query-v1 (docs/QUERY_PROTOCOL.md) over stdin/stdout,\n"
+      "or over TCP on 127.0.0.1:<port> with --listen. --store enables the\n"
+      "digest-keyed artifact store (VDGA_QUERY_STORE supplies a default);\n"
+      "the budget flags bound the one governed solve — a trip degrades\n"
+      "answers to a coarser sound tier instead of killing the server.\n"
+      "corpus names:",
+      Argv0);
+  for (const CorpusProgram &P : corpus())
+    std::fprintf(stderr, " %s", P.Name);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+#ifdef VDGA_HAVE_SOCKETS
+/// One-client-at-a-time TCP accept loop. Each connection gets the same
+/// server (and thus the same warm caches); a `shutdown` request ends the
+/// whole process, a disconnect just waits for the next client.
+int runSocket(QueryServer &Server, int Port) {
+  int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::perror("vdga-serve: socket");
+    return 1;
+  }
+  int One = 1;
+  ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Listener, 4) < 0) {
+    std::perror("vdga-serve: bind/listen");
+    ::close(Listener);
+    return 1;
+  }
+  std::fprintf(stderr, "vdga-serve: listening on 127.0.0.1:%d\n", Port);
+  bool Shutdown = false;
+  while (!Shutdown) {
+    int Client = ::accept(Listener, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    std::string Buf;
+    char Chunk[4096];
+    ssize_t N;
+    while (!Shutdown && (N = ::read(Client, Chunk, sizeof(Chunk))) > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      size_t Nl;
+      while (!Shutdown && (Nl = Buf.find('\n')) != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        if (!Line.empty() && Line.back() == '\r')
+          Line.pop_back();
+        if (Line.empty())
+          continue;
+        std::string Resp = Server.handleLine(Line, Shutdown);
+        Resp += '\n';
+        size_t Off = 0;
+        while (Off < Resp.size()) {
+          ssize_t W = ::write(Client, Resp.data() + Off, Resp.size() - Off);
+          if (W <= 0)
+            break;
+          Off += static_cast<size_t>(W);
+        }
+      }
+    }
+    ::close(Client);
+  }
+  ::close(Listener);
+  return 0;
+}
+#endif
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *File = nullptr;
+  const char *CorpusName = nullptr;
+  QueryServerOptions Opts;
+  int ListenPort = -1;
+  bool SawSolverFlag = false;
+
+  if (const char *Env = std::getenv("VDGA_QUERY_STORE"))
+    Opts.StoreDir = Env;
+
+  auto TakesValue = [](const char *Arg) {
+    return std::strcmp(Arg, "--corpus") == 0 ||
+           std::strcmp(Arg, "--listen") == 0 ||
+           std::strcmp(Arg, "--store") == 0 ||
+           std::strcmp(Arg, "--budget-ms") == 0 ||
+           std::strcmp(Arg, "--max-pairs") == 0 ||
+           std::strcmp(Arg, "--max-iterations") == 0 ||
+           std::strcmp(Arg, "--solver") == 0;
+  };
+  bool BadValue = false;
+  auto ParseMillis = [&](const char *Flag, const char *Text, double &Out) {
+    char *End = nullptr;
+    double V = std::strtod(Text, &End);
+    if (End == Text || *End != '\0' || V < 0) {
+      std::fprintf(stderr, "option '%s' expects a non-negative number, "
+                           "got '%s'\n",
+                   Flag, Text);
+      BadValue = true;
+      return;
+    }
+    Out = V;
+  };
+  auto ParseCount = [&](const char *Flag, const char *Text, uint64_t &Out) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Text, &End, 10);
+    if (End == Text || *End != '\0' || Text[0] == '-') {
+      std::fprintf(stderr, "option '%s' expects a non-negative integer, "
+                           "got '%s'\n",
+                   Flag, Text);
+      BadValue = true;
+      return;
+    }
+    Out = V;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (TakesValue(Arg) && I + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' requires an argument\n", Arg);
+      return usage(argv[0]);
+    }
+    if (std::strcmp(Arg, "--corpus") == 0) {
+      CorpusName = argv[++I];
+    } else if (std::strcmp(Arg, "--listen") == 0) {
+      char *End = nullptr;
+      long P = std::strtol(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || P < 1 || P > 65535) {
+        std::fprintf(stderr, "option '--listen' expects a port number, "
+                             "got '%s'\n",
+                     argv[I]);
+        return usage(argv[0]);
+      }
+      ListenPort = static_cast<int>(P);
+    } else if (std::strcmp(Arg, "--store") == 0) {
+      Opts.StoreDir = argv[++I];
+    } else if (std::strcmp(Arg, "--budget-ms") == 0) {
+      ParseMillis(Arg, argv[++I], Opts.Policy.SolveMs);
+    } else if (std::strcmp(Arg, "--max-pairs") == 0) {
+      ParseCount(Arg, argv[++I], Opts.Policy.MaxPairs);
+    } else if (std::strcmp(Arg, "--max-iterations") == 0) {
+      ParseCount(Arg, argv[++I], Opts.Policy.MaxIterations);
+    } else if (std::strcmp(Arg, "--solver") == 0) {
+      SawSolverFlag = true;
+      if (!parseSolverStrategy(argv[++I], Opts.Policy.Strategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' (expected basic, wave "
+                     "or deep)\n",
+                     argv[I]);
+        return usage(argv[0]);
+      }
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      return usage(argv[0]);
+    } else if (!File) {
+      File = Arg;
+    } else {
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", Arg);
+      return usage(argv[0]);
+    }
+  }
+  if (BadValue)
+    return usage(argv[0]);
+  if (!SawSolverFlag)
+    if (const char *Env = std::getenv("VDGA_SOLVER"))
+      if (Env[0] && !parseSolverStrategy(Env, Opts.Policy.Strategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' in VDGA_SOLVER "
+                     "(expected basic, wave or deep)\n",
+                     Env);
+        return usage(argv[0]);
+      }
+  if (!File && !CorpusName) {
+    std::fprintf(stderr, "no input: give a MiniC file or --corpus <name>\n");
+    return usage(argv[0]);
+  }
+  if (File && CorpusName) {
+    std::fprintf(stderr, "give either a file or --corpus, not both\n");
+    return usage(argv[0]);
+  }
+
+  std::string Source;
+  if (CorpusName) {
+    const CorpusProgram *Prog = findCorpusProgram(CorpusName);
+    if (!Prog) {
+      std::fprintf(stderr, "unknown corpus benchmark '%s'\n", CorpusName);
+      return usage(argv[0]);
+    }
+    Source = Prog->Source;
+  } else {
+    std::ifstream In(File, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "vdga-serve: cannot open '%s'\n", File);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+
+  std::string Error;
+  std::unique_ptr<QueryServer> Server =
+      QueryServer::create(std::move(Source), std::move(Opts), &Error);
+  if (!Server) {
+    std::fprintf(stderr, "vdga-serve: program failed to load: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+
+  if (ListenPort >= 0) {
+#ifdef VDGA_HAVE_SOCKETS
+    return runSocket(*Server, ListenPort);
+#else
+    std::fprintf(stderr, "vdga-serve: --listen is not supported on this "
+                         "platform; use pipe mode\n");
+    return 2;
+#endif
+  }
+  return Server->runPipe(std::cin, std::cout);
+}
