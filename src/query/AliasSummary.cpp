@@ -279,6 +279,8 @@ bool AliasSummary::parse(std::string_view Text, AliasSummary &Out,
     if (SawEnd)
       return fail(Error, I + 1, "content after end marker");
     std::vector<std::string> Tok = splitTokens(Line);
+    if (Tok.empty()) // Whitespace-only line: same as blank.
+      continue;
     const std::string &Kw = Tok[0];
     if (FnPart == 1) {
       if (Kw != "mod")
@@ -315,6 +317,10 @@ bool AliasSummary::parse(std::string_view Text, AliasSummary &Out,
       Out.Degradation = std::string(
           Line.substr(std::min(Line.size(), Kw.size() + 1)));
     } else if (Kw == "var" && Tok.size() >= 2) {
+      // The resolvers binary-search these vectors, so records must arrive
+      // strictly sorted — exactly what serialize() emits.
+      if (!Out.Variables.empty() && Out.Variables.back().Name >= Tok[1])
+        return fail(Error, I + 1, "var records out of order");
       Variable V;
       V.Name = Tok[1];
       V.Pointees.assign(Tok.begin() + 2, Tok.end());
@@ -322,6 +328,8 @@ bool AliasSummary::parse(std::string_view Text, AliasSummary &Out,
     } else if (Kw == "fn" && Tok.size() == 3) {
       if (Tok[2] != "top" && Tok[2] != "exact")
         return fail(Error, I + 1, "fn mode must be top or exact");
+      if (!Out.Functions.empty() && Out.Functions.back().Name >= Tok[1])
+        return fail(Error, I + 1, "fn records out of order");
       Function F;
       F.Name = Tok[1];
       F.TopModRef = Tok[2] == "top";
@@ -329,6 +337,8 @@ bool AliasSummary::parse(std::string_view Text, AliasSummary &Out,
       OpenFn = &Out.Functions.back();
       FnPart = 1;
     } else if (Kw == "call" && Tok.size() >= 2) {
+      if (!Out.Callsites.empty() && Out.Callsites.back().Site >= Tok[1])
+        return fail(Error, I + 1, "call records out of order");
       Callsite C;
       C.Site = Tok[1];
       C.Callees.assign(Tok.begin() + 2, Tok.end());

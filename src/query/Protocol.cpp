@@ -6,6 +6,8 @@
 
 #include "query/Protocol.h"
 
+#include <charconv>
+
 using namespace vdga;
 
 //===----------------------------------------------------------------------===//
@@ -262,7 +264,11 @@ bool Scanner::parseValue(const std::string &Key, QueryRequest &Out) {
       SetId(std::move(Tok), false);
       return true;
     }
-    Out.Ints[Key] = std::stoll(Tok);
+    int64_t V = 0;
+    auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), V);
+    if (Ec != std::errc() || Ptr != Tok.data() + Tok.size())
+      return fail("integer out of range");
+    Out.Ints[Key] = V;
     return true;
   }
   auto Lit = [&](std::string_view W) {

@@ -188,6 +188,39 @@ TEST(QueryCache, SummarySerializationRoundTripsByteIdentically) {
   EXPECT_FALSE(AliasSummary::parse("vdga-summary-v2\nend\n", Bad, &Error));
 }
 
+TEST(QueryCache, SummaryParseSurvivesCorruptArtifacts) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+  std::string Bytes = S.serialize();
+
+  // A whitespace-only line is tolerated like a blank one, not a crash.
+  size_t End = Bytes.rfind("end\n");
+  ASSERT_NE(End, std::string::npos);
+  std::string Padded = Bytes.substr(0, End) + " \n   \n" + Bytes.substr(End);
+  AliasSummary Parsed;
+  std::string Error;
+  ASSERT_TRUE(AliasSummary::parse(Padded, Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.serialize(), Bytes);
+
+  // Out-of-order records would break the binary-searching resolvers, so
+  // a hand-edited or foreign artifact that reorders them is a parse
+  // error (and thus a store miss), never a summary that silently
+  // answers "unknown operand" for valid names.
+  const std::string Head = "vdga-summary-v1\ndigest d\ntier ci\ndegraded 0\n";
+  AliasSummary Bad;
+  EXPECT_FALSE(
+      AliasSummary::parse(Head + "var b\nvar a\nend\n", Bad, &Error));
+  EXPECT_NE(Error.find("out of order"), std::string::npos) << Error;
+  EXPECT_FALSE(AliasSummary::parse(
+      Head + "fn b exact\nmod\nref\nfn a exact\nmod\nref\nend\n", Bad,
+      &Error));
+  EXPECT_FALSE(
+      AliasSummary::parse(Head + "call 9:1\ncall 2:1\nend\n", Bad, &Error));
+  // Duplicates are rejected by the same strict ordering check.
+  EXPECT_FALSE(
+      AliasSummary::parse(Head + "var a\nvar a\nend\n", Bad, &Error));
+}
+
 TEST(QueryCache, ArtifactStoreRoundTrip) {
   auto AP = analyze(Demo);
   AliasSummary S = demoSummary(*AP);

@@ -19,6 +19,7 @@
 
 #include "gtest/gtest.h"
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -113,6 +114,38 @@ TEST(QueryProtocol, ParseRejectsMalformedLines) {
     // Every parse error carries a byte position for the client.
     EXPECT_NE(Err.find("at byte"), std::string::npos) << C.Why;
   }
+}
+
+TEST(QueryProtocol, ParseBoundsIntegerValues) {
+  QueryRequest R;
+  std::string Err;
+  ASSERT_TRUE(parseQueryRequest(
+      R"({"op": "x", "n": 9223372036854775807, "m": -9223372036854775808})",
+      R, &Err))
+      << Err;
+  EXPECT_EQ(R.integer("n"),
+            std::optional<int64_t>(std::numeric_limits<int64_t>::max()));
+  EXPECT_EQ(R.integer("m"),
+            std::optional<int64_t>(std::numeric_limits<int64_t>::min()));
+
+  // One past the int64 rails is a parse error carried back to the
+  // client, never an uncaught throw that would kill the server.
+  EXPECT_FALSE(parseQueryRequest(
+      R"({"op": "stats", "x": 99999999999999999999})", R, &Err));
+  EXPECT_NE(Err.find("integer out of range"), std::string::npos) << Err;
+  EXPECT_FALSE(parseQueryRequest(
+      R"({"op": "stats", "x": -9223372036854775809})", R, &Err));
+
+  std::string Empty;
+  auto Srv = QueryServer::create("int main() { return 0; }",
+                                 QueryServerOptions{}, &Empty);
+  ASSERT_NE(Srv, nullptr) << Empty;
+  bool Shutdown = false;
+  std::string Resp = Srv->handleLine(
+      R"({"op": "stats", "x": 99999999999999999999})", Shutdown);
+  EXPECT_NE(Resp.find("\"error\":\"parse-error\""), std::string::npos)
+      << Resp;
+  EXPECT_FALSE(Shutdown);
 }
 
 TEST(QueryProtocol, ParseToleratesWhitespaceAndEmptyObject) {

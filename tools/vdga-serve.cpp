@@ -91,6 +91,21 @@ int runSocket(QueryServer &Server, int Port) {
     int Client = ::accept(Listener, nullptr, nullptr);
     if (Client < 0)
       continue;
+    auto Answer = [&](std::string Line) {
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        return;
+      std::string Resp = Server.handleLine(Line, Shutdown);
+      Resp += '\n';
+      size_t Off = 0;
+      while (Off < Resp.size()) {
+        ssize_t W = ::write(Client, Resp.data() + Off, Resp.size() - Off);
+        if (W <= 0)
+          break;
+        Off += static_cast<size_t>(W);
+      }
+    };
     std::string Buf;
     char Chunk[4096];
     ssize_t N;
@@ -100,21 +115,13 @@ int runSocket(QueryServer &Server, int Port) {
       while (!Shutdown && (Nl = Buf.find('\n')) != std::string::npos) {
         std::string Line = Buf.substr(0, Nl);
         Buf.erase(0, Nl + 1);
-        if (!Line.empty() && Line.back() == '\r')
-          Line.pop_back();
-        if (Line.empty())
-          continue;
-        std::string Resp = Server.handleLine(Line, Shutdown);
-        Resp += '\n';
-        size_t Off = 0;
-        while (Off < Resp.size()) {
-          ssize_t W = ::write(Client, Resp.data() + Off, Resp.size() - Off);
-          if (W <= 0)
-            break;
-          Off += static_cast<size_t>(W);
-        }
+        Answer(std::move(Line));
       }
     }
+    // A final request sent without a trailing newline still gets its
+    // answer before the disconnect, matching pipe mode's getline.
+    if (!Shutdown)
+      Answer(std::move(Buf));
     ::close(Client);
   }
   ::close(Listener);
