@@ -13,6 +13,7 @@
 
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "lint/Lint.h"
 #include "query/Loadgen.h"
 #include "support/ThreadPool.h"
 
@@ -165,7 +166,37 @@ static int runJsonMode(const std::string &Path) {
     QuerySec.HitRate = QR.HitRate;
   }
 
-  std::string Json = renderBenchJson(Serial, Timing, &QuerySec);
+  // Lint section: the full pass battery over the corpus, once per alias
+  // tier, so finding counts and pass timings are tracked across PRs.
+  // Interpreter refutation is on — a sound analysis keeps `errors` at 0,
+  // and bench_diff.py hard-fails on any increase. Counts are
+  // deterministic (provenance off, findings sorted); timings are advisory.
+  LintBenchSection LintSec;
+  for (LintTier Tier :
+       {LintTier::Steensgaard, LintTier::ContextInsens, LintTier::ContextSens}) {
+    LintOptions LO;
+    LO.Tier = Tier;
+    LO.Policy = Policy;
+    LO.RefuteWithInterpreter = true;
+    std::vector<ProgramLintReport> Reports =
+        lintCorpus(LO, Timing.ParallelJobs);
+    LintBenchSection::Tier T;
+    T.Name = lintTierName(Tier);
+    for (const ProgramLintReport &PR : Reports) {
+      T.Findings += PR.Report.Findings.size();
+      T.Must += PR.Report.countConfidence(LintConfidence::Must);
+      T.Errors += PR.Report.errorCount();
+      T.Degraded += PR.Report.Degraded ? 1 : 0;
+      for (const char *Pass : {"use-after-free", "double-free", "memory-leak",
+                               "dead-store", "null-deref"})
+        T.PassCounts[Pass] += PR.Report.countPass(Pass);
+      for (const auto &[Phase, Ms] : PR.Report.PassMillis)
+        T.PassMillis[Phase] += Ms;
+    }
+    LintSec.Tiers.push_back(std::move(T));
+  }
+
+  std::string Json = renderBenchJson(Serial, Timing, &QuerySec, &LintSec);
   if (Path == "-") {
     // Keep stdout pure JSON; the human-readable table goes to stderr.
     std::fputs(Json.c_str(), stdout);

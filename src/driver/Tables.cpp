@@ -624,7 +624,8 @@ void emitPairTotals(Json &J, const PairTotals &T) {
 
 std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
                                   const CorpusTiming &Timing,
-                                  const QueryBenchSection *Query) {
+                                  const QueryBenchSection *Query,
+                                  const LintBenchSection *Lint) {
   Json J;
   J.open('{');
   J.key("schema").value(std::string("vdga-bench-v1"));
@@ -717,6 +718,30 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
     J.key("cache_hits").value(Query->CacheHits);
     J.key("cache_misses").value(Query->CacheMisses);
     J.key("hit_rate").value(Query->HitRate);
+    J.close('}');
+  }
+
+  if (Lint) {
+    J.key("lint").open('{');
+    J.key("tiers").open('[');
+    for (const LintBenchSection::Tier &T : Lint->Tiers) {
+      J.open('{');
+      J.key("tier").value(T.Name);
+      J.key("findings").value(T.Findings);
+      J.key("must").value(T.Must);
+      J.key("errors").value(T.Errors);
+      J.key("degraded_programs").value(T.Degraded);
+      J.key("passes").open('{');
+      for (const auto &[Pass, Count] : T.PassCounts)
+        J.key(Pass.c_str()).value(Count);
+      J.close('}');
+      J.key("pass_ms").open('{');
+      for (const auto &[Phase, Ms] : T.PassMillis)
+        J.key(Phase.c_str()).value(Ms);
+      J.close('}');
+      J.close('}');
+    }
+    J.close(']');
     J.close('}');
   }
 

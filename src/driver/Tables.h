@@ -21,6 +21,7 @@
 #include "pointsto/Statistics.h"
 #include "support/Metrics.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -146,14 +147,36 @@ struct QueryBenchSection {
   double HitRate = 0.0;
 };
 
+/// Lint-engine results for the artifact's `lint` section
+/// (docs/BENCH_FORMAT.md): one entry per alias tier the pass battery ran
+/// against, with corpus-wide finding counts and aggregate pass timings.
+/// Plain data so the driver layer does not depend on vdga_lint;
+/// bench/perf_ci_vs_cs.cpp fills it from `lintCorpus` runs.
+struct LintBenchSection {
+  struct Tier {
+    std::string Name;       ///< "steens", "ci" or "cs".
+    uint64_t Findings = 0;  ///< All findings across the corpus (incl. Notes).
+    uint64_t Must = 0;      ///< Must-confidence findings.
+    uint64_t Errors = 0;    ///< Error-severity findings (refuted musts).
+    uint64_t Degraded = 0;  ///< Programs whose solve self-skipped passes.
+    /// Corpus-wide finding count per pass name.
+    std::map<std::string, uint64_t> PassCounts;
+    /// Corpus-wide wall clock per phase ("solve", "build", pass names,
+    /// "interp"), summed over programs.
+    std::map<std::string, double> PassMillis;
+  };
+  std::vector<Tier> Tiers;
+};
+
 /// Renders the machine-readable BENCH_*.json artifact: schema
 /// "vdga-bench-v1", one object per program with per-phase wall-clock and
 /// work counters, plus the corpus-level serial/parallel timing and — when
-/// \p Query is non-null — the query-service load section. Diff two
-/// artifacts with tools/bench_diff.py.
+/// \p Query / \p Lint are non-null — the query-service load and lint
+/// sections. Diff two artifacts with tools/bench_diff.py.
 std::string renderBenchJson(const std::vector<BenchmarkReport> &Reports,
                             const CorpusTiming &Timing,
-                            const QueryBenchSection *Query = nullptr);
+                            const QueryBenchSection *Query = nullptr,
+                            const LintBenchSection *Lint = nullptr);
 
 // Renderers, one per figure.
 std::string renderFig2(const std::vector<BenchmarkReport> &Reports);

@@ -7,6 +7,7 @@
 #include "fuzz/Oracles.h"
 
 #include "driver/Pipeline.h"
+#include "lint/Lint.h"
 #include "support/Digest.h"
 
 #include <algorithm>
@@ -222,6 +223,19 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   // errors were already turned into checker findings above).
   RunResult RR = AP->interpret(Opts.Input, Opts.MaxSteps, Opts.MaxCallDepth);
 
+  // Stage 7: the lint engine at the CI tier, with its must findings
+  // cross-checked against the trace just recorded — a refuted must is an
+  // analysis bug, same class as a soundness-oracle miss. Skipped when CI
+  // degraded (the engine would self-skip anyway).
+  std::optional<LintReport> LintR;
+  if (CI.complete()) {
+    LintOptions LO;
+    LO.Policy.MaxIterations = Opts.BudgetIterations;
+    LintR = runLint(*AP, LO);
+    if (!LintR->Degraded)
+      refuteLintFindings(*LintR, RR.Trace);
+  }
+
   Fnv64 D;
   if (CI.complete())
     addPairs(D, *AP, CI, "ci");
@@ -235,6 +249,11 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
     D.add("cs:skipped");
   D.add("report");
   D.add(Report.renderText());
+  D.add("lint");
+  if (LintR && !LintR->Degraded)
+    D.add(LintR->renderText());
+  else
+    D.add("lint:skipped");
   D.add("run");
   D.add(RR.Output);
   D.add(std::to_string(RR.ExitCode));
@@ -278,6 +297,13 @@ OracleOutcome vdga::runOracleStack(const std::string &Source,
   } else if (!Contained) {
     Out.FailStage = "containment";
     Out.Detail = ContainDetail;
+  } else if (LintR && LintR->errorCount() != 0) {
+    Out.FailStage = "lint";
+    for (const LintFinding &F : LintR->Findings)
+      if (F.Severity == FindingSeverity::Error) {
+        Out.Detail = F.Message;
+        break;
+      }
   }
   Out.Passed = Out.FailStage.empty();
   return Out;

@@ -851,8 +851,16 @@ Value Interpreter::evalBuiltin(const CallExpr *E, std::vector<Value> Args,
   }
   case BuiltinKind::Free: {
     if (Args[0].K == Value::Kind::Ptr && !Args[0].isNullPtr() &&
-        Args[0].A.Object < Objects.size())
-      Objects[Args[0].A.Object].Freed = true;
+        Args[0].A.Object < Objects.size()) {
+      MemoryObject &Obj = Objects[Args[0].A.Object];
+      // The trace distinguishes first frees from repeat frees so the lint
+      // oracle can refute must-double-free findings against dynamic runs.
+      if (Obj.Freed)
+        Result.Trace.DoubleFrees.insert(E);
+      else
+        Result.Trace.Frees[E].insert(Paths.basePath(Obj.Base));
+      Obj.Freed = true;
+    }
     return Value::makeInt(0);
   }
   case BuiltinKind::Printf: {

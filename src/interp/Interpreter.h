@@ -36,6 +36,13 @@ struct AccessTrace {
   /// access. The keys align with vdg::Node::Origin.
   std::map<const Expr *, std::set<PathId>> Reads;
   std::map<const Expr *, std::set<PathId>> Writes;
+  /// free() call sites that released a live object, with the base path of
+  /// the object each dynamic execution released. A site in Frees but not
+  /// DoubleFrees only ever freed live objects, so a must-double-free
+  /// claim at that site is concretely refuted.
+  std::map<const Expr *, std::set<PathId>> Frees;
+  /// free() call sites that were handed an already-freed object.
+  std::set<const Expr *> DoubleFrees;
 };
 
 /// Result of one program run.

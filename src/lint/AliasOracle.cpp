@@ -1,0 +1,89 @@
+//===- lint/AliasOracle.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/AliasOracle.h"
+
+#include <algorithm>
+
+using namespace vdga;
+
+AliasOracle::AliasOracle(const Graph &G, const PathTable &Paths,
+                         const PairTable &PT, const PointsToResult &Facts,
+                         const PointsToResult &CalleeSource)
+    : G(G), Paths(Paths), PT(PT), Facts(&Facts) {
+  computeReachableFromSolver(CalleeSource);
+}
+
+AliasOracle::AliasOracle(const Graph &G, const PathTable &Paths,
+                         const PairTable &PT, const SteensgaardResult &Steens,
+                         const CallGraphAST &CG, const Program &P)
+    : G(G), Paths(Paths), PT(PT), Steens(&Steens) {
+  computeReachableFromAST(CG, P);
+}
+
+std::vector<PathId> AliasOracle::outputReferents(OutputId Out) const {
+  std::vector<PathId> R;
+  if (Facts) {
+    R = Facts->pointerReferents(Out, PT);
+  } else {
+    for (BaseLocId B : Steens->pointees(Out))
+      R.push_back(Paths.basePath(B));
+  }
+  std::sort(R.begin(), R.end(),
+            [](PathId A, PathId B) { return index(A) < index(B); });
+  R.erase(std::unique(R.begin(), R.end()), R.end());
+  return R;
+}
+
+std::vector<PathId> AliasOracle::valueReferents(const Expr *E,
+                                                bool &Known) const {
+  OutputId Out = G.exprValue(E);
+  if (Out == InvalidId) {
+    Known = false;
+    return {};
+  }
+  Known = true;
+  return outputReferents(Out);
+}
+
+std::vector<PathId> AliasOracle::accessReferents(NodeId N) const {
+  return outputReferents(G.producerOf(N, 0));
+}
+
+void AliasOracle::computeReachableFromSolver(
+    const PointsToResult &CalleeSource) {
+  // Fixpoint from the bootstrap region (Owner == null, always executed)
+  // over the solver-discovered call graph; mirrors the diagnostics pass.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      const Node &Nd = G.node(N);
+      if (Nd.Kind != NodeKind::Call || !reachable(Nd.Owner))
+        continue;
+      for (const FunctionInfo *FI : CalleeSource.callees(N))
+        if (FI->Fn && Reachable.insert(FI->Fn).second)
+          Changed = true;
+    }
+  }
+}
+
+void AliasOracle::computeReachableFromAST(const CallGraphAST &CG,
+                                          const Program &P) {
+  // Without a solver call graph, reach from main via the conservative
+  // AST relation (callees() is transitive and routes indirect calls to
+  // every address-taken function). A program without main is treated as
+  // a library: everything is reachable.
+  const FuncDecl *Main = P.findFunction("main");
+  if (!Main) {
+    for (const FuncDecl *Fn : P.Functions)
+      Reachable.insert(Fn);
+    return;
+  }
+  Reachable.insert(Main);
+  for (const FuncDecl *Callee : CG.callees(Main))
+    Reachable.insert(Callee);
+}

@@ -1,0 +1,90 @@
+//===- lint/AliasOracle.h - Uniform alias-tier facade -----------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One interface over the three precision tiers the governance ladder can
+/// serve, so every lint pass is written once and parameterized by the
+/// tier — the paper's client-level methodology made literal. Backed
+/// either by a `PointsToResult` (the CI solution, or the CS solution with
+/// assumption sets stripped — sound, since stripping only widens) or by a
+/// `SteensgaardResult` (field-insensitive: pointees come back as whole
+/// base objects, rendered as base paths).
+///
+/// Referent vectors are returned sorted by path id: pair arrival order is
+/// schedule-dependent, and the determinism contract (identical findings
+/// across strategies and job counts) must not lean on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_LINT_ALIASORACLE_H
+#define VDGA_LINT_ALIASORACLE_H
+
+#include "baseline/SteensgaardAnalysis.h"
+#include "frontend/CallGraphAST.h"
+#include "pointsto/Solver.h"
+
+#include <set>
+#include <vector>
+
+namespace vdga {
+
+class AliasOracle {
+public:
+  /// CI or stripped-CS backing. \p Facts answers referent queries;
+  /// \p CalleeSource supplies the discovered call graph (always the
+  /// complete CI result — for the CS tier too, since stripAssumptions
+  /// drops the callee index and CI's callees over-approximate CS's).
+  AliasOracle(const Graph &G, const PathTable &Paths, const PairTable &PT,
+              const PointsToResult &Facts,
+              const PointsToResult &CalleeSource);
+
+  /// Steensgaard backing; reachability comes from the conservative AST
+  /// call graph instead of solver-discovered callees.
+  AliasOracle(const Graph &G, const PathTable &Paths, const PairTable &PT,
+              const SteensgaardResult &Steens, const CallGraphAST &CG,
+              const Program &P);
+
+  /// Referents (empty-offset pairs) of the value built for \p E.
+  /// \p Known is false when \p E never produced a value output.
+  std::vector<PathId> valueReferents(const Expr *E, bool &Known) const;
+
+  /// Referents of the location input of access node \p N (a Lookup or
+  /// Update).
+  std::vector<PathId> accessReferents(NodeId N) const;
+
+  bool isIndirect(NodeId N) const {
+    const Node &Nd = G.node(N);
+    return Nd.IndirectAccess;
+  }
+
+  /// True when \p Fn may execute (null = the bootstrap region, always).
+  bool reachable(const FuncDecl *Fn) const {
+    return Fn == nullptr || Reachable.count(Fn) != 0;
+  }
+
+  /// True when referent paths distinguish fields and elements. The
+  /// Steensgaard backing collapses every referent to its whole base
+  /// object, so a single-referent answer there does NOT mean a single
+  /// storage location — passes must not strong-update on it (an
+  /// element write would wrongly kill its siblings' liveness).
+  bool fieldSensitive() const { return Facts != nullptr; }
+
+private:
+  const Graph &G;
+  const PathTable &Paths;
+  const PairTable &PT;
+  const PointsToResult *Facts = nullptr;
+  const SteensgaardResult *Steens = nullptr;
+  std::set<const FuncDecl *> Reachable;
+
+  std::vector<PathId> outputReferents(OutputId Out) const;
+  void computeReachableFromSolver(const PointsToResult &CalleeSource);
+  void computeReachableFromAST(const CallGraphAST &CG, const Program &P);
+};
+
+} // namespace vdga
+
+#endif // VDGA_LINT_ALIASORACLE_H

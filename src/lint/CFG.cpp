@@ -1,0 +1,642 @@
+//===- lint/CFG.cpp -------------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/CFG.h"
+
+#include "frontend/CallGraphAST.h"
+
+using namespace vdga;
+
+OriginSites::OriginSites(const Graph &G) {
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (!Nd.Origin)
+      continue;
+    if (Nd.Kind == NodeKind::Lookup)
+      Lookups[Nd.Origin].push_back(N);
+    else if (Nd.Kind == NodeKind::Update)
+      Updates[Nd.Origin].push_back(N);
+  }
+}
+
+namespace {
+
+const Expr *stripCasts(const Expr *E) {
+  while (const auto *C = dyn_cast<CastExpr>(E))
+    E = C->operand();
+  return E;
+}
+
+/// A local scalar pointer variable the forward passes can track: never
+/// address-taken (so no call or indirect write can change it behind the
+/// CFG's back) and not store-resident.
+const VarDecl *trackedVar(const Expr *E) {
+  const auto *Ref = dyn_cast<DeclRefExpr>(stripCasts(E));
+  if (!Ref)
+    return nullptr;
+  const auto *Var = dyn_cast<VarDecl>(Ref->decl());
+  if (!Var || Var->isGlobal() || Var->isAddressTaken())
+    return nullptr;
+  if (!Var->type()->isPointer())
+    return nullptr;
+  return Var;
+}
+
+/// The pointer expression an access site dereferences, or null for
+/// direct accesses.
+const Expr *pointerOperand(const Expr *E) {
+  E = stripCasts(E);
+  switch (E->kind()) {
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() == UnaryOp::Deref)
+      return stripCasts(U->operand());
+    if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+        U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec)
+      return pointerOperand(U->operand());
+    return nullptr;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    return M->isArrow() ? stripCasts(M->base()) : pointerOperand(M->base());
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    const Type *BaseTy = I->base()->type();
+    return BaseTy && BaseTy->isPointer() ? stripCasts(I->base()) : nullptr;
+  }
+  case ExprKind::Assign:
+    return pointerOperand(cast<AssignExpr>(E)->target());
+  default:
+    return nullptr;
+  }
+}
+
+LintEvent::Src classifyAssignSource(const Expr *RHS, const VarDecl *&SrcVar) {
+  SrcVar = nullptr;
+  RHS = stripCasts(RHS);
+  switch (RHS->kind()) {
+  case ExprKind::IntLiteral:
+    return cast<IntLiteralExpr>(RHS)->value() == 0 ? LintEvent::Src::Null
+                                                   : LintEvent::Src::Unknown;
+  case ExprKind::StringLiteral:
+    return LintEvent::Src::Addr;
+  case ExprKind::Call: {
+    BuiltinKind B = cast<CallExpr>(RHS)->builtin();
+    if (B == BuiltinKind::Malloc || B == BuiltinKind::Calloc)
+      return LintEvent::Src::Fresh;
+    return LintEvent::Src::Unknown;
+  }
+  case ExprKind::Unary:
+    if (cast<UnaryExpr>(RHS)->op() == UnaryOp::AddrOf)
+      return LintEvent::Src::Addr;
+    return LintEvent::Src::Unknown;
+  case ExprKind::DeclRef:
+    if (const VarDecl *V = trackedVar(RHS)) {
+      SrcVar = V;
+      return LintEvent::Src::Copy;
+    }
+    // Array decay yields the array's address: non-null.
+    if (const auto *Var = dyn_cast<VarDecl>(cast<DeclRefExpr>(RHS)->decl()))
+      if (Var->type()->isArray())
+        return LintEvent::Src::Addr;
+    return LintEvent::Src::Unknown;
+  default:
+    return LintEvent::Src::Unknown;
+  }
+}
+
+/// Shared linearizer: walks an expression in evaluation order, emitting
+/// access events for every Origin-bearing subexpression plus the
+/// alloc/free/call/assign events the passes consume.
+class Linearizer {
+public:
+  Linearizer(std::vector<LintEvent> &Out, const OriginSites &Sites,
+             const std::set<const FuncDecl *> &MayFreeFns)
+      : Out(Out), Sites(Sites), MayFreeFns(MayFreeFns) {}
+
+  void emitExpr(const Expr *E, bool Cond, const Expr *Guard, bool GuardTrue) {
+    switch (E->kind()) {
+    case ExprKind::IntLiteral:
+    case ExprKind::FloatLiteral:
+    case ExprKind::StringLiteral:
+    case ExprKind::SizeOf:
+    case ExprKind::DeclRef:
+      break;
+    case ExprKind::Unary:
+      emitExpr(cast<UnaryExpr>(E)->operand(), Cond, Guard, GuardTrue);
+      break;
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      emitExpr(B->lhs(), Cond, Guard, GuardTrue);
+      // Short-circuit RHS: conditional, guarded by the LHS's outcome.
+      // Nesting keeps only the innermost guard; the Conditional flag
+      // still forces weak application, so this loses precision, never
+      // soundness.
+      if (B->op() == BinaryOp::LogAnd)
+        emitExpr(B->rhs(), /*Cond=*/true, B->lhs(), /*GuardTrue=*/true);
+      else if (B->op() == BinaryOp::LogOr)
+        emitExpr(B->rhs(), /*Cond=*/true, B->lhs(), /*GuardTrue=*/false);
+      else
+        emitExpr(B->rhs(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      emitExpr(A->value(), Cond, Guard, GuardTrue);
+      emitLValueChildren(A->target(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      emitExpr(C->callee(), Cond, Guard, GuardTrue);
+      for (const Expr *Arg : C->args())
+        emitExpr(Arg, Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      emitExpr(I->base(), Cond, Guard, GuardTrue);
+      emitExpr(I->index(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      if (M->isArrow())
+        emitExpr(M->base(), Cond, Guard, GuardTrue);
+      else
+        emitLValueChildren(M->base(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Cast:
+      emitExpr(cast<CastExpr>(E)->operand(), Cond, Guard, GuardTrue);
+      // The cast shares the operand's events; emit none of its own.
+      return;
+    case ExprKind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      emitExpr(C->cond(), Cond, Guard, GuardTrue);
+      emitExpr(C->thenExpr(), /*Cond=*/true, C->cond(), /*GuardTrue=*/true);
+      emitExpr(C->elseExpr(), /*Cond=*/true, C->cond(), /*GuardTrue=*/false);
+      break;
+    }
+    }
+    emitAccesses(E, Cond, Guard, GuardTrue);
+    emitSpecial(E, Cond, Guard, GuardTrue);
+  }
+
+  /// Emits an AssignVar event for a declaration with an initializer.
+  void emitDeclInit(const VarDecl *Var, const Expr *Init, bool Cond) {
+    emitExpr(Init, Cond, nullptr, false);
+    if (Var->isGlobal() || Var->isAddressTaken() || !Var->type()->isPointer())
+      return;
+    LintEvent Ev = base(LintEvent::Kind::AssignVar, Init, Cond, nullptr,
+                        false);
+    Ev.Var = Var;
+    Ev.SrcKind = classifyAssignSource(Init, Ev.SrcVar);
+    Out.push_back(Ev);
+  }
+
+private:
+  std::vector<LintEvent> &Out;
+  const OriginSites &Sites;
+  const std::set<const FuncDecl *> &MayFreeFns;
+
+  LintEvent base(LintEvent::Kind K, const Expr *Site, bool Cond,
+                 const Expr *Guard, bool GuardTrue) const {
+    LintEvent Ev;
+    Ev.K = K;
+    Ev.Site = Site;
+    Ev.Conditional = Cond;
+    Ev.Guard = Cond ? Guard : nullptr;
+    Ev.GuardTrue = GuardTrue;
+    return Ev;
+  }
+
+  /// Walks only the subexpressions an lvalue position evaluates (the
+  /// location computation), without treating the lvalue itself as a read.
+  void emitLValueChildren(const Expr *E, bool Cond, const Expr *Guard,
+                          bool GuardTrue) {
+    E = stripCasts(E);
+    switch (E->kind()) {
+    case ExprKind::DeclRef:
+      break;
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->op() == UnaryOp::Deref)
+        emitExpr(U->operand(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      emitExpr(I->base(), Cond, Guard, GuardTrue);
+      emitExpr(I->index(), Cond, Guard, GuardTrue);
+      break;
+    }
+    case ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      if (M->isArrow())
+        emitExpr(M->base(), Cond, Guard, GuardTrue);
+      else
+        emitLValueChildren(M->base(), Cond, Guard, GuardTrue);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void emitAccesses(const Expr *E, bool Cond, const Expr *Guard,
+                    bool GuardTrue) {
+    if (Sites.Lookups.count(E)) {
+      LintEvent Ev = base(LintEvent::Kind::Read, E, Cond, Guard, GuardTrue);
+      Ev.Ptr = pointerOperand(E);
+      Out.push_back(Ev);
+    }
+    if (Sites.Updates.count(E)) {
+      LintEvent Ev = base(LintEvent::Kind::Write, E, Cond, Guard, GuardTrue);
+      Ev.Ptr = pointerOperand(E);
+      Out.push_back(Ev);
+    }
+  }
+
+  void emitSpecial(const Expr *E, bool Cond, const Expr *Guard,
+                   bool GuardTrue) {
+    if (const auto *A = dyn_cast<AssignExpr>(E)) {
+      if (const VarDecl *Var = trackedVar(A->target())) {
+        LintEvent Ev =
+            base(LintEvent::Kind::AssignVar, E, Cond, Guard, GuardTrue);
+        Ev.Var = Var;
+        if (A->op() == AssignOp::Assign)
+          Ev.SrcKind = classifyAssignSource(A->value(), Ev.SrcVar);
+        else
+          Ev.SrcKind = LintEvent::Src::Unknown;
+        Out.push_back(Ev);
+      }
+      return;
+    }
+    // Pointer increment/decrement reassigns a tracked variable.
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+          U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec) {
+        if (const VarDecl *Var = trackedVar(U->operand())) {
+          LintEvent Ev =
+              base(LintEvent::Kind::AssignVar, E, Cond, Guard, GuardTrue);
+          Ev.Var = Var;
+          Ev.SrcKind = LintEvent::Src::Unknown;
+          Out.push_back(Ev);
+        }
+      }
+      return;
+    }
+    const auto *C = dyn_cast<CallExpr>(E);
+    if (!C)
+      return;
+    switch (C->builtin()) {
+    case BuiltinKind::Malloc:
+    case BuiltinKind::Calloc: {
+      LintEvent Ev = base(LintEvent::Kind::Alloc, E, Cond, Guard, GuardTrue);
+      Ev.AllocSite = C->allocSiteId();
+      Out.push_back(Ev);
+      return;
+    }
+    case BuiltinKind::Free: {
+      LintEvent Ev = base(LintEvent::Kind::Free, E, Cond, Guard, GuardTrue);
+      Ev.Ptr = C->args().empty() ? nullptr : stripCasts(C->args()[0]);
+      Out.push_back(Ev);
+      return;
+    }
+    case BuiltinKind::None: {
+      LintEvent Ev = base(LintEvent::Kind::Call, E, Cond, Guard, GuardTrue);
+      Ev.Callee = C->directCallee();
+      if (Ev.Callee)
+        Ev.MayFree = MayFreeFns.count(Ev.Callee) != 0;
+      else
+        // Indirect call: conservatively may-free if any address-taken
+        // function does (the set already closed over those).
+        Ev.MayFree = !MayFreeFns.empty();
+      Out.push_back(Ev);
+      return;
+    }
+    default:
+      return; // Other builtins neither allocate, free, nor call back.
+    }
+  }
+};
+
+/// Recursive-descent CFG construction with break/continue stacks.
+class CFGBuilder {
+public:
+  CFGBuilder(LintCFG &C, const OriginSites &Sites,
+             const std::set<const FuncDecl *> &MayFreeFns)
+      : C(C), Sites(Sites), MayFreeFns(MayFreeFns) {}
+
+  void run(const FuncDecl *Fn) {
+    C.Fn = Fn;
+    C.Blocks.resize(2); // entry, exit
+    Cur = LintCFG::EntryBlock;
+    buildStmt(Fn->body());
+    edge(Cur, LintCFG::ExitBlock);
+  }
+
+private:
+  LintCFG &C;
+  const OriginSites &Sites;
+  const std::set<const FuncDecl *> &MayFreeFns;
+  unsigned Cur = 0;
+  std::vector<unsigned> BreakTargets;
+  std::vector<unsigned> ContinueTargets;
+
+  unsigned newBlock() {
+    C.Blocks.emplace_back();
+    return static_cast<unsigned>(C.Blocks.size() - 1);
+  }
+
+  void edge(unsigned From, unsigned To) {
+    C.Blocks[From].Succs.push_back(To);
+    C.Blocks[To].Preds.push_back(From);
+  }
+
+  void branch(unsigned From, const Expr *Cond, unsigned TrueTo,
+              unsigned FalseTo) {
+    C.Blocks[From].BranchCond = Cond;
+    C.Blocks[From].TrueSucc = TrueTo;
+    C.Blocks[From].FalseSucc = FalseTo;
+    edge(From, TrueTo);
+    edge(From, FalseTo);
+  }
+
+  void emit(const Expr *E) {
+    Linearizer L(C.Blocks[Cur].Events, Sites, MayFreeFns);
+    L.emitExpr(E, /*Cond=*/false, nullptr, false);
+  }
+
+  void buildStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        buildStmt(Child);
+      return;
+    case StmtKind::Expr:
+      emit(cast<ExprStmt>(S)->expr());
+      return;
+    case StmtKind::Decl: {
+      const VarDecl *Var = cast<DeclStmt>(S)->var();
+      if (Var->init()) {
+        Linearizer L(C.Blocks[Cur].Events, Sites, MayFreeFns);
+        L.emitDeclInit(Var, Var->init(), /*Cond=*/false);
+      }
+      return;
+    }
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      emit(If->cond());
+      unsigned Then = newBlock();
+      unsigned Else = If->elseStmt() ? newBlock() : ~0u;
+      unsigned Join = newBlock();
+      branch(Cur, If->cond(), Then, Else != ~0u ? Else : Join);
+      Cur = Then;
+      buildStmt(If->thenStmt());
+      edge(Cur, Join);
+      if (If->elseStmt()) {
+        Cur = Else;
+        buildStmt(If->elseStmt());
+        edge(Cur, Join);
+      }
+      Cur = Join;
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      unsigned Header = newBlock();
+      edge(Cur, Header);
+      Cur = Header;
+      emit(W->cond());
+      unsigned Body = newBlock();
+      unsigned Exit = newBlock();
+      branch(Header, W->cond(), Body, Exit);
+      BreakTargets.push_back(Exit);
+      ContinueTargets.push_back(Header);
+      Cur = Body;
+      buildStmt(W->body());
+      edge(Cur, Header);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = Exit;
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto *D = cast<DoWhileStmt>(S);
+      unsigned Body = newBlock();
+      unsigned CondBlk = newBlock();
+      unsigned Exit = newBlock();
+      edge(Cur, Body);
+      BreakTargets.push_back(Exit);
+      ContinueTargets.push_back(CondBlk);
+      Cur = Body;
+      buildStmt(D->body());
+      edge(Cur, CondBlk);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = CondBlk;
+      emit(D->cond());
+      branch(CondBlk, D->cond(), Body, Exit);
+      Cur = Exit;
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->init())
+        buildStmt(F->init());
+      unsigned Header = newBlock();
+      edge(Cur, Header);
+      Cur = Header;
+      unsigned Body = newBlock();
+      unsigned Step = newBlock();
+      unsigned Exit = newBlock();
+      if (F->cond()) {
+        emit(F->cond());
+        branch(Header, F->cond(), Body, Exit);
+      } else {
+        edge(Header, Body);
+      }
+      BreakTargets.push_back(Exit);
+      ContinueTargets.push_back(Step);
+      Cur = Body;
+      buildStmt(F->body());
+      edge(Cur, Step);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = Step;
+      if (F->step())
+        emit(F->step());
+      edge(Step, Header);
+      Cur = Exit;
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->value())
+        emit(R->value());
+      edge(Cur, LintCFG::ExitBlock);
+      Cur = newBlock(); // unreachable continuation
+      return;
+    }
+    case StmtKind::Break:
+      if (!BreakTargets.empty()) {
+        edge(Cur, BreakTargets.back());
+        Cur = newBlock();
+      }
+      return;
+    case StmtKind::Continue:
+      if (!ContinueTargets.empty()) {
+        edge(Cur, ContinueTargets.back());
+        Cur = newBlock();
+      }
+      return;
+    }
+  }
+};
+
+} // namespace
+
+LintCFG LintCFG::build(const FuncDecl *Fn, const OriginSites &Sites,
+                       const std::set<const FuncDecl *> &MayFreeFns) {
+  LintCFG C;
+  CFGBuilder(C, Sites, MayFreeFns).run(Fn);
+  return C;
+}
+
+void LintCFG::linearizeInto(std::vector<LintEvent> &Out, const Expr *E,
+                            const OriginSites &Sites,
+                            const std::set<const FuncDecl *> &MayFreeFns) {
+  Linearizer L(Out, Sites, MayFreeFns);
+  L.emitExpr(E, /*Cond=*/false, nullptr, false);
+}
+
+std::set<const FuncDecl *>
+vdga::computeMayFreeFunctions(const Program &P, const CallGraphAST &CG) {
+  // Functions whose own body contains a free() call...
+  std::set<const FuncDecl *> Direct;
+  for (const FuncDecl *Fn : P.Functions) {
+    if (!Fn->isDefined())
+      continue;
+    // A body-only scan: reuse the linearizer's traversal by walking the
+    // statement tree manually (no origin map needed for this question).
+    struct Scan {
+      bool Found = false;
+      void stmt(const Stmt *S) {
+        switch (S->kind()) {
+        case StmtKind::Compound:
+          for (const Stmt *C : cast<CompoundStmt>(S)->body())
+            stmt(C);
+          return;
+        case StmtKind::Expr:
+          expr(cast<ExprStmt>(S)->expr());
+          return;
+        case StmtKind::Decl:
+          if (const Expr *I = cast<DeclStmt>(S)->var()->init())
+            expr(I);
+          return;
+        case StmtKind::If: {
+          const auto *If = cast<IfStmt>(S);
+          expr(If->cond());
+          stmt(If->thenStmt());
+          if (If->elseStmt())
+            stmt(If->elseStmt());
+          return;
+        }
+        case StmtKind::While: {
+          const auto *W = cast<WhileStmt>(S);
+          expr(W->cond());
+          stmt(W->body());
+          return;
+        }
+        case StmtKind::DoWhile: {
+          const auto *D = cast<DoWhileStmt>(S);
+          stmt(D->body());
+          expr(D->cond());
+          return;
+        }
+        case StmtKind::For: {
+          const auto *F = cast<ForStmt>(S);
+          if (F->init())
+            stmt(F->init());
+          if (F->cond())
+            expr(F->cond());
+          if (F->step())
+            expr(F->step());
+          stmt(F->body());
+          return;
+        }
+        case StmtKind::Return:
+          if (const Expr *V = cast<ReturnStmt>(S)->value())
+            expr(V);
+          return;
+        case StmtKind::Break:
+        case StmtKind::Continue:
+          return;
+        }
+      }
+      void expr(const Expr *E) {
+        switch (E->kind()) {
+        case ExprKind::Call: {
+          const auto *C = cast<CallExpr>(E);
+          if (C->builtin() == BuiltinKind::Free)
+            Found = true;
+          expr(C->callee());
+          for (const Expr *A : C->args())
+            expr(A);
+          return;
+        }
+        case ExprKind::Unary:
+          expr(cast<UnaryExpr>(E)->operand());
+          return;
+        case ExprKind::Binary:
+          expr(cast<BinaryExpr>(E)->lhs());
+          expr(cast<BinaryExpr>(E)->rhs());
+          return;
+        case ExprKind::Assign:
+          expr(cast<AssignExpr>(E)->target());
+          expr(cast<AssignExpr>(E)->value());
+          return;
+        case ExprKind::Index:
+          expr(cast<IndexExpr>(E)->base());
+          expr(cast<IndexExpr>(E)->index());
+          return;
+        case ExprKind::Member:
+          expr(cast<MemberExpr>(E)->base());
+          return;
+        case ExprKind::Cast:
+          expr(cast<CastExpr>(E)->operand());
+          return;
+        case ExprKind::Conditional:
+          expr(cast<ConditionalExpr>(E)->cond());
+          expr(cast<ConditionalExpr>(E)->thenExpr());
+          expr(cast<ConditionalExpr>(E)->elseExpr());
+          return;
+        default:
+          return;
+        }
+      }
+    } S;
+    S.stmt(Fn->body());
+    if (S.Found)
+      Direct.insert(Fn);
+  }
+  // ...plus everything that may (transitively) call one of them. The AST
+  // call graph's callees() is already transitive.
+  std::set<const FuncDecl *> Result = Direct;
+  for (const FuncDecl *Fn : P.Functions) {
+    if (!Fn->isDefined() || Result.count(Fn))
+      continue;
+    for (const FuncDecl *Callee : CG.callees(Fn))
+      if (Direct.count(Callee)) {
+        Result.insert(Fn);
+        break;
+      }
+  }
+  return Result;
+}

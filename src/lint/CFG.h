@@ -1,0 +1,140 @@
+//===- lint/CFG.h - Per-function statement CFG for lint passes --*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint engine's control-flow representation. The VDG deliberately
+/// erases predicates (Section 2: "values from both branches propagate"),
+/// which is exactly right for the alias analyses but too coarse for
+/// flow-sensitive linting — so each function body is lowered once into a
+/// statement CFG whose blocks carry *lint events*: the allocation, free,
+/// call, memory-access and pointer-assignment facts the passes' transfer
+/// functions consume, in evaluation order.
+///
+/// Memory accesses are not re-derived from the AST: the builder links
+/// every Lookup/Update node to its source expression (`Node::Origin`),
+/// and `OriginSites` inverts that map, so an access event's referent sets
+/// come straight from whichever alias tier is loaded — the same sites the
+/// solvers and the soundness oracle reason about.
+///
+/// Short-circuit RHS operands and conditional-expression arms execute
+/// under a guard the statement CFG does not split into blocks; their
+/// events carry `Conditional` (the dataflow runner applies them weakly)
+/// plus the guarding condition, so passes can still refine (`p && p->f`
+/// does not warn) while linearization can never manufacture a wrong
+/// must-fact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_LINT_CFG_H
+#define VDGA_LINT_CFG_H
+
+#include "frontend/AST.h"
+#include "vdg/Graph.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace vdga {
+
+class CallGraphAST;
+
+/// Origin-indexed access sites: for each source expression, the VDG
+/// Lookup (read) and Update (write) nodes implementing it, in node-id
+/// order. One expression can own several (a compound assignment has a
+/// read and a write; builtin string operations have both).
+struct OriginSites {
+  std::map<const Expr *, std::vector<NodeId>> Lookups;
+  std::map<const Expr *, std::vector<NodeId>> Updates;
+
+  explicit OriginSites(const Graph &G);
+};
+
+/// One abstract-machine step a lint pass can observe.
+struct LintEvent {
+  enum class Kind : uint8_t {
+    Alloc,     ///< malloc/calloc; Site is the CallExpr.
+    Free,      ///< free(Ptr); Site is the CallExpr.
+    Call,      ///< Non-builtin call; Callee when direct, MayFree when any
+               ///< possible callee transitively frees.
+    Read,      ///< Memory read at Site (has Lookup nodes); Ptr is the
+               ///< dereferenced pointer expression, null when direct.
+    Write,     ///< Memory write at Site (has Update nodes); Ptr as above.
+    AssignVar, ///< Var = <SrcKind>; tracked scalar pointer locals only.
+  };
+
+  /// How an AssignVar's right-hand side classifies.
+  enum class Src : uint8_t {
+    Null,    ///< Literal 0 (possibly cast).
+    Fresh,   ///< malloc/calloc result.
+    Addr,    ///< &lvalue or a string literal: definitely non-null.
+    Copy,    ///< Another tracked variable (SrcVar).
+    Unknown, ///< Anything else.
+  };
+
+  Kind K = Kind::Read;
+  const Expr *Site = nullptr;
+  const Expr *Ptr = nullptr;
+  const VarDecl *Var = nullptr;
+  const VarDecl *SrcVar = nullptr;
+  const FuncDecl *Callee = nullptr; ///< Call: direct callee, else null.
+  Src SrcKind = Src::Unknown;
+  unsigned AllocSite = 0; ///< Alloc: the allocation-site ordinal.
+  bool MayFree = false;   ///< Call: some possible callee may free.
+  /// True when the event executes under a short-circuit guard or a ?:
+  /// arm: the dataflow runner applies its transfer weakly (merged with
+  /// the unguarded state) so no wrong must-fact can arise.
+  bool Conditional = false;
+  /// When Conditional: the dominating condition and the polarity under
+  /// which the event runs, for lattice refinement.
+  const Expr *Guard = nullptr;
+  bool GuardTrue = false;
+};
+
+/// One basic block: events in evaluation order plus ordered edges. A
+/// block ending in a branch records the condition and its polarized
+/// successors so forward passes can refine along the edges.
+struct LintBlock {
+  std::vector<LintEvent> Events;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+  const Expr *BranchCond = nullptr;
+  unsigned TrueSucc = ~0u;
+  unsigned FalseSucc = ~0u;
+};
+
+/// The statement CFG of one defined function. Block 0 is the entry,
+/// block 1 the exit; every return/fallthrough edge targets the exit.
+class LintCFG {
+public:
+  static constexpr unsigned EntryBlock = 0;
+  static constexpr unsigned ExitBlock = 1;
+
+  const FuncDecl *Fn = nullptr;
+  std::vector<LintBlock> Blocks;
+
+  /// Lowers \p Fn's body. \p MayFreeFns marks functions that may
+  /// (transitively) call free, for Call events' MayFree flag.
+  static LintCFG build(const FuncDecl *Fn, const OriginSites &Sites,
+                       const std::set<const FuncDecl *> &MayFreeFns);
+
+  /// Linearizes one expression outside any function (global
+  /// initializers): the bootstrap event list the whole-program passes
+  /// fold in.
+  static void linearizeInto(std::vector<LintEvent> &Out, const Expr *E,
+                            const OriginSites &Sites,
+                            const std::set<const FuncDecl *> &MayFreeFns);
+};
+
+/// Functions whose execution may (transitively, via the AST call graph's
+/// conservative indirect-call edges) reach a free(). Deterministic: keyed
+/// by declaration order.
+std::set<const FuncDecl *> computeMayFreeFunctions(const Program &P,
+                                                   const CallGraphAST &CG);
+
+} // namespace vdga
+
+#endif // VDGA_LINT_CFG_H

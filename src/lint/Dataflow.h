@@ -1,0 +1,153 @@
+//===- lint/Dataflow.h - Worklist dataflow over LintCFGs --------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint engine's pluggable dataflow framework: a deterministic
+/// forward/backward worklist to fixpoint over one function's `LintCFG`,
+/// parameterized by an abstract-state lattice. A lattice provides:
+///
+///   using State = ...;
+///   State boundaryState() const;            // entry (fwd) / exit (bwd)
+///   bool mergeInto(State &Dst, const State &Src) const; // true = changed
+///   void transfer(State &S, const LintEvent &E) const;
+///   void refine(State &S, const Expr *Cond, bool AssumeTrue) const;
+///
+/// The runner owns the two soundness conventions the CFG lowering relies
+/// on: `Conditional` events apply *weakly* (transfer a refined copy, then
+/// merge it back — a guarded free can never manufacture a must-fact), and
+/// forward propagation along a branch's polarized edges refines the state
+/// with the branch condition first. After `solve()`, `visit()` replays
+/// the transfers and hands each event's incoming (and, for guarded
+/// events, refined) state to a callback — that is where passes emit
+/// findings. The worklist is an ordered set of block ids and block states
+/// merge pointwise, so the fixpoint and the visit order are identical
+/// across runs, job counts and solver strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_LINT_DATAFLOW_H
+#define VDGA_LINT_DATAFLOW_H
+
+#include "lint/CFG.h"
+
+#include <set>
+#include <vector>
+
+namespace vdga {
+
+enum class DataflowDir : uint8_t { Forward, Backward };
+
+template <typename Lattice> class DataflowRunner {
+public:
+  using State = typename Lattice::State;
+
+  DataflowRunner(const LintCFG &C, const Lattice &Lat, DataflowDir Dir)
+      : C(C), Lat(Lat), Dir(Dir), In(C.Blocks.size()),
+        Reached(C.Blocks.size(), false) {}
+
+  void solve() {
+    unsigned Start = Dir == DataflowDir::Forward
+                         ? LintCFG::EntryBlock
+                         : LintCFG::ExitBlock;
+    In[Start] = Lat.boundaryState();
+    Reached[Start] = true;
+    std::set<unsigned> Worklist = {Start};
+    // A generous guard against a non-converging lattice; real lattices
+    // here are finite-height and converge in a handful of sweeps.
+    uint64_t Budget = uint64_t(C.Blocks.size() + 1) * 4096;
+    while (!Worklist.empty() && Budget--) {
+      unsigned B = *Worklist.begin();
+      Worklist.erase(Worklist.begin());
+      State S = In[B];
+      applyBlock(B, S, static_cast<void (*)(const State &, const LintEvent &)>(
+                           nullptr));
+      propagate(B, S, Worklist);
+    }
+  }
+
+  /// Replays each reached block's transfers, invoking
+  /// `CB(state, event)` with the state the event's transfer observes
+  /// (refined by the guard for conditional events).
+  template <typename F> void visit(F &&CB) {
+    for (unsigned B = 0; B < C.Blocks.size(); ++B) {
+      if (!Reached[B])
+        continue;
+      State S = In[B];
+      applyBlock(B, S, &CB);
+    }
+  }
+
+  bool reached(unsigned Block) const { return Reached[Block]; }
+  const State &inState(unsigned Block) const { return In[Block]; }
+
+private:
+  const LintCFG &C;
+  const Lattice &Lat;
+  DataflowDir Dir;
+  std::vector<State> In;
+  std::vector<bool> Reached;
+
+  template <typename F>
+  void applyEvent(State &S, const LintEvent &E, F *CB) {
+    if (E.Conditional) {
+      State T = S;
+      if (E.Guard)
+        Lat.refine(T, E.Guard, E.GuardTrue);
+      if (CB)
+        (*CB)(static_cast<const State &>(T), E);
+      Lat.transfer(T, E);
+      Lat.mergeInto(S, T);
+    } else {
+      if (CB)
+        (*CB)(static_cast<const State &>(S), E);
+      Lat.transfer(S, E);
+    }
+  }
+
+  template <typename F> void applyBlock(unsigned B, State &S, F *CB) {
+    const std::vector<LintEvent> &Events = C.Blocks[B].Events;
+    if (Dir == DataflowDir::Forward) {
+      for (const LintEvent &E : Events)
+        applyEvent(S, E, CB);
+    } else {
+      for (auto It = Events.rbegin(); It != Events.rend(); ++It)
+        applyEvent(S, *It, CB);
+    }
+  }
+
+  void propagate(unsigned B, const State &S, std::set<unsigned> &Worklist) {
+    const LintBlock &Blk = C.Blocks[B];
+    if (Dir == DataflowDir::Forward) {
+      for (unsigned Succ : Blk.Succs) {
+        State Out = S;
+        if (Blk.BranchCond) {
+          if (Succ == Blk.TrueSucc)
+            Lat.refine(Out, Blk.BranchCond, /*AssumeTrue=*/true);
+          else if (Succ == Blk.FalseSucc)
+            Lat.refine(Out, Blk.BranchCond, /*AssumeTrue=*/false);
+        }
+        mergeTo(Succ, Out, Worklist);
+      }
+    } else {
+      for (unsigned Pred : Blk.Preds)
+        mergeTo(Pred, S, Worklist);
+    }
+  }
+
+  void mergeTo(unsigned Block, const State &S, std::set<unsigned> &Worklist) {
+    if (!Reached[Block]) {
+      In[Block] = S;
+      Reached[Block] = true;
+      Worklist.insert(Block);
+    } else if (Lat.mergeInto(In[Block], S)) {
+      Worklist.insert(Block);
+    }
+  }
+};
+
+} // namespace vdga
+
+#endif // VDGA_LINT_DATAFLOW_H

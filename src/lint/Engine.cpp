@@ -1,0 +1,239 @@
+//===- lint/Engine.cpp - The runLint entry point --------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles everything the passes consume — the requested alias tier via
+/// the governance ladder, the per-function statement CFGs, the client
+/// analyses — and runs the pass battery. The engine owns the tier policy:
+/// a degraded rung self-skips with an explanatory Note rather than linting
+/// against facts coarser than asked for (a "cs" report computed from CI
+/// facts would silently misstate the precision matrix).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "lint/Passes.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <future>
+#include <optional>
+
+using namespace vdga;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Appends the engine-level Note explaining a tier self-skip.
+void noteDegraded(LintReport &R, const std::string &Why) {
+  LintFinding F;
+  F.Pass = "lint";
+  F.Severity = FindingSeverity::Note;
+  F.Message = Why;
+  R.Findings.push_back(std::move(F));
+  R.Degraded = true;
+}
+
+/// Resolves the passes' pending provenance requests against the complete
+/// CI result (the only solve that records derivations; sound for the CS
+/// tier too by containment).
+void attachProvenance(LintReport &R, const Graph &G, const PointsToResult &CI,
+                      const PairTable &PT, const PathTable &Paths,
+                      const StringInterner &Names) {
+  for (LintFinding &F : R.Findings) {
+    if (F.ProvOut == InvalidId)
+      continue;
+    for (PairId Pair : CI.pairs(F.ProvOut)) {
+      PointsToPair PP = PT.pair(Pair);
+      if (PP.Path != PathId::EmptyOffset || PP.Referent != F.ProvReferent)
+        continue;
+      F.Provenance =
+          renderDerivationChain(G, CI, PT, Paths, Names, F.ProvOut, Pair);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+LintReport vdga::runLint(AnalyzedProgram &AP, const LintOptions &Opts) {
+  LintReport R;
+  R.Tier = lintTierName(Opts.Tier);
+
+  const Program &P = AP.program();
+  const Graph &G = AP.G;
+
+  // --- Load the requested alias tier. -----------------------------------
+  auto SolveStart = std::chrono::steady_clock::now();
+  std::optional<GovernedAnalysis> GA;
+  std::optional<SteensgaardResult> SteensR;
+  // The facts the oracle and the clients consume (CI, or CS with its
+  // assumption sets stripped — storage for the latter lives here).
+  const PointsToResult *Facts = nullptr;
+  std::optional<PointsToResult> StrippedCS;
+
+  if (Opts.Tier == LintTier::Steensgaard) {
+    SteensR = AP.runSteensgaard(Opts.Policy.solverBudget());
+    if (!SteensR->complete() || SteensR->IsTop) {
+      noteDegraded(R, "lint self-skipped: Steensgaard solve exhausted its "
+                      "budget (only the conservative top result exists)");
+      return R;
+    }
+  } else {
+    bool WantCS = Opts.Tier == LintTier::ContextSens;
+    GA = AP.runGoverned(Opts.Policy, WantCS, {}, WorklistOrder::FIFO,
+                        Opts.RecordProvenance);
+    if (WantCS) {
+      const ContextSensResult *CS = GA->completeCS();
+      if (!CS) {
+        noteDegraded(R, "lint self-skipped: context-sensitive tier degraded "
+                        "(" +
+                            GA->Degradation.summary() + ")");
+        return R;
+      }
+      StrippedCS = CS->stripAssumptions();
+      Facts = &*StrippedCS;
+    } else {
+      Facts = GA->completeCI();
+      if (!Facts) {
+        noteDegraded(R, "lint self-skipped: context-insensitive tier "
+                        "degraded (" +
+                            GA->Degradation.summary() + ")");
+        return R;
+      }
+    }
+  }
+  R.PassMillis["solve"] = millisSince(SolveStart);
+
+  // --- Assemble the shared pass inputs. ---------------------------------
+  auto BuildStart = std::chrono::steady_clock::now();
+  OriginSites Sites(G);
+  std::set<const FuncDecl *> MayFreeFns =
+      computeMayFreeFunctions(P, AP.callGraph());
+
+  std::vector<LintCFG> CFGs;
+  for (const FuncDecl *Fn : P.Functions)
+    if (Fn->isDefined())
+      CFGs.push_back(LintCFG::build(Fn, Sites, MayFreeFns));
+
+  std::vector<LintEvent> BootstrapEvents;
+  for (const VarDecl *GV : P.Globals) {
+    if (GV->init())
+      LintCFG::linearizeInto(BootstrapEvents, GV->init(), Sites, MayFreeFns);
+    for (const Expr *E : GV->initList())
+      LintCFG::linearizeInto(BootstrapEvents, E, Sites, MayFreeFns);
+  }
+
+  // The oracle: referent queries against the tier, reachability from the
+  // matching call graph.
+  std::optional<AliasOracle> Oracle;
+  if (Facts) {
+    // The callee index always comes from the complete CI result: the CS
+    // tier requires one (it prunes against CI), and stripAssumptions
+    // drops the index, so CI's over-approximation serves both.
+    const PointsToResult *CalleeSource = GA->completeCI();
+    Oracle.emplace(G, AP.Paths, AP.PT, *Facts, *CalleeSource);
+  } else {
+    Oracle.emplace(G, AP.Paths, AP.PT, *SteensR, AP.callGraph(), P);
+  }
+
+  // Clients need pair-level facts; the Steensgaard tier runs without them
+  // (the dead-store pass then keeps every escaped local live at calls).
+  std::optional<DefUseInfo> DU;
+  std::optional<ModRefInfo> MR;
+  if (Facts) {
+    DU = computeDefUse(G, *Facts, AP.PT, AP.Paths);
+    MR = computeModRef(G, *Facts, AP.PT, AP.Paths);
+  }
+  R.PassMillis["build"] = millisSince(BuildStart);
+
+  LintPassContext Ctx{P,
+                      G,
+                      AP.Paths,
+                      AP.PT,
+                      AP.locations(),
+                      *Oracle,
+                      Sites,
+                      CFGs,
+                      BootstrapEvents,
+                      DU ? &*DU : nullptr,
+                      MR ? &*MR : nullptr,
+                      R.Findings};
+
+  // --- The pass battery. -------------------------------------------------
+  auto Timed = [&R, &Ctx](const char *Name, void (*Pass)(LintPassContext &)) {
+    auto Start = std::chrono::steady_clock::now();
+    Pass(Ctx);
+    R.PassMillis[Name] = millisSince(Start);
+  };
+  Timed("heap", runHeapPass);
+  Timed("null", runNullPass);
+  Timed("dead-store", runDeadStorePass);
+  Timed("leak", runLeakPass);
+
+  if (Opts.RecordProvenance && GA && GA->completeCI())
+    attachProvenance(R, G, *GA->completeCI(), AP.PT, AP.Paths, P.Names);
+
+  // The oracle hook: one concrete run refutes wrong must claims. The
+  // trace of a truncated or failed run is still valid evidence, so the
+  // result status is deliberately ignored.
+  if (Opts.RefuteWithInterpreter &&
+      R.countConfidence(LintConfidence::Must) != 0) {
+    auto InterpStart = std::chrono::steady_clock::now();
+    RunResult RR = AP.interpret(Opts.InterpreterInput);
+    refuteLintFindings(R, RR.Trace);
+    R.PassMillis["interp"] = millisSince(InterpStart);
+  }
+
+  R.sortFindings();
+  applyLintBaseline(R, Opts.BaselineText);
+  return R;
+}
+
+std::vector<ProgramLintReport> vdga::lintCorpus(const LintOptions &Opts,
+                                                unsigned Jobs) {
+  const std::vector<CorpusProgram> &Programs = corpus();
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultJobs();
+  if (Jobs > Programs.size())
+    Jobs = static_cast<unsigned>(Programs.size());
+
+  ThreadPool Pool(Jobs);
+  std::vector<std::future<ProgramLintReport>> Futures;
+  Futures.reserve(Programs.size());
+  for (const CorpusProgram &P : Programs)
+    Futures.push_back(Pool.submit([&P, &Opts] {
+      ProgramLintReport R;
+      R.Name = P.Name;
+      R.Report.Tier = lintTierName(Opts.Tier);
+      std::string Error;
+      auto AP = AnalyzedProgram::create(P.Source, &Error);
+      if (!AP) {
+        LintFinding F;
+        F.Pass = "frontend";
+        F.Severity = FindingSeverity::Error;
+        F.Message = "frontend error: " + Error;
+        R.Report.Findings.push_back(std::move(F));
+        return R;
+      }
+      R.Report = runLint(*AP, Opts);
+      return R;
+    }));
+
+  std::vector<ProgramLintReport> Reports;
+  Reports.reserve(Programs.size());
+  for (std::future<ProgramLintReport> &F : Futures)
+    Reports.push_back(F.get());
+  return Reports;
+}

@@ -1,0 +1,282 @@
+//===- lint/Lint.cpp ------------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace vdga;
+
+const char *vdga::lintTierName(LintTier T) {
+  switch (T) {
+  case LintTier::Steensgaard:
+    return "steens";
+  case LintTier::ContextInsens:
+    return "ci";
+  case LintTier::ContextSens:
+    return "cs";
+  }
+  return "?";
+}
+
+bool vdga::parseLintTier(std::string_view Name, LintTier &Out) {
+  if (Name == "steens") {
+    Out = LintTier::Steensgaard;
+    return true;
+  }
+  if (Name == "ci") {
+    Out = LintTier::ContextInsens;
+    return true;
+  }
+  if (Name == "cs") {
+    Out = LintTier::ContextSens;
+    return true;
+  }
+  return false;
+}
+
+const char *vdga::lintConfidenceName(LintConfidence C) {
+  return C == LintConfidence::Must ? "must" : "may";
+}
+
+std::string LintFinding::baselineKey() const {
+  std::ostringstream OS;
+  OS << Pass << ':' << Loc.Line << ':' << Loc.Column << ':' << Path;
+  return OS.str();
+}
+
+unsigned LintReport::countPass(const std::string &Pass) const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Pass == Pass)
+      ++N;
+  return N;
+}
+
+unsigned LintReport::countConfidence(LintConfidence C) const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Confidence == C && F.Severity != FindingSeverity::Note)
+      ++N;
+  return N;
+}
+
+unsigned LintReport::errorCount() const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Severity == FindingSeverity::Error)
+      ++N;
+  return N;
+}
+
+void LintReport::sortFindings() {
+  std::stable_sort(
+      Findings.begin(), Findings.end(),
+      [](const LintFinding &A, const LintFinding &B) {
+        return std::tie(A.Loc.Line, A.Loc.Column, A.Pass, A.Confidence,
+                        A.Message, A.Path) <
+               std::tie(B.Loc.Line, B.Loc.Column, B.Pass, B.Confidence,
+                        B.Message, B.Path);
+      });
+}
+
+std::string LintReport::renderText() const {
+  std::ostringstream OS;
+  for (const LintFinding &F : Findings) {
+    if (F.Loc.isValid())
+      OS << F.Loc.Line << ':' << F.Loc.Column << ": ";
+    OS << findingSeverityName(F.Severity) << " [" << F.Pass << '/'
+       << lintConfidenceName(F.Confidence) << "] " << F.Message;
+    if (!F.Path.empty())
+      OS << " (path " << F.Path << ')';
+    if (!F.Function.empty())
+      OS << " {in " << F.Function << '}';
+    OS << '\n';
+    for (const std::string &Line : F.Provenance)
+      OS << "    " << Line << '\n';
+  }
+  OS << "lint: tier=" << Tier << " findings=" << Findings.size()
+     << " must=" << countConfidence(LintConfidence::Must)
+     << " errors=" << errorCount() << " suppressed=" << SuppressedCount;
+  if (Degraded)
+    OS << " degraded=1";
+  OS << '\n';
+  return OS.str();
+}
+
+namespace {
+void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+} // namespace
+
+std::string LintReport::renderJson() const {
+  std::ostringstream OS;
+  OS << "{\"schema\":\"vdga-lint-v1\",\"tier\":\"" << Tier << "\""
+     << ",\"degraded\":" << (Degraded ? "true" : "false")
+     << ",\"suppressed\":" << SuppressedCount;
+  // Stable per-pass counts (all five passes, zero included, so diffs of
+  // reports are structural).
+  static const char *const PassNames[] = {"use-after-free", "double-free",
+                                          "memory-leak", "dead-store",
+                                          "null-deref"};
+  OS << ",\"counts\":{";
+  bool FirstCount = true;
+  for (const char *P : PassNames) {
+    if (!FirstCount)
+      OS << ',';
+    FirstCount = false;
+    OS << '"' << P << "\":" << countPass(P);
+  }
+  OS << ",\"must\":" << countConfidence(LintConfidence::Must)
+     << ",\"errors\":" << errorCount() << '}';
+  OS << ",\"findings\":[";
+  bool First = true;
+  for (const LintFinding &F : Findings) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"pass\":";
+    jsonEscape(OS, F.Pass);
+    OS << ",\"confidence\":\"" << lintConfidenceName(F.Confidence) << "\""
+       << ",\"severity\":\"" << findingSeverityName(F.Severity) << "\""
+       << ",\"line\":" << F.Loc.Line << ",\"col\":" << F.Loc.Column
+       << ",\"message\":";
+    jsonEscape(OS, F.Message);
+    OS << ",\"path\":";
+    jsonEscape(OS, F.Path);
+    OS << ",\"function\":";
+    jsonEscape(OS, F.Function);
+    if (!F.Provenance.empty()) {
+      OS << ",\"provenance\":[";
+      bool FirstP = true;
+      for (const std::string &Line : F.Provenance) {
+        if (!FirstP)
+          OS << ',';
+        FirstP = false;
+        jsonEscape(OS, Line);
+      }
+      OS << ']';
+    }
+    OS << '}';
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+unsigned vdga::refuteLintFindings(LintReport &R, const AccessTrace &Trace) {
+  unsigned Refuted = 0;
+  for (LintFinding &F : R.Findings) {
+    if (F.Confidence != LintConfidence::Must || !F.Site ||
+        F.Severity == FindingSeverity::Note)
+      continue;
+    bool Executed = false;
+    if (F.Pass == "double-free") {
+      // A recorded entry in Frees means this site released a live object
+      // at least once — directly contradicting "every execution here
+      // double-frees".
+      Executed = Trace.Frees.count(F.Site) != 0;
+    } else if (F.Pass == "use-after-free" || F.Pass == "null-deref") {
+      // The interpreter records an access only after it succeeded (the
+      // failure path returns first), so presence proves a well-defined
+      // execution of the site.
+      Executed = Trace.Reads.count(F.Site) != 0 ||
+                 Trace.Writes.count(F.Site) != 0;
+    }
+    if (!Executed)
+      continue;
+    F.Severity = FindingSeverity::Error;
+    F.Message += " [refuted by interpreter trace]";
+    ++Refuted;
+  }
+  return Refuted;
+}
+
+namespace {
+std::set<std::string> parseBaseline(const std::string &Text) {
+  std::set<std::string> Keys;
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.erase(Hash);
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Keys.insert(Line.substr(B, E - B + 1));
+  }
+  return Keys;
+}
+} // namespace
+
+unsigned vdga::applyLintBaseline(LintReport &R,
+                                 const std::string &BaselineText) {
+  if (BaselineText.empty())
+    return 0;
+  std::set<std::string> Keys = parseBaseline(BaselineText);
+  if (Keys.empty())
+    return 0;
+  unsigned Suppressed = 0;
+  std::vector<LintFinding> Kept;
+  Kept.reserve(R.Findings.size());
+  for (LintFinding &F : R.Findings) {
+    // Errors (refuted musts) are never suppressible: they indicate an
+    // analysis bug, not a known program defect.
+    if (F.Severity != FindingSeverity::Error &&
+        Keys.count(F.baselineKey())) {
+      ++Suppressed;
+      continue;
+    }
+    Kept.push_back(std::move(F));
+  }
+  R.Findings = std::move(Kept);
+  R.SuppressedCount += Suppressed;
+  return Suppressed;
+}
+
+std::string vdga::renderLintBaseline(const LintReport &R) {
+  std::set<std::string> Keys;
+  for (const LintFinding &F : R.Findings)
+    if (F.Severity != FindingSeverity::Note)
+      Keys.insert(F.baselineKey());
+  std::ostringstream OS;
+  OS << "# vdga-lint baseline: one suppression key per line\n"
+     << "# (pass:line:col:path); '#' starts a comment\n";
+  for (const std::string &K : Keys)
+    OS << K << '\n';
+  return OS.str();
+}

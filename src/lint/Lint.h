@@ -1,0 +1,171 @@
+//===- lint/Lint.h - Alias-powered memory-safety lint engine ----*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint engine's public surface: the precision-tier selector, the
+/// structured `LintFinding`/`LintReport` types with their `vdga-lint-v1`
+/// renderings, the suppression-baseline mechanism, and the `runLint`
+/// entry point.
+///
+/// The engine is the project's answer to Ruf's client-level methodology
+/// at scale: a flow-sensitive intraprocedural dataflow framework
+/// (lint/Dataflow.h) over per-function statement CFGs (lint/CFG.h) whose
+/// transfer functions consume whichever alias tier the governance ladder
+/// produced — Steensgaard, context-insensitive, or context-sensitive —
+/// through one uniform facade (lint/AliasOracle.h). Every pass therefore
+/// runs identically against all three tiers, and the per-tier finding
+/// counts measure what extra precision buys a real client.
+///
+/// Findings carry a confidence: `may` findings are advisory; `must`
+/// findings claim every execution reaching the site misbehaves, and the
+/// interpreter trace can *refute* them (`refuteLintFindings`) — a refuted
+/// must finding is promoted to a hard Error, which the corpus gate, the
+/// fuzz stack and `bench_diff.py` all treat as an analysis bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_LINT_LINT_H
+#define VDGA_LINT_LINT_H
+
+#include "checker/Checker.h"
+#include "driver/Governance.h"
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+class AnalyzedProgram;
+struct AccessTrace;
+
+/// Which alias tier the passes consume. Mirrors the governance ladder's
+/// complete rungs (Top never serves lint: it would make every referent
+/// set universal and every finding noise).
+enum class LintTier : uint8_t { Steensgaard, ContextInsens, ContextSens };
+
+const char *lintTierName(LintTier T);
+bool parseLintTier(std::string_view Name, LintTier &Out);
+
+/// How strong a finding's claim is. `Must` means "every execution
+/// reaching this site misbehaves" — exactly the claim one interpreter
+/// run can refute by executing the site successfully.
+enum class LintConfidence : uint8_t { May, Must };
+
+const char *lintConfidenceName(LintConfidence C);
+
+/// One structured finding from a lint pass.
+struct LintFinding {
+  /// Emitting pass: "use-after-free", "double-free", "memory-leak",
+  /// "dead-store", "null-deref", or "lint" for engine-level notes.
+  std::string Pass;
+  LintConfidence Confidence = LintConfidence::May;
+  /// Warning normally; Error when a must finding was refuted by the
+  /// interpreter trace; Note for engine-level skips.
+  FindingSeverity Severity = FindingSeverity::Warning;
+  SourceLoc Loc;
+  std::string Message;
+  /// Rendered access path involved, when applicable.
+  std::string Path;
+  /// Enclosing function name ("" for program-wide findings).
+  std::string Function;
+  /// Rendered CI derivation chain when provenance was recorded.
+  std::vector<std::string> Provenance;
+
+  /// The source site, for interpreter refutation. Not serialized.
+  const Expr *Site = nullptr;
+  /// Pending provenance request resolved by the engine after the passes
+  /// run: the (output, referent) whose derivation chain to attach.
+  OutputId ProvOut = InvalidId;
+  PathId ProvReferent = PathId::EmptyOffset;
+
+  /// The stable suppression-baseline key (no message text, so rewording
+  /// a diagnostic does not invalidate baselines).
+  std::string baselineKey() const;
+};
+
+/// Everything one linted program produced. Renderings contain no timings
+/// and are bit-identical across job counts, worklist schedules and
+/// solver strategies (asserted by the determinism tests).
+struct LintReport {
+  std::vector<LintFinding> Findings;
+  /// The tier the passes consumed ("steens", "ci", "cs").
+  std::string Tier;
+  /// True when the requested tier's solve degraded under budget: the
+  /// engine then self-skips (a Note explains why) rather than linting
+  /// against facts of a different precision than asked for.
+  bool Degraded = false;
+  /// Findings dropped by the suppression baseline.
+  unsigned SuppressedCount = 0;
+  /// Wall-clock per pass, for the bench artifact only — never rendered
+  /// into the report itself.
+  std::map<std::string, double> PassMillis;
+
+  unsigned countPass(const std::string &Pass) const;
+  unsigned countConfidence(LintConfidence C) const;
+  unsigned errorCount() const;
+  bool clean() const { return errorCount() == 0; }
+
+  /// Orders findings by (line, column, pass, confidence, message, path)
+  /// so reports are bit-identical across schedules and job counts.
+  void sortFindings();
+
+  std::string renderText() const;
+  /// One JSON object, schema "vdga-lint-v1".
+  std::string renderJson() const;
+};
+
+/// Options threaded through `runLint`.
+struct LintOptions {
+  LintTier Tier = LintTier::ContextInsens;
+  /// Budgets for the tier's solves; a rung trip degrades the report.
+  GovernancePolicy Policy;
+  /// Record CI derivations and attach rendered chains to findings.
+  bool RecordProvenance = false;
+  /// Suppression baseline file contents ("" = none): one baselineKey()
+  /// per line, '#' comments and blank lines ignored.
+  std::string BaselineText;
+  /// The oracle hook: when must findings exist, run the interpreter once
+  /// on InterpreterInput and refute them against the access trace
+  /// (refuted musts become hard Errors).
+  bool RefuteWithInterpreter = false;
+  std::string InterpreterInput;
+};
+
+/// Runs the five lint passes against \p Opts.Tier's alias facts.
+LintReport runLint(AnalyzedProgram &AP, const LintOptions &Opts);
+
+/// Cross-checks must-confidence findings against one concrete run's
+/// access trace: a site the trace proves executed successfully refutes
+/// the must claim, promoting the finding to Error. The trace prefix of a
+/// truncated or failed run is valid evidence (the interpreter records an
+/// access only after it succeeded). Returns the number of refutations.
+unsigned refuteLintFindings(LintReport &R, const AccessTrace &Trace);
+
+/// Drops findings whose baselineKey() appears in \p BaselineText,
+/// counting them in SuppressedCount. Returns the number suppressed.
+unsigned applyLintBaseline(LintReport &R, const std::string &BaselineText);
+
+/// Renders the report's finding keys as a baseline file (sorted, unique,
+/// with a header comment).
+std::string renderLintBaseline(const LintReport &R);
+
+/// One corpus program's lint outcome.
+struct ProgramLintReport {
+  std::string Name;
+  LintReport Report;
+};
+
+/// Lints every corpus program in parallel (same \p Jobs semantics as
+/// analyzeCorpus). Reports come back in corpus order; their renderings
+/// are bit-identical across job counts and solver strategies.
+std::vector<ProgramLintReport> lintCorpus(const LintOptions &Opts,
+                                          unsigned Jobs = 0);
+
+} // namespace vdga
+
+#endif // VDGA_LINT_LINT_H

@@ -1,0 +1,706 @@
+//===- lint/Passes.cpp ----------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Passes.h"
+
+#include "lint/Dataflow.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace vdga;
+
+namespace {
+
+const Expr *stripCasts(const Expr *E) {
+  while (const auto *C = dyn_cast<CastExpr>(E))
+    E = C->operand();
+  return E;
+}
+
+/// The tracked variable an expression names, if any (same predicate the
+/// CFG lowering used to emit AssignVar events).
+const VarDecl *trackedVar(const Expr *E) {
+  if (!E)
+    return nullptr;
+  const auto *Ref = dyn_cast<DeclRefExpr>(stripCasts(E));
+  if (!Ref)
+    return nullptr;
+  const auto *Var = dyn_cast<VarDecl>(Ref->decl());
+  if (!Var || Var->isGlobal() || Var->isAddressTaken() ||
+      !Var->type()->isPointer())
+    return nullptr;
+  return Var;
+}
+
+/// Findings helper shared by the passes: builds, dedupes (per pass /
+/// site / message) and registers findings.
+class FindingSink {
+public:
+  FindingSink(LintPassContext &Ctx, const char *Pass) : Ctx(Ctx), Pass(Pass) {}
+
+  LintFinding *add(const Expr *Site, SourceLoc Loc, LintConfidence Conf,
+                   std::string Message, const FuncDecl *Fn,
+                   PathId Referent = PathId::EmptyOffset,
+                   bool HasReferent = false) {
+    std::string PathStr =
+        HasReferent ? Ctx.Paths.str(Referent, Ctx.P.Names) : std::string();
+    std::string Key = std::to_string(Loc.Line) + ':' +
+                      std::to_string(Loc.Column) + ':' + Message + ':' +
+                      PathStr;
+    if (!Seen.insert(Key).second)
+      return nullptr;
+    LintFinding F;
+    F.Pass = Pass;
+    F.Confidence = Conf;
+    F.Severity = FindingSeverity::Warning;
+    F.Loc = Loc;
+    F.Message = std::move(Message);
+    F.Path = std::move(PathStr);
+    if (Fn)
+      F.Function = Ctx.P.Names.text(Fn->name());
+    F.Site = Site;
+    Ctx.Findings.push_back(std::move(F));
+    return &Ctx.Findings.back();
+  }
+
+private:
+  LintPassContext &Ctx;
+  const char *Pass;
+  std::set<std::string> Seen;
+};
+
+bool isHeapPath(const LintPassContext &Ctx, PathId P) {
+  return Ctx.Paths.isLocation(P) &&
+         Ctx.Paths.base(Ctx.Paths.baseOf(P)).Kind == BaseLocKind::Heap;
+}
+
+bool isLocalPath(const LintPassContext &Ctx, PathId P) {
+  return Ctx.Paths.isLocation(P) &&
+         Ctx.Paths.base(Ctx.Paths.baseOf(P)).Kind == BaseLocKind::Local;
+}
+
+//===----------------------------------------------------------------------===//
+// Heap pass: use-after-free and double-free
+//===----------------------------------------------------------------------===//
+
+/// Per tracked variable: does it hold a pointer whose object was freed?
+enum class Dang : uint8_t { No, Yes, Maybe };
+
+/// Per allocation site: may the most recent reasoning consider it freed?
+enum class SiteSt : uint8_t { Live, Freed, MaybeFreed };
+
+Dang joinDang(Dang A, Dang B) { return A == B ? A : Dang::Maybe; }
+SiteSt joinSite(SiteSt A, SiteSt B) {
+  return A == B ? A : SiteSt::MaybeFreed;
+}
+
+struct HeapLattice {
+  const LintPassContext &Ctx;
+
+  struct State {
+    /// Absent variable = No (params and fresh values are live on entry).
+    std::map<const VarDecl *, Dang, DeclOrder> Vars;
+    /// Absent site = Live (intraprocedural: assume the caller handed us
+    /// live memory; missed interprocedural frees are false negatives,
+    /// never wrong must-claims).
+    std::map<BaseLocId, SiteSt> Sites;
+  };
+
+  State boundaryState() const { return {}; }
+
+  bool mergeInto(State &Dst, const State &Src) const {
+    bool Changed = false;
+    for (const auto &[Var, S] : Src.Vars) {
+      auto It = Dst.Vars.find(Var);
+      Dang Old = It == Dst.Vars.end() ? Dang::No : It->second;
+      Dang New = joinDang(Old, S);
+      if (New != Old) {
+        Dst.Vars[Var] = New;
+        Changed = true;
+      }
+    }
+    for (const auto &[Var, S] : Dst.Vars) {
+      if (!Src.Vars.count(Var) && S != Dang::No) {
+        Dang New = joinDang(S, Dang::No);
+        if (New != S) {
+          Dst.Vars[Var] = New;
+          Changed = true;
+        }
+      }
+    }
+    for (const auto &[Site, S] : Src.Sites) {
+      auto It = Dst.Sites.find(Site);
+      SiteSt Old = It == Dst.Sites.end() ? SiteSt::Live : It->second;
+      SiteSt New = joinSite(Old, S);
+      if (New != Old) {
+        Dst.Sites[Site] = New;
+        Changed = true;
+      }
+    }
+    for (const auto &[Site, S] : Dst.Sites) {
+      if (!Src.Sites.count(Site) && S != SiteSt::Live) {
+        SiteSt New = joinSite(S, SiteSt::Live);
+        if (New != S) {
+          Dst.Sites[Site] = New;
+          Changed = true;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  std::vector<BaseLocId> freedBases(const LintEvent &E) const {
+    std::vector<BaseLocId> H;
+    if (!E.Ptr)
+      return H;
+    bool Known = false;
+    for (PathId R : Ctx.Oracle.valueReferents(E.Ptr, Known))
+      if (isHeapPath(Ctx, R))
+        H.push_back(Ctx.Paths.baseOf(R));
+    std::sort(H.begin(), H.end(), [](BaseLocId A, BaseLocId B) {
+      return index(A) < index(B);
+    });
+    H.erase(std::unique(H.begin(), H.end()), H.end());
+    return H;
+  }
+
+  void transfer(State &S, const LintEvent &E) const {
+    switch (E.K) {
+    case LintEvent::Kind::Alloc:
+      S.Sites[Ctx.Locs.heapBase(E.AllocSite)] = SiteSt::Live;
+      return;
+    case LintEvent::Kind::Free: {
+      std::vector<BaseLocId> H = freedBases(E);
+      if (H.size() == 1) {
+        S.Sites[H[0]] = SiteSt::Freed;
+      } else {
+        for (BaseLocId B : H) {
+          auto It = S.Sites.find(B);
+          SiteSt Old = It == S.Sites.end() ? SiteSt::Live : It->second;
+          S.Sites[B] = joinSite(Old, SiteSt::Freed);
+        }
+      }
+      // Only a free that released something marks the variable dangling:
+      // free(NULL) is a no-op however often it runs.
+      if (const VarDecl *V = trackedVar(E.Ptr))
+        S.Vars[V] = H.empty() ? Dang::No : Dang::Yes;
+      return;
+    }
+    case LintEvent::Kind::AssignVar:
+      if (E.SrcKind == LintEvent::Src::Copy && E.SrcVar) {
+        auto It = S.Vars.find(E.SrcVar);
+        S.Vars[E.Var] = It == S.Vars.end() ? Dang::No : It->second;
+      } else {
+        // Null, fresh, address-of and unknown sources are all treated as
+        // not-dangling: a wrong guess here could only suppress a must
+        // claim, never fabricate one.
+        S.Vars[E.Var] = Dang::No;
+      }
+      return;
+    case LintEvent::Kind::Call:
+      // A callee may free objects that escaped to it; tracking that
+      // would need an interprocedural escape summary. Leaving states
+      // untouched loses those frees (false negatives) but keeps every
+      // must claim grounded in a free() this function executed.
+      return;
+    case LintEvent::Kind::Read:
+    case LintEvent::Kind::Write:
+      return;
+    }
+  }
+
+  void refine(State &, const Expr *, bool) const {
+    // Dangling-ness is not testable in the source language (comparing a
+    // freed pointer is itself suspect), so branches refine nothing.
+  }
+};
+
+void checkHeapAccess(LintPassContext &Ctx, FindingSink &UAF,
+                     const HeapLattice::State &S, const LintEvent &E,
+                     const FuncDecl *Fn) {
+  if (const VarDecl *V = trackedVar(E.Ptr)) {
+    auto It = S.Vars.find(V);
+    Dang D = It == S.Vars.end() ? Dang::No : It->second;
+    if (D == Dang::Yes) {
+      UAF.add(E.Site, E.Site->loc(), LintConfidence::Must,
+              "use of " + Ctx.P.Names.text(V->name()) +
+                  " after the object it points to was freed",
+              Fn);
+      return;
+    }
+    if (D == Dang::Maybe) {
+      UAF.add(E.Site, E.Site->loc(), LintConfidence::May,
+              "possible use of " + Ctx.P.Names.text(V->name()) +
+                  " after free",
+              Fn);
+      return;
+    }
+  }
+  // Alias-level: the access may touch an allocation site this function
+  // definitely freed on some path. Site states summarize all instances
+  // of a site, so this is only ever a may claim.
+  for (const std::vector<NodeId> *Nodes :
+       {Ctx.Sites.Lookups.count(E.Site)
+            ? &Ctx.Sites.Lookups.at(E.Site)
+            : nullptr,
+        Ctx.Sites.Updates.count(E.Site) ? &Ctx.Sites.Updates.at(E.Site)
+                                        : nullptr}) {
+    if (!Nodes)
+      continue;
+    for (NodeId N : *Nodes) {
+      for (PathId R : Ctx.Oracle.accessReferents(N)) {
+        if (!isHeapPath(Ctx, R))
+          continue;
+        BaseLocId B = Ctx.Paths.baseOf(R);
+        auto It = S.Sites.find(B);
+        if (It != S.Sites.end() && It->second == SiteSt::Freed) {
+          LintFinding *F = UAF.add(
+              E.Site, E.Site->loc(), LintConfidence::May,
+              "may access memory from an allocation that was already freed",
+              Fn, Ctx.Paths.basePath(B), /*HasReferent=*/true);
+          if (F) {
+            F->ProvOut = Ctx.G.producerOf(N, 0);
+            F->ProvReferent = R;
+          }
+        }
+      }
+    }
+  }
+}
+
+void runHeapPassOn(LintPassContext &Ctx, const LintCFG &C) {
+  HeapLattice Lat{Ctx};
+  DataflowRunner<HeapLattice> Runner(C, Lat, DataflowDir::Forward);
+  Runner.solve();
+  FindingSink UAF(Ctx, "use-after-free");
+  FindingSink DF(Ctx, "double-free");
+  Runner.visit([&](const HeapLattice::State &S, const LintEvent &E) {
+    switch (E.K) {
+    case LintEvent::Kind::Read:
+    case LintEvent::Kind::Write:
+      checkHeapAccess(Ctx, UAF, S, E, C.Fn);
+      return;
+    case LintEvent::Kind::Free: {
+      if (const VarDecl *V = trackedVar(E.Ptr)) {
+        auto It = S.Vars.find(V);
+        Dang D = It == S.Vars.end() ? Dang::No : It->second;
+        if (D == Dang::Yes) {
+          DF.add(E.Site, E.Site->loc(), LintConfidence::Must,
+                 "double free of " + Ctx.P.Names.text(V->name()), C.Fn);
+          return;
+        }
+        if (D == Dang::Maybe) {
+          DF.add(E.Site, E.Site->loc(), LintConfidence::May,
+                 "possible double free of " + Ctx.P.Names.text(V->name()),
+                 C.Fn);
+          return;
+        }
+      }
+      for (BaseLocId B : Lat.freedBases(E)) {
+        auto It = S.Sites.find(B);
+        if (It != S.Sites.end() && It->second == SiteSt::Freed)
+          DF.add(E.Site, E.Site->loc(), LintConfidence::May,
+                 "allocation may already have been freed when freed again",
+                 C.Fn, Ctx.Paths.basePath(B), /*HasReferent=*/true);
+      }
+      return;
+    }
+    default:
+      return;
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Null pass: flow-aware null-dereference
+//===----------------------------------------------------------------------===//
+
+/// Nullness of a tracked pointer variable. `Unknown` carries no evidence
+/// (quiet); `Maybe` records a null assignment on at least one path.
+enum class Nullness : uint8_t { Unknown, Null, NonNull, Maybe };
+
+Nullness joinNullness(Nullness A, Nullness B) {
+  if (A == B)
+    return A;
+  // Any path carrying definite or possible null makes the join Maybe;
+  // otherwise no evidence survives.
+  bool ANull = A == Nullness::Null || A == Nullness::Maybe;
+  bool BNull = B == Nullness::Null || B == Nullness::Maybe;
+  return (ANull || BNull) ? Nullness::Maybe : Nullness::Unknown;
+}
+
+bool isNullLiteral(const Expr *E) {
+  const auto *I = dyn_cast<IntLiteralExpr>(stripCasts(E));
+  return I && I->value() == 0;
+}
+
+struct NullLattice {
+  const LintPassContext &Ctx;
+
+  struct State {
+    std::map<const VarDecl *, Nullness, DeclOrder> Vars; ///< Absent=Unknown.
+  };
+
+  State boundaryState() const { return {}; }
+
+  bool mergeInto(State &Dst, const State &Src) const {
+    bool Changed = false;
+    for (const auto &[Var, N] : Src.Vars) {
+      auto It = Dst.Vars.find(Var);
+      Nullness Old = It == Dst.Vars.end() ? Nullness::Unknown : It->second;
+      Nullness New = joinNullness(Old, N);
+      if (New != Old) {
+        Dst.Vars[Var] = New;
+        Changed = true;
+      }
+    }
+    for (const auto &[Var, N] : Dst.Vars) {
+      if (!Src.Vars.count(Var) && N != Nullness::Unknown) {
+        Nullness New = joinNullness(N, Nullness::Unknown);
+        if (New != N) {
+          Dst.Vars[Var] = New;
+          Changed = true;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  void transfer(State &S, const LintEvent &E) const {
+    if (E.K != LintEvent::Kind::AssignVar)
+      return;
+    switch (E.SrcKind) {
+    case LintEvent::Src::Null:
+      S.Vars[E.Var] = Nullness::Null;
+      return;
+    case LintEvent::Src::Fresh:
+      // The concrete interpreter's malloc never fails, so a fresh
+      // allocation is non-null — matching the runtime the oracle
+      // refutes against.
+    case LintEvent::Src::Addr:
+      S.Vars[E.Var] = Nullness::NonNull;
+      return;
+    case LintEvent::Src::Copy: {
+      auto It = S.Vars.find(E.SrcVar);
+      S.Vars[E.Var] =
+          It == S.Vars.end() ? Nullness::Unknown : It->second;
+      return;
+    }
+    case LintEvent::Src::Unknown:
+      S.Vars[E.Var] = Nullness::Unknown;
+      return;
+    }
+  }
+
+  void refine(State &S, const Expr *Cond, bool AssumeTrue) const {
+    Cond = stripCasts(Cond);
+    if (const VarDecl *V = trackedVar(Cond)) {
+      S.Vars[V] = AssumeTrue ? Nullness::NonNull : Nullness::Null;
+      return;
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(Cond)) {
+      if (U->op() == UnaryOp::Not)
+        refine(S, U->operand(), !AssumeTrue);
+      return;
+    }
+    const auto *B = dyn_cast<BinaryExpr>(Cond);
+    if (!B)
+      return;
+    switch (B->op()) {
+    case BinaryOp::LogAnd:
+      if (AssumeTrue) {
+        refine(S, B->lhs(), true);
+        refine(S, B->rhs(), true);
+      }
+      return;
+    case BinaryOp::LogOr:
+      if (!AssumeTrue) {
+        refine(S, B->lhs(), false);
+        refine(S, B->rhs(), false);
+      }
+      return;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      const Expr *VarSide = nullptr;
+      if (isNullLiteral(B->rhs()))
+        VarSide = B->lhs();
+      else if (isNullLiteral(B->lhs()))
+        VarSide = B->rhs();
+      if (!VarSide)
+        return;
+      const VarDecl *V = trackedVar(VarSide);
+      if (!V)
+        return;
+      bool IsNull = (B->op() == BinaryOp::Eq) == AssumeTrue;
+      S.Vars[V] = IsNull ? Nullness::Null : Nullness::NonNull;
+      return;
+    }
+    default:
+      return;
+    }
+  }
+};
+
+void runNullPassOn(LintPassContext &Ctx, const LintCFG &C) {
+  NullLattice Lat{Ctx};
+  DataflowRunner<NullLattice> Runner(C, Lat, DataflowDir::Forward);
+  Runner.solve();
+  FindingSink Sink(Ctx, "null-deref");
+  Runner.visit([&](const NullLattice::State &S, const LintEvent &E) {
+    if (E.K != LintEvent::Kind::Read && E.K != LintEvent::Kind::Write)
+      return;
+    if (const VarDecl *V = trackedVar(E.Ptr)) {
+      auto It = S.Vars.find(V);
+      Nullness N = It == S.Vars.end() ? Nullness::Unknown : It->second;
+      if (N == Nullness::Null) {
+        Sink.add(E.Site, E.Site->loc(), LintConfidence::Must,
+                 "null pointer dereference of " +
+                     Ctx.P.Names.text(V->name()),
+                 C.Fn);
+        return;
+      }
+      if (N == Nullness::Maybe)
+        Sink.add(E.Site, E.Site->loc(), LintConfidence::May,
+                 "possible null pointer dereference of " +
+                     Ctx.P.Names.text(V->name()),
+                 C.Fn);
+    }
+    // Alias-level must check (the upgraded null-write pass, extended to
+    // reads): an indirect access whose location pointer has no referents
+    // under a complete tier dereferences null or undefined on every
+    // execution.
+    auto Check = [&](const std::vector<NodeId> &Nodes, const char *What) {
+      for (NodeId N : Nodes) {
+        if (!Ctx.Oracle.isIndirect(N))
+          continue;
+        if (Ctx.Oracle.accessReferents(N).empty())
+          Sink.add(E.Site, E.Site->loc(), LintConfidence::Must,
+                   std::string(What) +
+                       " through a pointer that is null or undefined on "
+                       "every path",
+                   C.Fn);
+      }
+    };
+    if (E.K == LintEvent::Kind::Read) {
+      if (auto It = Ctx.Sites.Lookups.find(E.Site);
+          It != Ctx.Sites.Lookups.end())
+        Check(It->second, "read");
+    } else {
+      if (auto It = Ctx.Sites.Updates.find(E.Site);
+          It != Ctx.Sites.Updates.end())
+        Check(It->second, "write");
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-store pass (backward liveness of local paths)
+//===----------------------------------------------------------------------===//
+
+struct LiveLattice {
+  const LintPassContext &Ctx;
+  /// Address-taken locals of the current function, as base paths: what a
+  /// callee could read through a pointer when ModRef cannot narrow it.
+  const std::vector<PathId> &EscapedLocals;
+
+  struct State {
+    std::set<PathId> Live; ///< Local access paths that may still be read.
+  };
+
+  State boundaryState() const { return {}; } // Locals die at exit.
+
+  bool mergeInto(State &Dst, const State &Src) const {
+    bool Changed = false;
+    for (PathId P : Src.Live)
+      Changed |= Dst.Live.insert(P).second;
+    return Changed;
+  }
+
+  void addAccessPaths(State &S, const LintEvent &E,
+                      const std::map<const Expr *, std::vector<NodeId>>
+                          &SiteMap) const {
+    auto It = SiteMap.find(E.Site);
+    if (It == SiteMap.end())
+      return;
+    for (NodeId N : It->second)
+      for (PathId R : Ctx.Oracle.accessReferents(N))
+        if (isLocalPath(Ctx, R))
+          S.Live.insert(R);
+  }
+
+  void transfer(State &S, const LintEvent &E) const {
+    switch (E.K) {
+    case LintEvent::Kind::Read:
+      addAccessPaths(S, E, Ctx.Sites.Lookups);
+      return;
+    case LintEvent::Kind::Write: {
+      // A compound assignment's read half arrives as its own Read event;
+      // here only the kill applies. Strong kill: single referent, single
+      // runtime instance — and only at field-sensitive tiers, where one
+      // referent path is one storage location. The Steensgaard backing
+      // answers with whole base objects, so `arr[1] = ...` comes back as
+      // the single path `arr` and a strong kill there would wrongly erase
+      // the liveness of every other element.
+      if (!Ctx.Oracle.fieldSensitive())
+        return;
+      auto It = Ctx.Sites.Updates.find(E.Site);
+      if (It == Ctx.Sites.Updates.end())
+        return;
+      for (NodeId N : It->second) {
+        std::vector<PathId> W = Ctx.Oracle.accessReferents(N);
+        if (W.size() != 1 || !Ctx.Paths.isLocation(W[0]))
+          continue;
+        const BaseLocation &B = Ctx.Paths.base(Ctx.Paths.baseOf(W[0]));
+        if (!B.SingleInstance)
+          continue;
+        // Writing path w overwrites w and everything below it.
+        for (auto LI = S.Live.begin(); LI != S.Live.end();)
+          if (Ctx.Paths.dom(W[0], *LI))
+            LI = S.Live.erase(LI);
+          else
+            ++LI;
+      }
+      return;
+    }
+    case LintEvent::Kind::Call: {
+      // The callee may read any local whose address escaped; ModRef
+      // narrows that to the locations the callee transitively refs.
+      for (PathId P : EscapedLocals) {
+        if (Ctx.MR && E.Callee) {
+          if (!Ctx.MR->mayRef(E.Callee, P, Ctx.Paths))
+            continue;
+        }
+        S.Live.insert(P);
+      }
+      return;
+    }
+    case LintEvent::Kind::Free:
+    case LintEvent::Kind::Alloc:
+    case LintEvent::Kind::AssignVar:
+      return;
+    }
+  }
+
+  void refine(State &, const Expr *, bool) const {}
+};
+
+void runDeadStorePassOn(LintPassContext &Ctx, const LintCFG &C) {
+  std::vector<PathId> EscapedLocals;
+  for (const VarDecl *V : C.Fn->locals())
+    if (V->isAddressTaken())
+      EscapedLocals.push_back(
+          Ctx.Paths.basePath(Ctx.Locs.varBase(V)));
+  for (const VarDecl *V : C.Fn->params())
+    if (V->isAddressTaken())
+      EscapedLocals.push_back(
+          Ctx.Paths.basePath(Ctx.Locs.varBase(V)));
+
+  LiveLattice Lat{Ctx, EscapedLocals};
+  DataflowRunner<LiveLattice> Runner(C, Lat, DataflowDir::Backward);
+  Runner.solve();
+  FindingSink Sink(Ctx, "dead-store");
+  Runner.visit([&](const LiveLattice::State &S, const LintEvent &E) {
+    if (E.K != LintEvent::Kind::Write)
+      return;
+    auto It = Ctx.Sites.Updates.find(E.Site);
+    if (It == Ctx.Sites.Updates.end())
+      return;
+    for (NodeId N : It->second) {
+      std::vector<PathId> W = Ctx.Oracle.accessReferents(N);
+      if (W.empty())
+        continue; // The null pass owns referent-free writes.
+      bool AllLocal = true;
+      for (PathId P : W)
+        if (!isLocalPath(Ctx, P))
+          AllLocal = false;
+      if (!AllLocal)
+        continue; // Globals/heap outlive the function; stay quiet.
+      bool Observed = false;
+      for (PathId P : W)
+        for (PathId L : S.Live)
+          if (Ctx.Paths.dom(P, L) || Ctx.Paths.dom(L, P))
+            Observed = true;
+      if (Observed)
+        continue;
+      // Cross-check against the interprocedural DefUse client when the
+      // tier provides one: a store whose value some lookup anywhere may
+      // observe is not dead, whatever local liveness says.
+      if (Ctx.DU && !Ctx.DU->usesFor(N).empty())
+        continue;
+      Sink.add(E.Site, E.Site->loc(), LintConfidence::May,
+               "store is never read", C.Fn, W[0], /*HasReferent=*/true);
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Leak pass (whole-program, path-insensitive)
+//===----------------------------------------------------------------------===//
+
+void collectLeakEvents(LintPassContext &Ctx, const std::vector<LintEvent> &Evs,
+                       const FuncDecl *Fn,
+                       std::vector<std::pair<const Expr *, unsigned>> &Allocs,
+                       std::set<BaseLocId> &FreedBases,
+                       std::map<const Expr *, const FuncDecl *> &AllocOwner) {
+  for (const LintEvent &E : Evs) {
+    if (E.K == LintEvent::Kind::Alloc) {
+      Allocs.push_back({E.Site, E.AllocSite});
+      AllocOwner[E.Site] = Fn;
+    } else if (E.K == LintEvent::Kind::Free && E.Ptr) {
+      bool Known = false;
+      for (PathId R : Ctx.Oracle.valueReferents(E.Ptr, Known))
+        if (isHeapPath(Ctx, R))
+          FreedBases.insert(Ctx.Paths.baseOf(R));
+    }
+  }
+}
+
+} // namespace
+
+void vdga::runHeapPass(LintPassContext &Ctx) {
+  for (const LintCFG &C : Ctx.CFGs)
+    if (Ctx.Oracle.reachable(C.Fn))
+      runHeapPassOn(Ctx, C);
+}
+
+void vdga::runNullPass(LintPassContext &Ctx) {
+  for (const LintCFG &C : Ctx.CFGs)
+    if (Ctx.Oracle.reachable(C.Fn))
+      runNullPassOn(Ctx, C);
+}
+
+void vdga::runDeadStorePass(LintPassContext &Ctx) {
+  for (const LintCFG &C : Ctx.CFGs)
+    if (Ctx.Oracle.reachable(C.Fn))
+      runDeadStorePassOn(Ctx, C);
+}
+
+void vdga::runLeakPass(LintPassContext &Ctx) {
+  // Union the frees every reachable function (and the bootstrap region)
+  // may execute; any reachable allocation site no free's referent set
+  // covers can never be released.
+  std::vector<std::pair<const Expr *, unsigned>> Allocs;
+  std::map<const Expr *, const FuncDecl *> AllocOwner;
+  std::set<BaseLocId> FreedBases;
+  collectLeakEvents(Ctx, Ctx.BootstrapEvents, nullptr, Allocs, FreedBases,
+                    AllocOwner);
+  for (const LintCFG &C : Ctx.CFGs) {
+    if (!Ctx.Oracle.reachable(C.Fn))
+      continue;
+    for (const LintBlock &B : C.Blocks)
+      collectLeakEvents(Ctx, B.Events, C.Fn, Allocs, FreedBases, AllocOwner);
+  }
+  FindingSink Sink(Ctx, "memory-leak");
+  for (const auto &[Site, SiteId] : Allocs) {
+    BaseLocId B = Ctx.Locs.heapBase(SiteId);
+    if (FreedBases.count(B))
+      continue;
+    Sink.add(Site, Site->loc(), LintConfidence::May,
+             "allocation is never freed on any path", AllocOwner[Site],
+             Ctx.Paths.basePath(B), /*HasReferent=*/true);
+  }
+}

@@ -1,0 +1,67 @@
+//===- lint/Passes.h - The five lint passes ---------------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass battery the engine (Engine.cpp) runs over the per-function
+/// CFGs, all parameterized by the loaded alias tier via `AliasOracle`:
+///
+///   heap pass       -> "use-after-free" + "double-free" findings
+///                      (forward; per-variable dangling states plus
+///                      per-allocation-site liveness states)
+///   null pass       -> "null-deref" findings (forward; per-variable
+///                      nullness with branch refinement, plus the
+///                      alias-level empty-referent must check that
+///                      subsumes the old one-shot null-write pass)
+///   dead-store pass -> "dead-store" findings (backward; liveness of
+///                      local access paths, filtered through the DefUse
+///                      client and call-site ModRef when available)
+///   leak pass       -> "memory-leak" findings (whole-program,
+///                      path-insensitive: allocation sites no reachable
+///                      free may ever release)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_LINT_PASSES_H
+#define VDGA_LINT_PASSES_H
+
+#include "clients/DefUse.h"
+#include "clients/ModRef.h"
+#include "lint/AliasOracle.h"
+#include "lint/CFG.h"
+#include "lint/Lint.h"
+#include "memory/LocationTable.h"
+
+#include <vector>
+
+namespace vdga {
+
+/// Everything a pass consumes, assembled once by the engine.
+struct LintPassContext {
+  const Program &P;
+  const Graph &G;
+  const PathTable &Paths;
+  const PairTable &PT;
+  const LocationTable &Locs;
+  const AliasOracle &Oracle;
+  const OriginSites &Sites;
+  /// CFGs of every defined function (passes skip unreachable ones).
+  const std::vector<LintCFG> &CFGs;
+  /// Linearized global-initializer events (the bootstrap region).
+  const std::vector<LintEvent> &BootstrapEvents;
+  /// Null for the Steensgaard tier (both clients need a PointsToResult).
+  const DefUseInfo *DU = nullptr;
+  const ModRefInfo *MR = nullptr;
+  std::vector<LintFinding> &Findings;
+};
+
+void runHeapPass(LintPassContext &Ctx);
+void runNullPass(LintPassContext &Ctx);
+void runDeadStorePass(LintPassContext &Ctx);
+void runLeakPass(LintPassContext &Ctx);
+
+} // namespace vdga
+
+#endif // VDGA_LINT_PASSES_H

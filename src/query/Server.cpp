@@ -168,7 +168,8 @@ std::string QueryServer::handleLine(std::string_view Line, bool &Shutdown) {
          {"query.requests", "query.errors", "query.degraded_answers",
           "query.alias_hits", "query.alias_misses", "query.pointee_hits",
           "query.pointee_misses", "query.modref_hits", "query.modref_misses",
-          "query.store_hits", "query.store_misses"})
+          "query.store_hits", "query.store_misses", "query.lint_hits",
+          "query.lint_misses"})
       O.field(Name, Count(Name));
     O.field("latency_us", LatencyUs());
     return O.str();
@@ -196,6 +197,53 @@ std::string QueryServer::handleLine(std::string_view Line, bool &Shutdown) {
       return Missing("target");
     ensureSummary(&Req);
     return RenderAnswer(Session->modref(*Target, Mode));
+  }
+  if (Op == "lint") {
+    LintTier Tier = LintTier::ContextInsens;
+    if (const std::string *T = Req.str("tier"))
+      if (!parseLintTier(*T, Tier))
+        return errorResponse(Req.idJson(), Op, "bad-request",
+                             "\"tier\" must be \"steens\", \"ci\" or "
+                             "\"cs\", got \"" +
+                                 *T + "\"",
+                             LatencyUs());
+    const char *TierName = lintTierName(Tier);
+    bool Cached = LintCache.count(TierName) != 0;
+    if (!Cached) {
+      LintOptions LO;
+      LO.Tier = Tier;
+      LO.Policy = Opts.Policy;
+      // Same admission control as the summary solve: a request budget
+      // tightens, never loosens.
+      if (auto Ms = Req.integer("budget_ms"); Ms && *Ms > 0)
+        if (LO.Policy.SolveMs == 0 ||
+            static_cast<double>(*Ms) < LO.Policy.SolveMs)
+          LO.Policy.SolveMs = static_cast<double>(*Ms);
+      LintCache.emplace(TierName, runLint(*AP, LO));
+      AP->Metrics.add("query.lint_misses", 1);
+    } else {
+      AP->Metrics.add("query.lint_hits", 1);
+    }
+    AP->Metrics.add("query.requests", 1);
+    const LintReport &R = LintCache.at(TierName);
+    JsonObject Counts;
+    for (const char *Pass : {"use-after-free", "double-free", "memory-leak",
+                             "dead-store", "null-deref"})
+      Counts.field(Pass, static_cast<int64_t>(R.countPass(Pass)));
+    JsonObject O;
+    O.raw("id", Req.idJson())
+        .field("ok", true)
+        .field("op", Op)
+        .field("tier", R.Tier)
+        .field("degraded", R.Degraded)
+        .field("findings", static_cast<int64_t>(R.Findings.size()))
+        .field("must",
+               static_cast<int64_t>(R.countConfidence(LintConfidence::Must)))
+        .field("errors", static_cast<int64_t>(R.errorCount()))
+        .raw("counts", Counts.str())
+        .field("cached", Cached)
+        .field("latency_us", LatencyUs());
+    return O.str();
   }
 
   return errorResponse(Req.idJson(), Op, "unknown-op",

@@ -24,11 +24,13 @@
 #ifndef VDGA_QUERY_SERVER_H
 #define VDGA_QUERY_SERVER_H
 
+#include "lint/Lint.h"
 #include "query/ArtifactStore.h"
 #include "query/Protocol.h"
 #include "query/QuerySession.h"
 
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -83,6 +85,9 @@ private:
   ArtifactStore Store;
   std::optional<AliasSummary> Summary;
   std::optional<QuerySession> Session;
+  /// Lint reports memoized per tier name: the pass battery runs at most
+  /// once per tier over the server's lifetime.
+  std::map<std::string, LintReport> LintCache;
 };
 
 } // namespace vdga

@@ -243,6 +243,13 @@ OutputId Builder::decayArray(const LValue &LV, SourceLoc Loc) {
 //===----------------------------------------------------------------------===//
 
 OutputId Builder::buildExpr(const Expr *E) {
+  OutputId V = buildExprImpl(E);
+  if (V != InvalidId)
+    G.noteExprValue(E, V);
+  return V;
+}
+
+OutputId Builder::buildExprImpl(const Expr *E) {
   switch (E->kind()) {
   case ExprKind::IntLiteral:
   case ExprKind::FloatLiteral:

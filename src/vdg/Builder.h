@@ -80,8 +80,10 @@ private:
   LoopMerges openLoopHeader(SourceLoc Loc);
   void closeLoopBackedge(const LoopMerges &Merges, const Env &BackEnv);
 
-  // Expressions.
+  // Expressions. buildExpr records each expression's value output in the
+  // graph (Graph::exprValue) and dispatches to buildExprImpl.
   OutputId buildExpr(const Expr *E);
+  OutputId buildExprImpl(const Expr *E);
   LValue buildLValue(const Expr *E);
   OutputId loadLValue(const LValue &LV, const Type *Ty, const Expr *Origin);
   void storeLValue(const LValue &LV, OutputId Value, const Expr *Origin);

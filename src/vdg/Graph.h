@@ -193,6 +193,19 @@ public:
   const FunctionInfo *functionInfo(const FuncDecl *Fn) const;
   const std::vector<FunctionInfo> &functions() const { return Functions; }
 
+  /// Records the value output the builder produced for \p E. Every rvalue
+  /// expression is built exactly once, so the map is a bijection onto the
+  /// built outputs; clients (the lint engine) use it to ask any solver for
+  /// the referents of an arbitrary source expression — e.g. free(p)'s
+  /// argument, which is not otherwise an Origin-carrying access site.
+  void noteExprValue(const Expr *E, OutputId O) { ExprValues[E] = O; }
+  /// The value output built for \p E, or InvalidId when \p E was never
+  /// built as an rvalue (dead code, pure lvalue positions).
+  OutputId exprValue(const Expr *E) const {
+    auto It = ExprValues.find(E);
+    return It == ExprValues.end() ? InvalidId : It->second;
+  }
+
   /// Number of outputs whose kind is pointer, function, aggregate or store
   /// — the paper's "alias-related outputs" (Figure 2).
   unsigned countAliasRelatedOutputs() const;
@@ -203,6 +216,7 @@ private:
   std::vector<InputInfo> Inputs;
   std::vector<FunctionInfo> Functions;
   std::map<const FuncDecl *, size_t> FunctionIndex;
+  std::map<const Expr *, OutputId> ExprValues;
 };
 
 } // namespace vdga

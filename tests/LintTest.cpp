@@ -1,0 +1,481 @@
+//===- tests/LintTest.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The alias-powered lint engine: statement-CFG lowering, the five passes'
+// positive and negative cases, must/may discrimination, interpreter
+// refutation (the exit-4 predicate), the suppression baseline, per-tier
+// self-skip under degradation, and corpus-level determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "lint/CFG.h"
+#include "lint/Lint.h"
+
+using namespace vdga;
+using namespace vdga::test;
+
+namespace {
+
+LintReport lint(AnalyzedProgram &AP, LintTier Tier = LintTier::ContextInsens) {
+  LintOptions Opts;
+  Opts.Tier = Tier;
+  return runLint(AP, Opts);
+}
+
+std::vector<const LintFinding *> findingsOfPass(const LintReport &R,
+                                                std::string_view Pass) {
+  std::vector<const LintFinding *> Out;
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == Pass)
+      Out.push_back(&F);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG lowering
+//===----------------------------------------------------------------------===//
+
+TEST(LintCFG, BranchShapeAndEdges) {
+  auto AP = analyze(R"(
+int main() {
+  int x;
+  int y;
+  x = 1;
+  if (x) {
+    y = 2;
+  } else {
+    y = 3;
+  }
+  return y;
+}
+)");
+  ASSERT_TRUE(AP);
+  OriginSites Sites(AP->G);
+  const FuncDecl *Main = AP->program().findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  LintCFG CFG = LintCFG::build(Main, Sites, {});
+
+  ASSERT_GE(CFG.Blocks.size(), 4u); // entry, exit, two arms at least.
+  // Exactly one block branches on the if condition, with both polarized
+  // successors recorded.
+  unsigned Branches = 0;
+  for (const LintBlock &B : CFG.Blocks)
+    if (B.BranchCond) {
+      ++Branches;
+      EXPECT_NE(B.TrueSucc, ~0u);
+      EXPECT_NE(B.FalseSucc, ~0u);
+      EXPECT_EQ(B.Succs.size(), 2u);
+    }
+  EXPECT_EQ(Branches, 1u);
+  // Edge lists are consistent: every successor edge has the matching
+  // predecessor edge, and the exit block has no successors.
+  for (unsigned I = 0; I < CFG.Blocks.size(); ++I)
+    for (unsigned S : CFG.Blocks[I].Succs) {
+      ASSERT_LT(S, CFG.Blocks.size());
+      const auto &Preds = CFG.Blocks[S].Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), I), Preds.end());
+    }
+  EXPECT_TRUE(CFG.Blocks[LintCFG::ExitBlock].Succs.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Heap pass: use-after-free / double-free
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, UseAfterFreeMustNotRefutedByFailingRun) {
+  auto AP = analyze(R"(
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  *p = 1;
+  free(p);
+  return *p;        /* every path reaching here reads freed memory */
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  auto UAF = findingsOfPass(R, "use-after-free");
+  ASSERT_EQ(UAF.size(), 1u) << R.renderText();
+  EXPECT_EQ(UAF[0]->Confidence, LintConfidence::Must);
+  EXPECT_EQ(UAF[0]->Severity, FindingSeverity::Warning);
+  ASSERT_NE(UAF[0]->Site, nullptr);
+
+  // The interpreter faults at the flagged read, so its trace cannot
+  // contain the site: a true must finding survives refutation.
+  RunResult RR = AP->interpret();
+  EXPECT_FALSE(RR.Ok);
+  EXPECT_EQ(refuteLintFindings(R, RR.Trace), 0u);
+  EXPECT_TRUE(R.clean());
+}
+
+TEST(Lint, FreeThenReassignIsClean) {
+  auto AP = analyze(R"(
+int main() {
+  int *p;
+  int x;
+  p = (int *)malloc(4);
+  free(p);
+  p = &x;
+  *p = 2;           /* p no longer dangles */
+  return *p;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  EXPECT_TRUE(findingsOfPass(R, "use-after-free").empty()) << R.renderText();
+  EXPECT_TRUE(findingsOfPass(R, "double-free").empty()) << R.renderText();
+}
+
+TEST(Lint, DoubleFreeMustAndTraceSemantics) {
+  auto AP = analyze(R"(
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  free(p);
+  free(p);          /* second free on every path */
+  return 0;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  auto DF = findingsOfPass(R, "double-free");
+  ASSERT_EQ(DF.size(), 1u) << R.renderText();
+  EXPECT_EQ(DF[0]->Confidence, LintConfidence::Must);
+
+  // The interpreter tolerates the repeat free but records it in
+  // DoubleFrees, not Frees — so the must claim survives refutation even
+  // though the run completed.
+  RunResult RR = AP->interpret();
+  EXPECT_TRUE(RR.Ok);
+  EXPECT_EQ(RR.Trace.DoubleFrees.count(DF[0]->Site), 1u);
+  EXPECT_EQ(refuteLintFindings(R, RR.Trace), 0u);
+  EXPECT_TRUE(R.clean());
+}
+
+TEST(Lint, ConditionalFreeDowngradesToMay) {
+  auto AP = analyze(R"(
+int maybe_free(int *p, int c) {
+  if (c) {
+    free(p);
+  }
+  return 0;
+}
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  maybe_free(p, 0);
+  return *p;        /* dangles only when c was nonzero */
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == "use-after-free" || F.Pass == "double-free") {
+      EXPECT_EQ(F.Confidence, LintConfidence::May) << F.Message;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Null-deref pass
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, NullDerefMustOnStraightLine) {
+  auto AP = analyze(R"(
+int main() {
+  int *p;
+  p = 0;
+  *p = 5;           /* writes through null on every path */
+  return 0;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  auto ND = findingsOfPass(R, "null-deref");
+  ASSERT_EQ(ND.size(), 1u) << R.renderText();
+  EXPECT_EQ(ND[0]->Confidence, LintConfidence::Must);
+}
+
+TEST(Lint, NullCheckRefinementSuppressesFinding) {
+  auto AP = analyze(R"(
+int use(int *p) {
+  if (p) {
+    return *p;      /* guarded: non-null on this path */
+  }
+  return 0;
+}
+int main() {
+  int x;
+  x = 7;
+  return use(&x);
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  EXPECT_TRUE(findingsOfPass(R, "null-deref").empty()) << R.renderText();
+}
+
+TEST(Lint, NullOnOneBranchOnlyIsNotMust) {
+  auto AP = analyze(R"(
+int pick(int c) {
+  int *p;
+  int x;
+  if (c) {
+    p = 0;
+  } else {
+    p = &x;
+  }
+  return *p;        /* null only when c held */
+}
+int main() {
+  return pick(0);
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  for (const LintFinding *F : findingsOfPass(R, "null-deref"))
+    EXPECT_EQ(F->Confidence, LintConfidence::May) << F->Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-store pass
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, DeadStoreFlaggedAndReadKeepsLive) {
+  auto AP = analyze(R"(
+int main() {
+  int dead;
+  int live;
+  int *p;
+  int *q;
+  p = &dead;
+  q = &live;
+  *p = 1;           /* never observed */
+  *q = 2;
+  return *q;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  auto DS = findingsOfPass(R, "dead-store");
+  ASSERT_EQ(DS.size(), 1u) << R.renderText();
+  EXPECT_EQ(DS[0]->Loc.Line, 9u);
+  EXPECT_NE(DS[0]->Path.find("dead"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Leak pass
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, LeakFlaggedOnlyWhenNeverFreed) {
+  auto AP = analyze(R"(
+int main() {
+  int *kept;
+  int *lost;
+  kept = (int *)malloc(4);
+  lost = (int *)malloc(4);
+  *kept = 1;
+  *lost = 2;
+  free(kept);
+  return 0;         /* lost's allocation never freed anywhere */
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  auto Leaks = findingsOfPass(R, "memory-leak");
+  ASSERT_EQ(Leaks.size(), 1u) << R.renderText();
+  EXPECT_EQ(Leaks[0]->Confidence, LintConfidence::May);
+  EXPECT_EQ(Leaks[0]->Loc.Line, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter refutation: the exit-4 predicate
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, RefutedMustBecomesError) {
+  // A sound engine never produces a refutable must on a real program, so
+  // the promotion path is exercised by planting a wrong must claim on a
+  // site the trace proves executed.
+  auto AP = analyze(R"(
+int main() {
+  int x;
+  int *p;
+  p = &x;
+  *p = 3;
+  free(p);          /* frees a stack address; flagged site executed fine */
+  return 0;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  RunResult RR = AP->interpret();
+  ASSERT_FALSE(RR.Trace.Writes.empty());
+
+  LintFinding Fake;
+  Fake.Pass = "use-after-free";
+  Fake.Confidence = LintConfidence::Must;
+  Fake.Site = RR.Trace.Writes.begin()->first; // provably executed
+  Fake.Message = "planted wrong must claim";
+  R.Findings.push_back(Fake);
+
+  EXPECT_EQ(refuteLintFindings(R, RR.Trace), 1u);
+  EXPECT_FALSE(R.clean());
+  ASSERT_EQ(R.errorCount(), 1u);
+  const LintFinding &Refuted = R.Findings.back();
+  EXPECT_EQ(Refuted.Severity, FindingSeverity::Error);
+  EXPECT_NE(Refuted.Message.find("refuted by interpreter trace"),
+            std::string::npos);
+}
+
+TEST(Lint, MayFindingsAreNeverRefuted) {
+  auto AP = analyze(R"(
+int main() {
+  int x;
+  x = 4;
+  return x;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintReport R = lint(*AP);
+  RunResult RR = AP->interpret();
+  ASSERT_TRUE(RR.Ok);
+
+  LintFinding MayF;
+  MayF.Pass = "memory-leak";
+  MayF.Confidence = LintConfidence::May;
+  MayF.Site = RR.Trace.Writes.empty() ? nullptr
+                                      : RR.Trace.Writes.begin()->first;
+  R.Findings.push_back(MayF);
+  EXPECT_EQ(refuteLintFindings(R, RR.Trace), 0u);
+  EXPECT_TRUE(R.clean());
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression baseline
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, BaselineRoundTripSuppressesEverything) {
+  const char *Source = R"(
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  free(p);
+  return *p;
+}
+)";
+  auto AP = analyze(Source);
+  ASSERT_TRUE(AP);
+  LintReport First = lint(*AP);
+  ASSERT_FALSE(First.Findings.empty());
+  std::string Baseline = renderLintBaseline(First);
+
+  auto AP2 = analyze(Source);
+  ASSERT_TRUE(AP2);
+  LintOptions Opts;
+  Opts.BaselineText = Baseline;
+  LintReport Second = runLint(*AP2, Opts);
+  EXPECT_TRUE(Second.Findings.empty()) << Second.renderText();
+  EXPECT_EQ(Second.SuppressedCount, First.Findings.size());
+}
+
+TEST(Lint, BaselineNeverSuppressesErrors) {
+  LintReport R;
+  LintFinding F;
+  F.Pass = "use-after-free";
+  F.Severity = FindingSeverity::Error;
+  F.Loc.Line = 3;
+  F.Loc.Column = 7;
+  R.Findings.push_back(F);
+  std::string Baseline = R.Findings[0].baselineKey() + "\n";
+  EXPECT_EQ(applyLintBaseline(R, Baseline), 0u);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.errorCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded tiers self-skip (one Note, no fabricated findings)
+//===----------------------------------------------------------------------===//
+
+class LintDegradedTier : public ::testing::TestWithParam<LintTier> {};
+
+TEST_P(LintDegradedTier, SelfSkipsWithOneNote) {
+  // Rich enough that no solver finishes in two worklist dequeues.
+  auto AP = analyze(R"(
+int *gp;
+int *id(int *p) { return p; }
+int main() {
+  int a;
+  int b;
+  int *x;
+  x = id(&a);
+  gp = id(&b);
+  *x = 1;
+  *gp = 2;
+  return *x;
+}
+)");
+  ASSERT_TRUE(AP);
+  LintOptions Opts;
+  Opts.Tier = GetParam();
+  Opts.Policy.MaxIterations = 2;
+  LintReport R = runLint(*AP, Opts);
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_EQ(R.Findings.size(), 1u) << R.renderText();
+  EXPECT_EQ(R.Findings[0].Pass, "lint");
+  EXPECT_EQ(R.Findings[0].Severity, FindingSeverity::Note);
+  EXPECT_EQ(R.Findings[0].Confidence, LintConfidence::May);
+  EXPECT_TRUE(R.clean()); // degradation is never an Error by itself
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, LintDegradedTier,
+                         ::testing::Values(LintTier::Steensgaard,
+                                           LintTier::ContextInsens,
+                                           LintTier::ContextSens),
+                         [](const auto &Info) {
+                           return std::string(lintTierName(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// Tier parameterization and determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, AllTiersAgreeOnStraightLineMusts) {
+  const char *Source = R"(
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  free(p);
+  free(p);
+  return 0;
+}
+)";
+  for (LintTier Tier : {LintTier::Steensgaard, LintTier::ContextInsens,
+                        LintTier::ContextSens}) {
+    auto AP = analyze(Source);
+    ASSERT_TRUE(AP);
+    LintReport R = lint(*AP, Tier);
+    EXPECT_FALSE(R.Degraded) << lintTierName(Tier);
+    EXPECT_EQ(findingsOfPass(R, "double-free").size(), 1u)
+        << lintTierName(Tier) << "\n"
+        << R.renderText();
+  }
+}
+
+TEST(Lint, CorpusDeterministicAcrossJobsAndStrategies) {
+  auto Render = [](const std::vector<ProgramLintReport> &Reports) {
+    std::string Out;
+    for (const ProgramLintReport &PR : Reports)
+      Out += PR.Name + "\n" + PR.Report.renderJson() + "\n";
+    return Out;
+  };
+  LintOptions Opts;
+  std::string Reference = Render(lintCorpus(Opts, /*Jobs=*/1));
+  EXPECT_EQ(Reference, Render(lintCorpus(Opts, /*Jobs=*/4)));
+  LintOptions Deep = Opts;
+  Deep.Policy.Strategy = SolverStrategy::Deep;
+  EXPECT_EQ(Reference, Render(lintCorpus(Deep, /*Jobs=*/4)));
+}
+
+} // namespace

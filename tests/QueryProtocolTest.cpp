@@ -433,4 +433,54 @@ TEST(QueryProtocol, StatsReportsCacheCountersOverTheWire) {
   EXPECT_NE(R.find("\"query.pointee_misses\":1"), std::string::npos);
 }
 
+TEST(QueryProtocol, LintOpRunsMemoizesAndValidatesTier) {
+  // One straight-line double free: every tier's pass battery agrees.
+  const char *Buggy = R"(
+int main() {
+  int *p;
+  p = (int *)malloc(4);
+  free(p);
+  free(p);
+  return 0;
+}
+)";
+  std::string Err;
+  auto Srv = QueryServer::create(Buggy, QueryServerOptions{}, &Err);
+  ASSERT_NE(Srv, nullptr) << Err;
+  bool Shutdown = false;
+
+  // Default tier is ci; the first request runs the passes...
+  std::string R = Srv->handleLine(R"({"id": 1, "op": "lint"})", Shutdown);
+  EXPECT_NE(R.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(R.find("\"tier\":\"ci\""), std::string::npos);
+  EXPECT_NE(R.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(R.find("\"double-free\":1"), std::string::npos);
+  EXPECT_NE(R.find("\"must\":1"), std::string::npos);
+  EXPECT_NE(R.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(R.find("\"cached\":false"), std::string::npos);
+
+  // ...and the second is served from the per-tier memo.
+  R = Srv->handleLine(R"({"id": 2, "op": "lint", "tier": "ci"})", Shutdown);
+  EXPECT_NE(R.find("\"cached\":true"), std::string::npos);
+
+  // A different tier is its own cache entry.
+  R = Srv->handleLine(R"({"id": 3, "op": "lint", "tier": "steens"})",
+                      Shutdown);
+  EXPECT_NE(R.find("\"tier\":\"steens\""), std::string::npos);
+  EXPECT_NE(R.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(R.find("\"double-free\":1"), std::string::npos);
+
+  // Unknown tiers are rejected without running anything.
+  R = Srv->handleLine(R"({"id": 4, "op": "lint", "tier": "psychic"})",
+                      Shutdown);
+  EXPECT_NE(R.find("\"error\":\"bad-request\""), std::string::npos);
+  EXPECT_NE(R.find("psychic"), std::string::npos);
+
+  // The memo counters surface in stats.
+  R = Srv->handleLine(R"({"op": "stats"})", Shutdown);
+  EXPECT_NE(R.find("\"query.lint_hits\":1"), std::string::npos);
+  EXPECT_NE(R.find("\"query.lint_misses\":2"), std::string::npos);
+  EXPECT_FALSE(Shutdown);
+}
+
 } // namespace

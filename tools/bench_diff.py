@@ -185,6 +185,59 @@ def diff_query(old, new, warnings):
         )
 
 
+def diff_lint(old, new, regressions, warnings):
+    """The corpus-level "lint" section (per-tier finding counts and pass
+    timings; see docs/BENCH_FORMAT.md). Finding-count changes warn — they
+    signal an intentional precision or pass change the PR should explain.
+    Two changes are hard failures: any increase in `errors` (a
+    must-confidence finding the interpreter refuted is an analysis bug)
+    and any increase in `degraded_programs` (the tier no longer solves
+    within budget). Pass timings are summed over the corpus and too small
+    for the timing gate, so they never fail the diff. Skipped cleanly
+    when either artifact predates the section."""
+    ol, nl = old.get("lint"), new.get("lint")
+    if ol is None or nl is None:
+        return
+    old_tiers = {t["tier"]: t for t in ol.get("tiers", [])}
+    new_tiers = {t["tier"]: t for t in nl.get("tiers", [])}
+    for tier in sorted(old_tiers.keys() - new_tiers.keys()):
+        warnings.append(f"lint tier removed: {tier}")
+    for tier in sorted(new_tiers.keys() - old_tiers.keys()):
+        nt = new_tiers[tier]
+        if nt.get("errors", 0) > 0:
+            regressions.append(
+                f"lint.{tier}.errors: absent -> {nt['errors']} "
+                f"(interpreter refuted must findings)"
+            )
+    for tier in sorted(old_tiers.keys() & new_tiers.keys()):
+        ot, nt = old_tiers[tier], new_tiers[tier]
+        if nt.get("errors", 0) > ot.get("errors", 0):
+            regressions.append(
+                f"lint.{tier}.errors: {ot.get('errors', 0)} -> "
+                f"{nt.get('errors', 0)} (interpreter refuted must findings)"
+            )
+        if nt.get("degraded_programs", 0) > ot.get("degraded_programs", 0):
+            regressions.append(
+                f"lint.{tier}.degraded_programs: "
+                f"{ot.get('degraded_programs', 0)} -> "
+                f"{nt.get('degraded_programs', 0)} "
+                f"(lint tier newly degraded under budget)"
+            )
+        for field in ("findings", "must"):
+            if ot.get(field) != nt.get(field):
+                warnings.append(
+                    f"lint.{tier}.{field}: {ot.get(field)} -> "
+                    f"{nt.get(field)}"
+                )
+        op, np = ot.get("passes") or {}, nt.get("passes") or {}
+        for pname in sorted(op.keys() | np.keys()):
+            if op.get(pname, 0) != np.get(pname, 0):
+                warnings.append(
+                    f"lint.{tier}.passes.{pname}: {op.get(pname, 0)} -> "
+                    f"{np.get(pname, 0)}"
+                )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -232,6 +285,7 @@ def main():
         diff_degradation(name, op, np, regressions, warnings)
 
     diff_query(old, new, warnings)
+    diff_lint(old, new, regressions, warnings)
 
     for w in warnings:
         print(f"warning: {w}")
@@ -239,8 +293,8 @@ def main():
         print(f"REGRESSION: {r}")
     if regressions:
         print(f"{len(regressions)} regression(s) (time above "
-              f"{100.0 * args.threshold:.0f}%, new checker errors, or "
-              f"new budget degradation)")
+              f"{100.0 * args.threshold:.0f}%, new checker errors, refuted "
+              f"lint findings, or new budget degradation)")
         return 1
     print(f"ok: no time regressions above {100.0 * args.threshold:.0f}% "
           f"({len(warnings)} warning(s))")

@@ -1,0 +1,20 @@
+int main() {
+  int *p;
+  int *q;
+  int *leak;
+  int *w;
+  int x;
+  int dead_target;
+  p = (int *)malloc(4);
+  *p = 1;
+  free(p);
+  x = *p;
+  q = 0;
+  *q = 2;
+  free(p);
+  leak = (int *)malloc(8);
+  *leak = 3;
+  w = &dead_target;
+  *w = 9;
+  return x;
+}

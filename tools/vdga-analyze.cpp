@@ -24,6 +24,9 @@
 //   vdga-analyze --diagnose prog.c       # + alias-driven bug findings
 //   vdga-analyze --verify                # checker over the whole corpus
 //   vdga-analyze --diagnose --json ...   # machine-readable check report
+//   vdga-analyze --lint prog.c           # memory-safety lint passes
+//   vdga-analyze --lint --tier cs ...    # lint against another alias tier
+//   vdga-analyze --lint                  # lint the whole corpus
 //   vdga-analyze --trace t.jsonl ...     # JSONL solver event trace
 //
 //===----------------------------------------------------------------------===//
@@ -34,6 +37,7 @@
 #include "clients/DefUse.h"
 #include "clients/ModRef.h"
 #include "driver/Pipeline.h"
+#include "lint/Lint.h"
 #include "pointsto/Statistics.h"
 #include "vdg/Printer.h"
 
@@ -62,7 +66,8 @@ enum class Mode {
   Run,
   Explain,
   DiffCiCs,
-  Check
+  Check,
+  Lint
 };
 
 int usage(const char *Argv0) {
@@ -74,14 +79,22 @@ int usage(const char *Argv0) {
       "       [--solver <basic|wave|deep>]\n"
       "modes: --ci (default) --cs --compare --pairs --modref --defuse "
       "--dump --dot --run --explain <var> --diff-ci-cs\n"
-      "       --verify --oracle --diagnose\n"
+      "       --verify --oracle --diagnose --lint\n"
       "--explain walks the recorded derivation chain of a points-to pair\n"
       "whose referent is rooted at <var> (add --cs for the context-\n"
       "sensitive derivation); --diff-ci-cs lists every pair the context-\n"
       "sensitive analysis eliminates (whole corpus when no input given);\n"
       "--verify/--oracle/--diagnose run the checker subsystem at that\n"
       "level (whole corpus when no input given; --json for machine-\n"
-      "readable reports); exit status 1 when any check fails\n"
+      "readable reports); exit status 4 when any check fails\n"
+      "--lint runs the memory-safety lint passes (use-after-free,\n"
+      "double-free, memory-leak, dead-store, null-deref) against the\n"
+      "alias tier picked by --tier <steens|ci|cs> (default ci); whole\n"
+      "corpus when no input given; --lint-baseline <file> suppresses\n"
+      "known findings, --write-lint-baseline <file> records the current\n"
+      "ones; must-confidence findings the interpreter trace refutes are\n"
+      "hard errors (exit 4); exit 3 when the requested tier degraded\n"
+      "under budget and the lint self-skipped\n"
       "--budget-ms/--max-pairs/--max-iterations bound each solver run;\n"
       "a solve that trips its budget degrades to the next coarser sound\n"
       "tier (cs->ci->steens->top) and the tool exits 3;\n"
@@ -268,9 +281,9 @@ int diffCiCs(const std::string &Source, const char *Name, Trace *T,
 }
 
 /// `--verify` / `--oracle` / `--diagnose` over one program: runs the
-/// checker at the requested level and prints the report. Exit 1 when any
-/// check fails, 3 when the checks passed but an analysis degraded under
-/// the solver budget.
+/// checker at the requested level and prints the report. Exit 4 when any
+/// check fails (an Error-severity finding), 3 when the checks passed but
+/// an analysis degraded under the solver budget.
 int runCheckMode(const std::string &Source, const char *Name,
                  const CheckOptions &Opts, bool Json) {
   std::string Error;
@@ -287,8 +300,41 @@ int runCheckMode(const std::string &Source, const char *Name,
     std::printf("== %s (%s) ==\n%s", Name, checkLevelName(Opts.Level),
                 R.renderText().c_str());
   if (!R.clean())
-    return 1;
+    return 4;
   return R.DegradedAnalyses ? 3 : 0;
+}
+
+/// `--lint` over one program: runs the pass battery against the requested
+/// alias tier and prints the report. Exit 4 on any Error-severity finding
+/// (a refuted must claim), 3 when the requested tier degraded and the
+/// lint self-skipped, 0 otherwise (warnings are advisory).
+int runLintMode(const std::string &Source, const char *Name,
+                const LintOptions &Opts, bool Json,
+                const char *WriteBaselinePath) {
+  std::string Error;
+  auto AP = AnalyzedProgram::create(Source, &Error);
+  if (!AP) {
+    std::fprintf(stderr, "%s: %s", Name, Error.c_str());
+    return 1;
+  }
+  LintReport R = runLint(*AP, Opts);
+  if (WriteBaselinePath) {
+    std::ofstream Out(WriteBaselinePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", WriteBaselinePath);
+      return 1;
+    }
+    Out << renderLintBaseline(R);
+  }
+  if (Json)
+    std::printf("{\"program\":\"%s\",\"report\":%s}\n", Name,
+                R.renderJson().c_str());
+  else
+    std::printf("== %s (lint, tier %s) ==\n%s", Name, R.Tier.c_str(),
+                R.renderText().c_str());
+  if (R.errorCount() != 0)
+    return 4;
+  return R.Degraded ? 3 : 0;
 }
 
 /// Shared degraded-run epilogue for the governed single-program modes:
@@ -332,6 +378,9 @@ int main(int argc, char **argv) {
   std::string Input;
   GovernancePolicy Policy;
   bool SawSolverFlag = false;
+  LintTier Tier = LintTier::ContextInsens;
+  const char *LintBaselinePath = nullptr;
+  const char *WriteLintBaselinePath = nullptr;
 
   // Option flags that consume the next argv slot. Checking the list up
   // front lets "--flag" at end-of-line produce a precise missing-argument
@@ -345,7 +394,10 @@ int main(int argc, char **argv) {
            std::strcmp(Arg, "--max-pairs") == 0 ||
            std::strcmp(Arg, "--max-iterations") == 0 ||
            std::strcmp(Arg, "--corpus-budget-ms") == 0 ||
-           std::strcmp(Arg, "--solver") == 0;
+           std::strcmp(Arg, "--solver") == 0 ||
+           std::strcmp(Arg, "--tier") == 0 ||
+           std::strcmp(Arg, "--lint-baseline") == 0 ||
+           std::strcmp(Arg, "--write-lint-baseline") == 0;
   };
 
   // Budget values must be fully numeric; "--budget-ms fast" is a user
@@ -414,7 +466,20 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(Arg, "--diagnose") == 0) {
       M = Mode::Check;
       Level = CheckLevel::Diagnose;
-    } else if (std::strcmp(Arg, "--json") == 0)
+    } else if (std::strcmp(Arg, "--lint") == 0)
+      M = Mode::Lint;
+    else if (std::strcmp(Arg, "--tier") == 0) {
+      if (!parseLintTier(argv[++I], Tier)) {
+        std::fprintf(stderr,
+                     "invalid lint tier '%s' (expected steens, ci or cs)\n",
+                     argv[I]);
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(Arg, "--lint-baseline") == 0)
+      LintBaselinePath = argv[++I];
+    else if (std::strcmp(Arg, "--write-lint-baseline") == 0)
+      WriteLintBaselinePath = argv[++I];
+    else if (std::strcmp(Arg, "--json") == 0)
       Json = true;
     else if (std::strcmp(Arg, "--trace") == 0)
       TracePath = argv[++I];
@@ -515,7 +580,61 @@ int main(int argc, char **argv) {
     }
     if (Json)
       std::printf("]}\n");
-    return Failed ? 1 : (Degraded ? 3 : 0);
+    return Failed ? 4 : (Degraded ? 3 : 0);
+  }
+
+  // Assembles the lint options shared by the corpus-wide and
+  // single-program lint paths. Returns false on an unreadable baseline.
+  auto MakeLintOptions = [&](LintOptions &LO, bool Corpus) {
+    LO.Tier = Tier;
+    LO.Policy = Policy;
+    // Derivation chains record whichever predecessor derived a pair
+    // first — schedule-dependent detail that would break the corpus
+    // determinism contract, so provenance stays a single-program feature.
+    LO.RecordProvenance = !Corpus;
+    LO.RefuteWithInterpreter = true;
+    LO.InterpreterInput = Input;
+    if (LintBaselinePath) {
+      std::ifstream In(LintBaselinePath);
+      if (!In) {
+        std::fprintf(stderr, "cannot open '%s'\n", LintBaselinePath);
+        return false;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      LO.BaselineText = SS.str();
+    }
+    return true;
+  };
+
+  // Corpus-wide lint when no specific input was named.
+  if (M == Mode::Lint && !File && !CorpusName) {
+    LintOptions LO;
+    if (!MakeLintOptions(LO, /*Corpus=*/true))
+      return 1;
+    std::vector<ProgramLintReport> Reports = lintCorpus(LO);
+    bool Errors = false, Degraded = false;
+    if (Json)
+      std::printf("{\"schema\":\"vdga-lint-corpus-v1\",\"programs\":[");
+    bool First = true;
+    for (const ProgramLintReport &R : Reports) {
+      if (Json)
+        std::printf("%s{\"program\":\"%s\",\"report\":%s}",
+                    First ? "" : ",", R.Name.c_str(),
+                    R.Report.renderJson().c_str());
+      else
+        std::printf("== %s (lint, tier %s) ==\n%s", R.Name.c_str(),
+                    R.Report.Tier.c_str(),
+                    R.Report.renderText().c_str());
+      First = false;
+      if (R.Report.errorCount() != 0)
+        Errors = true;
+      else if (R.Report.Degraded)
+        Degraded = true;
+    }
+    if (Json)
+      std::printf("]}\n");
+    return Errors ? 4 : (Degraded ? 3 : 0);
   }
 
   // Corpus-wide diff when no specific input was named.
@@ -739,6 +858,13 @@ int main(int argc, char **argv) {
     CO.OracleInput = Input;
     CO.SolverBudget = Policy.solverBudget();
     return runCheckMode(Source, CorpusName ? CorpusName : File, CO, Json);
+  }
+  case Mode::Lint: {
+    LintOptions LO;
+    if (!MakeLintOptions(LO, /*Corpus=*/false))
+      return 1;
+    return runLintMode(Source, CorpusName ? CorpusName : File, LO, Json,
+                       WriteLintBaselinePath);
   }
   }
   return 0;
