@@ -6,14 +6,17 @@
 
 #include "driver/Tables.h"
 
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 using namespace vdga;
@@ -30,6 +33,12 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
                                        const GovernancePolicy &Policy) {
   BenchmarkReport R;
   R.Name = Prog.Name;
+
+  // Fault-injection probe for the containment regression tests: the
+  // streaming corpus driver must turn this throw into a recorded Failed
+  // slot, never a dead corpus run.
+  if (faultPoint("driver.throw", Prog.Name))
+    throw std::runtime_error("injected fault: driver.throw");
 
   // Checker runs (and their metrics) ride along on every exit path.
   auto Finish = [&](AnalyzedProgram &AP) {
@@ -48,6 +57,8 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   R.FrontendMillis = millisSince(TFront);
   if (!AP) {
     R.Name += " (frontend error: " + Error + ")";
+    R.Failed = true;
+    R.FailureReason = "frontend error: " + Error;
     return R;
   }
 
@@ -109,6 +120,111 @@ BenchmarkReport vdga::analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
   return R;
 }
 
+std::vector<CorpusJob> vdga::corpusJobs() {
+  std::vector<CorpusJob> Work;
+  for (const CorpusProgram &P : corpus())
+    Work.push_back({P.Name, P.Source, P.SmallEnoughForUnoptimizedCS});
+  return Work;
+}
+
+/// Runs one job's pipeline with exception containment: whatever the
+/// pipeline throws (injected faults, bad_alloc from a pathological
+/// program, frontend assertions surfaced as exceptions) becomes a
+/// recorded Failed slot instead of escaping into the driver loop.
+static BenchmarkReport analyzeContained(const CorpusJob &Job, bool RunCS,
+                                        const ContextSensOptions &Opts,
+                                        CheckLevel Checks,
+                                        const GovernancePolicy &Policy) {
+  CorpusProgram P;
+  P.Name = Job.Name.c_str();
+  P.Description = "";
+  P.Source = Job.Source.c_str();
+  P.SmallEnoughForUnoptimizedCS = Job.SmallEnoughForUnoptimizedCS;
+  try {
+    return analyzeBenchmark(P, RunCS, Opts, Checks, Policy);
+  } catch (const std::exception &E) {
+    BenchmarkReport R;
+    R.Name = Job.Name;
+    R.Failed = true;
+    R.FailureReason = E.what();
+    return R;
+  } catch (...) {
+    BenchmarkReport R;
+    R.Name = Job.Name;
+    R.Failed = true;
+    R.FailureReason = "unknown exception";
+    return R;
+  }
+}
+
+size_t vdga::analyzeCorpusStreaming(
+    const std::vector<CorpusJob> &Work, bool RunCS,
+    ContextSensOptions CSOptions, unsigned Jobs, CheckLevel Checks,
+    const GovernancePolicy &Policy,
+    const std::function<void(size_t, BenchmarkReport &&)> &Sink,
+    const CancellationToken *Interrupt,
+    const std::function<void(size_t)> &OnStart) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultJobs();
+  if (Work.size() < Jobs && !Work.empty())
+    Jobs = static_cast<unsigned>(Work.size());
+  if (Jobs == 0)
+    Jobs = 1;
+
+  // Jobs == 1 runs strictly serially on this thread — no pool. This is a
+  // correctness property, not just an optimization: the shard worker's
+  // crash attribution needs `OnStart(I) -> analyze(I) -> Sink(I)` to be
+  // totally ordered, so that at any crash exactly one program is between
+  // its journal `begin` and `done`. A 1-thread pool would still overlap
+  // Sink(I) on this thread with OnStart(I+1) on the pool thread.
+  if (Jobs == 1) {
+    size_t Delivered = 0;
+    for (size_t I = 0; I < Work.size(); ++I) {
+      if (Interrupt && Interrupt->cancelled())
+        break;
+      if (OnStart)
+        OnStart(I);
+      BenchmarkReport R =
+          analyzeContained(Work[I], RunCS, CSOptions, Checks, Policy);
+      Sink(Delivered, std::move(R));
+      ++Delivered;
+    }
+    return Delivered;
+  }
+  ThreadPool Pool(Jobs);
+
+  // Bounded window: at most ~2x Jobs programs exist concurrently (their
+  // AnalyzedProgram tables die inside the task; only the report crosses
+  // the future), so corpus memory is flat in the corpus size. Draining
+  // the oldest future first makes delivery order == submission order
+  // regardless of completion order.
+  const size_t Window = 2 * static_cast<size_t>(Jobs);
+  std::deque<std::future<BenchmarkReport>> InFlight;
+  size_t Next = 0;
+  size_t Delivered = 0;
+  while (true) {
+    while (Next < Work.size() && InFlight.size() < Window &&
+           !(Interrupt && Interrupt->cancelled())) {
+      const CorpusJob &Job = Work[Next];
+      size_t Index = Next;
+      InFlight.push_back(Pool.submit(
+          [&Job, Index, RunCS, CSOptions, Checks, &Policy, &OnStart] {
+            if (OnStart)
+              OnStart(Index);
+            return analyzeContained(Job, RunCS, CSOptions, Checks, Policy);
+          }));
+      ++Next;
+    }
+    if (InFlight.empty())
+      break; // Done, or interrupted with nothing left in flight.
+    BenchmarkReport R = InFlight.front().get();
+    InFlight.pop_front();
+    Sink(Delivered, std::move(R));
+    ++Delivered;
+  }
+  return Delivered;
+}
+
 std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
                                                  ContextSensOptions Opts,
                                                  unsigned Jobs,
@@ -154,22 +270,17 @@ std::vector<BenchmarkReport> vdga::analyzeCorpus(bool RunCS,
   }
 
   // Each task builds its own AnalyzedProgram (private interning tables),
-  // so the programs are embarrassingly parallel; joining the futures in
-  // corpus order keeps the report vector bit-identical to a serial run.
+  // so the programs are embarrassingly parallel; the streaming driver
+  // delivers reports in corpus order, keeping the report vector
+  // bit-identical to a serial run, and contains a throwing program to an
+  // annotated Failed slot instead of killing the whole corpus run.
   // Degraded programs return annotated reports in their usual slot.
-  ThreadPool Pool(Jobs);
-  std::vector<std::future<BenchmarkReport>> Futures;
-  Futures.reserve(Programs.size());
-  for (const CorpusProgram &P : Programs)
-    Futures.push_back(
-        Pool.submit([&P, RunCS, Opts, Checks, &Effective] {
-          return analyzeBenchmark(P, RunCS, Opts, Checks, Effective);
-        }));
-
   std::vector<BenchmarkReport> Reports;
   Reports.reserve(Programs.size());
-  for (std::future<BenchmarkReport> &F : Futures)
-    Reports.push_back(F.get());
+  analyzeCorpusStreaming(corpusJobs(), RunCS, Opts, Jobs, Checks, Effective,
+                         [&Reports](size_t, BenchmarkReport &&R) {
+                           Reports.push_back(std::move(R));
+                         });
 
   if (Watchdog.joinable()) {
     {
@@ -277,12 +388,17 @@ std::string vdga::renderFig2(const std::vector<BenchmarkReport> &Reports) {
   T.cell("").cell("lines").cell("nodes").cell("outputs");
   T.endRow();
   T.rule();
-  for (const BenchmarkReport &R : Reports)
+  for (const BenchmarkReport &R : Reports) {
+    if (R.Failed) {
+      T.cell(R.Name).cell("(failed: " + R.FailureReason + ")").endRow();
+      continue;
+    }
     T.cell(R.Name)
         .cell(R.SourceLines)
         .cell(R.VdgNodes)
         .cell(R.AliasOutputs)
         .endRow();
+  }
   return "Figure 2: benchmark programs and their sizes\n" + T.str();
 }
 
@@ -298,6 +414,10 @@ std::string vdga::renderFig3(const std::vector<BenchmarkReport> &Reports) {
   T.rule();
   PairTotals Sum;
   for (const BenchmarkReport &R : Reports) {
+    if (R.Failed) {
+      T.cell(R.Name).cell("(failed: " + R.FailureReason + ")").endRow();
+      continue;
+    }
     if (R.Degradation.CITier != PrecisionTier::ContextInsens) {
       T.cell(R.Name)
           .cell("(degraded: " + R.Degradation.summary() + ")")
@@ -359,6 +479,10 @@ std::string vdga::renderFig4(const std::vector<BenchmarkReport> &Reports) {
   IndirectOpStats SumR, SumW;
   uint64_t SumRRefs = 0, SumWRefs = 0;
   for (const BenchmarkReport &R : Reports) {
+    if (R.Failed) {
+      T.cell(R.Name).cell("(failed: " + R.FailureReason + ")").endRow();
+      continue;
+    }
     if (R.Degradation.CITier != PrecisionTier::ContextInsens) {
       T.cell(R.Name)
           .cell("(degraded: " + R.Degradation.summary() + ")")
@@ -411,6 +535,10 @@ std::string vdga::renderFig6(const std::vector<BenchmarkReport> &Reports) {
   PairTotals SumCS;
   uint64_t SumCI = 0, SumSpur = 0;
   for (const BenchmarkReport &R : Reports) {
+    if (R.Failed) {
+      T.cell(R.Name).cell("(failed: " + R.FailureReason + ")").endRow();
+      continue;
+    }
     if (!R.RanCS || !R.CSCompleted) {
       if (R.Degradation.degraded())
         T.cell(R.Name)
@@ -506,9 +634,10 @@ vdga::renderPerfComparison(const std::vector<BenchmarkReport> &Reports) {
       .endRow();
   T.rule();
   for (const BenchmarkReport &R : Reports) {
-    // Degraded runs have no comparable work ratios (partial counters are
-    // schedule-dependent); their story is told by the degradation rows.
-    if (!R.RanCS || R.Degradation.degraded())
+    // Degraded and failed runs have no comparable work ratios (partial
+    // counters are schedule-dependent); their story is told by the
+    // degradation/failure rows.
+    if (R.Failed || !R.RanCS || R.Degradation.degraded())
       continue;
     double XferRatio =
         R.CIStats.TransferFns
@@ -646,6 +775,15 @@ std::string vdga::renderBenchJson(const std::vector<BenchmarkReport> &Reports,
   for (const BenchmarkReport &R : Reports) {
     J.open('{');
     J.key("name").value(R.Name);
+    if (R.Failed) {
+      // A contained per-program failure: status + reason, no analysis
+      // fields (they are all zero). bench_diff.py hard-fails when a
+      // program is failed here but healthy in the baseline artifact.
+      J.key("failed").value(true);
+      J.key("failure_reason").value(R.FailureReason);
+      J.close('}');
+      continue;
+    }
     J.key("source_lines").value(R.SourceLines);
     J.key("vdg_nodes").value(R.VdgNodes);
     J.key("alias_outputs").value(R.AliasOutputs);

@@ -21,6 +21,7 @@
 #include "pointsto/Statistics.h"
 #include "support/Metrics.h"
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,14 @@ namespace vdga {
 /// Everything the figures need for one benchmark.
 struct BenchmarkReport {
   std::string Name;
+
+  /// Set when this program's pipeline did not produce a result at all —
+  /// a frontend rejection or an exception thrown mid-analysis. A failed
+  /// program keeps its corpus-order slot (figures annotate the row, the
+  /// bench artifact records status + reason); it never aborts the corpus
+  /// run. All analysis fields below stay zeroed.
+  bool Failed = false;
+  std::string FailureReason;
 
   // Figure 2.
   unsigned SourceLines = 0;
@@ -86,6 +95,43 @@ BenchmarkReport analyzeBenchmark(const CorpusProgram &Prog, bool RunCS,
                                  ContextSensOptions CSOptions = {},
                                  CheckLevel Checks = CheckLevel::None,
                                  const GovernancePolicy &Policy = {});
+
+/// One unit of corpus work for the streaming driver: a named source
+/// program. The built-in corpus and the shard pipeline's fuzz-generated
+/// manifests both lower to this, so both run through the same contained
+/// streaming loop.
+struct CorpusJob {
+  std::string Name;
+  std::string Source;
+  /// Mirrors CorpusProgram::SmallEnoughForUnoptimizedCS: CS runs in
+  /// unoptimized checking mode only when set.
+  bool SmallEnoughForUnoptimizedCS = true;
+};
+
+/// The built-in corpus lowered to streaming jobs.
+std::vector<CorpusJob> corpusJobs();
+
+/// Streaming corpus driver: analyzes \p Work with a bounded number of
+/// programs in flight (at most ~2x \p Jobs outstanding, so memory stays
+/// flat in the corpus size) and hands each finished report to \p Sink in
+/// job order — report I is always delivered before report I+1, whatever
+/// order the pool finishes them in. Exceptions thrown by one program's
+/// pipeline are contained: the slot is delivered as a `Failed` report
+/// carrying the exception text and the run continues. Returns the number
+/// of jobs delivered; this is short of Work.size() only when \p Interrupt
+/// fired, in which case undelivered jobs were never started (in-flight
+/// ones still drain through the sink so checkpoints stay truthful).
+/// \p Jobs semantics match analyzeCorpus. \p OnStart, when set, runs on
+/// the worker thread immediately before job I's pipeline — the shard
+/// worker's checkpoint `begin` hook (and fault-probe site), so a crash
+/// mid-program always has a begin on record.
+size_t analyzeCorpusStreaming(
+    const std::vector<CorpusJob> &Work, bool RunCS,
+    ContextSensOptions CSOptions, unsigned Jobs, CheckLevel Checks,
+    const GovernancePolicy &Policy,
+    const std::function<void(size_t, BenchmarkReport &&)> &Sink,
+    const CancellationToken *Interrupt = nullptr,
+    const std::function<void(size_t)> &OnStart = nullptr);
 
 /// Runs over the whole corpus. Each program's pipeline is independent
 /// (per-AnalyzedProgram tables), so programs are analyzed concurrently on

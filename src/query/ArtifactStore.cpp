@@ -8,11 +8,40 @@
 
 #include "support/Metrics.h"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 using namespace vdga;
+
+namespace {
+
+/// Reads a whole file; false on open failure.
+bool slurp(const std::filesystem::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// True when the artifact at \p P parses and is keyed under the digest
+/// its filename claims.
+bool artifactHealthy(const std::filesystem::path &P) {
+  std::string Text;
+  if (!slurp(P, Text))
+    return false;
+  AliasSummary S;
+  if (!AliasSummary::parse(Text, S, nullptr))
+    return false;
+  return P.filename().string() == S.Digest + ".vdga-summary";
+}
+
+} // namespace
 
 std::string ArtifactStore::pathFor(const std::string &Digest) const {
   std::filesystem::path P(Directory);
@@ -79,4 +108,113 @@ bool ArtifactStore::save(const AliasSummary &Summary,
     return false;
   }
   return true;
+}
+
+StoreFsckReport ArtifactStore::fsck(bool Remove) const {
+  StoreFsckReport R;
+  if (!enabled())
+    return R;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Directory, EC);
+  if (EC)
+    return R;
+  for (const auto &Entry : It) {
+    if (!Entry.is_regular_file(EC))
+      continue;
+    const std::filesystem::path &P = Entry.path();
+    if (P.extension() == ".tmp") {
+      ++R.StaleTmp;
+      if (Remove)
+        std::filesystem::remove(P, EC);
+      continue;
+    }
+    if (P.extension() != ".vdga-summary")
+      continue;
+    ++R.Scanned;
+    if (artifactHealthy(P)) {
+      ++R.Healthy;
+      continue;
+    }
+    R.Corrupt.push_back(P.string());
+    if (Remove) {
+      std::filesystem::remove(P, EC);
+      if (!EC)
+        ++R.Removed;
+    }
+  }
+  std::sort(R.Corrupt.begin(), R.Corrupt.end());
+  return R;
+}
+
+StoreGCReport ArtifactStore::gc(const StoreGCOptions &Opts) const {
+  StoreGCReport R;
+  if (!enabled())
+    return R;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Directory, EC);
+  if (EC)
+    return R;
+  struct Artifact {
+    std::filesystem::path Path;
+    std::filesystem::file_time_type Mtime;
+    uint64_t Size = 0;
+  };
+  std::vector<Artifact> All;
+  for (const auto &Entry : It) {
+    if (!Entry.is_regular_file(EC))
+      continue;
+    const std::filesystem::path &P = Entry.path();
+    if (P.extension() != ".vdga-summary")
+      continue;
+    Artifact A;
+    A.Path = P;
+    A.Mtime = std::filesystem::last_write_time(P, EC);
+    if (EC)
+      continue;
+    A.Size = std::filesystem::file_size(P, EC);
+    if (EC)
+      continue;
+    All.push_back(std::move(A));
+  }
+  R.Scanned = All.size();
+  for (const Artifact &A : All)
+    R.BytesBefore += A.Size;
+  R.BytesAfter = R.BytesBefore;
+
+  // Oldest first, so the age pass and the size pass both walk forward.
+  std::sort(All.begin(), All.end(), [](const Artifact &L, const Artifact &R2) {
+    return L.Mtime != R2.Mtime ? L.Mtime < R2.Mtime : L.Path < R2.Path;
+  });
+
+  auto Evict = [&](const Artifact &A) {
+    std::error_code RemEC;
+    std::filesystem::remove(A.Path, RemEC);
+    if (RemEC)
+      return false;
+    ++R.Removed;
+    R.BytesAfter -= A.Size;
+    return true;
+  };
+
+  std::vector<Artifact> Kept;
+  if (Opts.MaxAgeSeconds > 0) {
+    auto Cutoff = std::filesystem::file_time_type::clock::now() -
+                  std::chrono::seconds(Opts.MaxAgeSeconds);
+    for (const Artifact &A : All) {
+      if (A.Mtime < Cutoff)
+        Evict(A);
+      else
+        Kept.push_back(A);
+    }
+  } else {
+    Kept = std::move(All);
+  }
+
+  if (Opts.MaxBytes > 0)
+    for (const Artifact &A : Kept) {
+      if (R.BytesAfter <= Opts.MaxBytes)
+        break;
+      Evict(A);
+    }
+  return R;
 }

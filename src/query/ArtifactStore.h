@@ -26,12 +26,37 @@
 
 #include "query/AliasSummary.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace vdga {
 
 class MetricsRegistry;
+
+/// What a store integrity scan found. `Corrupt` lists artifacts that are
+/// unreadable, unparseable, or keyed under the wrong digest; `Stale`
+/// counts leftover `.tmp` files from writers that died mid-save.
+struct StoreFsckReport {
+  size_t Scanned = 0; ///< `.vdga-summary` files examined.
+  size_t Healthy = 0;
+  size_t Removed = 0; ///< Corrupt artifacts deleted (Remove mode only).
+  size_t StaleTmp = 0; ///< Orphaned `.tmp` files (always deleted in Remove mode).
+  std::vector<std::string> Corrupt; ///< Paths of bad artifacts.
+};
+
+struct StoreGCOptions {
+  uint64_t MaxBytes = 0;   ///< Total-size cap; 0 = unlimited.
+  uint64_t MaxAgeSeconds = 0; ///< Per-artifact age cap; 0 = unlimited.
+};
+
+struct StoreGCReport {
+  size_t Scanned = 0;
+  size_t Removed = 0;
+  uint64_t BytesBefore = 0;
+  uint64_t BytesAfter = 0;
+};
 
 /// Filesystem-backed summary cache; see file comment. A default-constructed
 /// store is disabled: every load misses, every save is a no-op.
@@ -57,6 +82,19 @@ public:
   /// The artifact path a digest maps to (valid even when disabled; used
   /// by tests and diagnostics).
   std::string pathFor(const std::string &Digest) const;
+
+  /// Integrity-scans every artifact in the store: each `.vdga-summary`
+  /// must parse and its content digest must match its filename. With
+  /// \p Remove, corrupt artifacts and orphaned `.tmp` files are deleted
+  /// (safe — a removed artifact is just a future cache miss). A disabled
+  /// or absent store yields an empty report.
+  StoreFsckReport fsck(bool Remove) const;
+
+  /// Evicts artifacts past \p Opts.MaxAgeSeconds, then — if the store
+  /// still exceeds \p Opts.MaxBytes — evicts oldest-first until under
+  /// the cap. Eviction is always safe: the store is an accelerator, so
+  /// GC only costs future solves, never correctness.
+  StoreGCReport gc(const StoreGCOptions &Opts) const;
 
 private:
   std::string Directory;

@@ -1,0 +1,186 @@
+//===- shard/Checkpoint.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vdga;
+
+std::string vdga::journalPath(const std::string &Dir, unsigned Shard) {
+  std::filesystem::path P(Dir);
+  P /= "journal-" + std::to_string(Shard) + ".log";
+  return P.string();
+}
+
+bool vdga::appendJournal(const std::string &Path, const std::string &Line,
+                         std::string *Error) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::app);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open journal " + Path + " for append";
+    return false;
+  }
+  Out << Line << '\n';
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "short append to journal " + Path;
+    return false;
+  }
+  return true;
+}
+
+JournalState vdga::loadJournal(const std::string &Path) {
+  JournalState State;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return State;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  // Drop a torn final line: a worker killed mid-append leaves bytes with
+  // no trailing newline, and those bytes are not a record.
+  size_t End = Text.rfind('\n');
+  if (End == std::string::npos)
+    return State;
+  Text.resize(End + 1);
+
+  // (digest, name) in begin order; erased when resolved.
+  std::vector<std::pair<std::string, std::string>> Open;
+  std::istringstream Lines(Text);
+  std::string Line;
+  auto Resolve = [&Open](const std::string &Digest) {
+    Open.erase(std::remove_if(Open.begin(), Open.end(),
+                              [&Digest](const auto &P) {
+                                return P.first == Digest;
+                              }),
+               Open.end());
+  };
+  while (std::getline(Lines, Line)) {
+    std::istringstream T(Line);
+    std::string Tag, Digest;
+    if (!(T >> Tag >> Digest))
+      continue;
+    if (Tag == "begin") {
+      std::string Name;
+      T >> Name;
+      // A re-begin (the program is being retried) supersedes any older
+      // open entry for the same digest; one program is one suspect.
+      Resolve(Digest);
+      Open.emplace_back(Digest, Name);
+    } else if (Tag == "start") {
+      // A fresh worker incarnation: every older `begin` belonged to a
+      // process that is now dead, so nothing older is *in flight*. This
+      // is what makes crash attribution exact — suspects are only the
+      // begins of the incarnation that just died.
+      Open.clear();
+    } else if (Tag == "done") {
+      State.Done.push_back(Digest);
+      Resolve(Digest);
+    } else if (Tag == "fail") {
+      std::string Reason;
+      std::getline(T, Reason);
+      if (!Reason.empty() && Reason.front() == ' ')
+        Reason.erase(Reason.begin());
+      State.Failed[Digest] = Reason;
+      Resolve(Digest);
+    }
+    // Unknown tags: skipped, not fatal (see header).
+  }
+  State.Outstanding = std::move(Open);
+  return State;
+}
+
+//===----------------------------------------------------------------------===//
+// Blacklist / attempts snapshots
+//===----------------------------------------------------------------------===//
+
+std::string vdga::blacklistPath(const std::string &Dir) {
+  return (std::filesystem::path(Dir) / "blacklist.txt").string();
+}
+
+std::string vdga::attemptsPath(const std::string &Dir) {
+  return (std::filesystem::path(Dir) / "attempts.txt").string();
+}
+
+static bool writeSnapshot(const std::string &Path, const std::string &Body,
+                          std::string *Error) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out << Body;
+    if (!Out) {
+      if (Error)
+        *Error = "short write to " + Tmp;
+      return false;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot rename " + Tmp + ": " + EC.message();
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+bool vdga::saveBlacklist(const std::string &Path,
+                         const std::vector<BlacklistEntry> &Entries,
+                         std::string *Error) {
+  std::ostringstream OS;
+  for (const BlacklistEntry &E : Entries)
+    OS << E.Digest << ' ' << E.Name << ' ' << E.Attempts << ' ' << E.Reason
+       << '\n';
+  return writeSnapshot(Path, OS.str(), Error);
+}
+
+std::vector<BlacklistEntry> vdga::loadBlacklist(const std::string &Path) {
+  std::vector<BlacklistEntry> Entries;
+  std::ifstream In(Path, std::ios::binary);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream T(Line);
+    BlacklistEntry E;
+    if (!(T >> E.Digest >> E.Name >> E.Attempts))
+      continue;
+    std::getline(T, E.Reason);
+    if (!E.Reason.empty() && E.Reason.front() == ' ')
+      E.Reason.erase(E.Reason.begin());
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+bool vdga::saveAttempts(const std::string &Path,
+                        const std::map<std::string, unsigned> &Attempts,
+                        std::string *Error) {
+  std::ostringstream OS;
+  for (const auto &[Digest, Count] : Attempts)
+    OS << Digest << ' ' << Count << '\n';
+  return writeSnapshot(Path, OS.str(), Error);
+}
+
+std::map<std::string, unsigned> vdga::loadAttempts(const std::string &Path) {
+  std::map<std::string, unsigned> Attempts;
+  std::ifstream In(Path, std::ios::binary);
+  std::string Digest;
+  unsigned Count = 0;
+  while (In >> Digest >> Count)
+    Attempts[Digest] = Count;
+  return Attempts;
+}

@@ -1,0 +1,94 @@
+//===- shard/Checkpoint.h - Crash-safe progress journal --------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-shard progress journals plus the supervisor's blacklist snapshot.
+///
+/// A journal (`journal-<shard>.log`) is append-only, one line per event,
+/// flushed per line:
+///
+///     start <epoch>
+///     begin <digest> <name>
+///     done <digest>
+///     fail <digest> <reason...>
+///
+/// The format is deliberately crash-tolerant instead of atomic: a worker
+/// dying mid-append leaves at most one final line without a trailing
+/// newline, which the loader drops. What the journal buys the supervisor:
+/// a `begin` without a matching `done`/`fail` after a worker crash names
+/// the program(s) that were in flight — with one worker job, *the*
+/// guilty program, which is what crash attribution and blacklisting key
+/// on. Each worker incarnation opens with a `start` line, which resets
+/// the in-flight set on replay: begins from an earlier (dead) incarnation
+/// are not suspects of the current crash. What the journal buys resume:
+/// `done` digests (confirmed against the result store) are never
+/// re-analyzed.
+///
+/// The blacklist (`blacklist.txt`) and attempt counters (`attempts.txt`)
+/// are small supervisor-owned snapshots rewritten via tmp + rename.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_CHECKPOINT_H
+#define VDGA_SHARD_CHECKPOINT_H
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vdga {
+
+/// `<dir>/journal-<shard>.log`.
+std::string journalPath(const std::string &Dir, unsigned Shard);
+
+/// Appends one journal line (newline added) and flushes. False on I/O
+/// failure.
+bool appendJournal(const std::string &Path, const std::string &Line,
+                   std::string *Error = nullptr);
+
+/// Everything a journal replay yields.
+struct JournalState {
+  /// Digests with a `done` line.
+  std::vector<std::string> Done;
+  /// Digest -> reason for `fail` lines (contained per-program failures).
+  std::map<std::string, std::string> Failed;
+  /// `begin` entries with no matching `done`/`fail`, in begin order:
+  /// (digest, name). After a crash these are the in-flight suspects.
+  std::vector<std::pair<std::string, std::string>> Outstanding;
+};
+
+/// Replays \p Path. A missing file is an empty state; a torn final line
+/// (no trailing newline) is dropped; otherwise-malformed lines are
+/// skipped rather than fatal — the journal is advisory, the result store
+/// is the source of truth for completed work.
+JournalState loadJournal(const std::string &Path);
+
+/// One blacklisted program.
+struct BlacklistEntry {
+  std::string Digest;
+  std::string Name;
+  unsigned Attempts = 0;
+  std::string Reason;
+};
+
+std::string blacklistPath(const std::string &Dir);
+std::string attemptsPath(const std::string &Dir);
+
+/// Snapshot writers (tmp + rename) and loaders. Attempts maps digest to
+/// crash-attribution count.
+bool saveBlacklist(const std::string &Path,
+                   const std::vector<BlacklistEntry> &Entries,
+                   std::string *Error = nullptr);
+std::vector<BlacklistEntry> loadBlacklist(const std::string &Path);
+bool saveAttempts(const std::string &Path,
+                  const std::map<std::string, unsigned> &Attempts,
+                  std::string *Error = nullptr);
+std::map<std::string, unsigned> loadAttempts(const std::string &Path);
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_CHECKPOINT_H

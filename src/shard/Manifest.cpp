@@ -1,0 +1,54 @@
+//===- shard/Manifest.cpp -------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Manifest.h"
+
+#include "corpus/Corpus.h"
+#include "fuzz/Generator.h"
+#include "support/Digest.h"
+
+#include <unordered_set>
+
+using namespace vdga;
+
+std::vector<ManifestEntry> vdga::buildManifest(const ManifestSpec &Spec) {
+  std::vector<ManifestEntry> Entries;
+  std::unordered_set<std::string> Seen;
+  auto Push = [&](std::string Name, std::string Source, bool SmallCS) {
+    ManifestEntry E;
+    E.Name = std::move(Name);
+    E.Digest = sourceDigest(Source);
+    E.Source = std::move(Source);
+    E.SmallEnoughForUnoptimizedCS = SmallCS;
+    // The digest is the checkpoint/store key; a duplicate source would
+    // make two slots fight over one record, so only the first slot runs.
+    if (Seen.insert(E.Digest).second)
+      Entries.push_back(std::move(E));
+  };
+
+  if (Spec.UseCorpus)
+    for (const CorpusProgram &P : corpus())
+      Push(P.Name, P.Source, P.SmallEnoughForUnoptimizedCS);
+
+  for (unsigned I = 0; I < Spec.FuzzCount; ++I) {
+    FuzzOptions FO;
+    FO.Seed = Spec.FuzzSeed + I;
+    std::string Source = generateProgram(FO).render();
+    Push("fuzz-" + std::to_string(Spec.FuzzSeed) + "-" + std::to_string(I),
+         std::move(Source), /*SmallCS=*/true);
+  }
+  return Entries;
+}
+
+std::vector<size_t> vdga::shardSlice(size_t Entries, unsigned Shard,
+                                     unsigned Shards) {
+  std::vector<size_t> Slice;
+  if (Shards == 0)
+    return Slice;
+  for (size_t I = Shard; I < Entries; I += Shards)
+    Slice.push_back(I);
+  return Slice;
+}

@@ -1,0 +1,56 @@
+//===- shard/Manifest.h - Sharded corpus work set --------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work set a sharded corpus run agrees on. Every process in the run
+/// — the supervisor and each worker — rebuilds the manifest independently
+/// from the same parameters (built-in corpus, or fuzz seed + count) and
+/// must arrive at the identical entry list: entry order defines merge
+/// order, entry digests key the checkpoint journal and the result store,
+/// and the shard slice `I % Shards == Shard` partitions the entries
+/// without any cross-process coordination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_MANIFEST_H
+#define VDGA_SHARD_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// One program in the sharded work set.
+struct ManifestEntry {
+  std::string Name;
+  std::string Digest; ///< sourceDigest(Source) — the checkpoint/store key.
+  std::string Source;
+  bool SmallEnoughForUnoptimizedCS = true;
+};
+
+/// Parameters every process derives the manifest from. Exactly one of
+/// `UseCorpus` / `FuzzCount > 0` describes the work set.
+struct ManifestSpec {
+  bool UseCorpus = false;  ///< The built-in Figure 2 corpus.
+  unsigned FuzzCount = 0;  ///< Number of fuzz-generated programs.
+  uint64_t FuzzSeed = 0;   ///< Base seed; program I uses FuzzSeed + I.
+};
+
+/// Builds the manifest for \p Spec. Deterministic: same spec, same
+/// entries, in every process. Digest collisions between distinct entries
+/// are de-duplicated (first occurrence wins) so one digest never names
+/// two slots.
+std::vector<ManifestEntry> buildManifest(const ManifestSpec &Spec);
+
+/// The entry indices shard \p Shard of \p Shards owns (round-robin, so
+/// slices stay balanced whatever the corpus size).
+std::vector<size_t> shardSlice(size_t Entries, unsigned Shard,
+                               unsigned Shards);
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_MANIFEST_H

@@ -1,0 +1,187 @@
+//===- shard/Merge.cpp ----------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Merge.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+using namespace vdga;
+
+namespace {
+/// Minimal JSON writer, same shape as the bench artifact's.
+class Json {
+public:
+  Json &key(const char *K) {
+    comma();
+    OS << '"' << K << "\":";
+    Sep = false;
+    return *this;
+  }
+  Json &value(const std::string &S) {
+    comma();
+    OS << '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        OS << '\\';
+      OS << C;
+    }
+    OS << '"';
+    return *this;
+  }
+  Json &value(uint64_t V) {
+    comma();
+    OS << V;
+    return *this;
+  }
+  Json &value(unsigned V) { return value(uint64_t(V)); }
+  Json &value(double V) {
+    comma();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    OS << Buf;
+    return *this;
+  }
+  Json &open(char Bracket) {
+    comma();
+    OS << Bracket;
+    Sep = false;
+    return *this;
+  }
+  Json &close(char Bracket) {
+    OS << Bracket;
+    Sep = true;
+    return *this;
+  }
+  std::string str() const { return OS.str(); }
+
+private:
+  void comma() {
+    if (Sep)
+      OS << ',';
+    Sep = true;
+  }
+  std::ostringstream OS;
+  bool Sep = false;
+};
+
+void emitPairs(Json &J, const char *Key, const PairTotals &T) {
+  J.key(Key).open('{');
+  J.key("pointer").value(T.Pointer);
+  J.key("function").value(T.Function);
+  J.key("aggregate").value(T.Aggregate);
+  J.key("store").value(T.Store);
+  J.key("total").value(T.total());
+  J.close('}');
+}
+
+void emitStats(Json &J, const char *Key, const SolveStats &S) {
+  J.key(Key).open('{');
+  J.key("transfer_fns").value(S.TransferFns);
+  J.key("meet_ops").value(S.MeetOps);
+  J.key("pairs_inserted").value(S.PairsInserted);
+  J.key("deduped_events").value(S.DedupedEvents);
+  J.close('}');
+}
+
+void emitOps(Json &J, const char *Key, const IndirectOpStats &S) {
+  J.key(Key).open('{');
+  J.key("total").value(S.Total);
+  J.key("zero_ref").value(S.ZeroRef);
+  J.key("count1").value(S.Count1);
+  J.key("count2").value(S.Count2);
+  J.key("count3").value(S.Count3);
+  J.key("count4_plus").value(S.Count4Plus);
+  J.key("max").value(S.Max);
+  J.key("avg").value(S.Avg);
+  J.close('}');
+}
+} // namespace
+
+MergeReport
+vdga::mergeShardResults(const std::vector<ManifestEntry> &Entries,
+                        const ResultStore &Store,
+                        const std::vector<BlacklistEntry> &Blacklist,
+                        const std::string &SolverStrategy) {
+  std::map<std::string, const BlacklistEntry *> Black;
+  for (const BlacklistEntry &E : Blacklist)
+    Black[E.Digest] = &E;
+
+  // Resolve every slot first so the census can go into the header.
+  std::vector<ProgramResult> Resolved;
+  Resolved.reserve(Entries.size());
+  MergeReport Rep;
+  for (const ManifestEntry &E : Entries) {
+    ProgramResult R;
+    if (auto It = Black.find(E.Digest); It != Black.end()) {
+      R.Name = E.Name;
+      R.Digest = E.Digest;
+      R.Status = "blacklisted";
+      R.Reason = It->second->Reason;
+      ++Rep.Blacklisted;
+    } else if (auto Loaded = Store.load(E.Digest)) {
+      R = std::move(*Loaded);
+      if (R.ok())
+        ++Rep.Ok;
+      else
+        ++Rep.Failed;
+    } else {
+      R.Name = E.Name;
+      R.Digest = E.Digest;
+      R.Status = "failed";
+      R.Reason = "shard-abandoned";
+      ++Rep.Failed;
+    }
+    Resolved.push_back(std::move(R));
+  }
+
+  Json J;
+  J.open('{');
+  J.key("schema").value(std::string("vdga-corpus-v1"));
+  J.key("corpus").open('{');
+  J.key("programs").value(uint64_t(Resolved.size()));
+  J.key("ok").value(Rep.Ok);
+  J.key("failed").value(Rep.Failed);
+  J.key("blacklisted").value(Rep.Blacklisted);
+  J.key("solver_strategy").value(SolverStrategy);
+  J.close('}');
+
+  J.key("programs").open('[');
+  for (const ProgramResult &R : Resolved) {
+    J.open('{');
+    J.key("name").value(R.Name);
+    J.key("digest").value(R.Digest);
+    J.key("status").value(R.Status);
+    if (!R.ok()) {
+      J.key("reason").value(R.Reason);
+      J.close('}');
+      continue;
+    }
+    J.key("source_lines").value(R.SourceLines);
+    J.key("vdg_nodes").value(R.VdgNodes);
+    J.key("alias_outputs").value(R.AliasOutputs);
+    emitPairs(J, "ci_pairs", R.CI);
+    emitStats(J, "ci_stats", R.CIStats);
+    emitOps(J, "reads", R.ReadsCI);
+    emitOps(J, "writes", R.WritesCI);
+    if (R.RanCS) {
+      J.key("cs_completed").value(uint64_t(R.CSCompleted ? 1 : 0));
+      if (R.CSCompleted) {
+        emitPairs(J, "cs_pairs", R.CS);
+        emitStats(J, "cs_stats", R.CSStats);
+        J.key("spurious_total").value(R.SpuriousTotal);
+        J.key("spurious_percent").value(R.SpuriousPercent);
+        J.key("cs_wins").value(R.IndirectOpsWhereCSWins);
+      }
+    }
+    J.close('}');
+  }
+  J.close(']');
+  J.close('}');
+  Rep.Json = J.str() + "\n";
+  return Rep;
+}

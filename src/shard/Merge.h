@@ -1,0 +1,52 @@
+//===- shard/Merge.h - Deterministic shard-report merging ------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds per-program result records back into one corpus artifact
+/// (`vdga-corpus-v1` JSON) in manifest order. Every field in the artifact
+/// is schedule-independent — program records carry no wall-clock — so the
+/// merged report of a sharded run is byte-identical to a serial run's
+/// whenever the same programs succeeded, whatever the shard count, job
+/// count, retry history or interleaving. That identity is the pipeline's
+/// central correctness check (docs/BENCH_FORMAT.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_MERGE_H
+#define VDGA_SHARD_MERGE_H
+
+#include "shard/Checkpoint.h"
+#include "shard/Manifest.h"
+#include "shard/ResultStore.h"
+
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// Merge outcome: the artifact plus the status census the caller gates
+/// its exit code (and bench_diff.py its verdict) on.
+struct MergeReport {
+  std::string Json;
+  unsigned Ok = 0;
+  unsigned Failed = 0;      ///< Contained failures + abandoned programs.
+  unsigned Blacklisted = 0;
+};
+
+/// Renders the merged artifact for \p Entries. Per entry, precedence:
+/// blacklist entry -> `blacklisted` record; parseable store record -> as
+/// recorded (`ok` or `failed`); otherwise a synthesized `failed` record
+/// with reason "shard-abandoned" (its shard died for good before
+/// reaching it). \p SolverStrategy is stamped into the corpus header so
+/// bench_diff.py refuses cross-strategy comparisons.
+MergeReport mergeShardResults(const std::vector<ManifestEntry> &Entries,
+                              const ResultStore &Store,
+                              const std::vector<BlacklistEntry> &Blacklist,
+                              const std::string &SolverStrategy);
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_MERGE_H

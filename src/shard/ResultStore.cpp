@@ -1,0 +1,301 @@
+//===- shard/ResultStore.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ResultStore.h"
+
+#include "support/Digest.h"
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vdga;
+
+//===----------------------------------------------------------------------===//
+// vdga-result-v1 text format
+//===----------------------------------------------------------------------===//
+
+static void emitOpStats(std::ostringstream &OS, const char *Tag,
+                        const IndirectOpStats &S) {
+  char Avg[32];
+  std::snprintf(Avg, sizeof(Avg), "%.6f", S.Avg);
+  OS << Tag << ' ' << S.Total << ' ' << S.ZeroRef << ' ' << S.Count1 << ' '
+     << S.Count2 << ' ' << S.Count3 << ' ' << S.Count4Plus << ' ' << S.Max
+     << ' ' << Avg << '\n';
+}
+
+std::string ProgramResult::serialize() const {
+  std::ostringstream OS;
+  OS << "vdga-result-v1\n";
+  OS << "name " << Name << '\n';
+  OS << "digest " << Digest << '\n';
+  OS << "status " << Status << '\n';
+  if (!Reason.empty())
+    OS << "reason " << Reason << '\n';
+  if (ok()) {
+    OS << "sizes " << SourceLines << ' ' << VdgNodes << ' ' << AliasOutputs
+       << '\n';
+    OS << "ci_pairs " << CI.Pointer << ' ' << CI.Function << ' '
+       << CI.Aggregate << ' ' << CI.Store << '\n';
+    OS << "ci_stats " << CIStats.TransferFns << ' ' << CIStats.MeetOps << ' '
+       << CIStats.PairsInserted << ' ' << CIStats.DedupedEvents << '\n';
+    emitOpStats(OS, "reads", ReadsCI);
+    emitOpStats(OS, "writes", WritesCI);
+    OS << "cs " << (RanCS ? 1 : 0) << ' ' << (CSCompleted ? 1 : 0) << '\n';
+    if (CSCompleted) {
+      OS << "cs_pairs " << CS.Pointer << ' ' << CS.Function << ' '
+         << CS.Aggregate << ' ' << CS.Store << '\n';
+      OS << "cs_stats " << CSStats.TransferFns << ' ' << CSStats.MeetOps
+         << ' ' << CSStats.PairsInserted << ' ' << CSStats.DedupedEvents
+         << '\n';
+      char Pct[32];
+      std::snprintf(Pct, sizeof(Pct), "%.6f", SpuriousPercent);
+      OS << "spurious " << SpuriousTotal << ' ' << Pct << ' '
+         << IndirectOpsWhereCSWins << '\n';
+    }
+  }
+  // Integrity trailer over every byte above: a torn write (truncated
+  // record, partially flushed page) never parses as a healthy record.
+  std::string Body = OS.str();
+  Fnv64 H;
+  H.add(Body);
+  return Body + "end " + H.hex() + "\n";
+}
+
+namespace {
+/// Whitespace-token reader over one record line.
+struct LineTok {
+  std::istringstream In;
+  explicit LineTok(const std::string &Line) : In(Line) {}
+  bool u64(uint64_t &V) { return static_cast<bool>(In >> V); }
+  bool u32(unsigned &V) { return static_cast<bool>(In >> V); }
+  bool f64(double &V) { return static_cast<bool>(In >> V); }
+};
+
+bool parseOpStats(LineTok &T, IndirectOpStats &S) {
+  return T.u32(S.Total) && T.u32(S.ZeroRef) && T.u32(S.Count1) &&
+         T.u32(S.Count2) && T.u32(S.Count3) && T.u32(S.Count4Plus) &&
+         T.u32(S.Max) && T.f64(S.Avg);
+}
+} // namespace
+
+bool ProgramResult::parse(const std::string &Text, ProgramResult &Out) {
+  // Split off and verify the integrity trailer first; everything about a
+  // torn file fails here without field-level heuristics.
+  size_t EndLine = Text.rfind("end ");
+  if (EndLine == std::string::npos || Text.empty() || Text.back() != '\n')
+    return false;
+  if (EndLine != 0 && Text[EndLine - 1] != '\n')
+    return false;
+  std::string Body = Text.substr(0, EndLine);
+  std::string Trailer = Text.substr(EndLine + 4);
+  if (!Trailer.empty() && Trailer.back() == '\n')
+    Trailer.pop_back();
+  Fnv64 H;
+  H.add(Body);
+  if (Trailer != H.hex())
+    return false;
+
+  ProgramResult R;
+  std::istringstream In(Body);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "vdga-result-v1")
+    return false;
+  bool SawStatus = false;
+  while (std::getline(In, Line)) {
+    size_t Sp = Line.find(' ');
+    std::string Tag = Line.substr(0, Sp);
+    std::string Rest = Sp == std::string::npos ? "" : Line.substr(Sp + 1);
+    LineTok T(Rest);
+    if (Tag == "name") {
+      R.Name = Rest;
+    } else if (Tag == "digest") {
+      R.Digest = Rest;
+    } else if (Tag == "status") {
+      R.Status = Rest;
+      SawStatus = true;
+    } else if (Tag == "reason") {
+      R.Reason = Rest;
+    } else if (Tag == "sizes") {
+      if (!T.u32(R.SourceLines) || !T.u32(R.VdgNodes) ||
+          !T.u32(R.AliasOutputs))
+        return false;
+    } else if (Tag == "ci_pairs") {
+      if (!T.u64(R.CI.Pointer) || !T.u64(R.CI.Function) ||
+          !T.u64(R.CI.Aggregate) || !T.u64(R.CI.Store))
+        return false;
+    } else if (Tag == "ci_stats") {
+      if (!T.u64(R.CIStats.TransferFns) || !T.u64(R.CIStats.MeetOps) ||
+          !T.u64(R.CIStats.PairsInserted) || !T.u64(R.CIStats.DedupedEvents))
+        return false;
+    } else if (Tag == "reads") {
+      if (!parseOpStats(T, R.ReadsCI))
+        return false;
+    } else if (Tag == "writes") {
+      if (!parseOpStats(T, R.WritesCI))
+        return false;
+    } else if (Tag == "cs") {
+      unsigned Ran = 0, Done = 0;
+      if (!T.u32(Ran) || !T.u32(Done))
+        return false;
+      R.RanCS = Ran != 0;
+      R.CSCompleted = Done != 0;
+    } else if (Tag == "cs_pairs") {
+      if (!T.u64(R.CS.Pointer) || !T.u64(R.CS.Function) ||
+          !T.u64(R.CS.Aggregate) || !T.u64(R.CS.Store))
+        return false;
+    } else if (Tag == "cs_stats") {
+      if (!T.u64(R.CSStats.TransferFns) || !T.u64(R.CSStats.MeetOps) ||
+          !T.u64(R.CSStats.PairsInserted) || !T.u64(R.CSStats.DedupedEvents))
+        return false;
+    } else if (Tag == "spurious") {
+      if (!T.u64(R.SpuriousTotal) || !T.f64(R.SpuriousPercent) ||
+          !T.u32(R.IndirectOpsWhereCSWins))
+        return false;
+    } else {
+      return false; // Unknown tag: not this schema version.
+    }
+  }
+  if (R.Name.empty() || R.Digest.empty() || !SawStatus)
+    return false;
+  Out = std::move(R);
+  return true;
+}
+
+ProgramResult vdga::resultFromReport(const BenchmarkReport &R,
+                                     const std::string &Digest) {
+  ProgramResult P;
+  P.Name = R.Name;
+  P.Digest = Digest;
+  if (R.Failed) {
+    P.Status = "failed";
+    P.Reason = R.FailureReason;
+    return P;
+  }
+  P.SourceLines = R.SourceLines;
+  P.VdgNodes = R.VdgNodes;
+  P.AliasOutputs = R.AliasOutputs;
+  P.CI = R.CI;
+  P.CIStats = R.CIStats;
+  P.ReadsCI = R.ReadsCI;
+  P.WritesCI = R.WritesCI;
+  P.RanCS = R.RanCS;
+  P.CSCompleted = R.CSCompleted;
+  P.CS = R.CS;
+  P.CSStats = R.CSStats;
+  P.SpuriousTotal = R.SpuriousTotal;
+  P.SpuriousPercent = R.SpuriousPercent;
+  P.IndirectOpsWhereCSWins = R.IndirectOpsWhereCSWins;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// ResultStore
+//===----------------------------------------------------------------------===//
+
+std::string ResultStore::pathFor(const std::string &Digest) const {
+  std::filesystem::path P(Directory);
+  P /= Digest + ".vdga-result";
+  return P.string();
+}
+
+std::optional<ProgramResult>
+ResultStore::load(const std::string &Digest) const {
+  std::ifstream In(pathFor(Digest), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  ProgramResult R;
+  if (!ProgramResult::parse(Text.str(), R) || R.Digest != Digest)
+    return std::nullopt;
+  return R;
+}
+
+bool ResultStore::save(const ProgramResult &R, std::string *Error) const {
+  std::error_code EC;
+  std::filesystem::create_directories(Directory, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot create result directory " + Directory + ": " +
+               EC.message();
+    return false;
+  }
+  std::string Payload = R.serialize();
+
+  if (faultPoint("store.enospc", R.Digest)) {
+    if (Error)
+      *Error = "injected fault: store.enospc writing " + pathFor(R.Digest);
+    return false;
+  }
+  if (faultPoint("store.torn", R.Digest)) {
+    // Model a crash mid-write: half the record lands at the *final* path
+    // (no tmp + rename discipline survives a dying machine that already
+    // renamed) and the process dies. The integrity trailer is what makes
+    // this safe: the torn record can never parse, so resume re-analyzes.
+    std::ofstream Out(pathFor(R.Digest), std::ios::binary | std::ios::trunc);
+    Out.write(Payload.data(),
+              static_cast<std::streamsize>(Payload.size() / 2));
+    Out.flush();
+    std::abort();
+  }
+
+  std::string Final = pathFor(R.Digest);
+  std::string Tmp = Final + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out << Payload;
+    if (!Out) {
+      if (Error)
+        *Error = "short write to " + Tmp;
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot rename " + Tmp + ": " + EC.message();
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+ResultStore::FsckReport ResultStore::fsck(bool Remove) const {
+  FsckReport Rep;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Directory, EC), End;
+  if (EC)
+    return Rep;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    const std::filesystem::path &P = It->path();
+    if (P.extension() != ".vdga-result")
+      continue;
+    ++Rep.Scanned;
+    std::string Digest = P.stem().string();
+    if (load(Digest)) {
+      ++Rep.Healthy;
+      continue;
+    }
+    Rep.Corrupt.push_back(P.string());
+    if (Remove) {
+      std::error_code RmEC;
+      if (std::filesystem::remove(P, RmEC))
+        ++Rep.Removed;
+    }
+  }
+  return Rep;
+}

@@ -1,0 +1,111 @@
+//===- shard/ResultStore.h - Digest-keyed per-program results --*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded pipeline's persistent unit of progress: one
+/// `<digest>.vdga-result` file per analyzed program, in the checkpoint
+/// directory, holding the schedule-independent subset of a
+/// `BenchmarkReport` (no wall-clock fields — that is what lets a merged
+/// sharded report be byte-identical to a serial one). The text format
+/// (`vdga-result-v1`) ends with an `end <fnv>` integrity line over every
+/// preceding byte, so a torn write — a worker killed mid-save, a full
+/// disk — is always detected at load and treated as a miss: the program
+/// is simply re-analyzed on resume, never merged as garbage.
+///
+/// Writes go through the same tmp + rename discipline as the query
+/// service's ArtifactStore, and carry the `store.torn` / `store.enospc`
+/// fault probes the recovery tests drive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_RESULTSTORE_H
+#define VDGA_SHARD_RESULTSTORE_H
+
+#include "driver/Tables.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vdga {
+
+/// The deterministic, mergeable outcome of one program's analysis.
+struct ProgramResult {
+  std::string Name;
+  std::string Digest;
+
+  /// "ok", "failed" (contained pipeline failure; Reason says why) or
+  /// "blacklisted" (the supervisor gave up after repeated crashes).
+  std::string Status = "ok";
+  std::string Reason;
+
+  unsigned SourceLines = 0;
+  unsigned VdgNodes = 0;
+  unsigned AliasOutputs = 0;
+
+  PairTotals CI;
+  SolveStats CIStats;
+  IndirectOpStats ReadsCI;
+  IndirectOpStats WritesCI;
+
+  bool RanCS = false;
+  bool CSCompleted = false;
+  PairTotals CS;
+  SolveStats CSStats;
+  uint64_t SpuriousTotal = 0;
+  double SpuriousPercent = 0.0;
+  unsigned IndirectOpsWhereCSWins = 0;
+
+  bool ok() const { return Status == "ok"; }
+
+  /// Renders the vdga-result-v1 text record, `end` line included.
+  std::string serialize() const;
+
+  /// Strict parse; false on any malformed line, wrong schema, or `end`
+  /// digest mismatch (the torn-write case).
+  static bool parse(const std::string &Text, ProgramResult &Out);
+};
+
+/// Projects the schedule-independent fields out of a BenchmarkReport.
+ProgramResult resultFromReport(const BenchmarkReport &R,
+                               const std::string &Digest);
+
+/// Filesystem store of ProgramResult records; see file comment.
+class ResultStore {
+public:
+  explicit ResultStore(std::string Directory)
+      : Directory(std::move(Directory)) {}
+
+  std::string pathFor(const std::string &Digest) const;
+
+  /// Parsed record on a hit; nullopt when absent, unreadable, torn, or
+  /// keyed under the wrong digest.
+  std::optional<ProgramResult> load(const std::string &Digest) const;
+
+  /// tmp + rename persist. Carries the store fault probes: `store.torn`
+  /// leaves a truncated record at the final path and kills the process
+  /// (modeling a mid-write crash); `store.enospc` fails the save cleanly.
+  bool save(const ProgramResult &R, std::string *Error = nullptr) const;
+
+  /// Scan outcome for fsck().
+  struct FsckReport {
+    unsigned Scanned = 0;
+    unsigned Healthy = 0;
+    unsigned Removed = 0;
+    std::vector<std::string> Corrupt; ///< Paths that failed to parse.
+  };
+
+  /// Verifies every record in the store; with \p Remove, deletes the
+  /// corrupt ones so resume re-analyzes those programs.
+  FsckReport fsck(bool Remove) const;
+
+private:
+  std::string Directory;
+};
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_RESULTSTORE_H

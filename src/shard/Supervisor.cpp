@@ -1,0 +1,410 @@
+//===- shard/Supervisor.cpp -----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Supervisor.h"
+
+#include "shard/Checkpoint.h"
+#include "shard/ResultStore.h"
+#include "support/Interrupt.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define VDGA_HAVE_FORK 1
+#endif
+
+using namespace vdga;
+
+#ifndef VDGA_HAVE_FORK
+
+int vdga::runSupervisor(const SupervisorOptions &, MergeReport *) {
+  std::fprintf(stderr,
+               "vdga-shard: process supervision requires a POSIX host\n");
+  return 1;
+}
+
+#else
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ShardState {
+  unsigned Index = 0;
+  enum Phase { Pending, Running, Done, Abandoned } St = Pending;
+  pid_t Pid = -1;
+  unsigned Respawns = 0; ///< Spawn attempts so far (first spawn = 0).
+  bool SafeMode = false; ///< Respawn with --jobs 1 for attribution.
+  bool StallKilled = false;
+  Clock::time_point NextSpawn = Clock::time_point{}; ///< Backoff gate.
+  Clock::time_point LastProgress;
+  uintmax_t LastJournalSize = 0;
+};
+
+uintmax_t journalSize(const std::string &Path) {
+  std::error_code EC;
+  uintmax_t Size = std::filesystem::file_size(Path, EC);
+  return EC ? 0 : Size;
+}
+
+std::string describeExit(int Status) {
+  if (WIFSIGNALED(Status))
+    return "signal " + std::to_string(WTERMSIG(Status));
+  if (WIFEXITED(Status))
+    return "exit " + std::to_string(WEXITSTATUS(Status));
+  return "status " + std::to_string(Status);
+}
+
+/// The supervisor's view of one run; owns the mutable recovery state.
+class Run {
+public:
+  Run(const SupervisorOptions &Opts) : Opts(Opts), Store(Opts.Dir) {}
+
+  int run(MergeReport *MergeOut);
+
+private:
+  void note(const char *Fmt, ...);
+  bool freshStart();
+  bool spawn(ShardState &S);
+  void handleExit(ShardState &S, int Status);
+  void killAll(int Sig);
+  int finish(MergeReport *MergeOut, bool Interrupted);
+  bool persistRecoveryState();
+
+  const SupervisorOptions &Opts;
+  ResultStore Store;
+  std::vector<ShardState> Shards;
+  std::map<std::string, unsigned> Attempts;     // digest -> attributions
+  std::vector<BlacklistEntry> Blacklist;
+  std::map<std::string, std::string> EntryName; // digest -> manifest name
+};
+
+void Run::note(const char *Fmt, ...) {
+  if (Opts.Quiet)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  std::fprintf(stderr, "vdga-shard: ");
+  std::vfprintf(stderr, Fmt, Args);
+  std::fprintf(stderr, "\n");
+  va_end(Args);
+}
+
+/// A non-resume run must not inherit stale journals, records or
+/// blacklists; only files this pipeline owns are removed.
+bool Run::freshStart() {
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Opts.Dir, EC), End;
+  if (EC)
+    return true; // Directory does not exist yet; workers create it.
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    const std::filesystem::path &P = It->path();
+    std::string Name = P.filename().string();
+    bool Ours = P.extension() == ".vdga-result" ||
+                (Name.rfind("journal-", 0) == 0) || Name == "blacklist.txt" ||
+                Name == "attempts.txt" || Name == "corpus-report.json" ||
+                P.extension() == ".tmp";
+    if (!Ours)
+      continue;
+    std::error_code RmEC;
+    std::filesystem::remove(P, RmEC);
+  }
+  return true;
+}
+
+bool Run::persistRecoveryState() {
+  std::string Error;
+  if (!saveAttempts(attemptsPath(Opts.Dir), Attempts, &Error) ||
+      !saveBlacklist(blacklistPath(Opts.Dir), Blacklist, &Error)) {
+    std::fprintf(stderr, "vdga-shard: %s\n", Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool Run::spawn(ShardState &S) {
+  std::vector<std::string> Args;
+  Args.push_back(Opts.WorkerPath);
+  Args.push_back("--shard");
+  Args.push_back(std::to_string(S.Index) + "/" +
+                 std::to_string(Opts.Shards));
+  Args.push_back("--checkpoint-dir");
+  Args.push_back(Opts.Dir);
+  Args.push_back("--jobs");
+  Args.push_back(std::to_string(S.SafeMode ? 1 : Opts.Jobs));
+  if (Opts.Spec.UseCorpus)
+    Args.push_back("--shard-corpus");
+  if (Opts.Spec.FuzzCount > 0) {
+    Args.push_back("--fuzz-count");
+    Args.push_back(std::to_string(Opts.Spec.FuzzCount));
+    Args.push_back("--fuzz-seed");
+    Args.push_back(std::to_string(Opts.Spec.FuzzSeed));
+  }
+  if (Opts.RunCS)
+    Args.push_back("--cs");
+  Args.push_back("--solver");
+  Args.push_back(solverStrategyName(Opts.Strategy));
+
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::fprintf(stderr, "vdga-shard: fork failed\n");
+    return false;
+  }
+  if (Pid == 0) {
+    // Child. The fault epoch is the shard's respawn generation: a
+    // non-sticky injected fault that fired last attempt decides
+    // differently this attempt — transient faults heal on retry.
+    std::string Epoch = std::to_string(S.Respawns);
+    setenv("VDGA_FAULT_EPOCH", Epoch.c_str(), 1);
+    execv(Opts.WorkerPath.c_str(), Argv.data());
+    std::fprintf(stderr, "vdga-shard: cannot exec %s\n",
+                 Opts.WorkerPath.c_str());
+    _exit(127);
+  }
+  S.Pid = Pid;
+  S.St = ShardState::Running;
+  S.StallKilled = false;
+  S.LastProgress = Clock::now();
+  S.LastJournalSize = journalSize(journalPath(Opts.Dir, S.Index));
+  return true;
+}
+
+void Run::handleExit(ShardState &S, int Status) {
+  S.Pid = -1;
+  if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+    S.St = ShardState::Done;
+    note("shard %u done", S.Index);
+    return;
+  }
+  if (WIFEXITED(Status) &&
+      (WEXITSTATUS(Status) == 2 || WEXITSTATUS(Status) == 127)) {
+    // Usage/exec errors are configuration bugs, not transient faults:
+    // retrying the same command line can only fail the same way.
+    note("shard %u failed permanently (%s)", S.Index,
+         describeExit(Status).c_str());
+    S.St = ShardState::Abandoned;
+    return;
+  }
+
+  std::string How =
+      S.StallKilled ? "stalled (no journal progress)" : describeExit(Status);
+
+  // Crash attribution: replay the journal; in-flight programs are the
+  // `begin`s without a `done`/`fail`.
+  JournalState J = loadJournal(journalPath(Opts.Dir, S.Index));
+  if (J.Outstanding.size() == 1) {
+    const auto &[Digest, Name] = J.Outstanding.front();
+    unsigned N = ++Attempts[Digest];
+    note("shard %u crashed (%s) while analyzing %s (attempt %u)", S.Index,
+         How.c_str(), Name.c_str(), N);
+    if (N >= Opts.MaxAttempts) {
+      BlacklistEntry B;
+      B.Digest = Digest;
+      B.Name = Name.empty() ? EntryName[Digest] : Name;
+      B.Attempts = N;
+      B.Reason = "crashed worker " + std::to_string(N) + "x (last: " + How +
+                 ")";
+      Blacklist.push_back(std::move(B));
+      note("blacklisting %s after %u attempts", Name.c_str(), N);
+    }
+    persistRecoveryState();
+  } else if (J.Outstanding.size() > 1) {
+    // Several programs were in flight; nobody can be blamed. Safe mode
+    // (one in-process job) makes the next crash attributable.
+    note("shard %u crashed (%s) with %zu programs in flight; "
+         "respawning in safe mode",
+         S.Index, How.c_str(), J.Outstanding.size());
+    S.SafeMode = true;
+  } else {
+    note("shard %u crashed (%s) between programs", S.Index, How.c_str());
+  }
+
+  ++S.Respawns;
+  if (S.Respawns > Opts.MaxRespawns) {
+    note("shard %u abandoned after %u respawns", S.Index, S.Respawns - 1);
+    S.St = ShardState::Abandoned;
+    return;
+  }
+  unsigned Shift = S.Respawns > 6 ? 6 : S.Respawns - 1;
+  unsigned Backoff = Opts.BackoffBaseMs * (1u << Shift);
+  if (Backoff > 2000)
+    Backoff = 2000;
+  S.NextSpawn = Clock::now() + std::chrono::milliseconds(Backoff);
+  S.St = ShardState::Pending;
+  note("shard %u retrying in %u ms (respawn %u, epoch %u%s)", S.Index,
+       Backoff, S.Respawns, S.Respawns, S.SafeMode ? ", safe mode" : "");
+}
+
+void Run::killAll(int Sig) {
+  for (ShardState &S : Shards)
+    if (S.St == ShardState::Running && S.Pid > 0)
+      kill(S.Pid, Sig);
+}
+
+int Run::finish(MergeReport *MergeOut, bool Interrupted) {
+  persistRecoveryState();
+  if (Interrupted) {
+    std::fprintf(stderr,
+                 "vdga-shard: interrupted by signal %d; workers stopped, "
+                 "checkpoints flushed (resume with --resume)\n",
+                 interruptSignal());
+    return ExitInterrupted;
+  }
+
+  std::vector<ManifestEntry> Entries = buildManifest(Opts.Spec);
+  MergeReport Merge = mergeShardResults(
+      Entries, Store, Blacklist, solverStrategyName(Opts.Strategy));
+  std::string ReportPath =
+      Opts.ReportPath.empty()
+          ? (std::filesystem::path(Opts.Dir) / "corpus-report.json").string()
+          : Opts.ReportPath;
+  {
+    std::string Tmp = ReportPath + ".tmp";
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    Out << Merge.Json;
+    Out.flush();
+    std::error_code EC;
+    if (!Out)
+      EC = std::make_error_code(std::errc::io_error);
+    else
+      std::filesystem::rename(Tmp, ReportPath, EC);
+    if (EC) {
+      std::fprintf(stderr, "vdga-shard: cannot write %s\n",
+                   ReportPath.c_str());
+      return 1;
+    }
+  }
+  note("merged %u ok / %u failed / %u blacklisted -> %s", Merge.Ok,
+       Merge.Failed, Merge.Blacklisted, ReportPath.c_str());
+  if (MergeOut)
+    *MergeOut = std::move(Merge);
+
+  for (const ShardState &S : Shards)
+    if (S.St == ShardState::Abandoned)
+      return 1;
+  return 0;
+}
+
+int Run::run(MergeReport *MergeOut) {
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "vdga-shard: cannot create %s: %s\n",
+                 Opts.Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+  if (!Opts.Resume)
+    freshStart();
+  else {
+    // Torn records (a worker died mid-save) parse as absent anyway;
+    // removing them keeps the store clean and the rerun visible here.
+    ResultStore::FsckReport F = Store.fsck(/*Remove=*/true);
+    if (!F.Corrupt.empty())
+      note("resume fsck: removed %u torn record(s)", F.Removed);
+    Attempts = loadAttempts(attemptsPath(Opts.Dir));
+    Blacklist = loadBlacklist(blacklistPath(Opts.Dir));
+  }
+
+  for (const ManifestEntry &E : buildManifest(Opts.Spec))
+    EntryName[E.Digest] = E.Name;
+
+  Shards.resize(Opts.Shards);
+  for (unsigned I = 0; I < Opts.Shards; ++I)
+    Shards[I].Index = I;
+
+  while (true) {
+    if (interruptRequested()) {
+      killAll(SIGTERM);
+      // Give workers a moment to flush, then reap whatever remains.
+      for (ShardState &S : Shards) {
+        if (S.Pid <= 0)
+          continue;
+        int Status = 0;
+        waitpid(S.Pid, &Status, 0);
+        S.Pid = -1;
+      }
+      return finish(MergeOut, /*Interrupted=*/true);
+    }
+
+    bool AnyRunning = false, AnyPending = false;
+    Clock::time_point Now = Clock::now();
+    for (ShardState &S : Shards) {
+      if (S.St == ShardState::Pending) {
+        if (Now >= S.NextSpawn) {
+          if (!spawn(S))
+            S.St = ShardState::Abandoned;
+          else
+            AnyRunning = true;
+        } else {
+          AnyPending = true;
+        }
+      } else if (S.St == ShardState::Running) {
+        AnyRunning = true;
+        // Stall detection: progress is journal growth. A worker wedged
+        // inside one program appends nothing, and after the timeout it
+        // is SIGKILLed and handled exactly like a crash.
+        uintmax_t Size = journalSize(journalPath(Opts.Dir, S.Index));
+        if (Size != S.LastJournalSize) {
+          S.LastJournalSize = Size;
+          S.LastProgress = Now;
+        } else if (Now - S.LastProgress >
+                   std::chrono::milliseconds(Opts.StallTimeoutMs)) {
+          note("shard %u stalled for %u ms; killing pid %d", S.Index,
+               Opts.StallTimeoutMs, static_cast<int>(S.Pid));
+          S.StallKilled = true;
+          kill(S.Pid, SIGKILL);
+          S.LastProgress = Now; // Don't re-kill while the exit drains.
+        }
+      }
+    }
+    if (!AnyRunning && !AnyPending)
+      break;
+
+    int Status = 0;
+    pid_t Pid = waitpid(-1, &Status, WNOHANG);
+    if (Pid > 0) {
+      for (ShardState &S : Shards)
+        if (S.Pid == Pid)
+          handleExit(S, Status);
+      continue; // Reap eagerly before sleeping again.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  return finish(MergeOut, /*Interrupted=*/false);
+}
+
+} // namespace
+
+int vdga::runSupervisor(const SupervisorOptions &Opts, MergeReport *Merge) {
+  if (Opts.Shards == 0 || Opts.WorkerPath.empty()) {
+    std::fprintf(stderr, "vdga-shard: invalid supervisor configuration\n");
+    return 2;
+  }
+  Run R(Opts);
+  return R.run(Merge);
+}
+
+#endif // VDGA_HAVE_FORK

@@ -1,0 +1,76 @@
+//===- shard/Supervisor.h - Fault-isolated shard supervision ---*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus pipeline's fault boundary: `vdga-shard` forks one
+/// `vdga-analyze --shard i/N` worker per shard and supervises them, so a
+/// segfault, OOM kill, stall or injected crash takes down one shard's
+/// process — never the run. Per shard the supervisor is a small state
+/// machine:
+///
+///     Pending -> Running -> Done
+///        ^          |
+///        |          v (worker exit != 0 / signal / stall SIGKILL)
+///        +--- crash handling: attribute via the journal, back off,
+///             respawn with a bumped fault epoch -- or Abandon after
+///             MaxRespawns.
+///
+/// Crash attribution: the dead shard's journal is replayed; `begin`
+/// entries without a matching `done`/`fail` were in flight. With exactly
+/// one suspect the crash is *attributed* — its attempt counter rises and
+/// at MaxAttempts the program is blacklisted (persisted via snapshot, so
+/// workers skip it and the merge records it). With several suspects
+/// (parallel in-worker jobs) no one is blamed; the shard respawns in
+/// *safe mode* (--jobs 1) where the next crash has exactly one suspect.
+///
+/// Stall containment: a Running shard whose journal stops growing for
+/// StallTimeoutMs is SIGKILLed and handled like any other crash.
+///
+/// When every shard is Done the per-program records merge into the
+/// `vdga-corpus-v1` artifact (shard/Merge.h) — byte-identical to a
+/// serial run's on the surviving set. Exit codes: 0 = report written
+/// (blacklisted programs are *recorded*, not hidden; bench_diff.py turns
+/// new ones into failures), 1 = a shard was abandoned or I/O failed,
+/// 5 = interrupted (workers SIGTERMed, checkpoints flushed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_SUPERVISOR_H
+#define VDGA_SHARD_SUPERVISOR_H
+
+#include "pointsto/Solver.h"
+#include "shard/Manifest.h"
+#include "shard/Merge.h"
+
+#include <string>
+
+namespace vdga {
+
+struct SupervisorOptions {
+  std::string WorkerPath; ///< The vdga-analyze binary to exec.
+  ManifestSpec Spec;
+  unsigned Shards = 1;
+  unsigned Jobs = 1; ///< Per-worker in-process jobs.
+  bool RunCS = false;
+  SolverStrategy Strategy = SolverStrategy::Basic;
+  std::string Dir;     ///< Checkpoint directory (journals, records, report).
+  bool Resume = false; ///< Keep existing records; otherwise start fresh.
+  unsigned MaxAttempts = 2;  ///< Crash attributions before blacklisting.
+  unsigned MaxRespawns = 8;  ///< Per-shard respawn cap before abandoning.
+  unsigned StallTimeoutMs = 30000; ///< Journal-growth timeout.
+  unsigned BackoffBaseMs = 50;     ///< Respawn backoff: base * 2^retries.
+  std::string ReportPath; ///< Merged artifact; default <Dir>/corpus-report.json.
+  bool Quiet = false;     ///< Suppress progress lines on stderr.
+};
+
+/// Runs the whole supervised pipeline; returns the process exit code
+/// (see file comment). \p Merge, when non-null, receives the merge
+/// census for the caller's own reporting.
+int runSupervisor(const SupervisorOptions &Opts, MergeReport *Merge = nullptr);
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_SUPERVISOR_H

@@ -1,0 +1,145 @@
+//===- shard/Worker.cpp ---------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Worker.h"
+
+#include "driver/Tables.h"
+#include "shard/Checkpoint.h"
+#include "shard/ResultStore.h"
+#include "support/FaultInjection.h"
+#include "support/Interrupt.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+using namespace vdga;
+
+int vdga::runShardWorker(const WorkerOptions &Opts) {
+  if (Opts.Shards == 0 || Opts.Shard >= Opts.Shards) {
+    std::fprintf(stderr, "vdga-analyze: --shard index out of range\n");
+    return 2;
+  }
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "vdga-analyze: cannot create %s: %s\n",
+                 Opts.Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+
+  std::vector<ManifestEntry> Entries = buildManifest(Opts.Spec);
+  std::vector<size_t> Slice =
+      shardSlice(Entries.size(), Opts.Shard, Opts.Shards);
+  ResultStore Store(Opts.Dir);
+
+  std::unordered_set<std::string> Black;
+  for (const BlacklistEntry &E : loadBlacklist(blacklistPath(Opts.Dir)))
+    Black.insert(E.Digest);
+
+  // Resume filter: the result store is the source of truth — a digest
+  // with a parseable record is finished whatever the journal says, and a
+  // torn record (crash mid-save) parses as absent, so the program reruns.
+  std::vector<CorpusJob> Work;
+  std::vector<const ManifestEntry *> WorkEntries;
+  for (size_t I : Slice) {
+    const ManifestEntry &E = Entries[I];
+    if (Black.count(E.Digest) || Store.load(E.Digest))
+      continue;
+    Work.push_back({E.Name, E.Source, E.SmallEnoughForUnoptimizedCS});
+    WorkEntries.push_back(&E);
+  }
+
+  std::string JPath = journalPath(Opts.Dir, Opts.Shard);
+  // Mark this incarnation's start: on replay it clears the in-flight set,
+  // so a crash is attributed only to begins from the process that died.
+  appendJournal(JPath, "start " +
+                           std::to_string(FaultInjection::instance().epoch()));
+  std::mutex JournalMutex;
+  std::atomic<bool> IOFailed{false};
+  std::string IOError;
+  std::mutex IOErrorMutex;
+  // Canceling this token stops the streaming loop from *submitting* more
+  // programs; in-flight ones drain through the sink (unsaved).
+  CancellationToken Stop;
+
+  // Wire the interrupt latch into every solve's budget so SIGINT stops
+  // an in-flight fixed-point promptly, not at convergence.
+  GovernancePolicy Policy = Opts.Policy;
+  if (!Policy.Cancel)
+    Policy.Cancel = interruptToken();
+
+  auto OnStart = [&](size_t I) {
+    const ManifestEntry &E = *WorkEntries[I];
+    {
+      std::lock_guard<std::mutex> Lock(JournalMutex);
+      appendJournal(JPath, "begin " + E.Digest + " " + E.Name);
+    }
+    // The crash-family probes sit *after* the begin append on purpose:
+    // a fired fault must leave the victim attributable in the journal.
+    if (faultPoint("worker.crash", E.Digest))
+      std::abort();
+    if (faultPoint("worker.stall", E.Digest)) {
+      // Stall well past any sane progress timeout; the supervisor's
+      // stall detector SIGKILLs us. Chunked so the sleep itself never
+      // outlives the test harness if detection is disabled.
+      for (int S = 0; S < 600 && !interruptRequested(); ++S)
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    if (faultPoint("worker.sigint", E.Digest))
+      simulateInterruptForTest(SIGINT);
+  };
+
+  auto Sink = [&](size_t I, BenchmarkReport &&R) {
+    if (interruptRequested() || IOFailed.load()) {
+      // Do not persist results delivered after an interrupt: a solve cut
+      // short by the cancellation token is schedule-dependent, and a
+      // record written now would wrongly mark the program finished.
+      Stop.cancel();
+      return;
+    }
+    const ManifestEntry &E = *WorkEntries[I];
+    ProgramResult PR = resultFromReport(R, E.Digest);
+    std::string Err;
+    if (!Store.save(PR, &Err)) {
+      {
+        std::lock_guard<std::mutex> Lock(IOErrorMutex);
+        IOError = Err;
+      }
+      IOFailed.store(true);
+      Stop.cancel();
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(JournalMutex);
+    appendJournal(JPath, PR.ok() ? "done " + E.Digest
+                                 : "fail " + E.Digest + " " + PR.Reason);
+  };
+
+  ContextSensOptions CSOpts;
+  analyzeCorpusStreaming(Work, Opts.RunCS, CSOpts, Opts.Jobs,
+                         CheckLevel::None, Policy, Sink, &Stop, OnStart);
+
+  if (IOFailed.load()) {
+    std::lock_guard<std::mutex> Lock(IOErrorMutex);
+    std::fprintf(stderr, "vdga-analyze: shard %u/%u: %s\n", Opts.Shard,
+                 Opts.Shards, IOError.c_str());
+    return 1;
+  }
+  if (interruptRequested()) {
+    std::fprintf(stderr,
+                 "vdga-analyze: shard %u/%u interrupted by signal %d; "
+                 "journal and finished results flushed\n",
+                 Opts.Shard, Opts.Shards, interruptSignal());
+    return ExitInterrupted;
+  }
+  return 0;
+}

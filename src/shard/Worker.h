@@ -1,0 +1,49 @@
+//===- shard/Worker.h - One shard's worker process -------------*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process body of `vdga-analyze --shard i/N`: rebuild the
+/// manifest, take slice i, skip programs the result store already has (or
+/// the blacklist forbids), and stream the rest through the contained
+/// corpus driver — journaling `begin` before and `done`/`fail` after each
+/// program, persisting each result record as it lands and releasing the
+/// program immediately (flat memory). The worker never retries and never
+/// judges crashes; that is the supervisor's job. It just makes every
+/// outcome externally observable through the journal and the store.
+///
+/// Exit codes: 0 = slice fully drained (contained per-program failures
+/// included), 1 = an I/O error stopped progress, 5 = interrupted
+/// (SIGINT/SIGTERM) after flushing what was finished.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SHARD_WORKER_H
+#define VDGA_SHARD_WORKER_H
+
+#include "driver/Governance.h"
+#include "shard/Manifest.h"
+
+#include <string>
+
+namespace vdga {
+
+struct WorkerOptions {
+  ManifestSpec Spec;
+  unsigned Shard = 0;
+  unsigned Shards = 1;
+  std::string Dir;   ///< Checkpoint directory (journals + result store).
+  unsigned Jobs = 1; ///< In-process parallelism inside the shard.
+  bool RunCS = false;
+  GovernancePolicy Policy; ///< Carries the solver strategy.
+};
+
+/// Runs one shard to completion; returns the process exit code (see file
+/// comment). Errors are reported on stderr.
+int runShardWorker(const WorkerOptions &Opts);
+
+} // namespace vdga
+
+#endif // VDGA_SHARD_WORKER_H

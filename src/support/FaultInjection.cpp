@@ -1,0 +1,157 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Digest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vdga;
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection FI;
+  return FI;
+}
+
+bool vdga::parseFaultSpec(std::string_view Text, FaultSpec &Out,
+                          std::string *Error) {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = "bad fault spec '" + std::string(Text) + "': " + Why;
+    return false;
+  };
+  FaultSpec S;
+  if (!Text.empty() && Text.back() == '!') {
+    S.Sticky = true;
+    Text.remove_suffix(1);
+  }
+  // site[@key]:seed:rate — split from the right so keys may contain '@'
+  // but not ':' (digests and program names never do).
+  size_t RateColon = Text.rfind(':');
+  if (RateColon == std::string_view::npos)
+    return Fail("expected site[@key]:seed:rate[!]");
+  size_t SeedColon = Text.rfind(':', RateColon - 1);
+  if (SeedColon == std::string_view::npos || SeedColon == 0)
+    return Fail("expected site[@key]:seed:rate[!]");
+  std::string SiteKey(Text.substr(0, SeedColon));
+  std::string SeedText(Text.substr(SeedColon + 1, RateColon - SeedColon - 1));
+  std::string RateText(Text.substr(RateColon + 1));
+
+  size_t At = SiteKey.find('@');
+  if (At != std::string::npos) {
+    S.Site = SiteKey.substr(0, At);
+    S.Key = SiteKey.substr(At + 1);
+    if (S.Key.empty())
+      return Fail("empty key after '@'");
+  } else {
+    S.Site = SiteKey;
+  }
+  if (S.Site.empty())
+    return Fail("empty site");
+
+  char *End = nullptr;
+  S.Seed = std::strtoull(SeedText.c_str(), &End, 10);
+  if (SeedText.empty() || *End != '\0')
+    return Fail("seed must be a decimal integer, got '" + SeedText + "'");
+  End = nullptr;
+  S.Rate = std::strtod(RateText.c_str(), &End);
+  if (RateText.empty() || *End != '\0' || std::isnan(S.Rate) ||
+      S.Rate < 0.0 || S.Rate > 1.0)
+    return Fail("rate must be a number in [0,1], got '" + RateText + "'");
+  Out = std::move(S);
+  return true;
+}
+
+bool FaultInjection::configure(const std::string &SpecText,
+                               std::string *Error) {
+  std::vector<FaultSpec> Parsed;
+  size_t Pos = 0;
+  while (Pos <= SpecText.size()) {
+    size_t Comma = SpecText.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = SpecText.size();
+    std::string_view Piece(SpecText.data() + Pos, Comma - Pos);
+    if (!Piece.empty()) {
+      FaultSpec S;
+      if (!parseFaultSpec(Piece, S, Error))
+        return false;
+      Parsed.push_back(std::move(S));
+    }
+    Pos = Comma + 1;
+  }
+  Specs = std::move(Parsed);
+  Armed.store(!Specs.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjection::clear() {
+  Specs.clear();
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjection::shouldFire(std::string_view Site,
+                                std::string_view Key) const {
+  for (const FaultSpec &S : Specs) {
+    if (S.Site != Site)
+      continue;
+    if (!S.Key.empty() && S.Key != Key)
+      continue;
+    if (S.Rate <= 0.0)
+      continue;
+    if (S.Rate >= 1.0)
+      return true;
+    // Deterministic decision: hash (site, key, seed, epoch) and compare
+    // the top 53 bits against the rate. Epoch participation is what lets
+    // a non-sticky fault heal on retry.
+    Fnv64 H;
+    H.add("vdga-fault");
+    H.add(S.Site);
+    H.add(Key);
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(S.Seed));
+    H.add(Buf);
+    if (!S.Sticky) {
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(Epoch));
+      H.add(Buf);
+    }
+    // FNV-1a diffuses trailing bytes (the epoch) into the *low* bits far
+    // more than the high ones — without a finalizer, bumping the epoch
+    // moves the top-53-bit unit by only ~1e-4 and transient faults never
+    // heal on retry. Avalanche the value first (murmur-style fmix64).
+    uint64_t X = H.value();
+    X ^= X >> 33;
+    X *= 0xFF51AFD7ED558CCDULL;
+    X ^= X >> 33;
+    X *= 0xC4CEB9FE1A85EC53ULL;
+    X ^= X >> 33;
+    double Unit =
+        static_cast<double>(X >> 11) / static_cast<double>(1ULL << 53);
+    if (Unit < S.Rate)
+      return true;
+  }
+  return false;
+}
+
+bool FaultInjection::initFromEnv(std::string *Error) {
+  // Parse the environment exactly once; later calls re-report the first
+  // outcome so every tool that validates sees the same verdict.
+  static std::string CachedError;
+  static bool CachedOk = true;
+  if (!EnvLoaded.exchange(true)) {
+    if (const char *E = std::getenv("VDGA_FAULT_EPOCH"))
+      Epoch = std::strtoull(E, nullptr, 10);
+    if (const char *Spec = std::getenv("VDGA_FAULT"))
+      CachedOk = configure(Spec, &CachedError);
+  }
+  if (!CachedOk && Error)
+    *Error = CachedError;
+  return CachedOk;
+}

@@ -1,0 +1,118 @@
+//===- support/FaultInjection.h - Deterministic fault probes ---*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, reproducible fault injection for the corpus pipeline's
+/// recovery paths. Production code plants named probe points
+/// (`faultPoint("worker.crash", Digest)`); a probe decides *whether* the
+/// fault fires — the call site decides *what* the fault does (throw,
+/// abort, stall, tear a write). With no configuration every probe is a
+/// single relaxed atomic load returning false.
+///
+/// Configuration comes from the `VDGA_FAULT` environment variable (or
+/// programmatically, for tests): a comma-separated list of specs
+///
+///     <site>[@<key>]:<seed>:<rate>[!]
+///
+///   - `site`  — probe name, e.g. `worker.crash` (see the site table in
+///     docs/ARCHITECTURE.md).
+///   - `@key`  — optional filter: fire only when the probe's key (usually
+///     a program name or digest) equals `key` exactly.
+///   - `seed`  — decimal seed mixed into the decision hash, so two sweeps
+///     with different seeds pick different victims.
+///   - `rate`  — firing probability in [0,1]; 1 fires on every matching
+///     probe, 0.01 on ~1% of distinct (site,key) pairs.
+///   - `!`     — sticky: the decision ignores the retry epoch, so the
+///     fault re-fires on every retry of the same program (models a
+///     deterministic poison program rather than a transient fault).
+///
+/// Decisions hash (site, key, seed, epoch): for a fixed configuration and
+/// epoch the same probe always decides the same way, in every process —
+/// that is what makes multi-process recovery tests reproducible. The
+/// *epoch* is a retry generation counter (env `VDGA_FAULT_EPOCH`, set by
+/// the shard supervisor on each worker respawn) so a non-sticky fault
+/// injected on attempt 0 heals on attempt 1, exactly like the transient
+/// crashes it models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_FAULTINJECTION_H
+#define VDGA_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdga {
+
+/// One parsed fault spec; see the file comment for the syntax.
+struct FaultSpec {
+  std::string Site;
+  std::string Key;     ///< Empty = match any key.
+  uint64_t Seed = 0;
+  double Rate = 0.0;   ///< Firing probability in [0,1].
+  bool Sticky = false; ///< Epoch excluded from the decision hash.
+};
+
+/// Process-wide probe registry. Configure once at startup (main, or a
+/// test fixture) before any probed code runs on other threads; probes
+/// themselves are lock-free reads.
+class FaultInjection {
+public:
+  static FaultInjection &instance();
+
+  /// Replaces the configuration with the parsed \p SpecText (empty text
+  /// clears). Returns false and fills \p Error on a malformed spec,
+  /// leaving the previous configuration in place.
+  bool configure(const std::string &SpecText, std::string *Error = nullptr);
+
+  /// Removes every spec (probes go back to the single-load fast path).
+  void clear();
+
+  /// Retry generation; see the file comment.
+  void setEpoch(uint64_t E) { Epoch = E; }
+  uint64_t epoch() const { return Epoch; }
+
+  bool enabled() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// The decision: true when any configured spec for \p Site (and
+  /// matching \p Key filter) hashes under its rate.
+  bool shouldFire(std::string_view Site, std::string_view Key) const;
+
+  /// Loads `VDGA_FAULT` / `VDGA_FAULT_EPOCH` (no-op when unset). Every
+  /// tool calls this early in main and treats false — a malformed value —
+  /// as a usage error, so a typo'd sweep never silently runs fault-free.
+  /// The environment is parsed once; repeat calls re-report the first
+  /// outcome.
+  bool initFromEnv(std::string *Error = nullptr);
+
+private:
+  FaultInjection() = default;
+
+  std::vector<FaultSpec> Specs;
+  uint64_t Epoch = 0;
+  std::atomic<bool> Armed{false};
+  std::atomic<bool> EnvLoaded{false};
+};
+
+/// The probe production code plants: true when the fault at \p Site fires
+/// for \p Key. Cost when unconfigured: one relaxed load.
+inline bool faultPoint(std::string_view Site, std::string_view Key) {
+  FaultInjection &FI = FaultInjection::instance();
+  if (!FI.enabled())
+    return false;
+  return FI.shouldFire(Site, Key);
+}
+
+/// Parses one `site[@key]:seed:rate[!]` spec. Exposed for tests.
+bool parseFaultSpec(std::string_view Text, FaultSpec &Out,
+                    std::string *Error = nullptr);
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_FAULTINJECTION_H

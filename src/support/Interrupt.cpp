@@ -1,0 +1,58 @@
+//===- support/Interrupt.cpp ----------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interrupt.h"
+
+#include <atomic>
+#include <csignal>
+
+using namespace vdga;
+
+namespace {
+std::atomic<int> GSignal{0};
+CancellationToken GToken;
+
+extern "C" void vdgaInterruptHandler(int Sig) {
+  // Both operations are relaxed atomic stores — async-signal-safe.
+  GSignal.store(Sig, std::memory_order_relaxed);
+  GToken.cancel();
+}
+} // namespace
+
+void vdga::installInterruptHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction SA;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_handler = vdgaInterruptHandler;
+  SA.sa_flags = 0; // Deliberately no SA_RESTART: blocking reads EINTR.
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+#else
+  std::signal(SIGINT, vdgaInterruptHandler);
+  std::signal(SIGTERM, vdgaInterruptHandler);
+#endif
+}
+
+bool vdga::interruptRequested() {
+  return GSignal.load(std::memory_order_relaxed) != 0;
+}
+
+const CancellationToken *vdga::interruptToken() { return &GToken; }
+
+int vdga::interruptSignal() {
+  return GSignal.load(std::memory_order_relaxed);
+}
+
+void vdga::simulateInterruptForTest(int Signal) {
+  vdgaInterruptHandler(Signal);
+}
+
+void vdga::resetInterruptForTest() {
+  GSignal.store(0, std::memory_order_relaxed);
+  // The token has no reset by design (solves must never resume after a
+  // cancel); tests that need a fresh token run in a fresh process. The
+  // latch reset only serves flag-polling tests.
+}

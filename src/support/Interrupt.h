@@ -1,0 +1,54 @@
+//===- support/Interrupt.h - Graceful SIGINT/SIGTERM handling --*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide interrupt latch shared by every tool. Installing the
+/// handlers routes SIGINT/SIGTERM into (a) an async-signal-safe flag the
+/// tool's loops poll between units of work and (b) a `CancellationToken`
+/// wired into solver budgets, so an in-flight solve stops within one
+/// polling stride instead of at its fixed point. Handlers are installed
+/// *without* SA_RESTART: a blocking read (vdga-serve's stdin/getline,
+/// the supervisor's waitpid) returns EINTR and its loop observes the
+/// flag.
+///
+/// The contract every tool documents: an interrupted run flushes
+/// whatever partial artifacts/checkpoints it owns and exits with code
+/// `ExitInterrupted` (5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VDGA_SUPPORT_INTERRUPT_H
+#define VDGA_SUPPORT_INTERRUPT_H
+
+#include "support/Budget.h"
+
+namespace vdga {
+
+/// Exit code for "interrupted by SIGINT/SIGTERM after a clean flush" —
+/// the extension of the 0/2/3/4 tool contract (README, Exit codes).
+constexpr int ExitInterrupted = 5;
+
+/// Installs SIGINT and SIGTERM handlers (idempotent). No SA_RESTART; see
+/// the file comment.
+void installInterruptHandlers();
+
+/// True once either signal was delivered.
+bool interruptRequested();
+
+/// The token the handlers cancel; wire it into GovernancePolicy/
+/// ResourceBudget `Cancel` fields so running solves stop promptly.
+const CancellationToken *interruptToken();
+
+/// Which signal arrived (0 when none) — for log messages.
+int interruptSignal();
+
+/// Test hook: pretends a signal arrived / clears the latch.
+void simulateInterruptForTest(int Signal);
+void resetInterruptForTest();
+
+} // namespace vdga
+
+#endif // VDGA_SUPPORT_INTERRUPT_H

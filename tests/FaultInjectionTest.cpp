@@ -1,0 +1,187 @@
+//===- tests/FaultInjectionTest.cpp ---------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The deterministic fault-injection registry: spec parsing, decision
+// determinism, epoch healing and stickiness — the properties the
+// multi-process recovery tests stand on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace vdga;
+
+namespace {
+
+/// Every test leaves the process-wide registry disarmed: other suites in
+/// this binary run probed production code.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    FaultInjection::instance().clear();
+    FaultInjection::instance().setEpoch(0);
+  }
+};
+
+TEST_F(FaultInjectionTest, ParsesMinimalSpec) {
+  FaultSpec S;
+  ASSERT_TRUE(parseFaultSpec("worker.crash:7:0.05", S));
+  EXPECT_EQ(S.Site, "worker.crash");
+  EXPECT_TRUE(S.Key.empty());
+  EXPECT_EQ(S.Seed, 7u);
+  EXPECT_DOUBLE_EQ(S.Rate, 0.05);
+  EXPECT_FALSE(S.Sticky);
+}
+
+TEST_F(FaultInjectionTest, ParsesKeyedStickySpec) {
+  FaultSpec S;
+  ASSERT_TRUE(parseFaultSpec("store.torn@abc123:42:1!", S));
+  EXPECT_EQ(S.Site, "store.torn");
+  EXPECT_EQ(S.Key, "abc123");
+  EXPECT_EQ(S.Seed, 42u);
+  EXPECT_DOUBLE_EQ(S.Rate, 1.0);
+  EXPECT_TRUE(S.Sticky);
+}
+
+TEST_F(FaultInjectionTest, KeyMayContainAtSign) {
+  // Split happens at the *first* '@' of site@key; later '@'s belong to
+  // the key. Colons are the field separators and may not appear in keys.
+  FaultSpec S;
+  ASSERT_TRUE(parseFaultSpec("site@k@y:1:0.5", S));
+  EXPECT_EQ(S.Site, "site");
+  EXPECT_EQ(S.Key, "k@y");
+}
+
+TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
+  FaultSpec S;
+  std::string Error;
+  EXPECT_FALSE(parseFaultSpec("", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("worker.crash", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("worker.crash:7", S, &Error));
+  EXPECT_FALSE(parseFaultSpec(":7:0.5", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("site@:7:0.5", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("site:seven:0.5", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("site:7:fast", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("site:7:1.5", S, &Error));
+  EXPECT_FALSE(parseFaultSpec("site:7:-0.1", S, &Error));
+  EXPECT_NE(Error.find("bad fault spec"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, ConfigureFailureKeepsPreviousConfig) {
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("a:0:1"));
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_TRUE(FI.shouldFire("a", "x"));
+  std::string Error;
+  EXPECT_FALSE(FI.configure("a:0:1,broken", &Error));
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_TRUE(FI.shouldFire("a", "x"));
+  ASSERT_TRUE(FI.configure(""));
+  EXPECT_FALSE(FI.enabled());
+}
+
+TEST_F(FaultInjectionTest, RateZeroNeverFiresRateOneAlwaysFires) {
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("never:1:0,always:1:1"));
+  for (int I = 0; I < 64; ++I) {
+    std::string Key = "key" + std::to_string(I);
+    EXPECT_FALSE(FI.shouldFire("never", Key));
+    EXPECT_TRUE(FI.shouldFire("always", Key));
+  }
+}
+
+TEST_F(FaultInjectionTest, KeyFilterRestrictsFiring) {
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("site@victim:0:1"));
+  EXPECT_TRUE(FI.shouldFire("site", "victim"));
+  EXPECT_FALSE(FI.shouldFire("site", "bystander"));
+  EXPECT_FALSE(FI.shouldFire("othersite", "victim"));
+}
+
+TEST_F(FaultInjectionTest, DecisionsAreDeterministic) {
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("site:9:0.5"));
+  for (int I = 0; I < 200; ++I) {
+    std::string Key = "key" + std::to_string(I);
+    bool First = FI.shouldFire("site", Key);
+    EXPECT_EQ(First, FI.shouldFire("site", Key)) << Key;
+  }
+}
+
+TEST_F(FaultInjectionTest, RateIsApproximatelyHonored) {
+  // The decision hash must spread keys roughly uniformly; a rate of 0.2
+  // over 2000 keys firing far outside [0.1, 0.3] would mean the unit
+  // values are clumped (exactly the FNV tail-byte weakness the
+  // finalizer exists to fix).
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("site:123:0.2"));
+  int Fired = 0;
+  for (int I = 0; I < 2000; ++I)
+    if (FI.shouldFire("site", "key" + std::to_string(I)))
+      ++Fired;
+  EXPECT_GT(Fired, 200);
+  EXPECT_LT(Fired, 600);
+}
+
+TEST_F(FaultInjectionTest, EpochHealsNonStickyFaults) {
+  // A transient fault that fired at epoch 0 must stop firing at *some*
+  // later epoch — this is the property that bounds supervisor retries.
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("site:5:0.3"));
+  int HealedVictims = 0, Victims = 0;
+  for (int I = 0; I < 100; ++I) {
+    std::string Key = "key" + std::to_string(I);
+    FI.setEpoch(0);
+    if (!FI.shouldFire("site", Key))
+      continue;
+    ++Victims;
+    for (uint64_t E = 1; E < 8; ++E) {
+      FI.setEpoch(E);
+      if (!FI.shouldFire("site", Key)) {
+        ++HealedVictims;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(Victims, 0);
+  // P(stay fired across 7 fresh epochs) = 0.3^7 ~ 2e-4 per victim.
+  EXPECT_EQ(HealedVictims, Victims);
+}
+
+TEST_F(FaultInjectionTest, StickyFaultsIgnoreEpoch) {
+  auto &FI = FaultInjection::instance();
+  ASSERT_TRUE(FI.configure("site:5:0.3!"));
+  for (int I = 0; I < 100; ++I) {
+    std::string Key = "key" + std::to_string(I);
+    FI.setEpoch(0);
+    bool AtZero = FI.shouldFire("site", Key);
+    for (uint64_t E = 1; E < 8; ++E) {
+      FI.setEpoch(E);
+      EXPECT_EQ(AtZero, FI.shouldFire("site", Key)) << Key << " epoch " << E;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SeedsPickDifferentVictims) {
+  auto &FI = FaultInjection::instance();
+  int Differences = 0;
+  for (int I = 0; I < 200; ++I) {
+    std::string Key = "key" + std::to_string(I);
+    ASSERT_TRUE(FI.configure("site:1:0.3"));
+    bool SeedOne = FI.shouldFire("site", Key);
+    ASSERT_TRUE(FI.configure("site:2:0.3"));
+    if (SeedOne != FI.shouldFire("site", Key))
+      ++Differences;
+  }
+  EXPECT_GT(Differences, 0);
+}
+
+TEST_F(FaultInjectionTest, FaultPointIsInertWhenUnconfigured) {
+  FaultInjection::instance().clear();
+  EXPECT_FALSE(faultPoint("site", "key"));
+}
+
+} // namespace

@@ -17,6 +17,7 @@
 
 #include "TestUtil.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -252,6 +253,85 @@ TEST(QueryCache, ArtifactStoreRoundTrip) {
     Out << S.serialize().substr(0, 40);
   }
   EXPECT_FALSE(Store.load(S.Digest, &M).has_value());
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(QueryCache, ArtifactStoreFsckRemovesCorruptArtifacts) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "vdga-store-fsck-test";
+  std::filesystem::remove_all(Dir);
+  ArtifactStore Store(Dir.string());
+  ASSERT_TRUE(Store.save(S));
+  // A torn artifact, an artifact keyed under the wrong digest, and a
+  // stale tmp file from a writer that died mid-save.
+  std::ofstream(Store.pathFor("1111111111111111"), std::ios::trunc)
+      << S.serialize().substr(0, 40);
+  std::ofstream(Store.pathFor("2222222222222222"), std::ios::trunc)
+      << S.serialize();
+  std::ofstream(Store.pathFor("3333333333333333") + ".tmp", std::ios::trunc)
+      << "partial";
+
+  StoreFsckReport Dry = Store.fsck(/*Remove=*/false);
+  EXPECT_EQ(Dry.Scanned, 3u);
+  EXPECT_EQ(Dry.Healthy, 1u);
+  EXPECT_EQ(Dry.Corrupt.size(), 2u);
+  EXPECT_EQ(Dry.Removed, 0u);
+  EXPECT_EQ(Dry.StaleTmp, 1u);
+
+  StoreFsckReport Wet = Store.fsck(/*Remove=*/true);
+  EXPECT_EQ(Wet.Removed, 2u);
+  for (const std::string &P : Wet.Corrupt)
+    EXPECT_FALSE(std::filesystem::exists(P));
+  // The healthy artifact survives; the stale tmp is gone.
+  EXPECT_TRUE(Store.load(S.Digest).has_value());
+  EXPECT_EQ(Store.fsck(false).StaleTmp, 0u);
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(QueryCache, ArtifactStoreGCEnforcesSizeCap) {
+  auto AP = analyze(Demo);
+  AliasSummary S = demoSummary(*AP);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "vdga-store-gc-test";
+  std::filesystem::remove_all(Dir);
+  ArtifactStore Store(Dir.string());
+  ASSERT_TRUE(Store.save(S));
+  uint64_t One = std::filesystem::file_size(Store.pathFor(S.Digest));
+
+  // Clone the artifact under fake digests with staggered mtimes so the
+  // eviction order (oldest first) is deterministic.
+  for (int I = 0; I < 4; ++I) {
+    std::string Fake(16, static_cast<char>('a' + I));
+    std::filesystem::copy_file(Store.pathFor(S.Digest), Store.pathFor(Fake));
+    std::filesystem::last_write_time(
+        Store.pathFor(Fake), std::filesystem::file_time_type::clock::now() -
+                                 std::chrono::hours(10 - I));
+  }
+
+  StoreGCOptions Caps;
+  Caps.MaxBytes = 2 * One;
+  StoreGCReport G = Store.gc(Caps);
+  EXPECT_EQ(G.Scanned, 5u);
+  EXPECT_EQ(G.Removed, 3u);
+  EXPECT_LE(G.BytesAfter, Caps.MaxBytes);
+  // The newest artifacts survive: the real one (just written) and the
+  // youngest clone.
+  EXPECT_TRUE(std::filesystem::exists(Store.pathFor(S.Digest)));
+  EXPECT_TRUE(std::filesystem::exists(Store.pathFor(std::string(16, 'd'))));
+  EXPECT_FALSE(std::filesystem::exists(Store.pathFor(std::string(16, 'a'))));
+
+  // Age cap: everything older than an hour goes.
+  StoreGCOptions Age;
+  Age.MaxAgeSeconds = 3600;
+  StoreGCReport G2 = Store.gc(Age);
+  EXPECT_EQ(G2.Removed, 1u);
+  EXPECT_TRUE(std::filesystem::exists(Store.pathFor(S.Digest)));
 
   std::filesystem::remove_all(Dir);
 }

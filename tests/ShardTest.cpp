@@ -1,0 +1,420 @@
+//===- tests/ShardTest.cpp ------------------------------------------------===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// The sharded corpus pipeline's building blocks: manifest determinism,
+// result-record integrity (torn writes must never parse), journal
+// replay semantics (the supervisor's crash-attribution input), the
+// blacklist snapshots, merge precedence, and the contained streaming
+// driver the shard worker runs on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Checkpoint.h"
+#include "shard/Manifest.h"
+#include "shard/Merge.h"
+#include "shard/ResultStore.h"
+#include "support/FaultInjection.h"
+
+#include "driver/Tables.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+using namespace vdga;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Manifest
+//===----------------------------------------------------------------------===//
+
+TEST(Manifest, CorpusSpecIsDeterministicWithUniqueDigests) {
+  ManifestSpec Spec;
+  Spec.UseCorpus = true;
+  std::vector<ManifestEntry> A = buildManifest(Spec);
+  std::vector<ManifestEntry> B = buildManifest(Spec);
+  ASSERT_FALSE(A.empty());
+  ASSERT_EQ(A.size(), B.size());
+  std::set<std::string> Digests;
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Digest, B[I].Digest);
+    EXPECT_EQ(A[I].Source, B[I].Source);
+    Digests.insert(A[I].Digest);
+  }
+  EXPECT_EQ(Digests.size(), A.size());
+}
+
+TEST(Manifest, FuzzSpecNamesAndSeedsFollowBaseSeed) {
+  ManifestSpec Spec;
+  Spec.FuzzCount = 5;
+  Spec.FuzzSeed = 1234;
+  std::vector<ManifestEntry> Entries = buildManifest(Spec);
+  ASSERT_EQ(Entries.size(), 5u);
+  EXPECT_EQ(Entries[0].Name, "fuzz-1234-0");
+  EXPECT_EQ(Entries[4].Name, "fuzz-1234-4");
+  EXPECT_EQ(buildManifest(Spec)[3].Source, Entries[3].Source);
+}
+
+TEST(Manifest, ShardSlicesPartitionTheEntries) {
+  const size_t N = 23;
+  const unsigned Shards = 4;
+  std::set<size_t> Seen;
+  for (unsigned S = 0; S < Shards; ++S)
+    for (size_t I : shardSlice(N, S, Shards)) {
+      EXPECT_TRUE(Seen.insert(I).second) << "index " << I << " twice";
+      EXPECT_EQ(I % Shards, S);
+    }
+  EXPECT_EQ(Seen.size(), N);
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramResult records
+//===----------------------------------------------------------------------===//
+
+ProgramResult sampleResult() {
+  ProgramResult R;
+  R.Name = "sample";
+  R.Digest = "00ff00ff00ff00ff";
+  R.SourceLines = 41;
+  R.VdgNodes = 99;
+  R.AliasOutputs = 17;
+  R.CI.Pointer = 100;
+  R.CI.Store = 7;
+  R.CIStats.TransferFns = 12;
+  R.CIStats.PairsInserted = 345;
+  R.ReadsCI.Total = 9;
+  R.ReadsCI.Avg = 1.25;
+  R.WritesCI.Total = 4;
+  R.WritesCI.Avg = 2.5;
+  R.RanCS = true;
+  R.CSCompleted = true;
+  R.CS.Pointer = 80;
+  R.CSStats.TransferFns = 20;
+  R.SpuriousTotal = 20;
+  R.SpuriousPercent = 20.0;
+  R.IndirectOpsWhereCSWins = 3;
+  return R;
+}
+
+TEST(ProgramResult, RoundTripsThroughSerialize) {
+  ProgramResult R = sampleResult();
+  ProgramResult Back;
+  ASSERT_TRUE(ProgramResult::parse(R.serialize(), Back));
+  EXPECT_EQ(Back.serialize(), R.serialize());
+  EXPECT_EQ(Back.Name, "sample");
+  EXPECT_TRUE(Back.ok());
+  EXPECT_EQ(Back.CI.Pointer, 100u);
+  EXPECT_DOUBLE_EQ(Back.ReadsCI.Avg, 1.25);
+  EXPECT_TRUE(Back.CSCompleted);
+}
+
+TEST(ProgramResult, FailedRecordRoundTripsWithReason) {
+  ProgramResult R;
+  R.Name = "boom";
+  R.Digest = "0123456789abcdef";
+  R.Status = "failed";
+  R.Reason = "injected fault: driver.throw";
+  ProgramResult Back;
+  ASSERT_TRUE(ProgramResult::parse(R.serialize(), Back));
+  EXPECT_FALSE(Back.ok());
+  EXPECT_EQ(Back.Reason, "injected fault: driver.throw");
+}
+
+TEST(ProgramResult, EveryTruncationFailsToParse) {
+  // The integrity trailer must catch a torn write wherever the knife
+  // fell — this is what makes "parseable record" equal "finished".
+  std::string Full = sampleResult().serialize();
+  ProgramResult Out;
+  for (size_t Len = 0; Len < Full.size(); ++Len)
+    EXPECT_FALSE(ProgramResult::parse(Full.substr(0, Len), Out)) << Len;
+  EXPECT_TRUE(ProgramResult::parse(Full, Out));
+}
+
+TEST(ProgramResult, FlippedByteFailsToParse) {
+  std::string Full = sampleResult().serialize();
+  std::string Bent = Full;
+  size_t Pos = Full.find("100");
+  ASSERT_NE(Pos, std::string::npos);
+  Bent[Pos] = '9';
+  ProgramResult Out;
+  EXPECT_FALSE(ProgramResult::parse(Bent, Out));
+}
+
+class ResultStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = (std::filesystem::temp_directory_path() / "vdga-shard-store-test")
+              .string();
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+  std::string Dir;
+};
+
+TEST_F(ResultStoreTest, SaveLoadRoundTrip) {
+  ResultStore Store(Dir);
+  ProgramResult R = sampleResult();
+  std::string Error;
+  ASSERT_TRUE(Store.save(R, &Error)) << Error;
+  auto Back = Store.load(R.Digest);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->serialize(), R.serialize());
+  EXPECT_FALSE(Store.load("feedfacefeedface").has_value());
+}
+
+TEST_F(ResultStoreTest, RejectsRecordKeyedUnderWrongDigest) {
+  ResultStore Store(Dir);
+  ProgramResult R = sampleResult();
+  std::ofstream(Store.pathFor("aaaaaaaaaaaaaaaa"), std::ios::binary)
+      << R.serialize();
+  EXPECT_FALSE(Store.load("aaaaaaaaaaaaaaaa").has_value());
+}
+
+TEST_F(ResultStoreTest, FsckRemovesTornRecords) {
+  ResultStore Store(Dir);
+  ProgramResult R = sampleResult();
+  ASSERT_TRUE(Store.save(R));
+  std::string Torn = sampleResult().serialize();
+  Torn.resize(Torn.size() / 2);
+  std::ofstream(Store.pathFor("bbbbbbbbbbbbbbbb"), std::ios::binary) << Torn;
+
+  ResultStore::FsckReport Dry = Store.fsck(/*Remove=*/false);
+  EXPECT_EQ(Dry.Scanned, 2u);
+  EXPECT_EQ(Dry.Healthy, 1u);
+  ASSERT_EQ(Dry.Corrupt.size(), 1u);
+  EXPECT_EQ(Dry.Removed, 0u);
+  EXPECT_TRUE(std::filesystem::exists(Dry.Corrupt[0]));
+
+  ResultStore::FsckReport Wet = Store.fsck(/*Remove=*/true);
+  EXPECT_EQ(Wet.Removed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Wet.Corrupt[0]));
+  EXPECT_TRUE(Store.load(R.Digest).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+class JournalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = (std::filesystem::temp_directory_path() / "vdga-shard-journal-test")
+              .string();
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+    Path = journalPath(Dir, 0);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+  std::string Dir, Path;
+};
+
+TEST_F(JournalTest, ReplayResolvesDoneAndFail) {
+  appendJournal(Path, "start 0");
+  appendJournal(Path, "begin d1 prog1");
+  appendJournal(Path, "done d1");
+  appendJournal(Path, "begin d2 prog2");
+  appendJournal(Path, "fail d2 frontend exploded");
+  appendJournal(Path, "begin d3 prog3");
+  JournalState S = loadJournal(Path);
+  EXPECT_EQ(S.Done, std::vector<std::string>{"d1"});
+  EXPECT_EQ(S.Failed.at("d2"), "frontend exploded");
+  ASSERT_EQ(S.Outstanding.size(), 1u);
+  EXPECT_EQ(S.Outstanding[0].first, "d3");
+  EXPECT_EQ(S.Outstanding[0].second, "prog3");
+}
+
+TEST_F(JournalTest, StartMarkerClearsInFlightFromDeadIncarnations) {
+  // Epoch 0 died with d1 in flight; epoch 1 began d2 and died. Only d2
+  // is a suspect of the second crash — d1's begin belongs to a process
+  // that is already accounted for.
+  appendJournal(Path, "start 0");
+  appendJournal(Path, "begin d1 prog1");
+  appendJournal(Path, "start 1");
+  appendJournal(Path, "begin d2 prog2");
+  JournalState S = loadJournal(Path);
+  ASSERT_EQ(S.Outstanding.size(), 1u);
+  EXPECT_EQ(S.Outstanding[0].first, "d2");
+}
+
+TEST_F(JournalTest, ReBeginOfSameDigestIsOneSuspect) {
+  appendJournal(Path, "begin d1 prog1");
+  appendJournal(Path, "begin d1 prog1");
+  appendJournal(Path, "begin d1 prog1");
+  JournalState S = loadJournal(Path);
+  ASSERT_EQ(S.Outstanding.size(), 1u);
+  EXPECT_EQ(S.Outstanding[0].first, "d1");
+}
+
+TEST_F(JournalTest, TornFinalLineIsDropped) {
+  appendJournal(Path, "begin d1 prog1");
+  appendJournal(Path, "done d1");
+  std::ofstream(Path, std::ios::binary | std::ios::app) << "begin d2 pr";
+  JournalState S = loadJournal(Path);
+  EXPECT_TRUE(S.Outstanding.empty());
+  EXPECT_EQ(S.Done, std::vector<std::string>{"d1"});
+}
+
+TEST_F(JournalTest, MissingJournalIsEmptyState) {
+  JournalState S = loadJournal(Path + ".nope");
+  EXPECT_TRUE(S.Done.empty());
+  EXPECT_TRUE(S.Failed.empty());
+  EXPECT_TRUE(S.Outstanding.empty());
+}
+
+TEST_F(JournalTest, BlacklistAndAttemptsRoundTrip) {
+  std::vector<BlacklistEntry> Black;
+  Black.push_back({"d9", "prog9", 2, "crashed worker 2x (last: signal 11)"});
+  ASSERT_TRUE(saveBlacklist(blacklistPath(Dir), Black));
+  std::vector<BlacklistEntry> Loaded = loadBlacklist(blacklistPath(Dir));
+  ASSERT_EQ(Loaded.size(), 1u);
+  EXPECT_EQ(Loaded[0].Digest, "d9");
+  EXPECT_EQ(Loaded[0].Name, "prog9");
+  EXPECT_EQ(Loaded[0].Attempts, 2u);
+  EXPECT_EQ(Loaded[0].Reason, "crashed worker 2x (last: signal 11)");
+
+  std::map<std::string, unsigned> Attempts{{"d9", 2}, {"d4", 1}};
+  ASSERT_TRUE(saveAttempts(attemptsPath(Dir), Attempts));
+  EXPECT_EQ(loadAttempts(attemptsPath(Dir)), Attempts);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+TEST_F(ResultStoreTest, MergePrecedenceBlacklistRecordAbandoned) {
+  ResultStore Store(Dir);
+  std::vector<ManifestEntry> Entries(3);
+  Entries[0] = {"alpha", "aaaa000000000001", "int main() { return 0; }", true};
+  Entries[1] = {"bravo", "aaaa000000000002", "int main() { return 1; }", true};
+  Entries[2] = {"charlie", "aaaa000000000003", "int main() { return 2; }",
+                true};
+
+  // bravo has a healthy ok record; alpha is blacklisted (even though a
+  // record exists — blacklist wins); charlie has nothing (abandoned).
+  ProgramResult RA = sampleResult();
+  RA.Name = "alpha";
+  RA.Digest = Entries[0].Digest;
+  ASSERT_TRUE(Store.save(RA));
+  ProgramResult RB = sampleResult();
+  RB.Name = "bravo";
+  RB.Digest = Entries[1].Digest;
+  ASSERT_TRUE(Store.save(RB));
+
+  std::vector<BlacklistEntry> Black;
+  Black.push_back({Entries[0].Digest, "alpha", 2, "crashed worker 2x"});
+
+  MergeReport M = mergeShardResults(Entries, Store, Black, "wave");
+  EXPECT_EQ(M.Ok, 1u);
+  EXPECT_EQ(M.Failed, 1u);
+  EXPECT_EQ(M.Blacklisted, 1u);
+  EXPECT_NE(M.Json.find("\"schema\":\"vdga-corpus-v1\""), std::string::npos);
+  EXPECT_NE(M.Json.find("\"solver_strategy\":\"wave\""), std::string::npos);
+  EXPECT_NE(M.Json.find("\"status\":\"blacklisted\""), std::string::npos);
+  EXPECT_NE(M.Json.find("shard-abandoned"), std::string::npos);
+  // Manifest order, not status order.
+  EXPECT_LT(M.Json.find("alpha"), M.Json.find("bravo"));
+  EXPECT_LT(M.Json.find("bravo"), M.Json.find("charlie"));
+}
+
+TEST_F(ResultStoreTest, MergeIsDeterministic) {
+  ResultStore Store(Dir);
+  std::vector<ManifestEntry> Entries(1);
+  Entries[0] = {"alpha", "aaaa000000000001", "int main() { return 0; }", true};
+  ProgramResult R = sampleResult();
+  R.Name = "alpha";
+  R.Digest = Entries[0].Digest;
+  ASSERT_TRUE(Store.save(R));
+  EXPECT_EQ(mergeShardResults(Entries, Store, {}, "basic").Json,
+            mergeShardResults(Entries, Store, {}, "basic").Json);
+}
+
+//===----------------------------------------------------------------------===//
+// Contained streaming driver
+//===----------------------------------------------------------------------===//
+
+/// The registry is process-wide; leave it disarmed for other suites.
+class StreamingDriverTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    FaultInjection::instance().clear();
+    FaultInjection::instance().setEpoch(0);
+  }
+};
+
+std::vector<CorpusJob> tinyJobs() {
+  std::vector<CorpusJob> Work;
+  Work.push_back({"one", "int main() { int x; int *p; p = &x; return *p; }",
+                  true});
+  Work.push_back({"two", "int main() { int y; int *q; q = &y; return *q; }",
+                  true});
+  Work.push_back({"three", "int main() { return 0; }", true});
+  return Work;
+}
+
+TEST_F(StreamingDriverTest, ThrownExceptionBecomesFailedSlotNotACrash) {
+  // Regression: a pipeline exception must be contained to its slot. The
+  // parallel path delivers exceptions through std::future::get() on the
+  // drain thread — before containment, one pathological program killed
+  // the whole corpus run.
+  ASSERT_TRUE(
+      FaultInjection::instance().configure("driver.throw@two:0:1"));
+  for (unsigned Jobs : {1u, 4u}) {
+    std::vector<BenchmarkReport> Reports;
+    GovernancePolicy Policy;
+    size_t N = analyzeCorpusStreaming(
+        tinyJobs(), /*RunCS=*/false, ContextSensOptions{}, Jobs,
+        CheckLevel::None, Policy,
+        [&Reports](size_t, BenchmarkReport &&R) {
+          Reports.push_back(std::move(R));
+        });
+    ASSERT_EQ(N, 3u) << "jobs=" << Jobs;
+    EXPECT_FALSE(Reports[0].Failed);
+    EXPECT_TRUE(Reports[1].Failed);
+    EXPECT_EQ(Reports[1].Name, "two");
+    EXPECT_NE(Reports[1].FailureReason.find("driver.throw"),
+              std::string::npos);
+    EXPECT_FALSE(Reports[2].Failed);
+  }
+}
+
+TEST_F(StreamingDriverTest, DeliveryOrderMatchesSubmissionOrder) {
+  std::vector<std::string> Names;
+  GovernancePolicy Policy;
+  analyzeCorpusStreaming(
+      tinyJobs(), false, ContextSensOptions{}, 4, CheckLevel::None, Policy,
+      [&Names](size_t, BenchmarkReport &&R) { Names.push_back(R.Name); });
+  EXPECT_EQ(Names, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST_F(StreamingDriverTest, CancelledTokenStopsSubmission) {
+  CancellationToken Stop;
+  Stop.cancel();
+  GovernancePolicy Policy;
+  size_t N = analyzeCorpusStreaming(
+      tinyJobs(), false, ContextSensOptions{}, 1, CheckLevel::None, Policy,
+      [](size_t, BenchmarkReport &&) {}, &Stop);
+  EXPECT_EQ(N, 0u);
+}
+
+TEST_F(StreamingDriverTest, MidRunCancelDrainsWithoutNewSubmissions) {
+  CancellationToken Stop;
+  std::vector<std::string> Names;
+  GovernancePolicy Policy;
+  analyzeCorpusStreaming(
+      tinyJobs(), false, ContextSensOptions{}, 1, CheckLevel::None, Policy,
+      [&](size_t, BenchmarkReport &&R) {
+        Names.push_back(R.Name);
+        Stop.cancel();
+      },
+      &Stop);
+  // Jobs=1 is strictly serial: the cancel lands before "two" is started.
+  EXPECT_EQ(Names, std::vector<std::string>{"one"});
+}
+
+} // namespace

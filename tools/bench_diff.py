@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json artifacts (schema vdga-bench-v1).
+"""Diff two benchmark artifacts: vdga-bench-v1 or vdga-corpus-v1.
 
 Usage: bench_diff.py OLD.json NEW.json [--threshold 0.10] [--min-ms 1.0]
                      [--allow-cross-strategy]
 
-Exits nonzero when any wall-clock field regressed by more than the
-threshold (and by more than --min-ms, so sub-millisecond noise on the
-small corpus programs is ignored). Work-counter and pair-count changes
-are printed as warnings but do not fail the diff: they signal an
-intentional behavior change that should be explained in the PR.
+For vdga-bench-v1 (the perf harness's BENCH_*.json): exits nonzero when
+any wall-clock field regressed by more than the threshold (and by more
+than --min-ms, so sub-millisecond noise on the small corpus programs is
+ignored). Work-counter and pair-count changes are printed as warnings
+but do not fail the diff: they signal an intentional behavior change
+that should be explained in the PR.
+
+For vdga-corpus-v1 (the sharded pipeline's merged corpus-report.json,
+see docs/BENCH_FORMAT.md): no timings are recorded, so the gate is on
+program health. Any program that was ok in the baseline and is failed,
+blacklisted, or shard-abandoned in the new artifact is a hard failure —
+a fault-tolerance pipeline that silently sheds programs would otherwise
+look like a perf win. Counter changes on surviving programs warn, as
+above. The two schemas cannot be diffed against each other.
 
 Artifacts record the solver strategy they ran under
 (corpus.solver_strategy; artifacts predating the field are "basic").
@@ -45,7 +54,7 @@ def load(path):
     if not isinstance(data, dict):
         sys.exit(f"{path}: expected a JSON object")
     schema = data.get("schema")
-    if schema != "vdga-bench-v1":
+    if schema not in ("vdga-bench-v1", "vdga-corpus-v1"):
         sys.exit(f"{path}: unsupported schema {schema!r}")
     return data
 
@@ -238,6 +247,47 @@ def diff_lint(old, new, regressions, warnings):
                 )
 
 
+def diff_corpus_reports(old, new, regressions, warnings):
+    """vdga-corpus-v1: the sharded pipeline's merged report. The hard
+    gate is monotone program health — ok -> failed/blacklisted fails the
+    diff, and so does a brand-new program that already arrives broken
+    (a fault sweep that blacklists its victims forever would otherwise
+    pass every future diff). Recoveries (not-ok -> ok) warn."""
+    old_programs = {p["name"]: p for p in old["programs"]}
+    new_programs = {p["name"]: p for p in new["programs"]}
+    for name in sorted(old_programs.keys() - new_programs.keys()):
+        warnings.append(f"program removed: {name}")
+    for name in sorted(new_programs.keys() - old_programs.keys()):
+        np = new_programs[name]
+        if np.get("status") == "ok":
+            warnings.append(f"program added: {name}")
+        else:
+            regressions.append(
+                f"{name}: new program is {np.get('status')} "
+                f"({np.get('reason', 'no reason recorded')})"
+            )
+    for name in sorted(old_programs.keys() & new_programs.keys()):
+        op, np = old_programs[name], new_programs[name]
+        os_, ns = op.get("status"), np.get("status")
+        if os_ == "ok" and ns != "ok":
+            regressions.append(
+                f"{name}: ok -> {ns} "
+                f"({np.get('reason', 'no reason recorded')})"
+            )
+            continue
+        if os_ != "ok" and ns == "ok":
+            warnings.append(f"{name}: {os_} -> ok (recovered)")
+            continue
+        if os_ != "ok":
+            if op.get("reason") != np.get("reason"):
+                warnings.append(
+                    f"{name}: still {ns}, reason {op.get('reason')!r} -> "
+                    f"{np.get('reason')!r}"
+                )
+            continue
+        diff_counters(name, op, np, warnings)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -253,6 +303,13 @@ def main():
 
     old, new = load(args.old), load(args.new)
 
+    if old["schema"] != new["schema"]:
+        sys.exit(
+            f"schema mismatch: {args.old} is {old['schema']}, {args.new} "
+            f"is {new['schema']}; bench and corpus artifacts measure "
+            f"different things"
+        )
+
     old_strategy = old["corpus"].get("solver_strategy", "basic")
     new_strategy = new["corpus"].get("solver_strategy", "basic")
     if old_strategy != new_strategy and not args.allow_cross_strategy:
@@ -263,6 +320,20 @@ def main():
         )
 
     regressions, warnings = [], []
+
+    if old["schema"] == "vdga-corpus-v1":
+        diff_corpus_reports(old, new, regressions, warnings)
+        for w in warnings:
+            print(f"warning: {w}")
+        for r in regressions:
+            print(f"REGRESSION: {r}")
+        if regressions:
+            print(f"{len(regressions)} regression(s) (programs newly "
+                  f"failed or blacklisted)")
+            return 1
+        print(f"ok: no programs newly failed or blacklisted "
+              f"({len(warnings)} warning(s))")
+        return 0
 
     for field in CORPUS_TIME_FIELDS:
         diff_time("corpus", field, old["corpus"].get(field),

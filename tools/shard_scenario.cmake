@@ -1,0 +1,120 @@
+# Drives one end-to-end sharded-pipeline scenario and asserts its
+# contract. Modes:
+#
+#   identity  — run a serial fault-free reference, then the sharded run
+#               (optionally under an injected VDGA_FAULT); both must exit
+#               0 and their merged corpus-report.json must be
+#               byte-identical. This is the pipeline's central claim:
+#               shard count, job count, retries and fault recovery are
+#               invisible in the artifact.
+#   blacklist — sharded run under a sticky fault must still exit 0 and
+#               record exactly EXPECT_BLACKLISTED blacklisted programs
+#               (recorded, not hidden).
+#   resume    — stage 1 runs one bare worker under a sticky crash fault
+#               until it dies (exit by signal), leaving a partial result
+#               store and journal; stage 2 resumes fault-free via the
+#               supervisor and must produce a report byte-identical to
+#               the serial reference.
+#
+# Inputs: SHARD_TOOL, WORKER_TOOL, DIR, MODE, FUZZ_COUNT, FUZZ_SEED,
+# SHARDS, [JOBS], [SOLVER], [FAULT], [EXTRA_FLAGS], [EXPECT_BLACKLISTED],
+# [STALL_TIMEOUT_MS].
+
+foreach(v SHARD_TOOL WORKER_TOOL DIR MODE FUZZ_COUNT FUZZ_SEED SHARDS)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "shard_scenario.cmake needs -D${v}=...")
+  endif()
+endforeach()
+if(NOT DEFINED JOBS)
+  set(JOBS 1)
+endif()
+if(NOT DEFINED SOLVER)
+  set(SOLVER basic)
+endif()
+
+file(REMOVE_RECURSE ${DIR})
+file(MAKE_DIRECTORY ${DIR})
+
+set(common --fuzz-count ${FUZZ_COUNT} --fuzz-seed ${FUZZ_SEED}
+           --solver ${SOLVER} --worker ${WORKER_TOOL})
+if(DEFINED EXTRA_FLAGS)
+  list(APPEND common ${EXTRA_FLAGS})
+endif()
+if(DEFINED STALL_TIMEOUT_MS)
+  list(APPEND common --stall-timeout-ms ${STALL_TIMEOUT_MS})
+endif()
+
+function(run_or_die label rc_var out_err)
+  if(NOT ${${rc_var}} EQUAL 0)
+    message(FATAL_ERROR "${label} failed (rc=${${rc_var}}):\n${${out_err}}")
+  endif()
+endfunction()
+
+# Serial fault-free reference (identity and resume modes compare to it).
+if(MODE STREQUAL identity OR MODE STREQUAL resume)
+  execute_process(
+    COMMAND ${SHARD_TOOL} --shards 1 --dir ${DIR}/serial ${common}
+    RESULT_VARIABLE RC ERROR_VARIABLE ERR)
+  run_or_die("serial reference" RC ERR)
+endif()
+
+if(MODE STREQUAL resume)
+  # Stage 1: one worker under a sticky crash; it must die by the fault
+  # (abort), not finish. Its partial store seeds the resume.
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env VDGA_FAULT=${FAULT}
+            ${WORKER_TOOL} --shard 0/${SHARDS} --checkpoint-dir ${DIR}/run
+            --fuzz-count ${FUZZ_COUNT} --fuzz-seed ${FUZZ_SEED}
+    RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+  if(RC EQUAL 0)
+    message(FATAL_ERROR "stage-1 worker was supposed to crash, exited 0")
+  endif()
+  file(GLOB partial ${DIR}/run/*.vdga-result)
+  list(LENGTH partial nPartial)
+  if(nPartial EQUAL 0)
+    message(FATAL_ERROR "stage-1 worker checkpointed nothing before dying")
+  endif()
+  # Stage 2: fault-free supervised resume over the partial state.
+  execute_process(
+    COMMAND ${SHARD_TOOL} --shards ${SHARDS} --dir ${DIR}/run --resume
+            ${common}
+    RESULT_VARIABLE RC ERROR_VARIABLE ERR)
+  run_or_die("resume run" RC ERR)
+else()
+  # identity / blacklist: one supervised sharded run, faulted or not.
+  set(launch)
+  if(DEFINED FAULT)
+    set(launch ${CMAKE_COMMAND} -E env VDGA_FAULT=${FAULT})
+  endif()
+  execute_process(
+    COMMAND ${launch} ${SHARD_TOOL} --shards ${SHARDS} --jobs ${JOBS}
+            --dir ${DIR}/run ${common}
+    RESULT_VARIABLE RC ERROR_VARIABLE ERR)
+  run_or_die("sharded run" RC ERR)
+  # Prove the scenario actually exercised its fault path (e.g. that a
+  # worker really crashed and was recovered) rather than passing vacuously.
+  if(DEFINED REQUIRE_STDERR AND NOT ERR MATCHES "${REQUIRE_STDERR}")
+    message(FATAL_ERROR
+            "supervisor stderr does not match '${REQUIRE_STDERR}':\n${ERR}")
+  endif()
+endif()
+
+if(MODE STREQUAL blacklist)
+  file(READ ${DIR}/run/corpus-report.json report)
+  if(NOT report MATCHES "\"blacklisted\":${EXPECT_BLACKLISTED}[,}]")
+    message(FATAL_ERROR
+            "expected \"blacklisted\":${EXPECT_BLACKLISTED} in:\n${report}")
+  endif()
+else()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${DIR}/serial/corpus-report.json ${DIR}/run/corpus-report.json
+    RESULT_VARIABLE SAME)
+  if(NOT SAME EQUAL 0)
+    message(FATAL_ERROR
+            "merged report differs from the serial reference "
+            "(${DIR}/serial vs ${DIR}/run)")
+  endif()
+endif()
+
+file(REMOVE_RECURSE ${DIR})

@@ -39,9 +39,13 @@
 #include "driver/Pipeline.h"
 #include "lint/Lint.h"
 #include "pointsto/Statistics.h"
+#include "shard/Worker.h"
+#include "support/FaultInjection.h"
+#include "support/Interrupt.h"
 #include "vdg/Printer.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -103,6 +107,10 @@ int usage(const char *Argv0) {
       "per-output deltas in topological waves, deep also collapses copy\n"
       "cycles — all three produce identical results); the VDGA_SOLVER\n"
       "environment variable supplies a default when the flag is absent\n"
+      "--shard <i/N> runs as shard worker i of N for vdga-shard (requires\n"
+      "--checkpoint-dir <dir>; --shard-corpus and/or --fuzz-count <n>\n"
+      "--fuzz-seed <s> pick the manifest, --jobs <n> the in-process\n"
+      "parallelism); SIGINT/SIGTERM flush checkpoints and exit 5\n"
       "corpus names:",
       Argv0);
   for (const CorpusProgram &P : corpus())
@@ -366,7 +374,7 @@ void printLocations(AnalyzedProgram &AP, const PointsToResult &R,
 
 } // namespace
 
-int main(int argc, char **argv) {
+static int runAnalyze(int argc, char **argv) {
   Mode M = Mode::Locations;
   const char *File = nullptr;
   const char *CorpusName = nullptr;
@@ -381,6 +389,12 @@ int main(int argc, char **argv) {
   LintTier Tier = LintTier::ContextInsens;
   const char *LintBaselinePath = nullptr;
   const char *WriteLintBaselinePath = nullptr;
+  const char *ShardSpecText = nullptr;
+  const char *CheckpointDir = nullptr;
+  bool ShardCorpus = false;
+  uint64_t FuzzCount = 0;
+  uint64_t FuzzSeed = 0;
+  uint64_t WorkerJobs = 1;
 
   // Option flags that consume the next argv slot. Checking the list up
   // front lets "--flag" at end-of-line produce a precise missing-argument
@@ -397,7 +411,12 @@ int main(int argc, char **argv) {
            std::strcmp(Arg, "--solver") == 0 ||
            std::strcmp(Arg, "--tier") == 0 ||
            std::strcmp(Arg, "--lint-baseline") == 0 ||
-           std::strcmp(Arg, "--write-lint-baseline") == 0;
+           std::strcmp(Arg, "--write-lint-baseline") == 0 ||
+           std::strcmp(Arg, "--shard") == 0 ||
+           std::strcmp(Arg, "--checkpoint-dir") == 0 ||
+           std::strcmp(Arg, "--fuzz-count") == 0 ||
+           std::strcmp(Arg, "--fuzz-seed") == 0 ||
+           std::strcmp(Arg, "--jobs") == 0;
   };
 
   // Budget values must be fully numeric; "--budget-ms fast" is a user
@@ -504,7 +523,19 @@ int main(int argc, char **argv) {
                      argv[I]);
         return usage(argv[0]);
       }
-    } else if (Arg[0] == '-') {
+    } else if (std::strcmp(Arg, "--shard") == 0)
+      ShardSpecText = argv[++I];
+    else if (std::strcmp(Arg, "--checkpoint-dir") == 0)
+      CheckpointDir = argv[++I];
+    else if (std::strcmp(Arg, "--shard-corpus") == 0)
+      ShardCorpus = true;
+    else if (std::strcmp(Arg, "--fuzz-count") == 0)
+      ParseCount(Arg, argv[++I], FuzzCount);
+    else if (std::strcmp(Arg, "--fuzz-seed") == 0)
+      ParseCount(Arg, argv[++I], FuzzSeed);
+    else if (std::strcmp(Arg, "--jobs") == 0)
+      ParseCount(Arg, argv[++I], WorkerJobs);
+    else if (Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       return usage(argv[0]);
     } else if (File) {
@@ -530,6 +561,41 @@ int main(int argc, char **argv) {
       }
     }
   }
+  // Wire the SIGINT/SIGTERM latch into every solver budget so an
+  // interrupt stops in-flight fixed-points promptly; main() then maps
+  // the interrupted run onto exit code 5.
+  if (!Policy.Cancel)
+    Policy.Cancel = interruptToken();
+
+  // Shard-worker mode: the body of one vdga-shard worker process.
+  if (ShardSpecText) {
+    WorkerOptions WO;
+    unsigned Shard = 0, Shards = 0;
+    char Trailing = '\0';
+    if (std::sscanf(ShardSpecText, "%u/%u%c", &Shard, &Shards, &Trailing) !=
+            2 ||
+        Shards == 0 || Shard >= Shards) {
+      std::fprintf(stderr, "option '--shard' expects <i/N> with i < N, "
+                           "got '%s'\n",
+                   ShardSpecText);
+      return usage(argv[0]);
+    }
+    if (!CheckpointDir) {
+      std::fprintf(stderr, "option '--shard' requires --checkpoint-dir\n");
+      return usage(argv[0]);
+    }
+    WO.Shard = Shard;
+    WO.Shards = Shards;
+    WO.Dir = CheckpointDir;
+    WO.Spec.UseCorpus = ShardCorpus || FuzzCount == 0;
+    WO.Spec.FuzzCount = static_cast<unsigned>(FuzzCount);
+    WO.Spec.FuzzSeed = FuzzSeed;
+    WO.Jobs = static_cast<unsigned>(WorkerJobs);
+    WO.RunCS = WantCS;
+    WO.Policy = Policy;
+    return runShardWorker(WO);
+  }
+
   // --explain combines with --cs (explain the CS derivation), so it wins
   // over the mode the --cs flag set.
   if (ExplainVar)
@@ -674,6 +740,12 @@ int main(int argc, char **argv) {
   }
   if (CliTrace)
     AP->setTrace(CliTrace.get());
+
+  // Deterministic stand-in for "SIGINT arrived mid-analysis": exercises
+  // the same latch + cancellation + exit-5 path the real handler takes,
+  // so the smoke tests don't race signal delivery.
+  if (faultPoint("analyze.sigint", CorpusName ? CorpusName : File))
+    simulateInterruptForTest(SIGINT);
 
   switch (M) {
   case Mode::Locations: {
@@ -868,4 +940,23 @@ int main(int argc, char **argv) {
   }
   }
   return 0;
+}
+
+int main(int argc, char **argv) {
+  installInterruptHandlers();
+  std::string FaultError;
+  if (!FaultInjection::instance().initFromEnv(&FaultError)) {
+    // A typo'd VDGA_FAULT sweep must never silently run fault-free.
+    std::fprintf(stderr, "vdga-analyze: %s\n", FaultError.c_str());
+    return 2;
+  }
+  int Rc = runAnalyze(argc, argv);
+  // Exit-code contract (README): an interrupted run flushes what it owns
+  // and reports 5, whatever partial result the mode handler returned.
+  if (interruptRequested() && Rc != ExitInterrupted) {
+    std::fprintf(stderr, "vdga-analyze: interrupted by signal %d\n",
+                 interruptSignal());
+    return ExitInterrupted;
+  }
+  return Rc;
 }

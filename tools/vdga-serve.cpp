@@ -21,8 +21,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
+#include "query/ArtifactStore.h"
 #include "query/Server.h"
+#include "support/FaultInjection.h"
+#include "support/Interrupt.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,12 +53,18 @@ int usage(const char *Argv0) {
       "usage: %s (<file.c> | --corpus <name>) [--listen <port>]\n"
       "       [--store <dir>] [--budget-ms <n>] [--max-pairs <n>]\n"
       "       [--max-iterations <n>] [--solver <basic|wave|deep>]\n"
+      "       %s --store <dir> --store-fsck [--store-gc-max-bytes <n>]\n"
+      "       [--store-gc-max-age-s <n>]\n"
       "Serves vdga-query-v1 (docs/QUERY_PROTOCOL.md) over stdin/stdout,\n"
       "or over TCP on 127.0.0.1:<port> with --listen. --store enables the\n"
       "digest-keyed artifact store (VDGA_QUERY_STORE supplies a default);\n"
       "the budget flags bound the one governed solve — a trip degrades\n"
       "answers to a coarser sound tier instead of killing the server.\n"
+      "--store-fsck is a maintenance mode: scan the store, delete corrupt\n"
+      "artifacts and stale .tmp files, apply the optional GC caps, report\n"
+      "on stderr, and exit without serving. Exit 5 means interrupted.\n"
       "corpus names:",
+      Argv0,
       Argv0);
   for (const CorpusProgram &P : corpus())
     std::fprintf(stderr, " %s", P.Name);
@@ -87,10 +97,10 @@ int runSocket(QueryServer &Server, int Port) {
   }
   std::fprintf(stderr, "vdga-serve: listening on 127.0.0.1:%d\n", Port);
   bool Shutdown = false;
-  while (!Shutdown) {
+  while (!Shutdown && !interruptRequested()) {
     int Client = ::accept(Listener, nullptr, nullptr);
     if (Client < 0)
-      continue;
+      continue; // EINTR lands here; the loop condition notices the signal.
     auto Answer = [&](std::string Line) {
       if (!Line.empty() && Line.back() == '\r')
         Line.pop_back();
@@ -109,7 +119,8 @@ int runSocket(QueryServer &Server, int Port) {
     std::string Buf;
     char Chunk[4096];
     ssize_t N;
-    while (!Shutdown && (N = ::read(Client, Chunk, sizeof(Chunk))) > 0) {
+    while (!Shutdown && !interruptRequested() &&
+           (N = ::read(Client, Chunk, sizeof(Chunk))) > 0) {
       Buf.append(Chunk, static_cast<size_t>(N));
       size_t Nl;
       while (!Shutdown && (Nl = Buf.find('\n')) != std::string::npos) {
@@ -120,7 +131,7 @@ int runSocket(QueryServer &Server, int Port) {
     }
     // A final request sent without a trailing newline still gets its
     // answer before the disconnect, matching pipe mode's getline.
-    if (!Shutdown)
+    if (!Shutdown && !interruptRequested())
       Answer(std::move(Buf));
     ::close(Client);
   }
@@ -132,11 +143,22 @@ int runSocket(QueryServer &Server, int Port) {
 } // namespace
 
 int main(int argc, char **argv) {
+  installInterruptHandlers();
+  {
+    std::string FaultError;
+    if (!FaultInjection::instance().initFromEnv(&FaultError)) {
+      std::fprintf(stderr, "vdga-serve: %s\n", FaultError.c_str());
+      return 2;
+    }
+  }
+
   const char *File = nullptr;
   const char *CorpusName = nullptr;
   QueryServerOptions Opts;
   int ListenPort = -1;
   bool SawSolverFlag = false;
+  bool StoreFsck = false;
+  StoreGCOptions GCOpts;
 
   if (const char *Env = std::getenv("VDGA_QUERY_STORE"))
     Opts.StoreDir = Env;
@@ -148,7 +170,9 @@ int main(int argc, char **argv) {
            std::strcmp(Arg, "--budget-ms") == 0 ||
            std::strcmp(Arg, "--max-pairs") == 0 ||
            std::strcmp(Arg, "--max-iterations") == 0 ||
-           std::strcmp(Arg, "--solver") == 0;
+           std::strcmp(Arg, "--solver") == 0 ||
+           std::strcmp(Arg, "--store-gc-max-bytes") == 0 ||
+           std::strcmp(Arg, "--store-gc-max-age-s") == 0;
   };
   bool BadValue = false;
   auto ParseMillis = [&](const char *Flag, const char *Text, double &Out) {
@@ -202,6 +226,12 @@ int main(int argc, char **argv) {
       ParseCount(Arg, argv[++I], Opts.Policy.MaxPairs);
     } else if (std::strcmp(Arg, "--max-iterations") == 0) {
       ParseCount(Arg, argv[++I], Opts.Policy.MaxIterations);
+    } else if (std::strcmp(Arg, "--store-fsck") == 0) {
+      StoreFsck = true;
+    } else if (std::strcmp(Arg, "--store-gc-max-bytes") == 0) {
+      ParseCount(Arg, argv[++I], GCOpts.MaxBytes);
+    } else if (std::strcmp(Arg, "--store-gc-max-age-s") == 0) {
+      ParseCount(Arg, argv[++I], GCOpts.MaxAgeSeconds);
     } else if (std::strcmp(Arg, "--solver") == 0) {
       SawSolverFlag = true;
       if (!parseSolverStrategy(argv[++I], Opts.Policy.Strategy)) {
@@ -232,6 +262,38 @@ int main(int argc, char **argv) {
                      Env);
         return usage(argv[0]);
       }
+  if (StoreFsck) {
+    if (Opts.StoreDir.empty()) {
+      std::fprintf(stderr, "--store-fsck needs a store: give --store <dir> "
+                           "or set VDGA_QUERY_STORE\n");
+      return usage(argv[0]);
+    }
+    ArtifactStore Store(Opts.StoreDir);
+    StoreFsckReport F = Store.fsck(/*Remove=*/true);
+    for (const std::string &P : F.Corrupt)
+      std::fprintf(stderr, "vdga-serve: fsck: removed corrupt artifact %s\n",
+                   P.c_str());
+    std::fprintf(stderr,
+                 "vdga-serve: fsck: %zu scanned, %zu healthy, %zu removed, "
+                 "%zu stale tmp\n",
+                 F.Scanned, F.Healthy, F.Removed, F.StaleTmp);
+    if (GCOpts.MaxBytes > 0 || GCOpts.MaxAgeSeconds > 0) {
+      StoreGCReport G = Store.gc(GCOpts);
+      std::fprintf(stderr,
+                   "vdga-serve: gc: %zu scanned, %zu evicted, "
+                   "%llu -> %llu bytes\n",
+                   G.Scanned, G.Removed,
+                   static_cast<unsigned long long>(G.BytesBefore),
+                   static_cast<unsigned long long>(G.BytesAfter));
+    }
+    return 0;
+  }
+  if (GCOpts.MaxBytes > 0 || GCOpts.MaxAgeSeconds > 0) {
+    std::fprintf(stderr, "the --store-gc-* caps only apply with "
+                         "--store-fsck\n");
+    return usage(argv[0]);
+  }
+
   if (!File && !CorpusName) {
     std::fprintf(stderr, "no input: give a MiniC file or --corpus <name>\n");
     return usage(argv[0]);
@@ -269,14 +331,29 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (ListenPort >= 0) {
+  // Deterministic RC=5 smoke hook: models a signal landing right as the
+  // server comes up, before any request is answered.
+  if (faultPoint("serve.sigint", CorpusName ? CorpusName : File))
+    simulateInterruptForTest(SIGINT);
+
+  int Rc;
+  if (interruptRequested()) {
+    Rc = ExitInterrupted;
+  } else if (ListenPort >= 0) {
 #ifdef VDGA_HAVE_SOCKETS
-    return runSocket(*Server, ListenPort);
+    Rc = runSocket(*Server, ListenPort);
 #else
     std::fprintf(stderr, "vdga-serve: --listen is not supported on this "
                          "platform; use pipe mode\n");
     return 2;
 #endif
+  } else {
+    Rc = Server->runPipe(std::cin, std::cout);
   }
-  return Server->runPipe(std::cin, std::cout);
+  if (interruptRequested()) {
+    std::fprintf(stderr, "vdga-serve: interrupted by signal %d\n",
+                 interruptSignal());
+    return ExitInterrupted;
+  }
+  return Rc;
 }

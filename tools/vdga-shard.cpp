@@ -1,0 +1,195 @@
+//===- tools/vdga-shard.cpp - Fault-isolated corpus supervisor -*- C++ -*-===//
+//
+// Part of the vdg-alias project (Ruf, PLDI 1995 reproduction).
+//
+// Shards the benchmark corpus (and optionally a deterministic fuzz
+// corpus) across N worker *processes* — `vdga-analyze --shard i/N` — and
+// supervises them: a worker segfault, OOM kill or stall is contained to
+// its shard, retried with bounded backoff, and attributed to the program
+// that was in flight via the checkpoint journal. Programs that keep
+// killing workers are blacklisted and *recorded* in the merged report
+// rather than silently dropped. With --resume a previous run's result
+// store is trusted (each record carries an integrity trailer, so torn
+// writes re-run) and only unfinished programs execute.
+//
+//   vdga-shard --shards 4 --fuzz-count 1000 --dir .vdga-shard
+//   vdga-shard --shards 4 --dir .vdga-shard --resume
+//
+// The merged `corpus-report.json` (vdga-corpus-v1) is byte-identical to
+// a serial run over the surviving program set. Exit status: 0 = merged
+// report written, 1 = a shard was abandoned or I/O failed, 2 = usage
+// error, 5 = interrupted (workers SIGTERMed, checkpoints flushed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Supervisor.h"
+#include "support/FaultInjection.h"
+#include "support/Interrupt.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace vdga;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--shards <n>] [--jobs <n>] [--dir <checkpoint-dir>]\n"
+      "       [--fuzz-count <n>] [--fuzz-seed <n>] [--corpus] [--resume]\n"
+      "       [--cs] [--solver <basic|wave|deep>] [--worker <vdga-analyze>]\n"
+      "       [--report <file>] [--max-attempts <n>] [--max-respawns <n>]\n"
+      "       [--stall-timeout-ms <n>] [--backoff-ms <n>] [--quiet]\n"
+      "Supervises vdga-analyze --shard workers over the benchmark corpus\n"
+      "(plus --fuzz-count deterministic fuzz programs), containing worker\n"
+      "crashes/stalls to their shard, retrying with backoff, blacklisting\n"
+      "repeat offenders, and merging per-program records into a\n"
+      "vdga-corpus-v1 report. --resume keeps a previous run's records and\n"
+      "only analyzes what is missing. Exit: 0 report written, 1 shard\n"
+      "abandoned or I/O error, 2 usage, 5 interrupted.\n",
+      Argv0);
+  return 2;
+}
+
+/// Default worker path: the `vdga-analyze` binary sitting next to this
+/// executable, falling back to PATH lookup by bare name.
+std::string defaultWorkerPath(const char *Argv0) {
+#if defined(__unix__)
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    std::filesystem::path Sibling =
+        std::filesystem::path(Buf).parent_path() / "vdga-analyze";
+    std::error_code EC;
+    if (std::filesystem::exists(Sibling, EC))
+      return Sibling.string();
+  }
+#endif
+  std::error_code EC;
+  std::filesystem::path Sibling =
+      std::filesystem::path(Argv0).parent_path() / "vdga-analyze";
+  if (!Sibling.parent_path().empty() && std::filesystem::exists(Sibling, EC))
+    return Sibling.string();
+  return "vdga-analyze";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  installInterruptHandlers();
+  {
+    std::string FaultError;
+    if (!FaultInjection::instance().initFromEnv(&FaultError)) {
+      std::fprintf(stderr, "vdga-shard: %s\n", FaultError.c_str());
+      return 2;
+    }
+  }
+
+  SupervisorOptions Opts;
+  Opts.Dir = ".vdga-shard";
+  bool UseCorpusFlag = false;
+
+  auto TakesValue = [](const char *Arg) {
+    return std::strcmp(Arg, "--shards") == 0 ||
+           std::strcmp(Arg, "--jobs") == 0 ||
+           std::strcmp(Arg, "--dir") == 0 ||
+           std::strcmp(Arg, "--fuzz-count") == 0 ||
+           std::strcmp(Arg, "--fuzz-seed") == 0 ||
+           std::strcmp(Arg, "--solver") == 0 ||
+           std::strcmp(Arg, "--worker") == 0 ||
+           std::strcmp(Arg, "--report") == 0 ||
+           std::strcmp(Arg, "--max-attempts") == 0 ||
+           std::strcmp(Arg, "--max-respawns") == 0 ||
+           std::strcmp(Arg, "--stall-timeout-ms") == 0 ||
+           std::strcmp(Arg, "--backoff-ms") == 0;
+  };
+  bool BadValue = false;
+  auto ParseUnsigned = [&](const char *Flag, const char *Text, unsigned &Out,
+                           unsigned Min) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Text, &End, 10);
+    if (End == Text || *End != '\0' || Text[0] == '-' || V < Min ||
+        V > 1000000) {
+      std::fprintf(stderr, "option '%s' expects an integer >= %u, got '%s'\n",
+                   Flag, Min, Text);
+      BadValue = true;
+      return;
+    }
+    Out = static_cast<unsigned>(V);
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (TakesValue(Arg) && I + 1 >= argc) {
+      std::fprintf(stderr, "option '%s' requires an argument\n", Arg);
+      return usage(argv[0]);
+    }
+    if (std::strcmp(Arg, "--shards") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.Shards, 1);
+    } else if (std::strcmp(Arg, "--jobs") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.Jobs, 1);
+    } else if (std::strcmp(Arg, "--dir") == 0) {
+      Opts.Dir = argv[++I];
+    } else if (std::strcmp(Arg, "--fuzz-count") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.Spec.FuzzCount, 0);
+    } else if (std::strcmp(Arg, "--fuzz-seed") == 0) {
+      unsigned Seed = 0;
+      ParseUnsigned(Arg, argv[++I], Seed, 0);
+      Opts.Spec.FuzzSeed = Seed;
+    } else if (std::strcmp(Arg, "--corpus") == 0) {
+      UseCorpusFlag = true;
+    } else if (std::strcmp(Arg, "--resume") == 0) {
+      Opts.Resume = true;
+    } else if (std::strcmp(Arg, "--cs") == 0) {
+      Opts.RunCS = true;
+    } else if (std::strcmp(Arg, "--solver") == 0) {
+      if (!parseSolverStrategy(argv[++I], Opts.Strategy)) {
+        std::fprintf(stderr,
+                     "invalid solver strategy '%s' (expected basic, wave "
+                     "or deep)\n",
+                     argv[I]);
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(Arg, "--worker") == 0) {
+      Opts.WorkerPath = argv[++I];
+    } else if (std::strcmp(Arg, "--report") == 0) {
+      Opts.ReportPath = argv[++I];
+    } else if (std::strcmp(Arg, "--max-attempts") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.MaxAttempts, 1);
+    } else if (std::strcmp(Arg, "--max-respawns") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.MaxRespawns, 1);
+    } else if (std::strcmp(Arg, "--stall-timeout-ms") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.StallTimeoutMs, 1);
+    } else if (std::strcmp(Arg, "--backoff-ms") == 0) {
+      ParseUnsigned(Arg, argv[++I], Opts.BackoffBaseMs, 0);
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Opts.Quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      return usage(argv[0]);
+    }
+  }
+  if (BadValue)
+    return usage(argv[0]);
+
+  // The corpus rides along by default; --fuzz-count alone means "fuzz
+  // only" unless --corpus asks for both.
+  Opts.Spec.UseCorpus = UseCorpusFlag || Opts.Spec.FuzzCount == 0;
+
+  if (Opts.WorkerPath.empty())
+    Opts.WorkerPath = defaultWorkerPath(argv[0]);
+
+  int Rc = runSupervisor(Opts);
+  if (interruptRequested() && Rc != ExitInterrupted)
+    return ExitInterrupted;
+  return Rc;
+}
